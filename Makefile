@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build vet test test-short bench fuzz repro clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseConnection -fuzztime=10s ./internal/wdm/
+	$(GO) test -fuzz=FuzzRoutePermutation -fuzztime=10s ./internal/benes/
+
+# Regenerate every experiment artifact into results/.
+repro:
+	$(GO) run ./cmd/wdmexperiments -out results
+
+clean:
+	rm -rf results test_output.txt bench_output.txt

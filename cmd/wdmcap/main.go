@@ -1,0 +1,142 @@
+// wdmcap prints the multicast capacities of N x N k-wavelength WDM
+// networks under the MSW, MSDW and MAW models (the paper's Table 1,
+// capacity rows; Lemmas 1-3), alongside the electronic Nk x Nk baseline.
+//
+// Usage:
+//
+//	wdmcap -n 4 -k 2            one size
+//	wdmcap -nmax 8 -k 2         sweep N = 2..8
+//	wdmcap -n 3 -k 2 -check     cross-check by brute-force enumeration
+//
+// With -check the closed forms are recounted by enumerating every
+// admissible assignment (feasible only for N*k <= 6 or so).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/big"
+	"os"
+
+	"repro/internal/capacity"
+	"repro/internal/report"
+	"repro/internal/wdm"
+)
+
+func main() {
+	n := flag.Int("n", 0, "number of ports N (0 with -nmax sweeps 2..nmax)")
+	nmax := flag.Int("nmax", 0, "sweep N from 2 to this value")
+	k := flag.Int("k", 2, "wavelengths per fiber")
+	check := flag.Bool("check", false, "verify closed forms by brute-force enumeration (small sizes only)")
+	hist := flag.Bool("hist", false, "print the assignment-size histogram (small sizes only)")
+	flag.Parse()
+
+	if *k < 1 {
+		fmt.Fprintln(os.Stderr, "wdmcap: -k must be positive")
+		os.Exit(2)
+	}
+	var sizes []int
+	switch {
+	case *n > 0:
+		sizes = []int{*n}
+	case *nmax >= 2:
+		for v := 2; v <= *nmax; v++ {
+			sizes = append(sizes, v)
+		}
+	default:
+		sizes = []int{2, 3, 4, 6, 8}
+	}
+
+	full := report.New(fmt.Sprintf("Table 1 — multicast capacity, full-multicast-assignments (k=%d)", *k),
+		"N", "MSW", "MSDW", "MAW", "electronic NkxNk")
+	any := report.New(fmt.Sprintf("Table 1 — multicast capacity, any-multicast-assignments (k=%d)", *k),
+		"N", "MSW", "MSDW", "MAW", "electronic NkxNk")
+	for _, nn := range sizes {
+		n64, k64 := int64(nn), int64(*k)
+		full.AddRow(report.Int(nn),
+			report.Big(capacity.FullMSW(n64, k64)),
+			report.Big(capacity.FullMSDW(n64, k64)),
+			report.Big(capacity.FullMAW(n64, k64)),
+			report.Big(capacity.FullElectronic(n64, k64)))
+		any.AddRow(report.Int(nn),
+			report.Big(capacity.AnyMSW(n64, k64)),
+			report.Big(capacity.AnyMSDW(n64, k64)),
+			report.Big(capacity.AnyMAW(n64, k64)),
+			report.Big(capacity.AnyElectronic(n64, k64)))
+	}
+	full.Fprint(os.Stdout)
+	fmt.Println()
+	any.Fprint(os.Stdout)
+
+	if *hist {
+		fmt.Println()
+		for _, nn := range sizes {
+			if nn**k > 6 {
+				fmt.Printf("hist: skipping N=%d k=%d (too large to enumerate)\n", nn, *k)
+				continue
+			}
+			d := wdm.Dim{N: nn, K: *k}
+			t := report.New(fmt.Sprintf("Assignments by connection count (N=%d, k=%d)", nn, *k),
+				"connections", "MSW", "MSDW", "MAW")
+			hists := map[wdm.Model]map[int]*big.Int{}
+			maxSize := 0
+			for _, m := range wdm.Models {
+				hists[m] = capacity.HistogramByConnections(m, d, false)
+				for s := range hists[m] {
+					if s > maxSize {
+						maxSize = s
+					}
+				}
+			}
+			for s := 0; s <= maxSize; s++ {
+				row := []string{report.Int(s)}
+				for _, m := range wdm.Models {
+					v := hists[m][s]
+					if v == nil {
+						v = big.NewInt(0)
+					}
+					row = append(row, report.Big(v))
+				}
+				t.AddRow(row...)
+			}
+			t.Fprint(os.Stdout)
+			fmt.Println()
+		}
+	}
+
+	if *check {
+		fmt.Println()
+		ok := true
+		for _, nn := range sizes {
+			if nn**k > 6 {
+				fmt.Printf("check: skipping N=%d k=%d (N*k=%d too large to enumerate)\n", nn, *k, nn**k)
+				continue
+			}
+			d := wdm.Dim{N: nn, K: *k}
+			for _, m := range wdm.Models {
+				for _, fullMode := range []bool{true, false} {
+					got := capacity.CountByEnumeration(m, d, fullMode)
+					var want = capacity.Any(m, int64(nn), int64(*k))
+					if fullMode {
+						want = capacity.Full(m, int64(nn), int64(*k))
+					}
+					kind := "any"
+					if fullMode {
+						kind = "full"
+					}
+					if got.Cmp(want) != 0 {
+						ok = false
+						fmt.Printf("check FAILED: %v N=%d k=%d %s: enumerated %s, formula %s\n",
+							m, nn, *k, kind, got, want)
+					} else {
+						fmt.Printf("check ok: %v N=%d k=%d %s = %s (enumeration == Lemma)\n",
+							m, nn, *k, kind, got)
+					}
+				}
+			}
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// wdmdesign recommends a minimal-cost nonblocking WDM multicast switch
+// configuration for a requested size and multicast model, enumerating the
+// crossbar and every three-stage factorization with theorem-minimal
+// middle stages.
+//
+// Usage:
+//
+//	wdmdesign -n 256 -k 4 -model maw
+//	wdmdesign -n 1024 -k 2 -model msw -converter-weight 25 -top 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analytic"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/wdm"
+)
+
+func main() {
+	n := flag.Int("n", 64, "network size N")
+	k := flag.Int("k", 2, "wavelengths per fiber")
+	modelName := flag.String("model", "msw", "multicast model: msw, msdw, maw")
+	convWeight := flag.Float64("converter-weight", core.DefaultWeights.Converter,
+		"cost of one wavelength converter in crosspoint units")
+	top := flag.Int("top", 5, "how many options to print")
+	targetP := flag.Float64("target-pblock", 0,
+		"if > 0: also size the middle stage for this blocking probability at -occupancy (Lee approximation) instead of strict nonblocking")
+	occupancy := flag.Float64("occupancy", 0.3, "assumed inter-stage link occupancy for -target-pblock")
+	flag.Parse()
+
+	model, err := wdm.ParseModel(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdmdesign:", err)
+		os.Exit(2)
+	}
+	w := core.Weights{Crosspoint: 1, Converter: *convWeight}
+	opts, err := core.Design(*n, *k, model, w)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdmdesign:", err)
+		os.Exit(1)
+	}
+	if *top > len(opts) {
+		*top = len(opts)
+	}
+
+	t := report.New(fmt.Sprintf("Nonblocking designs for N=%d k=%d %v (converter = %.0f crosspoints), cheapest first",
+		*n, *k, model, *convWeight),
+		"rank", "architecture", "r", "n", "m", "x", "crosspoints", "converters", "weighted")
+	for i, o := range opts[:*top] {
+		arch := "crossbar"
+		rs, ns, ms, xs := "-", "-", "-", "-"
+		if o.Spec.Architecture == core.ThreeStage {
+			arch = fmt.Sprintf("3-stage %v", o.Spec.Construction)
+			rs = report.Int(o.Spec.R)
+			ns = report.Int(o.Spec.N / o.Spec.R)
+			ms = report.Int(o.Spec.M)
+			xs = report.Int(o.Spec.X)
+		}
+		t.AddRow(report.Int(i+1), arch, rs, ns, ms, xs,
+			report.Int(o.Cost.Crosspoints), report.Int(o.Cost.Converters),
+			report.Float(w.Scalar(o.Cost), 0))
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("\nrecommended: %s\n", opts[0].Describe())
+
+	if *targetP > 0 {
+		mLee, err := analytic.MinMForTarget(*occupancy, *occupancy, *targetP)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wdmdesign:", err)
+			os.Exit(1)
+		}
+		// Contrast with the strict bound of the best three-stage option.
+		fmt.Printf("\nLee sizing at occupancy %.2f for P_block <= %g: m = %d middle modules\n",
+			*occupancy, *targetP, mLee)
+		for _, o := range opts {
+			if o.Spec.Architecture == core.ThreeStage {
+				fmt.Printf("strict nonblocking needs m = %d for the same r=%d split — the price of guaranteed zero blocking\n",
+					o.Spec.M, o.Spec.R)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// wdmdraw emits a Graphviz DOT rendering of a crossbar switch's optical
+// element graph — the structural regeneration of the paper's Figs. 5-7.
+// With --route it first installs a sample multicast so active gates and
+// configured converters are highlighted in the drawing.
+//
+// Usage:
+//
+//	wdmdraw -model msdw -n 3 -k 2 > fig6.dot && dot -Tsvg fig6.dot -o fig6.svg
+//	wdmdraw -model maw  -n 3 -k 2 -route > fig7-live.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/crossbar"
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+func main() {
+	modelName := flag.String("model", "msw", "multicast model: msw, msdw, maw")
+	n := flag.Int("n", 3, "ports")
+	k := flag.Int("k", 2, "wavelengths")
+	route := flag.Bool("route", false, "install a sample multicast before drawing")
+	stage3 := flag.Bool("multistage", false, "draw a three-stage network's module graph (Fig. 8) instead of a crossbar fabric")
+	r := flag.Int("r", 0, "outer module count for -multistage (0 = n/2)")
+	flag.Parse()
+
+	model, err := wdm.ParseModel(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdmdraw:", err)
+		os.Exit(2)
+	}
+	if *stage3 {
+		rr := *r
+		if rr == 0 {
+			rr = *n / 2
+		}
+		net, err := multistage.New(multistage.Params{
+			N: *n, K: *k, R: rr, Model: model, Lite: true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wdmdraw:", err)
+			os.Exit(1)
+		}
+		if *route {
+			c := wdm.Connection{Source: wdm.PortWave{Port: 0, Wave: 0}}
+			for p := 1; p < *n; p += 2 {
+				c.Dests = append(c.Dests, wdm.PortWave{Port: wdm.Port(p), Wave: 0})
+			}
+			if _, err := net.Add(c); err != nil {
+				fmt.Fprintln(os.Stderr, "wdmdraw:", err)
+				os.Exit(1)
+			}
+		}
+		if err := net.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "wdmdraw:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *n < 1 || *k < 1 || *n**k > 64 {
+		fmt.Fprintln(os.Stderr, "wdmdraw: need 1 <= n, 1 <= k, n*k <= 64 (drawings get unreadable beyond that)")
+		os.Exit(2)
+	}
+	s := crossbar.New(model, wdm.Dim{N: *n, K: *k})
+	title := fmt.Sprintf("%v crossbar, N=%d, k=%d (cf. paper Figs. 5-7)", model, *n, *k)
+
+	if *route {
+		c := wdm.Connection{Source: wdm.PortWave{Port: 0, Wave: 0}}
+		for p := 1; p < *n; p++ {
+			w := 0
+			if model == wdm.MAW {
+				w = p % *k
+			}
+			c.Dests = append(c.Dests, wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)})
+		}
+		if model == wdm.MSDW && *k > 1 {
+			for i := range c.Dests {
+				c.Dests[i].Wave = 1
+			}
+		}
+		if len(c.Dests) == 0 {
+			c.Dests = []wdm.PortWave{{Port: 0, Wave: 0}}
+		}
+		if _, err := s.Add(c); err != nil {
+			fmt.Fprintln(os.Stderr, "wdmdraw: routing sample multicast:", err)
+			os.Exit(1)
+		}
+		title += fmt.Sprintf(" — carrying %v", c)
+	}
+	if err := s.Fabric().WriteDOT(os.Stdout, title); err != nil {
+		fmt.Fprintln(os.Stderr, "wdmdraw:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,221 @@
+// wdmplot emits the repository's experiment series as CSV for plotting:
+//
+//	wdmplot -series cost -k 2            Table 2's cost-vs-N curves
+//	wdmplot -series blocking -n 16 -r 4  blocking-probability-vs-m
+//	wdmplot -series capacity -k 2        capacity-vs-N per model (log10)
+//	wdmplot -series hierarchy -k 2       crossbar/Clos/Beneš crosspoints
+//
+// Every series is regenerated from the implementation at run time; the
+// CSV columns carry plain numbers ready for gnuplot/matplotlib.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/big"
+	"os"
+	"sort"
+
+	"repro/internal/benes"
+	"repro/internal/capacity"
+	"repro/internal/crossbar"
+	"repro/internal/multistage"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/wdm"
+)
+
+func main() {
+	series := flag.String("series", "cost", "series to emit: cost, blocking, capacity, hierarchy")
+	n := flag.Int("n", 16, "network size for -series blocking")
+	r := flag.Int("r", 4, "outer modules for -series blocking")
+	k := flag.Int("k", 2, "wavelengths per fiber")
+	modelName := flag.String("model", "msw", "multicast model")
+	requests := flag.Int("requests", 4000, "arrivals per blocking point")
+	seed := flag.Int64("seed", 1, "seed for blocking series")
+	flag.Parse()
+
+	model, err := wdm.ParseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	switch *series {
+	case "cost":
+		costSeries(*k)
+	case "blocking":
+		blockingSeries(model, *n, *r, *k, *requests, *seed)
+	case "load":
+		loadSeries(model, *n, *r, *k, *requests, *seed)
+	case "capacity":
+		capacitySeries(*k)
+	case "hierarchy":
+		hierarchySeries(*k)
+	default:
+		fatal(fmt.Errorf("unknown series %q (want cost, blocking, load, capacity, hierarchy)", *series))
+	}
+}
+
+// loadSeries emits blocking-vs-load curves at a quarter, half, and the
+// full sufficient middle-stage count.
+func loadSeries(model wdm.Model, n, r, k, requests int, seed int64) {
+	base := multistage.Params{N: n, K: k, R: r, Model: model, Lite: true}
+	norm, err := base.Normalize()
+	if err != nil {
+		fatal(err)
+	}
+	loads := []float64{1, 2, 4, 6, 8, 12, 16, 24}
+	t := report.New("", "m", "load", "offered", "blocked", "p_block")
+	for _, m := range []int{maxInt(1, norm.M/4), maxInt(1, norm.M/2), norm.M} {
+		p := base
+		p.M = m
+		points, err := sim.SweepLoad(p, loads, sim.Config{
+			Seed: seed, Requests: requests, MaxFanout: n / 2,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, pt := range points {
+			t.AddRow(report.Int(m), fmt.Sprintf("%.1f", pt.Load),
+				report.Int(pt.Result.Offered), report.Int(pt.Result.Blocked),
+				fmt.Sprintf("%.6f", pt.Result.BlockingProbability()))
+		}
+	}
+	emit(t)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func costSeries(k int) {
+	t := report.New("", "N", "model", "crossbar_xpts", "multistage_xpts", "crossbar_conv", "multistage_conv")
+	for _, n := range []int{16, 64, 144, 256, 576, 1024, 2304, 4096} {
+		r := bestSplit(n)
+		if r == 0 {
+			continue
+		}
+		for _, m := range wdm.Models {
+			cb := crossbar.CostFormula(m, wdm.Shape{In: n, Out: n, K: k})
+			mm, xx := multistage.SufficientMinM(multistage.MSWDominant, m, n/r, r, k)
+			ms, err := multistage.CostFormula(multistage.Params{
+				N: n, K: k, R: r, M: mm, X: xx, Model: m,
+				Construction: multistage.MSWDominant,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			t.AddRow(report.Int(n), m.String(), report.Int(cb.Crosspoints), report.Int(ms.Crosspoints),
+				report.Int(cb.Converters), report.Int(ms.Converters))
+		}
+	}
+	emit(t)
+}
+
+func blockingSeries(model wdm.Model, n, r, k, requests int, seed int64) {
+	base := multistage.Params{N: n, K: k, R: r, Model: model, Lite: true}
+	norm, err := base.Normalize()
+	if err != nil {
+		fatal(err)
+	}
+	var ms []int
+	for m := 1; m <= norm.M+norm.M/4+1; m++ {
+		ms = append(ms, m)
+	}
+	points, err := sim.SweepMParallel(base, ms, sim.Config{
+		Seed: seed, Requests: requests, Load: 10, MaxFanout: n / 2,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	sort.Slice(points, func(a, b int) bool { return points[a].M < points[b].M })
+	t := report.New("", "m", "offered", "blocked", "p_block")
+	for _, pt := range points {
+		t.AddRow(report.Int(pt.M), report.Int(pt.Result.Offered), report.Int(pt.Result.Blocked),
+			fmt.Sprintf("%.6f", pt.Result.BlockingProbability()))
+	}
+	emit(t)
+}
+
+func capacitySeries(k int) {
+	t := report.New("", "N", "model", "log10_full_capacity")
+	for n := int64(2); n <= 16; n++ {
+		for _, m := range wdm.Models {
+			t.AddRow(report.Int(int(n)), m.String(), fmt.Sprintf("%.3f", log10Big(capacity.Full(m, n, int64(k)))))
+		}
+	}
+	emit(t)
+}
+
+func hierarchySeries(k int) {
+	t := report.New("", "N", "crossbar", "clos", "benes")
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		r := bestSplit(n)
+		if r == 0 {
+			continue
+		}
+		mm, xx := multistage.SufficientMinM(multistage.MSWDominant, wdm.MSW, n/r, r, k)
+		ms, err := multistage.CostFormula(multistage.Params{
+			N: n, K: k, R: r, M: mm, X: xx, Model: wdm.MSW,
+			Construction: multistage.MSWDominant,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(report.Int(n),
+			report.Int(k*n*n),
+			report.Int(ms.Crosspoints),
+			report.Int(k*benes.Crosspoints(nextPow2(n))))
+	}
+	emit(t)
+}
+
+func emit(t *report.Table) {
+	if err := t.FprintCSV(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func bestSplit(n int) int {
+	best, bestDist := 0, 1<<62
+	for r := 2; r <= n/2; r++ {
+		if n%r != 0 || n/r < 2 {
+			continue
+		}
+		d := r*r - n
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = r, d
+		}
+	}
+	return best
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p
+}
+
+// log10Big computes log10 of an arbitrarily large integer via its
+// binary mantissa/exponent decomposition (the raw capacities overflow
+// float64 long before N = 16).
+func log10Big(v *big.Int) float64 {
+	f := new(big.Float).SetInt(v)
+	mant := new(big.Float)
+	exp := f.MantExp(mant)
+	m, _ := mant.Float64()
+	return (float64(exp) + math.Log2(m)) * math.Log10(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdmplot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// wdmsim runs dynamic-traffic simulations against the three-stage WDM
+// multicast networks and prints blocking probability as a function of the
+// middle-stage module count m — the executable counterpart of Theorems 1
+// and 2 (there is no empirical section in the paper; this regenerates the
+// repository's validation series documented in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	wdmsim -n 16 -k 2 -r 4 -model msw -construction msw -requests 5000
+//	wdmsim -n 16 -k 2 -r 4 -model maw -construction maw -load 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/multistage"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/wdm"
+)
+
+func main() {
+	n := flag.Int("n", 16, "network size N")
+	k := flag.Int("k", 2, "wavelengths per fiber")
+	r := flag.Int("r", 4, "outer-stage module count (must divide N)")
+	modelName := flag.String("model", "msw", "multicast model: msw, msdw, maw")
+	constrName := flag.String("construction", "msw", "construction: msw (MSW-dominant) or maw (MAW-dominant)")
+	requests := flag.Int("requests", 4000, "number of connection arrivals per point")
+	load := flag.Float64("load", 12, "offered load (mean arrivals per mean holding time)")
+	maxFanout := flag.Int("fanout", 0, "max fanout (0 = N)")
+	seed := flag.Int64("seed", 1, "PRNG seed")
+	repack := flag.Bool("repack", false, "rearrangeable operation: retry blocked requests with repacking")
+	parallel := flag.Bool("parallel", false, "run the sweep points concurrently")
+	byFanout := flag.Bool("by-fanout", false, "also print blocking stratified by fanout (largest m only)")
+	flag.Parse()
+
+	model, err := wdm.ParseModel(*modelName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdmsim:", err)
+		os.Exit(2)
+	}
+	var constr multistage.Construction
+	switch *constrName {
+	case "msw":
+		constr = multistage.MSWDominant
+	case "maw":
+		constr = multistage.MAWDominant
+	default:
+		fmt.Fprintln(os.Stderr, "wdmsim: -construction must be msw or maw")
+		os.Exit(2)
+	}
+
+	base := multistage.Params{N: *n, K: *k, R: *r, Model: model, Construction: constr, Lite: true}
+	ms := sim.DefaultMs(constr, base)
+	sort.Ints(ms)
+
+	cfg := sim.Config{
+		Seed: *seed, Requests: *requests, Load: *load, MaxFanout: *maxFanout,
+		Repack: *repack,
+	}
+	sweep := sim.SweepM
+	if *parallel {
+		sweep = sim.SweepMParallel
+	}
+	points, err := sweep(base, ms, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdmsim:", err)
+		os.Exit(1)
+	}
+
+	norm, _ := base.Normalize()
+	mode := "strict"
+	if *repack {
+		mode = "rearrangeable"
+	}
+	t := report.New(fmt.Sprintf("Blocking probability vs middle-stage size m — N=%d k=%d r=%d %v %v, %s (%d requests, load %.1f)",
+		*n, *k, *r, model, constr, mode, *requests, *load),
+		"m", "offered", "routed", "blocked", "repacked", "P_block", "note")
+	for _, pt := range points {
+		note := ""
+		if pt.M == pt.PaperMin {
+			note = "paper theorem bound"
+		}
+		if pt.AtBound {
+			if note != "" {
+				note += " = "
+			}
+			note += "sufficient bound"
+		}
+		t.AddRow(report.Int(pt.M),
+			report.Int(pt.Result.Offered), report.Int(pt.Result.Routed), report.Int(pt.Result.Blocked),
+			report.Int(pt.Result.Repacked),
+			report.Float(pt.Result.BlockingProbability(), 4), note)
+	}
+	t.Footnote = fmt.Sprintf("n=%d per module; x=%d; expectation: P_block = 0 at and above the sufficient bound",
+		norm.N/norm.R, norm.X)
+	t.Fprint(os.Stdout)
+
+	if *byFanout && len(points) > 0 {
+		last := points[len(points)-1]
+		fmt.Println()
+		ft := report.New(fmt.Sprintf("Blocking by fanout at m=%d", last.M),
+			"fanout", "offered", "blocked", "P_block")
+		fanouts := make([]int, 0, len(last.Result.ByFanout))
+		for f := range last.Result.ByFanout {
+			fanouts = append(fanouts, f)
+		}
+		sort.Ints(fanouts)
+		for _, f := range fanouts {
+			s := last.Result.ByFanout[f]
+			ft.AddRow(report.Int(f), report.Int(s.Offered), report.Int(s.Blocked),
+				report.Float(last.Result.BlockingProbabilityAtFanout(f), 4))
+		}
+		ft.Fprint(os.Stdout)
+	}
+}

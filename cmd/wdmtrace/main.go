@@ -1,0 +1,169 @@
+// wdmtrace records and replays connection-event traces against
+// three-stage WDM multicast networks, making blocking incidents
+// reproducible and comparable across configurations:
+//
+//	wdmtrace -record -n 16 -k 2 -r 4 -m 3 -requests 500 > incident.trace
+//	wdmtrace -replay incident.trace -n 16 -k 2 -r 4 -m 13
+//
+// Recording runs a seeded dynamic workload against the given network and
+// emits the full interface history (adds with outcomes, releases).
+// Replaying drives the same requests against a possibly different
+// configuration and reports every outcome divergence — e.g. which
+// recorded blocks disappear at a larger middle-stage count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/multistage"
+	"repro/internal/trace"
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+func main() {
+	record := flag.Bool("record", false, "record a workload trace to stdout")
+	replay := flag.String("replay", "", "replay the given trace file")
+	n := flag.Int("n", 16, "network size N")
+	k := flag.Int("k", 2, "wavelengths per fiber")
+	r := flag.Int("r", 4, "outer-stage module count")
+	m := flag.Int("m", 0, "middle modules (0 = sufficient bound)")
+	modelName := flag.String("model", "msw", "multicast model")
+	requests := flag.Int("requests", 500, "arrivals to record")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	model, err := wdm.ParseModel(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	net, err := multistage.New(multistage.Params{
+		N: *n, K: *k, R: *r, M: *m, Model: model, Lite: true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *record:
+		doRecord(net, model, *n, *k, *requests, *seed)
+	case *replay != "":
+		doReplay(net, *replay)
+	default:
+		fmt.Fprintln(os.Stderr, "wdmtrace: need -record or -replay <file>")
+		os.Exit(2)
+	}
+}
+
+func doRecord(net *multistage.Network, model wdm.Model, n, k, requests int, seed int64) {
+	rec := trace.NewRecorder(net, multistage.IsBlocked)
+	gen := workload.NewGenerator(seed, model, wdm.Dim{N: n, K: k})
+	rng := rand.New(rand.NewSource(seed + 1))
+
+	srcBusyInit()
+	type live struct {
+		id   int
+		conn wdm.Connection
+	}
+	var held []live
+	for i := 0; i < requests; i++ {
+		if len(held) > 0 && rng.Intn(3) == 0 {
+			v := held[0]
+			held = held[1:]
+			if err := rec.Release(v.id); err != nil {
+				fatal(err)
+			}
+			delete(srcBusy, v.conn.Source)
+			for _, d := range v.conn.Dests {
+				delete(dstBusy, d)
+			}
+		}
+		src, dst := freeSlots(n, k)
+		c, ok := gen.Connection(src, dst, gen.Fanout(n/2))
+		if !ok {
+			continue
+		}
+		id, err := rec.Add(c)
+		if err != nil {
+			continue // blocked or rejected: recorded, slots unchanged
+		}
+		held = append(held, live{id: id, conn: c})
+		srcBusy[c.Source] = true
+		for _, d := range c.Dests {
+			dstBusy[d] = true
+		}
+	}
+	if err := rec.Trace().Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+	ok, blocked := net.Stats()
+	fmt.Fprintf(os.Stderr, "recorded %d events (%d routed, %d blocked)\n",
+		len(rec.Trace().Events), ok, blocked)
+}
+
+var (
+	srcBusy map[wdm.PortWave]bool
+	dstBusy map[wdm.PortWave]bool
+)
+
+func srcBusyInit() {
+	srcBusy = make(map[wdm.PortWave]bool)
+	dstBusy = make(map[wdm.PortWave]bool)
+}
+
+func freeSlots(n, k int) (src, dst []wdm.PortWave) {
+	for p := 0; p < n; p++ {
+		for w := 0; w < k; w++ {
+			slot := wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+			if !srcBusy[slot] {
+				src = append(src, slot)
+			}
+			if !dstBusy[slot] {
+				dst = append(dst, slot)
+			}
+		}
+	}
+	return
+}
+
+func doReplay(net *multistage.Network, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := tr.Replay(net, multistage.IsBlocked)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d events: %d adds matched, %d divergences\n",
+		res.Applied, res.OKMatches, len(res.Divergence))
+	for _, i := range res.Divergence {
+		ev := tr.Events[i]
+		fmt.Printf("  event %d: %s — recorded %s, replay differs\n",
+			i, wdm.FormatConnection(ev.Conn), outcomeName(ev.Outcome))
+	}
+}
+
+func outcomeName(o trace.Outcome) string {
+	switch o {
+	case trace.OK:
+		return "routed"
+	case trace.Blocked:
+		return "blocked"
+	default:
+		return "rejected"
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdmtrace:", err)
+	os.Exit(1)
+}

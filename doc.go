@@ -1,0 +1,13 @@
+// Package repro is a full reproduction of Yang, Wang and Qiao,
+// "Nonblocking WDM Multicast Switching Networks" (ICPP 2000): the
+// MSW/MSDW/MAW multicast models, exact multicast-capacity formulas, the
+// crossbar and three-stage nonblocking switch constructions modelled at
+// the optical-element level, the Theorem 1/2 middle-stage bounds (plus a
+// corrected bound for a gap this reproduction uncovered), and a full
+// experiment harness.
+//
+// The implementation lives under internal/ (see README.md for the
+// layering); the top-level package holds the benchmark suite that
+// regenerates every table and validation series, with EXPERIMENTS.md
+// mapping each benchmark to its artifact in the paper.
+package repro

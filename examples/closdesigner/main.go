@@ -1,0 +1,75 @@
+// closdesigner explores the crossbar-vs-multistage cost landscape of
+// Table 2: for a sweep of network sizes it prints the cheapest
+// nonblocking three-stage factorization next to the crossbar, showing
+// where the multistage design overtakes (the O(kN^2) vs
+// O(kN^1.5 log N / log log N) crossover) and how the MSW-dominant
+// construction compares to the MAW-dominant one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/crossbar"
+	"repro/internal/multistage"
+	"repro/internal/report"
+	"repro/internal/wdm"
+)
+
+func main() {
+	const k = 2
+	model := wdm.MSW
+
+	t := report.New(fmt.Sprintf("Cheapest nonblocking design per size (model %v, k=%d, converter = %0.f crosspoints)",
+		model, k, core.DefaultWeights.Converter),
+		"N", "crossbar xpts", "best 3-stage", "3-stage xpts", "winner", "saving")
+	for _, n := range []int{16, 64, 144, 256, 576, 1024, 4096} {
+		cb := crossbar.CostFormula(model, wdm.Shape{In: n, Out: n, K: k})
+		opts, err := core.Design(n, k, model, core.DefaultWeights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Cheapest three-stage option.
+		var ms *core.Option
+		for i := range opts {
+			if opts[i].Spec.Architecture == core.ThreeStage {
+				ms = &opts[i]
+				break
+			}
+		}
+		if ms == nil {
+			t.AddRow(report.Int(n), report.Int(cb.Crosspoints), "none", "-", "crossbar", "-")
+			continue
+		}
+		winner := "crossbar"
+		saving := "-"
+		if ms.Cost.Crosspoints < cb.Crosspoints {
+			winner = "3-stage"
+			saving = report.Ratio(float64(cb.Crosspoints), float64(ms.Cost.Crosspoints))
+		}
+		desc := fmt.Sprintf("r=%d n=%d m=%d %v", ms.Spec.R, ms.Spec.N/ms.Spec.R, ms.Spec.M, ms.Spec.Construction)
+		t.AddRow(report.Int(n), report.Int(cb.Crosspoints), desc,
+			report.Int(ms.Cost.Crosspoints), winner, saving)
+	}
+	t.Fprint(os.Stdout)
+
+	fmt.Println()
+	fmt.Println("Construction comparison at N=1024 (Section 3.4: MSW-dominant should win):")
+	t2 := report.New("", "model", "construction", "m", "crosspoints", "converters")
+	for _, m := range wdm.Models {
+		for _, constr := range []multistage.Construction{multistage.MSWDominant, multistage.MAWDominant} {
+			mm, xx := multistage.SufficientMinM(constr, m, 32, 32, k)
+			cost, err := multistage.CostFormula(multistage.Params{
+				N: 1024, K: k, R: 32, M: mm, X: xx, Model: m, Construction: constr,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			t2.AddRow(m.String(), constr.String(), report.Int(mm),
+				report.Int(cost.Crosspoints), report.Int(cost.Converters))
+		}
+	}
+	t2.Fprint(os.Stdout)
+}

@@ -1,0 +1,76 @@
+// Quickstart: build a nonblocking WDM multicast crossbar, route a few
+// multicast connections, verify them optically, and inspect the hardware
+// cost — the five-minute tour of the library.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/wdm"
+)
+
+func main() {
+	// A 4x4 switch with 2 wavelengths per fiber under the MAW model: any
+	// connection may change wavelengths per destination (Fig. 7).
+	net, err := core.New(core.Spec{
+		N: 4, K: 2,
+		Model:        wdm.MAW,
+		Architecture: core.Crossbar,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	slot := func(p, w int) wdm.PortWave {
+		return wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+	}
+
+	// A video stream from port 0 on λ0, multicast to three receivers —
+	// each on whatever wavelength is free at its port.
+	stream := wdm.Connection{
+		Source: slot(0, 0),
+		Dests:  []wdm.PortWave{slot(1, 1), slot(2, 0), slot(3, 0)},
+	}
+	id, err := net.Add(stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed multicast %d: %v\n", id, stream)
+
+	// WDM lets the same source port carry a second, different stream on
+	// its other wavelength — impossible in a single-wavelength switch.
+	second := wdm.Connection{
+		Source: slot(0, 1),
+		Dests:  []wdm.PortWave{slot(1, 0), slot(3, 1)},
+	}
+	id2, err := net.Add(second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("routed multicast %d: %v\n", id2, second)
+
+	// Optically verify: signals are propagated through the splitter /
+	// SOA-gate / combiner / converter fabric and must arrive exactly at
+	// the destination slots.
+	if err := net.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("optical verification passed: every signal delivered, no collisions")
+
+	cost := net.Cost()
+	fmt.Printf("hardware: %d crosspoints (SOA gates), %d wavelength converters, %d splitters, %d combiners\n",
+		cost.Crosspoints, cost.Converters, cost.Splitters, cost.Combiners)
+
+	// The multicast capacity under this model (Lemma 2).
+	fmt.Printf("multicast capacity: %s full assignments, %s including partial ones\n",
+		core.FullCapacity(core.Spec{N: 4, K: 2, Model: wdm.MAW}),
+		core.AnyCapacity(core.Spec{N: 4, K: 2, Model: wdm.MAW}))
+
+	// Tear down the first stream; its slots become reusable.
+	if err := net.Release(id); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("released multicast %d; %d connection(s) remain\n", id, net.Len())
+}

@@ -1,0 +1,144 @@
+// Video conferencing on a three-stage WDM multicast network.
+//
+// The paper's introduction motivates WDM multicast with exactly this
+// workload: in a conference, every participant transmits to all others
+// (one multicast per speaker) and every participant receives several
+// streams at once — which a single-wavelength network cannot do, since
+// each destination can receive at most one message at a time, but a
+// k-wavelength receiver array handles naturally.
+//
+// This example hosts two overlapping 4-party conferences on a 16-port
+// 4-wavelength MSW-dominant three-stage network sized by Theorem 1, shows
+// that every participant concurrently receives all streams of their
+// conference, then churns conferences (teardown + re-admission) to show
+// the nonblocking property under dynamic membership.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// conference wires a full mesh: participant i multicasts on wavelength
+// ch[i] to every other participant's wavelength ch[i] (MSW model: one
+// wavelength per stream end to end — no converters needed anywhere).
+type conference struct {
+	name    string
+	members []int            // network ports
+	chans   []wdm.Wavelength // one transmit wavelength per member
+	ids     []int            // live connection ids
+}
+
+func (c *conference) admit(net core.Network) error {
+	for i, speaker := range c.members {
+		conn := wdm.Connection{
+			Source: wdm.PortWave{Port: wdm.Port(speaker), Wave: c.chans[i]},
+		}
+		for j, listener := range c.members {
+			if j == i {
+				continue
+			}
+			conn.Dests = append(conn.Dests, wdm.PortWave{Port: wdm.Port(listener), Wave: c.chans[i]})
+		}
+		id, err := net.Add(conn)
+		if err != nil {
+			return fmt.Errorf("conference %s speaker p%d: %w", c.name, speaker, err)
+		}
+		c.ids = append(c.ids, id)
+	}
+	return nil
+}
+
+func (c *conference) leave(net core.Network) error {
+	for _, id := range c.ids {
+		if err := net.Release(id); err != nil {
+			return err
+		}
+	}
+	c.ids = nil
+	return nil
+}
+
+func main() {
+	const N, K = 16, 4
+	spec := core.Spec{
+		N: N, K: K,
+		Model:        wdm.MSW, // same wavelength end to end: zero converters
+		Architecture: core.ThreeStage,
+		R:            4,
+		Construction: multistage.MSWDominant,
+	}
+	net, err := core.New(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := net.Cost()
+	fmt.Printf("three-stage MSW network: N=%d, k=%d, %d crosspoints, %d converters\n",
+		N, K, cost.Crosspoints, cost.Converters)
+
+	// Conference A: ports 0,3,5,9 — each speaker on their own wavelength
+	// so the four streams coexist at every member port.
+	confA := &conference{
+		name:    "A",
+		members: []int{0, 3, 5, 9},
+		chans:   []wdm.Wavelength{0, 1, 2, 3},
+	}
+	// Conference B runs concurrently on disjoint ports.
+	confB := &conference{
+		name:    "B",
+		members: []int{10, 12, 14},
+		chans:   []wdm.Wavelength{0, 1, 2},
+	}
+
+	if err := confA.admit(net); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conference A admitted: 4 speakers x fanout 3 = %d multicasts live\n", net.Len())
+
+	if err := confB.admit(net); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conference B admitted: %d multicasts live\n", net.Len())
+
+	// The WDM selling point: one participant can attend two sessions at
+	// once. Port 5 already receives conference A's three streams (on λ0,
+	// λ1, λ3 — it transmits on λ2, so its receiver λ2 is idle); B's
+	// member at port 12 now streams a side channel to it on that very λ2.
+	// Under MSW the stream keeps one wavelength end to end, and port 12's
+	// transmitter array has λ2 free (its conference stream uses λ1).
+	side := wdm.Connection{
+		Source: wdm.PortWave{Port: 12, Wave: 2},
+		Dests:  []wdm.PortWave{{Port: 5, Wave: 2}},
+	}
+	if _, err := net.Add(side); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("side stream p12 -> p5 on λ2: port 5 now receives 4 concurrent streams")
+
+	if err := net.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verification passed: every participant receives every stream of their conference")
+
+	// Churn: conference A ends, a new conference C reuses its slots.
+	if err := confA.leave(net); err != nil {
+		log.Fatal(err)
+	}
+	confC := &conference{
+		name:    "C",
+		members: []int{0, 1, 2, 3},
+		chans:   []wdm.Wavelength{0, 1, 2, 3},
+	}
+	if err := confC.admit(net); err != nil {
+		log.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conference A left, conference C admitted in its place; %d multicasts live\n", net.Len())
+	fmt.Println("dynamic membership handled with zero blocking, as Theorem 1 guarantees")
+}

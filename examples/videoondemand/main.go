@@ -1,0 +1,148 @@
+// Video-on-demand: two head-end servers fan six live titles out to
+// subscriber ports, comparing what the MSW and MAW multicast models can
+// admit for the *same* demand.
+//
+// Each title is broadcast from a fixed server transmitter, i.e. a fixed
+// (port, wavelength) source slot. Under MSW a title keeps its wavelength
+// end to end, so a subscriber can watch at most one title per wavelength
+// class: wanting two titles that happen to share a wavelength is a hard
+// denial even with idle receivers. Under MAW the switch converts
+// wavelengths per destination, so any idle receiver serves any title —
+// at the price of k^2N^2 crosspoints and kN converters instead of kN^2
+// and none. This example measures that admission gap on identical
+// per-subscriber wishlists: the cost/performance trade-off of Table 1
+// expressed in workload terms.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/wdm"
+)
+
+const (
+	nPorts   = 8 // ports 0-1: head-end servers; 2-7: subscribers
+	kWaves   = 3
+	titles   = 6 // title t streams from server t%2 on wavelength t/2
+	wishSize = 3 // titles each subscriber wants
+)
+
+// titleSource returns the fixed transmitter slot of a title.
+func titleSource(t int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(t % 2), Wave: wdm.Wavelength(t / 2)}
+}
+
+type headEnd struct {
+	net    core.Network
+	model  wdm.Model
+	treeID map[int]int            // title -> live connection id
+	leaves map[int][]wdm.PortWave // title -> destination slots
+	rxBusy map[wdm.PortWave]bool  // subscriber receiver occupancy
+}
+
+func newHeadEnd(model wdm.Model) *headEnd {
+	net, err := core.New(core.Spec{N: nPorts, K: kWaves, Model: model, Architecture: core.Crossbar})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return &headEnd{
+		net: net, model: model,
+		treeID: map[int]int{}, leaves: map[int][]wdm.PortWave{},
+		rxBusy: map[wdm.PortWave]bool{},
+	}
+}
+
+// join adds subscriber port sub to title t's multicast tree if the model
+// admits it. Tree growth is modelled as release-and-rebuild with one more
+// leaf (make-before-break at the switch level).
+func (h *headEnd) join(t, sub int) bool {
+	src := titleSource(t)
+	var leaf wdm.PortWave
+	switch h.model {
+	case wdm.MSW:
+		// The only admissible receiver is the title's own wavelength.
+		leaf = wdm.PortWave{Port: wdm.Port(sub), Wave: src.Wave}
+		if h.rxBusy[leaf] {
+			return false
+		}
+	case wdm.MAW:
+		found := false
+		for w := 0; w < kWaves; w++ {
+			cand := wdm.PortWave{Port: wdm.Port(sub), Wave: wdm.Wavelength(w)}
+			if !h.rxBusy[cand] {
+				leaf, found = cand, true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	default:
+		log.Fatalf("unsupported model %v", h.model)
+	}
+
+	if id, live := h.treeID[t]; live {
+		if err := h.net.Release(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	dests := append(append([]wdm.PortWave{}, h.leaves[t]...), leaf)
+	id, err := h.net.Add(wdm.Connection{Source: src, Dests: dests})
+	if err != nil {
+		if len(h.leaves[t]) > 0 { // restore the old tree
+			old, err2 := h.net.Add(wdm.Connection{Source: src, Dests: h.leaves[t]})
+			if err2 != nil {
+				log.Fatal(err2)
+			}
+			h.treeID[t] = old
+		} else {
+			delete(h.treeID, t)
+		}
+		return false
+	}
+	h.treeID[t] = id
+	h.leaves[t] = dests
+	h.rxBusy[leaf] = true
+	return true
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Every subscriber wants wishSize distinct titles.
+	type wish struct{ sub, title int }
+	var demand []wish
+	for sub := 2; sub < nPorts; sub++ {
+		for _, t := range rng.Perm(titles)[:wishSize] {
+			demand = append(demand, wish{sub: sub, title: t})
+		}
+	}
+
+	fmt.Printf("%d subscribers x %d wanted titles = %d joins requested\n\n", nPorts-2, wishSize, len(demand))
+	results := map[wdm.Model]int{}
+	for _, model := range []wdm.Model{wdm.MSW, wdm.MAW} {
+		h := newHeadEnd(model)
+		admitted := 0
+		for _, w := range demand {
+			if h.join(w.title, w.sub) {
+				admitted++
+			}
+		}
+		if err := h.net.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		results[model] = admitted
+		cost := h.net.Cost()
+		fmt.Printf("%-4v  admitted %2d / %2d joins (%2d denied)   hardware: %3d crosspoints, %2d converters\n",
+			model, admitted, len(demand), len(demand)-admitted, cost.Crosspoints, cost.Converters)
+	}
+
+	fmt.Printf("\nMAW admits %d more joins than MSW on identical demand: wishlists that\n",
+		results[wdm.MAW]-results[wdm.MSW])
+	fmt.Println("collide on a wavelength class are only satisfiable with per-destination")
+	fmt.Println("conversion. The price is k^2N^2 vs kN^2 crosspoints plus kN converters —")
+	fmt.Println("Table 1's cost/performance trade-off, measured on a VoD workload.")
+}

@@ -1,0 +1,27 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"repro/internal/analytic"
+)
+
+// Sizing a middle stage for a target blocking probability instead of
+// strict nonblocking: at 30% link occupancy, eight middle modules
+// already push Lee blocking below 1%.
+func ExampleLeeBlocking() {
+	p := analytic.LinkOccupancy(1.2, 4, 8, 2) // 4-port modules, 8 middles, k=2
+	fmt.Printf("occupancy %.2f\n", p)
+	fmt.Printf("B(m=4) = %.4f\n", analytic.LeeBlocking(p, p, 4))
+	fmt.Printf("B(m=8) = %.4f\n", analytic.LeeBlocking(p, p, 8))
+	m, err := analytic.MinMForTarget(p, p, 0.001)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("m for B<=0.001: %d\n", m)
+	// Output:
+	// occupancy 0.30
+	// B(m=4) = 0.0677
+	// B(m=8) = 0.0046
+	// m for B<=0.001: 11
+}

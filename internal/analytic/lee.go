@@ -1,0 +1,102 @@
+// Package analytic provides classical closed-form approximations for the
+// blocking behaviour of undersized multistage networks, principally
+// Lee's independent-link model. The paper proves exact zero-blocking
+// conditions; below those bounds the network blocks with some
+// probability, and Lee's 1955 approximation is the standard analytical
+// estimate the simulation results are compared against (see
+// BenchmarkLeeVsSimulation).
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// LeeBlocking returns Lee's approximation of the point-to-point blocking
+// probability of a three-stage network with m middle modules, where each
+// first-stage and third-stage link independently carries traffic with
+// occupancy p in [0, 1]:
+//
+//	B = (1 - (1-p1)*(1-p2))^m
+//
+// with p1 the input-link and p2 the output-link occupancy. A path
+// through one middle module is free when both its links are free; the m
+// paths are treated as independent.
+func LeeBlocking(p1, p2 float64, m int) float64 {
+	if m < 1 {
+		return 1
+	}
+	p1 = clamp01(p1)
+	p2 = clamp01(p2)
+	pathBusy := 1 - (1-p1)*(1-p2)
+	return math.Pow(pathBusy, float64(m))
+}
+
+// LinkOccupancy converts an offered per-port load (Erlangs per input
+// port, i.e. the expected number of busy wavelengths out of k) into the
+// per-plane occupancy of a first-stage link in an n-port-per-module,
+// m-middle-module network: the module's n sources on one plane spread
+// their traffic over m links, so
+//
+//	p = a * n / (m * k)
+//
+// where a is the expected busy fraction of a port's k wavelengths times
+// k (i.e. mean busy wavelengths per port). The result is clamped to 1.
+func LinkOccupancy(busyWavesPerPort float64, n, m, k int) float64 {
+	if m <= 0 || k <= 0 {
+		return 1
+	}
+	return clamp01(busyWavesPerPort * float64(n) / (float64(m) * float64(k)))
+}
+
+// LeeMulticast extends the approximation to a fanout-f multicast routed
+// through a single middle module (the x = 1 strategy): the chosen middle
+// must have its input link free and all f output links free,
+//
+//	B = (1 - (1-p1)*(1-p2)^f)^m.
+//
+// For f = 1 this reduces to LeeBlocking. Splitting across x middles
+// lowers the effective f per middle; the simulation comparison uses the
+// x the router actually applies.
+func LeeMulticast(p1, p2 float64, f, m int) float64 {
+	if m < 1 {
+		return 1
+	}
+	if f < 1 {
+		return 0
+	}
+	p1 = clamp01(p1)
+	p2 = clamp01(p2)
+	pathBusy := 1 - (1-p1)*math.Pow(1-p2, float64(f))
+	return math.Pow(pathBusy, float64(m))
+}
+
+// MinMForTarget returns the smallest m with LeeBlocking(p1, p2, m) at or
+// below the target probability — the analytical "engineering" sizing
+// rule, contrasted with the paper's exact nonblocking bounds in the
+// design tools.
+func MinMForTarget(p1, p2, target float64) (int, error) {
+	if target <= 0 || target >= 1 {
+		return 0, fmt.Errorf("analytic: target probability %v must be in (0, 1)", target)
+	}
+	pathBusy := 1 - (1-clamp01(p1))*(1-clamp01(p2))
+	if pathBusy >= 1 {
+		return 0, fmt.Errorf("analytic: links saturated (occupancy %v); no m reaches the target", pathBusy)
+	}
+	if pathBusy <= 0 {
+		return 1, nil
+	}
+	m := math.Log(target) / math.Log(pathBusy)
+	return int(math.Ceil(m)), nil
+}
+
+func clamp01(v float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 1:
+		return 1
+	default:
+		return v
+	}
+}

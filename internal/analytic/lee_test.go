@@ -1,0 +1,112 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeeBlockingLimits(t *testing.T) {
+	if got := LeeBlocking(0, 0, 5); got != 0 {
+		t.Errorf("idle links: B = %v, want 0", got)
+	}
+	if got := LeeBlocking(1, 1, 5); got != 1 {
+		t.Errorf("saturated links: B = %v, want 1", got)
+	}
+	if got := LeeBlocking(0.5, 0.5, 0); got != 1 {
+		t.Errorf("no middles: B = %v, want 1", got)
+	}
+}
+
+func TestLeeBlockingKnownValue(t *testing.T) {
+	// p1 = p2 = 0.5: path busy = 0.75; m = 2: 0.5625.
+	if got := LeeBlocking(0.5, 0.5, 2); math.Abs(got-0.5625) > 1e-12 {
+		t.Errorf("B = %v, want 0.5625", got)
+	}
+}
+
+func TestLeeBlockingMonotone(t *testing.T) {
+	f := func(pRaw, mRaw uint8) bool {
+		p := float64(pRaw%100) / 100
+		m := int(mRaw%20) + 1
+		// More middles never increase blocking.
+		if LeeBlocking(p, p, m+1) > LeeBlocking(p, p, m)+1e-15 {
+			return false
+		}
+		// Higher occupancy never decreases blocking.
+		return LeeBlocking(p+0.005, p, m) >= LeeBlocking(p, p, m)-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeeBlockingClampsInputs(t *testing.T) {
+	if got := LeeBlocking(-0.5, 2.0, 3); got != 1 {
+		t.Errorf("clamped extremes: B = %v, want 1 (p2 saturated)", got)
+	}
+}
+
+func TestLeeMulticastReducesToUnicast(t *testing.T) {
+	for _, p := range []float64{0.1, 0.4, 0.9} {
+		for m := 1; m <= 8; m++ {
+			if a, b := LeeMulticast(p, p, 1, m), LeeBlocking(p, p, m); math.Abs(a-b) > 1e-12 {
+				t.Errorf("p=%v m=%d: multicast f=1 %v != unicast %v", p, m, a, b)
+			}
+		}
+	}
+}
+
+func TestLeeMulticastGrowsWithFanout(t *testing.T) {
+	prev := 0.0
+	for f := 1; f <= 8; f++ {
+		b := LeeMulticast(0.3, 0.3, f, 6)
+		if b < prev {
+			t.Errorf("fanout %d: B=%v below fanout %d's %v", f, b, f-1, prev)
+		}
+		prev = b
+	}
+	if got := LeeMulticast(0.3, 0.3, 0, 6); got != 0 {
+		t.Errorf("zero fanout: B = %v, want 0", got)
+	}
+}
+
+func TestLinkOccupancy(t *testing.T) {
+	// 4 ports per module, mean 1 busy wavelength each, 8 middles, k=2:
+	// p = 1*4/(8*2) = 0.25.
+	if got := LinkOccupancy(1, 4, 8, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("p = %v, want 0.25", got)
+	}
+	if got := LinkOccupancy(10, 4, 2, 1); got != 1 {
+		t.Errorf("overload not clamped: %v", got)
+	}
+	if got := LinkOccupancy(1, 4, 0, 2); got != 1 {
+		t.Errorf("m=0 should saturate: %v", got)
+	}
+}
+
+func TestMinMForTarget(t *testing.T) {
+	m, err := MinMForTarget(0.5, 0.5, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.75^m <= 0.001 -> m >= 24.01 -> 25.
+	if m != 25 {
+		t.Errorf("m = %d, want 25", m)
+	}
+	if b := LeeBlocking(0.5, 0.5, m); b > 0.001 {
+		t.Errorf("returned m misses target: B = %v", b)
+	}
+	if b := LeeBlocking(0.5, 0.5, m-1); b <= 0.001 {
+		t.Errorf("m not minimal: B(m-1) = %v", b)
+	}
+	if _, err := MinMForTarget(0.5, 0.5, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := MinMForTarget(1, 1, 0.01); err == nil {
+		t.Error("saturated links accepted")
+	}
+	if m, err := MinMForTarget(0, 0, 0.01); err != nil || m != 1 {
+		t.Errorf("idle links: (%d, %v), want (1, nil)", m, err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package benes implements the Beneš rearrangeable permutation network
+// and its looping routing algorithm — the classical O(N log N) baseline
+// the paper's strictly nonblocking designs are weighed against.
+//
+// A Beneš network on N = 2^t ports is built from 2x2 switches: a column
+// of N/2 input switches, two nested Beneš networks of size N/2, and a
+// column of N/2 output switches (2 log2 N - 1 columns in total). It can
+// realize *every* permutation — with rearrangement: routing is computed
+// for the whole permutation at once by the looping algorithm, unlike the
+// paper's networks which admit connections online without disturbing
+// existing ones.
+//
+// In the repository's cost story this provides the third point of the
+// classical hierarchy for unicast traffic:
+//
+//	crossbar     kN^2 crosspoints        strictly nonblocking
+//	Clos (§3)    ~kN^1.5 log/loglog      strictly nonblocking (multicast!)
+//	Beneš        2kN(2 log2 N - 1)       rearrangeable, unicast
+//
+// A WDM variant (k parallel planes, MSW-style) carries one permutation
+// per wavelength.
+package benes
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Network is a configured Beneš network of size n (a power of two).
+type Network struct {
+	n    int
+	root *config
+}
+
+// config is one recursion level's switch state.
+type config struct {
+	n                 int
+	inCross, outCross []bool // per 2x2 switch: crossed or straight
+	upper, lower      *config
+	cross             bool // base case (n == 2): the single switch
+}
+
+// New returns an unconfigured Beneš network on n ports. n must be a
+// power of two and at least 2.
+func New(n int) (*Network, error) {
+	if n < 2 || bits.OnesCount(uint(n)) != 1 {
+		return nil, fmt.Errorf("benes: n = %d must be a power of two >= 2", n)
+	}
+	return &Network{n: n}, nil
+}
+
+// Size returns the port count.
+func (b *Network) Size() int { return b.n }
+
+// Levels returns the number of switch columns: 2 log2 n - 1.
+func Levels(n int) int { return 2*bits.Len(uint(n-1)) - 1 }
+
+// Switches returns the 2x2 switch count: (n/2) * (2 log2 n - 1).
+func Switches(n int) int { return n / 2 * Levels(n) }
+
+// Crosspoints returns the crosspoint count at 4 per 2x2 switch:
+// 2n(2 log2 n - 1).
+func Crosspoints(n int) int { return 4 * Switches(n) }
+
+// RoutePermutation configures the network to realize the permutation:
+// input i connects to output perm[i]. perm must be a full permutation of
+// {0..n-1}; route partial demands by completing them (see Complete).
+// The looping algorithm decides, cycle by cycle, which input of every
+// input switch enters the upper subnetwork, then recurses.
+func (b *Network) RoutePermutation(perm []int) error {
+	if len(perm) != b.n {
+		return fmt.Errorf("benes: permutation has %d entries, want %d", len(perm), b.n)
+	}
+	seen := make([]bool, b.n)
+	for i, v := range perm {
+		if v < 0 || v >= b.n || seen[v] {
+			return fmt.Errorf("benes: not a permutation at index %d (value %d)", i, v)
+		}
+		seen[v] = true
+	}
+	cfg, err := route(perm)
+	if err != nil {
+		return err
+	}
+	b.root = cfg
+	return nil
+}
+
+func route(perm []int) (*config, error) {
+	n := len(perm)
+	if n == 2 {
+		return &config{n: 2, cross: perm[0] == 1}, nil
+	}
+	half := n / 2
+	inv := make([]int, n)
+	for i, v := range perm {
+		inv[v] = i
+	}
+
+	// subnet[i] = +1 if input i enters the upper subnetwork, -1 lower.
+	subnet := make([]int, n)
+	for start := 0; start < n; start++ {
+		if subnet[start] != 0 {
+			continue
+		}
+		// Open a new loop: send this input up, then alternate around the
+		// cycle of sibling constraints.
+		subnet[start] = +1
+		i := start
+		for {
+			// The sibling input on i's switch goes the other way.
+			j := i ^ 1
+			if subnet[j] != 0 {
+				if subnet[j] != -subnet[i] {
+					return nil, fmt.Errorf("benes: looping inconsistency at input %d", j)
+				}
+				break
+			}
+			subnet[j] = -subnet[i]
+			// j's output has a sibling on its output switch, which must
+			// be fed from the other subnetwork — follow it back to its
+			// input.
+			next := inv[perm[j]^1]
+			if subnet[next] != 0 {
+				if subnet[next] != -subnet[j] {
+					return nil, fmt.Errorf("benes: looping inconsistency at input %d", next)
+				}
+				break
+			}
+			subnet[next] = -subnet[j]
+			i = next
+		}
+	}
+
+	// Derive switch states and the two sub-permutations. Convention:
+	// straight input switch sends its even input up; straight output
+	// switch feeds its even output from the upper subnetwork.
+	cfg := &config{
+		n:        n,
+		inCross:  make([]bool, half),
+		outCross: make([]bool, half),
+	}
+	upPerm := make([]int, half)
+	downPerm := make([]int, half)
+	for s := 0; s < half; s++ {
+		evenUp := subnet[2*s] == +1
+		cfg.inCross[s] = !evenUp
+		inUp, inDown := 2*s, 2*s+1
+		if !evenUp {
+			inUp, inDown = inDown, inUp
+		}
+		upPerm[s] = perm[inUp] / 2
+		downPerm[s] = perm[inDown] / 2
+	}
+	for t := 0; t < half; t++ {
+		evenFromUp := subnet[inv[2*t]] == +1
+		cfg.outCross[t] = !evenFromUp
+	}
+
+	var err error
+	if cfg.upper, err = route(upPerm); err != nil {
+		return nil, err
+	}
+	if cfg.lower, err = route(downPerm); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// Output evaluates the configured network: the output port input i's
+// signal exits at. It panics if the network has not been routed.
+func (b *Network) Output(i int) int {
+	if b.root == nil {
+		panic("benes: network not configured; call RoutePermutation first")
+	}
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("benes: input %d out of range", i))
+	}
+	return b.root.eval(i)
+}
+
+func (c *config) eval(i int) int {
+	if c.n == 2 {
+		if c.cross {
+			return i ^ 1
+		}
+		return i
+	}
+	s := i / 2
+	goesUp := (i%2 == 0) != c.inCross[s]
+	var t int
+	if goesUp {
+		t = c.upper.eval(s)
+	} else {
+		t = c.lower.eval(s)
+	}
+	// Output switch t: straight feeds its even output from upper.
+	fromUpEven := !c.outCross[t]
+	if goesUp == fromUpEven {
+		return 2 * t
+	}
+	return 2*t + 1
+}
+
+// Complete fills a partial demand (dest[i] = -1 for idle inputs) into a
+// full permutation by matching unused inputs to unused outputs in order,
+// so RoutePermutation can route it; Output remains meaningful for the
+// demanded inputs.
+func Complete(dest []int) ([]int, error) {
+	n := len(dest)
+	out := make([]int, n)
+	usedOut := make([]bool, n)
+	for i, v := range dest {
+		out[i] = v
+		if v == -1 {
+			continue
+		}
+		if v < 0 || v >= n || usedOut[v] {
+			return nil, fmt.Errorf("benes: invalid partial demand at input %d (output %d)", i, v)
+		}
+		usedOut[v] = true
+	}
+	next := 0
+	for i, v := range out {
+		if v != -1 {
+			continue
+		}
+		for usedOut[next] {
+			next++
+		}
+		out[i] = next
+		usedOut[next] = true
+	}
+	return out, nil
+}

@@ -1,0 +1,248 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func mustRoute(t *testing.T, n int, perm []int) *Network {
+	t.Helper()
+	b, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.RoutePermutation(perm); err != nil {
+		t.Fatalf("route %v: %v", perm, err)
+	}
+	return b
+}
+
+func checkRealizes(t *testing.T, b *Network, perm []int) {
+	t.Helper()
+	for i, want := range perm {
+		if got := b.Output(i); got != want {
+			t.Fatalf("perm %v: input %d exits at %d, want %d", perm, i, got, want)
+		}
+	}
+}
+
+func TestNewValidatesSize(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 12} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+	for _, n := range []int{2, 4, 8, 64} {
+		if _, err := New(n); err != nil {
+			t.Errorf("New(%d): %v", n, err)
+		}
+	}
+}
+
+func TestBaseCase(t *testing.T) {
+	checkRealizes(t, mustRoute(t, 2, []int{0, 1}), []int{0, 1})
+	checkRealizes(t, mustRoute(t, 2, []int{1, 0}), []int{1, 0})
+}
+
+// TestAllPermutationsN4 and N8 prove rearrangeability exhaustively: the
+// looping algorithm realizes every one of the 24 / 40320 permutations.
+func TestAllPermutationsN4(t *testing.T) {
+	permute(4, func(p []int) {
+		checkRealizes(t, mustRoute(t, 4, p), p)
+	})
+}
+
+func TestAllPermutationsN8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("40320 permutations in -short mode")
+	}
+	b, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	permute(8, func(p []int) {
+		if err := b.RoutePermutation(p); err != nil {
+			t.Fatalf("route %v: %v", p, err)
+		}
+		for i, want := range p {
+			if got := b.Output(i); got != want {
+				t.Fatalf("perm %v: input %d -> %d, want %d", p, i, got, want)
+			}
+		}
+		count++
+	})
+	if count != 40320 {
+		t.Fatalf("visited %d permutations, want 8!", count)
+	}
+}
+
+func TestRandomPermutationsLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{16, 64, 256} {
+		b, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			p := rng.Perm(n)
+			if err := b.RoutePermutation(p); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			for i, want := range p {
+				if got := b.Output(i); got != want {
+					t.Fatalf("n=%d trial %d: input %d -> %d, want %d", n, trial, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRoutePermutationValidation(t *testing.T) {
+	b, _ := New(4)
+	for _, p := range [][]int{
+		{0, 1, 2},     // short
+		{0, 1, 2, 2},  // repeat
+		{0, 1, 2, 4},  // out of range
+		{0, 1, 2, -1}, // negative
+	} {
+		if err := b.RoutePermutation(p); err == nil {
+			t.Errorf("accepted %v", p)
+		}
+	}
+	// Unconfigured evaluation panics.
+	fresh, _ := New(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Output on unconfigured network did not panic")
+		}
+	}()
+	fresh.Output(0)
+}
+
+func TestCounts(t *testing.T) {
+	cases := []struct{ n, levels, switches, xpts int }{
+		{2, 1, 1, 4},
+		{4, 3, 6, 24},
+		{8, 5, 20, 80},
+		{16, 7, 56, 224},
+	}
+	for _, c := range cases {
+		if got := Levels(c.n); got != c.levels {
+			t.Errorf("Levels(%d) = %d, want %d", c.n, got, c.levels)
+		}
+		if got := Switches(c.n); got != c.switches {
+			t.Errorf("Switches(%d) = %d, want %d", c.n, got, c.switches)
+		}
+		if got := Crosspoints(c.n); got != c.xpts {
+			t.Errorf("Crosspoints(%d) = %d, want %d", c.n, got, c.xpts)
+		}
+	}
+}
+
+func TestComplete(t *testing.T) {
+	full, err := Complete([]int{3, -1, 0, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full[0] != 3 || full[2] != 0 {
+		t.Errorf("demanded entries changed: %v", full)
+	}
+	seen := map[int]bool{}
+	for _, v := range full {
+		if seen[v] {
+			t.Fatalf("not a permutation: %v", full)
+		}
+		seen[v] = true
+	}
+	if _, err := Complete([]int{0, 0, -1, -1}); err == nil {
+		t.Error("duplicate demand accepted")
+	}
+	if _, err := Complete([]int{9, -1}); err == nil {
+		t.Error("out-of-range demand accepted")
+	}
+}
+
+func TestWDMAssignment(t *testing.T) {
+	w, err := NewWDM(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := wdm.Assignment{
+		{Source: wdm.PortWave{Port: 0, Wave: 0}, Dests: []wdm.PortWave{{Port: 5, Wave: 0}}},
+		{Source: wdm.PortWave{Port: 0, Wave: 1}, Dests: []wdm.PortWave{{Port: 2, Wave: 1}}},
+		{Source: wdm.PortWave{Port: 3, Wave: 0}, Dests: []wdm.PortWave{{Port: 0, Wave: 0}}},
+	}
+	if err := w.RouteAssignment(a); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range a {
+		if got := w.Output(c.Source); got != c.Dests[0] {
+			t.Errorf("%v delivered to %v, want %v", c.Source, got, c.Dests[0])
+		}
+	}
+	if got := w.Crosspoints(); got != 2*Crosspoints(8) {
+		t.Errorf("WDM crosspoints = %d", got)
+	}
+}
+
+func TestWDMRejectsMulticast(t *testing.T) {
+	w, _ := NewWDM(4, 1)
+	a := wdm.Assignment{
+		{Source: wdm.PortWave{Port: 0}, Dests: []wdm.PortWave{{Port: 1}, {Port: 2}}},
+	}
+	if err := w.RouteAssignment(a); err == nil {
+		t.Error("multicast accepted by the unicast Beneš baseline")
+	}
+}
+
+func TestWDMRejectsWavelengthShift(t *testing.T) {
+	w, _ := NewWDM(4, 2)
+	a := wdm.Assignment{
+		{Source: wdm.PortWave{Port: 0, Wave: 0}, Dests: []wdm.PortWave{{Port: 1, Wave: 1}}},
+	}
+	if err := w.RouteAssignment(a); err == nil {
+		t.Error("wavelength-shifting connection accepted by MSW planes")
+	}
+}
+
+func TestBenesCheaperThanCrossbarAndClos(t *testing.T) {
+	// The classical hierarchy at N=1024: Beneš < Clos < crossbar.
+	n := 1024
+	benes := Crosspoints(n) // 2*1024*19 = 38,912... check: 4*(512*19)
+	crossbarCost := n * n   // k=1
+	if benes >= crossbarCost {
+		t.Errorf("Beneš %d not below crossbar %d", benes, crossbarCost)
+	}
+	// Clos (from Table 2, k=1 MSW): ~1.18M/2 at k=2 → 589,824 at k=1.
+	closCost := 589824
+	if benes >= closCost {
+		t.Errorf("Beneš %d not below Clos %d", benes, closCost)
+	}
+}
+
+// permute enumerates all permutations of {0..n-1} (Heap's algorithm).
+func permute(n int, visit func([]int)) {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			visit(p)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				p[i], p[k-1] = p[k-1], p[i]
+			} else {
+				p[0], p[k-1] = p[k-1], p[0]
+			}
+		}
+	}
+	rec(n)
+}

@@ -1,0 +1,80 @@
+package benes
+
+import "testing"
+
+// FuzzRoutePermutation derives a permutation of 8 elements from the fuzz
+// input (Lehmer-code style) and checks that the looping algorithm always
+// realizes it exactly.
+func FuzzRoutePermutation(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(40319))
+	f.Add(uint32(12345))
+	net, err := New(8)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, code uint32) {
+		perm := lehmer(8, code%40320)
+		if err := net.RoutePermutation(perm); err != nil {
+			t.Fatalf("route %v: %v", perm, err)
+		}
+		for i, want := range perm {
+			if got := net.Output(i); got != want {
+				t.Fatalf("perm %v: input %d -> %d, want %d", perm, i, got, want)
+			}
+		}
+	})
+}
+
+// lehmer decodes a factorial-number-system code into a permutation.
+func lehmer(n int, code uint32) []int {
+	avail := make([]int, n)
+	for i := range avail {
+		avail[i] = i
+	}
+	perm := make([]int, n)
+	fact := uint32(1)
+	for i := 2; i < n; i++ {
+		fact *= uint32(i)
+	}
+	for i := 0; i < n; i++ {
+		idx := int(code / fact)
+		code %= fact
+		perm[i] = avail[idx]
+		avail = append(avail[:idx], avail[idx+1:]...)
+		if n-1-i > 0 {
+			fact /= uint32(n - 1 - i)
+		}
+	}
+	return perm
+}
+
+// FuzzComplete checks the partial-demand completion never produces a
+// non-permutation from valid partial input.
+func FuzzComplete(f *testing.F) {
+	f.Add(uint16(0x3210))
+	f.Fuzz(func(t *testing.T, raw uint16) {
+		dest := make([]int, 4)
+		for i := range dest {
+			v := int(raw>>(4*i))&0x7 - 1 // -1..6
+			if v >= 4 {
+				v = -1
+			}
+			dest[i] = v
+		}
+		full, err := Complete(dest)
+		if err != nil {
+			return // invalid partial demand (dup/out of range): fine
+		}
+		seen := map[int]bool{}
+		for i, v := range full {
+			if v < 0 || v >= 4 || seen[v] {
+				t.Fatalf("Complete(%v) = %v is not a permutation", dest, full)
+			}
+			seen[v] = true
+			if dest[i] != -1 && dest[i] != v {
+				t.Fatalf("Complete(%v) changed demanded entry %d", dest, i)
+			}
+		}
+	})
+}

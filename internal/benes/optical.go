@@ -1,0 +1,193 @@
+package benes
+
+import (
+	"fmt"
+
+	"repro/internal/fabric"
+	"repro/internal/wdm"
+)
+
+// Optical is a gate-level realization of a configured Beneš network:
+// every 2x2 switch becomes two 1x2 splitters, four SOA gates and two
+// 2x1 combiners (the same technology as the paper's crossbars — a "bar"
+// or "cross" state is two gates on). Building it from real elements lets
+// the Beneš baseline be verified the same way as the crossbar designs:
+// by propagating signals and checking arrivals.
+type Optical struct {
+	n   int
+	fab *fabric.Fabric
+	// gates[level][switch] = the four gates of that 2x2 switch in
+	// (in0->out0, in0->out1, in1->out0, in1->out1) order.
+	gates [][][4]fabric.ElemID
+}
+
+// NewOptical builds the element graph for an n-port Beneš network
+// (n a power of two), with all switches dark.
+func NewOptical(n int) (*Optical, error) {
+	if _, err := New(n); err != nil {
+		return nil, err
+	}
+	o := &Optical{n: n, fab: fabric.New()}
+	levels := Levels(n)
+	o.gates = make([][][4]fabric.ElemID, levels)
+
+	// wires[i] is the element currently driving line i between columns.
+	wires := make([]fabric.ElemID, n)
+	for i := 0; i < n; i++ {
+		wires[i] = o.fab.AddInput(wdm.Port(i))
+	}
+	for lvl := 0; lvl < levels; lvl++ {
+		o.gates[lvl] = make([][4]fabric.ElemID, n/2)
+		next := make([]fabric.ElemID, n)
+		for s := 0; s < n/2; s++ {
+			in0, in1 := topology(n, lvl, s)
+			sp0 := o.fab.AddSplitter(fmt.Sprintf("L%d.S%d.split0", lvl, s))
+			sp1 := o.fab.AddSplitter(fmt.Sprintf("L%d.S%d.split1", lvl, s))
+			o.fab.Connect(wires[in0], sp0)
+			o.fab.Connect(wires[in1], sp1)
+			cb0 := o.fab.AddCombiner(fmt.Sprintf("L%d.S%d.comb0", lvl, s))
+			cb1 := o.fab.AddCombiner(fmt.Sprintf("L%d.S%d.comb1", lvl, s))
+			var g [4]fabric.ElemID
+			for gi, wire := range []struct {
+				from fabric.ElemID
+				to   fabric.ElemID
+			}{{sp0, cb0}, {sp0, cb1}, {sp1, cb0}, {sp1, cb1}} {
+				gate := o.fab.AddGate(fmt.Sprintf("L%d.S%d.g%d", lvl, s, gi))
+				o.fab.Connect(wire.from, gate)
+				o.fab.Connect(gate, wire.to)
+				g[gi] = gate
+			}
+			o.gates[lvl][s] = g
+			next[in0], next[in1] = cb0, cb1
+		}
+		wires = next
+	}
+	for i := 0; i < n; i++ {
+		out := o.fab.AddOutput(wdm.Port(i))
+		o.fab.Connect(wires[i], out)
+	}
+	if err := o.fab.Validate(); err != nil {
+		return nil, fmt.Errorf("benes: optical construction bug: %w", err)
+	}
+	return o, nil
+}
+
+// topology returns the two global line indices switch s of column lvl
+// connects, in the flattened recursive layout. Lines never move: a
+// parent switch's upper combiner stays on its in0 line, so the upper
+// subnetwork of depth d+1 lives on the lines whose d-th "choice bit" is
+// 0 (interleaved, not contiguous). collect() enumerates subnetworks
+// contiguously (upper block first), so the subnetwork index translates
+// to the physical line-path bits by a bit reversal.
+func topology(n, lvl, s int) (int, int) {
+	levels := Levels(n)
+	// Distance from the nearer edge selects the recursion depth.
+	d := lvl
+	if mirror := levels - 1 - lvl; mirror < d {
+		d = mirror
+	}
+	perSub := (n >> d) / 2 // switches per depth-d subnetwork
+	sb := s / perSub       // contiguous subnetwork index (collect's order)
+	t := s % perSub        // local switch inside the subnetwork
+	path := bitReverse(sb, d)
+	return (2*t)<<d | path, (2*t+1)<<d | path
+}
+
+// bitReverse reverses the low `bits` bits of v.
+func bitReverse(v, bits int) int {
+	out := 0
+	for i := 0; i < bits; i++ {
+		out = out<<1 | (v & 1)
+		v >>= 1
+	}
+	return out
+}
+
+// Configure drives the gates from a routed logical network: bar state
+// lights gates (in0->out0, in1->out1); cross lights (in0->out1,
+// in1->out0).
+func (o *Optical) Configure(b *Network) error {
+	if b.n != o.n {
+		return fmt.Errorf("benes: size mismatch %d vs %d", b.n, o.n)
+	}
+	if b.root == nil {
+		return fmt.Errorf("benes: network not routed")
+	}
+	states := make([][]bool, Levels(o.n))
+	for lvl := range states {
+		states[lvl] = make([]bool, o.n/2)
+	}
+	collect(b.root, 0, 0, states)
+	for lvl, col := range states {
+		for s, crossed := range col {
+			g := o.gates[lvl][s]
+			o.fab.SetGate(g[0], !crossed)
+			o.fab.SetGate(g[3], !crossed)
+			o.fab.SetGate(g[1], crossed)
+			o.fab.SetGate(g[2], crossed)
+		}
+	}
+	return nil
+}
+
+// collect flattens the recursive configuration into (column, switch)
+// cross/bar states. A config of size m contributes its input column at
+// depth d, its output column mirrored, and recurses into the middle.
+// Sub-switch indices interleave exactly as topology() lays lines out:
+// the upper subnetwork handles even pairs of the block, lower the odd
+// ones — matching the convention that a straight input switch sends its
+// even input up.
+func collect(c *config, depth, offset int, states [][]bool) {
+	if c.n == 2 {
+		states[depth][offset] = c.cross
+		return
+	}
+	half := c.n / 2
+	outCol := len(states) - 1 - depth
+	for s := 0; s < half; s++ {
+		states[depth][offset+s] = c.inCross[s]
+		states[outCol][offset+s] = c.outCross[s]
+	}
+	collect(c.upper, depth+1, offset, states)
+	collect(c.lower, depth+1, offset+half/2, states)
+}
+
+// Realize routes the permutation logically, configures the optics,
+// injects one signal per input, propagates, and checks every arrival —
+// the optical proof that the looping algorithm's switch settings carry
+// the permutation. It returns the propagation result for loss/crosstalk
+// inspection.
+func (o *Optical) Realize(perm []int) (*fabric.Result, error) {
+	logical, err := New(o.n)
+	if err != nil {
+		return nil, err
+	}
+	if err := logical.RoutePermutation(perm); err != nil {
+		return nil, err
+	}
+	if err := o.Configure(logical); err != nil {
+		return nil, err
+	}
+	o.fab.ClearSignals()
+	for i := 0; i < o.n; i++ {
+		o.fab.Inject(wdm.PortWave{Port: wdm.Port(i), Wave: 0}, i)
+	}
+	res, err := o.fab.Propagate()
+	if err != nil {
+		return nil, err
+	}
+	for i, want := range perm {
+		slot := wdm.PortWave{Port: wdm.Port(want), Wave: 0}
+		sig, ok := res.Arrived[slot]
+		if !ok {
+			return res, fmt.Errorf("benes: input %d's signal never reached output %d", i, want)
+		}
+		if sig.ID != i {
+			return res, fmt.Errorf("benes: output %d received signal %d, want %d", want, sig.ID, i)
+		}
+	}
+	return res, nil
+}
+
+// Fabric exposes the element graph (for cost audits and DOT export).
+func (o *Optical) Fabric() *fabric.Fabric { return o.fab }

@@ -1,0 +1,107 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fabric"
+)
+
+func TestOpticalCounts(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		o, err := NewOptical(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := o.Fabric().Crosspoints(), Crosspoints(n); got != want {
+			t.Errorf("n=%d: %d gates built, closed form says %d", n, got, want)
+		}
+		if got := o.Fabric().Count(fabric.Converter); got != 0 {
+			t.Errorf("n=%d: Beneš fabric has %d converters, want 0", n, got)
+		}
+		// Two splitters and two combiners per 2x2 switch.
+		if got, want := o.Fabric().Count(fabric.Splitter), 2*Switches(n); got != want {
+			t.Errorf("n=%d: %d splitters, want %d", n, got, want)
+		}
+	}
+}
+
+// TestOpticalRealizesAllPermutationsN4 propagates real signals through
+// the gate-level Beneš fabric for every permutation of 4 elements.
+func TestOpticalRealizesAllPermutationsN4(t *testing.T) {
+	o, err := NewOptical(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	permute(4, func(p []int) {
+		perm := append([]int(nil), p...)
+		if _, err := o.Realize(perm); err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		count++
+	})
+	if count != 24 {
+		t.Fatalf("visited %d permutations", count)
+	}
+}
+
+func TestOpticalRealizesRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{8, 16, 32} {
+		o, err := NewOptical(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			if _, err := o.Realize(rng.Perm(n)); err != nil {
+				t.Fatalf("n=%d trial %d: %v", n, trial, err)
+			}
+		}
+	}
+}
+
+// TestOpticalLossGrowsWithDepth: every extra switch column costs
+// splitting + gate + combining loss, so the worst-path loss grows
+// linearly with 2 log2 n - 1 — the optical argument for wide-and-
+// shallow designs at small N.
+func TestOpticalLossGrowsWithDepth(t *testing.T) {
+	losses := map[int]float64{}
+	for _, n := range []int{4, 8, 16} {
+		o, err := NewOptical(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = (i + 1) % n
+		}
+		res, err := o.Realize(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[n] = res.MaxLossDB
+		if res.MaxGates != Levels(n) {
+			t.Errorf("n=%d: path crosses %d gates, want one per column = %d", n, res.MaxGates, Levels(n))
+		}
+	}
+	if !(losses[4] < losses[8] && losses[8] < losses[16]) {
+		t.Errorf("loss not increasing with depth: %v", losses)
+	}
+}
+
+func TestOpticalConfigureValidation(t *testing.T) {
+	o, err := NewOptical(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := New(8)
+	_ = other.RoutePermutation([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	if err := o.Configure(other); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	fresh, _ := New(4)
+	if err := o.Configure(fresh); err == nil {
+		t.Error("unrouted network accepted")
+	}
+}

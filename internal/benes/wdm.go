@@ -1,0 +1,75 @@
+package benes
+
+import (
+	"fmt"
+
+	"repro/internal/wdm"
+)
+
+// WDM is the k-wavelength Beneš variant: k parallel single-wavelength
+// planes (the MSW structure of the paper's Fig. 4, applied to the Beneš
+// topology). Each plane carries one permutation; a full WDM demand is k
+// permutations at once, rearrangeably.
+type WDM struct {
+	n, k   int
+	planes []*Network
+}
+
+// NewWDM builds a k-plane Beneš network on n ports.
+func NewWDM(n, k int) (*WDM, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("benes: k = %d must be positive", k)
+	}
+	w := &WDM{n: n, k: k}
+	for p := 0; p < k; p++ {
+		plane, err := New(n)
+		if err != nil {
+			return nil, err
+		}
+		w.planes = append(w.planes, plane)
+	}
+	return w, nil
+}
+
+// RouteAssignment configures the planes to carry a unicast MSW
+// assignment: every connection has fanout 1 and keeps its wavelength
+// (Beneš switches cannot split or convert light). Unused slots idle.
+func (w *WDM) RouteAssignment(a wdm.Assignment) error {
+	d := wdm.Dim{N: w.n, K: w.k}
+	if err := d.CheckAssignment(wdm.MSW, a); err != nil {
+		return fmt.Errorf("benes: %w", err)
+	}
+	dests := make([][]int, w.k)
+	for p := range dests {
+		dests[p] = make([]int, w.n)
+		for i := range dests[p] {
+			dests[p][i] = -1
+		}
+	}
+	for _, c := range a {
+		if c.Fanout() != 1 {
+			return fmt.Errorf("benes: connection %v is multicast; the Beneš baseline is unicast-only", c)
+		}
+		dests[c.Source.Wave][c.Source.Port] = int(c.Dests[0].Port)
+	}
+	for p := 0; p < w.k; p++ {
+		full, err := Complete(dests[p])
+		if err != nil {
+			return err
+		}
+		if err := w.planes[p].RoutePermutation(full); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Output evaluates the configured plane for one input slot.
+func (w *WDM) Output(slot wdm.PortWave) wdm.PortWave {
+	out := w.planes[slot.Wave].Output(int(slot.Port))
+	return wdm.PortWave{Port: wdm.Port(out), Wave: slot.Wave}
+}
+
+// Crosspoints returns the WDM Beneš crosspoint count: k planes of
+// 2n(2 log2 n - 1).
+func (w *WDM) Crosspoints() int { return w.k * Crosspoints(w.n) }

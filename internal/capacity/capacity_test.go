@@ -1,0 +1,200 @@
+package capacity
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wdm"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func TestLemma1KnownValues(t *testing.T) {
+	// MSW: N^(Nk) full, (N+1)^(Nk) any.
+	cases := []struct {
+		n, k      int64
+		full, any int64
+	}{
+		{1, 1, 1, 2},
+		{2, 1, 4, 9},
+		{2, 2, 16, 81},
+		{3, 1, 27, 64},
+		{3, 2, 729, 4096},
+	}
+	for _, c := range cases {
+		if got := FullMSW(c.n, c.k); got.Cmp(bi(c.full)) != 0 {
+			t.Errorf("FullMSW(%d, %d) = %s, want %d", c.n, c.k, got, c.full)
+		}
+		if got := AnyMSW(c.n, c.k); got.Cmp(bi(c.any)) != 0 {
+			t.Errorf("AnyMSW(%d, %d) = %s, want %d", c.n, c.k, got, c.any)
+		}
+	}
+}
+
+func TestLemma2KnownValues(t *testing.T) {
+	// MAW full for N=2, k=2: P(4, 2)^2 = 12^2 = 144.
+	if got := FullMAW(2, 2); got.Cmp(bi(144)) != 0 {
+		t.Errorf("FullMAW(2, 2) = %s, want 144", got)
+	}
+	// MAW any for N=2, k=2: [P(4,2) + C(2,1) P(4,1) + 1]^2 = 21^2 = 441.
+	if got := AnyMAW(2, 2); got.Cmp(bi(441)) != 0 {
+		t.Errorf("AnyMAW(2, 2) = %s, want 441", got)
+	}
+	// MAW full for N=3, k=2: P(6, 2)^3 = 30^3 = 27000.
+	if got := FullMAW(3, 2); got.Cmp(bi(27000)) != 0 {
+		t.Errorf("FullMAW(3, 2) = %s, want 27000", got)
+	}
+	// MAW any for N=3, k=2: [30 + 2*6 + 1]^3 = 43^3 = 79507.
+	if got := AnyMAW(3, 2); got.Cmp(bi(79507)) != 0 {
+		t.Errorf("AnyMAW(3, 2) = %s, want 79507", got)
+	}
+}
+
+func TestK1ReducesToElectronic(t *testing.T) {
+	// Sanity check from the paper: with k = 1 every model collapses to the
+	// traditional N x N multicast network with capacity N^N / (N+1)^N.
+	for n := int64(1); n <= 8; n++ {
+		wantFull := FullElectronic(n, 1)
+		wantAny := AnyElectronic(n, 1)
+		for _, m := range wdm.Models {
+			if got := Full(m, n, 1); got.Cmp(wantFull) != 0 {
+				t.Errorf("Full(%v, N=%d, k=1) = %s, want %s", m, n, got, wantFull)
+			}
+			if got := Any(m, n, 1); got.Cmp(wantAny) != 0 {
+				t.Errorf("Any(%v, N=%d, k=1) = %s, want %s", m, n, got, wantAny)
+			}
+		}
+	}
+}
+
+func TestModelOrdering(t *testing.T) {
+	// Capacity increases in the order MSW <= MSDW <= MAW (strictly for
+	// k > 1), and even MAW is below the electronic Nk x Nk capacity.
+	for n := int64(2); n <= 5; n++ {
+		for k := int64(1); k <= 3; k++ {
+			msw, msdw, maw := FullMSW(n, k), FullMSDW(n, k), FullMAW(n, k)
+			el := FullElectronic(n, k)
+			if msw.Cmp(msdw) > 0 {
+				t.Errorf("N=%d k=%d: FullMSW %s > FullMSDW %s", n, k, msw, msdw)
+			}
+			if msdw.Cmp(maw) > 0 {
+				t.Errorf("N=%d k=%d: FullMSDW %s > FullMAW %s", n, k, msdw, maw)
+			}
+			if maw.Cmp(el) > 0 {
+				t.Errorf("N=%d k=%d: FullMAW %s > electronic %s", n, k, maw, el)
+			}
+			if k > 1 {
+				if msw.Cmp(msdw) >= 0 || msdw.Cmp(maw) >= 0 || maw.Cmp(el) >= 0 {
+					t.Errorf("N=%d k=%d: ordering not strict: %s, %s, %s, %s", n, k, msw, msdw, maw, el)
+				}
+			}
+			amsw, amsdw, amaw := AnyMSW(n, k), AnyMSDW(n, k), AnyMAW(n, k)
+			if amsw.Cmp(amsdw) > 0 || amsdw.Cmp(amaw) > 0 || amaw.Cmp(AnyElectronic(n, k)) > 0 {
+				t.Errorf("N=%d k=%d: any-assignment ordering broken", n, k)
+			}
+		}
+	}
+}
+
+func TestAnyAtLeastFull(t *testing.T) {
+	f := func(nRaw, kRaw uint8) bool {
+		n := int64(nRaw%5) + 1
+		k := int64(kRaw%3) + 1
+		for _, m := range wdm.Models {
+			if Any(m, n, k).Cmp(Full(m, n, k)) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCapacityMonotoneInN(t *testing.T) {
+	for _, m := range wdm.Models {
+		for k := int64(1); k <= 3; k++ {
+			prevFull, prevAny := bi(0), bi(0)
+			for n := int64(1); n <= 5; n++ {
+				f, a := Full(m, n, k), Any(m, n, k)
+				if f.Cmp(prevFull) <= 0 && n > 1 {
+					t.Errorf("%v k=%d: Full not increasing at N=%d", m, k, n)
+				}
+				if a.Cmp(prevAny) <= 0 && n > 1 {
+					t.Errorf("%v k=%d: Any not increasing at N=%d", m, k, n)
+				}
+				prevFull, prevAny = f, a
+			}
+		}
+	}
+}
+
+func TestInvalidDimsPanic(t *testing.T) {
+	for _, fn := range []func(int64, int64) *big.Int{FullMSW, AnyMSW, FullMSDW, AnyMSDW, FullMAW, AnyMAW, FullElectronic, AnyElectronic} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("capacity formula accepted N=0")
+				}
+			}()
+			fn(0, 1)
+		}()
+	}
+}
+
+func TestMSDWPaperIdentityK1(t *testing.T) {
+	// The paper verifies Lemma 3 at k=1 via
+	//   sum_j P(N, j) S(N, j) = N^N  and the any-variant = (N+1)^N.
+	for n := int64(1); n <= 10; n++ {
+		if got, want := FullMSDW(n, 1), FullMSW(n, 1); got.Cmp(want) != 0 {
+			t.Errorf("FullMSDW(%d, 1) = %s, want %s", n, got, want)
+		}
+		if got, want := AnyMSDW(n, 1), AnyMSW(n, 1); got.Cmp(want) != 0 {
+			t.Errorf("AnyMSDW(%d, 1) = %s, want %s", n, got, want)
+		}
+	}
+}
+
+func TestMSWHistogramMatchesEnumeration(t *testing.T) {
+	for _, d := range []wdm.Dim{{N: 2, K: 1}, {N: 3, K: 1}, {N: 2, K: 2}, {N: 3, K: 2}, {N: 2, K: 3}} {
+		closed := MSWHistogram(int64(d.N), int64(d.K))
+		enum := HistogramByConnections(wdm.MSW, d, false)
+		for c, want := range closed {
+			got := enum[c]
+			if got == nil {
+				got = bi(0)
+			}
+			if got.Cmp(want) != 0 {
+				t.Errorf("N=%d k=%d c=%d: closed form %s, enumeration %s", d.N, d.K, c, want, got)
+			}
+		}
+	}
+}
+
+func TestMSWHistogramSumsToLemma1(t *testing.T) {
+	for n := int64(1); n <= 6; n++ {
+		for k := int64(1); k <= 3; k++ {
+			sum := big.NewInt(0)
+			for _, v := range MSWHistogram(n, k) {
+				sum.Add(sum, v)
+			}
+			if want := AnyMSW(n, k); sum.Cmp(want) != 0 {
+				t.Errorf("N=%d k=%d: histogram sums to %s, Lemma 1 says %s", n, k, sum, want)
+			}
+		}
+	}
+}
+
+func TestElectronicDominatesWDM(t *testing.T) {
+	// Section 2.2: for k > 1 the WDM network is strictly weaker than the
+	// Nk x Nk electronic network under every model.
+	n, k := int64(4), int64(3)
+	el := FullElectronic(n, k)
+	for _, m := range wdm.Models {
+		if Full(m, n, k).Cmp(el) >= 0 {
+			t.Errorf("model %v capacity not below electronic", m)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package capacity
+
+import (
+	"math/big"
+	"sort"
+
+	"repro/internal/wdm"
+)
+
+// Every multicast assignment corresponds to exactly one "pairing
+// function" f mapping each output wavelength slot either to the input
+// wavelength slot it receives from or to "idle":
+//
+//   - grouping the output slots by source yields the connection set;
+//   - conversely each connection contributes its (source -> destination)
+//     pairs.
+//
+// The model-specific admissibility rules become constraints on f:
+//
+//   - MSW:  f(p, w) is idle or an input slot with the same wavelength w.
+//   - MAW:  within one output port, the non-idle values of f are distinct
+//     (otherwise one connection would use two wavelengths at one port).
+//   - MSDW: all output slots mapped to one source share a wavelength
+//     (a connection's destinations all use the same wavelength). The
+//     per-port distinctness of MAW follows automatically: two slots at one
+//     port have different wavelengths, so they cannot share a source.
+//
+// Enumerating admissible functions therefore enumerates assignments
+// bijectively; this is the basis of the brute-force capacity counts.
+
+// idle marks an unused output slot in a pairing function.
+const idle = -1
+
+// pairingAdmissible reports whether the pairing function f (indexed by
+// output-slot index, values are input-slot indices or idle) is admissible
+// under the model for an N x K network.
+func pairingAdmissible(model wdm.Model, dim wdm.Dim, f []int) bool {
+	switch model {
+	case wdm.MSW:
+		for out, in := range f {
+			if in == idle {
+				continue
+			}
+			if out%dim.K != in%dim.K {
+				return false
+			}
+		}
+		return true
+	case wdm.MAW:
+		for p := 0; p < dim.N; p++ {
+			for a := 0; a < dim.K; a++ {
+				va := f[p*dim.K+a]
+				if va == idle {
+					continue
+				}
+				for b := a + 1; b < dim.K; b++ {
+					if f[p*dim.K+b] == va {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	case wdm.MSDW:
+		// waveOf[s] = destination wavelength already seen for source s.
+		waveOf := make(map[int]int)
+		for out, in := range f {
+			if in == idle {
+				continue
+			}
+			w := out % dim.K
+			if prev, ok := waveOf[in]; ok {
+				if prev != w {
+					return false
+				}
+			} else {
+				waveOf[in] = w
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// AssignmentFromPairing converts an admissible pairing function into the
+// equivalent wdm.Assignment (connections sorted by source slot index for
+// determinism).
+func AssignmentFromPairing(dim wdm.Dim, f []int) wdm.Assignment {
+	bySource := make(map[int][]wdm.PortWave)
+	for out, in := range f {
+		if in == idle {
+			continue
+		}
+		bySource[in] = append(bySource[in], wdm.SlotFromIndex(out, dim.K))
+	}
+	sources := make([]int, 0, len(bySource))
+	for s := range bySource {
+		sources = append(sources, s)
+	}
+	sort.Ints(sources)
+	a := make(wdm.Assignment, 0, len(sources))
+	for _, s := range sources {
+		a = append(a, wdm.Connection{
+			Source: wdm.SlotFromIndex(s, dim.K),
+			Dests:  bySource[s],
+		}.Normalize())
+	}
+	return a
+}
+
+// EnumerateAssignments calls visit for every admissible assignment of the
+// network under the model: every any-multicast-assignment when full is
+// false, every full-multicast-assignment when full is true. The empty
+// assignment is included in the any case. Iteration stops early if visit
+// returns false. The assignment passed to visit is freshly allocated.
+//
+// The enumeration backtracks over pairing functions slot by slot,
+// extending only admissible prefixes, so its cost is proportional to the
+// number of admissible assignments (the capacity itself) rather than to
+// the (Nk+1)^(Nk) raw function space. Still, capacities explode quickly;
+// this is for small networks, where it verifies the closed-form lemmas
+// and the switch constructions exactly.
+func EnumerateAssignments(model wdm.Model, dim wdm.Dim, full bool, visit func(wdm.Assignment) bool) {
+	newEnumerator(model, dim, full).run(0, visit)
+}
+
+// enumerator holds the incremental state of the backtracking search. The
+// parallel counter seeds one enumerator per first-slot choice (the
+// subtrees are disjoint), which is why the state lives in a struct
+// rather than closure variables.
+type enumerator struct {
+	model wdm.Model
+	dim   wdm.Dim
+	full  bool
+	f     []int // pairing function under construction; idle = -1
+	// waveOf[s] = destination wavelength plane already used by source s
+	// (MSDW constraint); refCount[s] = how many output slots use s.
+	waveOf   []int
+	refCount []int
+}
+
+func newEnumerator(model wdm.Model, dim wdm.Dim, full bool) *enumerator {
+	slots := dim.Slots()
+	e := &enumerator{
+		model: model, dim: dim, full: full,
+		f:        make([]int, slots),
+		waveOf:   make([]int, slots),
+		refCount: make([]int, slots),
+	}
+	for i := range e.waveOf {
+		e.waveOf[i] = -1
+		e.f[i] = idle
+	}
+	return e
+}
+
+// admissibleValue reports whether assigning input slot `in` (or idle) to
+// output slot index `out` keeps the prefix admissible.
+func (e *enumerator) admissibleValue(out, in int) bool {
+	if in == idle {
+		return true
+	}
+	switch e.model {
+	case wdm.MSW:
+		return out%e.dim.K == in%e.dim.K
+	case wdm.MAW:
+		// No other already-assigned slot of the same output port may use
+		// this input (one connection may not take two wavelengths at one
+		// port).
+		port := out / e.dim.K
+		for w := 0; w < e.dim.K; w++ {
+			if o := port*e.dim.K + w; o < out && e.f[o] == in {
+				return false
+			}
+		}
+		return true
+	case wdm.MSDW:
+		return e.waveOf[in] == -1 || e.waveOf[in] == out%e.dim.K
+	default:
+		return false
+	}
+}
+
+// place and unplace update the incremental constraint state for a
+// (checked-admissible) slot assignment.
+func (e *enumerator) place(out, in int) {
+	e.f[out] = in
+	if in != idle {
+		e.refCount[in]++
+		if e.model == wdm.MSDW {
+			e.waveOf[in] = out % e.dim.K
+		}
+	}
+}
+
+func (e *enumerator) unplace(out, in int) {
+	e.f[out] = idle
+	if in != idle {
+		e.refCount[in]--
+		if e.model == wdm.MSDW && e.refCount[in] == 0 {
+			e.waveOf[in] = -1
+		}
+	}
+}
+
+// run enumerates all admissible completions of the prefix [0, startSlot)
+// already placed in e. It returns false if visit stopped the search.
+func (e *enumerator) run(startSlot int, visit func(wdm.Assignment) bool) bool {
+	slots := e.dim.Slots()
+	var rec func(out int) bool
+	rec = func(out int) bool {
+		if out == slots {
+			return visit(AssignmentFromPairing(e.dim, e.f))
+		}
+		lo := idle
+		if e.full {
+			lo = 0
+		}
+		for in := lo; in < slots; in++ {
+			if !e.admissibleValue(out, in) {
+				continue
+			}
+			e.place(out, in)
+			ok := rec(out + 1)
+			e.unplace(out, in)
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(startSlot)
+}
+
+// CountByEnumeration counts admissible assignments by direct enumeration.
+// It is the independent check for Full and Any.
+func CountByEnumeration(model wdm.Model, dim wdm.Dim, full bool) *big.Int {
+	count := big.NewInt(0)
+	one := big.NewInt(1)
+	EnumerateAssignments(model, dim, full, func(wdm.Assignment) bool {
+		count.Add(count, one)
+		return true
+	})
+	return count
+}

@@ -1,0 +1,161 @@
+package capacity
+
+import (
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// TestEnumerationMatchesLemmas is the central verification experiment for
+// Section 2.2: for every model and every small network size, the
+// brute-force count of admissible assignments must equal the closed-form
+// capacity of Lemmas 1-3.
+func TestEnumerationMatchesLemmas(t *testing.T) {
+	dims := []wdm.Dim{
+		{N: 1, K: 1},
+		{N: 1, K: 2},
+		{N: 1, K: 3},
+		{N: 2, K: 1},
+		{N: 2, K: 2},
+		{N: 3, K: 1},
+		{N: 2, K: 3},
+		{N: 3, K: 2},
+	}
+	for _, d := range dims {
+		for _, m := range wdm.Models {
+			gotFull := CountByEnumeration(m, d, true)
+			wantFull := Full(m, int64(d.N), int64(d.K))
+			if gotFull.Cmp(wantFull) != 0 {
+				t.Errorf("%v N=%d k=%d: enumerated full = %s, lemma = %s", m, d.N, d.K, gotFull, wantFull)
+			}
+			gotAny := CountByEnumeration(m, d, false)
+			wantAny := Any(m, int64(d.N), int64(d.K))
+			if gotAny.Cmp(wantAny) != 0 {
+				t.Errorf("%v N=%d k=%d: enumerated any = %s, lemma = %s", m, d.N, d.K, gotAny, wantAny)
+			}
+		}
+	}
+}
+
+// TestEnumeratedAssignmentsAreAdmissible routes every enumerated
+// assignment through the model validator: the enumeration must produce
+// only admissible assignments (and for full mode, only full ones).
+func TestEnumeratedAssignmentsAreAdmissible(t *testing.T) {
+	d := wdm.Dim{N: 2, K: 2}
+	for _, m := range wdm.Models {
+		EnumerateAssignments(m, d, false, func(a wdm.Assignment) bool {
+			if err := d.CheckAssignment(m, a); err != nil {
+				t.Fatalf("%v: enumerated inadmissible assignment %v: %v", m, a, err)
+			}
+			return true
+		})
+		EnumerateAssignments(m, d, true, func(a wdm.Assignment) bool {
+			if err := d.CheckAssignment(m, a); err != nil {
+				t.Fatalf("%v full: inadmissible %v: %v", m, a, err)
+			}
+			if !a.IsFull(d.N, d.K) {
+				t.Fatalf("%v: full enumeration produced partial assignment %v", m, a)
+			}
+			return true
+		})
+	}
+}
+
+// TestEnumerationDistinct checks the function<->assignment bijection: no
+// assignment may be produced twice.
+func TestEnumerationDistinct(t *testing.T) {
+	d := wdm.Dim{N: 2, K: 2}
+	for _, m := range wdm.Models {
+		seen := make(map[string]bool)
+		EnumerateAssignments(m, d, false, func(a wdm.Assignment) bool {
+			key := ""
+			for _, c := range a {
+				key += c.String() + ";"
+			}
+			if seen[key] {
+				t.Fatalf("%v: assignment %q produced twice", m, key)
+			}
+			seen[key] = true
+			return true
+		})
+	}
+}
+
+// TestEnumerationAgreesWithOracle rebuilds each enumerated assignment's
+// pairing function and checks it against pairingAdmissible — an
+// independent statement of the model constraints, kept as an oracle for
+// the backtracking enumerator.
+func TestEnumerationAgreesWithOracle(t *testing.T) {
+	d := wdm.Dim{N: 2, K: 2}
+	for _, m := range wdm.Models {
+		EnumerateAssignments(m, d, false, func(a wdm.Assignment) bool {
+			f := make([]int, d.Slots())
+			for i := range f {
+				f[i] = idle
+			}
+			for _, c := range a {
+				for _, dst := range c.Dests {
+					f[dst.Index(d.K)] = c.Source.Index(d.K)
+				}
+			}
+			if !pairingAdmissible(m, d, f) {
+				t.Fatalf("%v: enumerator produced pairing %v the oracle rejects", m, f)
+			}
+			return true
+		})
+	}
+}
+
+// TestEnumerationEarlyStop verifies visit's false return stops iteration.
+func TestEnumerationEarlyStop(t *testing.T) {
+	d := wdm.Dim{N: 2, K: 2}
+	n := 0
+	EnumerateAssignments(wdm.MSW, d, false, func(wdm.Assignment) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Errorf("early stop visited %d assignments, want 10", n)
+	}
+}
+
+// TestEnumerationIncludesEmpty verifies the empty assignment (all slots
+// idle) counts as an any-multicast-assignment.
+func TestEnumerationIncludesEmpty(t *testing.T) {
+	d := wdm.Dim{N: 2, K: 1}
+	sawEmpty := false
+	EnumerateAssignments(wdm.MAW, d, false, func(a wdm.Assignment) bool {
+		if len(a) == 0 {
+			sawEmpty = true
+		}
+		return true
+	})
+	if !sawEmpty {
+		t.Error("empty assignment never enumerated")
+	}
+}
+
+// TestAssignmentFromPairing spot-checks the conversion on a hand-built
+// pairing function.
+func TestAssignmentFromPairing(t *testing.T) {
+	d := wdm.Dim{N: 2, K: 2}
+	// Output slots: 0=(p0,w0) 1=(p0,w1) 2=(p1,w0) 3=(p1,w1).
+	// f: (p0,w0) and (p1,w0) from input slot 0 = (p0,w0); (p1,w1) from
+	// input slot 3 = (p1,w1); (p0,w1) idle.
+	f := []int{0, idle, 0, 3}
+	a := AssignmentFromPairing(d, f)
+	if len(a) != 2 {
+		t.Fatalf("got %d connections, want 2", len(a))
+	}
+	c0 := a[0]
+	if c0.Source != (wdm.PortWave{Port: 0, Wave: 0}) || c0.Fanout() != 2 {
+		t.Errorf("first connection wrong: %v", c0)
+	}
+	c1 := a[1]
+	if c1.Source != (wdm.PortWave{Port: 1, Wave: 1}) || c1.Fanout() != 1 {
+		t.Errorf("second connection wrong: %v", c1)
+	}
+	if err := d.CheckAssignment(wdm.MSW, a); err != nil {
+		t.Errorf("hand-built assignment inadmissible: %v", err)
+	}
+}

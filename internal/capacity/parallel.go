@@ -1,0 +1,101 @@
+package capacity
+
+import (
+	"math/big"
+	"runtime"
+	"sync"
+
+	"repro/internal/wdm"
+)
+
+// CountParallel counts admissible assignments like CountByEnumeration but
+// fans the enumeration out over worker goroutines. The search tree is
+// partitioned by the first output slot's pairing choice (idle or any
+// admissible input slot): each choice roots an independent subtree, so
+// workers share nothing and the partial counts add up exactly.
+//
+// workers <= 0 selects GOMAXPROCS. The result is identical to the serial
+// count for every model and size (tested), which is what makes the
+// parallel path trustworthy for the larger verification sweeps.
+func CountParallel(model wdm.Model, dim wdm.Dim, full bool, workers int) *big.Int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	slots := dim.Slots()
+	if slots == 0 {
+		return big.NewInt(0)
+	}
+
+	// Roots: admissible values for output slot 0.
+	var roots []int
+	if !full {
+		roots = append(roots, idle)
+	}
+	for in := 0; in < slots; in++ {
+		if rootAdmissible(model, dim, in) {
+			roots = append(roots, in)
+		}
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := big.NewInt(0)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub := big.NewInt(0)
+			one := big.NewInt(1)
+			for root := range jobs {
+				e := newEnumerator(model, dim, full)
+				e.place(0, root)
+				e.run(1, func(wdm.Assignment) bool {
+					sub.Add(sub, one)
+					return true
+				})
+				e.unplace(0, root)
+			}
+			mu.Lock()
+			total.Add(total, sub)
+			mu.Unlock()
+		}()
+	}
+	for _, r := range roots {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	return total
+}
+
+// rootAdmissible reports whether input slot in may pair with output slot
+// 0 in an otherwise empty assignment.
+func rootAdmissible(model wdm.Model, dim wdm.Dim, in int) bool {
+	if model == wdm.MSW {
+		return in%dim.K == 0 // output slot 0 is wavelength 0
+	}
+	return true
+}
+
+// HistogramByConnections enumerates the admissible assignments and
+// tallies them by how many multicast connections each carries — the
+// fine structure underneath the Lemma 1-3 totals (e.g. how much of the
+// MAW capacity comes from heavily aggregated multicasts vs many
+// unicasts). Feasible for the same small sizes as the other enumeration
+// tools.
+func HistogramByConnections(model wdm.Model, dim wdm.Dim, full bool) map[int]*big.Int {
+	hist := make(map[int]*big.Int)
+	one := big.NewInt(1)
+	EnumerateAssignments(model, dim, full, func(a wdm.Assignment) bool {
+		c, ok := hist[len(a)]
+		if !ok {
+			c = big.NewInt(0)
+			hist[len(a)] = c
+		}
+		c.Add(c, one)
+		return true
+	})
+	return hist
+}

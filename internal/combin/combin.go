@@ -1,0 +1,200 @@
+// Package combin provides the exact integer combinatorics used by the
+// multicast-capacity formulas of Yang, Wang and Qiao's "Nonblocking WDM
+// Multicast Switching Networks": falling factorials P(x,i), binomial
+// coefficients, Stirling numbers of the second kind S(n,j), integer powers
+// and integer root tests.
+//
+// All results are *exact* (math/big); the capacity of even a small WDM
+// switch overflows int64 (e.g. the MAW capacity of an 8x8 4-wavelength
+// switch has more than 50 decimal digits), so nothing in this package uses
+// floating point.
+package combin
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Falling returns the falling factorial
+//
+//	P(x, i) = x (x-1) ... (x-i+1),
+//
+// the number of ways to injectively assign i distinguishable items to x
+// slots. By convention P(x, 0) = 1. Falling panics if i < 0.
+// If i > x (with x >= 0) the product contains a zero term and the result
+// is 0, matching the combinatorial meaning.
+func Falling(x, i int64) *big.Int {
+	if i < 0 {
+		panic(fmt.Sprintf("combin: Falling(%d, %d): negative i", x, i))
+	}
+	result := big.NewInt(1)
+	var term big.Int
+	for t := int64(0); t < i; t++ {
+		f := x - t
+		if f == 0 {
+			return big.NewInt(0)
+		}
+		result.Mul(result, term.SetInt64(f))
+	}
+	return result
+}
+
+// Binomial returns the binomial coefficient C(n, k). It panics if n or k is
+// negative; it returns 0 when k > n, matching the combinatorial meaning.
+func Binomial(n, k int64) *big.Int {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("combin: Binomial(%d, %d): negative argument", n, k))
+	}
+	if k > n {
+		return big.NewInt(0)
+	}
+	return new(big.Int).Binomial(n, k)
+}
+
+// Factorial returns n!. It panics if n is negative.
+func Factorial(n int64) *big.Int {
+	if n < 0 {
+		panic(fmt.Sprintf("combin: Factorial(%d): negative argument", n))
+	}
+	return new(big.Int).MulRange(1, n)
+}
+
+// Pow returns base**exp for non-negative exp. It panics if exp is negative.
+func Pow(base *big.Int, exp int64) *big.Int {
+	if exp < 0 {
+		panic(fmt.Sprintf("combin: Pow(_, %d): negative exponent", exp))
+	}
+	return new(big.Int).Exp(base, big.NewInt(exp), nil)
+}
+
+// PowInt64 returns base**exp as a big integer for int64 base and
+// non-negative exp.
+func PowInt64(base, exp int64) *big.Int {
+	return Pow(big.NewInt(base), exp)
+}
+
+// stirlingCache memoizes rows of the Stirling-number triangle. Rows are
+// computed once per process and shared; access is guarded by a mutex
+// because benchmarks exercise the formulas from parallel goroutines.
+var stirlingCache = struct {
+	sync.Mutex
+	rows [][]*big.Int // rows[n][j] = S(n, j), j in [0, n]
+}{}
+
+// Stirling2 returns S(n, j), the Stirling number of the second kind: the
+// number of ways to partition a set of n elements into j non-empty
+// unlabelled groups. S(0, 0) = 1; S(n, 0) = 0 for n > 0; S(n, j) = 0 for
+// j > n. Stirling2 panics on negative arguments.
+//
+// The paper's Lemma 3 uses S(N, j) to count the ways the N copies of an
+// output wavelength (one per output port) can be divided into the
+// destination sets of j distinct multicast connections.
+func Stirling2(n, j int64) *big.Int {
+	if n < 0 || j < 0 {
+		panic(fmt.Sprintf("combin: Stirling2(%d, %d): negative argument", n, j))
+	}
+	if j > n {
+		return big.NewInt(0)
+	}
+	stirlingCache.Lock()
+	defer stirlingCache.Unlock()
+	for int64(len(stirlingCache.rows)) <= n {
+		m := int64(len(stirlingCache.rows))
+		row := make([]*big.Int, m+1)
+		if m == 0 {
+			row[0] = big.NewInt(1)
+		} else {
+			prev := stirlingCache.rows[m-1]
+			row[0] = big.NewInt(0)
+			for q := int64(1); q <= m; q++ {
+				// S(m, q) = q*S(m-1, q) + S(m-1, q-1)
+				v := new(big.Int)
+				if q < m {
+					v.Mul(big.NewInt(q), prev[q])
+				}
+				v.Add(v, prev[q-1])
+				row[q] = v
+			}
+		}
+		stirlingCache.rows = append(stirlingCache.rows, row)
+	}
+	return new(big.Int).Set(stirlingCache.rows[n][j])
+}
+
+// Bell returns the n-th Bell number, the total number of partitions of an
+// n-element set: Bell(n) = sum_j S(n, j). Used only as a cross-check of the
+// Stirling triangle in tests and verification tools.
+func Bell(n int64) *big.Int {
+	sum := big.NewInt(0)
+	for j := int64(0); j <= n; j++ {
+		sum.Add(sum, Stirling2(n, j))
+	}
+	return sum
+}
+
+// RootExceeds reports whether r**(1/x) > t for positive integers r, x and
+// non-negative integer t, i.e. whether r > t**x, using exact integer
+// arithmetic. The nonblocking conditions of Theorems 1 and 2 compare an
+// integer middle-stage count against expressions containing r^(1/x); this
+// predicate lets those comparisons avoid floating point entirely.
+func RootExceeds(r, x, t int64) bool {
+	if r <= 0 || x <= 0 {
+		panic(fmt.Sprintf("combin: RootExceeds(%d, %d, %d): r and x must be positive", r, x, t))
+	}
+	if t < 0 {
+		return true
+	}
+	return big.NewInt(r).Cmp(PowInt64(t, x)) > 0
+}
+
+// CeilRoot returns ceil(r**(1/x)) for positive integers r and x, computed
+// exactly.
+func CeilRoot(r, x int64) int64 {
+	if r <= 0 || x <= 0 {
+		panic(fmt.Sprintf("combin: CeilRoot(%d, %d): arguments must be positive", r, x))
+	}
+	// Find the smallest t with t**x >= r.
+	lo, hi := int64(1), int64(1)
+	for !RootAtLeast(hi, x, r) {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if RootAtLeast(mid, x, r) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// RootAtLeast reports whether t**x >= r using exact integer arithmetic.
+func RootAtLeast(t, x, r int64) bool {
+	return PowInt64(t, x).Cmp(big.NewInt(r)) >= 0
+}
+
+// CeilRootBig returns the smallest positive integer t with t**x >= c, for
+// positive c and x. It is the arbitrary-precision variant of CeilRoot,
+// needed because the nonblocking conditions evaluate (n-1)^x * r, which
+// overflows int64 for large switch modules.
+func CeilRootBig(c *big.Int, x int64) int64 {
+	if x <= 0 || c.Sign() <= 0 {
+		panic(fmt.Sprintf("combin: CeilRootBig(%s, %d): arguments must be positive", c, x))
+	}
+	atLeast := func(t int64) bool { return PowInt64(t, x).Cmp(c) >= 0 }
+	lo, hi := int64(1), int64(1)
+	for !atLeast(hi) {
+		hi *= 2
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if atLeast(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

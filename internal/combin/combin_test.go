@@ -1,0 +1,322 @@
+package combin
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func TestFallingKnownValues(t *testing.T) {
+	cases := []struct {
+		x, i int64
+		want int64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 1, 5},
+		{5, 2, 20},
+		{5, 5, 120},
+		{5, 6, 0}, // more items than slots
+		{3, 4, 0}, // ditto
+		{10, 3, 720},
+		{1, 1, 1},
+		{12, 2, 132},
+	}
+	for _, c := range cases {
+		got := Falling(c.x, c.i)
+		if got.Cmp(bi(c.want)) != 0 {
+			t.Errorf("Falling(%d, %d) = %s, want %d", c.x, c.i, got, c.want)
+		}
+	}
+}
+
+func TestFallingNegativeIPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Falling(3, -1) did not panic")
+		}
+	}()
+	Falling(3, -1)
+}
+
+func TestFallingEqualsBinomialTimesFactorial(t *testing.T) {
+	// P(x, i) = C(x, i) * i! for 0 <= i <= x.
+	for x := int64(0); x <= 20; x++ {
+		for i := int64(0); i <= x; i++ {
+			want := new(big.Int).Mul(Binomial(x, i), Factorial(i))
+			got := Falling(x, i)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("P(%d,%d) = %s, want C*i! = %s", x, i, got, want)
+			}
+		}
+	}
+}
+
+func TestBinomialKnownValues(t *testing.T) {
+	cases := []struct {
+		n, k, want int64
+	}{
+		{0, 0, 1},
+		{5, 0, 1},
+		{5, 2, 10},
+		{5, 5, 1},
+		{5, 6, 0},
+		{10, 5, 252},
+		{52, 5, 2598960},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got.Cmp(bi(c.want)) != 0 {
+			t.Errorf("Binomial(%d, %d) = %s, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPascalIdentity(t *testing.T) {
+	// C(n, k) = C(n-1, k-1) + C(n-1, k), checked by testing/quick.
+	f := func(nRaw, kRaw uint8) bool {
+		n := int64(nRaw%40) + 1
+		k := int64(kRaw%40) + 1
+		lhs := Binomial(n, k)
+		rhs := new(big.Int).Add(Binomial(n-1, k-1), Binomial(n-1, k))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Binomial(-1, 2) did not panic")
+		}
+	}()
+	Binomial(-1, 2)
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040}
+	for n, w := range want {
+		if got := Factorial(int64(n)); got.Cmp(bi(w)) != 0 {
+			t.Errorf("Factorial(%d) = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := PowInt64(3, 4); got.Cmp(bi(81)) != 0 {
+		t.Errorf("PowInt64(3, 4) = %s, want 81", got)
+	}
+	if got := PowInt64(7, 0); got.Cmp(bi(1)) != 0 {
+		t.Errorf("PowInt64(7, 0) = %s, want 1", got)
+	}
+	if got := PowInt64(0, 0); got.Cmp(bi(1)) != 0 {
+		t.Errorf("PowInt64(0, 0) = %s, want 1 (empty product)", got)
+	}
+}
+
+func TestPowNegativeExponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pow with negative exponent did not panic")
+		}
+	}()
+	PowInt64(2, -1)
+}
+
+func TestStirling2KnownValues(t *testing.T) {
+	cases := []struct {
+		n, j, want int64
+	}{
+		{0, 0, 1},
+		{1, 0, 0},
+		{1, 1, 1},
+		{3, 2, 3},
+		{4, 2, 7},
+		{5, 3, 25},
+		{6, 3, 90},
+		{7, 4, 350},
+		{9, 3, 3025},
+		{10, 3, 9330},
+		{10, 5, 42525},
+		{5, 6, 0},
+	}
+	for _, c := range cases {
+		if got := Stirling2(c.n, c.j); got.Cmp(bi(c.want)) != 0 {
+			t.Errorf("Stirling2(%d, %d) = %s, want %d", c.n, c.j, got, c.want)
+		}
+	}
+}
+
+func TestStirling2Recurrence(t *testing.T) {
+	// S(n, j) = j*S(n-1, j) + S(n-1, j-1), independently of the cached
+	// triangle construction order.
+	f := func(nRaw, jRaw uint8) bool {
+		n := int64(nRaw%30) + 1
+		j := int64(jRaw%30) + 1
+		lhs := Stirling2(n, j)
+		rhs := new(big.Int).Mul(bi(j), Stirling2(n-1, j))
+		rhs.Add(rhs, Stirling2(n-1, j-1))
+		return lhs.Cmp(rhs) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStirling2ExplicitFormula(t *testing.T) {
+	// S(n, j) = (1/j!) * sum_{i=0}^{j} (-1)^i C(j, i) (j-i)^n.
+	for n := int64(0); n <= 12; n++ {
+		for j := int64(0); j <= n; j++ {
+			sum := new(big.Int)
+			for i := int64(0); i <= j; i++ {
+				term := new(big.Int).Mul(Binomial(j, i), PowInt64(j-i, n))
+				if i%2 == 1 {
+					sum.Sub(sum, term)
+				} else {
+					sum.Add(sum, term)
+				}
+			}
+			fact := Factorial(j)
+			if new(big.Int).Mod(sum, fact).Sign() != 0 {
+				t.Fatalf("explicit Stirling sum for (%d, %d) not divisible by %d!", n, j, j)
+			}
+			want := sum.Div(sum, fact)
+			if got := Stirling2(n, j); got.Cmp(want) != 0 {
+				t.Errorf("Stirling2(%d, %d) = %s, want %s", n, j, got, want)
+			}
+		}
+	}
+}
+
+func TestStirlingRowSumsToBell(t *testing.T) {
+	// Bell numbers: 1, 1, 2, 5, 15, 52, 203, 877, 4140.
+	want := []int64{1, 1, 2, 5, 15, 52, 203, 877, 4140}
+	for n, w := range want {
+		if got := Bell(int64(n)); got.Cmp(bi(w)) != 0 {
+			t.Errorf("Bell(%d) = %s, want %d", n, got, w)
+		}
+	}
+}
+
+func TestStirling2ConcurrentAccess(t *testing.T) {
+	// The cache must be safe under concurrent growth.
+	done := make(chan bool)
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			for n := int64(0); n < 40; n++ {
+				Stirling2(n+seed%3, n/2)
+			}
+			done <- true
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := Stirling2(10, 5); got.Cmp(bi(42525)) != 0 {
+		t.Errorf("Stirling2(10,5) after concurrent access = %s, want 42525", got)
+	}
+}
+
+func TestRootExceeds(t *testing.T) {
+	cases := []struct {
+		r, x, t int64
+		want    bool
+	}{
+		{8, 3, 1, true},  // 8^(1/3) = 2 > 1
+		{8, 3, 2, false}, // 2 > 2 is false
+		{9, 2, 2, true},  // 3 > 2
+		{9, 2, 3, false}, // 3 > 3 is false
+		{10, 1, 9, true}, // 10 > 9
+		{10, 1, 10, false},
+		{7, 2, -1, true}, // any positive root exceeds a negative t
+		{1, 5, 0, true},  // 1 > 0
+	}
+	for _, c := range cases {
+		if got := RootExceeds(c.r, c.x, c.t); got != c.want {
+			t.Errorf("RootExceeds(%d, %d, %d) = %v, want %v", c.r, c.x, c.t, got, c.want)
+		}
+	}
+}
+
+func TestCeilRoot(t *testing.T) {
+	cases := []struct {
+		r, x, want int64
+	}{
+		{1, 1, 1},
+		{8, 3, 2},
+		{9, 3, 3}, // 2^3 = 8 < 9 <= 27
+		{16, 2, 4},
+		{17, 2, 5},
+		{1000000, 2, 1000},
+		{1000001, 2, 1001},
+		{64, 6, 2},
+		{63, 6, 2},
+		{65, 6, 3},
+	}
+	for _, c := range cases {
+		if got := CeilRoot(c.r, c.x); got != c.want {
+			t.Errorf("CeilRoot(%d, %d) = %d, want %d", c.r, c.x, got, c.want)
+		}
+	}
+}
+
+func TestCeilRootBig(t *testing.T) {
+	// Agreement with the int64 version in the shared range.
+	for r := int64(1); r <= 2000; r += 37 {
+		for x := int64(1); x <= 5; x++ {
+			want := CeilRoot(r, x)
+			got := CeilRootBig(big.NewInt(r), x)
+			if got != want {
+				t.Fatalf("CeilRootBig(%d, %d) = %d, want %d", r, x, got, want)
+			}
+		}
+	}
+	// A value beyond int64: (10^25)^(1/5) = 10^5.
+	huge := new(big.Int).Exp(bi(10), bi(25), nil)
+	if got := CeilRootBig(huge, 5); got != 100000 {
+		t.Errorf("CeilRootBig(10^25, 5) = %d, want 100000", got)
+	}
+	huge.Add(huge, bi(1))
+	if got := CeilRootBig(huge, 5); got != 100001 {
+		t.Errorf("CeilRootBig(10^25+1, 5) = %d, want 100001", got)
+	}
+}
+
+func TestCeilRootBigPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { CeilRootBig(bi(0), 2) },
+		func() { CeilRootBig(bi(5), 0) },
+		func() { CeilRootBig(bi(-3), 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("CeilRootBig accepted invalid arguments")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCeilRootMatchesDefinition(t *testing.T) {
+	f := func(rRaw uint16, xRaw uint8) bool {
+		r := int64(rRaw%5000) + 1
+		x := int64(xRaw%6) + 1
+		c := CeilRoot(r, x)
+		// c^x >= r and (c-1)^x < r.
+		if !RootAtLeast(c, x, r) {
+			return false
+		}
+		if c > 1 && RootAtLeast(c-1, x, r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,22 @@
+package combin_test
+
+import (
+	"fmt"
+
+	"repro/internal/combin"
+)
+
+// The ingredients of the paper's capacity formulas: falling factorials
+// (injective pairings), Stirling numbers (destination groupings), exact
+// integer root comparisons (the theorems' r^(1/x) terms).
+func ExampleStirling2() {
+	// S(4, 2): ways to split 4 output-port copies of a wavelength into 2
+	// multicast groups.
+	fmt.Println(combin.Stirling2(4, 2))
+	fmt.Println(combin.Falling(6, 2)) // P(6,2): ordered source choices
+	fmt.Println(combin.CeilRoot(100, 3))
+	// Output:
+	// 7
+	// 30
+	// 5
+}

@@ -1,0 +1,117 @@
+package combin
+
+// Tuples calls fn once for every tuple t of length k with t[i] in
+// [lo, hi] (inclusive), in lexicographic order. If fn returns false the
+// iteration stops early. The tuple slice is reused between calls; callers
+// that retain it must copy it.
+//
+// Lemma 3's capacity sums range over all tuples (j_1, ..., j_k) with
+// 1 <= j_i <= N; this iterator drives those sums and the brute-force
+// assignment enumerators.
+func Tuples(k int, lo, hi int64, fn func(t []int64) bool) {
+	if k < 0 {
+		panic("combin: Tuples: negative length")
+	}
+	if hi < lo {
+		return // empty range: no tuples at all (even length-0? see below)
+	}
+	t := make([]int64, k)
+	for i := range t {
+		t[i] = lo
+	}
+	for {
+		if !fn(t) {
+			return
+		}
+		// Odometer increment.
+		i := k - 1
+		for ; i >= 0; i-- {
+			if t[i] < hi {
+				t[i]++
+				break
+			}
+			t[i] = lo
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// MixedRadix calls fn once for every tuple t with 0 <= t[i] < radix[i],
+// in lexicographic order, stopping early if fn returns false. The tuple
+// slice is reused between calls. If any radix is zero there are no tuples.
+func MixedRadix(radix []int64, fn func(t []int64) bool) {
+	for _, r := range radix {
+		if r <= 0 {
+			return
+		}
+	}
+	t := make([]int64, len(radix))
+	for {
+		if !fn(t) {
+			return
+		}
+		i := len(t) - 1
+		for ; i >= 0; i-- {
+			if t[i] < radix[i]-1 {
+				t[i]++
+				break
+			}
+			t[i] = 0
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// Subsets calls fn once for every subset of {0, ..., n-1}, presented as a
+// bitmask, in increasing mask order. Stops early if fn returns false.
+// n must be at most 62.
+func Subsets(n int, fn func(mask uint64) bool) {
+	if n < 0 || n > 62 {
+		panic("combin: Subsets: n out of range [0, 62]")
+	}
+	total := uint64(1) << uint(n)
+	for mask := uint64(0); mask < total; mask++ {
+		if !fn(mask) {
+			return
+		}
+	}
+}
+
+// KSubsets calls fn once for every k-element subset of {0, ..., n-1},
+// presented as a sorted index slice, in lexicographic order. The slice is
+// reused between calls. Stops early if fn returns false.
+func KSubsets(n, k int, fn func(idx []int) bool) {
+	if k < 0 || n < 0 {
+		panic("combin: KSubsets: negative argument")
+	}
+	if k > n {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		if !fn(idx) {
+			return
+		}
+		// Advance to the next combination.
+		i := k - 1
+		for ; i >= 0; i-- {
+			if idx[i] < n-k+i {
+				break
+			}
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package combin
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTuplesCount(t *testing.T) {
+	cases := []struct {
+		k      int
+		lo, hi int64
+		want   int
+	}{
+		{1, 1, 5, 5},
+		{2, 1, 3, 9},
+		{3, 0, 1, 8},
+		{2, 2, 2, 1},
+		{2, 3, 2, 0}, // empty range
+	}
+	for _, c := range cases {
+		n := 0
+		Tuples(c.k, c.lo, c.hi, func([]int64) bool { n++; return true })
+		if n != c.want {
+			t.Errorf("Tuples(k=%d, %d..%d) visited %d tuples, want %d", c.k, c.lo, c.hi, n, c.want)
+		}
+	}
+}
+
+func TestTuplesLexOrder(t *testing.T) {
+	var got [][]int64
+	Tuples(2, 1, 2, func(tp []int64) bool {
+		cp := append([]int64(nil), tp...)
+		got = append(got, cp)
+		return true
+	})
+	want := [][]int64{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tuples order = %v, want %v", got, want)
+	}
+}
+
+func TestTuplesEarlyStop(t *testing.T) {
+	n := 0
+	Tuples(3, 0, 9, func([]int64) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Errorf("early stop visited %d tuples, want 7", n)
+	}
+}
+
+func TestMixedRadixCount(t *testing.T) {
+	n := 0
+	MixedRadix([]int64{2, 3, 4}, func([]int64) bool { n++; return true })
+	if n != 24 {
+		t.Errorf("MixedRadix(2,3,4) visited %d, want 24", n)
+	}
+}
+
+func TestMixedRadixZeroRadix(t *testing.T) {
+	n := 0
+	MixedRadix([]int64{2, 0, 4}, func([]int64) bool { n++; return true })
+	if n != 0 {
+		t.Errorf("MixedRadix with zero radix visited %d, want 0", n)
+	}
+}
+
+func TestMixedRadixValuesInRange(t *testing.T) {
+	radix := []int64{3, 1, 5}
+	MixedRadix(radix, func(tp []int64) bool {
+		for i, v := range tp {
+			if v < 0 || v >= radix[i] {
+				t.Fatalf("value %d at position %d out of range [0, %d)", v, i, radix[i])
+			}
+		}
+		return true
+	})
+}
+
+func TestSubsetsCount(t *testing.T) {
+	for n := 0; n <= 10; n++ {
+		count := 0
+		Subsets(n, func(uint64) bool { count++; return true })
+		if count != 1<<uint(n) {
+			t.Errorf("Subsets(%d) visited %d masks, want %d", n, count, 1<<uint(n))
+		}
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	count := 0
+	Subsets(10, func(uint64) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Errorf("early stop visited %d, want 5", count)
+	}
+}
+
+func TestKSubsetsCountMatchesBinomial(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for k := 0; k <= n+1; k++ {
+			count := int64(0)
+			KSubsets(n, k, func([]int) bool { count++; return true })
+			want := Binomial(int64(n), int64(k)).Int64()
+			if count != want {
+				t.Errorf("KSubsets(%d, %d) visited %d, want C = %d", n, k, count, want)
+			}
+		}
+	}
+}
+
+func TestKSubsetsSortedAndDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	KSubsets(6, 3, func(idx []int) bool {
+		key := ""
+		for i := 1; i < len(idx); i++ {
+			if idx[i] <= idx[i-1] {
+				t.Fatalf("subset %v not strictly increasing", idx)
+			}
+		}
+		for _, v := range idx {
+			key += string(rune('a' + v))
+		}
+		if seen[key] {
+			t.Fatalf("subset %v visited twice", idx)
+		}
+		seen[key] = true
+		return true
+	})
+	if len(seen) != 20 {
+		t.Errorf("saw %d distinct subsets, want 20", len(seen))
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func pw(p, w int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+}
+
+func TestNewCrossbarAndThreeStage(t *testing.T) {
+	for _, arch := range []Architecture{Crossbar, ThreeStage} {
+		for _, m := range wdm.Models {
+			spec := Spec{N: 4, K: 2, Model: m, Architecture: arch, R: 2}
+			net, err := New(spec)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", arch, m, err)
+			}
+			if got := net.Shape(); got.In != 4 || got.K != 2 {
+				t.Errorf("%v/%v: shape %+v", arch, m, got)
+			}
+			if net.Model() != m {
+				t.Errorf("%v: model %v", arch, net.Model())
+			}
+			c := wdm.Connection{Source: pw(0, 0), Dests: []wdm.PortWave{pw(3, 0)}}
+			id, err := net.Add(c)
+			if err != nil {
+				t.Fatalf("%v/%v: add: %v", arch, m, err)
+			}
+			if err := net.Verify(); err != nil {
+				t.Fatalf("%v/%v: verify: %v", arch, m, err)
+			}
+			if err := net.Release(id); err != nil {
+				t.Fatalf("%v/%v: release: %v", arch, m, err)
+			}
+			if net.Len() != 0 {
+				t.Errorf("%v/%v: %d live after release", arch, m, net.Len())
+			}
+		}
+	}
+}
+
+func TestNewRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{N: 0, K: 1, Model: wdm.MSW},
+		{N: 4, K: 0, Model: wdm.MSW},
+		{N: 4, K: 1, Model: wdm.MSW, Architecture: Architecture(7)},
+		{N: 4, K: 1, Model: wdm.MSW, Architecture: ThreeStage, R: 3},
+	}
+	for _, s := range bad {
+		if _, err := New(s); err == nil {
+			t.Errorf("New accepted %+v", s)
+		}
+	}
+}
+
+func TestLiteNetworksVerifyTrivially(t *testing.T) {
+	net, err := New(Spec{N: 4, K: 1, Model: wdm.MSW, Architecture: Crossbar, Lite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Add(wdm.Connection{Source: pw(0, 0), Dests: []wdm.PortWave{pw(1, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Errorf("lite crossbar Verify: %v", err)
+	}
+}
+
+func TestResetThroughInterface(t *testing.T) {
+	net, err := New(Spec{N: 4, K: 2, Model: wdm.MAW, Architecture: ThreeStage, R: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := net.Add(wdm.Connection{Source: pw(i, 0), Dests: []wdm.PortWave{pw(3-i, 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Reset()
+	if net.Len() != 0 {
+		t.Errorf("%d live after Reset", net.Len())
+	}
+}
+
+func TestFiveStageThroughCore(t *testing.T) {
+	net, err := New(Spec{
+		N: 16, K: 2, Model: wdm.MSW, Architecture: ThreeStage,
+		R: 4, Depth: 5, Lite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Add(wdm.Connection{
+		Source: wdm.PortWave{Port: 0, Wave: 0},
+		Dests:  []wdm.PortWave{{Port: 10, Wave: 0}, {Port: 15, Wave: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityHelpers(t *testing.T) {
+	s := Spec{N: 3, K: 2, Model: wdm.MAW}
+	if got := FullCapacity(s); got.String() != "27000" {
+		t.Errorf("FullCapacity = %s, want 27000", got)
+	}
+	if got := AnyCapacity(s); got.String() != "79507" {
+		t.Errorf("AnyCapacity = %s, want 79507", got)
+	}
+}
+
+func TestDesignOrdersByCost(t *testing.T) {
+	opts, err := Design(1024, 2, wdm.MSW, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) < 3 {
+		t.Fatalf("only %d options for N=1024", len(opts))
+	}
+	for i := 1; i < len(opts); i++ {
+		if DefaultWeights.Scalar(opts[i-1].Cost) > DefaultWeights.Scalar(opts[i].Cost) {
+			t.Errorf("options out of order at %d", i)
+		}
+	}
+	// By N=1024 a three-stage design must beat the crossbar (Table 2's
+	// asymptotic point; the exact crossover sits near N=256 for k=2).
+	best := opts[0]
+	if best.Spec.Architecture != ThreeStage {
+		t.Errorf("best at N=1024 is %v, expected three-stage", best.Describe())
+	}
+	if !strings.Contains(best.Describe(), "three-stage") {
+		t.Errorf("Describe: %q", best.Describe())
+	}
+}
+
+func TestDesignSmallNPrefersCrossbar(t *testing.T) {
+	// For tiny N the crossbar wins: m middle modules dwarf the kN^2 cost.
+	best, err := Best(4, 2, wdm.MSW, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Spec.Architecture != Crossbar {
+		t.Errorf("best at N=4 is %v, expected crossbar", best.Describe())
+	}
+}
+
+func TestDesignedNetworksAreBuildable(t *testing.T) {
+	opts, err := Design(16, 2, wdm.MAW, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range opts {
+		spec := o.Spec
+		spec.Lite = true
+		net, err := New(spec)
+		if err != nil {
+			t.Errorf("option %s not buildable: %v", o.Describe(), err)
+			continue
+		}
+		if got := net.Cost(); got.Crosspoints != o.Cost.Crosspoints {
+			t.Errorf("option %s: built crosspoints %d != advertised %d",
+				o.Describe(), got.Crosspoints, o.Cost.Crosspoints)
+		}
+	}
+}
+
+func TestDesignRejectsBadSize(t *testing.T) {
+	if _, err := Design(0, 1, wdm.MSW, DefaultWeights); err == nil {
+		t.Error("Design accepted N=0")
+	}
+}
+
+func TestIsBlockedPassthrough(t *testing.T) {
+	net, err := New(Spec{N: 4, K: 1, Model: wdm.MSW, Architecture: ThreeStage, R: 2, M: 1, X: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Add(wdm.Connection{Source: pw(0, 0), Dests: []wdm.PortWave{pw(2, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = net.Add(wdm.Connection{Source: pw(1, 0), Dests: []wdm.PortWave{pw(3, 0)}})
+	if !IsBlocked(err) {
+		t.Errorf("want blocked, got %v", err)
+	}
+}

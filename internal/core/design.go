@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/crossbar"
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// Option is one evaluated design point.
+type Option struct {
+	Spec Spec
+	Cost crossbar.Cost
+}
+
+// Describe renders the option compactly, e.g.
+// "three-stage MSW-dominant r=8 n=8 m=36 x=2: 36864 crosspoints".
+func (o Option) Describe() string {
+	if o.Spec.Architecture == Crossbar {
+		return fmt.Sprintf("crossbar %v N=%d k=%d: %d crosspoints, %d converters",
+			o.Spec.Model, o.Spec.N, o.Spec.K, o.Cost.Crosspoints, o.Cost.Converters)
+	}
+	return fmt.Sprintf("three-stage %v %v r=%d n=%d m=%d x=%d: %d crosspoints, %d converters",
+		o.Spec.Model, o.Spec.Construction, o.Spec.R, o.Spec.N/o.Spec.R, o.Spec.M, o.Spec.X,
+		o.Cost.Crosspoints, o.Cost.Converters)
+}
+
+// Weights converts a Cost to a comparable scalar. The paper counts
+// crosspoints and converters separately; a designer must weigh them. The
+// default charges a converter as heavily as `ConverterWeight` crosspoints
+// (converters are the expensive active devices — Section 2.1).
+type Weights struct {
+	Crosspoint float64
+	Converter  float64
+}
+
+// DefaultWeights reflect the paper's qualitative cost ordering: splitters
+// and combiners are glass (free), SOA gates cost one unit, converters are
+// markedly more expensive.
+var DefaultWeights = Weights{Crosspoint: 1, Converter: 10}
+
+// Scalar collapses a cost to one number under the weights.
+func (w Weights) Scalar(c crossbar.Cost) float64 {
+	return w.Crosspoint*float64(c.Crosspoints) + w.Converter*float64(c.Converters)
+}
+
+// Design enumerates nonblocking configurations of an N x N k-wavelength
+// network under the model — the crossbar plus every three-stage
+// factorization N = n*r (both constructions, theorem-minimal m) — and
+// returns them sorted by weighted cost, cheapest first.
+func Design(n, k int, model wdm.Model, w Weights) ([]Option, error) {
+	if n <= 0 || k <= 0 {
+		return nil, fmt.Errorf("core: N=%d k=%d must be positive", n, k)
+	}
+	var opts []Option
+	xbar := Spec{N: n, K: k, Model: model, Architecture: Crossbar}
+	opts = append(opts, Option{
+		Spec: xbar,
+		Cost: crossbar.CostFormula(model, wdm.Shape{In: n, Out: n, K: k}),
+	})
+	for r := 2; r < n; r++ {
+		if n%r != 0 {
+			continue
+		}
+		nn := n / r
+		if nn < 2 {
+			continue
+		}
+		for _, constr := range []multistage.Construction{multistage.MSWDominant, multistage.MAWDominant} {
+			m, x := multistage.SufficientMinM(constr, model, nn, r, k)
+			if m >= r*nn { // degenerate: more middles than the crossbar would justify
+				// Still evaluated — cost decides.
+			}
+			p := multistage.Params{N: n, K: k, R: r, M: m, X: x, Model: model, Construction: constr}
+			cost, err := multistage.CostFormula(p)
+			if err != nil {
+				return nil, err
+			}
+			opts = append(opts, Option{
+				Spec: Spec{
+					N: n, K: k, Model: model, Architecture: ThreeStage,
+					R: r, M: m, X: x, Construction: constr,
+				},
+				Cost: cost,
+			})
+		}
+	}
+	sort.SliceStable(opts, func(i, j int) bool {
+		return w.Scalar(opts[i].Cost) < w.Scalar(opts[j].Cost)
+	})
+	return opts, nil
+}
+
+// Best returns the cheapest nonblocking configuration.
+func Best(n, k int, model wdm.Model, w Weights) (Option, error) {
+	opts, err := Design(n, k, model, w)
+	if err != nil {
+		return Option{}, err
+	}
+	return opts[0], nil
+}

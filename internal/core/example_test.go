@@ -1,0 +1,41 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wdm"
+)
+
+// One interface over both architectures: a crossbar and a three-stage
+// network carry the same connection.
+func ExampleNew() {
+	for _, arch := range []core.Architecture{core.Crossbar, core.ThreeStage} {
+		net, err := core.New(core.Spec{
+			N: 8, K: 2, Model: wdm.MAW, Architecture: arch, R: 4,
+		})
+		if err != nil {
+			panic(err)
+		}
+		_, err = net.Add(wdm.Connection{
+			Source: wdm.PortWave{Port: 0, Wave: 0},
+			Dests:  []wdm.PortWave{{Port: 3, Wave: 1}, {Port: 7, Wave: 0}},
+		})
+		fmt.Printf("%-11v routed=%v verified=%v crosspoints=%d\n",
+			arch, err == nil, net.Verify() == nil, net.Cost().Crosspoints)
+	}
+	// Output:
+	// crossbar    routed=true verified=true crosspoints=256
+	// three-stage routed=true verified=true crosspoints=1120
+}
+
+// Design searches the whole configuration space and returns the cheapest
+// nonblocking option first.
+func ExampleBest() {
+	best, err := core.Best(1024, 2, wdm.MSW, core.DefaultWeights)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(best.Describe())
+	// Output: three-stage MSW MSW-dominant r=32 n=32 m=192 x=3: 1179648 crosspoints, 0 converters
+}

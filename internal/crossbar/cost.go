@@ -1,0 +1,94 @@
+package crossbar
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/wdm"
+)
+
+// Cost summarizes the hardware of a switch, in the units used by the
+// paper's Table 1: crosspoints (SOA gates) and wavelength converters,
+// plus the passive-element counts for completeness.
+type Cost struct {
+	Crosspoints int
+	Converters  int
+	Splitters   int
+	Combiners   int
+	Muxes       int
+	Demuxes     int
+}
+
+// Add accumulates another cost into c.
+func (c *Cost) Add(o Cost) {
+	c.Crosspoints += o.Crosspoints
+	c.Converters += o.Converters
+	c.Splitters += o.Splitters
+	c.Combiners += o.Combiners
+	c.Muxes += o.Muxes
+	c.Demuxes += o.Demuxes
+}
+
+// Scale multiplies every count by f (e.g. "r identical modules").
+func (c Cost) Scale(f int) Cost {
+	return Cost{
+		Crosspoints: c.Crosspoints * f,
+		Converters:  c.Converters * f,
+		Splitters:   c.Splitters * f,
+		Combiners:   c.Combiners * f,
+		Muxes:       c.Muxes * f,
+		Demuxes:     c.Demuxes * f,
+	}
+}
+
+// Cost returns the switch's hardware counts. Fabric-backed switches are
+// audited by counting real elements; lite switches use the closed forms
+// (tested elsewhere to match the audits).
+func (s *Switch) Cost() Cost {
+	if s.fab != nil {
+		return Cost{
+			Crosspoints: s.fab.Crosspoints(),
+			Converters:  s.fab.Converters(),
+			Splitters:   s.fab.Count(fabric.Splitter),
+			Combiners:   s.fab.Count(fabric.Combiner),
+			Muxes:       s.fab.Count(fabric.Mux),
+			Demuxes:     s.fab.Count(fabric.Demux),
+		}
+	}
+	return CostFormula(s.model, s.shape)
+}
+
+// CostFormula returns the closed-form hardware counts for a crossbar
+// switch of the given model and shape (the rectangular generalization of
+// Table 1).
+func CostFormula(model wdm.Model, shape wdm.Shape) Cost {
+	in, out, k := shape.In, shape.Out, shape.K
+	c := Cost{
+		Splitters: in * k,
+		Combiners: out * k,
+		Muxes:     out,
+		Demuxes:   in,
+	}
+	switch model {
+	case wdm.MSW:
+		c.Crosspoints = k * in * out
+		c.Converters = 0
+	case wdm.MSDW:
+		c.Crosspoints = k * k * in * out
+		c.Converters = k * in
+	case wdm.MAW:
+		c.Crosspoints = k * k * in * out
+		c.Converters = k * out
+	}
+	return c
+}
+
+// FormulaCrosspoints returns the paper's Table 1 crosspoint count for a
+// square N x N crossbar: kN^2 under MSW, k^2 N^2 under MSDW/MAW.
+func FormulaCrosspoints(model wdm.Model, n, k int) int {
+	return CostFormula(model, wdm.Shape{In: n, Out: n, K: k}).Crosspoints
+}
+
+// FormulaConverters returns the paper's Table 1 converter count for a
+// square N x N crossbar: 0 under MSW, kN under MSDW/MAW.
+func FormulaConverters(model wdm.Model, n, k int) int {
+	return CostFormula(model, wdm.Shape{In: n, Out: n, K: k}).Converters
+}

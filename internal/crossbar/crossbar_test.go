@@ -1,0 +1,254 @@
+package crossbar
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func pw(p, w int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+}
+
+func conn(src wdm.PortWave, dests ...wdm.PortWave) wdm.Connection {
+	return wdm.Connection{Source: src, Dests: dests}
+}
+
+func mustAdd(t *testing.T, s *Switch, c wdm.Connection) int {
+	t.Helper()
+	id, err := s.Add(c)
+	if err != nil {
+		t.Fatalf("Add(%v) on %v switch: %v", c, s.Model(), err)
+	}
+	return id
+}
+
+func mustVerify(t *testing.T, s *Switch) {
+	t.Helper()
+	if _, err := s.Verify(); err != nil {
+		t.Fatalf("Verify on %v switch: %v", s.Model(), err)
+	}
+}
+
+func TestCostMatchesTable1(t *testing.T) {
+	// The constructed fabric's element counts must equal the paper's
+	// closed forms for every model and a spread of sizes.
+	for _, dim := range []wdm.Dim{{N: 2, K: 1}, {N: 2, K: 2}, {N: 3, K: 2}, {N: 4, K: 3}, {N: 8, K: 4}} {
+		for _, m := range wdm.Models {
+			s := New(m, dim)
+			c := s.Cost()
+			if want := FormulaCrosspoints(m, dim.N, dim.K); c.Crosspoints != want {
+				t.Errorf("%v N=%d k=%d: crosspoints = %d, want %d", m, dim.N, dim.K, c.Crosspoints, want)
+			}
+			if want := FormulaConverters(m, dim.N, dim.K); c.Converters != want {
+				t.Errorf("%v N=%d k=%d: converters = %d, want %d", m, dim.N, dim.K, c.Converters, want)
+			}
+			// Structural bookkeeping: one splitter per input slot, one
+			// combiner per output slot, one mux/demux per port.
+			slots := dim.Slots()
+			if c.Splitters != slots || c.Combiners != slots {
+				t.Errorf("%v N=%d k=%d: splitters/combiners = %d/%d, want %d each",
+					m, dim.N, dim.K, c.Splitters, c.Combiners, slots)
+			}
+			if c.Muxes != dim.N || c.Demuxes != dim.N {
+				t.Errorf("%v N=%d k=%d: muxes/demuxes = %d/%d, want %d each",
+					m, dim.N, dim.K, c.Muxes, c.Demuxes, dim.N)
+			}
+		}
+	}
+}
+
+func TestMSWRoutesSameWavelengthMulticast(t *testing.T) {
+	s := New(wdm.MSW, wdm.Dim{N: 3, K: 2})
+	mustAdd(t, s, conn(pw(0, 0), pw(0, 0), pw(1, 0), pw(2, 0)))
+	mustAdd(t, s, conn(pw(1, 1), pw(0, 1), pw(2, 1)))
+	mustVerify(t, s)
+}
+
+func TestMSWRejectsCrossWavelength(t *testing.T) {
+	s := New(wdm.MSW, wdm.Dim{N: 3, K: 2})
+	if _, err := s.Add(conn(pw(0, 0), pw(1, 1))); err == nil {
+		t.Fatal("MSW switch accepted a wavelength-shifting connection")
+	}
+}
+
+func TestMSDWShiftsWavelengthOnce(t *testing.T) {
+	s := New(wdm.MSDW, wdm.Dim{N: 3, K: 2})
+	// Source on λ0, all destinations on λ1.
+	mustAdd(t, s, conn(pw(0, 0), pw(0, 1), pw(1, 1), pw(2, 1)))
+	res, err := s.Verify()
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	for _, slot := range []wdm.PortWave{pw(0, 1), pw(1, 1), pw(2, 1)} {
+		if _, ok := res.Arrived[slot]; !ok {
+			t.Errorf("no arrival at %v", slot)
+		}
+	}
+}
+
+func TestMSDWRejectsMixedDestWavelengths(t *testing.T) {
+	s := New(wdm.MSDW, wdm.Dim{N: 3, K: 2})
+	if _, err := s.Add(conn(pw(0, 0), pw(1, 0), pw(2, 1))); err == nil {
+		t.Fatal("MSDW switch accepted mixed destination wavelengths")
+	}
+}
+
+func TestMAWPerDestinationWavelengths(t *testing.T) {
+	s := New(wdm.MAW, wdm.Dim{N: 3, K: 2})
+	// One connection fanning out to different wavelengths at each port.
+	mustAdd(t, s, conn(pw(0, 0), pw(0, 1), pw(1, 0), pw(2, 1)))
+	// A second connection using leftover slots, also mixed.
+	mustAdd(t, s, conn(pw(0, 1), pw(0, 0), pw(2, 0)))
+	mustVerify(t, s)
+}
+
+func TestAddRejectsBusySlots(t *testing.T) {
+	s := New(wdm.MAW, wdm.Dim{N: 2, K: 2})
+	mustAdd(t, s, conn(pw(0, 0), pw(1, 0)))
+	if _, err := s.Add(conn(pw(0, 0), pw(0, 0))); err == nil || !strings.Contains(err.Error(), "source slot") {
+		t.Errorf("busy source not rejected: %v", err)
+	}
+	if _, err := s.Add(conn(pw(1, 1), pw(1, 0))); err == nil || !strings.Contains(err.Error(), "destination slot") {
+		t.Errorf("busy destination not rejected: %v", err)
+	}
+}
+
+func TestReleaseRestoresState(t *testing.T) {
+	for _, m := range wdm.Models {
+		s := New(m, wdm.Dim{N: 2, K: 2})
+		c := conn(pw(0, 0), pw(0, 0), pw(1, 0))
+		id := mustAdd(t, s, c)
+		if err := s.Release(id); err != nil {
+			t.Fatalf("%v: release: %v", m, err)
+		}
+		if s.Len() != 0 {
+			t.Fatalf("%v: %d connections after release", m, s.Len())
+		}
+		res, err := s.Verify()
+		if err != nil {
+			t.Fatalf("%v: verify after release: %v", m, err)
+		}
+		if len(res.Arrived) != 0 {
+			t.Errorf("%v: %d stale arrivals after release", m, len(res.Arrived))
+		}
+		// The slots must be reusable by a different connection.
+		mustAdd(t, s, conn(pw(1, 0), pw(0, 0), pw(1, 0)))
+		mustVerify(t, s)
+	}
+}
+
+func TestReleaseUnknownID(t *testing.T) {
+	s := New(wdm.MSW, wdm.Dim{N: 2, K: 1})
+	if err := s.Release(99); err == nil {
+		t.Error("Release(99) on empty switch succeeded")
+	}
+}
+
+func TestResetReleasesEverything(t *testing.T) {
+	s := New(wdm.MAW, wdm.Dim{N: 2, K: 2})
+	mustAdd(t, s, conn(pw(0, 0), pw(0, 0)))
+	mustAdd(t, s, conn(pw(0, 1), pw(1, 1)))
+	mustAdd(t, s, conn(pw(1, 0), pw(1, 0)))
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("%d connections after Reset", s.Len())
+	}
+	res, err := s.Verify()
+	if err != nil || len(res.Arrived) != 0 {
+		t.Errorf("stale state after Reset: %v, %d arrivals", err, len(res.Arrived))
+	}
+}
+
+func TestAddAssignmentRollsBack(t *testing.T) {
+	s := New(wdm.MSW, wdm.Dim{N: 2, K: 1})
+	bad := wdm.Assignment{
+		conn(pw(0, 0), pw(0, 0)),
+		conn(pw(1, 0), pw(0, 0)), // destination conflict
+	}
+	if _, err := s.AddAssignment(bad); err == nil {
+		t.Fatal("conflicting assignment accepted")
+	}
+	if s.Len() != 0 {
+		t.Errorf("rollback left %d connections", s.Len())
+	}
+}
+
+func TestConnectionsSnapshotIsolated(t *testing.T) {
+	s := New(wdm.MSW, wdm.Dim{N: 2, K: 1})
+	id := mustAdd(t, s, conn(pw(0, 0), pw(0, 0), pw(1, 0)))
+	snap := s.Connections()
+	snap[id].Dests[0] = pw(1, 0)
+	again := s.Connections()
+	if again[id].Dests[0] != pw(0, 0) {
+		t.Error("Connections snapshot shares storage with switch state")
+	}
+}
+
+func TestFullAssignmentEveryModel(t *testing.T) {
+	// A full-multicast-assignment (every output slot used) must route on
+	// each model's own admissible wavelength pattern.
+	dim := wdm.Dim{N: 3, K: 2}
+	cases := map[wdm.Model]wdm.Assignment{
+		wdm.MSW: {
+			conn(pw(0, 0), pw(0, 0), pw(1, 0), pw(2, 0)),
+			conn(pw(1, 1), pw(0, 1), pw(1, 1)),
+			conn(pw(2, 1), pw(2, 1)),
+		},
+		wdm.MSDW: {
+			conn(pw(0, 0), pw(0, 1), pw(1, 1), pw(2, 1)), // λ0 -> λ1
+			conn(pw(0, 1), pw(0, 0), pw(1, 0)),           // λ1 -> λ0
+			conn(pw(2, 0), pw(2, 0)),
+		},
+		wdm.MAW: {
+			conn(pw(0, 0), pw(0, 1), pw(1, 0), pw(2, 1)),
+			conn(pw(1, 0), pw(0, 0), pw(1, 1)),
+			conn(pw(2, 1), pw(2, 0)),
+		},
+	}
+	for m, a := range cases {
+		if err := dim.CheckAssignment(m, a); err != nil {
+			t.Fatalf("%v: test assignment itself invalid: %v", m, err)
+		}
+		if !a.IsFull(dim.N, dim.K) {
+			t.Fatalf("%v: test assignment not full", m)
+		}
+		s := New(m, dim)
+		if _, err := s.AddAssignment(a); err != nil {
+			t.Fatalf("%v: AddAssignment: %v", m, err)
+		}
+		mustVerify(t, s)
+	}
+}
+
+func TestPowerLossGrowsWithSize(t *testing.T) {
+	// Splitting loss scales with the matrix width: an MAW switch (1 x Nk
+	// split) must lose more power per path than the MSW planes (1 x N).
+	dim := wdm.Dim{N: 4, K: 4}
+	msw := New(wdm.MSW, dim)
+	maw := New(wdm.MAW, dim)
+	mustAdd(t, msw, conn(pw(0, 0), pw(1, 0)))
+	mustAdd(t, maw, conn(pw(0, 0), pw(1, 0)))
+	rMSW, err := msw.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMAW, err := maw.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rMAW.MaxLossDB <= rMSW.MaxLossDB {
+		t.Errorf("MAW loss %.2f dB <= MSW loss %.2f dB; expected strictly more",
+			rMAW.MaxLossDB, rMSW.MaxLossDB)
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with N=0 did not panic")
+		}
+	}()
+	New(wdm.MSW, wdm.Dim{N: 0, K: 1})
+}

@@ -1,0 +1,74 @@
+package crossbar
+
+import (
+	"testing"
+
+	"repro/internal/capacity"
+	"repro/internal/wdm"
+)
+
+// TestExhaustiveNonblocking is the executable form of the paper's claim
+// that the crossbar designs of Figs. 4-7 are nonblocking: for every
+// admissible any-multicast-assignment of a small network, the switch must
+// route all connections and deliver every signal optically, with no
+// combiner/mux collisions. This enumerates every assignment (e.g. 79,507
+// for MAW at N=3, k=2) and drives the fabric for each.
+func TestExhaustiveNonblocking(t *testing.T) {
+	dims := []wdm.Dim{
+		{N: 2, K: 1},
+		{N: 2, K: 2},
+		{N: 3, K: 1},
+	}
+	if !testing.Short() {
+		// The paper's own example size from Figs. 6-7.
+		dims = append(dims, wdm.Dim{N: 3, K: 2})
+	}
+	for _, d := range dims {
+		for _, m := range wdm.Models {
+			s := New(m, d)
+			checked := 0
+			capacity.EnumerateAssignments(m, d, false, func(a wdm.Assignment) bool {
+				ids, err := s.AddAssignment(a)
+				if err != nil {
+					t.Errorf("%v N=%d k=%d: blocking on admissible assignment %v: %v", m, d.N, d.K, a, err)
+					return false
+				}
+				if _, err := s.Verify(); err != nil {
+					t.Errorf("%v N=%d k=%d: optical fault on %v: %v", m, d.N, d.K, a, err)
+					return false
+				}
+				for _, id := range ids {
+					if err := s.Release(id); err != nil {
+						t.Fatalf("release: %v", err)
+					}
+				}
+				checked++
+				return true
+			})
+			want := capacity.Any(m, int64(d.N), int64(d.K))
+			if want.IsInt64() && int64(checked) != want.Int64() {
+				t.Errorf("%v N=%d k=%d: verified %d assignments, capacity says %s", m, d.N, d.K, checked, want)
+			}
+		}
+	}
+}
+
+// TestSwitchReusableAcrossAssignments stresses add/release cycling: the
+// same switch instance must route thousands of assignments back to back
+// without state leakage (gates or converters left configured).
+func TestSwitchReusableAcrossAssignments(t *testing.T) {
+	d := wdm.Dim{N: 2, K: 2}
+	for _, m := range wdm.Models {
+		s := New(m, d)
+		capacity.EnumerateAssignments(m, d, true, func(a wdm.Assignment) bool {
+			if _, err := s.AddAssignment(a); err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			s.Reset()
+			return true
+		})
+		if res, err := s.Verify(); err != nil || len(res.Arrived) != 0 {
+			t.Errorf("%v: leaked state after cycling: err=%v arrivals=%d", m, err, len(res.Arrived))
+		}
+	}
+}

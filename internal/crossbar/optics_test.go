@@ -1,0 +1,162 @@
+package crossbar
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/wdm"
+)
+
+// TestPredictedLossMatchesMeasured propagates a real signal through each
+// crossbar design and compares the measured worst-path loss against the
+// closed-form budget — they must agree to floating-point precision.
+func TestPredictedLossMatchesMeasured(t *testing.T) {
+	for _, d := range []wdm.Dim{{N: 2, K: 2}, {N: 4, K: 2}, {N: 8, K: 4}} {
+		for _, m := range wdm.Models {
+			s := New(m, d)
+			// Wavelength-shifting connections exercise the converter on
+			// MSDW/MAW paths; MSW keeps the source wavelength.
+			c := conn(pw(0, 0), pw(d.N-1, 0))
+			if m != wdm.MSW {
+				c = conn(pw(0, 0), pw(d.N-1, d.K-1))
+			}
+			mustAdd(t, s, c)
+			res, err := s.Verify()
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			want := PredictedWorstLossDB(m, d.Shape())
+			if math.Abs(res.MaxLossDB-want) > 1e-9 {
+				t.Errorf("%v N=%d k=%d: measured %.4f dB, predicted %.4f dB",
+					m, d.N, d.K, res.MaxLossDB, want)
+			}
+		}
+	}
+}
+
+// TestLossOrderingMSWBelowMatrix confirms the Section 2.3 projection:
+// the wide-matrix designs lose strictly more power than the per-plane
+// MSW design for k > 1 (by 20*log10(k) + converter loss).
+func TestLossOrderingMSWBelowMatrix(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		sh := wdm.Shape{In: 8, Out: 8, K: k}
+		msw := PredictedWorstLossDB(wdm.MSW, sh)
+		maw := PredictedWorstLossDB(wdm.MAW, sh)
+		wantGap := 20*math.Log10(float64(k)) + fabric.ConverterLossDB
+		if math.Abs((maw-msw)-wantGap) > 1e-9 {
+			t.Errorf("k=%d: loss gap %.4f, want %.4f", k, maw-msw, wantGap)
+		}
+	}
+}
+
+// TestCrosstalkProxySingleGate: every crossbar path crosses exactly one
+// SOA gate, verified by the propagation gate counter.
+func TestCrosstalkProxySingleGate(t *testing.T) {
+	for _, m := range wdm.Models {
+		s := New(m, wdm.Dim{N: 4, K: 2})
+		mustAdd(t, s, conn(pw(1, 1), pw(0, 1), pw(2, 1), pw(3, 1)))
+		res, err := s.Verify()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MaxGates != WorstCrosstalkGates(m, s.Shape()) {
+			t.Errorf("%v: path crosses %d gates, want %d", m, res.MaxGates, 1)
+		}
+	}
+}
+
+// TestCrosstalkScalesWithFabricWidth is the paper's Section 2.3 claim
+// made measurable: the k^2 N^2-crosspoint MAW fabric exposes each signal
+// to more first-order leakage than the kN^2 MSW fabric under the same
+// full load, because every live splitter row crosses Nk off gates
+// instead of N.
+func TestCrosstalkScalesWithFabricWidth(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 4}
+	worst := map[wdm.Model]float64{}
+	for _, m := range []wdm.Model{wdm.MSW, wdm.MAW} {
+		s := New(m, d)
+		// Full same-wavelength load is admissible under both models.
+		for q := 0; q < d.N; q++ {
+			for w := 0; w < d.K; w++ {
+				c := conn(pw(q, w), pw((q+1)%d.N, w))
+				mustAdd(t, s, c)
+			}
+		}
+		ratio, err := s.Fabric().WorstCrosstalkRatio()
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if math.IsInf(ratio, 1) {
+			t.Fatalf("%v: fully loaded switch reports no crosstalk", m)
+		}
+		worst[m] = ratio
+	}
+	if worst[wdm.MAW] >= worst[wdm.MSW] {
+		t.Errorf("MAW worst signal-to-crosstalk %.1f dB not below MSW's %.1f dB",
+			worst[wdm.MAW], worst[wdm.MSW])
+	}
+	t.Logf("worst signal-to-crosstalk: MSW %.1f dB, MAW %.1f dB", worst[wdm.MSW], worst[wdm.MAW])
+}
+
+// TestStuckOffGateDetected injects a stuck-off fault into a gate used by
+// a live connection: optical verification must report the missing
+// signal.
+func TestStuckOffGateDetected(t *testing.T) {
+	for _, m := range wdm.Models {
+		s := New(m, wdm.Dim{N: 3, K: 2})
+		mustAdd(t, s, conn(pw(0, 0), pw(1, 0), pw(2, 0)))
+		// Find an on gate and force it off (stuck-off hardware fault).
+		fab := s.Fabric()
+		var broke bool
+		for _, g := range fab.ElementsOf(fabric.Gate) {
+			if fab.GateOn(g) {
+				fab.SetGate(g, false)
+				broke = true
+				break
+			}
+		}
+		if !broke {
+			t.Fatalf("%v: no gate on for a live connection", m)
+		}
+		if _, err := s.Verify(); err == nil || !strings.Contains(err.Error(), "missing") {
+			t.Errorf("%v: stuck-off gate not detected: %v", m, err)
+		}
+	}
+}
+
+// TestStuckOnGateDetected injects a stuck-on fault into an unused gate
+// on a live signal's splitter row: the stray copy must be caught as a
+// stray arrival or a combiner/output collision.
+func TestStuckOnGateDetected(t *testing.T) {
+	for _, m := range wdm.Models {
+		s := New(m, wdm.Dim{N: 3, K: 2})
+		mustAdd(t, s, conn(pw(0, 0), pw(1, 0)))
+		fab := s.Fabric()
+		// Turn on every gate that is currently off; at least one sits on
+		// the live signal's splitter and leaks it somewhere it does not
+		// belong. (Stuck-on faults on dark rows are silent — they carry
+		// no light — which is itself the physically correct behaviour.)
+		for _, g := range fab.ElementsOf(fabric.Gate) {
+			if !fab.GateOn(g) {
+				fab.SetGate(g, true)
+			}
+		}
+		if _, err := s.Verify(); err == nil {
+			t.Errorf("%v: all-gates-on fault not detected", m)
+		}
+	}
+}
+
+// TestDarkStuckOnGateIsSilent: a stuck-on gate on a row with no injected
+// signal must not disturb verification — no light, no fault.
+func TestDarkStuckOnGateIsSilent(t *testing.T) {
+	s := New(wdm.MSW, wdm.Dim{N: 3, K: 2})
+	mustAdd(t, s, conn(pw(0, 0), pw(1, 0)))
+	// Gate on plane λ1 (no signal there): row of input 2, output 0.
+	s.fab.SetGate(s.planeGates[1][2][0], true)
+	if _, err := s.Verify(); err != nil {
+		t.Errorf("dark stuck-on gate caused a fault: %v", err)
+	}
+}

@@ -1,0 +1,96 @@
+package crossbar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// TestRandomWalkAgainstOracle drives a long random sequence of Add and
+// Release operations — including deliberately inadmissible requests —
+// against a gate-level switch, while an independent oracle (a pair of
+// slot-occupancy sets plus the model predicate) predicts which requests
+// must be accepted. Every divergence is a bug in one of them; the switch
+// is also optically verified along the way.
+func TestRandomWalkAgainstOracle(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 2}
+	for _, model := range wdm.Models {
+		rng := rand.New(rand.NewSource(23))
+		s := New(model, d)
+
+		srcBusy := map[wdm.PortWave]bool{}
+		dstBusy := map[wdm.PortWave]bool{}
+		type held struct {
+			id   int
+			conn wdm.Connection
+		}
+		var live []held
+
+		randSlot := func() wdm.PortWave {
+			return wdm.PortWave{
+				Port: wdm.Port(rng.Intn(d.N)),
+				Wave: wdm.Wavelength(rng.Intn(d.K)),
+			}
+		}
+
+		for step := 0; step < 1500; step++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(live))
+				v := live[i]
+				if err := s.Release(v.id); err != nil {
+					t.Fatalf("%v step %d: release: %v", model, step, err)
+				}
+				live = append(live[:i], live[i+1:]...)
+				delete(srcBusy, v.conn.Source)
+				for _, dd := range v.conn.Dests {
+					delete(dstBusy, dd)
+				}
+				continue
+			}
+
+			// Build a random (often sloppy) request.
+			c := wdm.Connection{Source: randSlot()}
+			for f := 1 + rng.Intn(3); f > 0; f-- {
+				c.Dests = append(c.Dests, randSlot())
+			}
+
+			// Oracle: admissible model-wise, slots free, no duplicates.
+			admissible := d.CheckConnection(model, c) == nil && !srcBusy[c.Source]
+			if admissible {
+				seen := map[wdm.PortWave]bool{}
+				for _, dd := range c.Dests {
+					if dstBusy[dd] || seen[dd] {
+						admissible = false
+						break
+					}
+					seen[dd] = true
+				}
+			}
+
+			id, err := s.Add(c)
+			if admissible && err != nil {
+				t.Fatalf("%v step %d: oracle says admissible, switch rejected %v: %v", model, step, c, err)
+			}
+			if !admissible && err == nil {
+				t.Fatalf("%v step %d: oracle says inadmissible, switch accepted %v", model, step, c)
+			}
+			if err == nil {
+				live = append(live, held{id: id, conn: c.Normalize()})
+				srcBusy[c.Source] = true
+				for _, dd := range c.Dests {
+					dstBusy[dd] = true
+				}
+			}
+
+			if step%100 == 0 {
+				if _, err := s.Verify(); err != nil {
+					t.Fatalf("%v step %d: optical verify: %v", model, step, err)
+				}
+			}
+		}
+		if _, err := s.Verify(); err != nil {
+			t.Fatalf("%v final verify: %v", model, err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package electronic provides the electronic-network baselines the paper
+// compares its WDM designs against:
+//
+//   - an Nk x Nk single-wavelength multicast crossbar (the network a naive
+//     reading might consider "equivalent" to an N x N k-wavelength WDM
+//     switch — Section 2.2 proves it is strictly more capable);
+//   - the three-stage electronic multicast network of Yang and Masson
+//     [14], whose nonblocking condition m > (n-1)(x + r^(1/x)) Theorem 1
+//     extends to the WDM setting.
+//
+// Electronic networks are modelled as 1-wavelength WDM networks: a
+// traditional switching network is exactly the k = 1 special case (the
+// paper makes the same identification), so the crossbar and multistage
+// machinery is reused with k = 1 and no converters appear anywhere.
+package electronic
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/capacity"
+	"repro/internal/crossbar"
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// Crossbar returns an Nk x Nk electronic multicast crossbar (a
+// 1-wavelength MSW switch). Its capacity is (Nk)^(Nk) full /
+// (Nk+1)^(Nk) any, strictly above every WDM model's for k > 1.
+func Crossbar(n, k int) *crossbar.Switch {
+	return crossbar.New(wdm.MSW, wdm.Dim{N: n * k, K: 1})
+}
+
+// CrossbarLite returns the same switch without the element graph.
+func CrossbarLite(n, k int) *crossbar.Switch {
+	return crossbar.NewLite(wdm.MSW, wdm.Shape{In: n * k, Out: n * k, K: 1})
+}
+
+// ThreeStage returns the Yang-Masson electronic three-stage multicast
+// network with nTotal ports split into r outer modules and the minimal
+// middle-stage count from m > (n-1)(x + r^(1/x)).
+func ThreeStage(nTotal, r int) (*multistage.Network, error) {
+	return multistage.New(multistage.Params{
+		N: nTotal, K: 1, R: r, Model: wdm.MSW,
+		Construction: multistage.MSWDominant,
+	})
+}
+
+// FullCapacity and AnyCapacity return the electronic multicast capacities
+// (the k = 1 closed forms applied to an Nk x Nk network).
+func FullCapacity(n, k int) *big.Int { return capacity.FullElectronic(int64(n), int64(k)) }
+func AnyCapacity(n, k int) *big.Int  { return capacity.AnyElectronic(int64(n), int64(k)) }
+
+// EmbedSlot maps a WDM slot (port, wave) of an N x N k-wavelength network
+// to the corresponding electronic port of the Nk x Nk network: the demux
+// view in which every wavelength is its own wire.
+func EmbedSlot(slot wdm.PortWave, k int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(slot.Index(k)), Wave: 0}
+}
+
+// EmbedAssignment maps a WDM multicast assignment onto the electronic
+// Nk x Nk network. Every assignment admissible under any WDM model embeds
+// into an admissible electronic assignment (the converse fails: an
+// electronic connection may address two wires that demultiplex onto the
+// same WDM output fiber, which no WDM model allows — see Section 2.2 and
+// the tests).
+func EmbedAssignment(a wdm.Assignment, k int) wdm.Assignment {
+	out := make(wdm.Assignment, len(a))
+	for i, c := range a {
+		ec := wdm.Connection{Source: EmbedSlot(c.Source, k)}
+		for _, d := range c.Dests {
+			ec.Dests = append(ec.Dests, EmbedSlot(d, k))
+		}
+		out[i] = ec
+	}
+	return out
+}
+
+// CapacityRatio returns electronic capacity / WDM capacity for
+// full-multicast-assignments as a big float quotient string with the
+// given precision — the "how much capacity does staying optical cost"
+// number quoted in comparisons.
+func CapacityRatio(model wdm.Model, n, k int, prec uint) string {
+	el := new(big.Float).SetPrec(prec).SetInt(FullCapacity(n, k))
+	wd := new(big.Float).SetPrec(prec).SetInt(capacity.Full(model, int64(n), int64(k)))
+	if wd.Sign() == 0 {
+		return "inf"
+	}
+	q := new(big.Float).SetPrec(prec).Quo(el, wd)
+	return q.Text('e', 4)
+}
+
+// CheckEmbedding verifies that the embedded assignment is admissible on
+// the electronic network; it returns an error describing the first
+// violation (used as a sanity check by tools).
+func CheckEmbedding(a wdm.Assignment, n, k int) error {
+	d := wdm.Dim{N: n * k, K: 1}
+	if err := d.CheckAssignment(wdm.MSW, EmbedAssignment(a, k)); err != nil {
+		return fmt.Errorf("electronic: embedding inadmissible: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package electronic
+
+import (
+	"testing"
+
+	"repro/internal/capacity"
+	"repro/internal/crossbar"
+	"repro/internal/wdm"
+)
+
+func pw(p, w int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+}
+
+func TestCrossbarShapeAndCost(t *testing.T) {
+	s := Crossbar(3, 2) // a 6x6 electronic crossbar
+	if sh := s.Shape(); sh.In != 6 || sh.Out != 6 || sh.K != 1 {
+		t.Fatalf("shape = %+v, want 6x6 k=1", sh)
+	}
+	c := s.Cost()
+	if c.Crosspoints != 36 {
+		t.Errorf("crosspoints = %d, want (Nk)^2 = 36", c.Crosspoints)
+	}
+	if c.Converters != 0 {
+		t.Errorf("electronic network has %d converters", c.Converters)
+	}
+}
+
+func TestEmbeddingPreservesAdmissibility(t *testing.T) {
+	// Every WDM assignment (strongest model, MAW) embeds into an
+	// admissible electronic assignment — checked over the full enumeration
+	// of a small network.
+	d := wdm.Dim{N: 2, K: 2}
+	count := 0
+	capacity.EnumerateAssignments(wdm.MAW, d, false, func(a wdm.Assignment) bool {
+		if err := CheckEmbedding(a, d.N, d.K); err != nil {
+			t.Fatalf("assignment %v: %v", a, err)
+		}
+		count++
+		return true
+	})
+	if count == 0 {
+		t.Fatal("enumerated nothing")
+	}
+}
+
+func TestEmbeddedAssignmentsRoute(t *testing.T) {
+	s := Crossbar(2, 2)
+	a := wdm.Assignment{
+		{Source: pw(0, 0), Dests: []wdm.PortWave{pw(0, 1), pw(1, 0)}},
+		{Source: pw(1, 1), Dests: []wdm.PortWave{pw(0, 0)}},
+	}
+	if _, err := s.AddAssignment(EmbedAssignment(a, 2)); err != nil {
+		t.Fatalf("embedded assignment did not route: %v", err)
+	}
+	if _, err := s.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestElectronicStrictlyStronger(t *testing.T) {
+	// The converse embedding fails: an electronic connection addressing
+	// wires 2 and 3 (= WDM slots (1,λ0) and (1,λ1)) is admissible
+	// electronically but maps to two wavelengths on one WDM output port,
+	// which no WDM model allows.
+	n, k := 2, 2
+	el := CrossbarLite(n, k)
+	c := wdm.Connection{Source: pw(0, 0), Dests: []wdm.PortWave{pw(2, 0), pw(3, 0)}}
+	if _, err := el.Add(c); err != nil {
+		t.Fatalf("electronic network rejected %v: %v", c, err)
+	}
+	// The same endpoints in WDM coordinates: both dests on output port 1.
+	wdmConn := wdm.Connection{Source: pw(0, 0), Dests: []wdm.PortWave{pw(1, 0), pw(1, 1)}}
+	d := wdm.Dim{N: n, K: k}
+	for _, m := range wdm.Models {
+		if err := d.CheckConnection(m, wdmConn); err == nil {
+			t.Errorf("WDM model %v accepted two wavelengths on one output port", m)
+		}
+	}
+}
+
+func TestCapacityRatioAboveOne(t *testing.T) {
+	for _, m := range wdm.Models {
+		s := CapacityRatio(m, 3, 2, 64)
+		// All ratios must be > 1; a crude check on the scientific form:
+		// it must not start with "0".
+		if s == "" || s[0] == '0' || s[0] == '-' {
+			t.Errorf("CapacityRatio(%v) = %q, want > 1", m, s)
+		}
+	}
+	// MSW loses the most capacity, MAW the least.
+	// (Verified numerically through the capacity package elsewhere; here
+	// we just ensure the helper emits parseable text.)
+}
+
+func TestThreeStageRoutesTraffic(t *testing.T) {
+	net, err := ThreeStage(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate: a full permutation of 16 unicasts must route (the
+	// electronic nonblocking bound covers multicast, so unicast is easy).
+	for i := 0; i < 16; i++ {
+		c := wdm.Connection{Source: pw(i, 0), Dests: []wdm.PortWave{pw((i*5)%16, 0)}}
+		if _, err := net.Add(c); err != nil {
+			t.Fatalf("unicast %d: %v", i, err)
+		}
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmbedSlotIsDense(t *testing.T) {
+	k := 3
+	seen := map[wdm.Port]bool{}
+	for p := 0; p < 4; p++ {
+		for w := 0; w < k; w++ {
+			e := EmbedSlot(pw(p, w), k)
+			if e.Wave != 0 {
+				t.Fatalf("embedded wave %d != 0", e.Wave)
+			}
+			if seen[e.Port] {
+				t.Fatalf("port %d hit twice", e.Port)
+			}
+			seen[e.Port] = true
+		}
+	}
+	if len(seen) != 12 {
+		t.Errorf("%d distinct ports, want 12", len(seen))
+	}
+}
+
+func TestAnyCapacityAndCheckEmbedding(t *testing.T) {
+	if got := AnyCapacity(2, 2); got.String() != "625" {
+		t.Errorf("AnyCapacity(2,2) = %s, want (Nk+1)^(Nk) = 625", got)
+	}
+	// CheckEmbedding flags an assignment that is inadmissible after
+	// embedding (shared destination slot).
+	bad := wdm.Assignment{
+		{Source: pw(0, 0), Dests: []wdm.PortWave{pw(1, 0)}},
+		{Source: pw(1, 0), Dests: []wdm.PortWave{pw(1, 0)}},
+	}
+	if err := CheckEmbedding(bad, 2, 2); err == nil {
+		t.Error("conflicting embedding accepted")
+	}
+	good := wdm.Assignment{
+		{Source: pw(0, 0), Dests: []wdm.PortWave{pw(1, 0), pw(1, 1)}}, // two waves, one port: fine electronically
+	}
+	if err := CheckEmbedding(good, 2, 2); err != nil {
+		t.Errorf("electronically valid embedding rejected: %v", err)
+	}
+}
+
+func TestCostComparisonMAWVsElectronic(t *testing.T) {
+	// Section 2.3: an MAW crossbar has the same k^2 N^2 crosspoint count
+	// as the electronic (Nk)^2 crossbar, yet strictly lower capacity —
+	// the cost of staying optical without O/E/O conversion.
+	n, k := 4, 3
+	maw := crossbar.CostFormula(wdm.MAW, wdm.Shape{In: n, Out: n, K: k})
+	el := CrossbarLite(n, k).Cost()
+	if maw.Crosspoints != el.Crosspoints {
+		t.Errorf("MAW crosspoints %d != electronic %d", maw.Crosspoints, el.Crosspoints)
+	}
+	if capacity.FullMAW(int64(n), int64(k)).Cmp(FullCapacity(n, k)) >= 0 {
+		t.Error("MAW capacity not strictly below electronic")
+	}
+}

@@ -1,0 +1,23 @@
+package electronic_test
+
+import (
+	"fmt"
+
+	"repro/internal/capacity"
+	"repro/internal/electronic"
+	"repro/internal/wdm"
+)
+
+// Section 2.2's point: an N x N k-wavelength WDM network is *not* an
+// Nk x Nk electronic network — the electronic capacity strictly
+// dominates even the strongest WDM model for k > 1.
+func ExampleFullCapacity() {
+	n, k := 3, 2
+	fmt.Println("electronic:", electronic.FullCapacity(n, k))
+	fmt.Println("MAW:       ", capacity.FullMAW(int64(n), int64(k)))
+	fmt.Println("ratio:     ", electronic.CapacityRatio(wdm.MAW, n, k, 64))
+	// Output:
+	// electronic: 46656
+	// MAW:        27000
+	// ratio:      1.7280e+00
+}

@@ -1,0 +1,107 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wdm"
+)
+
+// GateExtinctionDB is the on/off extinction ratio of an SOA gate: an
+// "off" gate attenuates (rather than perfectly absorbs) light by this
+// many dB. Finite extinction is the physical source of first-order
+// crosstalk in gate-based switches — the effect the paper's crosspoint
+// count is a proxy for.
+const GateExtinctionDB = 40.0
+
+// CrosstalkReport quantifies first-order leakage at one output slot.
+type CrosstalkReport struct {
+	Slot wdm.PortWave
+	// SignalDB is the delivered signal's power (0 dB reference at the
+	// transmitter, negated loss).
+	SignalDB float64
+	// LeakDB is the accumulated power of first-order leakage terms
+	// arriving at the same slot: copies of *other* signals that crossed
+	// exactly one off gate (attenuated by GateExtinctionDB) on a path to
+	// this slot.
+	LeakDB float64
+	// Ratio is SignalDB - LeakDB: the signal-to-crosstalk ratio in dB
+	// (higher is better). +Inf when no leakage path exists.
+	Ratio float64
+	// Leakers counts the distinct interfering signals.
+	Leakers int
+}
+
+// CrosstalkAt estimates the first-order crosstalk at every output slot
+// that receives a signal: for each off gate fed by a live signal, the
+// leaked copy (attenuated by the gate's finite extinction) is propagated
+// onward as if the gate were on, and its power is accumulated wherever
+// it lands on the victim's wavelength slot.
+//
+// The estimate deliberately stops at first order (one off gate per leak
+// path) — second-order terms are another ~GateExtinctionDB down, far
+// below relevance. The paper's observation that crosstalk scales with
+// crosspoint count is visible directly: wider fabrics have more off
+// gates adjacent to each live splitter row.
+func (f *Fabric) CrosstalkAt() (map[wdm.PortWave]CrosstalkReport, error) {
+	// Strict pass first: the configuration itself must be clean.
+	base, err := f.Propagate()
+	if err != nil {
+		return nil, err
+	}
+	// Leaky pass: off gates attenuate instead of absorbing, and every
+	// copy reaching an output slot is recorded with its off-gate count.
+	leakyRes, err := f.propagate(true)
+	if err != nil {
+		return nil, err
+	}
+
+	reports := make(map[wdm.PortWave]CrosstalkReport, len(base.Arrived))
+	for slot, sig := range base.Arrived {
+		rep := CrosstalkReport{
+			Slot:     slot,
+			SignalDB: -sig.LossDB,
+			Ratio:    math.Inf(1),
+			LeakDB:   math.Inf(-1),
+		}
+		leakPower := 0.0
+		for _, arr := range leakyRes.AllArrivals[slot] {
+			if arr.OffGates != 1 {
+				continue // the signal itself, or a higher-order term
+			}
+			leakPower += math.Pow(10, -arr.LossDB/10)
+			rep.Leakers++
+		}
+		if leakPower > 0 {
+			rep.LeakDB = 10 * math.Log10(leakPower)
+			rep.Ratio = rep.SignalDB - rep.LeakDB
+		}
+		reports[slot] = rep
+	}
+	return reports, nil
+}
+
+// WorstCrosstalkRatio returns the lowest signal-to-crosstalk ratio over
+// all delivered slots (the design's worst case), or +Inf if no slot sees
+// leakage.
+func (f *Fabric) WorstCrosstalkRatio() (float64, error) {
+	reports, err := f.CrosstalkAt()
+	if err != nil {
+		return 0, err
+	}
+	worst := math.Inf(1)
+	for _, r := range reports {
+		if r.Ratio < worst {
+			worst = r.Ratio
+		}
+	}
+	return worst, nil
+}
+
+func (r CrosstalkReport) String() string {
+	if math.IsInf(r.Ratio, 1) {
+		return fmt.Sprintf("%v: signal %.1f dB, no first-order leakage", r.Slot, r.SignalDB)
+	}
+	return fmt.Sprintf("%v: signal %.1f dB, leak %.1f dB from %d interferer(s), ratio %.1f dB",
+		r.Slot, r.SignalDB, r.LeakDB, r.Leakers, r.Ratio)
+}

@@ -1,0 +1,112 @@
+package fabric
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// buildTwoByTwo wires a minimal 2x2 single-wavelength gate crossbar:
+// two inputs, two splitters, four gates, two combiners, two outputs.
+func buildTwoByTwo(t *testing.T) (*Fabric, [2][2]ElemID) {
+	t.Helper()
+	f := New()
+	var gates [2][2]ElemID
+	var splitters [2]ElemID
+	var combiners [2]ElemID
+	for q := 0; q < 2; q++ {
+		in := f.AddInput(wdm.Port(q))
+		sp := f.AddSplitter("s")
+		splitters[q] = sp
+		f.Connect(in, sp)
+	}
+	for p := 0; p < 2; p++ {
+		out := f.AddOutput(wdm.Port(p))
+		cb := f.AddCombiner("c")
+		combiners[p] = cb
+		f.Connect(cb, out)
+	}
+	for q := 0; q < 2; q++ {
+		for p := 0; p < 2; p++ {
+			g := f.AddGate("g")
+			gates[q][p] = g
+			f.Connect(splitters[q], g)
+			f.Connect(g, combiners[p])
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return f, gates
+}
+
+func TestCrosstalkNoLeakWhenAlone(t *testing.T) {
+	f, gates := buildTwoByTwo(t)
+	f.SetGate(gates[0][0], true)
+	f.Inject(wdm.PortWave{Port: 0, Wave: 0}, 1)
+	reports, err := f.CrosstalkAt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reports[wdm.PortWave{Port: 0, Wave: 0}]
+	// The lone signal leaks through its own row's off gate (0->1), so
+	// output 0's slot itself sees no interference from others.
+	if !math.IsInf(rep.Ratio, 1) {
+		t.Errorf("single-signal slot reports interference: %v", rep)
+	}
+	if !strings.Contains(rep.String(), "no first-order leakage") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestCrosstalkBetweenTwoSignals(t *testing.T) {
+	// Straight configuration: 0->0 and 1->1. The off gates 0->1 and 1->0
+	// leak each signal onto the other's output.
+	f, gates := buildTwoByTwo(t)
+	f.SetGate(gates[0][0], true)
+	f.SetGate(gates[1][1], true)
+	f.Inject(wdm.PortWave{Port: 0, Wave: 0}, 1)
+	f.Inject(wdm.PortWave{Port: 1, Wave: 0}, 2)
+	reports, err := f.CrosstalkAt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range []wdm.PortWave{{Port: 0, Wave: 0}, {Port: 1, Wave: 0}} {
+		rep := reports[slot]
+		if rep.Leakers != 1 {
+			t.Errorf("slot %v: %d leakers, want 1 (%v)", slot, rep.Leakers, rep)
+		}
+		// Signal and leak take symmetric paths, so the ratio equals the
+		// extinction ratio exactly.
+		if math.Abs(rep.Ratio-GateExtinctionDB) > 1e-9 {
+			t.Errorf("slot %v: ratio %.2f dB, want extinction %.2f dB", slot, rep.Ratio, GateExtinctionDB)
+		}
+	}
+	worst, err := f.WorstCrosstalkRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(worst-GateExtinctionDB) > 1e-9 {
+		t.Errorf("worst ratio %.2f dB", worst)
+	}
+}
+
+func TestCrosstalkGateStateRestored(t *testing.T) {
+	f, gates := buildTwoByTwo(t)
+	f.SetGate(gates[0][0], true)
+	f.Inject(wdm.PortWave{Port: 0, Wave: 0}, 1)
+	if _, err := f.CrosstalkAt(); err != nil {
+		t.Fatal(err)
+	}
+	// The probe must leave all gate states exactly as configured.
+	for q := 0; q < 2; q++ {
+		for p := 0; p < 2; p++ {
+			want := q == 0 && p == 0
+			if f.GateOn(gates[q][p]) != want {
+				t.Errorf("gate %d,%d state disturbed", q, p)
+			}
+		}
+	}
+}

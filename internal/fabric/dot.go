@@ -1,0 +1,59 @@
+package fabric
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the element graph in Graphviz DOT format — the
+// structural regeneration of the paper's switch diagrams (Figs. 5-7):
+// every splitter, SOA gate, combiner, converter and (de)mux appears as a
+// node with the wiring as edges. Gates that are currently on are filled;
+// converters show their configured target wavelength. Render with e.g.
+// `dot -Tsvg`.
+func (f *Fabric) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph fabric {\n  rankdir=LR;\n  label=%q;\n  labelloc=t;\n", title); err != nil {
+		return err
+	}
+	for id, e := range f.elems {
+		attrs := ""
+		switch e.kind {
+		case Input:
+			attrs = `shape=rarrow, style=filled, fillcolor="#d0e8ff"`
+		case Output:
+			attrs = `shape=rarrow, style=filled, fillcolor="#d0ffd8"`
+		case Splitter:
+			attrs = "shape=triangle"
+		case Combiner:
+			attrs = "shape=invtriangle"
+		case Gate:
+			if e.gateOn {
+				attrs = `shape=square, style=filled, fillcolor="#ffd27f"`
+			} else {
+				attrs = "shape=square"
+			}
+		case Converter:
+			if e.convertTo != NoConversion {
+				attrs = fmt.Sprintf(`shape=diamond, style=filled, fillcolor="#ffc0cb", xlabel="→λ%d"`, e.convertTo)
+			} else {
+				attrs = "shape=diamond"
+			}
+		case Demux:
+			attrs = "shape=house"
+		case Mux:
+			attrs = "shape=invhouse"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q, %s];\n", id, e.label, attrs); err != nil {
+			return err
+		}
+	}
+	for id, e := range f.elems {
+		for _, out := range e.outs {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", id, out); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

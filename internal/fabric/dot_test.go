@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func TestWriteDOT(t *testing.T) {
+	f := New()
+	in := f.AddInput(0)
+	sp := f.AddSplitter("split")
+	g := f.AddGate("gate")
+	cv := f.AddConverter("conv")
+	cb := f.AddCombiner("comb")
+	out := f.AddOutput(0)
+	f.Connect(in, sp)
+	f.Connect(sp, g)
+	f.Connect(g, cv)
+	f.Connect(cv, cb)
+	f.Connect(cb, out)
+	f.SetGate(g, true)
+	f.SetConverter(cv, wdm.Wavelength(1))
+
+	var b strings.Builder
+	if err := f.WriteDOT(&b, "test fabric"); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, want := range []string{
+		"digraph fabric",
+		`label="test fabric"`,
+		`label="split"`, "shape=triangle",
+		`label="gate"`, `fillcolor="#ffd27f"`, // gate on → filled
+		`label="conv"`, "→λ1", // converter target annotated
+		"shape=invtriangle",
+		"n0 -> n1",
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Edge count: 5 connects.
+	if got := strings.Count(dot, "->"); got != 5 {
+		t.Errorf("%d edges, want 5", got)
+	}
+}
+
+func TestWriteDOTOffGateUnfilled(t *testing.T) {
+	f := New()
+	in := f.AddInput(0)
+	g := f.AddGate("g")
+	out := f.AddOutput(0)
+	f.Connect(in, g)
+	f.Connect(g, out)
+	var b strings.Builder
+	if err := f.WriteDOT(&b, ""); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#ffd27f") {
+		t.Error("off gate rendered as filled")
+	}
+}

@@ -1,0 +1,373 @@
+package fabric
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func pw(p, w int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+}
+
+// buildWire builds the smallest useful fabric:
+// input -> gate -> output, single port, single wavelength.
+func buildWire(t *testing.T) (*Fabric, ElemID) {
+	t.Helper()
+	f := New()
+	in := f.AddInput(0)
+	g := f.AddGate("g")
+	out := f.AddOutput(0)
+	f.Connect(in, g)
+	f.Connect(g, out)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("wire fabric invalid: %v", err)
+	}
+	return f, g
+}
+
+func TestGatePassesAndBlocks(t *testing.T) {
+	f, g := buildWire(t)
+	f.Inject(pw(0, 0), 7)
+
+	// Gate off: nothing arrives.
+	res, err := f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if len(res.Arrived) != 0 {
+		t.Errorf("gate off but %d signals arrived", len(res.Arrived))
+	}
+
+	// Gate on: the signal arrives at (p0, λ0) with gate loss.
+	f.SetGate(g, true)
+	res, err = f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	s, ok := res.Arrived[pw(0, 0)]
+	if !ok {
+		t.Fatal("signal did not arrive")
+	}
+	if s.ID != 7 || s.Gates != 1 {
+		t.Errorf("arrived signal = %+v, want ID 7 through 1 gate", s)
+	}
+	if s.LossDB != GateLossDB {
+		t.Errorf("loss = %v, want %v", s.LossDB, GateLossDB)
+	}
+}
+
+func TestSplitterCopiesSignal(t *testing.T) {
+	// input -> splitter -> two gates -> two outputs.
+	f := New()
+	in := f.AddInput(0)
+	sp := f.AddSplitter("s")
+	g0, g1 := f.AddGate("g0"), f.AddGate("g1")
+	o0, o1 := f.AddOutput(0), f.AddOutput(1)
+	f.Connect(in, sp)
+	f.Connect(sp, g0)
+	f.Connect(sp, g1)
+	f.Connect(g0, o0)
+	f.Connect(g1, o1)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	f.SetGate(g0, true)
+	f.SetGate(g1, true)
+	f.Inject(pw(0, 0), 1)
+	res, err := f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if len(res.Arrived) != 2 {
+		t.Fatalf("multicast delivered to %d slots, want 2", len(res.Arrived))
+	}
+	wantLoss := SplitLossDB(2) + GateLossDB
+	for slot, s := range res.Arrived {
+		if math.Abs(s.LossDB-wantLoss) > 1e-9 {
+			t.Errorf("slot %v loss = %v, want %v", slot, s.LossDB, wantLoss)
+		}
+	}
+
+	// Turning one branch off prunes only that leaf.
+	f.SetGate(g1, false)
+	res, err = f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if len(res.Arrived) != 1 {
+		t.Fatalf("after pruning, %d arrivals, want 1", len(res.Arrived))
+	}
+	if _, ok := res.Arrived[pw(0, 0)]; !ok {
+		t.Error("surviving branch should deliver to port 0")
+	}
+}
+
+func TestConverterChangesWavelength(t *testing.T) {
+	f := New()
+	in := f.AddInput(0)
+	cv := f.AddConverter("c")
+	out := f.AddOutput(0)
+	f.Connect(in, cv)
+	f.Connect(cv, out)
+	f.Inject(pw(0, 0), 3)
+
+	// Transparent: wavelength unchanged.
+	res, err := f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if _, ok := res.Arrived[pw(0, 0)]; !ok {
+		t.Fatal("transparent converter dropped the signal")
+	}
+
+	// Converting: signal arrives on λ1.
+	f.SetConverter(cv, 1)
+	res, err = f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if _, stale := res.Arrived[pw(0, 0)]; stale {
+		t.Error("signal still on λ0 after conversion")
+	}
+	s, ok := res.Arrived[pw(0, 1)]
+	if !ok {
+		t.Fatal("converted signal missing on λ1")
+	}
+	if s.LossDB != ConverterLossDB {
+		t.Errorf("loss = %v, want %v", s.LossDB, ConverterLossDB)
+	}
+}
+
+func TestCombinerCollisionDetected(t *testing.T) {
+	// Two inputs feed one combiner; injecting on both must fault.
+	f := New()
+	i0, i1 := f.AddInput(0), f.AddInput(1)
+	cb := f.AddCombiner("c")
+	out := f.AddOutput(0)
+	f.Connect(i0, cb)
+	f.Connect(i1, cb)
+	f.Connect(cb, out)
+	f.Inject(pw(0, 0), 1)
+	res, err := f.Propagate()
+	if err != nil || len(res.Arrived) != 1 {
+		t.Fatalf("single signal through combiner failed: %v", err)
+	}
+	f.Inject(pw(1, 0), 2)
+	if _, err := f.Propagate(); err == nil {
+		t.Error("combiner accepted two simultaneous signals")
+	} else if !strings.Contains(err.Error(), "combiner") {
+		t.Errorf("error %q does not mention combiner", err)
+	}
+}
+
+func TestMuxWavelengthCollision(t *testing.T) {
+	// Two inputs on the same wavelength into one mux must fault; on
+	// different wavelengths they coexist.
+	f := New()
+	i0, i1 := f.AddInput(0), f.AddInput(1)
+	cv := f.AddConverter("shift")
+	mx := f.AddMux("m")
+	out := f.AddOutput(0)
+	f.Connect(i0, mx)
+	f.Connect(i1, cv)
+	f.Connect(cv, mx)
+	f.Connect(mx, out)
+
+	f.Inject(pw(0, 0), 1)
+	f.Inject(pw(1, 0), 2)
+	if _, err := f.Propagate(); err == nil {
+		t.Error("mux accepted two signals on λ0")
+	}
+
+	// Shift the second signal to λ1: now both fit.
+	f.SetConverter(cv, 1)
+	res, err := f.Propagate()
+	if err != nil {
+		t.Fatalf("mux with distinct wavelengths: %v", err)
+	}
+	if len(res.Arrived) != 2 {
+		t.Errorf("%d arrivals, want 2", len(res.Arrived))
+	}
+}
+
+func TestDemuxRoutesByWavelength(t *testing.T) {
+	// input -> demux with 2 wavelength branches -> outputs 0 and 1.
+	f := New()
+	in := f.AddInput(0)
+	dm := f.AddDemux("d")
+	o0, o1 := f.AddOutput(0), f.AddOutput(1)
+	f.Connect(in, dm)
+	f.Connect(dm, o0) // λ0 branch
+	f.Connect(dm, o1) // λ1 branch
+	f.Inject(pw(0, 0), 10)
+	f.Inject(pw(0, 1), 11)
+	res, err := f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if s := res.Arrived[pw(0, 0)]; s.ID != 10 {
+		t.Errorf("λ0 branch got signal %d, want 10", s.ID)
+	}
+	if s := res.Arrived[pw(1, 1)]; s.ID != 11 {
+		t.Errorf("λ1 branch got signal %d, want 11", s.ID)
+	}
+}
+
+func TestDemuxUnknownWavelengthFaults(t *testing.T) {
+	f := New()
+	in := f.AddInput(0)
+	dm := f.AddDemux("d")
+	o0 := f.AddOutput(0)
+	f.Connect(in, dm)
+	f.Connect(dm, o0) // only λ0
+	f.Inject(pw(0, 1), 1)
+	if _, err := f.Propagate(); err == nil {
+		t.Error("demux accepted a wavelength it has no branch for")
+	}
+}
+
+func TestOutputSlotCollision(t *testing.T) {
+	// Two separate paths deliver to the same output port on the same
+	// wavelength: must fault at the output terminal.
+	f := New()
+	i0, i1 := f.AddInput(0), f.AddInput(1)
+	out := f.AddOutput(0)
+	f.Connect(i0, out)
+	f.Connect(i1, out)
+	f.Inject(pw(0, 0), 1)
+	f.Inject(pw(1, 0), 2)
+	if _, err := f.Propagate(); err == nil {
+		t.Error("output slot accepted two signals")
+	}
+}
+
+func TestValidateArityRules(t *testing.T) {
+	f := New()
+	f.AddInput(0) // no outs: invalid
+	if err := f.Validate(); err == nil {
+		t.Error("dangling input accepted")
+	}
+
+	f2 := New()
+	in := f2.AddInput(0)
+	g := f2.AddGate("g")
+	f2.Connect(in, g) // gate with no out: invalid
+	if err := f2.Validate(); err == nil {
+		t.Error("dangling gate accepted")
+	}
+}
+
+func TestValidateCycleDetection(t *testing.T) {
+	f := New()
+	a := f.AddGate("a")
+	b := f.AddGate("b")
+	f.Connect(a, b)
+	f.Connect(b, a)
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+}
+
+func TestInjectTwicePanics(t *testing.T) {
+	f, _ := buildWire(t)
+	f.Inject(pw(0, 0), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double injection did not panic")
+		}
+	}()
+	f.Inject(pw(0, 0), 2)
+}
+
+func TestClearSignals(t *testing.T) {
+	f, g := buildWire(t)
+	f.SetGate(g, true)
+	f.Inject(pw(0, 0), 1)
+	f.ClearSignals()
+	res, err := f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if len(res.Arrived) != 0 {
+		t.Error("signals survived ClearSignals")
+	}
+	if _, ok := f.Injected(pw(0, 0)); ok {
+		t.Error("Injected still reports a signal")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	f := New()
+	in := f.AddInput(0)
+	sp := f.AddSplitter("s")
+	g0, g1 := f.AddGate("g0"), f.AddGate("g1")
+	cv := f.AddConverter("c")
+	cb := f.AddCombiner("cb")
+	out := f.AddOutput(0)
+	f.Connect(in, sp)
+	f.Connect(sp, g0)
+	f.Connect(sp, g1)
+	f.Connect(g0, cb)
+	f.Connect(g1, cv)
+	f.Connect(cv, cb)
+	f.Connect(cb, out)
+	if got := f.Crosspoints(); got != 2 {
+		t.Errorf("Crosspoints = %d, want 2", got)
+	}
+	if got := f.Converters(); got != 1 {
+		t.Errorf("Converters = %d, want 1", got)
+	}
+	if got := f.Count(Splitter); got != 1 {
+		t.Errorf("splitters = %d, want 1", got)
+	}
+	if got := f.Elements(); got != 7 {
+		t.Errorf("Elements = %d, want 7", got)
+	}
+}
+
+func TestSplitLossDB(t *testing.T) {
+	if SplitLossDB(1) != 0 {
+		t.Error("1-way split should be lossless")
+	}
+	if math.Abs(SplitLossDB(2)-3.0103) > 0.001 {
+		t.Errorf("2-way split loss = %v, want ~3.01 dB", SplitLossDB(2))
+	}
+	if math.Abs(SplitLossDB(10)-10) > 1e-9 {
+		t.Errorf("10-way split loss = %v, want 10 dB", SplitLossDB(10))
+	}
+}
+
+func TestSetGateOnNonGatePanics(t *testing.T) {
+	f := New()
+	sp := f.AddSplitter("s")
+	defer func() {
+		if recover() == nil {
+			t.Error("SetGate on splitter did not panic")
+		}
+	}()
+	f.SetGate(sp, true)
+}
+
+func TestResultDelivered(t *testing.T) {
+	f := New()
+	in := f.AddInput(0)
+	sp := f.AddSplitter("s")
+	o0, o1 := f.AddOutput(0), f.AddOutput(1)
+	f.Connect(in, sp)
+	f.Connect(sp, o0)
+	f.Connect(sp, o1)
+	f.Inject(pw(0, 0), 42)
+	res, err := f.Propagate()
+	if err != nil {
+		t.Fatalf("propagate: %v", err)
+	}
+	if got := res.Delivered(42); len(got) != 2 {
+		t.Errorf("Delivered(42) = %v, want 2 slots", got)
+	}
+	if got := res.Delivered(7); len(got) != 0 {
+		t.Errorf("Delivered(7) = %v, want none", got)
+	}
+}

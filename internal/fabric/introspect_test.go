@@ -1,0 +1,154 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func TestIntrospectionAccessors(t *testing.T) {
+	f := New()
+	in := f.AddInput(0)
+	dm := f.AddDemux("d")
+	cv := f.AddConverter("c")
+	mx := f.AddMux("m")
+	out := f.AddOutput(0)
+	f.Connect(in, dm)
+	f.Connect(dm, cv)
+	f.Connect(cv, mx)
+	f.Connect(mx, out)
+
+	if got := f.Label(cv); got != "c" {
+		t.Errorf("Label = %q", got)
+	}
+	if got := f.KindOf(dm); got != Demux {
+		t.Errorf("KindOf = %v", got)
+	}
+	if got := f.ConverterTarget(cv); got != NoConversion {
+		t.Errorf("idle converter target = %v", got)
+	}
+	f.SetConverter(cv, 1)
+	if got := f.ConverterTarget(cv); got != wdm.Wavelength(1) {
+		t.Errorf("converter target = %v, want 1", got)
+	}
+	if got := f.ElementsOf(Converter); len(got) != 1 || got[0] != cv {
+		t.Errorf("ElementsOf(Converter) = %v", got)
+	}
+	if got := f.ElementsOf(Gate); got != nil {
+		t.Errorf("ElementsOf(Gate) = %v, want none", got)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	names := map[Kind]string{
+		Input: "input", Output: "output", Splitter: "splitter",
+		Combiner: "combiner", Gate: "gate", Converter: "converter",
+		Demux: "demux", Mux: "mux",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Errorf("unknown kind string = %q", Kind(99).String())
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	f := New()
+	g := f.AddGate("g")
+	cases := []func(){
+		func() { f.Label(ElemID(99)) },
+		func() { f.KindOf(ElemID(-1)) },
+		func() { f.ConverterTarget(g) }, // not a converter
+		func() { f.SetConverter(g, 0) },
+		func() { f.GateOn(ElemID(42)) },
+		func() { f.Connect(g, ElemID(7)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateMoreArity(t *testing.T) {
+	// Combiner with no out.
+	f := New()
+	in := f.AddInput(0)
+	cb := f.AddCombiner("c")
+	f.Connect(in, cb)
+	if err := f.Validate(); err == nil {
+		t.Error("combiner without output accepted")
+	}
+	// Output with an out edge.
+	f2 := New()
+	i2 := f2.AddInput(0)
+	o2 := f2.AddOutput(0)
+	g2 := f2.AddGate("g")
+	f2.Connect(i2, o2)
+	f2.Connect(o2, g2)
+	f2.Connect(g2, o2) // also creates a gate in+out, but output now has an out
+	if err := f2.Validate(); err == nil {
+		t.Error("output terminal with outgoing edge accepted")
+	}
+	// Splitter with two ins.
+	f3 := New()
+	a := f3.AddInput(0)
+	b := f3.AddInput(1)
+	sp := f3.AddSplitter("s")
+	o3 := f3.AddOutput(0)
+	f3.Connect(a, sp)
+	f3.Connect(b, sp)
+	f3.Connect(sp, o3)
+	if err := f3.Validate(); err == nil {
+		t.Error("splitter with two inputs accepted")
+	}
+}
+
+func TestDuplicateTerminalsPanic(t *testing.T) {
+	f := New()
+	f.AddInput(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate input terminal accepted")
+			}
+		}()
+		f.AddInput(3)
+	}()
+	f.AddOutput(3)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate output terminal accepted")
+			}
+		}()
+		f.AddOutput(3)
+	}()
+}
+
+func TestInjectUnknownPortPanics(t *testing.T) {
+	f := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("injection at a port with no terminal accepted")
+		}
+	}()
+	f.Inject(wdm.PortWave{Port: 9, Wave: 0}, 1)
+}
+
+func TestCrosstalkReportString(t *testing.T) {
+	r := CrosstalkReport{Slot: wdm.PortWave{Port: 1, Wave: 0}, SignalDB: -10, LeakDB: -52, Ratio: 42, Leakers: 2}
+	s := r.String()
+	if !strings.Contains(s, "42.0 dB") || !strings.Contains(s, "2 interferer") {
+		t.Errorf("String() = %q", s)
+	}
+}

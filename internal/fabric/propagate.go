@@ -1,0 +1,238 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wdm"
+)
+
+// Optical power-loss constants, in dB, for the loss projection the paper
+// attributes to crosspoint count (Section 2.3). The absolute values are
+// representative of the devices cited there (SOA gate arrays, passive
+// splitters/combiners); the experiments compare *relative* loss between
+// designs, which depends only on the element structure.
+const (
+	// GateLossDB is the net insertion loss of an SOA crosspoint gate
+	// (SOAs provide gain, but gate arrays are usually biased for a small
+	// net loss to bound crosstalk).
+	GateLossDB = 1.0
+	// ConverterLossDB is the insertion loss of an all-optical wavelength
+	// converter.
+	ConverterLossDB = 2.0
+	// MuxDemuxLossDB is the insertion loss of a (de)multiplexer stage.
+	MuxDemuxLossDB = 0.5
+)
+
+// SplitLossDB returns the passive splitting/combining loss of a 1-to-f
+// (or f-to-1) element: 10*log10(f) dB.
+func SplitLossDB(fanout int) float64 {
+	if fanout <= 1 {
+		return 0
+	}
+	return 10 * math.Log10(float64(fanout))
+}
+
+// Signal is a tracked light signal inside the fabric.
+type Signal struct {
+	// ID is the caller-assigned identity (e.g. a connection number).
+	ID int
+	// Wave is the current wavelength of the signal.
+	Wave wdm.Wavelength
+	// LossDB accumulates the optical power loss along the path so far.
+	LossDB float64
+	// Hops counts traversed elements (a proxy for accumulated crosstalk:
+	// each active element a signal crosses contributes leakage paths).
+	Hops int
+	// Gates counts traversed SOA gates specifically: the paper projects
+	// crosstalk from the number of crosspoints on a signal's path.
+	Gates int
+	// OffGates counts off gates the signal leaked through (nonzero only
+	// in the leaky propagation mode used for crosstalk estimation; a
+	// value of 1 marks a first-order leak term).
+	OffGates int
+}
+
+// Result is the outcome of a propagation pass.
+type Result struct {
+	// Arrived maps each output slot to the signal delivered there.
+	Arrived map[wdm.PortWave]Signal
+	// MaxLossDB is the largest accumulated loss among delivered signals.
+	MaxLossDB float64
+	// MaxGates is the largest per-signal gate count.
+	MaxGates int
+	// AllArrivals is populated only by the leaky (crosstalk) mode: every
+	// signal copy reaching each slot, including leaks through off gates.
+	AllArrivals map[wdm.PortWave][]Signal
+}
+
+// Delivered returns the set of output slots that received signal id.
+func (r *Result) Delivered(id int) []wdm.PortWave {
+	var out []wdm.PortWave
+	for slot, s := range r.Arrived {
+		if s.ID == id {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// Propagate pushes every injected signal through the element graph and
+// returns what arrived at the output terminals. It returns an error on
+// any optical fault:
+//
+//   - a combiner receiving two simultaneous signals;
+//   - a mux receiving two signals on one wavelength;
+//   - an output terminal receiving two signals on one wavelength;
+//   - a demux receiving a signal on a wavelength it has no output for.
+//
+// Element state (gates/converters) and injected signals are untouched, so
+// a propagation can be repeated or diffed after state changes.
+func (f *Fabric) Propagate() (*Result, error) {
+	return f.propagate(false)
+}
+
+func (f *Fabric) propagate(leaky bool) (*Result, error) {
+	order, err := f.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	incoming := make([][]Signal, len(f.elems))
+	for slot, sid := range f.injected {
+		in, ok := f.inputs[slot.Port]
+		if !ok {
+			return nil, fmt.Errorf("fabric: signal %d injected at %v but port has no input terminal", sid, slot)
+		}
+		incoming[in] = append(incoming[in], Signal{ID: sid, Wave: slot.Wave})
+	}
+
+	result := &Result{Arrived: make(map[wdm.PortWave]Signal)}
+	if leaky {
+		result.AllArrivals = make(map[wdm.PortWave][]Signal)
+	}
+
+	for _, id := range order {
+		e := f.elems[id]
+		sigs := incoming[id]
+		if len(sigs) == 0 {
+			continue
+		}
+		emit := func(s Signal, to ElemID) {
+			incoming[to] = append(incoming[to], s)
+		}
+		switch e.kind {
+		case Input:
+			// The input fiber forwards all wavelengths to its single
+			// downstream element (typically a demux).
+			for _, s := range sigs {
+				s.Hops++
+				for _, out := range e.outs {
+					emit(s, out)
+				}
+			}
+		case Splitter:
+			loss := SplitLossDB(len(e.outs))
+			for _, s := range sigs {
+				s.Hops++
+				s.LossDB += loss
+				for _, out := range e.outs {
+					emit(s, out)
+				}
+			}
+		case Gate:
+			if !e.gateOn {
+				if !leaky {
+					continue // signal absorbed
+				}
+				// Leaky mode: the gate's finite extinction lets an
+				// attenuated copy through.
+				for _, s := range sigs {
+					s.Hops++
+					s.Gates++
+					s.OffGates++
+					s.LossDB += GateLossDB + GateExtinctionDB
+					emit(s, e.outs[0])
+				}
+				continue
+			}
+			for _, s := range sigs {
+				s.Hops++
+				s.Gates++
+				s.LossDB += GateLossDB
+				emit(s, e.outs[0])
+			}
+		case Converter:
+			for _, s := range sigs {
+				s.Hops++
+				s.LossDB += ConverterLossDB
+				if e.convertTo != NoConversion {
+					s.Wave = e.convertTo
+				}
+				emit(s, e.outs[0])
+			}
+		case Demux:
+			for _, s := range sigs {
+				w := int(s.Wave)
+				if w < 0 || w >= len(e.outs) {
+					return nil, fmt.Errorf("fabric: demux %q received wavelength λ%d but has %d outputs", e.label, w, len(e.outs))
+				}
+				s.Hops++
+				s.LossDB += MuxDemuxLossDB
+				emit(s, e.outs[w])
+			}
+		case Combiner:
+			if !leaky && len(sigs) > 1 {
+				return nil, fmt.Errorf("fabric: combiner %q received %d simultaneous signals (ids %v) — combiners admit one",
+					e.label, len(sigs), signalIDs(sigs))
+			}
+			for _, s := range sigs {
+				s.Hops++
+				s.LossDB += SplitLossDB(len(e.ins))
+				emit(s, e.outs[0])
+			}
+		case Mux:
+			seen := make(map[wdm.Wavelength]int, len(sigs))
+			for _, s := range sigs {
+				if prev, dup := seen[s.Wave]; dup && !leaky {
+					return nil, fmt.Errorf("fabric: mux %q carries two signals (ids %d, %d) on wavelength λ%d",
+						e.label, prev, s.ID, s.Wave)
+				}
+				seen[s.Wave] = s.ID
+				s.Hops++
+				s.LossDB += MuxDemuxLossDB
+				emit(s, e.outs[0])
+			}
+		case Output:
+			for _, s := range sigs {
+				slot := wdm.PortWave{Port: e.port, Wave: s.Wave}
+				if leaky {
+					result.AllArrivals[slot] = append(result.AllArrivals[slot], s)
+					if s.OffGates == 0 {
+						result.Arrived[slot] = s
+					}
+					continue
+				}
+				if prev, dup := result.Arrived[slot]; dup {
+					return nil, fmt.Errorf("fabric: output slot %v receives two signals (ids %d, %d)",
+						slot, prev.ID, s.ID)
+				}
+				result.Arrived[slot] = s
+				if s.LossDB > result.MaxLossDB {
+					result.MaxLossDB = s.LossDB
+				}
+				if s.Gates > result.MaxGates {
+					result.MaxGates = s.Gates
+				}
+			}
+		}
+	}
+	return result, nil
+}
+
+func signalIDs(sigs []Signal) []int {
+	ids := make([]int, len(sigs))
+	for i, s := range sigs {
+		ids[i] = s.ID
+	}
+	return ids
+}

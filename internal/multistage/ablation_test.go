@@ -1,0 +1,68 @@
+package multistage
+
+import (
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// TestFirstFitStrategyRoutes sanity-checks the FirstFit ablation: it
+// must still route ordinary traffic correctly (just without the greedy
+// guarantee).
+func TestFirstFitStrategyRoutes(t *testing.T) {
+	net := mustNetwork(t, Params{
+		N: 8, K: 2, R: 4, Model: wdm.MSW, Strategy: FirstFit,
+	})
+	mustAdd(t, net, conn(pw(0, 0), pw(1, 0), pw(3, 0), pw(5, 0), pw(7, 0)))
+	mustAdd(t, net, conn(pw(4, 1), pw(0, 1), pw(6, 1)))
+	mustVerify(t, net)
+}
+
+// TestConservativeLinksWastesCapacity demonstrates the set-vs-multiset
+// ablation of the destination multisets (Eqs. 2-5): with plain-set link
+// semantics, an MAW-dominant network blocks a request that the multiset
+// semantics routes through partially used links.
+func TestConservativeLinksWastesCapacity(t *testing.T) {
+	// Single middle module, k=2: one connection touches the links; under
+	// conservative semantics a second connection from the same input
+	// module finds no "untouched" middle link and blocks, while the
+	// multiset router uses the links' second wavelength.
+	base := Params{N: 4, K: 2, R: 2, M: 1, X: 1, Model: wdm.MAW, Construction: MAWDominant}
+	a := conn(pw(0, 0), pw(3, 0))
+	b := conn(pw(1, 0), pw(2, 0))
+
+	multi := mustNetwork(t, base)
+	mustAdd(t, multi, a)
+	mustAdd(t, multi, b) // second wavelength of the shared links
+	mustVerify(t, multi)
+
+	consBase := base
+	consBase.ConservativeLinks = true
+	cons := mustNetwork(t, consBase)
+	mustAdd(t, cons, a)
+	if _, err := cons.Add(b); !IsBlocked(err) {
+		t.Errorf("conservative links should block the second connection, got %v", err)
+	}
+}
+
+// TestStrategyString covers the diagnostic names.
+func TestStrategyString(t *testing.T) {
+	if GreedyMinIntersection.String() != "greedy-min-intersection" || FirstFit.String() != "first-fit" {
+		t.Error("strategy names wrong")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy name empty")
+	}
+}
+
+// TestFirstFitMulticastSplit checks that FirstFit still honours the
+// <= X split limit and produces consistent linkage.
+func TestFirstFitMulticastSplit(t *testing.T) {
+	net := mustNetwork(t, Params{
+		N: 16, K: 2, R: 4, Model: wdm.MAW, Construction: MAWDominant, Strategy: FirstFit,
+	})
+	// Broad multicast across all four output modules.
+	mustAdd(t, net, conn(pw(0, 0), pw(2, 1), pw(6, 0), pw(10, 1), pw(14, 0)))
+	mustAdd(t, net, conn(pw(1, 1), pw(3, 0), pw(7, 1)))
+	mustVerify(t, net)
+}

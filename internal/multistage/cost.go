@@ -1,0 +1,85 @@
+package multistage
+
+import (
+	"repro/internal/crossbar"
+	"repro/internal/wdm"
+)
+
+// Cost returns the network's total hardware counts by summing its
+// modules' (audited or closed-form) costs.
+func (net *Network) Cost() crossbar.Cost {
+	var total crossbar.Cost
+	for _, m := range net.inMods {
+		total.Add(m.Cost())
+	}
+	for _, m := range net.midMods {
+		total.Add(m.Cost())
+	}
+	for _, m := range net.outMods {
+		total.Add(m.Cost())
+	}
+	return total
+}
+
+// CostFormula returns the closed-form total cost of a three-stage network
+// with the given parameters without building it: r input modules of shape
+// n x m, m middle modules r x r, and r output modules m x n, each costed
+// by the crossbar formulas for its model.
+func CostFormula(p Params) (crossbar.Cost, error) {
+	p, err := p.Normalize()
+	if err != nil {
+		return crossbar.Cost{}, err
+	}
+	n, r, m, k := p.n(), p.R, p.M, p.K
+	s12 := p.Construction.Stage12Model()
+	var total crossbar.Cost
+	total.Add(crossbar.CostFormula(s12, wdm.Shape{In: n, Out: m, K: k}).Scale(r))
+	if p.Depth > 3 {
+		rn, err := nestedSplit(r, p.Depth-2)
+		if err != nil {
+			return crossbar.Cost{}, err
+		}
+		nested, err := CostFormula(Params{
+			N: r, K: k, R: rn, Model: s12,
+			Construction: p.Construction, Depth: p.Depth - 2,
+		})
+		if err != nil {
+			return crossbar.Cost{}, err
+		}
+		total.Add(nested.Scale(m))
+	} else {
+		total.Add(crossbar.CostFormula(s12, wdm.Shape{In: r, Out: r, K: k}).Scale(m))
+	}
+	total.Add(crossbar.CostFormula(p.Model, wdm.Shape{In: m, Out: n, K: k}).Scale(r))
+	return total, nil
+}
+
+// PaperCrosspoints returns Section 3.4's closed forms for the
+// MSW-dominant construction's crosspoint count:
+//
+//	MSW model:        kmr(2n + r)
+//	MSDW/MAW models:  kmr((k+1)n + r)
+//
+// These must equal CostFormula's sum for the same parameters; the tests
+// assert it.
+func PaperCrosspoints(model wdm.Model, n, r, m, k int) int {
+	if model == wdm.MSW {
+		return k * m * r * (2*n + r)
+	}
+	return k * m * r * ((k+1)*n + r)
+}
+
+// PaperConverters returns Section 3.4's converter counts for the
+// MSW-dominant construction: 0 (MSW), r*m*k (MSDW: one converter per
+// output-module input slot), r*n*k = kN (MAW: one per output-module
+// output slot).
+func PaperConverters(model wdm.Model, n, r, m, k int) int {
+	switch model {
+	case wdm.MSW:
+		return 0
+	case wdm.MSDW:
+		return r * m * k
+	default: // MAW
+		return r * n * k
+	}
+}

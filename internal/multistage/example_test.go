@@ -1,0 +1,65 @@
+package multistage_test
+
+import (
+	"fmt"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// Building a defaulted three-stage network: M and X are filled from the
+// sufficient nonblocking bound for the construction and model.
+func ExampleNew() {
+	net, err := multistage.New(multistage.Params{
+		N: 16, K: 2, R: 4, Model: wdm.MSW,
+	})
+	if err != nil {
+		panic(err)
+	}
+	p := net.Params()
+	fmt.Printf("n=%d r=%d m=%d x=%d\n", p.N/p.R, p.R, p.M, p.X)
+
+	id, err := net.Add(wdm.Connection{
+		Source: wdm.PortWave{Port: 0, Wave: 0},
+		Dests: []wdm.PortWave{
+			{Port: 5, Wave: 0}, {Port: 10, Wave: 0}, {Port: 15, Wave: 0},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("routed:", id, "verify:", net.Verify() == nil)
+	// Output:
+	// n=4 r=4 m=13 x=2
+	// routed: 0 verify: true
+}
+
+// Theorem 1's exact bound and the asymptotic form of Section 3.4.
+func ExampleTheorem1MinM() {
+	n, r := 8, 8
+	fmt.Println(multistage.Theorem1MinM(n, r), multistage.Theorem1BestX(n, r), multistage.AsymptoticM(n, r))
+	// Output: 34 2 60
+}
+
+// The paper's Fig. 10 in four lines: the same request blocks under the
+// MSW-dominant construction and routes under the MAW-dominant one.
+func ExampleConstruction() {
+	a := wdm.Connection{Source: wdm.PortWave{Port: 0, Wave: 0}, Dests: []wdm.PortWave{{Port: 3, Wave: 0}}}
+	b := wdm.Connection{Source: wdm.PortWave{Port: 1, Wave: 0}, Dests: []wdm.PortWave{{Port: 2, Wave: 0}}}
+	for _, constr := range []multistage.Construction{multistage.MSWDominant, multistage.MAWDominant} {
+		net, err := multistage.New(multistage.Params{
+			N: 4, K: 2, R: 2, M: 1, X: 1, Model: wdm.MAW, Construction: constr, Lite: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := net.Add(a); err != nil {
+			panic(err)
+		}
+		_, err = net.Add(b)
+		fmt.Printf("%v blocked=%v\n", constr, multistage.IsBlocked(err))
+	}
+	// Output:
+	// MSW-dominant blocked=true
+	// MAW-dominant blocked=false
+}

@@ -1,0 +1,149 @@
+package multistage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/wdm"
+)
+
+// Candidate records how one available middle module looked to the
+// selection loop for a particular request.
+type Candidate struct {
+	Middle  int
+	Blocked []int // requested output modules this middle cannot reach
+	Serves  []int // modules it was assigned (empty if not chosen)
+	Chosen  bool
+}
+
+// Explanation is a dry-run account of how a request would route: which
+// middle modules were available, what each one's destination
+// (multi)set blocked, and which were selected in what order — the
+// observable form of Lemma 4's condition. Explanations never mutate the
+// network.
+type Explanation struct {
+	Request     wdm.Connection
+	SourceMod   int
+	DestMods    []int
+	LastHopWave wdm.Wavelength // -1 = any free wavelength acceptable
+	Available   []int
+	Unavailable []int // middles with no usable input-stage link
+	Rounds      []Candidate
+	Routable    bool
+	Residual    []int // uncovered modules when not routable
+}
+
+// Explain dry-runs the routing decision for an admissible request
+// against the current network state. The request is not installed. It
+// returns an error only for inadmissible requests (model violation or
+// busy slots); a blocked request yields Routable=false with the
+// uncovered modules listed.
+func (net *Network) Explain(c wdm.Connection) (*Explanation, error) {
+	if err := net.Shape().CheckConnection(net.params.Model, c); err != nil {
+		return nil, err
+	}
+	if id, busy := net.srcBusy[c.Source]; busy {
+		return nil, fmt.Errorf("multistage: source slot %v already used by connection %d", c.Source, id)
+	}
+	for _, d := range c.Dests {
+		if id, busy := net.dstBusy[d]; busy {
+			return nil, fmt.Errorf("multistage: destination slot %v already used by connection %d", d, id)
+		}
+	}
+	c = c.Normalize()
+	srcMod, _ := net.splitPort(c.Source.Port)
+
+	destMods := map[int]bool{}
+	for _, d := range c.Dests {
+		p, _ := net.splitPort(d.Port)
+		destMods[p] = true
+	}
+	ex := &Explanation{
+		Request:     c,
+		SourceMod:   srcMod,
+		LastHopWave: -1,
+	}
+	for p := range destMods {
+		ex.DestMods = append(ex.DestMods, p)
+	}
+	sort.Ints(ex.DestMods)
+	if net.params.Construction == MSWDominant || net.params.Model == wdm.MSW {
+		ex.LastHopWave = c.Source.Wave
+	}
+
+	ex.Available = net.availableMiddles(srcMod, c.Source.Wave)
+	availSet := map[int]bool{}
+	for _, j := range ex.Available {
+		availSet[j] = true
+	}
+	for j := range net.midMods {
+		if !availSet[j] {
+			ex.Unavailable = append(ex.Unavailable, j)
+		}
+	}
+
+	// Mirror Add's selection loop (kept in sync by
+	// TestExplainMatchesAdd), recording every candidate examined.
+	avail := append([]int(nil), ex.Available...)
+	residual := append([]int(nil), ex.DestMods...)
+	used := 0
+	for len(residual) > 0 && used < net.params.X && len(avail) > 0 {
+		bestIdx := -1
+		var bestCand Candidate
+		var bestResidual []int
+		for idx, j := range avail {
+			cand := Candidate{Middle: j}
+			var serve []int
+			for _, p := range residual {
+				if net.middleBlocked(j, p, ex.LastHopWave) {
+					cand.Blocked = append(cand.Blocked, p)
+				} else {
+					serve = append(serve, p)
+				}
+			}
+			if net.params.Strategy == FirstFit {
+				if len(serve) > 0 {
+					bestIdx, bestCand, bestResidual = idx, cand, cand.Blocked
+					bestCand.Serves = serve
+					break
+				}
+				continue
+			}
+			if bestIdx == -1 || len(cand.Blocked) < len(bestResidual) {
+				bestIdx, bestCand, bestResidual = idx, cand, cand.Blocked
+				bestCand.Serves = serve
+			}
+		}
+		if bestIdx == -1 || len(bestCand.Serves) == 0 {
+			break
+		}
+		bestCand.Chosen = true
+		ex.Rounds = append(ex.Rounds, bestCand)
+		residual = bestResidual
+		avail = append(avail[:bestIdx], avail[bestIdx+1:]...)
+		used++
+	}
+	ex.Routable = len(residual) == 0
+	ex.Residual = residual
+	return ex, nil
+}
+
+// String renders the explanation for humans (used by diagnostics).
+func (ex *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "request %v: input module %d -> output modules %v\n", ex.Request, ex.SourceMod, ex.DestMods)
+	if ex.LastHopWave >= 0 {
+		fmt.Fprintf(&b, "last hop pinned to λ%d\n", ex.LastHopWave)
+	}
+	fmt.Fprintf(&b, "available middles: %v (unavailable: %v)\n", ex.Available, ex.Unavailable)
+	for i, c := range ex.Rounds {
+		fmt.Fprintf(&b, "split %d: middle %d serves %v (blocked for %v)\n", i+1, c.Middle, c.Serves, c.Blocked)
+	}
+	if ex.Routable {
+		b.WriteString("result: ROUTABLE\n")
+	} else {
+		fmt.Fprintf(&b, "result: BLOCKED — modules %v uncovered\n", ex.Residual)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package multistage
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// TestExplainMatchesAdd is the drift guard between the dry-run
+// explanation and the real router: on a long random workload against an
+// undersized network, Explain's verdict must always agree with what Add
+// then does, and for routable requests the chosen middles must carry the
+// connection exactly as predicted.
+func TestExplainMatchesAdd(t *testing.T) {
+	net := mustNetwork(t, Params{
+		N: 16, K: 2, R: 4, M: 4, X: 2, Model: wdm.MSW, Lite: true,
+	})
+	d := wdm.Dim{N: 16, K: 2}
+	gen := workload.NewGenerator(12, wdm.MSW, d)
+	rng := rand.New(rand.NewSource(13))
+
+	freeSrc, freeDst := allSlots(d), allSlots(d)
+	type live struct {
+		id   int
+		conn wdm.Connection
+	}
+	var held []live
+	checked := 0
+	for i := 0; i < 800; i++ {
+		if len(held) > 0 && rng.Intn(3) == 0 {
+			v := held[0]
+			held = held[1:]
+			if err := net.Release(v.id); err != nil {
+				t.Fatal(err)
+			}
+			freeSrc = append(freeSrc, v.conn.Source)
+			freeDst = append(freeDst, v.conn.Dests...)
+		}
+		c, ok := gen.Connection(freeSrc, freeDst, gen.Fanout(6))
+		if !ok {
+			continue
+		}
+		ex, err := net.Explain(c)
+		if err != nil {
+			t.Fatalf("step %d: explain: %v", i, err)
+		}
+		id, err := net.Add(c)
+		switch {
+		case err == nil:
+			if !ex.Routable {
+				t.Fatalf("step %d: Explain said blocked, Add routed %v\n%s", i, c, ex)
+			}
+			// The middles predicted must be exactly the ones carrying it.
+			rc := net.conns[id]
+			if len(rc.midConn) != len(ex.Rounds) {
+				t.Fatalf("step %d: predicted %d middles, used %d", i, len(ex.Rounds), len(rc.midConn))
+			}
+			for _, cand := range ex.Rounds {
+				if _, used := rc.midConn[cand.Middle]; !used {
+					t.Fatalf("step %d: predicted middle %d unused", i, cand.Middle)
+				}
+			}
+			held = append(held, live{id: id, conn: c.Normalize()})
+			freeSrc = removeSlot(freeSrc, c.Source)
+			for _, dd := range c.Normalize().Dests {
+				freeDst = removeSlot(freeDst, dd)
+			}
+		case IsBlocked(err):
+			if ex.Routable {
+				t.Fatalf("step %d: Explain said routable, Add blocked %v\n%s", i, c, ex)
+			}
+		default:
+			t.Fatalf("step %d: %v", i, err)
+		}
+		checked++
+	}
+	if checked < 400 {
+		t.Fatalf("only %d requests exercised", checked)
+	}
+}
+
+func TestExplainDoesNotMutate(t *testing.T) {
+	net := mustNetwork(t, Params{N: 8, K: 2, R: 4, Model: wdm.MAW, Lite: true})
+	mustAdd(t, net, conn(pw(0, 0), pw(5, 1)))
+	before, _ := net.Stats()
+	u := net.Utilization()
+	if _, err := net.Explain(conn(pw(1, 0), pw(6, 0), pw(2, 1))); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := net.Stats()
+	if before != after || net.Utilization() != u || net.Len() != 1 {
+		t.Error("Explain mutated network state")
+	}
+}
+
+func TestExplainRejectsInadmissible(t *testing.T) {
+	net := mustNetwork(t, Params{N: 8, K: 2, R: 4, Model: wdm.MSW, Lite: true})
+	mustAdd(t, net, conn(pw(0, 0), pw(5, 0)))
+	if _, err := net.Explain(conn(pw(0, 0), pw(6, 0))); err == nil {
+		t.Error("busy source accepted")
+	}
+	if _, err := net.Explain(conn(pw(1, 0), pw(5, 1))); err == nil {
+		t.Error("MSW wavelength shift accepted")
+	}
+}
+
+func TestExplainStringReadable(t *testing.T) {
+	net := mustNetwork(t, Params{N: 4, K: 1, R: 2, M: 1, X: 1, Model: wdm.MSW, Lite: true})
+	mustAdd(t, net, conn(pw(0, 0), pw(2, 0)))
+	ex, err := net.Explain(conn(pw(1, 0), pw(3, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Routable {
+		t.Fatal("expected a blocked explanation")
+	}
+	s := ex.String()
+	for _, want := range []string{"BLOCKED", "available middles", "uncovered"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explanation missing %q:\n%s", want, s)
+		}
+	}
+}

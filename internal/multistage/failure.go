@@ -1,0 +1,86 @@
+package multistage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Middle-stage failure handling. A failed middle module (amplifier
+// pump death, gate-array power loss, fiber cut on its links) is removed
+// from the router's available set; connections that were riding it can
+// be enumerated and re-routed around it. The nonblocking margin
+// composes: a network provisioned with m = bound + f middle modules
+// tolerates any f simultaneous middle failures without ever blocking —
+// asserted by the failure tests.
+
+// FailMiddle marks middle module j as failed. Existing connections
+// through it are NOT touched (their light is dark until re-routed); new
+// routing skips the module. Failing an already-failed module is a no-op.
+func (net *Network) FailMiddle(j int) error {
+	if j < 0 || j >= len(net.midMods) {
+		return fmt.Errorf("multistage: no middle module %d", j)
+	}
+	if net.failedMid == nil {
+		net.failedMid = make(map[int]bool)
+	}
+	net.failedMid[j] = true
+	return nil
+}
+
+// RepairMiddle returns a failed middle module to service.
+func (net *Network) RepairMiddle(j int) error {
+	if j < 0 || j >= len(net.midMods) {
+		return fmt.Errorf("multistage: no middle module %d", j)
+	}
+	delete(net.failedMid, j)
+	return nil
+}
+
+// FailedMiddles lists the currently failed middle modules in order.
+func (net *Network) FailedMiddles() []int {
+	out := make([]int, 0, len(net.failedMid))
+	for j := range net.failedMid {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AffectedBy returns the ids of live connections routed through middle
+// module j, in id order.
+func (net *Network) AffectedBy(j int) []int {
+	var out []int
+	for id, rc := range net.conns {
+		if _, uses := rc.midConn[j]; uses {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// RerouteAround releases every connection riding the (typically failed)
+// middle module j and re-routes it avoiding failed modules. Re-routed
+// connections keep their ids. It returns the ids it restored and the
+// ids it could not (those connections are dropped — the optical
+// reality: no path, no light).
+func (net *Network) RerouteAround(j int) (restored, dropped []int, err error) {
+	affected := net.AffectedBy(j)
+	for _, id := range affected {
+		conn := net.conns[id].conn.Clone()
+		if err := net.Release(id); err != nil {
+			return restored, dropped, fmt.Errorf("multistage: releasing %d: %w", id, err)
+		}
+		newID, addErr := net.Add(conn)
+		if addErr != nil {
+			if IsBlocked(addErr) {
+				dropped = append(dropped, id)
+				continue
+			}
+			return restored, dropped, fmt.Errorf("multistage: re-adding %d: %w", id, addErr)
+		}
+		net.remapID(newID, id)
+		restored = append(restored, id)
+	}
+	return restored, dropped, nil
+}

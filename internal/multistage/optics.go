@@ -1,0 +1,44 @@
+package multistage
+
+import (
+	"repro/internal/crossbar"
+	"repro/internal/wdm"
+)
+
+// PredictedWorstLossDB returns the closed-form worst-case optical power
+// loss of a signal path through the three-stage network: the sum of the
+// per-module budgets of the three stages it crosses (input n x m module,
+// middle r x r module, output m x n module), each under its stage's
+// model. Inter-stage fibers are treated as lossless, as the paper's
+// crosspoint-based projection does.
+//
+// For Depth > 3 the middle term recurses. The result quantifies the real
+// price of the multistage crosspoint savings: light crosses three (or
+// five, ...) splitting fabrics instead of one, so the loss budget grows
+// even as the gate count shrinks — a trade-off the paper's cost model
+// (gate counts only) does not surface.
+func (net *Network) PredictedWorstLossDB() float64 {
+	return predictedLoss(net.params)
+}
+
+func predictedLoss(p Params) float64 {
+	n, r, m, k := p.n(), p.R, p.M, p.K
+	s12 := p.Construction.Stage12Model()
+	total := crossbar.PredictedWorstLossDB(s12, wdm.Shape{In: n, Out: m, K: k})
+	if p.Depth > 3 {
+		rn, err := nestedSplit(r, p.Depth-2)
+		if err == nil {
+			nested, nerr := (Params{
+				N: r, K: k, R: rn, Model: s12,
+				Construction: p.Construction, Depth: p.Depth - 2,
+			}).Normalize()
+			if nerr == nil {
+				total += predictedLoss(nested)
+			}
+		}
+	} else {
+		total += crossbar.PredictedWorstLossDB(s12, wdm.Shape{In: r, Out: r, K: k})
+	}
+	total += crossbar.PredictedWorstLossDB(p.Model, wdm.Shape{In: m, Out: n, K: k})
+	return total
+}

@@ -1,0 +1,64 @@
+package multistage
+
+import (
+	"testing"
+
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// TestTrafficPatternsRoute drives the classic deterministic patterns
+// through theorem-sized networks of both constructions: shifts,
+// transpose permutations, hotspots and full broadcasts must all route
+// and verify. Broadcast is the extreme the nonblocking analysis is
+// hardest for (fanout r at every module).
+func TestTrafficPatternsRoute(t *testing.T) {
+	d := wdm.Dim{N: 8, K: 2}
+	for _, constr := range []Construction{MSWDominant, MAWDominant} {
+		for _, pat := range []struct {
+			p      workload.Pattern
+			stride int
+		}{
+			{workload.Shift, 1},
+			{workload.Shift, 3},
+			{workload.Transpose, 3},
+			{workload.Hotspot, 2},
+			{workload.Broadcast, 0},
+		} {
+			a, err := workload.PatternAssignment(pat.p, d, pat.stride)
+			if err != nil {
+				t.Fatalf("%v: %v", pat.p, err)
+			}
+			net := mustNetwork(t, Params{
+				N: 8, K: 2, R: 4, Model: wdm.MSW, Construction: constr,
+			})
+			if _, err := net.AddAssignment(a); err != nil {
+				t.Errorf("%v/%v stride %d: %v", constr, pat.p, pat.stride, err)
+				continue
+			}
+			mustVerify(t, net)
+		}
+	}
+}
+
+// TestHotspotStressesFewLinks: a hotspot pattern concentrates all
+// arrivals on one output module's links; utilization must show the
+// asymmetry (busiest out-link saturated while average stays low).
+func TestHotspotStressesFewLinks(t *testing.T) {
+	d := wdm.Dim{N: 8, K: 2}
+	a, err := workload.PatternAssignment(workload.Hotspot, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := mustNetwork(t, Params{N: 8, K: 2, R: 4, Model: wdm.MSW, Lite: true})
+	if _, err := net.AddAssignment(a); err != nil {
+		t.Fatal(err)
+	}
+	u := net.Utilization()
+	if u.BusiestOutLink == 0 {
+		t.Fatal("no out-link use recorded")
+	}
+	if u.OutLinkBusy > 0.2 {
+		t.Errorf("hotspot should leave most links idle; OutLinkBusy = %.2f", u.OutLinkBusy)
+	}
+}

@@ -1,0 +1,438 @@
+package multistage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/wdm"
+)
+
+// ErrBlocked is wrapped by Add when a connection is admissible but cannot
+// be routed with the configured split limit — i.e. the network blocked.
+// With m at or above the theorem bound this must never happen; the
+// simulation experiments assert exactly that.
+var ErrBlocked = errors.New("multistage: connection blocked")
+
+// Add routes a multicast connection through the three stages using the
+// paper's routing strategy: the connection may use at most X middle-stage
+// modules (Lemma 4 / Corollary 1). Middle modules are chosen greedily by
+// minimum residual intersection with their destination (multi)sets — the
+// selection order used in the proofs of Lemma 5 and the results of [14].
+//
+// Add returns an error wrapping ErrBlocked if no admissible choice of at
+// most X middle modules covers the destination set; other errors indicate
+// an inadmissible request (model violation or busy slot).
+func (net *Network) Add(c wdm.Connection) (int, error) {
+	sh := net.Shape()
+	if err := sh.CheckConnection(net.params.Model, c); err != nil {
+		return 0, err
+	}
+	if id, busy := net.srcBusy[c.Source]; busy {
+		return 0, fmt.Errorf("multistage: source slot %v already used by connection %d", c.Source, id)
+	}
+	for _, d := range c.Dests {
+		if id, busy := net.dstBusy[d]; busy {
+			return 0, fmt.Errorf("multistage: destination slot %v already used by connection %d", d, id)
+		}
+	}
+	c = c.Normalize()
+
+	srcMod, srcLocal := net.splitPort(c.Source.Port)
+	srcWave := c.Source.Wave
+
+	// Group destinations by output module.
+	destsByMod := make(map[int][]wdm.PortWave)
+	for _, d := range c.Dests {
+		p, local := net.splitPort(d.Port)
+		destsByMod[p] = append(destsByMod[p], wdm.PortWave{Port: local, Wave: d.Wave})
+	}
+	fanMods := make([]int, 0, len(destsByMod))
+	for p := range destsByMod {
+		fanMods = append(fanMods, p)
+	}
+	sort.Ints(fanMods)
+
+	// lastHopWave returns the wavelength the link j->p must carry for
+	// output module p, or -1 if any free wavelength works:
+	//   - MSW-dominant first two stages never retune: always srcWave;
+	//   - MSW output modules cannot retune either, so the arrival must
+	//     already be on the destination wavelength (network model MSW
+	//     implies that wavelength is srcWave);
+	//   - MSDW/MAW output modules have converters, so under MAW-dominant
+	//     any free wavelength works.
+	anyWave := wdm.Wavelength(-1)
+	lastHopWave := anyWave
+	if net.params.Construction == MSWDominant || net.params.Model == wdm.MSW {
+		lastHopWave = srcWave
+	}
+
+	// Available middle modules for this source (Section 3.1): those whose
+	// input-stage link can still carry the connection.
+	avail := net.availableMiddles(srcMod, srcWave)
+	if len(avail) == 0 {
+		net.blockedCount++
+		return 0, fmt.Errorf("%w: no available middle module from input module %d on λ%d (x=%d)",
+			ErrBlocked, srcMod, srcWave, net.params.X)
+	}
+
+	// Cover the destination modules with at most X middle modules
+	// (Lemma 4 with the multiset semantics of Eqs. 2-5 when links carry
+	// k wavelengths). The certified strategy repeatedly picks the
+	// available middle module whose blocked set leaves the smallest
+	// residual; FirstFit takes the lowest-indexed one making progress.
+	assign := make(map[int][]int) // middle j -> output modules served
+	residual := append([]int(nil), fanMods...)
+	used := 0
+	for len(residual) > 0 && used < net.params.X && len(avail) > 0 {
+		bestJ, bestIdx := -1, -1
+		var bestResidual, bestServe []int
+		for idx, j := range avail {
+			var blockedR, serve []int
+			for _, p := range residual {
+				if net.middleBlocked(j, p, lastHopWave) {
+					blockedR = append(blockedR, p)
+				} else {
+					serve = append(serve, p)
+				}
+			}
+			if net.params.Strategy == FirstFit {
+				if len(serve) > 0 {
+					bestJ, bestIdx, bestResidual, bestServe = j, idx, blockedR, serve
+					break
+				}
+				continue
+			}
+			if bestJ == -1 || len(blockedR) < len(bestResidual) {
+				bestJ, bestIdx, bestResidual, bestServe = j, idx, blockedR, serve
+			}
+		}
+		if len(bestServe) == 0 {
+			break // no available module makes progress
+		}
+		assign[bestJ] = bestServe
+		residual = bestResidual
+		avail = append(avail[:bestIdx], avail[bestIdx+1:]...)
+		used++
+	}
+	if len(residual) > 0 {
+		net.blockedCount++
+		return 0, fmt.Errorf("%w: %d destination module(s) uncovered after %d of %d splits (source %v)",
+			ErrBlocked, len(residual), used, net.params.X, c.Source)
+	}
+
+	id, err := net.commit(c, srcMod, srcLocal, destsByMod, assign, lastHopWave)
+	if err != nil {
+		net.blockedCount++
+		return 0, err
+	}
+	net.routedCount++
+	return id, nil
+}
+
+// availableMiddles lists middle modules whose link from input module a
+// can carry a new connection entering on srcWave.
+func (net *Network) availableMiddles(a int, srcWave wdm.Wavelength) []int {
+	var out []int
+	for j := range net.midMods {
+		if net.failedMid[j] {
+			continue // out of service
+		}
+		if net.params.Construction == MSWDominant {
+			// First two stages cannot retune: the connection's own
+			// wavelength must be free on the link.
+			if net.inLink[a][j][srcWave] == freeLink {
+				out = append(out, j)
+			}
+			continue
+		}
+		if net.params.ConservativeLinks {
+			// Set-semantics ablation: a touched link is off limits.
+			if linkUntouched(net.inLink[a][j]) {
+				out = append(out, j)
+			}
+			continue
+		}
+		// MAW-dominant: any free wavelength will do.
+		for w := 0; w < net.params.K; w++ {
+			if net.inLink[a][j][w] == freeLink {
+				out = append(out, j)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// middleBlocked reports whether middle module j cannot reach output
+// module p for this connection. needWave == -1 means any free wavelength
+// on the link j->p suffices (the multiset multiplicity-k test of Eq. 4);
+// otherwise that specific wavelength must be free.
+func (net *Network) middleBlocked(j, p int, needWave wdm.Wavelength) bool {
+	if net.params.ConservativeLinks && net.params.Construction == MAWDominant {
+		return !linkUntouched(net.outLink[j][p])
+	}
+	if needWave >= 0 {
+		return net.outLink[j][p][needWave] != freeLink
+	}
+	for w := 0; w < net.params.K; w++ {
+		if net.outLink[j][p][w] == freeLink {
+			return false
+		}
+	}
+	return true
+}
+
+func linkUntouched(waves []int) bool {
+	for _, v := range waves {
+		if v != freeLink {
+			return false
+		}
+	}
+	return true
+}
+
+// pickInWave chooses the wavelength for the link srcMod->j.
+func (net *Network) pickInWave(a, j int, srcWave wdm.Wavelength) (wdm.Wavelength, error) {
+	if net.params.Construction == MSWDominant {
+		if net.inLink[a][j][srcWave] != freeLink {
+			return 0, fmt.Errorf("multistage: internal error: link %d->mid%d λ%d not free", a, j, srcWave)
+		}
+		return srcWave, nil
+	}
+	if w, ok := net.pickFreeWave(net.inLink[a][j]); ok {
+		return w, nil
+	}
+	return 0, fmt.Errorf("multistage: internal error: link %d->mid%d has no free wavelength", a, j)
+}
+
+// pickOutWave chooses the wavelength for the link j->p.
+func (net *Network) pickOutWave(j, p int, needWave wdm.Wavelength) (wdm.Wavelength, error) {
+	if needWave >= 0 {
+		if net.outLink[j][p][needWave] != freeLink {
+			return 0, fmt.Errorf("multistage: internal error: link mid%d->%d λ%d not free", j, p, needWave)
+		}
+		return needWave, nil
+	}
+	if w, ok := net.pickFreeWave(net.outLink[j][p]); ok {
+		return w, nil
+	}
+	return 0, fmt.Errorf("multistage: internal error: link mid%d->%d has no free wavelength", j, p)
+}
+
+// pickFreeWave selects a free wavelength on the link according to the
+// configured wavelength-assignment policy.
+func (net *Network) pickFreeWave(link []int) (wdm.Wavelength, bool) {
+	best, found := -1, false
+	for w, v := range link {
+		if v != freeLink {
+			continue
+		}
+		if !found {
+			best, found = w, true
+			continue
+		}
+		switch net.params.WavePick {
+		case MostUsed:
+			if net.waveUse[w] > net.waveUse[best] {
+				best = w
+			}
+		case LeastUsed:
+			if net.waveUse[w] < net.waveUse[best] {
+				best = w
+			}
+		default: // FirstFree keeps the lowest index
+		}
+	}
+	return wdm.Wavelength(best), found
+}
+
+// claim and free update link occupancy together with the per-plane usage
+// counters the wavelength policies consult.
+func (net *Network) claim(link []int, w wdm.Wavelength, id int) {
+	link[w] = id
+	net.waveUse[w]++
+}
+
+func (net *Network) free(link []int, w wdm.Wavelength) {
+	link[w] = freeLink
+	net.waveUse[w]--
+}
+
+// commit materializes the chosen routing: it occupies link wavelengths
+// and installs the per-module sub-connections, rolling back on any
+// internal inconsistency.
+func (net *Network) commit(c wdm.Connection, srcMod int, srcLocal wdm.Port,
+	destsByMod map[int][]wdm.PortWave, assign map[int][]int, lastHopWave wdm.Wavelength) (int, error) {
+
+	rc := &routed{
+		conn:     c,
+		srcMod:   srcMod,
+		inConnID: -1,
+		midConn:  make(map[int]int),
+		outConn:  make(map[int]int),
+		inWave:   make(map[int]wdm.Wavelength),
+		outWave:  make(map[[2]int]wdm.Wavelength),
+	}
+	id := net.nextID
+
+	rollback := func() {
+		if rc.inConnID >= 0 {
+			_ = net.inMods[srcMod].Release(rc.inConnID)
+		}
+		for j, cid := range rc.midConn {
+			_ = net.midMods[j].Release(cid)
+		}
+		for p, cid := range rc.outConn {
+			_ = net.outMods[p].Release(cid)
+		}
+		for j, w := range rc.inWave {
+			net.free(net.inLink[srcMod][j], w)
+		}
+		for jp, w := range rc.outWave {
+			net.free(net.outLink[jp[0]][jp[1]], w)
+		}
+	}
+
+	middles := make([]int, 0, len(assign))
+	for j := range assign {
+		middles = append(middles, j)
+	}
+	sort.Ints(middles)
+
+	// Pick and occupy wavelengths.
+	for _, j := range middles {
+		w, err := net.pickInWave(srcMod, j, c.Source.Wave)
+		if err != nil {
+			rollback()
+			return 0, err
+		}
+		rc.inWave[j] = w
+		net.claim(net.inLink[srcMod][j], w, id)
+		for _, p := range assign[j] {
+			ow, err := net.pickOutWave(j, p, lastHopWave)
+			if err != nil {
+				rollback()
+				return 0, err
+			}
+			rc.outWave[[2]int{j, p}] = ow
+			net.claim(net.outLink[j][p], ow, id)
+		}
+	}
+
+	// Input-module sub-connection: source slot -> one slot per chosen
+	// middle module.
+	inConn := wdm.Connection{Source: wdm.PortWave{Port: srcLocal, Wave: c.Source.Wave}}
+	for _, j := range middles {
+		inConn.Dests = append(inConn.Dests, wdm.PortWave{Port: wdm.Port(j), Wave: rc.inWave[j]})
+	}
+	cid, err := net.inMods[srcMod].Add(inConn)
+	if err != nil {
+		rollback()
+		return 0, fmt.Errorf("multistage: internal error: input module %d rejected %v: %w", srcMod, inConn, err)
+	}
+	rc.inConnID = cid
+
+	// Middle-module sub-connections.
+	for _, j := range middles {
+		mc := wdm.Connection{Source: wdm.PortWave{Port: wdm.Port(srcMod), Wave: rc.inWave[j]}}
+		for _, p := range assign[j] {
+			mc.Dests = append(mc.Dests, wdm.PortWave{Port: wdm.Port(p), Wave: rc.outWave[[2]int{j, p}]})
+		}
+		cid, err := net.midMods[j].Add(mc)
+		if err != nil {
+			rollback()
+			return 0, fmt.Errorf("multistage: internal error: middle module %d rejected %v: %w", j, mc, err)
+		}
+		rc.midConn[j] = cid
+	}
+
+	// Output-module sub-connections.
+	for _, j := range middles {
+		for _, p := range assign[j] {
+			oc := wdm.Connection{
+				Source: wdm.PortWave{Port: wdm.Port(j), Wave: rc.outWave[[2]int{j, p}]},
+				Dests:  destsByMod[p],
+			}
+			cid, err := net.outMods[p].Add(oc)
+			if err != nil {
+				rollback()
+				return 0, fmt.Errorf("multistage: internal error: output module %d rejected %v: %w", p, oc, err)
+			}
+			rc.outConn[p] = cid
+		}
+	}
+
+	net.nextID++
+	net.conns[id] = rc
+	net.srcBusy[c.Source] = id
+	for _, d := range c.Dests {
+		net.dstBusy[d] = id
+	}
+	return id, nil
+}
+
+// Release tears down a live connection and frees every module slot and
+// link wavelength it occupied.
+func (net *Network) Release(id int) error {
+	rc, ok := net.conns[id]
+	if !ok {
+		return fmt.Errorf("multistage: no connection with id %d", id)
+	}
+	if err := net.inMods[rc.srcMod].Release(rc.inConnID); err != nil {
+		return fmt.Errorf("multistage: input module %d: %w", rc.srcMod, err)
+	}
+	for j, cid := range rc.midConn {
+		if err := net.midMods[j].Release(cid); err != nil {
+			return fmt.Errorf("multistage: middle module %d: %w", j, err)
+		}
+	}
+	for p, cid := range rc.outConn {
+		if err := net.outMods[p].Release(cid); err != nil {
+			return fmt.Errorf("multistage: output module %d: %w", p, err)
+		}
+	}
+	for j, w := range rc.inWave {
+		net.free(net.inLink[rc.srcMod][j], w)
+	}
+	for jp, w := range rc.outWave {
+		net.free(net.outLink[jp[0]][jp[1]], w)
+	}
+	delete(net.conns, id)
+	delete(net.srcBusy, rc.conn.Source)
+	for _, d := range rc.conn.Dests {
+		delete(net.dstBusy, d)
+	}
+	return nil
+}
+
+// Reset releases every live connection.
+func (net *Network) Reset() {
+	ids := make([]int, 0, len(net.conns))
+	for id := range net.conns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if err := net.Release(id); err != nil {
+			panic("multistage: Reset lost track of connection: " + err.Error())
+		}
+	}
+}
+
+// AddAssignment routes all connections of an assignment, rolling back on
+// the first failure.
+func (net *Network) AddAssignment(a wdm.Assignment) ([]int, error) {
+	ids := make([]int, 0, len(a))
+	for i, c := range a {
+		id, err := net.Add(c)
+		if err != nil {
+			for _, rid := range ids {
+				_ = net.Release(rid)
+			}
+			return nil, fmt.Errorf("connection %d: %w", i, err)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

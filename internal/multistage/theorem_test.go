@@ -1,0 +1,208 @@
+package multistage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wdm"
+)
+
+// floatTheorem1 evaluates Theorem 1's bound in floating point, for
+// cross-checking the exact integer evaluation.
+func floatTheorem1(n, r int) float64 {
+	best := math.Inf(1)
+	for x := 1; x <= min(n-1, r); x++ {
+		v := float64(n-1) * (float64(x) + math.Pow(float64(r), 1/float64(x)))
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func TestTheorem1MatchesFloatEvaluation(t *testing.T) {
+	for n := 2; n <= 40; n++ {
+		for r := 1; r <= 40; r++ {
+			got := Theorem1MinM(n, r)
+			bound := floatTheorem1(n, r)
+			// minimal integer m with m > bound.
+			want := int(math.Floor(bound)) + 1
+			// Floating point can land exactly on an integer bound; accept
+			// either side of a 1e-9 window but verify the defining
+			// inequalities exactly below.
+			if got != want && math.Abs(bound-math.Round(bound)) > 1e-9 {
+				t.Errorf("Theorem1MinM(%d, %d) = %d, float says %d (bound %.6f)", n, r, got, want, bound)
+			}
+			// Exact property: got > bound, got-1 <= bound (within fp slack).
+			if float64(got) <= bound-1e-9 {
+				t.Errorf("Theorem1MinM(%d, %d) = %d does not exceed bound %.6f", n, r, got, bound)
+			}
+			if float64(got-1) > bound+1e-9 {
+				t.Errorf("Theorem1MinM(%d, %d) = %d not minimal (bound %.6f)", n, r, got, bound)
+			}
+		}
+	}
+}
+
+func TestTheorem1KnownValues(t *testing.T) {
+	cases := []struct{ n, r, want int }{
+		// n=2, r=2: x=1 only: m > 1*(1+2) = 3.
+		{2, 2, 4},
+		// n=4, r=4: x=2: 3*(2+2) = 12 -> 13.
+		{4, 4, 13},
+		// n=2, r=8: x=1: 1*(1+8) = 9 -> 10.
+		{2, 8, 10},
+		// n=1: degenerate.
+		{1, 8, 1},
+	}
+	for _, c := range cases {
+		if got := Theorem1MinM(c.n, c.r); got != c.want {
+			t.Errorf("Theorem1MinM(%d, %d) = %d, want %d", c.n, c.r, got, c.want)
+		}
+	}
+}
+
+func TestTheorem2AtLeastTheorem1(t *testing.T) {
+	// Section 3.4: the MAW-dominant bound is never smaller; for k = 1 the
+	// two coincide (floor((n-1)x/1) = (n-1)x).
+	f := func(nRaw, rRaw, kRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		r := int(rRaw%12) + 1
+		k := int(kRaw%4) + 1
+		t1 := Theorem1MinM(n, r)
+		t2 := Theorem2MinM(n, r, k)
+		if t2 < t1 {
+			return false
+		}
+		if k == 1 && t1 != t2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTheorem2KnownValues(t *testing.T) {
+	// n=4, r=4, k=2: per x:
+	//  x=1: floor(7*1/2)=3, q > 3*4^(1)=12 -> 13+3=16
+	//  x=2: floor(7*2/2)=7, q^2 > 36 -> q=7 -> 14
+	//  x=3: floor(7*3/2)=10, q^3 > 108 -> q=5 -> 15
+	if got := Theorem2MinM(4, 4, 2); got != 14 {
+		t.Errorf("Theorem2MinM(4, 4, 2) = %d, want 14", got)
+	}
+	if got := Theorem2BestX(4, 4, 2); got != 2 {
+		t.Errorf("Theorem2BestX(4, 4, 2) = %d, want 2", got)
+	}
+}
+
+func TestBestXConsistent(t *testing.T) {
+	// The reported best x must achieve the reported minimum.
+	for n := 2; n <= 20; n++ {
+		for r := 2; r <= 20; r++ {
+			x := Theorem1BestX(n, r)
+			m := (n-1)*x + qMin(n, r, x)
+			if m != Theorem1MinM(n, r) {
+				t.Errorf("n=%d r=%d: best x=%d gives m=%d, min is %d", n, r, x, m, Theorem1MinM(n, r))
+			}
+		}
+	}
+}
+
+func TestAsymptoticMTracksExact(t *testing.T) {
+	// The asymptotic form 3(n-1)log r/log log r should stay within a
+	// small constant factor of the exact minimum for moderate r.
+	for _, nr := range [][2]int{{8, 8}, {16, 16}, {32, 32}, {64, 64}} {
+		n, r := nr[0], nr[1]
+		exact := Theorem1MinM(n, r)
+		asym := AsymptoticM(n, r)
+		ratio := float64(asym) / float64(exact)
+		if ratio < 0.5 || ratio > 3.0 {
+			t.Errorf("n=r=%d: asymptotic %d vs exact %d (ratio %.2f) out of expected band", n, asym, exact, ratio)
+		}
+	}
+}
+
+func TestAsymptoticXClamped(t *testing.T) {
+	if x := AsymptoticX(2, 1000); x != 1 {
+		t.Errorf("AsymptoticX(2, 1000) = %d, want clamp to n-1 = 1", x)
+	}
+	if x := AsymptoticX(64, 64); x < 1 || x > 63 {
+		t.Errorf("AsymptoticX(64, 64) = %d out of range", x)
+	}
+}
+
+func TestSufficientMinM(t *testing.T) {
+	// MSW model: exactly the paper's bounds.
+	m, x := SufficientMinM(MSWDominant, wdm.MSW, 4, 4, 3)
+	if m != Theorem1MinM(4, 4) || x != Theorem1BestX(4, 4) {
+		t.Errorf("MSW-dominant MSW: got (%d, %d), want theorem 1 (%d, %d)",
+			m, x, Theorem1MinM(4, 4), Theorem1BestX(4, 4))
+	}
+	m, _ = SufficientMinM(MAWDominant, wdm.MAW, 4, 4, 3)
+	if m != Theorem2MinM(4, 4, 3) {
+		t.Errorf("MAW-dominant: got %d, want theorem 2 %d", m, Theorem2MinM(4, 4, 3))
+	}
+	// k = 1: corrected bound collapses to Theorem 1 for every model.
+	for _, model := range wdm.Models {
+		m, _ := SufficientMinM(MSWDominant, model, 4, 4, 1)
+		if m != Theorem1MinM(4, 4) {
+			t.Errorf("k=1 %v: got %d, want %d", model, m, Theorem1MinM(4, 4))
+		}
+	}
+	// MSDW/MAW with k > 1: corrected bound strictly exceeds Theorem 1.
+	for _, model := range []wdm.Model{wdm.MSDW, wdm.MAW} {
+		m, _ := SufficientMinM(MSWDominant, model, 4, 4, 4)
+		if m <= Theorem1MinM(4, 4) {
+			t.Errorf("%v k=4: corrected bound %d not above theorem 1's %d", model, m, Theorem1MinM(4, 4))
+		}
+	}
+}
+
+func TestPaperMinM(t *testing.T) {
+	if m, x := PaperMinM(MSWDominant, 4, 4, 9); m != Theorem1MinM(4, 4) || x != Theorem1BestX(4, 4) {
+		t.Errorf("PaperMinM MSW-dominant = (%d, %d)", m, x)
+	}
+	if m, x := PaperMinM(MAWDominant, 4, 4, 2); m != Theorem2MinM(4, 4, 2) || x != Theorem2BestX(4, 4, 2) {
+		t.Errorf("PaperMinM MAW-dominant = (%d, %d)", m, x)
+	}
+}
+
+func TestAsymptoticMSmallR(t *testing.T) {
+	// r < 3 falls back to the exact theorem value; n=1 degenerates to 1.
+	if got := AsymptoticM(4, 2); got != Theorem1MinM(4, 2) {
+		t.Errorf("AsymptoticM(4, 2) = %d, want theorem fallback %d", got, Theorem1MinM(4, 2))
+	}
+	if got := AsymptoticM(1, 100); got != 1 {
+		t.Errorf("AsymptoticM(1, 100) = %d, want 1", got)
+	}
+	if got := AsymptoticX(1, 100); got != 1 {
+		t.Errorf("AsymptoticX(1, 100) = %d, want 1", got)
+	}
+}
+
+func TestTheoremN1Degenerate(t *testing.T) {
+	if Theorem1MinM(1, 8) != 1 || Theorem2MinM(1, 8, 4) != 1 {
+		t.Error("n=1 networks should need a single middle module")
+	}
+}
+
+func TestTheoremPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Theorem1MinM(0, 4) },
+		func() { Theorem2MinM(4, 0, 2) },
+		func() { Theorem2MinM(4, 4, 0) },
+		func() { AsymptoticM(0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad arguments did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,205 @@
+// Package report renders the experiment tables printed by the cmd tools
+// and benchmarks in a layout mirroring the paper's Tables 1 and 2:
+// monospace columns, right-aligned numbers, optional title and footnote.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"strings"
+)
+
+// Table accumulates rows and renders them column-aligned.
+type Table struct {
+	Title    string
+	Header   []string
+	Footnote string
+	rows     [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	line(rule)
+	for _, row := range t.rows {
+		line(row)
+	}
+	if t.Footnote != "" {
+		fmt.Fprintf(w, "  %s\n", t.Footnote)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// FprintCSV writes the table as RFC-4180-ish CSV (header row + data
+// rows; no title or footnote) so experiment output can feed straight
+// into plotting tools. Thousands separators are stripped from numeric
+// cells so the values parse as numbers.
+func (t *Table) FprintCSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if looksNumeric(c) {
+				c = strings.ReplaceAll(c, ",", "")
+			}
+			parts[i] = csvEscape(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// pad right-aligns numeric-looking cells and left-aligns text.
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	if looksNumeric(s) {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func looksNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '+' || r == 'e' || r == 'E' || r == '%' || r == ',':
+		case r == '^' || r == 'x': // scientific shorthand like "10^40" or "1.2x"
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Int formats an int with thousands separators: 1234567 -> "1,234,567".
+func Int(v int) string { return group(fmt.Sprintf("%d", v)) }
+
+// Big formats a big integer. Values up to 15 digits keep full precision
+// with separators; larger values collapse to scientific notation with the
+// digit count, e.g. "1.0779e+28", matching how the paper's capacity
+// numbers are best read.
+func Big(v *big.Int) string {
+	s := v.String()
+	digits := strings.TrimPrefix(s, "-")
+	if len(digits) <= 15 {
+		return group(s)
+	}
+	f := new(big.Float).SetPrec(64).SetInt(v)
+	return f.Text('e', 4)
+}
+
+// Float formats a float with the given decimal places.
+func Float(v float64, places int) string {
+	return fmt.Sprintf("%.*f", places, v)
+}
+
+// Ratio formats a/b as a multiplier, e.g. "12.50x"; "inf" when b = 0.
+func Ratio(a, b float64) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2fx", a/b)
+}
+
+func group(s string) string {
+	neg := strings.HasPrefix(s, "-")
+	if neg {
+		s = s[1:]
+	}
+	n := len(s)
+	if n <= 3 {
+		if neg {
+			return "-" + s
+		}
+		return s
+	}
+	var b strings.Builder
+	if neg {
+		b.WriteByte('-')
+	}
+	head := n % 3
+	if head > 0 {
+		b.WriteString(s[:head])
+		if n > head {
+			b.WriteByte(',')
+		}
+	}
+	for i := head; i < n; i += 3 {
+		b.WriteString(s[i : i+3])
+		if i+3 < n {
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+func TestTableLayout(t *testing.T) {
+	tb := New("Demo", "model", "crosspoints", "converters")
+	tb.AddRow("MSW", "18", "0")
+	tb.AddRow("MSDW", "36", "6")
+	tb.Footnote = "N=3, k=2"
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, rule, 2 rows, footnote
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Demo") {
+		t.Errorf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "crosspoints") {
+		t.Errorf("missing header: %q", lines[1])
+	}
+	// Numeric cells right-align under their header.
+	hIdx := strings.Index(lines[1], "crosspoints")
+	rowCell := lines[3][hIdx : hIdx+len("crosspoints")]
+	if !strings.HasSuffix(rowCell, "18") {
+		t.Errorf("numeric cell not right-aligned: %q", rowCell)
+	}
+}
+
+func TestAddRowPadsShortRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("only")
+	if tb.Len() != 1 {
+		t.Fatal("row not recorded")
+	}
+	if !strings.Contains(tb.String(), "only") {
+		t.Error("cell lost")
+	}
+}
+
+func TestFprintCSV(t *testing.T) {
+	tb := New("Title Is Dropped", "N", "model", "crosspoints")
+	tb.AddRow("64", "MSW", "8,192")
+	tb.AddRow(`we"ird`, "a,b", "1")
+	var b strings.Builder
+	if err := tb.FprintCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "N,model,crosspoints\n64,MSW,8192\n\"we\"\"ird\",\"a,b\",1\n"
+	if got != want {
+		t.Errorf("CSV:\n%q\nwant\n%q", got, want)
+	}
+	if strings.Contains(got, "Title") {
+		t.Error("title leaked into CSV")
+	}
+}
+
+func TestInt(t *testing.T) {
+	cases := map[int]string{
+		0:        "0",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		-9876543: "-9,876,543",
+	}
+	for v, want := range cases {
+		if got := Int(v); got != want {
+			t.Errorf("Int(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestBig(t *testing.T) {
+	small := big.NewInt(123456789)
+	if got := Big(small); got != "123,456,789" {
+		t.Errorf("Big(small) = %q", got)
+	}
+	huge := new(big.Int).Exp(big.NewInt(10), big.NewInt(40), nil)
+	got := Big(huge)
+	if !strings.Contains(got, "e+") {
+		t.Errorf("Big(10^40) = %q, want scientific form", got)
+	}
+}
+
+func TestFloatAndRatio(t *testing.T) {
+	if got := Float(3.14159, 2); got != "3.14" {
+		t.Errorf("Float = %q", got)
+	}
+	if got := Ratio(10, 4); got != "2.50x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Errorf("Ratio by zero = %q", got)
+	}
+}
+
+func TestLooksNumeric(t *testing.T) {
+	for _, s := range []string{"123", "1,234", "3.14", "-5", "1.2e+10", "85%", "2.50x"} {
+		if !looksNumeric(s) {
+			t.Errorf("%q should look numeric", s)
+		}
+	}
+	for _, s := range []string{"", "MSW", "k=2", "10 20"} {
+		if looksNumeric(s) {
+			t.Errorf("%q should not look numeric", s)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package schedule
+
+import (
+	"fmt"
+
+	"repro/internal/wdm"
+)
+
+// OptimalRounds computes the true minimum number of rounds for a batch
+// by branch-and-bound over round assignments: request i is tried in
+// every existing compatible round before opening a new one, and branches
+// are cut against the best complete solution and the congestion lower
+// bound. Exponential in the worst case — use only to audit the first-fit
+// heuristic on small batches (the tests keep it honest: heuristic
+// rounds are compared against this on every random instance).
+func OptimalRounds(model wdm.Model, dim wdm.Dim, reqs []Request, maxRequests int) (int, error) {
+	if err := dim.Validate(); err != nil {
+		return 0, fmt.Errorf("schedule: %w", err)
+	}
+	if maxRequests > 0 && len(reqs) > maxRequests {
+		return 0, fmt.Errorf("schedule: %d requests exceed the exact-search cap %d", len(reqs), maxRequests)
+	}
+	for i, r := range reqs {
+		if err := r.Validate(dim.N); err != nil {
+			return 0, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+	if len(reqs) == 0 {
+		return 0, nil
+	}
+
+	// Upper bound from the heuristic (also a warm start for pruning).
+	plan, err := Schedule(model, dim, reqs)
+	if err != nil {
+		return 0, err
+	}
+	best := plan.NumRounds()
+	lower := LowerBound(dim, reqs)
+	if best == lower {
+		return best, nil // heuristic already optimal
+	}
+
+	var rounds []*roundState
+	var rec func(i int)
+	rec = func(i int) {
+		if len(rounds) >= best {
+			return // already no better than the incumbent
+		}
+		if i == len(reqs) {
+			if len(rounds) < best {
+				best = len(rounds)
+			}
+			return
+		}
+		req := reqs[i]
+		for _, st := range rounds {
+			conn, ok := fitRequest(model, dim, st, req)
+			if !ok {
+				continue
+			}
+			st.commit(conn, i)
+			rec(i + 1)
+			st.uncommit(conn)
+			if best == lower {
+				return // cannot do better than the congestion floor
+			}
+		}
+		// Open a new round (only if that still beats the incumbent).
+		if len(rounds)+1 >= best {
+			return
+		}
+		st := &roundState{
+			srcUsed: make(map[wdm.PortWave]bool),
+			dstUsed: make(map[wdm.PortWave]bool),
+			round:   &Round{},
+		}
+		conn, ok := fitRequest(model, dim, st, req)
+		if !ok {
+			return
+		}
+		st.commit(conn, i)
+		rounds = append(rounds, st)
+		rec(i + 1)
+		rounds = rounds[:len(rounds)-1]
+	}
+	rec(0)
+	return best, nil
+}
+
+// uncommit reverses a commit (used by the exact search's backtracking).
+func (st *roundState) uncommit(conn wdm.Connection) {
+	delete(st.srcUsed, conn.Source)
+	for _, d := range conn.Dests {
+		delete(st.dstUsed, d)
+	}
+	st.round.Assignment = st.round.Assignment[:len(st.round.Assignment)-1]
+	st.round.Requests = st.round.Requests[:len(st.round.Requests)-1]
+}

@@ -1,0 +1,80 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func TestOptimalMatchesHeuristicOnEasyCases(t *testing.T) {
+	dim := wdm.Dim{N: 6, K: 3}
+	var reqs []Request
+	for s := 0; s < 3; s++ {
+		reqs = append(reqs, req(s, 3, 4, 5))
+	}
+	opt, err := OptimalRounds(wdm.MSW, dim, reqs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 {
+		t.Errorf("optimal = %d, want 1", opt)
+	}
+}
+
+func TestOptimalNeverAboveHeuristic(t *testing.T) {
+	// On random small batches: lower bound <= optimal <= heuristic, and
+	// the heuristic must be near-optimal (within 1 round here, flagged
+	// otherwise so regressions in the packer surface).
+	dim := wdm.Dim{N: 5, K: 2}
+	rng := rand.New(rand.NewSource(31))
+	worstGap := 0
+	for trial := 0; trial < 25; trial++ {
+		var reqs []Request
+		for i := 0; i < 9; i++ {
+			src := rng.Intn(dim.N)
+			var dests []int
+			for _, d := range rng.Perm(dim.N)[:1+rng.Intn(2)] {
+				dests = append(dests, d)
+			}
+			reqs = append(reqs, req(src, dests...))
+		}
+		for _, m := range wdm.Models {
+			plan := mustSchedule(t, m, dim, reqs)
+			opt, err := OptimalRounds(m, dim, reqs, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb := LowerBound(dim, reqs)
+			if opt > plan.NumRounds() {
+				t.Fatalf("%v trial %d: optimal %d above heuristic %d", m, trial, opt, plan.NumRounds())
+			}
+			if opt < lb {
+				t.Fatalf("%v trial %d: optimal %d below lower bound %d", m, trial, opt, lb)
+			}
+			if gap := plan.NumRounds() - opt; gap > worstGap {
+				worstGap = gap
+			}
+		}
+	}
+	if worstGap > 1 {
+		t.Errorf("first-fit decreasing strayed %d rounds from optimal on a 9-request batch", worstGap)
+	}
+	t.Logf("worst heuristic gap over all trials: %d round(s)", worstGap)
+}
+
+func TestOptimalRoundsValidation(t *testing.T) {
+	if _, err := OptimalRounds(wdm.MSW, wdm.Dim{N: 0, K: 1}, nil, 0); err == nil {
+		t.Error("invalid dim accepted")
+	}
+	if _, err := OptimalRounds(wdm.MSW, wdm.Dim{N: 4, K: 1}, []Request{req(9, 0)}, 0); err == nil {
+		t.Error("invalid request accepted")
+	}
+	if _, err := OptimalRounds(wdm.MSW, wdm.Dim{N: 4, K: 1},
+		[]Request{req(0, 1), req(1, 2)}, 1); err == nil {
+		t.Error("request cap not enforced")
+	}
+	if got, err := OptimalRounds(wdm.MSW, wdm.Dim{N: 4, K: 1}, nil, 0); err != nil || got != 0 {
+		t.Errorf("empty batch: (%d, %v)", got, err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package schedule packs batches of multicast requests into rounds.
+//
+// The paper's introduction motivates WDM multicast with a scheduling
+// observation: in an electronic switching network every destination can
+// receive at most one message at a time, so overlapping multicasts must
+// be serialized by "a complex scheduling algorithm", while a k-wavelength
+// WDM network lets each destination receive up to k messages at once and
+// each source send up to k. This package makes that observation
+// quantitative: given abstract multicast demands (source port ->
+// destination ports), it assigns wavelengths admissible under a chosen
+// multicast model and packs the demands into the fewest rounds it can,
+// where each round is one admissible multicast assignment the
+// corresponding switch can carry simultaneously.
+//
+// The electronic baseline is exactly the k = 1 case. Comparing rounds
+// across models and k values reproduces the introduction's argument as
+// an experiment: rounds shrink roughly k-fold moving to WDM, and shrink
+// further moving MSW -> MAW because wavelength conversion removes
+// same-wavelength conflicts.
+package schedule
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/wdm"
+)
+
+// Request is an abstract multicast demand: wavelengths are the
+// scheduler's to choose.
+type Request struct {
+	Source wdm.Port
+	Dests  []wdm.Port // distinct ports, none equal to any other's slot twice per round
+}
+
+// Validate checks structural sanity against an N-port network.
+func (r Request) Validate(n int) error {
+	if r.Source < 0 || int(r.Source) >= n {
+		return fmt.Errorf("schedule: source port %d out of range [0,%d)", r.Source, n)
+	}
+	if len(r.Dests) == 0 {
+		return fmt.Errorf("schedule: request from port %d has no destinations", r.Source)
+	}
+	seen := make(map[wdm.Port]bool, len(r.Dests))
+	for _, d := range r.Dests {
+		if d < 0 || int(d) >= n {
+			return fmt.Errorf("schedule: destination port %d out of range [0,%d)", d, n)
+		}
+		if seen[d] {
+			return fmt.Errorf("schedule: destination port %d repeated", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Round is one admissible multicast assignment plus which requests it
+// carries (indices into the scheduled batch).
+type Round struct {
+	Assignment wdm.Assignment
+	Requests   []int
+}
+
+// Plan is the result of scheduling a batch.
+type Plan struct {
+	Model  wdm.Model
+	Dim    wdm.Dim
+	Rounds []Round
+}
+
+// NumRounds returns the plan length.
+func (p *Plan) NumRounds() int { return len(p.Rounds) }
+
+// roundState tracks per-round slot occupancy during packing.
+type roundState struct {
+	srcUsed map[wdm.PortWave]bool
+	dstUsed map[wdm.PortWave]bool
+	round   *Round
+}
+
+// Schedule packs the requests into rounds under the given model and
+// dimensions using first-fit decreasing (by fanout): each request is
+// placed into the earliest round where an admissible wavelength
+// assignment exists, else opens a new round. The resulting rounds are
+// each verified admissible before returning.
+//
+// First-fit decreasing is the classic bin-packing heuristic; the lower
+// bound LowerBound gives the congestion floor the plan is measured
+// against in the experiments.
+func Schedule(model wdm.Model, dim wdm.Dim, reqs []Request) (*Plan, error) {
+	if err := dim.Validate(); err != nil {
+		return nil, fmt.Errorf("schedule: %w", err)
+	}
+	for i, r := range reqs {
+		if err := r.Validate(dim.N); err != nil {
+			return nil, fmt.Errorf("request %d: %w", i, err)
+		}
+	}
+
+	// Process in decreasing fanout order (ties: original order) but
+	// remember original indices.
+	order := make([]int, len(reqs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(reqs[order[a]].Dests) > len(reqs[order[b]].Dests)
+	})
+
+	var states []*roundState
+	for _, idx := range order {
+		req := reqs[idx]
+		placed := false
+		for _, st := range states {
+			if conn, ok := fitRequest(model, dim, st, req); ok {
+				st.commit(conn, idx)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			st := &roundState{
+				srcUsed: make(map[wdm.PortWave]bool),
+				dstUsed: make(map[wdm.PortWave]bool),
+				round:   &Round{},
+			}
+			conn, ok := fitRequest(model, dim, st, req)
+			if !ok {
+				return nil, fmt.Errorf("schedule: request %d (fanout %d) does not fit an empty round — impossible for admissible requests", idx, len(req.Dests))
+			}
+			st.commit(conn, idx)
+			states = append(states, st)
+		}
+	}
+
+	plan := &Plan{Model: model, Dim: dim}
+	for _, st := range states {
+		if err := dim.CheckAssignment(model, st.round.Assignment); err != nil {
+			return nil, fmt.Errorf("schedule: produced inadmissible round: %w", err)
+		}
+		plan.Rounds = append(plan.Rounds, *st.round)
+	}
+	return plan, nil
+}
+
+func (st *roundState) commit(conn wdm.Connection, reqIdx int) {
+	st.srcUsed[conn.Source] = true
+	for _, d := range conn.Dests {
+		st.dstUsed[d] = true
+	}
+	st.round.Assignment = append(st.round.Assignment, conn)
+	st.round.Requests = append(st.round.Requests, reqIdx)
+}
+
+// fitRequest finds a wavelength assignment for the request compatible
+// with the round's current occupancy under the model, or reports false.
+func fitRequest(model wdm.Model, dim wdm.Dim, st *roundState, req Request) (wdm.Connection, bool) {
+	switch model {
+	case wdm.MSW:
+		// One wavelength, free at the source and at every destination.
+		for w := 0; w < dim.K; w++ {
+			wl := wdm.Wavelength(w)
+			if st.srcUsed[wdm.PortWave{Port: req.Source, Wave: wl}] {
+				continue
+			}
+			if ok, conn := allDestsOn(st, req, wl, wl); ok {
+				return conn, true
+			}
+		}
+	case wdm.MSDW:
+		// Source wavelength and common destination wavelength chosen
+		// independently.
+		for ws := 0; ws < dim.K; ws++ {
+			if st.srcUsed[wdm.PortWave{Port: req.Source, Wave: wdm.Wavelength(ws)}] {
+				continue
+			}
+			for wd := 0; wd < dim.K; wd++ {
+				if ok, conn := allDestsOn(st, req, wdm.Wavelength(ws), wdm.Wavelength(wd)); ok {
+					return conn, true
+				}
+			}
+			break // any free source wavelength is as good as another
+		}
+	case wdm.MAW:
+		// Source: any free wavelength; each destination: any free slot.
+		var srcW wdm.Wavelength = -1
+		for w := 0; w < dim.K; w++ {
+			if !st.srcUsed[wdm.PortWave{Port: req.Source, Wave: wdm.Wavelength(w)}] {
+				srcW = wdm.Wavelength(w)
+				break
+			}
+		}
+		if srcW < 0 {
+			return wdm.Connection{}, false
+		}
+		conn := wdm.Connection{Source: wdm.PortWave{Port: req.Source, Wave: srcW}}
+		for _, d := range req.Dests {
+			placed := false
+			for w := 0; w < dim.K; w++ {
+				slot := wdm.PortWave{Port: d, Wave: wdm.Wavelength(w)}
+				if !st.dstUsed[slot] {
+					conn.Dests = append(conn.Dests, slot)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return wdm.Connection{}, false
+			}
+		}
+		return conn.Normalize(), true
+	}
+	return wdm.Connection{}, false
+}
+
+// allDestsOn builds the connection with source wavelength ws and every
+// destination on wd if all those slots are free in the round.
+func allDestsOn(st *roundState, req Request, ws, wd wdm.Wavelength) (bool, wdm.Connection) {
+	conn := wdm.Connection{Source: wdm.PortWave{Port: req.Source, Wave: ws}}
+	for _, d := range req.Dests {
+		slot := wdm.PortWave{Port: d, Wave: wd}
+		if st.dstUsed[slot] {
+			return false, wdm.Connection{}
+		}
+		conn.Dests = append(conn.Dests, slot)
+	}
+	return true, conn.Normalize()
+}
+
+// LowerBound returns the congestion floor on the number of rounds: no
+// schedule can beat the most-demanded destination port's load divided by
+// its k receivers, nor the busiest source port's transmit load divided
+// by its k transmitters.
+func LowerBound(dim wdm.Dim, reqs []Request) int {
+	srcLoad := make(map[wdm.Port]int)
+	dstLoad := make(map[wdm.Port]int)
+	for _, r := range reqs {
+		srcLoad[r.Source]++
+		for _, d := range r.Dests {
+			dstLoad[d]++
+		}
+	}
+	maxLoad := 0
+	for _, v := range srcLoad {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	for _, v := range dstLoad {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	return (maxLoad + dim.K - 1) / dim.K
+}
+
+// Served returns how many requests the plan carries in total (each
+// request must appear exactly once; the tests rely on this accessor).
+func (p *Plan) Served() int {
+	total := 0
+	for _, r := range p.Rounds {
+		total += len(r.Requests)
+	}
+	return total
+}

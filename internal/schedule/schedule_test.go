@@ -1,0 +1,257 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func req(src int, dests ...int) Request {
+	r := Request{Source: wdm.Port(src)}
+	for _, d := range dests {
+		r.Dests = append(r.Dests, wdm.Port(d))
+	}
+	return r
+}
+
+func mustSchedule(t *testing.T, model wdm.Model, dim wdm.Dim, reqs []Request) *Plan {
+	t.Helper()
+	p, err := Schedule(model, dim, reqs)
+	if err != nil {
+		t.Fatalf("Schedule(%v, %+v): %v", model, dim, err)
+	}
+	return p
+}
+
+func TestEveryRequestServedOnce(t *testing.T) {
+	dim := wdm.Dim{N: 6, K: 2}
+	reqs := []Request{
+		req(0, 1, 2, 3),
+		req(1, 0, 4),
+		req(2, 3),
+		req(0, 5),
+		req(3, 1, 2, 4, 5),
+	}
+	for _, m := range wdm.Models {
+		p := mustSchedule(t, m, dim, reqs)
+		if p.Served() != len(reqs) {
+			t.Errorf("%v: served %d of %d", m, p.Served(), len(reqs))
+		}
+		seen := make(map[int]bool)
+		for _, r := range p.Rounds {
+			if len(r.Requests) != len(r.Assignment) {
+				t.Errorf("%v: round carries %d requests but %d connections", m, len(r.Requests), len(r.Assignment))
+			}
+			for _, idx := range r.Requests {
+				if seen[idx] {
+					t.Errorf("%v: request %d scheduled twice", m, idx)
+				}
+				seen[idx] = true
+			}
+		}
+	}
+}
+
+func TestRoundsAreAdmissible(t *testing.T) {
+	dim := wdm.Dim{N: 8, K: 2}
+	rng := rand.New(rand.NewSource(3))
+	var reqs []Request
+	for i := 0; i < 60; i++ {
+		src := rng.Intn(dim.N)
+		var dests []int
+		for _, d := range rng.Perm(dim.N)[:1+rng.Intn(4)] {
+			if d != src {
+				dests = append(dests, d)
+			}
+		}
+		if len(dests) == 0 {
+			dests = []int{(src + 1) % dim.N}
+		}
+		reqs = append(reqs, req(src, dests...))
+	}
+	for _, m := range wdm.Models {
+		p := mustSchedule(t, m, dim, reqs)
+		for i, r := range p.Rounds {
+			if err := dim.CheckAssignment(m, r.Assignment); err != nil {
+				t.Errorf("%v round %d: %v", m, i, err)
+			}
+		}
+	}
+}
+
+func TestRoundsMatchRequestEndpoints(t *testing.T) {
+	// Each scheduled connection must serve exactly its request's source
+	// port and destination ports.
+	dim := wdm.Dim{N: 5, K: 2}
+	reqs := []Request{req(0, 1, 2), req(0, 3, 4), req(1, 2)}
+	for _, m := range wdm.Models {
+		p := mustSchedule(t, m, dim, reqs)
+		for _, round := range p.Rounds {
+			for i, idx := range round.Requests {
+				conn := round.Assignment[i]
+				want := reqs[idx]
+				if conn.Source.Port != want.Source {
+					t.Errorf("%v: request %d source %d scheduled at port %d", m, idx, want.Source, conn.Source.Port)
+				}
+				gotPorts := map[wdm.Port]bool{}
+				for _, d := range conn.Dests {
+					gotPorts[d.Port] = true
+				}
+				if len(gotPorts) != len(want.Dests) {
+					t.Fatalf("%v: request %d got ports %v, want %v", m, idx, gotPorts, want.Dests)
+				}
+				for _, d := range want.Dests {
+					if !gotPorts[d] {
+						t.Errorf("%v: request %d missing destination port %d", m, idx, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWDMReducesRoundsVsElectronic(t *testing.T) {
+	// k identical broadcast demands from k different sources: an
+	// electronic (k=1) network needs k rounds; a k-wavelength WDM network
+	// does it in one (each destination receives k messages at once).
+	const n, k = 6, 3
+	var reqs []Request
+	for s := 0; s < k; s++ {
+		reqs = append(reqs, req(s, 3, 4, 5))
+	}
+	electronic := mustSchedule(t, wdm.MSW, wdm.Dim{N: n, K: 1}, reqs)
+	if electronic.NumRounds() != k {
+		t.Errorf("electronic rounds = %d, want %d", electronic.NumRounds(), k)
+	}
+	for _, m := range wdm.Models {
+		p := mustSchedule(t, m, wdm.Dim{N: n, K: k}, reqs)
+		if p.NumRounds() != 1 {
+			t.Errorf("%v k=%d rounds = %d, want 1", m, k, p.NumRounds())
+		}
+	}
+}
+
+func TestModelOrderingOnRandomDemand(t *testing.T) {
+	// Stronger models need fewer rounds in aggregate. (Per instance the
+	// first-fit heuristic can exhibit classic bin-packing anomalies — a
+	// more flexible model makes a greedy early placement that corners it
+	// later — so the ordering is asserted on totals over many trials,
+	// which is also the form of the paper's argument.)
+	dim := wdm.Dim{N: 10, K: 2}
+	rng := rand.New(rand.NewSource(17))
+	var totMSW, totMSDW, totMAW int
+	for trial := 0; trial < 30; trial++ {
+		var reqs []Request
+		for i := 0; i < 40; i++ {
+			src := rng.Intn(dim.N)
+			d1 := (src + 1 + rng.Intn(dim.N-1)) % dim.N
+			r := req(src, d1)
+			if d2 := (d1 + 1 + rng.Intn(dim.N-2)) % dim.N; d2 != src && d2 != d1 {
+				r.Dests = append(r.Dests, wdm.Port(d2))
+			}
+			reqs = append(reqs, r)
+		}
+		totMSW += mustSchedule(t, wdm.MSW, dim, reqs).NumRounds()
+		totMSDW += mustSchedule(t, wdm.MSDW, dim, reqs).NumRounds()
+		totMAW += mustSchedule(t, wdm.MAW, dim, reqs).NumRounds()
+	}
+	if totMSDW > totMSW || totMAW > totMSDW {
+		t.Errorf("aggregate rounds MSW=%d MSDW=%d MAW=%d not ordered", totMSW, totMSDW, totMAW)
+	}
+}
+
+func TestMAWBeatsMSWOnConflictingDemand(t *testing.T) {
+	// Two sources broadcasting to the same destinations, k=2, plus two
+	// more streams to the same ports: MSW runs out of same-wavelength
+	// options before MAW runs out of receivers.
+	dim := wdm.Dim{N: 6, K: 2}
+	reqs := []Request{
+		req(0, 4, 5),
+		req(1, 4, 5),
+		req(2, 4, 5),
+		req(3, 4, 5),
+	}
+	msw := mustSchedule(t, wdm.MSW, dim, reqs).NumRounds()
+	maw := mustSchedule(t, wdm.MAW, dim, reqs).NumRounds()
+	if maw != 2 {
+		t.Errorf("MAW rounds = %d, want 2 (ports 4,5 have 2 receivers each)", maw)
+	}
+	if msw < maw {
+		t.Errorf("MSW rounds %d below MAW %d", msw, maw)
+	}
+	if lb := LowerBound(dim, reqs); lb != 2 {
+		t.Errorf("LowerBound = %d, want 2", lb)
+	}
+}
+
+func TestPlanRespectsLowerBound(t *testing.T) {
+	dim := wdm.Dim{N: 8, K: 2}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		var reqs []Request
+		for i := 0; i < 30; i++ {
+			src := rng.Intn(dim.N)
+			dst := (src + 1 + rng.Intn(dim.N-1)) % dim.N
+			reqs = append(reqs, req(src, dst))
+		}
+		lb := LowerBound(dim, reqs)
+		for _, m := range wdm.Models {
+			if got := mustSchedule(t, m, dim, reqs).NumRounds(); got < lb {
+				t.Errorf("%v: %d rounds below lower bound %d", m, got, lb)
+			}
+		}
+	}
+}
+
+func TestMAWMeetsLowerBoundOnUnicastDemand(t *testing.T) {
+	// For unicast-only demand MAW's first-fit packing is optimal up to
+	// the congestion bound in this small deterministic case.
+	dim := wdm.Dim{N: 4, K: 2}
+	var reqs []Request
+	for s := 0; s < 4; s++ {
+		for c := 0; c < 4; c++ { // each source sends 4 unicasts to port (s+1)%4
+			reqs = append(reqs, req(s, (s+1)%4))
+		}
+	}
+	lb := LowerBound(dim, reqs) // 4 per port / 2 receivers = 2
+	p := mustSchedule(t, wdm.MAW, dim, reqs)
+	if p.NumRounds() != lb {
+		t.Errorf("MAW rounds = %d, want lower bound %d", p.NumRounds(), lb)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	dim := wdm.Dim{N: 4, K: 1}
+	bad := [][]Request{
+		{req(5, 0)},    // source out of range
+		{req(0, 9)},    // dest out of range
+		{req(0)},       // no destinations
+		{req(0, 1, 1)}, // repeated destination
+	}
+	for _, reqs := range bad {
+		if _, err := Schedule(wdm.MSW, dim, reqs); err == nil {
+			t.Errorf("accepted %+v", reqs)
+		}
+	}
+	if _, err := Schedule(wdm.MSW, wdm.Dim{N: 0, K: 1}, nil); err == nil {
+		t.Error("accepted invalid dim")
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	p := mustSchedule(t, wdm.MAW, wdm.Dim{N: 4, K: 2}, nil)
+	if p.NumRounds() != 0 || p.Served() != 0 {
+		t.Errorf("empty batch: %d rounds, %d served", p.NumRounds(), p.Served())
+	}
+}
+
+func TestSelfLoopAllowed(t *testing.T) {
+	// A port may multicast to itself (loopback slot on another or even
+	// the same wavelength): the models only constrain wavelengths, not
+	// port identity.
+	p := mustSchedule(t, wdm.MSW, wdm.Dim{N: 2, K: 1}, []Request{req(0, 0, 1)})
+	if p.NumRounds() != 1 {
+		t.Errorf("rounds = %d", p.NumRounds())
+	}
+}

@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/multistage"
+	"repro/internal/sim"
+	"repro/internal/wdm"
+)
+
+// Dynamic traffic against a deliberately undersized middle stage blocks;
+// the same workload at the sufficient bound does not — Theorems 1/2 as a
+// simulation.
+func ExampleRun() {
+	for _, m := range []int{2, 13} {
+		net, err := multistage.New(multistage.Params{
+			N: 16, K: 2, R: 4, M: m, X: 2, Model: wdm.MSW, Lite: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		res, err := sim.Run(net, sim.Config{
+			Seed: 42, Model: wdm.MSW, Dim: wdm.Dim{N: 16, K: 2},
+			Requests: 2000, Load: 10, MaxFanout: 8,
+			IsBlocked: multistage.IsBlocked,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("m=%2d: blocked %v\n", m, res.Blocked > 0)
+	}
+	// Output:
+	// m= 2: blocked true
+	// m=13: blocked false
+}

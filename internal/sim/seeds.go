@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Aggregate summarizes a batch of runs of the same configuration under
+// different seeds — the repository's standard way to report simulation
+// results with spread rather than a single draw.
+type Aggregate struct {
+	Runs    []Result
+	Seeds   []int64
+	MeanP   float64 // mean blocking probability
+	MaxP    float64 // worst seed
+	StddevP float64 // spread across seeds
+	Blocked int     // total blocked over all runs
+	Offered int
+}
+
+// RunSeeds executes cfg against a fresh network per seed (built by
+// mkNet) and aggregates the blocking statistics. Runs execute
+// concurrently — each has its own network and generator, so results are
+// independent of scheduling and identical to serial execution.
+func RunSeeds(mkNet func() (Network, error), cfg Config, seeds []int64) (*Aggregate, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sim: RunSeeds needs at least one seed")
+	}
+	agg := &Aggregate{
+		Runs:  make([]Result, len(seeds)),
+		Seeds: append([]int64(nil), seeds...),
+	}
+	errs := make([]error, len(seeds))
+	var wg sync.WaitGroup
+	for i, seed := range seeds {
+		wg.Add(1)
+		go func(i int, seed int64) {
+			defer wg.Done()
+			net, err := mkNet()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			c := cfg
+			c.Seed = seed
+			res, err := Run(net, c)
+			if err != nil {
+				errs[i] = fmt.Errorf("seed %d: %w", seed, err)
+				return
+			}
+			agg.Runs[i] = res
+		}(i, seed)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var sum, sumSq float64
+	for _, r := range agg.Runs {
+		p := r.BlockingProbability()
+		sum += p
+		sumSq += p * p
+		if p > agg.MaxP {
+			agg.MaxP = p
+		}
+		agg.Blocked += r.Blocked
+		agg.Offered += r.Offered
+	}
+	n := float64(len(agg.Runs))
+	agg.MeanP = sum / n
+	variance := sumSq/n - agg.MeanP*agg.MeanP
+	if variance > 0 {
+		agg.StddevP = math.Sqrt(variance)
+	}
+	return agg, nil
+}
+
+func (a *Aggregate) String() string {
+	return fmt.Sprintf("%d seeds: P_block mean=%.4f max=%.4f stddev=%.4f (blocked %d / offered %d)",
+		len(a.Runs), a.MeanP, a.MaxP, a.StddevP, a.Blocked, a.Offered)
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+func mkUndersized() (Network, error) {
+	return multistage.New(multistage.Params{
+		N: 16, K: 2, R: 4, M: 3, X: 2, Model: wdm.MSW, Lite: true,
+	})
+}
+
+func TestRunSeedsAggregates(t *testing.T) {
+	cfg := Config{
+		Model: wdm.MSW, Dim: wdm.Dim{N: 16, K: 2},
+		Requests: 800, Load: 10, MaxFanout: 8,
+		IsBlocked: multistage.IsBlocked,
+	}
+	agg, err := RunSeeds(mkUndersized, cfg, []int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Runs) != 4 {
+		t.Fatalf("%d runs", len(agg.Runs))
+	}
+	if agg.MeanP <= 0 {
+		t.Error("undersized network shows zero mean blocking")
+	}
+	if agg.MaxP < agg.MeanP {
+		t.Error("max below mean")
+	}
+	totalBlocked := 0
+	for _, r := range agg.Runs {
+		totalBlocked += r.Blocked
+	}
+	if totalBlocked != agg.Blocked {
+		t.Errorf("Blocked = %d, runs sum to %d", agg.Blocked, totalBlocked)
+	}
+	if !strings.Contains(agg.String(), "P_block") {
+		t.Errorf("String() = %q", agg.String())
+	}
+}
+
+func TestRunSeedsMatchesSerialRun(t *testing.T) {
+	cfg := Config{
+		Model: wdm.MSW, Dim: wdm.Dim{N: 16, K: 2},
+		Requests: 500, Load: 8, MaxFanout: 4,
+		IsBlocked: multistage.IsBlocked,
+	}
+	agg, err := RunSeeds(mkUndersized, cfg, []int64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := mkUndersized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg
+	c.Seed = 7
+	serial, err := Run(net, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(agg.Runs[0], serial) {
+		t.Errorf("concurrent run differs from serial:\n%+v\nvs\n%+v", agg.Runs[0], serial)
+	}
+}
+
+func TestRunSeedsPropagatesErrors(t *testing.T) {
+	if _, err := RunSeeds(mkUndersized, Config{Requests: 10, Dim: wdm.Dim{N: 16, K: 2}}, nil); err == nil {
+		t.Error("no seeds accepted")
+	}
+	failing := func() (Network, error) { return nil, errors.New("boom") }
+	if _, err := RunSeeds(failing, Config{Requests: 10, Dim: wdm.Dim{N: 16, K: 2}}, []int64{1}); err == nil {
+		t.Error("factory error swallowed")
+	}
+}

@@ -1,0 +1,317 @@
+// Package sim runs dynamic connection-level simulations against WDM
+// multicast switching networks: multicast requests arrive as a Poisson
+// process, hold for exponentially distributed times, and depart. The
+// simulator generates only admissible requests (sources and destinations
+// drawn from currently free slots), so every Add failure is a genuine
+// blocking event.
+//
+// The paper proves its networks nonblocking analytically; these
+// simulations are the executable counterpart: at or above the theorem
+// bounds the measured blocking probability must be exactly zero for every
+// seed, while undersized middle stages exhibit measurable blocking. The
+// blocking-vs-m sweep is the repository's stand-in "figure" for the
+// paper's purely analytical Section 3 (see EXPERIMENTS.md).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// Network is the device under test. Both *crossbar.Switch and
+// *multistage.Network satisfy it.
+type Network interface {
+	Add(wdm.Connection) (int, error)
+	Release(int) error
+}
+
+// Verifier is optionally implemented by networks that can self-check
+// (multistage.Network.Verify); when available and Config.VerifyEvery > 0
+// the simulator periodically validates the network state.
+type Verifier interface {
+	Verify() error
+}
+
+// Repacker is optionally implemented by networks that support
+// rearrangeable operation (multistage.Network.AddWithRepack).
+type Repacker interface {
+	AddWithRepack(wdm.Connection) (int, bool, error)
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Seed  int64
+	Model wdm.Model
+	Dim   wdm.Dim
+
+	// Requests is the number of connection arrivals to simulate.
+	Requests int
+	// Load is the offered load in Erlangs per output slot-ish terms:
+	// arrival rate = Load, mean hold time = 1. Higher load keeps more
+	// slots busy when a request arrives.
+	Load float64
+	// MaxFanout bounds each request's fanout (destination port count);
+	// 0 means up to N.
+	MaxFanout int
+
+	// IsBlocked classifies Add errors: true = blocking (counted), false =
+	// protocol error (aborts the run). Defaults to "nothing blocks", the
+	// right setting for strictly nonblocking crossbars.
+	IsBlocked func(error) bool
+
+	// Warmup discards the first this-many arrivals from the statistics
+	// (they still drive the network) so measurements reflect steady
+	// state rather than the empty-network transient. Blocking during
+	// warmup still aborts zero-blocking assertions made by callers,
+	// since those examine Result counters — warmup only affects what is
+	// counted, and nonblocking networks never block in any phase.
+	Warmup int
+
+	// VerifyEvery, when > 0 and the network implements Verifier, runs a
+	// full verification every that-many arrivals (and once at the end).
+	VerifyEvery int
+
+	// Repack, when true and the network implements Repacker, drives
+	// arrivals through AddWithRepack: blocked requests trigger a
+	// rearrangement attempt before being counted as blocked.
+	Repack bool
+}
+
+// Result aggregates a run.
+type Result struct {
+	Offered int // admissible requests presented
+	Routed  int // requests accepted
+	Blocked int // requests refused for lack of internal paths
+	Starved int // instants where no admissible request could be built
+
+	MaxConcurrent int     // peak simultaneous connections
+	MeanFanout    float64 // mean fanout of offered requests
+	TotalFanout   int
+	Repacked      int // requests saved by rearrangement (Config.Repack)
+
+	// ByFanout stratifies offered/blocked counts by request fanout —
+	// large multicasts block first, and this exposes by how much.
+	ByFanout map[int]FanoutStats
+}
+
+// FanoutStats is the per-fanout slice of a Result.
+type FanoutStats struct {
+	Offered int
+	Blocked int
+}
+
+// BlockingProbabilityAtFanout returns Blocked/Offered for one fanout.
+func (r Result) BlockingProbabilityAtFanout(fanout int) float64 {
+	s := r.ByFanout[fanout]
+	if s.Offered == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Offered)
+}
+
+// BlockingProbability returns Blocked / Offered (0 for an empty run).
+func (r Result) BlockingProbability() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Blocked) / float64(r.Offered)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("offered=%d routed=%d blocked=%d (P_block=%.4f) peak=%d meanFanout=%.2f",
+		r.Offered, r.Routed, r.Blocked, r.BlockingProbability(), r.MaxConcurrent, r.MeanFanout)
+}
+
+// departure is a scheduled connection teardown.
+type departure struct {
+	at   float64
+	id   int
+	conn wdm.Connection
+}
+
+type departureHeap []departure
+
+func (h departureHeap) Len() int            { return len(h) }
+func (h departureHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h departureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *departureHeap) Push(x interface{}) { *h = append(*h, x.(departure)) }
+func (h *departureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes one simulation. It returns an error only for protocol
+// violations (inadmissible request rejected as non-blocking, release
+// failure, verification failure) — blocking is a counted outcome, not an
+// error.
+func Run(net Network, cfg Config) (Result, error) {
+	if cfg.Requests <= 0 {
+		return Result{}, errors.New("sim: Requests must be positive")
+	}
+	if cfg.Load <= 0 {
+		cfg.Load = 1
+	}
+	if cfg.MaxFanout <= 0 || cfg.MaxFanout > cfg.Dim.N {
+		cfg.MaxFanout = cfg.Dim.N
+	}
+	if cfg.IsBlocked == nil {
+		cfg.IsBlocked = func(error) bool { return false }
+	}
+	if err := cfg.Dim.Validate(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := workload.NewGenerator(cfg.Seed+1, cfg.Model, cfg.Dim)
+
+	// Slot occupancy mirrors (the simulator's own view; the network under
+	// test enforces the same rules independently).
+	freeSrc := newSlotSet(cfg.Dim)
+	freeDst := newSlotSet(cfg.Dim)
+
+	var (
+		res  Result
+		deps departureHeap
+		now  float64
+	)
+	verifier, canVerify := net.(Verifier)
+
+	verify := func() error {
+		if canVerify && cfg.VerifyEvery > 0 {
+			if err := verifier.Verify(); err != nil {
+				return fmt.Errorf("sim: network verification failed after %d arrivals: %w", res.Offered, err)
+			}
+		}
+		return nil
+	}
+
+	for arrival := 0; arrival < cfg.Requests; arrival++ {
+		now += rng.ExpFloat64() / cfg.Load
+		// Depart everything scheduled before this arrival.
+		for len(deps) > 0 && deps[0].at <= now {
+			d := heap.Pop(&deps).(departure)
+			if err := net.Release(d.id); err != nil {
+				return res, fmt.Errorf("sim: release %d: %w", d.id, err)
+			}
+			freeSrc.put(d.conn.Source)
+			for _, dst := range d.conn.Dests {
+				freeDst.put(dst)
+			}
+		}
+
+		measured := arrival >= cfg.Warmup
+		c, ok := gen.Connection(freeSrc.slots(), freeDst.slots(), gen.Fanout(cfg.MaxFanout))
+		if !ok {
+			if measured {
+				res.Starved++
+			}
+			continue
+		}
+		if measured {
+			res.Offered++
+			res.TotalFanout += c.Fanout()
+		}
+		if res.ByFanout == nil {
+			res.ByFanout = make(map[int]FanoutStats)
+		}
+		fs := res.ByFanout[c.Fanout()]
+		if measured {
+			fs.Offered++
+		}
+
+		var id int
+		var err error
+		if repacker, ok := net.(Repacker); cfg.Repack && ok {
+			var did bool
+			id, did, err = repacker.AddWithRepack(c)
+			if did && err == nil && measured {
+				res.Repacked++
+			}
+		} else {
+			id, err = net.Add(c)
+		}
+		switch {
+		case err == nil:
+			if measured {
+				res.Routed++
+			}
+			freeSrc.take(c.Source)
+			for _, dst := range c.Dests {
+				freeDst.take(dst)
+			}
+			heap.Push(&deps, departure{at: now + rng.ExpFloat64(), id: id, conn: c})
+			if live := len(deps); live > res.MaxConcurrent {
+				res.MaxConcurrent = live
+			}
+		case cfg.IsBlocked(err):
+			if measured {
+				res.Blocked++
+				fs.Blocked++
+			}
+		default:
+			return res, fmt.Errorf("sim: network rejected admissible request %v: %w", c, err)
+		}
+		res.ByFanout[c.Fanout()] = fs
+
+		if cfg.VerifyEvery > 0 && res.Offered%cfg.VerifyEvery == 0 {
+			if err := verify(); err != nil {
+				return res, err
+			}
+		}
+	}
+	if res.Offered > 0 {
+		res.MeanFanout = float64(res.TotalFanout) / float64(res.Offered)
+	}
+	if err := verify(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// slotSet tracks free slots with O(1) take/put and stable iteration.
+type slotSet struct {
+	free []wdm.PortWave
+	pos  map[wdm.PortWave]int // index in free, or absent
+}
+
+func newSlotSet(d wdm.Dim) *slotSet {
+	s := &slotSet{pos: make(map[wdm.PortWave]int, d.Slots())}
+	for p := 0; p < d.N; p++ {
+		for w := 0; w < d.K; w++ {
+			slot := wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+			s.pos[slot] = len(s.free)
+			s.free = append(s.free, slot)
+		}
+	}
+	return s
+}
+
+func (s *slotSet) slots() []wdm.PortWave { return s.free }
+
+func (s *slotSet) take(slot wdm.PortWave) {
+	i, ok := s.pos[slot]
+	if !ok {
+		panic(fmt.Sprintf("sim: taking slot %v twice", slot))
+	}
+	last := len(s.free) - 1
+	s.free[i] = s.free[last]
+	s.pos[s.free[i]] = i
+	s.free = s.free[:last]
+	delete(s.pos, slot)
+}
+
+func (s *slotSet) put(slot wdm.PortWave) {
+	if _, dup := s.pos[slot]; dup {
+		panic(fmt.Sprintf("sim: freeing slot %v twice", slot))
+	}
+	s.pos[slot] = len(s.free)
+	s.free = append(s.free, slot)
+}

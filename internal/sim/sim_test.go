@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+func TestCrossbarNeverBlocks(t *testing.T) {
+	// The strictly nonblocking crossbars must route every admissible
+	// dynamic request: blocked count must be zero for every model.
+	d := wdm.Dim{N: 6, K: 2}
+	for _, m := range wdm.Models {
+		s := crossbar.NewLite(m, d.Shape())
+		res, err := Run(s, Config{
+			Seed: 11, Model: m, Dim: d, Requests: 3000, Load: 8, MaxFanout: 4,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Blocked != 0 {
+			t.Errorf("%v: crossbar blocked %d requests", m, res.Blocked)
+		}
+		if res.Routed == 0 {
+			t.Errorf("%v: nothing routed", m)
+		}
+	}
+}
+
+func TestMultistageAtBoundNeverBlocks(t *testing.T) {
+	// At the sufficient middle-stage count, dynamic traffic of any mix
+	// must never block, across constructions and models and seeds.
+	for _, constr := range []multistage.Construction{multistage.MSWDominant, multistage.MAWDominant} {
+		for _, model := range wdm.Models {
+			p := multistage.Params{
+				N: 16, K: 2, R: 4, Model: model, Construction: constr, Lite: true,
+			}
+			for seed := int64(0); seed < 3; seed++ {
+				net, err := multistage.New(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(net, Config{
+					Seed: seed, Model: model, Dim: wdm.Dim{N: 16, K: 2},
+					Requests: 2500, Load: 12, MaxFanout: 8,
+					IsBlocked: multistage.IsBlocked,
+				})
+				if err != nil {
+					t.Fatalf("%v/%v seed %d: %v", constr, model, seed, err)
+				}
+				if res.Blocked != 0 {
+					t.Errorf("%v/%v seed %d: %d blocked at sufficient bound (%s)",
+						constr, model, seed, res.Blocked, res)
+				}
+			}
+		}
+	}
+}
+
+func TestUndersizedMiddleStageBlocks(t *testing.T) {
+	// With m = 1 the network must visibly block under load — the sanity
+	// check that the simulator can detect blocking at all.
+	net, err := multistage.New(multistage.Params{
+		N: 16, K: 2, R: 4, M: 1, X: 1, Model: wdm.MSW, Lite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, Config{
+		Seed: 3, Model: wdm.MSW, Dim: wdm.Dim{N: 16, K: 2},
+		Requests: 2000, Load: 12, MaxFanout: 8,
+		IsBlocked: multistage.IsBlocked,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocked == 0 {
+		t.Error("m=1 network never blocked under heavy load")
+	}
+}
+
+func TestVerifyEveryCatchesNothingOnHealthyNetwork(t *testing.T) {
+	net, err := multistage.New(multistage.Params{
+		N: 8, K: 2, R: 4, Model: wdm.MAW, Construction: multistage.MAWDominant,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, Config{
+		Seed: 5, Model: wdm.MAW, Dim: wdm.Dim{N: 8, K: 2},
+		Requests: 400, Load: 6, MaxFanout: 4,
+		IsBlocked: multistage.IsBlocked, VerifyEvery: 50,
+	})
+	if err != nil {
+		t.Fatalf("verified run failed: %v (%s)", err, res)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	s := crossbar.NewLite(wdm.MSW, wdm.Shape{In: 2, Out: 2, K: 1})
+	if _, err := Run(s, Config{Requests: 0, Dim: wdm.Dim{N: 2, K: 1}}); err == nil {
+		t.Error("Requests=0 accepted")
+	}
+	if _, err := Run(s, Config{Requests: 10, Dim: wdm.Dim{N: 0, K: 1}}); err == nil {
+		t.Error("bad dim accepted")
+	}
+}
+
+func TestResultAccounting(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 1}
+	s := crossbar.NewLite(wdm.MSW, d.Shape())
+	res, err := Run(s, Config{Seed: 9, Model: wdm.MSW, Dim: d, Requests: 500, Load: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered != res.Routed+res.Blocked {
+		t.Errorf("offered %d != routed %d + blocked %d", res.Offered, res.Routed, res.Blocked)
+	}
+	if res.Offered+res.Starved != 500 {
+		t.Errorf("offered %d + starved %d != 500 arrivals", res.Offered, res.Starved)
+	}
+	if res.MeanFanout < 1 {
+		t.Errorf("mean fanout %.2f below 1", res.MeanFanout)
+	}
+	if !strings.Contains(res.String(), "P_block") {
+		t.Errorf("Result.String() = %q", res.String())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	d := wdm.Dim{N: 6, K: 2}
+	run := func() Result {
+		s := crossbar.NewLite(wdm.MAW, d.Shape())
+		res, err := Run(s, Config{Seed: 77, Model: wdm.MAW, Dim: d, Requests: 800, Load: 5, MaxFanout: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Errorf("same seed, different results: %v vs %v", a, b)
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	d := wdm.Dim{N: 6, K: 2}
+	mk := func(warmup int) Result {
+		s := crossbar.NewLite(wdm.MAW, d.Shape())
+		res, err := Run(s, Config{
+			Seed: 55, Model: wdm.MAW, Dim: d,
+			Requests: 600, Load: 6, MaxFanout: 3, Warmup: warmup,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := mk(0)
+	trimmed := mk(200)
+	if trimmed.Offered+trimmed.Starved != 400 {
+		t.Errorf("warmup run measured %d arrivals, want 400", trimmed.Offered+trimmed.Starved)
+	}
+	if trimmed.Offered >= full.Offered {
+		t.Errorf("warmup did not shrink the measured window: %d vs %d", trimmed.Offered, full.Offered)
+	}
+	// The traffic itself is identical (same seed): the warmup run's
+	// network still carried the early connections.
+	if trimmed.MaxConcurrent != full.MaxConcurrent {
+		t.Errorf("warmup changed the dynamics: peak %d vs %d", trimmed.MaxConcurrent, full.MaxConcurrent)
+	}
+}
+
+func TestFanoutStratification(t *testing.T) {
+	// On an undersized network, larger multicasts must block at least as
+	// often as unicasts (they need more middle-stage coverage), and the
+	// strata must sum to the totals.
+	net, err := multistage.New(multistage.Params{
+		N: 16, K: 2, R: 4, M: 3, X: 2, Model: wdm.MSW, Lite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(net, Config{
+		Seed: 8, Model: wdm.MSW, Dim: wdm.Dim{N: 16, K: 2},
+		Requests: 3000, Load: 10, MaxFanout: 8,
+		IsBlocked: multistage.IsBlocked,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off, blk int
+	for _, s := range res.ByFanout {
+		off += s.Offered
+		blk += s.Blocked
+	}
+	if off != res.Offered || blk != res.Blocked {
+		t.Errorf("strata sum to (%d, %d), totals are (%d, %d)", off, blk, res.Offered, res.Blocked)
+	}
+	p1 := res.BlockingProbabilityAtFanout(1)
+	if s := res.ByFanout[1]; s.Offered < 100 {
+		t.Fatalf("too few unicasts (%d) for a meaningful comparison", s.Offered)
+	}
+	// Compare unicast blocking against the widest well-sampled stratum.
+	for f := 8; f >= 4; f-- {
+		if s := res.ByFanout[f]; s.Offered >= 30 {
+			if pf := res.BlockingProbabilityAtFanout(f); pf < p1 {
+				t.Errorf("fanout-%d blocking %.3f below unicast %.3f", f, pf, p1)
+			}
+			return
+		}
+	}
+	t.Skip("no wide stratum sampled enough")
+}
+
+func TestSweepMBlockingMonotoneTrend(t *testing.T) {
+	// Blocking probability should fall (weakly) as m grows, hitting zero
+	// at the sufficient bound.
+	base := multistage.Params{N: 16, K: 2, R: 4, Model: wdm.MSW, Lite: true}
+	ms := DefaultMs(multistage.MSWDominant, base)
+	sort.Ints(ms)
+	points, err := SweepM(base, ms, Config{Seed: 13, Requests: 1500, Load: 10, MaxFanout: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 4 {
+		t.Fatalf("sweep produced %d points", len(points))
+	}
+	last := points[len(points)-1]
+	if last.Result.Blocked != 0 {
+		t.Errorf("largest m=%d still blocks: %s", last.M, last.Result)
+	}
+	first := points[0]
+	if first.Result.Blocked == 0 {
+		t.Errorf("smallest m=%d never blocks — sweep range uninformative", first.M)
+	}
+	for _, pt := range points {
+		if pt.AtBound && pt.Result.Blocked != 0 {
+			t.Errorf("m at sufficient bound (%d) blocked %d requests", pt.M, pt.Result.Blocked)
+		}
+	}
+}

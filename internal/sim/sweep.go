@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// SweepPoint is one (m, blocking probability) sample of a middle-stage
+// sweep.
+type SweepPoint struct {
+	M        int
+	Result   Result
+	AtBound  bool // m equals the sufficient bound
+	PaperMin int  // the paper's stated theorem bound for reference
+}
+
+// SweepM measures blocking probability as a function of the middle-stage
+// module count m for a three-stage network with the given base
+// parameters, holding everything else fixed. ms lists the m values to
+// probe. The networks are built Lite (the sweep is about routing, not
+// optics). This regenerates the repository's blocking-vs-m series — the
+// executable counterpart of Theorems 1 and 2.
+func SweepM(base multistage.Params, ms []int, cfg Config) ([]SweepPoint, error) {
+	norm, err := base.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := norm.N / norm.R
+	suffM, _ := multistage.SufficientMinM(norm.Construction, norm.Model, n, norm.R, norm.K)
+	paperM, _ := multistage.PaperMinM(norm.Construction, n, norm.R, norm.K)
+
+	cfg.Dim.N = norm.N
+	cfg.Dim.K = norm.K
+	cfg.Model = norm.Model
+	if cfg.IsBlocked == nil {
+		cfg.IsBlocked = multistage.IsBlocked
+	}
+
+	var points []SweepPoint
+	for _, m := range ms {
+		p := base
+		p.M = m
+		p.Lite = true
+		net, err := multistage.New(p)
+		if err != nil {
+			return nil, fmt.Errorf("sim: building network with m=%d: %w", m, err)
+		}
+		res, err := Run(net, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: m=%d: %w", m, err)
+		}
+		points = append(points, SweepPoint{M: m, Result: res, AtBound: m == suffM, PaperMin: paperM})
+	}
+	return points, nil
+}
+
+// SweepMParallel runs SweepM's points concurrently, one goroutine per m
+// value (each point owns its network and PRNG, so points are fully
+// independent). Results are identical to the serial sweep — the PRNG is
+// seeded per point, not shared — and arrive in ms order.
+func SweepMParallel(base multistage.Params, ms []int, cfg Config) ([]SweepPoint, error) {
+	norm, err := base.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	n := norm.N / norm.R
+	suffM, _ := multistage.SufficientMinM(norm.Construction, norm.Model, n, norm.R, norm.K)
+	paperM, _ := multistage.PaperMinM(norm.Construction, n, norm.R, norm.K)
+
+	cfg.Dim.N = norm.N
+	cfg.Dim.K = norm.K
+	cfg.Model = norm.Model
+	if cfg.IsBlocked == nil {
+		cfg.IsBlocked = multistage.IsBlocked
+	}
+
+	points := make([]SweepPoint, len(ms))
+	errs := make([]error, len(ms))
+	var wg sync.WaitGroup
+	for i, m := range ms {
+		wg.Add(1)
+		go func(i, m int) {
+			defer wg.Done()
+			p := base
+			p.M = m
+			p.Lite = true
+			net, err := multistage.New(p)
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: building network with m=%d: %w", m, err)
+				return
+			}
+			res, err := Run(net, cfg)
+			if err != nil {
+				errs[i] = fmt.Errorf("sim: m=%d: %w", m, err)
+				return
+			}
+			points[i] = SweepPoint{M: m, Result: res, AtBound: m == suffM, PaperMin: paperM}
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// LoadPoint is one (load, blocking probability) sample.
+type LoadPoint struct {
+	Load   float64
+	Result Result
+}
+
+// SweepLoad measures blocking probability as a function of offered load
+// at a fixed middle-stage count — the other axis of the blocking
+// surface. Networks above the sufficient bound must stay at zero for
+// every load (nonblocking is load-independent); undersized networks show
+// the classic knee.
+func SweepLoad(base multistage.Params, loads []float64, cfg Config) ([]LoadPoint, error) {
+	norm, err := base.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Dim = wdm.Dim{N: norm.N, K: norm.K}
+	cfg.Model = norm.Model
+	if cfg.IsBlocked == nil {
+		cfg.IsBlocked = multistage.IsBlocked
+	}
+	var points []LoadPoint
+	for _, load := range loads {
+		p := base
+		p.Lite = true
+		net, err := multistage.New(p)
+		if err != nil {
+			return nil, err
+		}
+		c := cfg
+		c.Load = load
+		res, err := Run(net, c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: load %.2f: %w", load, err)
+		}
+		points = append(points, LoadPoint{Load: load, Result: res})
+	}
+	return points, nil
+}
+
+// FindMinBlockFreeM returns the smallest middle-stage count m in
+// [lo, hi] for which the network built from base (with that m) routes
+// every request of the configured dynamic workload across all the given
+// seeds without blocking, or hi+1 if none qualifies. This is the
+// empirical analogue of the theorems' minimal m, used by the ablation
+// benchmarks to compare routing strategies and link semantics.
+//
+// Blocking is monotone in m only statistically, so the scan is linear
+// from lo upward rather than a binary search.
+func FindMinBlockFreeM(base multistage.Params, cfg Config, seeds []int64, lo, hi int) (int, error) {
+	norm, err := base.Normalize()
+	if err != nil {
+		return 0, err
+	}
+	cfg.Dim = wdm.Dim{N: norm.N, K: norm.K}
+	cfg.Model = norm.Model
+	if cfg.IsBlocked == nil {
+		cfg.IsBlocked = multistage.IsBlocked
+	}
+	for m := lo; m <= hi; m++ {
+		ok := true
+		for _, seed := range seeds {
+			p := base
+			p.M = m
+			p.Lite = true
+			net, err := multistage.New(p)
+			if err != nil {
+				return 0, fmt.Errorf("sim: m=%d: %w", m, err)
+			}
+			c := cfg
+			c.Seed = seed
+			res, err := Run(net, c)
+			if err != nil {
+				return 0, fmt.Errorf("sim: m=%d seed=%d: %w", m, seed, err)
+			}
+			if res.Blocked > 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return m, nil
+		}
+	}
+	return hi + 1, nil
+}
+
+// DefaultMs builds a reasonable sweep range around the sufficient bound:
+// a few heavily undersized points, the paper bound, the sufficient bound,
+// and one above.
+func DefaultMs(construction multistage.Construction, model_ multistage.Params) []int {
+	norm, err := model_.Normalize()
+	if err != nil {
+		return nil
+	}
+	n := norm.N / norm.R
+	suffM, _ := multistage.SufficientMinM(construction, norm.Model, n, norm.R, norm.K)
+	paperM, _ := multistage.PaperMinM(construction, n, norm.R, norm.K)
+	set := map[int]bool{}
+	var ms []int
+	add := func(v int) {
+		if v >= 1 && !set[v] {
+			set[v] = true
+			ms = append(ms, v)
+		}
+	}
+	add(1)
+	add(suffM / 4)
+	add(suffM / 2)
+	add(3 * suffM / 4)
+	add(paperM)
+	add(suffM)
+	add(suffM + suffM/4)
+	return ms
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+func TestSweepMParallelMatchesSerial(t *testing.T) {
+	base := multistage.Params{N: 16, K: 2, R: 4, Model: wdm.MSW, Lite: true}
+	ms := []int{1, 3, 6, 13}
+	cfg := Config{Seed: 21, Requests: 800, Load: 10, MaxFanout: 8}
+	serial, err := SweepM(base, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := SweepMParallel(base, ms, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("point %d: serial %+v != parallel %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+func TestSweepMParallelPropagatesErrors(t *testing.T) {
+	base := multistage.Params{N: 16, K: 2, R: 4, Model: wdm.MSW, Lite: true}
+	if _, err := SweepMParallel(base, []int{-5}, Config{Requests: 10}); err == nil {
+		t.Error("invalid m accepted")
+	}
+	badBase := multistage.Params{N: 15, K: 2, R: 4, Model: wdm.MSW}
+	if _, err := SweepMParallel(badBase, []int{3}, Config{Requests: 10}); err == nil {
+		t.Error("invalid base params accepted")
+	}
+}
+
+func TestSweepLoad(t *testing.T) {
+	loads := []float64{2, 6, 12, 20}
+	cfg := Config{Seed: 4, Requests: 1200, MaxFanout: 8}
+
+	// Undersized: blocking must rise with load.
+	under := multistage.Params{N: 16, K: 2, R: 4, M: 3, X: 2, Model: wdm.MSW, Lite: true}
+	pts, err := SweepLoad(under, loads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[0].Result.BlockingProbability() >= pts[len(pts)-1].Result.BlockingProbability() {
+		t.Errorf("blocking did not rise with load: %.4f .. %.4f",
+			pts[0].Result.BlockingProbability(), pts[len(pts)-1].Result.BlockingProbability())
+	}
+
+	// At the bound: zero at every load (nonblocking is load-independent).
+	bound := multistage.Params{N: 16, K: 2, R: 4, Model: wdm.MSW, Lite: true}
+	pts, err = SweepLoad(bound, loads, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range pts {
+		if pt.Result.Blocked != 0 {
+			t.Errorf("load %.1f: %d blocked at the sufficient bound", pt.Load, pt.Result.Blocked)
+		}
+	}
+}
+
+func TestFindMinBlockFreeM(t *testing.T) {
+	base := multistage.Params{N: 16, K: 2, R: 4, Model: wdm.MSW, Lite: true}
+	cfg := Config{Requests: 800, Load: 10, MaxFanout: 8}
+	m, err := FindMinBlockFreeM(base, cfg, []int64{1, 2}, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 2 || m > 13 {
+		t.Errorf("empirical min m = %d, expected within (1, 13]", m)
+	}
+	// m=1 must block under this load (sanity that the scan started above 1).
+	if m == 1 {
+		t.Error("m=1 reported block-free under heavy load")
+	}
+}
+
+func TestDefaultMsCoverRange(t *testing.T) {
+	base := multistage.Params{N: 16, K: 2, R: 4, Model: wdm.MSW}
+	ms := DefaultMs(multistage.MSWDominant, base)
+	if len(ms) < 4 {
+		t.Fatalf("only %d sweep points", len(ms))
+	}
+	sort.Ints(ms)
+	suffM, _ := multistage.SufficientMinM(multistage.MSWDominant, wdm.MSW, 4, 4, 2)
+	found := false
+	for _, m := range ms {
+		if m == suffM {
+			found = true
+		}
+		if m < 1 {
+			t.Errorf("sweep point %d below 1", m)
+		}
+	}
+	if !found {
+		t.Error("sweep range misses the sufficient bound")
+	}
+	if ms[0] >= suffM {
+		t.Error("sweep range has no undersized points")
+	}
+}

@@ -1,0 +1,41 @@
+package trace_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/multistage"
+	"repro/internal/trace"
+	"repro/internal/wdm"
+)
+
+// Record a blocking incident on an undersized network, then replay it at
+// the sufficient bound: the blocked event diverges (it now routes).
+func ExampleTrace_Replay() {
+	mk := func(m int) *multistage.Network {
+		net, err := multistage.New(multistage.Params{
+			N: 4, K: 1, R: 2, M: m, X: 1, Model: wdm.MSW, Lite: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return net
+	}
+	rec := trace.NewRecorder(mk(1), multistage.IsBlocked)
+	rec.Add(wdm.Connection{Source: wdm.PortWave{Port: 0}, Dests: []wdm.PortWave{{Port: 2}}})
+	rec.Add(wdm.Connection{Source: wdm.PortWave{Port: 1}, Dests: []wdm.PortWave{{Port: 3}}}) // blocks
+
+	var b strings.Builder
+	rec.Trace().Write(&b)
+	fmt.Print(b.String())
+
+	res, err := rec.Trace().Replay(mk(4), multistage.IsBlocked)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("divergences at sufficient m:", len(res.Divergence))
+	// Output:
+	// add 0.0>2.0 ok=0
+	// add 1.0>3.0 blocked
+	// divergences at sufficient m: 1
+}

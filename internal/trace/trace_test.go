@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/crossbar"
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+func pw(p, w int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+}
+
+func conn(src wdm.PortWave, dests ...wdm.PortWave) wdm.Connection {
+	return wdm.Connection{Source: src, Dests: dests}
+}
+
+func TestRecordAndSerializeRoundTrip(t *testing.T) {
+	net := crossbar.NewLite(wdm.MAW, wdm.Shape{In: 4, Out: 4, K: 2})
+	rec := NewRecorder(net, nil)
+
+	id1, err := rec.Add(conn(pw(0, 0), pw(1, 1), pw(2, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Add(conn(pw(0, 0), pw(3, 0))); err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+	if err := rec.Release(id1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Add(conn(pw(0, 1), pw(3, 1))); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	if err := rec.Trace().Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{"add 0.0>1.1,2.0 ok=0", "add 0.0>3.0 rejected", "release 0", "add 0.1>3.1 ok=1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serialized trace missing %q:\n%s", want, text)
+		}
+	}
+
+	parsed, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Events) != len(rec.Trace().Events) {
+		t.Fatalf("parsed %d events, want %d", len(parsed.Events), len(rec.Trace().Events))
+	}
+	var b2 strings.Builder
+	if err := parsed.Write(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != text {
+		t.Errorf("round trip differs:\n%s\nvs\n%s", b2.String(), text)
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	text := "# header\n\nadd 0.0>1.0 ok=0\n  # mid\nrelease 0\n"
+	tr, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != 2 {
+		t.Errorf("%d events, want 2", len(tr.Events))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, text := range []string{
+		"bogus 1",
+		"add 0.0>1.0",
+		"add xx ok=0",
+		"add 0.0>1.0 ok=abc",
+		"add 0.0>1.0 maybe",
+		"release",
+		"release zz",
+	} {
+		if _, err := Read(strings.NewReader(text)); err == nil {
+			t.Errorf("Read(%q) accepted", text)
+		}
+	}
+}
+
+// TestReplayReproducesBlocking records a blocking incident on an
+// undersized three-stage network, then replays it (a) against an
+// identical network — outcomes must match exactly — and (b) against a
+// network at the sufficient bound — the blocked event must diverge to
+// routed.
+func TestReplayReproducesBlocking(t *testing.T) {
+	mkNet := func(m int) *multistage.Network {
+		net, err := multistage.New(multistage.Params{
+			N: 4, K: 1, R: 2, M: m, X: 1, Model: wdm.MSW, Lite: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	rec := NewRecorder(mkNet(1), multistage.IsBlocked)
+	if _, err := rec.Add(conn(pw(0, 0), pw(2, 0))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Add(conn(pw(1, 0), pw(3, 0))); !multistage.IsBlocked(err) {
+		t.Fatalf("expected blocking, got %v", err)
+	}
+
+	// (a) identical configuration: no divergence.
+	same, err := rec.Trace().Replay(mkNet(1), multistage.IsBlocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(same.Divergence) != 0 {
+		t.Errorf("identical replay diverged at %v", same.Divergence)
+	}
+
+	// (b) sufficient m: the blocked add now routes -> one divergence.
+	fixed, err := rec.Trace().Replay(mkNet(multistage.Theorem1MinM(2, 2)), multistage.IsBlocked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed.Divergence) != 1 {
+		t.Errorf("fixed replay divergence = %v, want exactly the blocked event", fixed.Divergence)
+	}
+}
+
+// TestReplayHandlesReleases: ids must map across replays even when the
+// replay network numbers connections differently.
+func TestReplayHandlesReleases(t *testing.T) {
+	d := wdm.Shape{In: 3, Out: 3, K: 1}
+	rec := NewRecorder(crossbar.NewLite(wdm.MSW, d), nil)
+	idA, _ := rec.Add(conn(pw(0, 0), pw(1, 0)))
+	_, _ = rec.Add(conn(pw(1, 0), pw(2, 0)))
+	_ = rec.Release(idA)
+	_, _ = rec.Add(conn(pw(2, 0), pw(1, 0))) // reuses A's destination port? no: fresh slot
+
+	replayNet := crossbar.NewLite(wdm.MSW, d)
+	res, err := rec.Trace().Replay(replayNet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divergence) != 0 {
+		t.Errorf("divergence: %v", res.Divergence)
+	}
+	if replayNet.Len() != 2 {
+		t.Errorf("replay network holds %d connections, want 2", replayNet.Len())
+	}
+}
+
+// TestReplayCleansUpUnexpectedSuccess: when a recorded-blocked add
+// succeeds on the replay network, the replayer must tear it down so the
+// rest of the trace sees the recorded slot state.
+func TestReplayCleansUpUnexpectedSuccess(t *testing.T) {
+	rec := &Trace{Events: []Event{
+		{Op: Add, Conn: conn(pw(0, 0), pw(1, 0)), Outcome: Blocked},
+		{Op: Add, Conn: conn(pw(0, 0), pw(2, 0)), Outcome: OK, ID: 0},
+	}}
+	net := crossbar.NewLite(wdm.MSW, wdm.Shape{In: 3, Out: 3, K: 1})
+	res, err := rec.Replay(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First event diverges (routes here); second must still succeed
+	// because the first was cleaned up.
+	if len(res.Divergence) != 1 || res.Divergence[0] != 0 {
+		t.Errorf("divergence = %v, want [0]", res.Divergence)
+	}
+	if net.Len() != 1 {
+		t.Errorf("network holds %d, want 1", net.Len())
+	}
+}

@@ -1,0 +1,55 @@
+package wdm_test
+
+import (
+	"fmt"
+
+	"repro/internal/wdm"
+)
+
+// The three multicast models differ only in which wavelengths one
+// connection may combine. A wavelength-shifting multicast is illegal
+// under MSW, legal under MSDW when all destinations agree, and always
+// legal under MAW.
+func ExampleModel() {
+	d := wdm.Dim{N: 3, K: 2}
+	shift := wdm.Connection{
+		Source: wdm.PortWave{Port: 0, Wave: 0},
+		Dests: []wdm.PortWave{
+			{Port: 1, Wave: 1},
+			{Port: 2, Wave: 1},
+		},
+	}
+	for _, m := range wdm.Models {
+		fmt.Printf("%-4v admits λ0->λ1 multicast: %v\n", m, d.CheckConnection(m, shift) == nil)
+	}
+	// Output:
+	// MSW  admits λ0->λ1 multicast: false
+	// MSDW admits λ0->λ1 multicast: true
+	// MAW  admits λ0->λ1 multicast: true
+}
+
+// Assignments are validated as a whole: connections may not share source
+// or destination slots.
+func ExampleDim_CheckAssignment() {
+	d := wdm.Dim{N: 2, K: 1}
+	a := wdm.Assignment{
+		{Source: wdm.PortWave{Port: 0}, Dests: []wdm.PortWave{{Port: 0}, {Port: 1}}},
+		{Source: wdm.PortWave{Port: 1}, Dests: []wdm.PortWave{{Port: 1}}},
+	}
+	fmt.Println(d.CheckAssignment(wdm.MSW, a))
+	// Output: wdm: connections 0 and 1 share destination slot (p1,λ0)
+}
+
+// The compact text codec round-trips connections for traces and golden
+// files.
+func ExampleParseConnection() {
+	c, err := wdm.ParseConnection("0.0>1.1,2.0")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c)
+	fmt.Println(wdm.FormatConnection(c))
+	// Output:
+	// (p0,λ0) -> (p1,λ1) (p2,λ0)
+	// 0.0>1.1,2.0
+}

@@ -1,0 +1,72 @@
+package wdm
+
+import "testing"
+
+// FuzzParseConnection hardens the text codec: arbitrary input must never
+// panic, and anything that parses must round-trip through Format.
+func FuzzParseConnection(f *testing.F) {
+	f.Add("0.0>1.1,2.0")
+	f.Add("3.1>0.0")
+	f.Add(">")
+	f.Add("1.0>")
+	f.Add("")
+	f.Add("a.b>c.d")
+	f.Add("0.0>1.1;2.0")
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseConnection(s)
+		if err != nil {
+			return
+		}
+		formatted := FormatConnection(c)
+		again, err := ParseConnection(formatted)
+		if err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", s, formatted, err)
+		}
+		if FormatConnection(again) != formatted {
+			t.Fatalf("unstable round trip: %q vs %q", FormatConnection(again), formatted)
+		}
+	})
+}
+
+// FuzzParseAssignment does the same for whole assignments.
+func FuzzParseAssignment(f *testing.F) {
+	f.Add("0.0>1.0;1.0>0.0")
+	f.Add(";;")
+	f.Add("0.0>1.0;")
+	f.Fuzz(func(t *testing.T, s string) {
+		a, err := ParseAssignment(s)
+		if err != nil {
+			return
+		}
+		formatted := FormatAssignment(a)
+		if _, err := ParseAssignment(formatted); err != nil {
+			t.Fatalf("round trip of %q -> %q failed: %v", s, formatted, err)
+		}
+	})
+}
+
+// FuzzCheckConnection drives the validators with structurally arbitrary
+// connections: they must classify, never panic, and respect the model
+// hierarchy (anything MSW admits, MSDW and MAW admit).
+func FuzzCheckConnection(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(1), uint8(0), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, sp, sw, d1p, d1w, d2p, d2w uint8) {
+		d := Dim{N: 4, K: 3}
+		c := Connection{
+			Source: PortWave{Port: Port(sp % 6), Wave: Wavelength(sw % 5)},
+			Dests: []PortWave{
+				{Port: Port(d1p % 6), Wave: Wavelength(d1w % 5)},
+				{Port: Port(d2p % 6), Wave: Wavelength(d2w % 5)},
+			},
+		}
+		okMSW := d.CheckConnection(MSW, c) == nil
+		okMSDW := d.CheckConnection(MSDW, c) == nil
+		okMAW := d.CheckConnection(MAW, c) == nil
+		if okMSW && !okMSDW {
+			t.Fatalf("MSW admits %v but MSDW rejects", c)
+		}
+		if okMSDW && !okMAW {
+			t.Fatalf("MSDW admits %v but MAW rejects", c)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package wdm
+
+import "fmt"
+
+// Dim describes the dimensions of an N x N k-wavelength network.
+type Dim struct {
+	N int // number of input ports (= number of output ports)
+	K int // wavelengths per fiber
+}
+
+// Validate checks that the dimensions are positive.
+func (d Dim) Validate() error {
+	if d.N <= 0 {
+		return fmt.Errorf("wdm: N = %d, must be positive", d.N)
+	}
+	if d.K <= 0 {
+		return fmt.Errorf("wdm: k = %d, must be positive", d.K)
+	}
+	return nil
+}
+
+// Slots returns the number of wavelength slots on each side: N*k.
+func (d Dim) Slots() int { return d.N * d.K }
+
+// InRangeInput reports whether pw is a valid input slot for the dimensions.
+func (d Dim) InRange(pw PortWave) bool {
+	return pw.Port >= 0 && int(pw.Port) < d.N && pw.Wave >= 0 && int(pw.Wave) < d.K
+}
+
+// CheckConnection verifies that c is a structurally valid connection for
+// the network dimensions and admissible under the given multicast model:
+//
+//   - the source and all destinations are in range;
+//   - there is at least one destination;
+//   - no two destinations share an output port ("no two wavelengths at the
+//     same output port can be used in the same multicast connection");
+//   - MSW: all destination wavelengths equal the source wavelength;
+//   - MSDW: all destination wavelengths are equal to each other;
+//   - MAW: no wavelength restriction.
+func (d Dim) CheckConnection(model Model, c Connection) error {
+	return d.Shape().CheckConnection(model, c)
+}
+
+// CheckAssignment verifies that every connection in a is admissible under
+// the model and that the connections are mutually compatible: no shared
+// source slot and no shared destination slot ("a wavelength at an output
+// port cannot be used in more than one multicast connection
+// simultaneously").
+func (d Dim) CheckAssignment(model Model, a Assignment) error {
+	return d.Shape().CheckAssignment(model, a)
+}
+
+// ConverterDemand returns the minimum number of wavelength converters a
+// single connection needs under the model, per the paper's Section 2.1:
+// 0 under MSW; 1 under MSDW (placed before the splitter); and one per
+// destination whose wavelength differs from the source under MAW (at
+// least fanout in the paper's worst-case statement).
+func ConverterDemand(model Model, c Connection) int {
+	switch model {
+	case MSW:
+		return 0
+	case MSDW:
+		if len(c.Dests) > 0 && c.Dests[0].Wave != c.Source.Wave {
+			return 1
+		}
+		return 0
+	case MAW:
+		n := 0
+		for _, dst := range c.Dests {
+			if dst.Wave != c.Source.Wave {
+				n++
+			}
+		}
+		return n
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,283 @@
+package wdm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func pw(p, w int) PortWave { return PortWave{Port: Port(p), Wave: Wavelength(w)} }
+
+func TestPortWaveIndexRoundTrip(t *testing.T) {
+	f := func(pRaw, wRaw, kRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		p := int(pRaw % 64)
+		w := int(wRaw) % k
+		slot := pw(p, w)
+		return SlotFromIndex(slot.Index(k), k) == slot
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPortWaveIndexDense(t *testing.T) {
+	// Indices must enumerate 0..N*k-1 exactly once.
+	d := Dim{N: 5, K: 3}
+	seen := make([]bool, d.Slots())
+	for p := 0; p < d.N; p++ {
+		for w := 0; w < d.K; w++ {
+			idx := pw(p, w).Index(d.K)
+			if idx < 0 || idx >= d.Slots() {
+				t.Fatalf("index %d out of range", idx)
+			}
+			if seen[idx] {
+				t.Fatalf("index %d repeated", idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if MSW.String() != "MSW" || MSDW.String() != "MSDW" || MAW.String() != "MAW" {
+		t.Errorf("model names wrong: %v %v %v", MSW, MSDW, MAW)
+	}
+	if got := Model(42).String(); !strings.Contains(got, "42") {
+		t.Errorf("unknown model string = %q", got)
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, m := range Models {
+		got, err := ParseModel(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseModel(%q) = %v, %v", m.String(), got, err)
+		}
+		got, err = ParseModel(strings.ToLower(" " + m.String() + " "))
+		if err != nil || got != m {
+			t.Errorf("ParseModel lowercase/space failed for %v: %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Error("ParseModel(bogus) did not error")
+	}
+}
+
+func TestModelStrength(t *testing.T) {
+	if !MAW.Stronger(MSDW) || !MSDW.Stronger(MSW) || !MAW.Stronger(MAW) {
+		t.Error("strength ordering broken")
+	}
+	if MSW.Stronger(MSDW) {
+		t.Error("MSW should not be stronger than MSDW")
+	}
+}
+
+func TestDimValidate(t *testing.T) {
+	if err := (Dim{N: 4, K: 2}).Validate(); err != nil {
+		t.Errorf("valid dim rejected: %v", err)
+	}
+	if err := (Dim{N: 0, K: 2}).Validate(); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if err := (Dim{N: 4, K: 0}).Validate(); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestCheckConnectionModels(t *testing.T) {
+	d := Dim{N: 3, K: 2}
+	sameWave := Connection{Source: pw(0, 0), Dests: []PortWave{pw(1, 0), pw(2, 0)}}
+	sameDestWave := Connection{Source: pw(0, 1), Dests: []PortWave{pw(1, 0), pw(2, 0)}}
+	anyWave := Connection{Source: pw(0, 0), Dests: []PortWave{pw(1, 0), pw(2, 1)}}
+
+	// MSW admits only the same-wavelength connection.
+	if err := d.CheckConnection(MSW, sameWave); err != nil {
+		t.Errorf("MSW rejected same-wave connection: %v", err)
+	}
+	if err := d.CheckConnection(MSW, sameDestWave); err == nil {
+		t.Error("MSW accepted source-wavelength mismatch")
+	}
+	if err := d.CheckConnection(MSW, anyWave); err == nil {
+		t.Error("MSW accepted mixed destination wavelengths")
+	}
+
+	// MSDW admits the first two but not mixed destination wavelengths.
+	if err := d.CheckConnection(MSDW, sameWave); err != nil {
+		t.Errorf("MSDW rejected same-wave connection: %v", err)
+	}
+	if err := d.CheckConnection(MSDW, sameDestWave); err != nil {
+		t.Errorf("MSDW rejected same-dest-wave connection: %v", err)
+	}
+	if err := d.CheckConnection(MSDW, anyWave); err == nil {
+		t.Error("MSDW accepted mixed destination wavelengths")
+	}
+
+	// MAW admits all three.
+	for _, c := range []Connection{sameWave, sameDestWave, anyWave} {
+		if err := d.CheckConnection(MAW, c); err != nil {
+			t.Errorf("MAW rejected %v: %v", c, err)
+		}
+	}
+}
+
+func TestModelHierarchyProperty(t *testing.T) {
+	// Any connection admissible under a weaker model is admissible under a
+	// stronger one (checked on randomly generated connections).
+	d := Dim{N: 4, K: 3}
+	f := func(srcP, srcW uint8, destRaw [4]uint8) bool {
+		c := Connection{Source: pw(int(srcP)%d.N, int(srcW)%d.K)}
+		usedPort := map[int]bool{}
+		for _, r := range destRaw {
+			p := int(r) % d.N
+			w := (int(r) / d.N) % d.K
+			if usedPort[p] {
+				continue
+			}
+			usedPort[p] = true
+			c.Dests = append(c.Dests, pw(p, w))
+		}
+		if len(c.Dests) == 0 {
+			return true
+		}
+		for i, weak := range Models {
+			if d.CheckConnection(weak, c) != nil {
+				continue
+			}
+			for _, strong := range Models[i:] {
+				if d.CheckConnection(strong, c) != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckConnectionStructural(t *testing.T) {
+	d := Dim{N: 3, K: 2}
+	cases := []struct {
+		name string
+		c    Connection
+	}{
+		{"no destinations", Connection{Source: pw(0, 0)}},
+		{"source port out of range", Connection{Source: pw(3, 0), Dests: []PortWave{pw(0, 0)}}},
+		{"source wave out of range", Connection{Source: pw(0, 2), Dests: []PortWave{pw(0, 0)}}},
+		{"dest out of range", Connection{Source: pw(0, 0), Dests: []PortWave{pw(0, 5)}}},
+		{"negative dest port", Connection{Source: pw(0, 0), Dests: []PortWave{pw(-1, 0)}}},
+		{"two dests on one output port", Connection{Source: pw(0, 0), Dests: []PortWave{pw(1, 0), pw(1, 1)}}},
+	}
+	for _, c := range cases {
+		if err := d.CheckConnection(MAW, c.c); err == nil {
+			t.Errorf("%s: accepted %v", c.name, c.c)
+		}
+	}
+}
+
+func TestCheckAssignment(t *testing.T) {
+	d := Dim{N: 3, K: 2}
+	ok := Assignment{
+		{Source: pw(0, 0), Dests: []PortWave{pw(0, 0), pw(1, 0)}},
+		{Source: pw(0, 1), Dests: []PortWave{pw(0, 1), pw(1, 1)}},
+		{Source: pw(1, 0), Dests: []PortWave{pw(2, 0)}},
+	}
+	if err := d.CheckAssignment(MSW, ok); err != nil {
+		t.Errorf("valid MSW assignment rejected: %v", err)
+	}
+
+	dupSource := Assignment{
+		{Source: pw(0, 0), Dests: []PortWave{pw(0, 0)}},
+		{Source: pw(0, 0), Dests: []PortWave{pw(1, 0)}},
+	}
+	if err := d.CheckAssignment(MSW, dupSource); err == nil {
+		t.Error("duplicate source slot accepted")
+	}
+
+	dupDest := Assignment{
+		{Source: pw(0, 0), Dests: []PortWave{pw(2, 0)}},
+		{Source: pw(1, 0), Dests: []PortWave{pw(2, 0)}},
+	}
+	if err := d.CheckAssignment(MSW, dupDest); err == nil {
+		t.Error("duplicate destination slot accepted")
+	}
+}
+
+func TestAssignmentFull(t *testing.T) {
+	d := Dim{N: 2, K: 2}
+	full := Assignment{
+		{Source: pw(0, 0), Dests: []PortWave{pw(0, 0), pw(1, 0)}},
+		{Source: pw(1, 1), Dests: []PortWave{pw(0, 1), pw(1, 1)}},
+	}
+	if err := d.CheckAssignment(MSW, full); err != nil {
+		t.Fatalf("assignment invalid: %v", err)
+	}
+	if !full.IsFull(d.N, d.K) {
+		t.Error("full assignment not detected as full")
+	}
+	partial := full[:1]
+	if partial.IsFull(d.N, d.K) {
+		t.Error("partial assignment detected as full")
+	}
+}
+
+func TestConnectionNormalizeAndClone(t *testing.T) {
+	c := Connection{Source: pw(0, 0), Dests: []PortWave{pw(2, 1), pw(1, 0), pw(2, 0)}}
+	n := c.Normalize()
+	want := []PortWave{pw(1, 0), pw(2, 0), pw(2, 1)}
+	for i, d := range n.Dests {
+		if d != want[i] {
+			t.Fatalf("normalized dests = %v, want %v", n.Dests, want)
+		}
+	}
+	// Original untouched.
+	if c.Dests[0] != pw(2, 1) {
+		t.Error("Normalize mutated the original connection")
+	}
+	cl := c.Clone()
+	cl.Dests[0] = pw(0, 0)
+	if c.Dests[0] == pw(0, 0) {
+		t.Error("Clone shares destination storage")
+	}
+}
+
+func TestConverterDemand(t *testing.T) {
+	same := Connection{Source: pw(0, 1), Dests: []PortWave{pw(1, 1), pw(2, 1)}}
+	shifted := Connection{Source: pw(0, 0), Dests: []PortWave{pw(1, 1), pw(2, 1)}}
+	mixed := Connection{Source: pw(0, 0), Dests: []PortWave{pw(1, 0), pw(2, 1)}}
+
+	if got := ConverterDemand(MSW, same); got != 0 {
+		t.Errorf("MSW demand = %d, want 0", got)
+	}
+	if got := ConverterDemand(MSDW, same); got != 0 {
+		t.Errorf("MSDW same-wave demand = %d, want 0", got)
+	}
+	if got := ConverterDemand(MSDW, shifted); got != 1 {
+		t.Errorf("MSDW shifted demand = %d, want 1", got)
+	}
+	if got := ConverterDemand(MAW, mixed); got != 1 {
+		t.Errorf("MAW mixed demand = %d, want 1", got)
+	}
+	if got := ConverterDemand(MAW, shifted); got != 2 {
+		t.Errorf("MAW shifted demand = %d, want 2", got)
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := Assignment{{Source: pw(0, 0), Dests: []PortWave{pw(1, 0)}}}
+	b := a.Clone()
+	b[0].Dests[0] = pw(2, 0)
+	if a[0].Dests[0] == pw(2, 0) {
+		t.Error("Assignment.Clone shares storage")
+	}
+}
+
+func TestConnectionString(t *testing.T) {
+	c := Connection{Source: pw(0, 1), Dests: []PortWave{pw(2, 0)}}
+	s := c.String()
+	if !strings.Contains(s, "p0") || !strings.Contains(s, "λ1") || !strings.Contains(s, "p2") {
+		t.Errorf("String() = %q, missing endpoints", s)
+	}
+}

@@ -1,0 +1,39 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// Deterministic traffic patterns instantiate classic stress cases as
+// admissible assignments.
+func ExamplePatternAssignment() {
+	a, err := workload.PatternAssignment(workload.Broadcast, wdm.Dim{N: 4, K: 2}, 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, c := range a {
+		fmt.Println(wdm.FormatConnection(c))
+	}
+	// Output:
+	// 0.0>0.0,1.0,2.0,3.0
+	// 1.1>0.1,1.1,2.1,3.1
+}
+
+// The random generator only emits connections that are admissible under
+// its model and drawn from the free slots it is given.
+func ExampleGenerator_Connection() {
+	d := wdm.Dim{N: 4, K: 2}
+	g := workload.NewGenerator(7, wdm.MSW, d)
+	var free []wdm.PortWave
+	for p := 0; p < d.N; p++ {
+		for w := 0; w < d.K; w++ {
+			free = append(free, wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)})
+		}
+	}
+	c, ok := g.Connection(free, free, 3)
+	fmt.Println(ok, d.CheckConnection(wdm.MSW, c) == nil)
+	// Output: true true
+}

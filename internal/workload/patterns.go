@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/wdm"
+)
+
+// Pattern names a deterministic traffic pattern from the classic
+// interconnection-network repertoire, instantiated as a full set of
+// simultaneous connections (one per input slot where defined). Patterns
+// give the experiments reproducible, structured stress cases alongside
+// the random generator: shifts exercise inter-module links unevenly,
+// transpose crosses every module pair, hotspot concentrates on one
+// output module, broadcast maximizes fanout.
+type Pattern int
+
+const (
+	// Shift sends input slot (p, w) to output slot (p+s mod N, w) for a
+	// configurable stride s.
+	Shift Pattern = iota
+	// Transpose sends port p to port (p*stride mod N) — with stride near
+	// sqrt(N) this is the classic matrix-transpose-like permutation that
+	// maximizes module crossings.
+	Transpose
+	// Hotspot directs every wavelength plane's traffic at the slots of
+	// one "hot" port region: source (p, w) targets port (w*stride+p) mod
+	// region ... concentrated on the first `region` ports.
+	Hotspot
+	// Broadcast makes k sources (ports 0..k-1, wavelength = port index)
+	// each multicast to every port on their wavelength — the maximal-
+	// fanout pattern the videoconference example builds on.
+	Broadcast
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Shift:
+		return "shift"
+	case Transpose:
+		return "transpose"
+	case Hotspot:
+		return "hotspot"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// PatternAssignment instantiates the pattern on an N x N k-wavelength
+// network as an admissible MSW assignment (every pattern here keeps the
+// wavelength end to end, so it is admissible under all three models).
+// stride parameterizes Shift/Transpose/Hotspot; it is ignored by
+// Broadcast. The result is validated before being returned.
+func PatternAssignment(p Pattern, dim wdm.Dim, stride int) (wdm.Assignment, error) {
+	if err := dim.Validate(); err != nil {
+		return nil, err
+	}
+	if stride <= 0 {
+		stride = 1
+	}
+	var a wdm.Assignment
+	switch p {
+	case Shift:
+		for q := 0; q < dim.N; q++ {
+			for w := 0; w < dim.K; w++ {
+				a = append(a, wdm.Connection{
+					Source: wdm.PortWave{Port: wdm.Port(q), Wave: wdm.Wavelength(w)},
+					Dests:  []wdm.PortWave{{Port: wdm.Port((q + stride) % dim.N), Wave: wdm.Wavelength(w)}},
+				})
+			}
+		}
+	case Transpose:
+		// A permutation only when gcd(stride, N) = 1; otherwise several
+		// sources would collide on one destination, so reject.
+		if gcd(stride, dim.N) != 1 {
+			return nil, fmt.Errorf("workload: transpose stride %d shares a factor with N=%d", stride, dim.N)
+		}
+		for q := 0; q < dim.N; q++ {
+			for w := 0; w < dim.K; w++ {
+				a = append(a, wdm.Connection{
+					Source: wdm.PortWave{Port: wdm.Port(q), Wave: wdm.Wavelength(w)},
+					Dests:  []wdm.PortWave{{Port: wdm.Port((q * stride) % dim.N), Wave: wdm.Wavelength(w)}},
+				})
+			}
+		}
+	case Hotspot:
+		// The first `stride` ports are hot: source (q, w) targets hot
+		// port (q mod stride). Each hot slot can serve one connection, so
+		// only the first `stride` sources per plane participate.
+		if stride > dim.N {
+			stride = dim.N
+		}
+		for q := 0; q < stride; q++ {
+			for w := 0; w < dim.K; w++ {
+				a = append(a, wdm.Connection{
+					Source: wdm.PortWave{Port: wdm.Port(q), Wave: wdm.Wavelength(w)},
+					Dests:  []wdm.PortWave{{Port: wdm.Port(q % stride), Wave: wdm.Wavelength(w)}},
+				})
+			}
+		}
+	case Broadcast:
+		planes := dim.K
+		if planes > dim.N {
+			planes = dim.N
+		}
+		for w := 0; w < planes; w++ {
+			c := wdm.Connection{Source: wdm.PortWave{Port: wdm.Port(w), Wave: wdm.Wavelength(w)}}
+			for q := 0; q < dim.N; q++ {
+				c.Dests = append(c.Dests, wdm.PortWave{Port: wdm.Port(q), Wave: wdm.Wavelength(w)})
+			}
+			a = append(a, c)
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %v", p)
+	}
+	if err := dim.CheckAssignment(wdm.MSW, a); err != nil {
+		return nil, fmt.Errorf("workload: pattern %v produced inadmissible assignment: %w", p, err)
+	}
+	return a, nil
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,236 @@
+// Package workload generates multicast traffic for the WDM switching
+// experiments: uniformly random admissible connections and assignments
+// under each multicast model, fanout-controlled request streams for the
+// dynamic simulations, and the adversarial patterns used to probe the
+// nonblocking bounds.
+//
+// All generators are driven by an explicit *rand.Rand so every experiment
+// is reproducible from its seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/wdm"
+)
+
+// Generator produces admissible multicast traffic for one network.
+type Generator struct {
+	rng   *rand.Rand
+	model wdm.Model
+	dim   wdm.Dim
+}
+
+// NewGenerator returns a deterministic generator for the given model and
+// network dimensions.
+func NewGenerator(seed int64, model wdm.Model, dim wdm.Dim) *Generator {
+	if err := dim.Validate(); err != nil {
+		panic("workload: " + err.Error())
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), model: model, dim: dim}
+}
+
+// Model and Dim report the generator's target.
+func (g *Generator) Model() wdm.Model { return g.model }
+func (g *Generator) Dim() wdm.Dim     { return g.dim }
+
+// Connection samples a random admissible connection with the given fanout
+// from the free source and destination slots, or reports ok = false if the
+// free sets cannot support one (e.g. no free destination wavelengths that
+// satisfy the model given the chosen source). fanout is clamped to the
+// number of reachable destination ports.
+//
+// The second return is always admissible under the generator's model and
+// uses only the provided free slots, so an Add failure on a network under
+// test is a genuine blocking event, never an inadmissible request.
+func (g *Generator) Connection(freeSrc, freeDst []wdm.PortWave, fanout int) (wdm.Connection, bool) {
+	if len(freeSrc) == 0 || len(freeDst) == 0 || fanout < 1 {
+		return wdm.Connection{}, false
+	}
+	src := freeSrc[g.rng.Intn(len(freeSrc))]
+
+	// Candidate destination slots per the model, grouped by output port.
+	byPort := make(map[wdm.Port][]wdm.PortWave)
+	switch g.model {
+	case wdm.MSW:
+		for _, d := range freeDst {
+			if d.Wave == src.Wave {
+				byPort[d.Port] = append(byPort[d.Port], d)
+			}
+		}
+	case wdm.MSDW:
+		// Choose the common destination wavelength uniformly among
+		// wavelengths that have at least one free slot.
+		slotsPerWave := make(map[wdm.Wavelength][]wdm.PortWave)
+		for _, d := range freeDst {
+			slotsPerWave[d.Wave] = append(slotsPerWave[d.Wave], d)
+		}
+		waves := make([]wdm.Wavelength, 0, len(slotsPerWave))
+		for w := range slotsPerWave {
+			waves = append(waves, w)
+		}
+		if len(waves) == 0 {
+			return wdm.Connection{}, false
+		}
+		sort.Slice(waves, func(i, j int) bool { return waves[i] < waves[j] })
+		w := waves[g.rng.Intn(len(waves))]
+		for _, d := range slotsPerWave[w] {
+			byPort[d.Port] = append(byPort[d.Port], d)
+		}
+	case wdm.MAW:
+		for _, d := range freeDst {
+			byPort[d.Port] = append(byPort[d.Port], d)
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown model %v", g.model))
+	}
+	if len(byPort) == 0 {
+		return wdm.Connection{}, false
+	}
+
+	ports := make([]wdm.Port, 0, len(byPort))
+	for p := range byPort {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	g.rng.Shuffle(len(ports), func(i, j int) { ports[i], ports[j] = ports[j], ports[i] })
+	if fanout > len(ports) {
+		fanout = len(ports)
+	}
+	c := wdm.Connection{Source: src}
+	for _, p := range ports[:fanout] {
+		slots := byPort[p]
+		c.Dests = append(c.Dests, slots[g.rng.Intn(len(slots))])
+	}
+	return c.Normalize(), true
+}
+
+// Fanout samples a fanout in [1, maxFanout] with a geometric-ish skew
+// toward small values (most multicasts are small; occasional large ones),
+// matching the mix the paper's motivating applications imply.
+func (g *Generator) Fanout(maxFanout int) int {
+	if maxFanout <= 1 {
+		return 1
+	}
+	f := 1
+	for f < maxFanout && g.rng.Float64() < 0.5 {
+		f++
+	}
+	return f
+}
+
+// Assignment samples a random admissible assignment. When full is true
+// every output slot is used; otherwise each output slot independently
+// stays idle with probability idle. The construction mirrors the pairing
+// functions of the capacity analysis, so the sample space is exactly the
+// assignment space counted by Lemmas 1-3 (the distribution is uniform for
+// MSW and MAW; for MSDW it is uniform over pairing-completion orders,
+// which reaches every assignment with positive probability).
+func (g *Generator) Assignment(full bool, idle float64) wdm.Assignment {
+	n, k := g.dim.N, g.dim.K
+	slots := n * k
+	f := make([]int, slots)
+	for i := range f {
+		f[i] = -1
+	}
+	waveOf := make([]int, slots) // MSDW: plane used per source, -1 = none
+	for i := range waveOf {
+		waveOf[i] = -1
+	}
+
+	order := g.rng.Perm(slots)
+	for _, out := range order {
+		if !full && g.rng.Float64() < idle {
+			continue
+		}
+		w := out % k
+		var candidates []int
+		switch g.model {
+		case wdm.MSW:
+			// Any input port, same wavelength.
+			for q := 0; q < n; q++ {
+				candidates = append(candidates, q*k+w)
+			}
+		case wdm.MSDW:
+			for s := 0; s < slots; s++ {
+				if waveOf[s] == -1 || waveOf[s] == w {
+					candidates = append(candidates, s)
+				}
+			}
+		case wdm.MAW:
+			// Any input slot not already used by a sibling slot of the
+			// same output port.
+			used := make(map[int]bool, k)
+			port := out / k
+			for ww := 0; ww < k; ww++ {
+				if sib := f[port*k+ww]; sib >= 0 {
+					used[sib] = true
+				}
+			}
+			for s := 0; s < slots; s++ {
+				if !used[s] {
+					candidates = append(candidates, s)
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			continue
+		}
+		s := candidates[g.rng.Intn(len(candidates))]
+		f[out] = s
+		waveOf[s] = w
+	}
+
+	// Convert the pairing to connections (grouped by source).
+	bySource := make(map[int][]wdm.PortWave)
+	for out, in := range f {
+		if in < 0 {
+			continue
+		}
+		bySource[in] = append(bySource[in], wdm.SlotFromIndex(out, k))
+	}
+	sources := make([]int, 0, len(bySource))
+	for s := range bySource {
+		sources = append(sources, s)
+	}
+	sort.Ints(sources)
+	a := make(wdm.Assignment, 0, len(sources))
+	for _, s := range sources {
+		a = append(a, wdm.Connection{Source: wdm.SlotFromIndex(s, k), Dests: bySource[s]}.Normalize())
+	}
+	return a
+}
+
+// HotModule generates the adversarial unicast prefix used to probe the
+// MSW-dominant nonblocking bounds: count connections, all sourced on
+// wavelength plane, each from a distinct input port, each targeting a
+// distinct slot of one output module of nPerModule ports. It returns the
+// connections plus one extra "probe" request to a remaining free slot of
+// the module, which a sufficient middle-stage count must still route.
+func HotModule(dim wdm.Dim, nPerModule, module, count int, plane wdm.Wavelength) (prefix []wdm.Connection, probe wdm.Connection, err error) {
+	if count+1 > nPerModule*dim.K {
+		return nil, wdm.Connection{}, fmt.Errorf("workload: module has only %d slots, need %d", nPerModule*dim.K, count+1)
+	}
+	if count+1 > dim.N {
+		return nil, wdm.Connection{}, fmt.Errorf("workload: only %d sources on one plane, need %d", dim.N, count+1)
+	}
+	slot := func(i int) wdm.PortWave {
+		return wdm.PortWave{
+			Port: wdm.Port(module*nPerModule + i/dim.K),
+			Wave: wdm.Wavelength(i % dim.K),
+		}
+	}
+	for i := 0; i < count; i++ {
+		prefix = append(prefix, wdm.Connection{
+			Source: wdm.PortWave{Port: wdm.Port(i), Wave: plane},
+			Dests:  []wdm.PortWave{slot(i)},
+		})
+	}
+	probe = wdm.Connection{
+		Source: wdm.PortWave{Port: wdm.Port(count), Wave: plane},
+		Dests:  []wdm.PortWave{slot(count)},
+	}
+	return prefix, probe, nil
+}

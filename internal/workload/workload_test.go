@@ -1,0 +1,227 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+func pw(p, w int) wdm.PortWave {
+	return wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)}
+}
+
+func allSlots(n, k int) []wdm.PortWave {
+	out := make([]wdm.PortWave, 0, n*k)
+	for p := 0; p < n; p++ {
+		for w := 0; w < k; w++ {
+			out = append(out, pw(p, w))
+		}
+	}
+	return out
+}
+
+func TestConnectionAlwaysAdmissible(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 3}
+	for _, m := range wdm.Models {
+		g := NewGenerator(1, m, d)
+		src, dst := allSlots(d.N, d.K), allSlots(d.N, d.K)
+		for i := 0; i < 500; i++ {
+			c, ok := g.Connection(src, dst, g.Fanout(d.N))
+			if !ok {
+				t.Fatalf("%v: generator gave up with full free sets", m)
+			}
+			if err := d.CheckConnection(m, c); err != nil {
+				t.Fatalf("%v: inadmissible connection %v: %v", m, c, err)
+			}
+		}
+	}
+}
+
+func TestConnectionUsesOnlyFreeSlots(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 2}
+	g := NewGenerator(2, wdm.MAW, d)
+	freeSrc := []wdm.PortWave{pw(1, 0), pw(3, 1)}
+	freeDst := []wdm.PortWave{pw(0, 1), pw(2, 0), pw(2, 1)}
+	srcSet := map[wdm.PortWave]bool{}
+	for _, s := range freeSrc {
+		srcSet[s] = true
+	}
+	dstSet := map[wdm.PortWave]bool{}
+	for _, s := range freeDst {
+		dstSet[s] = true
+	}
+	for i := 0; i < 300; i++ {
+		c, ok := g.Connection(freeSrc, freeDst, 2)
+		if !ok {
+			t.Fatal("generator gave up")
+		}
+		if !srcSet[c.Source] {
+			t.Fatalf("source %v not in the free set", c.Source)
+		}
+		for _, dd := range c.Dests {
+			if !dstSet[dd] {
+				t.Fatalf("destination %v not in the free set", dd)
+			}
+		}
+	}
+}
+
+func TestConnectionRespectsModelWithConstrainedSlots(t *testing.T) {
+	d := wdm.Dim{N: 3, K: 2}
+	// Only λ1 destinations are free; an MSW source on λ0 can't multicast.
+	g := NewGenerator(3, wdm.MSW, d)
+	freeSrc := []wdm.PortWave{pw(0, 0)}
+	freeDst := []wdm.PortWave{pw(1, 1), pw(2, 1)}
+	if _, ok := g.Connection(freeSrc, freeDst, 1); ok {
+		t.Error("MSW generator produced a connection with no same-wavelength slots")
+	}
+	// MSDW can: it shifts to λ1 for all destinations.
+	g2 := NewGenerator(3, wdm.MSDW, d)
+	c, ok := g2.Connection(freeSrc, freeDst, 2)
+	if !ok {
+		t.Fatal("MSDW generator gave up")
+	}
+	if err := d.CheckConnection(wdm.MSDW, c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectionEmptyInputs(t *testing.T) {
+	g := NewGenerator(1, wdm.MAW, wdm.Dim{N: 2, K: 1})
+	if _, ok := g.Connection(nil, allSlots(2, 1), 1); ok {
+		t.Error("connection from no sources")
+	}
+	if _, ok := g.Connection(allSlots(2, 1), nil, 1); ok {
+		t.Error("connection to no destinations")
+	}
+	if _, ok := g.Connection(allSlots(2, 1), allSlots(2, 1), 0); ok {
+		t.Error("connection with zero fanout")
+	}
+}
+
+func TestFanoutRange(t *testing.T) {
+	g := NewGenerator(4, wdm.MAW, wdm.Dim{N: 8, K: 1})
+	sawLarge := false
+	for i := 0; i < 1000; i++ {
+		f := g.Fanout(8)
+		if f < 1 || f > 8 {
+			t.Fatalf("fanout %d out of range", f)
+		}
+		if f > 2 {
+			sawLarge = true
+		}
+	}
+	if !sawLarge {
+		t.Error("fanout distribution never exceeded 2 in 1000 draws")
+	}
+	if g.Fanout(1) != 1 || g.Fanout(0) != 1 {
+		t.Error("degenerate maxFanout not clamped to 1")
+	}
+}
+
+func TestAssignmentAdmissible(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 2}
+	for _, m := range wdm.Models {
+		g := NewGenerator(5, m, d)
+		for i := 0; i < 200; i++ {
+			a := g.Assignment(false, 0.3)
+			if err := d.CheckAssignment(m, a); err != nil {
+				t.Fatalf("%v: inadmissible assignment %v: %v", m, a, err)
+			}
+		}
+	}
+}
+
+func TestFullAssignmentCoversEverySlot(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 2}
+	for _, m := range wdm.Models {
+		g := NewGenerator(6, m, d)
+		for i := 0; i < 100; i++ {
+			a := g.Assignment(true, 0)
+			if err := d.CheckAssignment(m, a); err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			if !a.IsFull(d.N, d.K) {
+				t.Fatalf("%v: full assignment covers %d of %d slots", m, a.TotalFanout(), d.Slots())
+			}
+		}
+	}
+}
+
+func TestAssignmentVariety(t *testing.T) {
+	// Different draws should differ (the generator isn't stuck).
+	g := NewGenerator(7, wdm.MAW, wdm.Dim{N: 3, K: 2})
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		a := g.Assignment(false, 0.3)
+		key := ""
+		for _, c := range a {
+			key += c.String() + ";"
+		}
+		seen[key] = true
+	}
+	if len(seen) < 25 {
+		t.Errorf("only %d distinct assignments in 50 draws", len(seen))
+	}
+}
+
+func TestDeterminismBySeed(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 2}
+	a1 := NewGenerator(42, wdm.MAW, d).Assignment(false, 0.2)
+	a2 := NewGenerator(42, wdm.MAW, d).Assignment(false, 0.2)
+	if len(a1) != len(a2) {
+		t.Fatalf("same seed, different assignment sizes %d vs %d", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i].String() != a2[i].String() {
+			t.Fatalf("same seed, different assignments at %d: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+}
+
+func TestHotModule(t *testing.T) {
+	d := wdm.Dim{N: 16, K: 4}
+	prefix, probe, err := HotModule(d, 4, 0, 13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prefix) != 13 {
+		t.Fatalf("prefix has %d connections, want 13", len(prefix))
+	}
+	// All sourced on plane 0, distinct ports; all dests in module 0
+	// (ports 0-3), distinct slots.
+	seenSrc := map[wdm.Port]bool{}
+	seenDst := map[wdm.PortWave]bool{}
+	all := append(append([]wdm.Connection{}, prefix...), probe)
+	for _, c := range all {
+		if c.Source.Wave != 0 {
+			t.Errorf("source %v off plane", c.Source)
+		}
+		if seenSrc[c.Source.Port] {
+			t.Errorf("source port %d reused", c.Source.Port)
+		}
+		seenSrc[c.Source.Port] = true
+		for _, dd := range c.Dests {
+			if int(dd.Port) >= 4 {
+				t.Errorf("destination %v outside module 0", dd)
+			}
+			if seenDst[dd] {
+				t.Errorf("destination slot %v reused", dd)
+			}
+			seenDst[dd] = true
+		}
+	}
+	if err := d.CheckAssignment(wdm.MAW, all); err != nil {
+		t.Fatalf("hot-module traffic inadmissible: %v", err)
+	}
+}
+
+func TestHotModuleBounds(t *testing.T) {
+	d := wdm.Dim{N: 4, K: 2}
+	if _, _, err := HotModule(d, 2, 0, 4, 0); err == nil {
+		t.Error("accepted more connections than module slots")
+	}
+	if _, _, err := HotModule(wdm.Dim{N: 3, K: 4}, 3, 0, 3, 0); err == nil {
+		t.Error("accepted more plane sources than input ports")
+	}
+}
