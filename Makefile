@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all build vet test test-short bench fuzz repro clean
+.PHONY: all build vet test test-short race bench bench-json fuzz repro clean
 
-all: build vet test
+all: build vet race test
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,17 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Data-race detection over the quick test set; the switchd controller
+# and the concurrent simulation paths are the prime suspects.
+race:
+	$(GO) test -race -short ./...
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable serving-path throughput record, tracked across PRs.
+bench-json:
+	BENCH_JSON=$(CURDIR)/BENCH_switchd.json $(GO) test -run '^$$' -bench BenchmarkSwitchdThroughput -benchmem ./internal/switchd
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseConnection -fuzztime=10s ./internal/wdm/

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +36,8 @@ func main() {
 	repack := flag.Bool("repack", false, "rearrangeable operation: retry blocked requests with repacking")
 	parallel := flag.Bool("parallel", false, "run the sweep points concurrently")
 	byFanout := flag.Bool("by-fanout", false, "also print blocking stratified by fanout (largest m only)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of the table")
+	nSeeds := flag.Int("seeds", 1, "seeds per point (seed, seed+1, ...); >1 adds per-point aggregates")
 	flag.Parse()
 
 	model, err := wdm.ParseModel(*modelName)
@@ -71,6 +74,37 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Per-point multi-seed aggregates (satellite of the serving-mode PR:
+	// lets scripts diff server-vs-offline blocking numbers with spread).
+	var aggs []*sim.Aggregate
+	if *nSeeds > 1 {
+		norm0, _ := base.Normalize()
+		seedList := make([]int64, *nSeeds)
+		for i := range seedList {
+			seedList[i] = *seed + int64(i)
+		}
+		for _, pt := range points {
+			p := base
+			p.M = pt.M
+			p.Lite = true
+			acfg := cfg
+			acfg.Dim = wdm.Dim{N: norm0.N, K: norm0.K}
+			acfg.Model = norm0.Model
+			acfg.IsBlocked = multistage.IsBlocked
+			agg, err := sim.RunSeeds(func() (sim.Network, error) { return multistage.New(p) }, acfg, seedList)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wdmsim:", err)
+				os.Exit(1)
+			}
+			aggs = append(aggs, agg)
+		}
+	}
+
+	if *jsonOut {
+		emitJSON(base, points, aggs, cfg, *nSeeds, *repack)
+		return
+	}
+
 	norm, _ := base.Normalize()
 	mode := "strict"
 	if *repack {
@@ -99,6 +133,18 @@ func main() {
 		norm.N/norm.R, norm.X)
 	t.Fprint(os.Stdout)
 
+	if len(aggs) > 0 {
+		fmt.Println()
+		at := report.New(fmt.Sprintf("Aggregate over %d seeds (seed %d..%d)", *nSeeds, *seed, *seed+int64(*nSeeds)-1),
+			"m", "mean P_block", "max P_block", "stddev", "blocked", "offered")
+		for i, agg := range aggs {
+			at.AddRow(report.Int(points[i].M),
+				report.Float(agg.MeanP, 4), report.Float(agg.MaxP, 4), report.Float(agg.StddevP, 4),
+				report.Int(agg.Blocked), report.Int(agg.Offered))
+		}
+		at.Fprint(os.Stdout)
+	}
+
 	if *byFanout && len(points) > 0 {
 		last := points[len(points)-1]
 		fmt.Println()
@@ -115,5 +161,68 @@ func main() {
 				report.Float(last.Result.BlockingProbabilityAtFanout(f), 4))
 		}
 		ft.Fprint(os.Stdout)
+	}
+}
+
+// jsonPoint is one sweep sample in -json output.
+type jsonPoint struct {
+	M         int            `json:"m"`
+	AtBound   bool           `json:"at_bound"`
+	PaperMinM int            `json:"paper_min_m"`
+	Result    sim.Result     `json:"result"`
+	Aggregate *sim.Aggregate `json:"aggregate,omitempty"`
+}
+
+// jsonDoc is the -json document: enough configuration to rebuild the
+// run plus every point, so server-side (wdmserve /v1/metrics) and
+// offline blocking numbers can be diffed by scripts.
+type jsonDoc struct {
+	N            int         `json:"n"`
+	K            int         `json:"k"`
+	R            int         `json:"r"`
+	NPerModule   int         `json:"n_per_module"`
+	X            int         `json:"x"`
+	Model        string      `json:"model"`
+	Construction string      `json:"construction"`
+	Requests     int         `json:"requests"`
+	Load         float64     `json:"load"`
+	MaxFanout    int         `json:"max_fanout"`
+	Seed         int64       `json:"seed"`
+	Seeds        int         `json:"seeds"`
+	Rearrange    bool        `json:"rearrangeable"`
+	Points       []jsonPoint `json:"points"`
+}
+
+func emitJSON(base multistage.Params, points []sim.SweepPoint, aggs []*sim.Aggregate, cfg sim.Config, nSeeds int, repack bool) {
+	norm, err := base.Normalize()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdmsim:", err)
+		os.Exit(1)
+	}
+	doc := jsonDoc{
+		N: norm.N, K: norm.K, R: norm.R,
+		NPerModule:   norm.N / norm.R,
+		X:            norm.X,
+		Model:        norm.Model.String(),
+		Construction: norm.Construction.String(),
+		Requests:     cfg.Requests,
+		Load:         cfg.Load,
+		MaxFanout:    cfg.MaxFanout,
+		Seed:         cfg.Seed,
+		Seeds:        nSeeds,
+		Rearrange:    repack,
+	}
+	for i, pt := range points {
+		jp := jsonPoint{M: pt.M, AtBound: pt.AtBound, PaperMinM: pt.PaperMin, Result: pt.Result}
+		if i < len(aggs) {
+			jp.Aggregate = aggs[i]
+		}
+		doc.Points = append(doc.Points, jp)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "wdmsim:", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,79 @@
+package multistage
+
+import (
+	"fmt"
+
+	"repro/internal/wdm"
+)
+
+// AddBranch grows a live multicast connection by one or more additional
+// destination slots, keeping its id stable — the control-plane "join"
+// operation of a long-lived multicast session (a new receiver tuning
+// into an ongoing video feed).
+//
+// The grown connection must be admissible under the network's multicast
+// model as a whole: the new slots must be free, must not repeat an
+// output port the connection already reaches, and must satisfy the
+// model's wavelength rule relative to the existing endpoints. The grow
+// is atomic — on any failure (inadmissible request or ErrBlocked when
+// the enlarged destination set cannot be covered within the split limit
+// x) the original connection is left exactly as it was, still routed and
+// still carrying its id.
+//
+// Internally the connection is re-routed from scratch: released, then
+// re-added with the enlarged destination set. Releasing restores the
+// network to its exact pre-Add state and the router is deterministic, so
+// when the grow fails the original connection re-routes identically and
+// restoration cannot fail.
+func (net *Network) AddBranch(id int, dests ...wdm.PortWave) error {
+	rc, ok := net.conns[id]
+	if !ok {
+		return fmt.Errorf("multistage: no connection with id %d", id)
+	}
+	if len(dests) == 0 {
+		return nil
+	}
+	old := rc.conn.Clone()
+	grown := old.Clone()
+	grown.Dests = append(grown.Dests, dests...)
+	grown = grown.Normalize()
+
+	// Reject inadmissible grows before touching any routing state.
+	// Shape.CheckConnection covers range, duplicate output ports (both
+	// among the new slots and against the existing destinations) and the
+	// model's wavelength rule; the busy check must exclude the
+	// connection's own slots, which Release is about to free.
+	if err := net.Shape().CheckConnection(net.params.Model, grown); err != nil {
+		return err
+	}
+	for _, d := range dests {
+		if owner, busy := net.dstBusy[d]; busy {
+			return fmt.Errorf("multistage: destination slot %v already used by connection %d", d, owner)
+		}
+	}
+
+	// Stats() counts logical operations: a successful grow is not a new
+	// routed connection and the restoration of the original is not a new
+	// routed connection either, so snapshot the counters and apply only
+	// the one delta that matters — a blocked grow is a blocking event.
+	routed0, blocked0 := net.routedCount, net.blockedCount
+
+	if err := net.Release(id); err != nil {
+		return fmt.Errorf("multistage: AddBranch releasing %d: %w", id, err)
+	}
+	newID, err := net.Add(grown)
+	if err == nil {
+		net.remapID(newID, id)
+		net.routedCount, net.blockedCount = routed0, blocked0
+		return nil
+	}
+	restored, rerr := net.Add(old)
+	if rerr != nil {
+		// Unreachable by construction (see doc comment); a failure here
+		// means the router is not deterministic and state is corrupt.
+		panic(fmt.Sprintf("multistage: AddBranch failed to restore connection %d after blocked grow: %v", id, rerr))
+	}
+	net.remapID(restored, id)
+	net.routedCount, net.blockedCount = routed0, blocked0+1
+	return err
+}

@@ -1,0 +1,275 @@
+package multistage
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// The switchd controller builds its Disconnect/AddBranch semantics on
+// Release being exact: unknown ids and double releases must fail
+// without touching state, and a release must succeed even when the
+// connection rides a failed middle module (the controller tears down
+// sessions during drain regardless of fabric health).
+
+func newErrorPathNet(t *testing.T) *Network {
+	t.Helper()
+	net, err := New(Params{
+		N: 16, K: 2, R: 4,
+		Model:        wdm.MSW,
+		Construction: MSWDominant,
+		Lite:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func addConn(t *testing.T, net *Network, s string) int {
+	t.Helper()
+	c, err := wdm.ParseConnection(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := net.Add(c)
+	if err != nil {
+		t.Fatalf("Add(%s): %v", s, err)
+	}
+	return id
+}
+
+func TestReleaseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		// setup returns the id to release and whether that release must
+		// succeed.
+		setup   func(t *testing.T, net *Network) int
+		wantOK  bool
+		wantSub string // error substring when !wantOK
+	}{
+		{
+			name:    "unknown id",
+			setup:   func(t *testing.T, net *Network) int { return 42 },
+			wantSub: "no connection with id 42",
+		},
+		{
+			name: "double release",
+			setup: func(t *testing.T, net *Network) int {
+				id := addConn(t, net, "0.0>5.0,9.0")
+				if err := net.Release(id); err != nil {
+					t.Fatalf("first release: %v", err)
+				}
+				return id
+			},
+			wantSub: "no connection with id",
+		},
+		{
+			name: "negative id",
+			setup: func(t *testing.T, net *Network) int {
+				addConn(t, net, "0.0>5.0")
+				return -1
+			},
+			wantSub: "no connection with id -1",
+		},
+		{
+			name: "release after FailMiddle",
+			setup: func(t *testing.T, net *Network) int {
+				id := addConn(t, net, "0.0>5.0,9.0")
+				mids := net.middlesUsed(id)
+				if len(mids) == 0 {
+					t.Fatal("connection uses no middle module")
+				}
+				if err := net.FailMiddle(mids[0]); err != nil {
+					t.Fatal(err)
+				}
+				return id
+			},
+			wantOK: true,
+		},
+		{
+			name: "release after AddWithRepack",
+			setup: func(t *testing.T, net *Network) int {
+				id := addConn(t, net, "0.0>5.0,9.0")
+				addConn(t, net, "1.0>6.0")
+				if _, _, err := net.AddWithRepack(mustConn(t, "2.0>7.0")); err != nil {
+					t.Fatalf("AddWithRepack: %v", err)
+				}
+				return id
+			},
+			wantOK: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := newErrorPathNet(t)
+			id := tc.setup(t, net)
+			before := net.Len()
+			err := net.Release(id)
+			if tc.wantOK {
+				if err != nil {
+					t.Fatalf("Release(%d) = %v, want success", id, err)
+				}
+				if net.Len() != before-1 {
+					t.Fatalf("Len = %d after release, want %d", net.Len(), before-1)
+				}
+			} else {
+				if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+					t.Fatalf("Release(%d) = %v, want error containing %q", id, err, tc.wantSub)
+				}
+				if net.Len() != before {
+					t.Fatalf("failed release changed Len: %d -> %d", before, net.Len())
+				}
+			}
+			if err := net.Verify(); err != nil {
+				t.Fatalf("Verify after release path: %v", err)
+			}
+		})
+	}
+}
+
+func mustConn(t *testing.T, s string) wdm.Connection {
+	t.Helper()
+	c, err := wdm.ParseConnection(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// middlesUsed lists the middle modules a connection uses (test helper:
+// AffectedBy answers the inverse question).
+func (net *Network) middlesUsed(id int) []int {
+	rc, ok := net.conns[id]
+	if !ok {
+		return nil
+	}
+	var out []int
+	for j := range rc.midConn {
+		out = append(out, j)
+	}
+	return out
+}
+
+func TestAddBranchGrowsConnection(t *testing.T) {
+	net := newErrorPathNet(t)
+	id := addConn(t, net, "0.0>5.0")
+	routed0, blocked0 := net.Stats()
+
+	if err := net.AddBranch(id, wdm.PortWave{Port: 9, Wave: 0}, wdm.PortWave{Port: 12, Wave: 0}); err != nil {
+		t.Fatalf("AddBranch: %v", err)
+	}
+	c, ok := net.Connection(id)
+	if !ok || c.Fanout() != 3 {
+		t.Fatalf("after grow: conn = %v (ok=%v), want fanout 3 under id %d", c, ok, id)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatalf("Verify after grow: %v", err)
+	}
+	// A successful grow is not a new routed connection.
+	if r, b := net.Stats(); r != routed0 || b != blocked0 {
+		t.Fatalf("Stats changed on successful grow: (%d,%d) -> (%d,%d)", routed0, blocked0, r, b)
+	}
+	// The grown slots really are occupied.
+	if _, err := net.Add(mustConn(t, "1.0>9.0")); err == nil {
+		t.Fatal("slot 9.0 still free after grow")
+	}
+	// Releasing frees everything the grow claimed.
+	if err := net.Release(id); err != nil {
+		t.Fatal(err)
+	}
+	addConn(t, net, "0.0>5.0,9.0,12.0")
+}
+
+func TestAddBranchErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		dests   []wdm.PortWave
+		wantSub string
+	}{
+		{"busy slot", []wdm.PortWave{{Port: 6, Wave: 0}}, "already used"},
+		{"duplicate port in grow", []wdm.PortWave{{Port: 9, Wave: 0}, {Port: 9, Wave: 1}}, "share output port"},
+		{"port already reached", []wdm.PortWave{{Port: 5, Wave: 1}}, "share output port"},
+		{"model violation", []wdm.PortWave{{Port: 9, Wave: 1}}, "MSW"},
+		{"out of range", []wdm.PortWave{{Port: 99, Wave: 0}}, "out of range"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := newErrorPathNet(t)
+			id := addConn(t, net, "0.0>5.0")
+			addConn(t, net, "1.0>6.0")
+			err := net.AddBranch(id, tc.dests...)
+			if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("AddBranch = %v, want error containing %q", err, tc.wantSub)
+			}
+			// Original connection intact.
+			c, ok := net.Connection(id)
+			if !ok || c.Fanout() != 1 {
+				t.Fatalf("original connection disturbed: %v (ok=%v)", c, ok)
+			}
+			if err := net.Verify(); err != nil {
+				t.Fatalf("Verify: %v", err)
+			}
+		})
+	}
+
+	t.Run("unknown id", func(t *testing.T) {
+		net := newErrorPathNet(t)
+		if err := net.AddBranch(7, wdm.PortWave{Port: 1, Wave: 0}); err == nil {
+			t.Fatal("AddBranch on unknown id succeeded")
+		}
+	})
+	t.Run("no dests is a no-op", func(t *testing.T) {
+		net := newErrorPathNet(t)
+		id := addConn(t, net, "0.0>5.0")
+		if err := net.AddBranch(id); err != nil {
+			t.Fatalf("empty grow: %v", err)
+		}
+	})
+}
+
+// TestAddBranchBlockedRestoresOriginal forces the grow itself to block
+// (m=1, x=1: the single middle module's link to the target output
+// module is occupied by another connection) and asserts atomicity: the
+// original connection survives, still routed, same id, and the network
+// verifies — while Stats records exactly one blocking event.
+func TestAddBranchBlockedRestoresOriginal(t *testing.T) {
+	net, err := New(Params{
+		N: 4, K: 1, R: 2,
+		M: 1, X: 1,
+		Model:        wdm.MSW,
+		Construction: MSWDominant,
+		Lite:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: input module 0 -> output module 0, occupying mid0->out0 on λ0.
+	addConn(t, net, "0.0>0.0")
+	// B: input module 1 -> output module 1.
+	idB := addConn(t, net, "2.0>2.0")
+	routed0, blocked0 := net.Stats()
+
+	// Growing B onto port 1 (output module 0) needs mid0->out0 λ0 —
+	// taken by A. Admissible, so this must surface as ErrBlocked.
+	err = net.AddBranch(idB, wdm.PortWave{Port: 1, Wave: 0})
+	if !IsBlocked(err) {
+		t.Fatalf("AddBranch = %v, want ErrBlocked", err)
+	}
+	c, ok := net.Connection(idB)
+	if !ok || c.Fanout() != 1 || c.Dests[0].Port != 2 {
+		t.Fatalf("original connection not restored: %v (ok=%v)", c, ok)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatalf("Verify after blocked grow: %v", err)
+	}
+	if r, b := net.Stats(); r != routed0 || b != blocked0+1 {
+		t.Fatalf("Stats after blocked grow: (%d,%d), want (%d,%d)", r, b, routed0, blocked0+1)
+	}
+	// B still fully operational: release works and frees its slots.
+	if err := net.Release(idB); err != nil {
+		t.Fatalf("Release after blocked grow: %v", err)
+	}
+	addConn(t, net, "2.0>2.0")
+}

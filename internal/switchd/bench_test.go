@@ -1,0 +1,124 @@
+package switchd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// BenchmarkSwitchdThroughput measures the full in-process serving path
+// — JSON decode, admission, shard bookkeeping, fabric routing under the
+// plane mutex, JSON encode — with no network in the way. Each parallel
+// goroutine claims a private port pair on its own plane slice and
+// cycles connect/disconnect, so every request is admissible and the
+// benchmark measures throughput, not blocking.
+//
+// With BENCH_JSON=<path> set, the final (largest) run writes a
+// machine-readable summary so the perf trajectory can be tracked
+// across PRs (see `make bench-json`).
+func BenchmarkSwitchdThroughput(b *testing.B) {
+	const replicas = 4
+	ctl, err := New(Config{
+		Fabric: multistage.Params{
+			N: 64, K: 2, R: 8,
+			Model:        wdm.MSW,
+			Construction: multistage.MSWDominant,
+			Lite:         true,
+		},
+		Replicas: replicas,
+		Shards:   32,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := ctl.Handler()
+	n := ctl.Params().N
+
+	// Pre-render one connect body per (plane, port-pair) lane. Each lane
+	// is a unicast 2p.0 -> (2p+1).0 on a pinned plane: disjoint slots,
+	// always admissible when the lane's previous session is gone.
+	lanes := replicas * n / 2
+	bodies := make([]string, lanes)
+	for lane := 0; lane < lanes; lane++ {
+		plane := lane % replicas
+		p := (lane / replicas) * 2
+		bodies[lane] = fmt.Sprintf(`{"connection": "%d.0>%d.0", "fabric": %d}`, p, p+1, plane)
+	}
+
+	var nextLane atomic.Int64
+	var failures atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		lane := int(nextLane.Add(1)-1) % lanes
+		body := bodies[lane]
+		for pb.Next() {
+			var cr connectResponse
+			if code := benchDo(h, "/v1/connect", body, &cr); code != http.StatusOK {
+				failures.Add(1)
+				continue
+			}
+			disc := fmt.Sprintf(`{"session": %d}`, cr.Session)
+			if code := benchDo(h, "/v1/disconnect", disc, nil); code != http.StatusOK {
+				failures.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if f := failures.Load(); f > 0 {
+		b.Fatalf("%d request cycles failed", f)
+	}
+
+	// Each iteration is one connect + one disconnect.
+	elapsed := b.Elapsed()
+	reqPerSec := float64(2*b.N) / elapsed.Seconds()
+	b.ReportMetric(reqPerSec, "req/s")
+
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		writeBenchJSON(b, path, map[string]any{
+			"benchmark":   "BenchmarkSwitchdThroughput",
+			"goos":        runtime.GOOS,
+			"goarch":      runtime.GOARCH,
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"replicas":    replicas,
+			"n":           n,
+			"k":           ctl.Params().K,
+			"iterations":  b.N,
+			"ns_per_op":   float64(elapsed.Nanoseconds()) / float64(b.N),
+			"req_per_sec": reqPerSec,
+		})
+	}
+}
+
+func benchDo(h http.Handler, path, body string, out any) int {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if out != nil && w.Code == http.StatusOK {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			return http.StatusInternalServerError
+		}
+	}
+	return w.Code
+}
+
+// writeBenchJSON records the run. Benchmarks re-run with growing b.N;
+// the file ends up holding the final, longest run.
+func writeBenchJSON(b *testing.B, path string, payload map[string]any) {
+	b.Helper()
+	buf, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		b.Fatalf("marshaling bench json: %v", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		b.Fatalf("writing %s: %v", path, err)
+	}
+}

@@ -1,0 +1,195 @@
+package switchd
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// HTTP+JSON API. Connections use the repository's compact text codec
+// ("<port>.<wave>><port>.<wave>,..." — see package wdm), so a session is
+// one curl away:
+//
+//	POST /v1/connect    {"connection": "0.0>5.0,9.0", "fabric": -1}
+//	POST /v1/branch     {"session": 7, "dests": ["12.0"]}
+//	POST /v1/disconnect {"session": 7}
+//	GET  /v1/session?id=7
+//	GET  /v1/status
+//	GET  /v1/metrics
+//	GET  /debug/vars        (standard expvar, includes the published registry)
+//
+// Status mapping: 200 ok; 400 inadmissible request or bad payload;
+// 404 unknown session; 409 blocked (admissible but unroutable — the
+// condition the theorems make impossible at sufficient m); 429 over the
+// admission cap; 503 draining.
+
+// connectRequest is the POST /v1/connect payload.
+type connectRequest struct {
+	// Connection in wdm codec form, e.g. "0.0>5.0,9.0".
+	Connection string `json:"connection"`
+	// Fabric pins the session to a replica; -1 or omitted lets the
+	// controller choose.
+	Fabric *int `json:"fabric,omitempty"`
+}
+
+type connectResponse struct {
+	Session uint64 `json:"session"`
+	Fabric  int    `json:"fabric"`
+}
+
+// branchRequest is the POST /v1/branch payload.
+type branchRequest struct {
+	Session uint64   `json:"session"`
+	Dests   []string `json:"dests"` // slots in wdm codec form, e.g. "12.0"
+}
+
+// disconnectRequest is the POST /v1/disconnect payload.
+type disconnectRequest struct {
+	Session uint64 `json:"session"`
+}
+
+type errorResponse struct {
+	Error   string `json:"error"`
+	Blocked bool   `json:"blocked,omitempty"`
+}
+
+// Handler returns the controller's HTTP API as an http.Handler.
+func (ctl *Controller) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/connect", ctl.handleConnect)
+	mux.HandleFunc("/v1/branch", ctl.handleBranch)
+	mux.HandleFunc("/v1/disconnect", ctl.handleDisconnect)
+	mux.HandleFunc("/v1/session", ctl.handleSession)
+	mux.HandleFunc("/v1/status", ctl.handleStatus)
+	mux.HandleFunc("/v1/metrics", ctl.handleMetrics)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError maps controller errors onto the status codes documented
+// above.
+func writeError(w http.ResponseWriter, err error) {
+	resp := errorResponse{Error: err.Error()}
+	code := http.StatusBadRequest
+	switch {
+	case multistage.IsBlocked(err):
+		code = http.StatusConflict
+		resp.Blocked = true
+	case errors.Is(err, ErrOverCapacity):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownSession):
+		code = http.StatusNotFound
+	}
+	writeJSON(w, code, resp)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (ctl *Controller) handleConnect(w http.ResponseWriter, r *http.Request) {
+	var req connectRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	conn, err := wdm.ParseConnection(req.Connection)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	pin := -1
+	if req.Fabric != nil {
+		pin = *req.Fabric
+	}
+	id, plane, err := ctl.Connect(conn, pin)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, connectResponse{Session: id, Fabric: plane})
+}
+
+func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
+	var req branchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Dests) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "branch needs at least one destination slot"})
+		return
+	}
+	dests := make([]wdm.PortWave, 0, len(req.Dests))
+	for _, ds := range req.Dests {
+		d, err := wdm.ParseSlot(ds)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		dests = append(dests, d)
+	}
+	if err := ctl.AddBranch(req.Session, dests...); err != nil {
+		writeError(w, err)
+		return
+	}
+	info, _ := ctl.Session(req.Session)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (ctl *Controller) handleDisconnect(w http.ResponseWriter, r *http.Request) {
+	var req disconnectRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := ctl.Disconnect(req.Session); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]uint64{"released": req.Session})
+}
+
+func (ctl *Controller) handleSession(w http.ResponseWriter, r *http.Request) {
+	var id uint64
+	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want ?id=<session>"})
+		return
+	}
+	info, ok := ctl.Session(id)
+	if !ok {
+		writeError(w, fmt.Errorf("%w: %d", ErrUnknownSession, id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (ctl *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ctl.Status())
+}
+
+func (ctl *Controller) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ctl.metrics.Snapshot())
+}

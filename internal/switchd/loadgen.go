@@ -1,0 +1,340 @@
+package switchd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// Attack mode: a closed-loop load generator that replays admissible
+// multicast traffic (internal/workload patterns) against a running
+// wdmserve instance over its HTTP API and reports achieved throughput
+// and blocking.
+//
+// Each worker owns a disjoint slice of the port space of one fabric
+// replica (ports with port % workersPerFabric == its partition, pinned
+// to its plane), tracks its own free source/destination slots, and only
+// ever offers connections whose endpoints are free in its slice — so
+// every 409 from the server is a genuine blocking event, exactly as in
+// the offline simulator, and the server-side `blocked` counter can be
+// diffed against `internal/sim` results for the same parameters.
+
+// AttackConfig parameterizes one load-generation run.
+type AttackConfig struct {
+	// BaseURL of the target server, e.g. "http://localhost:8047".
+	BaseURL string
+	// Client is the HTTP client to use (http.DefaultClient if nil).
+	Client *http.Client
+	// Requests is the total number of connect attempts across all
+	// workers.
+	Requests int
+	// WorkersPerFabric is the concurrent worker count per fabric
+	// replica (default 2). Total workers = replicas * WorkersPerFabric.
+	WorkersPerFabric int
+	// MaxFanout bounds each request's fanout; 0 means up to the
+	// worker's port-slice size.
+	MaxFanout int
+	// TargetLive is the per-worker live-session high-water mark: the
+	// worker disconnects its oldest session before connecting past it
+	// (default 8). This is the knob that sets offered load.
+	TargetLive int
+	// Seed drives the per-worker traffic generators.
+	Seed int64
+}
+
+// AttackReport aggregates a run.
+type AttackReport struct {
+	Workers     int           `json:"workers"`
+	Connects    int           `json:"connects"`
+	Routed      int           `json:"routed"`
+	Blocked     int           `json:"blocked"`
+	Rejected    int           `json:"rejected_429"`
+	Disconnects int           `json:"disconnects"`
+	Duration    time.Duration `json:"duration_ns"`
+
+	// OpsPerSec counts every completed HTTP operation (connects +
+	// disconnects) per wall-clock second; ConnectsPerSec only connects.
+	OpsPerSec      float64 `json:"ops_per_sec"`
+	ConnectsPerSec float64 `json:"connects_per_sec"`
+	// BlockingProbability is Blocked / Connects (429s excluded: they
+	// were never offered to a fabric).
+	BlockingProbability float64 `json:"blocking_probability"`
+
+	// Server is the target's own metrics snapshot after the run.
+	Server Snapshot `json:"server"`
+}
+
+func (r AttackReport) String() string {
+	return fmt.Sprintf("%d workers: %d connects (%d routed, %d blocked, %d rejected) in %v — %.0f ops/s, %.0f connects/s, P_block=%.4f (server blocked=%d)",
+		r.Workers, r.Connects, r.Routed, r.Blocked, r.Rejected, r.Duration.Round(time.Millisecond),
+		r.OpsPerSec, r.ConnectsPerSec, r.BlockingProbability, r.Server.Blocked)
+}
+
+// Attack runs the load generator against cfg.BaseURL.
+func Attack(cfg AttackConfig) (AttackReport, error) {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 10000
+	}
+	if cfg.WorkersPerFabric <= 0 {
+		cfg.WorkersPerFabric = 2
+	}
+	if cfg.TargetLive <= 0 {
+		cfg.TargetLive = 8
+	}
+
+	var status Status
+	if code, err := getJSON(client, cfg.BaseURL+"/v1/status", &status); err != nil || code != http.StatusOK {
+		return AttackReport{}, fmt.Errorf("switchd: attack: fetching target status (code %d): %v", code, err)
+	}
+	model, err := wdm.ParseModel(status.Model)
+	if err != nil {
+		return AttackReport{}, fmt.Errorf("switchd: attack: %w", err)
+	}
+	if status.Replicas < 1 || status.N < cfg.WorkersPerFabric {
+		return AttackReport{}, fmt.Errorf("switchd: attack: target too small (N=%d replicas=%d)", status.N, status.Replicas)
+	}
+
+	workers := status.Replicas * cfg.WorkersPerFabric
+	perWorker := cfg.Requests / workers
+	remainder := cfg.Requests % workers
+
+	results := make([]attackWorkerResult, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			attempts := perWorker
+			if w < remainder {
+				attempts++
+			}
+			results[w] = attackWorker(client, cfg, status, model, w, attempts)
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := AttackReport{Workers: workers, Duration: elapsed}
+	var firstErr error
+	for _, r := range results {
+		rep.Connects += r.connects
+		rep.Routed += r.routed
+		rep.Blocked += r.blocked
+		rep.Rejected += r.rejected
+		rep.Disconnects += r.disconnects
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.OpsPerSec = float64(rep.Connects+rep.Disconnects) / secs
+		rep.ConnectsPerSec = float64(rep.Connects) / secs
+	}
+	if rep.Connects > 0 {
+		rep.BlockingProbability = float64(rep.Blocked) / float64(rep.Connects)
+	}
+	if code, err := getJSON(client, cfg.BaseURL+"/v1/metrics", &rep.Server); err != nil || code != http.StatusOK {
+		return rep, fmt.Errorf("switchd: attack: fetching target metrics (code %d): %v", code, err)
+	}
+	return rep, nil
+}
+
+type attackWorkerResult struct {
+	connects, routed, blocked, rejected, disconnects int
+	err                                              error
+}
+
+// attackWorker drives one closed loop: connect until the live target is
+// reached, then recycle oldest-first, keeping every request admissible
+// within its private port slice.
+func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int) attackWorkerResult {
+	var res attackWorkerResult
+	fabric := w / cfg.WorkersPerFabric
+	part := w % cfg.WorkersPerFabric
+
+	// The worker's slice of the port space: every k-wavelength slot of
+	// ports congruent to part (mod WorkersPerFabric).
+	var ports []int
+	for p := part; p < status.N; p += cfg.WorkersPerFabric {
+		ports = append(ports, p)
+	}
+	freeSrc := newLoadgenSlots(ports, status.K)
+	freeDst := newLoadgenSlots(ports, status.K)
+	gen := workload.NewGenerator(cfg.Seed+int64(w)*7919, model, wdm.Dim{N: status.N, K: status.K})
+
+	type liveSession struct {
+		id   uint64
+		conn wdm.Connection
+	}
+	var live []liveSession
+
+	disconnectOldest := func() error {
+		s := live[0]
+		live = live[1:]
+		code, err := postJSON(client, cfg.BaseURL+"/v1/disconnect", disconnectRequest{Session: s.id}, nil)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("switchd: attack: disconnect session %d: unexpected status %d", s.id, code)
+		}
+		res.disconnects++
+		freeSrc.put(s.conn.Source)
+		for _, d := range s.conn.Dests {
+			freeDst.put(d)
+		}
+		return nil
+	}
+
+	for i := 0; i < attempts; i++ {
+		for len(live) >= cfg.TargetLive {
+			if res.err = disconnectOldest(); res.err != nil {
+				return res
+			}
+		}
+		maxFanout := cfg.MaxFanout
+		if maxFanout <= 0 || maxFanout > len(ports) {
+			maxFanout = len(ports)
+		}
+		conn, ok := gen.Connection(freeSrc.slots(), freeDst.slots(), gen.Fanout(maxFanout))
+		if !ok {
+			// Free sets can't support a request (e.g. wavelength-starved
+			// under MSW); recycle a session and retry.
+			if len(live) == 0 {
+				res.err = fmt.Errorf("switchd: attack: worker %d starved with no live sessions", w)
+				return res
+			}
+			if res.err = disconnectOldest(); res.err != nil {
+				return res
+			}
+			i--
+			continue
+		}
+
+		pin := fabric
+		var cr connectResponse
+		code, err := postJSON(client, cfg.BaseURL+"/v1/connect",
+			connectRequest{Connection: wdm.FormatConnection(conn), Fabric: &pin}, &cr)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.connects++
+		switch code {
+		case http.StatusOK:
+			res.routed++
+			freeSrc.take(conn.Source)
+			for _, d := range conn.Dests {
+				freeDst.take(d)
+			}
+			live = append(live, liveSession{id: cr.Session, conn: conn})
+		case http.StatusConflict:
+			res.blocked++
+		case http.StatusTooManyRequests:
+			res.rejected++
+			// Shed our own load before trying again.
+			if len(live) > 0 {
+				if res.err = disconnectOldest(); res.err != nil {
+					return res
+				}
+			}
+		default:
+			res.err = fmt.Errorf("switchd: attack: connect %s: unexpected status %d", wdm.FormatConnection(conn), code)
+			return res
+		}
+	}
+
+	for len(live) > 0 {
+		if res.err = disconnectOldest(); res.err != nil {
+			return res
+		}
+	}
+	return res
+}
+
+// loadgenSlots is the worker-local free-slot pool (the loadgen twin of
+// the simulator's slot bookkeeping, over a port subset).
+type loadgenSlots struct {
+	free []wdm.PortWave
+	pos  map[wdm.PortWave]int
+}
+
+func newLoadgenSlots(ports []int, k int) *loadgenSlots {
+	s := &loadgenSlots{pos: make(map[wdm.PortWave]int, len(ports)*k)}
+	for _, p := range ports {
+		for w := 0; w < k; w++ {
+			s.put(wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)})
+		}
+	}
+	return s
+}
+
+func (s *loadgenSlots) slots() []wdm.PortWave { return s.free }
+
+func (s *loadgenSlots) take(slot wdm.PortWave) {
+	i, ok := s.pos[slot]
+	if !ok {
+		panic(fmt.Sprintf("switchd: attack: taking slot %v twice", slot))
+	}
+	last := len(s.free) - 1
+	s.free[i] = s.free[last]
+	s.pos[s.free[i]] = i
+	s.free = s.free[:last]
+	delete(s.pos, slot)
+}
+
+func (s *loadgenSlots) put(slot wdm.PortWave) {
+	if _, dup := s.pos[slot]; dup {
+		panic(fmt.Sprintf("switchd: attack: freeing slot %v twice", slot))
+	}
+	s.pos[slot] = len(s.free)
+	s.free = append(s.free, slot)
+}
+
+// postJSON posts body as JSON and decodes the response into out (when
+// non-nil and the response has a body). It returns the HTTP status.
+func postJSON(client *http.Client, url string, body, out any) (int, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// getJSON fetches url and decodes the response into out.
+func getJSON(client *http.Client, url string, out any) (int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

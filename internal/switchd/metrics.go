@@ -1,0 +1,164 @@
+package switchd
+
+import (
+	"expvar"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/multistage"
+)
+
+// routeBucketsMicros are the upper bounds (inclusive, microseconds) of
+// the route-latency histogram buckets; a final overflow bucket catches
+// everything slower.
+var routeBucketsMicros = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// fabricMetrics is one replica's counter set.
+type fabricMetrics struct {
+	routed  atomic.Int64
+	blocked atomic.Int64
+	active  atomic.Int64
+}
+
+// Metrics is the controller's counter registry. All counters are
+// lock-free atomics; Snapshot assembles a consistent-enough view for
+// serving (counters are independently monotone, so a snapshot is always
+// a valid state some interleaving could have produced).
+//
+// The headline counter is Blocked: with every fabric provisioned at or
+// above the Theorem 1/2 sufficient bound it must read zero forever —
+// the paper's nonblocking claim as a monitorable invariant.
+type Metrics struct {
+	model        string
+	construction string
+	m            int
+
+	connectOK    atomic.Int64
+	branchOK     atomic.Int64
+	disconnectOK atomic.Int64
+	blocked      atomic.Int64
+	inadmissible atomic.Int64
+	capRejects   atomic.Int64
+	drainRejects atomic.Int64
+
+	perFabric []*fabricMetrics
+
+	// Route latency histogram (time spent inside the fabric lock per
+	// Add/AddBranch).
+	routeCount   atomic.Int64
+	routeSumNs   atomic.Int64
+	routeBuckets []atomic.Int64 // len(routeBucketsMicros)+1, last = overflow
+}
+
+func newMetrics(p multistage.Params, replicas int) *Metrics {
+	m := &Metrics{
+		model:        p.Model.String(),
+		construction: p.Construction.String(),
+		m:            p.M,
+		routeBuckets: make([]atomic.Int64, len(routeBucketsMicros)+1),
+	}
+	for i := 0; i < replicas; i++ {
+		m.perFabric = append(m.perFabric, &fabricMetrics{})
+	}
+	return m
+}
+
+// observeRoute records one fabric routing operation's latency.
+func (m *Metrics) observeRoute(d time.Duration) {
+	m.routeCount.Add(1)
+	m.routeSumNs.Add(int64(d))
+	us := d.Microseconds()
+	for i, ub := range routeBucketsMicros {
+		if us <= ub {
+			m.routeBuckets[i].Add(1)
+			return
+		}
+	}
+	m.routeBuckets[len(routeBucketsMicros)].Add(1)
+}
+
+// Blocked returns the total blocking events observed (Connect and
+// AddBranch combined, all fabrics).
+func (m *Metrics) Blocked() int64 { return m.blocked.Load() }
+
+// Routed returns the total successful Connect count.
+func (m *Metrics) Routed() int64 { return m.connectOK.Load() }
+
+// FabricSnapshot is one replica's counters in a Snapshot.
+type FabricSnapshot struct {
+	Routed  int64 `json:"routed"`
+	Blocked int64 `json:"blocked"`
+	Active  int64 `json:"active"`
+}
+
+// LatencyBucket is one histogram bucket in a Snapshot.
+type LatencyBucket struct {
+	LEMicros int64 `json:"le_us"` // upper bound; 0 = overflow (+Inf)
+	Count    int64 `json:"count"`
+}
+
+// Snapshot is the JSON form of the registry, served at /v1/metrics and
+// published to expvar.
+type Snapshot struct {
+	Model        string           `json:"model"`
+	Construction string           `json:"construction"`
+	M            int              `json:"m"`
+	ConnectOK    int64            `json:"connect_ok"`
+	BranchOK     int64            `json:"branch_ok"`
+	DisconnectOK int64            `json:"disconnect_ok"`
+	Blocked      int64            `json:"blocked"`
+	Inadmissible int64            `json:"inadmissible"`
+	CapRejects   int64            `json:"cap_rejects_429"`
+	DrainRejects int64            `json:"drain_rejects_503"`
+	RouteCount   int64            `json:"route_count"`
+	RouteMeanNs  int64            `json:"route_mean_ns"`
+	RouteLatency []LatencyBucket  `json:"route_latency_us"`
+	PerFabric    []FabricSnapshot `json:"per_fabric"`
+}
+
+// Snapshot assembles the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Model:        m.model,
+		Construction: m.construction,
+		M:            m.m,
+		ConnectOK:    m.connectOK.Load(),
+		BranchOK:     m.branchOK.Load(),
+		DisconnectOK: m.disconnectOK.Load(),
+		Blocked:      m.blocked.Load(),
+		Inadmissible: m.inadmissible.Load(),
+		CapRejects:   m.capRejects.Load(),
+		DrainRejects: m.drainRejects.Load(),
+		RouteCount:   m.routeCount.Load(),
+	}
+	if s.RouteCount > 0 {
+		s.RouteMeanNs = m.routeSumNs.Load() / s.RouteCount
+	}
+	for i := range m.routeBuckets {
+		b := LatencyBucket{Count: m.routeBuckets[i].Load()}
+		if i < len(routeBucketsMicros) {
+			b.LEMicros = routeBucketsMicros[i]
+		}
+		s.RouteLatency = append(s.RouteLatency, b)
+	}
+	for _, f := range m.perFabric {
+		s.PerFabric = append(s.PerFabric, FabricSnapshot{
+			Routed:  f.routed.Load(),
+			Blocked: f.blocked.Load(),
+			Active:  f.active.Load(),
+		})
+	}
+	return s
+}
+
+// Publish registers the registry with the process-global expvar
+// namespace under the given name, making it visible at the standard
+// /debug/vars endpoint. Publishing the same name twice is a no-op (the
+// first registration wins), so tests constructing many controllers can
+// call it freely.
+func (m *Metrics) Publish(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

@@ -1,0 +1,386 @@
+// Package switchd is the online control plane for the paper's WDM
+// multicast switching networks: a long-lived session controller that
+// owns one or more fabric replicas (three-stage multistage.Network
+// instances) and serves Connect / AddBranch / Disconnect / Status
+// requests concurrently.
+//
+// The offline packages prove and simulate the nonblocking theorems;
+// switchd turns them into an externally observable serving invariant:
+// when every fabric is provisioned with m at or above the Theorem 1/2
+// sufficient bound, the controller's blocked counter stays at zero no
+// matter how much admissible traffic arrives, and the metrics endpoint
+// exposes exactly that counter.
+//
+// Concurrency model. A multistage.Network is not safe for concurrent
+// use, and the paper's routing is inherently serial per fabric (each
+// decision reads the full link-occupancy state). The controller
+// therefore serializes route/release per fabric with one mutex per
+// replica and gets its concurrency *across* replicas — independent
+// fabric planes of identical parameters, the way a real switch stacks
+// parallel switching planes. Sessions are recorded in a sharded table
+// (hash of the session id picks the shard) so table bookkeeping never
+// funnels through a single lock. Lock order is always shard -> fabric;
+// no path takes them in the other order, so the pair cannot deadlock.
+package switchd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handlers (http.go).
+var (
+	// ErrOverCapacity is returned by Connect when admission control
+	// rejects the request: the in-flight session count has reached
+	// Config.MaxSessions. The request was never offered to a fabric.
+	ErrOverCapacity = errors.New("switchd: session capacity reached")
+	// ErrDraining is returned once Drain has begun: the controller no
+	// longer accepts new work.
+	ErrDraining = errors.New("switchd: controller is draining")
+	// ErrUnknownSession is returned for operations on session ids that
+	// are not live.
+	ErrUnknownSession = errors.New("switchd: unknown session")
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Fabric is the parameter set every replica is built from. It is
+	// normalized by New, so M = 0 gives each replica the sufficient
+	// nonblocking bound of its construction's theorem.
+	Fabric multistage.Params
+	// Replicas is the number of independent fabric planes (default 1).
+	// Sessions are spread across planes by session id; requests against
+	// different planes proceed concurrently.
+	Replicas int
+	// Shards is the session-table shard count (default 16).
+	Shards int
+	// MaxSessions caps live sessions across all replicas; Connect
+	// returns ErrOverCapacity beyond it. 0 means unlimited.
+	MaxSessions int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 1
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	return c
+}
+
+// fabric is one serialized switching plane.
+type fabric struct {
+	mu  sync.Mutex
+	net *multistage.Network
+}
+
+// Controller is the live control plane. All methods are safe for
+// concurrent use.
+type Controller struct {
+	cfg      Config
+	params   multistage.Params // normalized
+	fabrics  []*fabric
+	sessions *sessionTable
+	metrics  *Metrics
+
+	nextSession atomic.Uint64
+	active      atomic.Int64
+	draining    atomic.Bool
+}
+
+// New builds a controller with cfg.Replicas freshly constructed fabric
+// replicas.
+func New(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	norm, err := cfg.Fabric.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	ctl := &Controller{
+		cfg:      cfg,
+		params:   norm,
+		sessions: newSessionTable(cfg.Shards),
+		metrics:  newMetrics(norm, cfg.Replicas),
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		net, err := multistage.New(norm)
+		if err != nil {
+			return nil, fmt.Errorf("switchd: building fabric replica %d: %w", i, err)
+		}
+		ctl.fabrics = append(ctl.fabrics, &fabric{net: net})
+	}
+	return ctl, nil
+}
+
+// Params returns the normalized fabric parameters shared by every
+// replica.
+func (ctl *Controller) Params() multistage.Params { return ctl.params }
+
+// Replicas returns the number of fabric planes.
+func (ctl *Controller) Replicas() int { return len(ctl.fabrics) }
+
+// ActiveSessions returns the current live session count.
+func (ctl *Controller) ActiveSessions() int64 { return ctl.active.Load() }
+
+// Metrics returns the controller's metrics registry.
+func (ctl *Controller) Metrics() *Metrics { return ctl.metrics }
+
+// pickFabric maps a session id to its plane. A non-negative pin selects
+// a plane explicitly (clients that manage their own slot occupancy pin
+// the plane so their admissibility bookkeeping holds).
+func (ctl *Controller) pickFabric(id uint64, pin int) (int, error) {
+	if pin >= 0 {
+		if pin >= len(ctl.fabrics) {
+			return 0, fmt.Errorf("switchd: fabric %d out of range (have %d)", pin, len(ctl.fabrics))
+		}
+		return pin, nil
+	}
+	return int(id % uint64(len(ctl.fabrics))), nil
+}
+
+// Connect routes a new multicast session. pin selects a fabric plane
+// (-1 = controller's choice). It returns the session id and the plane
+// the session landed on.
+func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int, err error) {
+	if ctl.draining.Load() {
+		ctl.metrics.drainRejects.Add(1)
+		return 0, 0, ErrDraining
+	}
+	// Admission control: claim a slot optimistically, release on any
+	// failure. This never lets more than MaxSessions through even under
+	// concurrent contention.
+	if cap := int64(ctl.cfg.MaxSessions); cap > 0 {
+		if ctl.active.Add(1) > cap {
+			ctl.active.Add(-1)
+			ctl.metrics.capRejects.Add(1)
+			return 0, 0, ErrOverCapacity
+		}
+	} else {
+		ctl.active.Add(1)
+	}
+	defer func() {
+		if err != nil {
+			ctl.active.Add(-1)
+		}
+	}()
+
+	id = ctl.nextSession.Add(1)
+	plane, err = ctl.pickFabric(id, pin)
+	if err != nil {
+		ctl.metrics.inadmissible.Add(1)
+		return 0, 0, err
+	}
+
+	f := ctl.fabrics[plane]
+	f.mu.Lock()
+	start := time.Now()
+	connID, addErr := f.net.Add(c)
+	elapsed := time.Since(start)
+	f.mu.Unlock()
+
+	ctl.metrics.observeRoute(elapsed)
+	switch {
+	case addErr == nil:
+		ctl.metrics.perFabric[plane].routed.Add(1)
+		ctl.metrics.perFabric[plane].active.Add(1)
+		ctl.metrics.connectOK.Add(1)
+	case multistage.IsBlocked(addErr):
+		ctl.metrics.perFabric[plane].blocked.Add(1)
+		ctl.metrics.blocked.Add(1)
+		return 0, plane, addErr
+	default:
+		ctl.metrics.inadmissible.Add(1)
+		return 0, plane, addErr
+	}
+
+	ctl.sessions.put(&session{ID: id, Fabric: plane, ConnID: connID, Conn: c.Normalize()})
+	return id, plane, nil
+}
+
+// AddBranch grows session id by additional destination slots (a new
+// receiver joining the multicast). The grow is atomic: on failure the
+// session keeps its original destination set.
+func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
+	if ctl.draining.Load() {
+		ctl.metrics.drainRejects.Add(1)
+		return ErrDraining
+	}
+	sh := ctl.sessions.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.m[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	f := ctl.fabrics[s.Fabric]
+	f.mu.Lock()
+	start := time.Now()
+	err := f.net.AddBranch(s.ConnID, dests...)
+	elapsed := time.Since(start)
+	f.mu.Unlock()
+	ctl.metrics.observeRoute(elapsed)
+	switch {
+	case err == nil:
+		grown := s.Conn.Clone()
+		grown.Dests = append(grown.Dests, dests...)
+		s.Conn = grown.Normalize()
+		s.Branches++
+		ctl.metrics.branchOK.Add(1)
+		return nil
+	case multistage.IsBlocked(err):
+		ctl.metrics.perFabric[s.Fabric].blocked.Add(1)
+		ctl.metrics.blocked.Add(1)
+		return err
+	default:
+		ctl.metrics.inadmissible.Add(1)
+		return err
+	}
+}
+
+// Disconnect tears down a session and frees every slot and link
+// wavelength it occupied.
+func (ctl *Controller) Disconnect(id uint64) error {
+	sh := ctl.sessions.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return ctl.disconnectLocked(sh, id)
+}
+
+// disconnectLocked is Disconnect's body; the caller holds sh.mu.
+func (ctl *Controller) disconnectLocked(sh *sessionShard, id uint64) error {
+	s, ok := sh.m[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	f := ctl.fabrics[s.Fabric]
+	f.mu.Lock()
+	err := f.net.Release(s.ConnID)
+	f.mu.Unlock()
+	if err != nil {
+		// A release failure means controller and fabric bookkeeping have
+		// diverged; keep the session visible rather than leaking silently.
+		return fmt.Errorf("switchd: releasing session %d: %w", id, err)
+	}
+	delete(sh.m, id)
+	ctl.active.Add(-1)
+	ctl.metrics.perFabric[s.Fabric].active.Add(-1)
+	ctl.metrics.disconnectOK.Add(1)
+	return nil
+}
+
+// Session returns a snapshot of a live session.
+func (ctl *Controller) Session(id uint64) (SessionInfo, bool) {
+	sh := ctl.sessions.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.m[id]
+	if !ok {
+		return SessionInfo{}, false
+	}
+	return s.info(), true
+}
+
+// FabricStatus is one plane's slice of a Status snapshot.
+type FabricStatus struct {
+	Replica     int                    `json:"replica"`
+	Active      int                    `json:"active"`
+	Routed      int64                  `json:"routed"`
+	Blocked     int64                  `json:"blocked"`
+	Utilization multistage.Utilization `json:"utilization"`
+}
+
+// Status is the controller-wide snapshot served by GET /v1/status.
+type Status struct {
+	Model        string         `json:"model"`
+	Construction string         `json:"construction"`
+	N            int            `json:"n"`
+	K            int            `json:"k"`
+	R            int            `json:"r"`
+	M            int            `json:"m"`
+	X            int            `json:"x"`
+	SufficientM  int            `json:"sufficient_m"`
+	Replicas     int            `json:"replicas"`
+	MaxSessions  int            `json:"max_sessions"`
+	Active       int64          `json:"active_sessions"`
+	Draining     bool           `json:"draining"`
+	Fabrics      []FabricStatus `json:"fabrics"`
+}
+
+// Status snapshots every plane. Each fabric is locked briefly in turn;
+// the snapshot is per-plane consistent, not globally atomic.
+func (ctl *Controller) Status() Status {
+	p := ctl.params
+	suffM, _ := multistage.SufficientMinM(p.Construction, p.Model, p.N/p.R, p.R, p.K)
+	st := Status{
+		Model:        p.Model.String(),
+		Construction: p.Construction.String(),
+		N:            p.N,
+		K:            p.K,
+		R:            p.R,
+		M:            p.M,
+		X:            p.X,
+		SufficientM:  suffM,
+		Replicas:     len(ctl.fabrics),
+		MaxSessions:  ctl.cfg.MaxSessions,
+		Active:       ctl.active.Load(),
+		Draining:     ctl.draining.Load(),
+	}
+	for i, f := range ctl.fabrics {
+		f.mu.Lock()
+		routed, blocked := f.net.Stats()
+		fs := FabricStatus{
+			Replica:     i,
+			Active:      f.net.Len(),
+			Routed:      routed,
+			Blocked:     blocked,
+			Utilization: f.net.Utilization(),
+		}
+		f.mu.Unlock()
+		st.Fabrics = append(st.Fabrics, fs)
+	}
+	return st
+}
+
+// DrainSummary reports what Drain tore down.
+type DrainSummary struct {
+	Released int           `json:"released"`
+	Errors   int           `json:"errors"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// Drain stops admitting new work (Connect and AddBranch return
+// ErrDraining) and releases every live session. It is idempotent and
+// safe to call while traffic is still arriving: in-flight requests
+// either complete before their session is drained or are rejected.
+func (ctl *Controller) Drain() DrainSummary {
+	start := time.Now()
+	ctl.draining.Store(true)
+	var sum DrainSummary
+	for _, sh := range ctl.sessions.shards {
+		sh.mu.Lock()
+		ids := make([]uint64, 0, len(sh.m))
+		for id := range sh.m {
+			ids = append(ids, id)
+		}
+		for _, id := range ids {
+			if err := ctl.disconnectLocked(sh, id); err != nil {
+				sum.Errors++
+				continue
+			}
+			sum.Released++
+		}
+		sh.mu.Unlock()
+	}
+	sum.Elapsed = time.Since(start)
+	return sum
+}
+
+// Draining reports whether Drain has begun.
+func (ctl *Controller) Draining() bool { return ctl.draining.Load() }

@@ -1,0 +1,390 @@
+package switchd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/multistage"
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// testParams is the small fabric most tests run against: MSW model,
+// MSW-dominant construction, N=16 k=2 r=4, middle stage defaulted to
+// the Theorem 1 sufficient bound.
+func testParams() multistage.Params {
+	return multistage.Params{
+		N: 16, K: 2, R: 4,
+		Model:        wdm.MSW,
+		Construction: multistage.MSWDominant,
+		Lite:         true,
+	}
+}
+
+func newTestController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	ctl, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return ctl
+}
+
+func mustConnect(t *testing.T, ctl *Controller, conn string, pin int) uint64 {
+	t.Helper()
+	c, err := wdm.ParseConnection(conn)
+	if err != nil {
+		t.Fatalf("ParseConnection(%q): %v", conn, err)
+	}
+	id, _, err := ctl.Connect(c, pin)
+	if err != nil {
+		t.Fatalf("Connect(%q): %v", conn, err)
+	}
+	return id
+}
+
+func TestConnectBranchDisconnect(t *testing.T) {
+	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 2})
+
+	id := mustConnect(t, ctl, "0.0>5.0,9.0", -1)
+	if got := ctl.ActiveSessions(); got != 1 {
+		t.Fatalf("ActiveSessions = %d, want 1", got)
+	}
+	info, ok := ctl.Session(id)
+	if !ok || info.Fanout != 2 {
+		t.Fatalf("Session(%d) = %+v, %v; want fanout 2", id, info, ok)
+	}
+
+	// Grow by one receiver; the session keeps its id and reports the
+	// enlarged fanout.
+	if err := ctl.AddBranch(id, wdm.PortWave{Port: 12, Wave: 0}); err != nil {
+		t.Fatalf("AddBranch: %v", err)
+	}
+	info, ok = ctl.Session(id)
+	if !ok || info.Fanout != 3 || info.Branches != 1 {
+		t.Fatalf("after branch: Session = %+v, %v; want fanout 3, 1 branch", info, ok)
+	}
+
+	// The freed slots are reusable after disconnect.
+	if err := ctl.Disconnect(id); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	if got := ctl.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions after disconnect = %d, want 0", got)
+	}
+	mustConnect(t, ctl, "0.0>5.0,9.0,12.0", -1)
+
+	if b := ctl.Metrics().Blocked(); b != 0 {
+		t.Fatalf("blocked = %d, want 0", b)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 2})
+	mustConnect(t, ctl, "0.0>5.0", 0)
+
+	// Same source slot on the same plane: inadmissible, not blocked.
+	c, _ := wdm.ParseConnection("0.0>7.0")
+	if _, _, err := ctl.Connect(c, 0); err == nil || multistage.IsBlocked(err) {
+		t.Fatalf("reusing busy source: err = %v, want inadmissible error", err)
+	}
+	// The same slots on the *other* plane are free: planes are
+	// independent fabrics.
+	if _, _, err := ctl.Connect(c, 1); err != nil {
+		t.Fatalf("fresh plane rejected: %v", err)
+	}
+
+	// Out-of-range pin.
+	if _, _, err := ctl.Connect(mustParse(t, "1.0>6.0"), 99); err == nil {
+		t.Fatal("pin 99 accepted, want error")
+	}
+
+	if _, ok := ctl.Session(12345); ok {
+		t.Fatal("Session(12345) reported ok for unknown id")
+	}
+	if err := ctl.Disconnect(12345); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("Disconnect(12345) = %v, want ErrUnknownSession", err)
+	}
+	if err := ctl.AddBranch(12345, wdm.PortWave{Port: 3, Wave: 0}); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("AddBranch(12345) = %v, want ErrUnknownSession", err)
+	}
+}
+
+func mustParse(t *testing.T, s string) wdm.Connection {
+	t.Helper()
+	c, err := wdm.ParseConnection(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestAdmissionCap(t *testing.T) {
+	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 1, MaxSessions: 2})
+	mustConnect(t, ctl, "0.0>5.0", -1)
+	mustConnect(t, ctl, "1.0>6.0", -1)
+	_, _, err := ctl.Connect(mustParse(t, "2.0>7.0"), -1)
+	if !errors.Is(err, ErrOverCapacity) {
+		t.Fatalf("third connect = %v, want ErrOverCapacity", err)
+	}
+	if got := ctl.Metrics().Snapshot().CapRejects; got != 1 {
+		t.Fatalf("CapRejects = %d, want 1", got)
+	}
+	// Capacity frees up with a disconnect; rejected requests must not
+	// leak admission slots.
+	sessions := collectSessions(ctl)
+	if err := ctl.Disconnect(sessions[0]); err != nil {
+		t.Fatal(err)
+	}
+	mustConnect(t, ctl, "2.0>7.0", -1)
+}
+
+func collectSessions(ctl *Controller) []uint64 {
+	var ids []uint64
+	for _, sh := range ctl.sessions.shards {
+		sh.mu.Lock()
+		for id := range sh.m {
+			ids = append(ids, id)
+		}
+		sh.mu.Unlock()
+	}
+	return ids
+}
+
+func TestDrain(t *testing.T) {
+	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 2})
+	mustConnect(t, ctl, "0.0>5.0", -1)
+	mustConnect(t, ctl, "1.0>6.0,7.0", -1)
+
+	sum := ctl.Drain()
+	if sum.Released != 2 || sum.Errors != 0 {
+		t.Fatalf("Drain = %+v, want 2 released, 0 errors", sum)
+	}
+	if got := ctl.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions after drain = %d, want 0", got)
+	}
+	if _, _, err := ctl.Connect(mustParse(t, "0.0>5.0"), -1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("connect while draining = %v, want ErrDraining", err)
+	}
+	// Idempotent.
+	if sum := ctl.Drain(); sum.Released != 0 {
+		t.Fatalf("second Drain released %d, want 0", sum.Released)
+	}
+}
+
+// TestConcurrentConnectDisconnect drives 16 goroutines (4 per fabric
+// plane, each owning a disjoint slice of the port space so every
+// request is admissible) through repeated Connect/AddBranch/Disconnect
+// cycles. With m at the sufficient bound nothing may block, and the
+// final state must be empty. Run under -race this is the package's
+// data-race probe.
+func TestConcurrentConnectDisconnect(t *testing.T) {
+	const (
+		replicas   = 4
+		perFabric  = 4
+		iterations = 150
+	)
+	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: replicas, Shards: 8})
+	p := ctl.Params()
+	dim := wdm.Dim{N: p.N, K: p.K}
+
+	var wg sync.WaitGroup
+	errs := make([]error, replicas*perFabric)
+	for g := 0; g < replicas*perFabric; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = concurrentWorker(ctl, dim, g/perFabric, g%perFabric, perFabric, iterations, int64(g))
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", g, err)
+		}
+	}
+	if got := ctl.ActiveSessions(); got != 0 {
+		t.Fatalf("ActiveSessions = %d, want 0", got)
+	}
+	if got := ctl.sessions.len(); got != 0 {
+		t.Fatalf("session table holds %d entries, want 0", got)
+	}
+	snap := ctl.Metrics().Snapshot()
+	if snap.Blocked != 0 {
+		t.Fatalf("blocked = %d at the sufficient bound, want 0", snap.Blocked)
+	}
+	for i, f := range snap.PerFabric {
+		if f.Active != 0 {
+			t.Fatalf("fabric %d reports %d active, want 0", i, f.Active)
+		}
+	}
+}
+
+// concurrentWorker cycles admissible sessions within its private port
+// slice (ports congruent to part mod perFabric) on one pinned plane.
+func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iterations int, seed int64) error {
+	gen := workload.NewGenerator(seed, wdm.MSW, dim)
+	rng := rand.New(rand.NewSource(seed + 1000))
+	var ports []int
+	for p := part; p < dim.N; p += perFabric {
+		ports = append(ports, p)
+	}
+	freeSrc := newLoadgenSlots(ports, dim.K)
+	freeDst := newLoadgenSlots(ports, dim.K)
+
+	type live struct {
+		id   uint64
+		conn wdm.Connection
+	}
+	var sessions []live
+	release := func() error {
+		s := sessions[0]
+		sessions = sessions[1:]
+		if err := ctl.Disconnect(s.id); err != nil {
+			return err
+		}
+		freeSrc.put(s.conn.Source)
+		for _, d := range s.conn.Dests {
+			freeDst.put(d)
+		}
+		return nil
+	}
+
+	for i := 0; i < iterations; i++ {
+		for len(sessions) >= 3 {
+			if err := release(); err != nil {
+				return err
+			}
+		}
+		c, ok := gen.Connection(freeSrc.slots(), freeDst.slots(), gen.Fanout(len(ports)))
+		if !ok {
+			if len(sessions) == 0 {
+				return fmt.Errorf("starved with no live sessions")
+			}
+			if err := release(); err != nil {
+				return err
+			}
+			continue
+		}
+		id, _, err := ctl.Connect(c, plane)
+		if err != nil {
+			return fmt.Errorf("Connect(%v): %w", c, err)
+		}
+		freeSrc.take(c.Source)
+		for _, d := range c.Dests {
+			freeDst.take(d)
+		}
+		sessions = append(sessions, live{id: id, conn: c})
+
+		// Occasionally grow a random live session by a free slot on the
+		// session's wavelength (MSW).
+		if rng.Intn(4) == 0 && len(sessions) > 0 {
+			s := &sessions[rng.Intn(len(sessions))]
+			if d, ok := pickGrowSlot(freeDst, s.conn); ok {
+				switch err := ctl.AddBranch(s.id, d); {
+				case err == nil:
+					freeDst.take(d)
+					s.conn.Dests = append(s.conn.Dests, d)
+				case multistage.IsBlocked(err):
+					return fmt.Errorf("AddBranch blocked at the sufficient bound: %w", err)
+				default:
+					return fmt.Errorf("AddBranch(%d, %v): %w", s.id, d, err)
+				}
+			}
+		}
+	}
+	for len(sessions) > 0 {
+		if err := release(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickGrowSlot finds a free destination slot on the connection's
+// wavelength at a port the connection does not already reach.
+func pickGrowSlot(free *loadgenSlots, c wdm.Connection) (wdm.PortWave, bool) {
+	used := make(map[wdm.Port]bool, len(c.Dests))
+	for _, d := range c.Dests {
+		used[d.Port] = true
+	}
+	for _, s := range free.slots() {
+		if s.Wave == c.Source.Wave && !used[s.Port] {
+			return s, true
+		}
+	}
+	return wdm.PortWave{}, false
+}
+
+// TestNonblockingInvariantAtBound runs the full serving loop — HTTP
+// server, concurrent load-generator workers, metrics endpoint — with
+// every fabric at the Theorem 1 sufficient bound and asserts the
+// paper's claim as served: >= 10k requests, zero blocked.
+func TestNonblockingInvariantAtBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-request serving run")
+	}
+	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 2, Shards: 8})
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	rep, err := Attack(AttackConfig{
+		BaseURL:          srv.URL,
+		Client:           srv.Client(),
+		Requests:         10000,
+		WorkersPerFabric: 2,
+		TargetLive:       4,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatalf("Attack: %v", err)
+	}
+	if rep.Connects < 10000 {
+		t.Fatalf("only %d connects offered, want >= 10000", rep.Connects)
+	}
+	if rep.Blocked != 0 || rep.Server.Blocked != 0 {
+		t.Fatalf("blocked: client=%d server=%d at the sufficient bound, want 0 (report: %v)",
+			rep.Blocked, rep.Server.Blocked, rep)
+	}
+	if rep.Server.ConnectOK != int64(rep.Routed) {
+		t.Fatalf("server connect_ok=%d != client routed=%d", rep.Server.ConnectOK, rep.Routed)
+	}
+	if ctl.ActiveSessions() != 0 {
+		t.Fatalf("sessions leaked: %d live after attack", ctl.ActiveSessions())
+	}
+}
+
+// TestBlockingObservableBelowBound is the control experiment: with the
+// middle stage well below the bound the same traffic must produce
+// blocked > 0, visible on the metrics endpoint — the invariant is
+// falsifiable, not vacuously true.
+func TestBlockingObservableBelowBound(t *testing.T) {
+	p := testParams()
+	p.M = 3 // Theorem 1 sufficient bound for n=4, r=4 is far higher
+	p.X = 1
+	ctl := newTestController(t, Config{Fabric: p, Replicas: 1, Shards: 4})
+	srv := httptest.NewServer(ctl.Handler())
+	defer srv.Close()
+
+	rep, err := Attack(AttackConfig{
+		BaseURL:          srv.URL,
+		Client:           srv.Client(),
+		Requests:         3000,
+		WorkersPerFabric: 2,
+		TargetLive:       6,
+		Seed:             7,
+	})
+	if err != nil {
+		t.Fatalf("Attack: %v", err)
+	}
+	if rep.Server.Blocked == 0 {
+		t.Fatalf("no blocking observed below the bound (report: %v)", rep)
+	}
+	if rep.Blocked != int(rep.Server.Blocked) {
+		t.Fatalf("client saw %d blocks, server counted %d", rep.Blocked, rep.Server.Blocked)
+	}
+}
