@@ -1,6 +1,8 @@
 package multistage
 
 import (
+	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -227,6 +229,116 @@ func TestAddBranchErrorPaths(t *testing.T) {
 			t.Fatalf("empty grow: %v", err)
 		}
 	})
+}
+
+// TestAddBranchRestoreSurvivesFailedMiddles is the regression test for
+// the restore path: after the network's routing state has changed so
+// that a fresh re-route of the original connection would itself block
+// (here the extreme case — every middle module marked failed), a
+// blocked grow must still restore the original connection by replaying
+// its recorded route, not by asking the router for a new one.
+func TestAddBranchRestoreSurvivesFailedMiddles(t *testing.T) {
+	net := newErrorPathNet(t)
+	id := addConn(t, net, "0.0>5.0")
+	for j := 0; j < net.Params().M; j++ {
+		if err := net.FailMiddle(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The grow is admissible but no middle module is in service, so the
+	// re-route blocks — and so would a fresh re-route of the original.
+	err := net.AddBranch(id, wdm.PortWave{Port: 9, Wave: 0})
+	if !IsBlocked(err) {
+		t.Fatalf("AddBranch = %v, want ErrBlocked", err)
+	}
+	c, ok := net.Connection(id)
+	if !ok || c.Fanout() != 1 || c.Dests[0].Port != 5 {
+		t.Fatalf("original connection not restored: %v (ok=%v)", c, ok)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatalf("Verify after restore: %v", err)
+	}
+	// The restored connection is fully operational.
+	if err := net.Release(id); err != nil {
+		t.Fatalf("Release after restore: %v", err)
+	}
+	if err := net.Verify(); err != nil {
+		t.Fatalf("Verify after release: %v", err)
+	}
+}
+
+// TestAddBranchRestoreUnderChurn hammers grow/release cycles on a
+// below-sufficient-bound network whose occupancy churns constantly —
+// the regime where a blocked grow is routine and the network state at
+// restore time bears no resemblance to the state the connection first
+// routed in. Every failed grow must leave its connection intact and the
+// network verifiable, under both middle-selection strategies.
+func TestAddBranchRestoreUnderChurn(t *testing.T) {
+	for _, strat := range []Strategy{GreedyMinIntersection, FirstFit} {
+		t.Run(strat.String(), func(t *testing.T) {
+			net, err := New(Params{
+				N: 16, K: 2, R: 4,
+				M: 2, X: 2, // well below the Theorem 1 bound
+				Model:        wdm.MSW,
+				Construction: MSWDominant,
+				Strategy:     strat,
+				Lite:         true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			blockedGrows := 0
+			for i := 0; i < 600; i++ {
+				live := net.Connections()
+				ids := make([]int, 0, len(live))
+				for id := range live {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				// All traffic rides λ0 so the two middle modules' links
+				// contend hard and grows block routinely.
+				switch op := rng.Intn(6); {
+				case op <= 1 || len(ids) == 0: // add
+					c := wdm.Connection{Source: wdm.PortWave{Port: wdm.Port(rng.Intn(16))}}
+					for f := 0; f < 1+rng.Intn(3); f++ {
+						c.Dests = append(c.Dests, wdm.PortWave{Port: wdm.Port(rng.Intn(16))})
+					}
+					_, _ = net.Add(c) // busy/duplicate/blocked are all expected
+				case op == 2: // release
+					id := ids[rng.Intn(len(ids))]
+					if err := net.Release(id); err != nil {
+						t.Fatalf("iter %d: Release(%d): %v", i, id, err)
+					}
+				default: // grow
+					id := ids[rng.Intn(len(ids))]
+					before := wdm.FormatConnection(live[id])
+					d := wdm.PortWave{Port: wdm.Port(rng.Intn(16)), Wave: live[id].Source.Wave}
+					if err := net.AddBranch(id, d); err != nil {
+						if IsBlocked(err) {
+							blockedGrows++
+						}
+						after, ok := net.Connection(id)
+						if !ok || wdm.FormatConnection(after) != before {
+							t.Fatalf("iter %d: failed grow disturbed connection %d: %q -> %q (ok=%v, err=%v)",
+								i, id, before, wdm.FormatConnection(after), ok, err)
+						}
+					}
+				}
+				if i%25 == 0 {
+					if err := net.Verify(); err != nil {
+						t.Fatalf("iter %d: Verify: %v", i, err)
+					}
+				}
+			}
+			if err := net.Verify(); err != nil {
+				t.Fatalf("final Verify: %v", err)
+			}
+			if blockedGrows == 0 {
+				t.Fatal("churn never produced a blocked grow; test exercises nothing")
+			}
+		})
+	}
 }
 
 // TestAddBranchBlockedRestoresOriginal forces the grow itself to block

@@ -6,6 +6,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/multistage"
 	"repro/internal/wdm"
@@ -173,8 +174,8 @@ func (ctl *Controller) handleDisconnect(w http.ResponseWriter, r *http.Request) 
 }
 
 func (ctl *Controller) handleSession(w http.ResponseWriter, r *http.Request) {
-	var id uint64
-	if _, err := fmt.Sscanf(r.URL.Query().Get("id"), "%d", &id); err != nil {
+	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want ?id=<session>"})
 		return
 	}

@@ -107,6 +107,8 @@ func TestHTTPStatusMapping(t *testing.T) {
 		{"unknown session branch", "POST", "/v1/branch", `{"session": 999, "dests": ["3.0"]}`, http.StatusNotFound},
 		{"empty branch", "POST", "/v1/branch", `{"session": 1, "dests": []}`, http.StatusBadRequest},
 		{"bad session query", "GET", "/v1/session?id=x", "", http.StatusBadRequest},
+		{"trailing garbage session query", "GET", "/v1/session?id=7abc", "", http.StatusBadRequest},
+		{"empty session query", "GET", "/v1/session", "", http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		if code := do(t, h, tc.method, tc.path, tc.body, nil); code != tc.want {

@@ -91,8 +91,17 @@ type Controller struct {
 	metrics  *Metrics
 
 	nextSession atomic.Uint64
-	active      atomic.Int64
-	draining    atomic.Bool
+	// admitted counts admission-control slots (in-flight Connect
+	// attempts plus routed sessions) and is what MaxSessions caps;
+	// active counts only routed live sessions and is what
+	// ActiveSessions/Status report.
+	admitted atomic.Int64
+	active   atomic.Int64
+	// inflight counts Connect calls between entry and return; Drain
+	// waits for it to reach zero so no call that slipped past the
+	// draining check can repopulate the session table behind the sweep.
+	inflight atomic.Int64
+	draining atomic.Bool
 }
 
 // New builds a controller with cfg.Replicas freshly constructed fabric
@@ -149,25 +158,34 @@ func (ctl *Controller) pickFabric(id uint64, pin int) (int, error) {
 // (-1 = controller's choice). It returns the session id and the plane
 // the session landed on.
 func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int, err error) {
+	// Count the attempt before the draining check so Drain can wait out
+	// every Connect that might still put a session into the table.
+	ctl.inflight.Add(1)
+	defer ctl.inflight.Add(-1)
+
 	if ctl.draining.Load() {
 		ctl.metrics.drainRejects.Add(1)
 		return 0, 0, ErrDraining
 	}
 	// Admission control: claim a slot optimistically, release on any
 	// failure. This never lets more than MaxSessions through even under
-	// concurrent contention.
+	// concurrent contention; the price is that a burst of requests that
+	// will fail anyway can transiently hold slots and 429 a request that
+	// would have routed. Slots are tracked separately from the routed-
+	// session count, so in-flight attempts never appear in
+	// ActiveSessions/Status.
 	if cap := int64(ctl.cfg.MaxSessions); cap > 0 {
-		if ctl.active.Add(1) > cap {
-			ctl.active.Add(-1)
+		if ctl.admitted.Add(1) > cap {
+			ctl.admitted.Add(-1)
 			ctl.metrics.capRejects.Add(1)
 			return 0, 0, ErrOverCapacity
 		}
 	} else {
-		ctl.active.Add(1)
+		ctl.admitted.Add(1)
 	}
 	defer func() {
 		if err != nil {
-			ctl.active.Add(-1)
+			ctl.admitted.Add(-1)
 		}
 	}()
 
@@ -179,11 +197,16 @@ func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int,
 	}
 
 	f := ctl.fabrics[plane]
-	f.mu.Lock()
-	start := time.Now()
-	connID, addErr := f.net.Add(c)
-	elapsed := time.Since(start)
-	f.mu.Unlock()
+	var connID int
+	var addErr error
+	var elapsed time.Duration
+	func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		start := time.Now()
+		connID, addErr = f.net.Add(c)
+		elapsed = time.Since(start)
+	}()
 
 	ctl.metrics.observeRoute(elapsed)
 	switch {
@@ -200,6 +223,7 @@ func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int,
 		return 0, plane, addErr
 	}
 
+	ctl.active.Add(1)
 	ctl.sessions.put(&session{ID: id, Fabric: plane, ConnID: connID, Conn: c.Normalize()})
 	return id, plane, nil
 }
@@ -220,11 +244,15 @@ func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
 	f := ctl.fabrics[s.Fabric]
-	f.mu.Lock()
-	start := time.Now()
-	err := f.net.AddBranch(s.ConnID, dests...)
-	elapsed := time.Since(start)
-	f.mu.Unlock()
+	var err error
+	var elapsed time.Duration
+	func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		start := time.Now()
+		err = f.net.AddBranch(s.ConnID, dests...)
+		elapsed = time.Since(start)
+	}()
 	ctl.metrics.observeRoute(elapsed)
 	switch {
 	case err == nil:
@@ -260,9 +288,12 @@ func (ctl *Controller) disconnectLocked(sh *sessionShard, id uint64) error {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
 	f := ctl.fabrics[s.Fabric]
-	f.mu.Lock()
-	err := f.net.Release(s.ConnID)
-	f.mu.Unlock()
+	var err error
+	func() {
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		err = f.net.Release(s.ConnID)
+	}()
 	if err != nil {
 		// A release failure means controller and fabric bookkeeping have
 		// diverged; keep the session visible rather than leaking silently.
@@ -270,6 +301,7 @@ func (ctl *Controller) disconnectLocked(sh *sessionShard, id uint64) error {
 	}
 	delete(sh.m, id)
 	ctl.active.Add(-1)
+	ctl.admitted.Add(-1)
 	ctl.metrics.perFabric[s.Fabric].active.Add(-1)
 	ctl.metrics.disconnectOK.Add(1)
 	return nil
@@ -333,16 +365,19 @@ func (ctl *Controller) Status() Status {
 		Draining:     ctl.draining.Load(),
 	}
 	for i, f := range ctl.fabrics {
-		f.mu.Lock()
-		routed, blocked := f.net.Stats()
-		fs := FabricStatus{
-			Replica:     i,
-			Active:      f.net.Len(),
-			Routed:      routed,
-			Blocked:     blocked,
-			Utilization: f.net.Utilization(),
-		}
-		f.mu.Unlock()
+		var fs FabricStatus
+		func() {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			routed, blocked := f.net.Stats()
+			fs = FabricStatus{
+				Replica:     i,
+				Active:      f.net.Len(),
+				Routed:      routed,
+				Blocked:     blocked,
+				Utilization: f.net.Utilization(),
+			}
+		}()
 		st.Fabrics = append(st.Fabrics, fs)
 	}
 	return st
@@ -357,26 +392,47 @@ type DrainSummary struct {
 
 // Drain stops admitting new work (Connect and AddBranch return
 // ErrDraining) and releases every live session. It is idempotent and
-// safe to call while traffic is still arriving: in-flight requests
-// either complete before their session is drained or are rejected.
+// safe to call while traffic is still arriving: a Connect that passed
+// the draining check before it flipped is waited out and its session
+// released, so when Drain returns the table holds no releasable session
+// and no in-flight request can repopulate it.
 func (ctl *Controller) Drain() DrainSummary {
 	start := time.Now()
 	ctl.draining.Store(true)
 	var sum DrainSummary
-	for _, sh := range ctl.sessions.shards {
-		sh.mu.Lock()
-		ids := make([]uint64, 0, len(sh.m))
-		for id := range sh.m {
-			ids = append(ids, id)
-		}
-		for _, id := range ids {
-			if err := ctl.disconnectLocked(sh, id); err != nil {
-				sum.Errors++
-				continue
+	// Sessions whose fabric release failed stay in the table by design
+	// (bookkeeping divergence must stay visible); track them so they are
+	// counted once and do not keep the sweep loop alive.
+	failed := make(map[uint64]bool)
+	for {
+		// Observe the in-flight count before sweeping: if it is zero
+		// here, every session that will ever exist is already in the
+		// table (later Connects see draining and reject), so a full
+		// sweep that leaves the table empty means we are done.
+		idle := ctl.inflight.Load() == 0
+		for _, sh := range ctl.sessions.shards {
+			sh.mu.Lock()
+			ids := make([]uint64, 0, len(sh.m))
+			for id := range sh.m {
+				ids = append(ids, id)
 			}
-			sum.Released++
+			for _, id := range ids {
+				if failed[id] {
+					continue
+				}
+				if err := ctl.disconnectLocked(sh, id); err != nil {
+					failed[id] = true
+					sum.Errors++
+					continue
+				}
+				sum.Released++
+			}
+			sh.mu.Unlock()
 		}
-		sh.mu.Unlock()
+		if idle && ctl.sessions.len() <= len(failed) {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 	sum.Elapsed = time.Since(start)
 	return sum

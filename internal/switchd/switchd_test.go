@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/multistage"
 	"repro/internal/wdm"
@@ -173,6 +174,57 @@ func TestDrain(t *testing.T) {
 	// Idempotent.
 	if sum := ctl.Drain(); sum.Released != 0 {
 		t.Fatalf("second Drain released %d, want 0", sum.Released)
+	}
+}
+
+// TestDrainRacesWithConnect fires Drain while Connect traffic is still
+// arriving and asserts Drain's contract regardless of interleaving:
+// when it returns, every routed session has been released and none can
+// appear afterwards — including sessions routed by Connects that
+// passed the draining check just before it flipped.
+func TestDrainRacesWithConnect(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 2, Shards: 4})
+		// One private source/dest port pair per goroutine, so every
+		// request is admissible whenever its previous session is gone.
+		conns := make([]wdm.Connection, 8)
+		for g := range conns {
+			conns[g] = mustParse(t, fmt.Sprintf("%d.0>%d.0", 2*g, 2*g+1))
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < len(conns); g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					id, _, err := ctl.Connect(conns[g], g%2)
+					if errors.Is(err, ErrDraining) {
+						return
+					}
+					if err == nil && i%2 == 0 {
+						_ = ctl.Disconnect(id)
+					}
+				}
+			}(g)
+		}
+		time.Sleep(500 * time.Microsecond) // let traffic build up
+		sum := ctl.Drain()
+		wg.Wait()
+		if sum.Errors != 0 {
+			t.Fatalf("round %d: Drain errors = %d", round, sum.Errors)
+		}
+		if n := ctl.sessions.len(); n != 0 {
+			t.Fatalf("round %d: %d sessions live after Drain", round, n)
+		}
+		if n := ctl.ActiveSessions(); n != 0 {
+			t.Fatalf("round %d: ActiveSessions = %d after Drain", round, n)
+		}
+		for _, f := range ctl.Status().Fabrics {
+			if f.Active != 0 {
+				t.Fatalf("round %d: fabric %d holds %d routed connections after Drain",
+					round, f.Replica, f.Active)
+			}
+		}
 	}
 }
 
