@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json fuzz repro clean
+.PHONY: all build vet test test-short race bench bench-json cover fuzz repro clean
 
 all: build vet race test
 
@@ -25,9 +25,15 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable serving-path throughput record, tracked across PRs.
+# Machine-readable serving-path throughput record (including route
+# latency p50/p99 from the server's own histogram), tracked across PRs.
 bench-json:
 	BENCH_JSON=$(CURDIR)/BENCH_switchd.json $(GO) test -run '^$$' -bench BenchmarkSwitchdThroughput -benchmem ./internal/switchd
+
+# Per-package statement coverage for the serving and observability
+# packages.
+cover:
+	$(GO) test -cover ./internal/switchd ./internal/obs
 
 fuzz:
 	$(GO) test -fuzz=FuzzParseConnection -fuzztime=10s ./internal/wdm/

@@ -2,13 +2,21 @@
 // multicast session controller (internal/switchd) that owns one or more
 // three-stage WDM fabric replicas and serves Connect / AddBranch /
 // Disconnect / Status over HTTP+JSON. With the middle stage at the
-// Theorem 1/2 sufficient bound (the default), the /v1/metrics and
-// /debug/vars endpoints expose the paper's nonblocking claim as a live
-// invariant: `blocked` stays 0 under any admissible traffic.
+// Theorem 1/2 sufficient bound (the default), the /v1/metrics,
+// /metrics (Prometheus) and /debug/vars endpoints expose the paper's
+// nonblocking claim as a live invariant: `blocked` stays 0 under any
+// admissible traffic.
 //
 // Server:
 //
 //	wdmserve -addr :8047 -n 16 -k 2 -r 4 -model msw -construction msw -replicas 4
+//
+// Debugging a blocking incident (only possible below the bound):
+//
+//	wdmserve -addr :8047 -m 3 -x 1 -replicas 1 -trace -log-format json
+//	curl localhost:8047/v1/debug/blocking   # forensic reports, last 128
+//	curl localhost:8047/v1/debug/trace > incident.trace
+//	wdmtrace -replay incident.trace -n 16 -k 2 -r 4 -m 3 -x 1
 //
 // Load generator (against a running server):
 //
@@ -20,14 +28,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/multistage"
+	"repro/internal/obs"
 	"repro/internal/switchd"
 	"repro/internal/wdm"
 )
@@ -41,10 +51,15 @@ func main() {
 	modelName := flag.String("model", "msw", "multicast model: msw, msdw, maw")
 	constrName := flag.String("construction", "msw", "construction: msw (MSW-dominant) or maw (MAW-dominant)")
 	m := flag.Int("m", 0, "middle-stage module count (0 = the construction's sufficient nonblocking bound)")
+	x := flag.Int("x", 0, "split limit (0 = construction default)")
 	replicas := flag.Int("replicas", 4, "independent fabric replicas (planes)")
 	shards := flag.Int("shards", 16, "session-table shards")
 	maxSessions := flag.Int("max-sessions", 0, "admission cap on live sessions, 0 = unlimited")
 	gates := flag.Bool("gates", false, "build gate-level fabrics (slow; default lite routing-only fabrics)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	captureTrace := flag.Bool("trace", false, "capture per-fabric serving history, served at /v1/debug/trace (unbounded memory; debugging mode)")
+	blockLog := flag.Int("block-log", 0, "blocking-forensics ring size at /v1/debug/blocking (0 = default 128, negative disables)")
 
 	// Attack-mode flags.
 	attack := flag.Bool("attack", false, "run as load generator against -target instead of serving")
@@ -57,6 +72,13 @@ func main() {
 	jsonOut := flag.Bool("json", false, "attack: print the report as JSON")
 	flag.Parse()
 
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdmserve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
 	if *attack {
 		runAttack(*target, *requests, *perFabric, *live, *fanout, *seed, *jsonOut)
 		return
@@ -64,7 +86,7 @@ func main() {
 
 	model, err := wdm.ParseModel(*modelName)
 	if err != nil {
-		log.Fatalf("wdmserve: %v", err)
+		fatal(logger, err)
 	}
 	var constr multistage.Construction
 	switch *constrName {
@@ -73,50 +95,90 @@ func main() {
 	case "maw":
 		constr = multistage.MAWDominant
 	default:
-		log.Fatalf("wdmserve: -construction must be msw or maw")
+		fatal(logger, fmt.Errorf("-construction must be msw or maw"))
 	}
 
 	ctl, err := switchd.New(switchd.Config{
 		Fabric: multistage.Params{
-			N: *n, K: *k, R: *r, M: *m,
+			N: *n, K: *k, R: *r, M: *m, X: *x,
 			Model: model, Construction: constr, Lite: !*gates,
 		},
-		Replicas:    *replicas,
-		Shards:      *shards,
-		MaxSessions: *maxSessions,
+		Replicas:     *replicas,
+		Shards:       *shards,
+		MaxSessions:  *maxSessions,
+		BlockLog:     *blockLog,
+		CaptureTrace: *captureTrace,
+		Logger:       logger,
 	})
 	if err != nil {
-		log.Fatalf("wdmserve: %v", err)
+		fatal(logger, err)
 	}
 	ctl.Metrics().Publish("switchd")
 
 	p := ctl.Params()
-	log.Printf("wdmserve: serving %v %v N=%d k=%d r=%d m=%d x=%d, %d replicas, on %s",
-		p.Model, p.Construction, p.N, p.K, p.R, p.M, p.X, ctl.Replicas(), *addr)
+	logger.Info("serving",
+		slog.String("model", p.Model.String()),
+		slog.String("construction", p.Construction.String()),
+		slog.Int("n", p.N), slog.Int("k", p.K), slog.Int("r", p.R),
+		slog.Int("m", p.M), slog.Int("x", p.X),
+		slog.Int("replicas", ctl.Replicas()),
+		slog.String("addr", *addr),
+		slog.Bool("trace_capture", *captureTrace),
+		slog.Bool("pprof", *pprofOn),
+	)
 
-	srv := &http.Server{Addr: *addr, Handler: ctl.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", ctl.Handler())
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: *addr, Handler: obs.WithRequestLog(mux, logger)}
+
 	done := make(chan struct{})
 	sigC := make(chan os.Signal, 1)
 	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
 	go func() {
 		defer close(done)
 		sig := <-sigC
-		log.Printf("wdmserve: %v: draining", sig)
+		logger.Info("draining", slog.String("signal", sig.String()))
 		sum := ctl.Drain()
-		log.Printf("wdmserve: drained %d sessions (%d errors) in %v", sum.Released, sum.Errors, sum.Elapsed)
+		logger.Info("drained",
+			slog.Int("released", sum.Released),
+			slog.Int("errors", sum.Errors),
+			slog.Duration("elapsed", sum.Elapsed))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("wdmserve: shutdown: %v", err)
+			logger.Error("shutdown", slog.String("error", err.Error()))
 		}
 		// Flush final stats so a supervised restart leaves a record.
-		snap, _ := json.MarshalIndent(ctl.Metrics().Snapshot(), "", "  ")
-		log.Printf("wdmserve: final metrics:\n%s", snap)
+		snap, _ := json.Marshal(ctl.Metrics().Snapshot())
+		logger.Info("final metrics", slog.String("snapshot", string(snap)))
 	}()
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		log.Fatalf("wdmserve: %v", err)
+		fatal(logger, err)
 	}
 	<-done
+}
+
+func buildLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, not %q", format)
+	}
+}
+
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", slog.String("error", err.Error()))
+	os.Exit(1)
 }
 
 func runAttack(target string, requests, perFabric, live, fanout int, seed int64, jsonOut bool) {
@@ -129,12 +191,12 @@ func runAttack(target string, requests, perFabric, live, fanout int, seed int64,
 		Seed:             seed,
 	})
 	if err != nil {
-		log.Fatalf("wdmserve: attack: %v", err)
+		fatal(slog.Default(), fmt.Errorf("attack: %w", err))
 	}
 	if jsonOut {
 		out, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
-			log.Fatalf("wdmserve: attack: %v", err)
+			fatal(slog.Default(), fmt.Errorf("attack: %w", err))
 		}
 		fmt.Println(string(out))
 		return

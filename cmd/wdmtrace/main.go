@@ -31,7 +31,9 @@ func main() {
 	k := flag.Int("k", 2, "wavelengths per fiber")
 	r := flag.Int("r", 4, "outer-stage module count")
 	m := flag.Int("m", 0, "middle modules (0 = sufficient bound)")
+	x := flag.Int("x", 0, "split limit (0 = construction default)")
 	modelName := flag.String("model", "msw", "multicast model")
+	constrName := flag.String("construction", "", "construction: msw or maw (default msw)")
 	requests := flag.Int("requests", 500, "arrivals to record")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -40,8 +42,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var constr multistage.Construction
+	switch *constrName {
+	case "":
+	case "msw":
+		constr = multistage.MSWDominant
+	case "maw":
+		constr = multistage.MAWDominant
+	default:
+		fatal(fmt.Errorf("-construction must be msw or maw, not %q", *constrName))
+	}
 	net, err := multistage.New(multistage.Params{
-		N: *n, K: *k, R: *r, M: *m, Model: model, Lite: true,
+		N: *n, K: *k, R: *r, M: *m, X: *x,
+		Model: model, Construction: constr, Lite: true,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,6 +1,7 @@
 package multistage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -79,6 +80,12 @@ func (net *Network) AddBranch(id int, dests ...wdm.PortWave) error {
 		return fmt.Errorf("multistage: AddBranch: connection %d lost — restore after failed grow: %v (grow: %w)", id, rerr, err)
 	}
 	net.routedCount, net.blockedCount = routed0, blocked0+1
+	// The forensic report was built by the internal re-route; re-tag it
+	// so consumers see the operation that actually blocked.
+	var be *BlockedError
+	if errors.As(err, &be) && be.Report != nil {
+		be.Report.Op = "branch"
+	}
 	return err
 }
 

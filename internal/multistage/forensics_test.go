@@ -1,0 +1,244 @@
+package multistage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// tinyBlockingNet builds the smallest fabric that blocks on demand:
+// MSW model, MSW-dominant, N=16 k=2 r=4, a single middle module and a
+// split limit of 1.
+func tinyBlockingNet(t *testing.T) *Network {
+	t.Helper()
+	net, err := New(Params{
+		N: 16, K: 2, R: 4, M: 1, X: 1,
+		Model: wdm.MSW, Construction: MSWDominant, Lite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func mustAddStr(t *testing.T, net *Network, s string) int {
+	t.Helper()
+	c, err := wdm.ParseConnection(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := net.Add(c)
+	if err != nil {
+		t.Fatalf("Add(%q): %v", s, err)
+	}
+	return id
+}
+
+func addExpectBlocked(t *testing.T, net *Network, s string) *BlockReport {
+	t.Helper()
+	c, err := wdm.ParseConnection(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = net.Add(c)
+	if !IsBlocked(err) {
+		t.Fatalf("Add(%q) = %v, want blocked", s, err)
+	}
+	rep, ok := AsBlockReport(err)
+	if !ok {
+		t.Fatalf("Add(%q): blocked error carries no report: %v", s, err)
+	}
+	return rep
+}
+
+// TestBlockReportOutLinkBusy blocks on the middle->output link: the
+// single middle module's λ0 link to output module 1 is occupied, and
+// the report must name that link, that wavelength, and nothing else.
+func TestBlockReportOutLinkBusy(t *testing.T) {
+	net := tinyBlockingNet(t)
+	mustAddStr(t, net, "0.0>4.0") // occupies in-link 0->mid0 λ0 and out-link mid0->1 λ0
+
+	// Source from input module 1 (port 4 is local 0 of module 1): its
+	// in-link to the middle is free, but the out-link to module 1 on λ0
+	// is taken.
+	rep := addExpectBlocked(t, net, "4.0>5.0")
+
+	if rep.Op != "add" || rep.SrcModule != 1 || rep.SrcWave != 0 {
+		t.Fatalf("report header = %+v, want op=add src_module=1 src_wave=0", rep)
+	}
+	if len(rep.Uncovered) != 1 || rep.Uncovered[0] != 1 {
+		t.Fatalf("Uncovered = %v, want [1]", rep.Uncovered)
+	}
+	if len(rep.Middles) != 1 {
+		t.Fatalf("Middles = %v, want exactly 1 entry", rep.Middles)
+	}
+	md := rep.Middles[0]
+	if md.State != MiddleOutLinkBusy {
+		t.Fatalf("middle state = %q, want %q", md.State, MiddleOutLinkBusy)
+	}
+	if len(md.BlockedOut) != 1 || md.BlockedOut[0].OutModule != 1 {
+		t.Fatalf("BlockedOut = %v, want out module 1", md.BlockedOut)
+	}
+	if got := md.BlockedOut[0].BusyWaves; len(got) != 1 || got[0] != 0 {
+		t.Fatalf("BusyWaves = %v, want [0] (MSW keeps λ0)", got)
+	}
+	// The snapshot must reflect the one routed connection: 2 busy link
+	// wavelengths (one per stage).
+	if rep.Utilization.InBusy != 1 || rep.Utilization.OutBusy != 1 {
+		t.Fatalf("utilization = %+v, want 1 busy per stage", rep.Utilization)
+	}
+	if !strings.Contains(rep.String(), "out-link-busy") {
+		t.Fatalf("String() = %q, want out-link-busy mentioned", rep.String())
+	}
+}
+
+// TestBlockReportInLinkBusy blocks on the input-stage link: same input
+// module, different wavelength path exhausted.
+func TestBlockReportInLinkBusy(t *testing.T) {
+	net := tinyBlockingNet(t)
+	mustAddStr(t, net, "0.0>4.0") // in-link 0->mid0 λ0 now busy
+
+	// Port 1 is also input module 0, λ0: the only in-link candidate is
+	// taken, so no middle is available at all.
+	rep := addExpectBlocked(t, net, "1.0>8.0")
+	md := rep.Middles[0]
+	if md.State != MiddleInLinkBusy {
+		t.Fatalf("middle state = %q, want %q", md.State, MiddleInLinkBusy)
+	}
+	if len(md.WavesTried) != 1 || md.WavesTried[0] != 0 {
+		t.Fatalf("WavesTried = %v, want [0] (wavelength-locked first stages)", md.WavesTried)
+	}
+	if rep.SplitsUsed != 0 {
+		t.Fatalf("SplitsUsed = %d, want 0", rep.SplitsUsed)
+	}
+}
+
+// TestBlockReportFailedMiddle marks the only middle module failed; the
+// report must say "failed", not misattribute the block to a link.
+func TestBlockReportFailedMiddle(t *testing.T) {
+	net := tinyBlockingNet(t)
+	if err := net.FailMiddle(0); err != nil {
+		t.Fatal(err)
+	}
+	rep := addExpectBlocked(t, net, "0.0>4.0")
+	if got := rep.Middles[0].State; got != MiddleFailed {
+		t.Fatalf("middle state = %q, want %q", got, MiddleFailed)
+	}
+}
+
+// TestBlockReportSelectedAndSplitLimit drives a multicast into a fabric
+// with two middles but a split limit of 1: one middle is selected, the
+// residual module stays uncovered, and any middle that could still have
+// served it must be diagnosed as split-limit.
+func TestBlockReportSelectedAndSplitLimit(t *testing.T) {
+	net, err := New(Params{
+		N: 16, K: 2, R: 4, M: 2, X: 1,
+		Model: wdm.MSW, Construction: MSWDominant, Lite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pin middle 0 away from output module 2 and middle 1 away from
+	// output module 1 (both on λ0), so a λ0 fanout to modules {1,2}
+	// needs two splits and the limit x=1 forbids it.
+	mustAddStr(t, net, "4.0>8.0") // ties pick middle 0: out-link mid0->2 λ0 busy
+	mustAddStr(t, net, "5.0>6.0") // in-link 1->mid0 λ0 busy, so middle 1 serves: out-link mid1->1 λ0 busy
+
+	c, _ := wdm.ParseConnection("0.0>5.0,9.0")
+	_, err = net.Add(c)
+	if !IsBlocked(err) {
+		t.Fatalf("Add = %v, want blocked (x=1, two modules, one split)", err)
+	}
+	rep, _ := AsBlockReport(err)
+	var selected, other int
+	states := map[MiddleState]int{}
+	for _, md := range rep.Middles {
+		states[md.State]++
+		if md.State == MiddleSelected {
+			selected++
+			if len(md.Serves) == 0 {
+				t.Fatalf("selected middle %d serves nothing: %+v", md.Middle, md)
+			}
+		} else {
+			other++
+		}
+	}
+	if selected != 1 {
+		t.Fatalf("middle states = %v, want exactly one selected", states)
+	}
+	if states[MiddleSplitLimit]+states[MiddleOutLinkBusy] != 1 {
+		t.Fatalf("middle states = %v, want the other middle split-limit or out-link-busy", states)
+	}
+	if rep.SplitsUsed != 1 || rep.X != 1 {
+		t.Fatalf("splits = %d/%d, want 1/1", rep.SplitsUsed, rep.X)
+	}
+}
+
+// TestBlockReportMAWWavelengths checks the MAW-dominant diagnosis lists
+// every wavelength candidate on a fully busy link.
+func TestBlockReportMAWWavelengths(t *testing.T) {
+	net, err := New(Params{
+		N: 8, K: 2, R: 4, M: 1, X: 1,
+		Model: wdm.MAW, Construction: MAWDominant, Lite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate both wavelengths of in-link module0 -> mid0.
+	mustAddStr(t, net, "0.0>2.0")
+	mustAddStr(t, net, "1.1>3.1")
+
+	// Module 0 has ports {0,1}; a new source there finds both in-link
+	// wavelengths busy.
+	rep := addExpectBlocked(t, net, "0.1>4.0")
+	md := rep.Middles[0]
+	if md.State != MiddleInLinkBusy {
+		t.Fatalf("middle state = %q, want %q", md.State, MiddleInLinkBusy)
+	}
+	if len(md.WavesTried) != 2 {
+		t.Fatalf("WavesTried = %v, want both wavelengths", md.WavesTried)
+	}
+}
+
+// TestBlockReportBranchOp asserts a blocked AddBranch re-tags the
+// report as a branch operation while leaving the original connection
+// intact.
+func TestBlockReportBranchOp(t *testing.T) {
+	net := tinyBlockingNet(t)
+	id := mustAddStr(t, net, "0.0>4.0")
+	mustAddStr(t, net, "4.0>8.0") // occupies out-link mid0->2 λ0
+
+	err := net.AddBranch(id, wdm.PortWave{Port: 9, Wave: 0}) // port 9 = output module 2
+	if !IsBlocked(err) {
+		t.Fatalf("AddBranch = %v, want blocked", err)
+	}
+	rep, ok := AsBlockReport(err)
+	if !ok || rep.Op != "branch" {
+		t.Fatalf("report = %+v (ok=%v), want op=branch", rep, ok)
+	}
+	if _, live := net.Connection(id); !live {
+		t.Fatal("original connection lost after blocked branch")
+	}
+}
+
+// TestAsBlockReportNonBlocking: inadmissible errors carry no report.
+func TestAsBlockReportNonBlocking(t *testing.T) {
+	net := tinyBlockingNet(t)
+	mustAddStr(t, net, "0.0>4.0")
+	c, _ := wdm.ParseConnection("0.0>8.0") // busy source slot: inadmissible
+	_, err := net.Add(c)
+	if err == nil || IsBlocked(err) {
+		t.Fatalf("Add = %v, want inadmissible error", err)
+	}
+	if rep, ok := AsBlockReport(err); ok {
+		t.Fatalf("AsBlockReport on inadmissible error = %+v, want none", rep)
+	}
+	if rep, ok := AsBlockReport(nil); ok {
+		t.Fatalf("AsBlockReport(nil) = %+v, want none", rep)
+	}
+	if !errors.Is(&BlockedError{Detail: "x"}, ErrBlocked) {
+		t.Fatal("BlockedError does not unwrap to ErrBlocked")
+	}
+}

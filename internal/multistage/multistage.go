@@ -396,6 +396,11 @@ type Utilization struct {
 	// BusiestInLink and BusiestOutLink are the highest per-link
 	// wavelength occupancy counts observed (0..k).
 	BusiestInLink, BusiestOutLink int
+	// InBusy/InTotal and OutBusy/OutTotal are the occupied and total
+	// (link, wavelength) pair counts behind the fractions — the raw
+	// per-stage occupancy gauges the serving path exports.
+	InBusy, InTotal   int
+	OutBusy, OutTotal int
 }
 
 // Utilization reports the current inter-stage link occupancy — the
@@ -435,6 +440,8 @@ func (net *Network) Utilization() Utilization {
 			}
 		}
 	}
+	u.InBusy, u.InTotal = inBusy, inTotal
+	u.OutBusy, u.OutTotal = outBusy, outTotal
 	if inTotal > 0 {
 		u.InLinkBusy = float64(inBusy) / float64(inTotal)
 	}

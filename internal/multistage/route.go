@@ -72,8 +72,11 @@ func (net *Network) Add(c wdm.Connection) (int, error) {
 	avail := net.availableMiddles(srcMod, srcWave)
 	if len(avail) == 0 {
 		net.blockedCount++
-		return 0, fmt.Errorf("%w: no available middle module from input module %d on λ%d (x=%d)",
-			ErrBlocked, srcMod, srcWave, net.params.X)
+		return 0, &BlockedError{
+			Detail: fmt.Sprintf("no available middle module from input module %d on λ%d (x=%d)",
+				srcMod, srcWave, net.params.X),
+			Report: net.blockReport("add", c, srcMod, lastHopWave, nil, fanMods, 0),
+		}
 	}
 
 	// Cover the destination modules with at most X middle modules
@@ -117,8 +120,11 @@ func (net *Network) Add(c wdm.Connection) (int, error) {
 	}
 	if len(residual) > 0 {
 		net.blockedCount++
-		return 0, fmt.Errorf("%w: %d destination module(s) uncovered after %d of %d splits (source %v)",
-			ErrBlocked, len(residual), used, net.params.X, c.Source)
+		return 0, &BlockedError{
+			Detail: fmt.Sprintf("%d destination module(s) uncovered after %d of %d splits (source %v)",
+				len(residual), used, net.params.X, c.Source),
+			Report: net.blockReport("add", c, srcMod, lastHopWave, assign, residual, used),
+		}
 	}
 
 	id, err := net.commit(c, srcMod, srcLocal, destsByMod, assign, lastHopWave)

@@ -1,0 +1,141 @@
+// Package obs is the serving path's observability toolkit: a hand-rolled
+// Prometheus text-exposition writer and a matching minimal parser (both
+// stdlib-only, round-trip tested against each other), plus an HTTP
+// middleware that assigns request ids and emits one structured log line
+// per request. switchd uses the writer for GET /metrics; the parser
+// exists so tests — and any in-repo consumer — can read the exposition
+// back without a third-party client library.
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served
+// with the format this package writes.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one label name/value pair on a sample.
+type Label struct {
+	Name, Value string
+}
+
+// PromWriter accumulates metric families in Prometheus text exposition
+// format (version 0.0.4). HELP/TYPE headers are emitted once per
+// family, on the family's first sample; callers therefore write all
+// samples of one family together (interleaving families is legal for
+// this package's parser but rejected by real Prometheus scrapers).
+// The zero value is ready to use.
+type PromWriter struct {
+	buf  bytes.Buffer
+	seen map[string]bool
+}
+
+// Counter writes one sample of a counter family.
+func (w *PromWriter) Counter(name, help string, v float64, labels ...Label) {
+	w.header(name, help, "counter")
+	w.sample(name, labels, v)
+}
+
+// Gauge writes one sample of a gauge family.
+func (w *PromWriter) Gauge(name, help string, v float64, labels ...Label) {
+	w.header(name, help, "gauge")
+	w.sample(name, labels, v)
+}
+
+// Histogram writes one complete histogram series: cumulative _bucket
+// samples for every upper bound plus the mandatory le="+Inf" bucket,
+// then _sum and _count. bounds are the finite bucket upper bounds in
+// ascending order; counts holds the NON-cumulative per-bucket counts
+// and must be one longer than bounds, its last element counting
+// observations above the largest bound. sum is the sum of all observed
+// values. labels are attached to every sample of the series.
+func (w *PromWriter) Histogram(name, help string, bounds []float64, counts []int64, sum float64, labels ...Label) {
+	if len(counts) != len(bounds)+1 {
+		panic(fmt.Sprintf("obs: histogram %s: %d counts for %d bounds (want bounds+1)", name, len(counts), len(bounds)))
+	}
+	w.header(name, help, "histogram")
+	var cum int64
+	for i, ub := range bounds {
+		cum += counts[i]
+		w.sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatFloat(ub)}), float64(cum))
+	}
+	cum += counts[len(bounds)]
+	w.sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(cum))
+	w.sample(name+"_sum", labels, sum)
+	w.sample(name+"_count", labels, float64(cum))
+}
+
+// header emits the HELP/TYPE preamble once per family.
+func (w *PromWriter) header(name, help, typ string) {
+	if w.seen == nil {
+		w.seen = make(map[string]bool)
+	}
+	if w.seen[name] {
+		return
+	}
+	w.seen[name] = true
+	fmt.Fprintf(&w.buf, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&w.buf, "# TYPE %s %s\n", name, typ)
+}
+
+// sample emits one "name{labels} value" line.
+func (w *PromWriter) sample(name string, labels []Label, v float64) {
+	w.buf.WriteString(name)
+	if len(labels) > 0 {
+		w.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			// %q escapes exactly what the exposition format requires of
+			// a label value: backslash, double quote, newline.
+			fmt.Fprintf(&w.buf, "%s=%q", l.Name, l.Value)
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(formatFloat(v))
+	w.buf.WriteByte('\n')
+}
+
+// Bytes returns the exposition accumulated so far.
+func (w *PromWriter) Bytes() []byte { return w.buf.Bytes() }
+
+// WriteTo writes the exposition to wr.
+func (w *PromWriter) WriteTo(wr io.Writer) (int64, error) {
+	n, err := wr.Write(w.buf.Bytes())
+	return int64(n), err
+}
+
+// formatFloat renders a sample value or le bound the way Prometheus
+// expects: shortest round-trip decimal, with infinities spelled +Inf.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// SortLabels orders a label set by name — handy for callers that
+// assemble labels dynamically and want deterministic exposition.
+func SortLabels(labels []Label) {
+	sort.Slice(labels, func(i, j int) bool { return labels[i].Name < labels[j].Name })
+}

@@ -83,17 +83,22 @@ func BenchmarkSwitchdThroughput(b *testing.B) {
 	b.ReportMetric(reqPerSec, "req/s")
 
 	if path := os.Getenv("BENCH_JSON"); path != "" {
+		// Route-latency quantiles from the server's own histogram (time
+		// inside the fabric lock, excluding HTTP/JSON overhead).
+		snap := ctl.Metrics().Snapshot()
 		writeBenchJSON(b, path, map[string]any{
-			"benchmark":   "BenchmarkSwitchdThroughput",
-			"goos":        runtime.GOOS,
-			"goarch":      runtime.GOARCH,
-			"gomaxprocs":  runtime.GOMAXPROCS(0),
-			"replicas":    replicas,
-			"n":           n,
-			"k":           ctl.Params().K,
-			"iterations":  b.N,
-			"ns_per_op":   float64(elapsed.Nanoseconds()) / float64(b.N),
-			"req_per_sec": reqPerSec,
+			"benchmark":    "BenchmarkSwitchdThroughput",
+			"goos":         runtime.GOOS,
+			"goarch":       runtime.GOARCH,
+			"gomaxprocs":   runtime.GOMAXPROCS(0),
+			"replicas":     replicas,
+			"n":            n,
+			"k":            ctl.Params().K,
+			"iterations":   b.N,
+			"ns_per_op":    float64(elapsed.Nanoseconds()) / float64(b.N),
+			"req_per_sec":  reqPerSec,
+			"route_p50_us": HistQuantileMicros(snap.RouteLatency, 0.50),
+			"route_p99_us": HistQuantileMicros(snap.RouteLatency, 0.99),
 		})
 	}
 }

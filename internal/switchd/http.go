@@ -5,10 +5,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 
 	"repro/internal/multistage"
+	"repro/internal/obs"
 	"repro/internal/wdm"
 )
 
@@ -21,7 +23,10 @@ import (
 //	POST /v1/disconnect {"session": 7}
 //	GET  /v1/session?id=7
 //	GET  /v1/status
-//	GET  /v1/metrics
+//	GET  /v1/metrics        (JSON snapshot)
+//	GET  /metrics           (Prometheus text exposition of the same counters)
+//	GET  /v1/debug/blocking (forensics ring buffer: recent blocking incidents)
+//	GET  /v1/debug/trace    (?fabric=N; replayable serving history, needs Config.CaptureTrace)
 //	GET  /debug/vars        (standard expvar, includes the published registry)
 //
 // Status mapping: 200 ok; 400 inadmissible request or bad payload;
@@ -68,6 +73,9 @@ func (ctl *Controller) Handler() http.Handler {
 	mux.HandleFunc("/v1/session", ctl.handleSession)
 	mux.HandleFunc("/v1/status", ctl.handleStatus)
 	mux.HandleFunc("/v1/metrics", ctl.handleMetrics)
+	mux.HandleFunc("/metrics", ctl.handlePromMetrics)
+	mux.HandleFunc("/v1/debug/blocking", ctl.handleDebugBlocking)
+	mux.HandleFunc("/v1/debug/trace", ctl.handleDebugTrace)
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
 }
@@ -129,6 +137,14 @@ func (ctl *Controller) handleConnect(w http.ResponseWriter, r *http.Request) {
 	}
 	id, plane, err := ctl.Connect(conn, pin)
 	if err != nil {
+		if multistage.IsBlocked(err) {
+			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
+				slog.String("request_id", obs.RequestID(r.Context())),
+				slog.String("op", "connect"),
+				slog.Int("fabric", plane),
+				slog.String("connection", req.Connection),
+				slog.String("error", err.Error()))
+		}
 		writeError(w, err)
 		return
 	}
@@ -154,6 +170,13 @@ func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
 		dests = append(dests, d)
 	}
 	if err := ctl.AddBranch(req.Session, dests...); err != nil {
+		if multistage.IsBlocked(err) {
+			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
+				slog.String("request_id", obs.RequestID(r.Context())),
+				slog.String("op", "branch"),
+				slog.Uint64("session", req.Session),
+				slog.String("error", err.Error()))
+		}
 		writeError(w, err)
 		return
 	}

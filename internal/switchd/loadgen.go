@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -49,6 +51,15 @@ type AttackConfig struct {
 	Seed int64
 }
 
+// ClientLatency summarizes the client-observed connect latency (full
+// HTTP round trip, as a client would experience it — not the server's
+// in-fabric routing time).
+type ClientLatency struct {
+	P50Micros float64 `json:"p50_us"`
+	P95Micros float64 `json:"p95_us"`
+	P99Micros float64 `json:"p99_us"`
+}
+
 // AttackReport aggregates a run.
 type AttackReport struct {
 	Workers     int           `json:"workers"`
@@ -67,14 +78,22 @@ type AttackReport struct {
 	// were never offered to a fabric).
 	BlockingProbability float64 `json:"blocking_probability"`
 
+	// StatusCounts tallies every connect response by HTTP status code
+	// ("200", "409", ...); ConnectLatency summarizes the client-observed
+	// connect round-trip times.
+	StatusCounts   map[string]int `json:"status_counts"`
+	ConnectLatency ClientLatency  `json:"connect_latency_us"`
+
 	// Server is the target's own metrics snapshot after the run.
 	Server Snapshot `json:"server"`
 }
 
 func (r AttackReport) String() string {
-	return fmt.Sprintf("%d workers: %d connects (%d routed, %d blocked, %d rejected) in %v — %.0f ops/s, %.0f connects/s, P_block=%.4f (server blocked=%d)",
+	return fmt.Sprintf("%d workers: %d connects (%d routed, %d blocked, %d rejected) in %v — %.0f ops/s, %.0f connects/s, connect p50/p95/p99 %.0f/%.0f/%.0f µs, P_block=%.4f (server blocked=%d)",
 		r.Workers, r.Connects, r.Routed, r.Blocked, r.Rejected, r.Duration.Round(time.Millisecond),
-		r.OpsPerSec, r.ConnectsPerSec, r.BlockingProbability, r.Server.Blocked)
+		r.OpsPerSec, r.ConnectsPerSec,
+		r.ConnectLatency.P50Micros, r.ConnectLatency.P95Micros, r.ConnectLatency.P99Micros,
+		r.BlockingProbability, r.Server.Blocked)
 }
 
 // Attack runs the load generator against cfg.BaseURL.
@@ -126,20 +145,33 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	rep := AttackReport{Workers: workers, Duration: elapsed}
+	rep := AttackReport{Workers: workers, Duration: elapsed, StatusCounts: map[string]int{}}
 	var firstErr error
+	var latencies []time.Duration
 	for _, r := range results {
 		rep.Connects += r.connects
 		rep.Routed += r.routed
 		rep.Blocked += r.blocked
 		rep.Rejected += r.rejected
 		rep.Disconnects += r.disconnects
+		for code, n := range r.statusCounts {
+			rep.StatusCounts[strconv.Itoa(code)] += n
+		}
+		latencies = append(latencies, r.latencies...)
 		if r.err != nil && firstErr == nil {
 			firstErr = r.err
 		}
 	}
 	if firstErr != nil {
 		return rep, firstErr
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		q := func(p float64) float64 {
+			i := int(p * float64(len(latencies)-1))
+			return float64(latencies[i].Nanoseconds()) / 1e3
+		}
+		rep.ConnectLatency = ClientLatency{P50Micros: q(0.50), P95Micros: q(0.95), P99Micros: q(0.99)}
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Connects+rep.Disconnects) / secs
@@ -156,6 +188,8 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 
 type attackWorkerResult struct {
 	connects, routed, blocked, rejected, disconnects int
+	statusCounts                                     map[int]int
+	latencies                                        []time.Duration // per-connect round trips
 	err                                              error
 }
 
@@ -163,7 +197,7 @@ type attackWorkerResult struct {
 // reached, then recycle oldest-first, keeping every request admissible
 // within its private port slice.
 func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int) attackWorkerResult {
-	var res attackWorkerResult
+	res := attackWorkerResult{statusCounts: map[int]int{}}
 	fabric := w / cfg.WorkersPerFabric
 	part := w % cfg.WorkersPerFabric
 
@@ -228,12 +262,15 @@ func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wd
 
 		pin := fabric
 		var cr connectResponse
+		start := time.Now()
 		code, err := postJSON(client, cfg.BaseURL+"/v1/connect",
 			connectRequest{Connection: wdm.FormatConnection(conn), Fabric: &pin}, &cr)
 		if err != nil {
 			res.err = err
 			return res
 		}
+		res.latencies = append(res.latencies, time.Since(start))
+		res.statusCounts[code]++
 		res.connects++
 		switch code {
 		case http.StatusOK:

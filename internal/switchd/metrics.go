@@ -9,9 +9,36 @@ import (
 )
 
 // routeBucketsMicros are the upper bounds (inclusive, microseconds) of
-// the route-latency histogram buckets; a final overflow bucket catches
-// everything slower.
+// the operation-latency histogram buckets; a final overflow bucket
+// catches everything slower. All three operation histograms (connect,
+// branch, disconnect) share these bounds so their series line up in
+// dashboards.
 var routeBucketsMicros = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
+
+// latencyHist is one operation's latency histogram. All fields are
+// lock-free atomics; a snapshot is monotone-consistent, not atomic.
+type latencyHist struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets []atomic.Int64 // len(routeBucketsMicros)+1, last = overflow
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{buckets: make([]atomic.Int64, len(routeBucketsMicros)+1)}
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	us := d.Microseconds()
+	for i, ub := range routeBucketsMicros {
+		if us <= ub {
+			h.buckets[i].Add(1)
+			return
+		}
+	}
+	h.buckets[len(routeBucketsMicros)].Add(1)
+}
 
 // fabricMetrics is one replica's counter set.
 type fabricMetrics struct {
@@ -43,38 +70,27 @@ type Metrics struct {
 
 	perFabric []*fabricMetrics
 
-	// Route latency histogram (time spent inside the fabric lock per
-	// Add/AddBranch).
-	routeCount   atomic.Int64
-	routeSumNs   atomic.Int64
-	routeBuckets []atomic.Int64 // len(routeBucketsMicros)+1, last = overflow
+	// Per-operation latency histograms: time spent inside the fabric
+	// lock per Add (connect), AddBranch (branch), and Release
+	// (disconnect).
+	connectLat    *latencyHist
+	branchLat     *latencyHist
+	disconnectLat *latencyHist
 }
 
 func newMetrics(p multistage.Params, replicas int) *Metrics {
 	m := &Metrics{
-		model:        p.Model.String(),
-		construction: p.Construction.String(),
-		m:            p.M,
-		routeBuckets: make([]atomic.Int64, len(routeBucketsMicros)+1),
+		model:         p.Model.String(),
+		construction:  p.Construction.String(),
+		m:             p.M,
+		connectLat:    newLatencyHist(),
+		branchLat:     newLatencyHist(),
+		disconnectLat: newLatencyHist(),
 	}
 	for i := 0; i < replicas; i++ {
 		m.perFabric = append(m.perFabric, &fabricMetrics{})
 	}
 	return m
-}
-
-// observeRoute records one fabric routing operation's latency.
-func (m *Metrics) observeRoute(d time.Duration) {
-	m.routeCount.Add(1)
-	m.routeSumNs.Add(int64(d))
-	us := d.Microseconds()
-	for i, ub := range routeBucketsMicros {
-		if us <= ub {
-			m.routeBuckets[i].Add(1)
-			return
-		}
-	}
-	m.routeBuckets[len(routeBucketsMicros)].Add(1)
 }
 
 // Blocked returns the total blocking events observed (Connect and
@@ -91,55 +107,97 @@ type FabricSnapshot struct {
 	Active  int64 `json:"active"`
 }
 
-// LatencyBucket is one histogram bucket in a Snapshot.
+// LatencyBucket is one histogram bucket in a Snapshot. Counts are
+// per-bucket (non-cumulative).
 type LatencyBucket struct {
 	LEMicros int64 `json:"le_us"` // upper bound; 0 = overflow (+Inf)
 	Count    int64 `json:"count"`
 }
 
+// OpLatency is one operation's latency histogram in a Snapshot.
+type OpLatency struct {
+	Op        string          `json:"op"` // connect | branch | disconnect
+	Count     int64           `json:"count"`
+	MeanNs    int64           `json:"mean_ns"`
+	SumNs     int64           `json:"sum_ns"`
+	P50Micros float64         `json:"p50_us"`
+	P99Micros float64         `json:"p99_us"`
+	Buckets   []LatencyBucket `json:"buckets"`
+}
+
+func (h *latencyHist) snapshot(op string) OpLatency {
+	o := OpLatency{Op: op, Count: h.count.Load(), SumNs: h.sumNs.Load()}
+	if o.Count > 0 {
+		o.MeanNs = o.SumNs / o.Count
+	}
+	for i := range h.buckets {
+		b := LatencyBucket{Count: h.buckets[i].Load()}
+		if i < len(routeBucketsMicros) {
+			b.LEMicros = routeBucketsMicros[i]
+		}
+		o.Buckets = append(o.Buckets, b)
+	}
+	o.P50Micros = HistQuantileMicros(o.Buckets, 0.50)
+	o.P99Micros = HistQuantileMicros(o.Buckets, 0.99)
+	return o
+}
+
 // Snapshot is the JSON form of the registry, served at /v1/metrics and
-// published to expvar.
+// published to expvar. The route_* fields aggregate connect+branch —
+// the fabric routing operations — and predate the per-op split in Ops;
+// they are kept for compatibility with existing consumers.
 type Snapshot struct {
-	Model        string           `json:"model"`
-	Construction string           `json:"construction"`
-	M            int              `json:"m"`
-	ConnectOK    int64            `json:"connect_ok"`
-	BranchOK     int64            `json:"branch_ok"`
-	DisconnectOK int64            `json:"disconnect_ok"`
-	Blocked      int64            `json:"blocked"`
-	Inadmissible int64            `json:"inadmissible"`
-	CapRejects   int64            `json:"cap_rejects_429"`
-	DrainRejects int64            `json:"drain_rejects_503"`
-	RouteCount   int64            `json:"route_count"`
-	RouteMeanNs  int64            `json:"route_mean_ns"`
-	RouteLatency []LatencyBucket  `json:"route_latency_us"`
-	PerFabric    []FabricSnapshot `json:"per_fabric"`
+	Model        string `json:"model"`
+	Construction string `json:"construction"`
+	M            int    `json:"m"`
+	ConnectOK    int64  `json:"connect_ok"`
+	BranchOK     int64  `json:"branch_ok"`
+	DisconnectOK int64  `json:"disconnect_ok"`
+	Blocked      int64  `json:"blocked"`
+	Inadmissible int64  `json:"inadmissible"`
+	CapRejects   int64  `json:"cap_rejects_429"`
+	DrainRejects int64  `json:"drain_rejects_503"`
+	RouteCount   int64  `json:"route_count"`
+	RouteMeanNs  int64  `json:"route_mean_ns"`
+	// RouteBoundsUs are the histogram bucket upper bounds in
+	// microseconds, in order; the buckets below have one extra overflow
+	// entry (le_us 0).
+	RouteBoundsUs []int64          `json:"route_latency_bounds_us"`
+	RouteLatency  []LatencyBucket  `json:"route_latency_us"`
+	Ops           []OpLatency      `json:"ops"`
+	PerFabric     []FabricSnapshot `json:"per_fabric"`
 }
 
 // Snapshot assembles the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Model:        m.model,
-		Construction: m.construction,
-		M:            m.m,
-		ConnectOK:    m.connectOK.Load(),
-		BranchOK:     m.branchOK.Load(),
-		DisconnectOK: m.disconnectOK.Load(),
-		Blocked:      m.blocked.Load(),
-		Inadmissible: m.inadmissible.Load(),
-		CapRejects:   m.capRejects.Load(),
-		DrainRejects: m.drainRejects.Load(),
-		RouteCount:   m.routeCount.Load(),
+		Model:         m.model,
+		Construction:  m.construction,
+		M:             m.m,
+		ConnectOK:     m.connectOK.Load(),
+		BranchOK:      m.branchOK.Load(),
+		DisconnectOK:  m.disconnectOK.Load(),
+		Blocked:       m.blocked.Load(),
+		Inadmissible:  m.inadmissible.Load(),
+		CapRejects:    m.capRejects.Load(),
+		DrainRejects:  m.drainRejects.Load(),
+		RouteBoundsUs: routeBucketsMicros,
 	}
+	s.Ops = []OpLatency{
+		m.connectLat.snapshot("connect"),
+		m.branchLat.snapshot("branch"),
+		m.disconnectLat.snapshot("disconnect"),
+	}
+	connect, branch := s.Ops[0], s.Ops[1]
+	s.RouteCount = connect.Count + branch.Count
 	if s.RouteCount > 0 {
-		s.RouteMeanNs = m.routeSumNs.Load() / s.RouteCount
+		s.RouteMeanNs = (connect.SumNs + branch.SumNs) / s.RouteCount
 	}
-	for i := range m.routeBuckets {
-		b := LatencyBucket{Count: m.routeBuckets[i].Load()}
-		if i < len(routeBucketsMicros) {
-			b.LEMicros = routeBucketsMicros[i]
-		}
-		s.RouteLatency = append(s.RouteLatency, b)
+	for i := range connect.Buckets {
+		s.RouteLatency = append(s.RouteLatency, LatencyBucket{
+			LEMicros: connect.Buckets[i].LEMicros,
+			Count:    connect.Buckets[i].Count + branch.Buckets[i].Count,
+		})
 	}
 	for _, f := range m.perFabric {
 		s.PerFabric = append(s.PerFabric, FabricSnapshot{
@@ -149,6 +207,45 @@ func (m *Metrics) Snapshot() Snapshot {
 		})
 	}
 	return s
+}
+
+// HistQuantileMicros estimates the q-quantile (0 < q <= 1) of a bucketed
+// latency distribution in microseconds, by linear interpolation within
+// the bucket holding the quantile rank — the same estimator Prometheus's
+// histogram_quantile applies. Observations in the overflow bucket are
+// reported as the largest finite bound (the estimate is a lower bound
+// there). Returns 0 for an empty histogram.
+func HistQuantileMicros(buckets []LatencyBucket, q float64) float64 {
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	lo := float64(0)
+	for _, b := range buckets {
+		if b.Count == 0 {
+			if b.LEMicros > 0 {
+				lo = float64(b.LEMicros)
+			}
+			continue
+		}
+		if float64(cum+b.Count) >= rank {
+			if b.LEMicros == 0 { // overflow: no upper bound to interpolate to
+				return lo
+			}
+			frac := (rank - float64(cum)) / float64(b.Count)
+			return lo + (float64(b.LEMicros)-lo)*frac
+		}
+		cum += b.Count
+		if b.LEMicros > 0 {
+			lo = float64(b.LEMicros)
+		}
+	}
+	return lo
 }
 
 // Publish registers the registry with the process-global expvar

@@ -1,0 +1,159 @@
+package switchd
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/multistage"
+	"repro/internal/obs"
+)
+
+// Prometheus text exposition for GET /metrics, assembled from the same
+// counters as the JSON /v1/metrics snapshot plus the per-stage link
+// occupancy of every fabric plane. The headline series is
+// wdm_blocked_total: at or above the sufficient bound it must stay 0 —
+// the paper's theorem as a scrape-and-alert rule.
+
+// WriteProm writes the controller's full metric exposition into w.
+func (ctl *Controller) WriteProm(w *obs.PromWriter) {
+	snap := ctl.metrics.Snapshot()
+	st := ctl.Status()
+
+	w.Gauge("wdm_fabric_info", "Fabric parameters as labels; value is the configured middle-stage size m.",
+		float64(st.M),
+		obs.Label{Name: "model", Value: st.Model},
+		obs.Label{Name: "construction", Value: st.Construction},
+		obs.Label{Name: "n", Value: strconv.Itoa(st.N)},
+		obs.Label{Name: "k", Value: strconv.Itoa(st.K)},
+		obs.Label{Name: "r", Value: strconv.Itoa(st.R)},
+		obs.Label{Name: "x", Value: strconv.Itoa(st.X)},
+	)
+	w.Gauge("wdm_sufficient_m", "Theorem 1/2 sufficient middle-stage bound for the configured construction.", float64(st.SufficientM))
+
+	w.Counter("wdm_connect_total", "Successfully routed Connect requests.", float64(snap.ConnectOK))
+	w.Counter("wdm_branch_total", "Successfully routed AddBranch requests.", float64(snap.BranchOK))
+	w.Counter("wdm_disconnect_total", "Successful Disconnect requests.", float64(snap.DisconnectOK))
+	w.Counter("wdm_blocked_total", "Admissible requests the fabric could not route (zero forever at sufficient m).", float64(snap.Blocked))
+	w.Counter("wdm_inadmissible_total", "Requests rejected before routing (busy slots, model violations).", float64(snap.Inadmissible))
+	w.Counter("wdm_cap_rejects_total", "Connects rejected by the MaxSessions admission cap (HTTP 429).", float64(snap.CapRejects))
+	w.Counter("wdm_drain_rejects_total", "Requests rejected while draining (HTTP 503).", float64(snap.DrainRejects))
+
+	w.Gauge("wdm_active_sessions", "Live multicast sessions across all fabric planes.", float64(st.Active))
+	w.Gauge("wdm_draining", "1 while the controller is draining.", b2f(st.Draining))
+
+	for i, f := range snap.PerFabric {
+		lbl := obs.Label{Name: "fabric", Value: strconv.Itoa(i)}
+		w.Counter("wdm_fabric_routed_total", "Per-plane routed connections.", float64(f.Routed), lbl)
+	}
+	for i, f := range snap.PerFabric {
+		lbl := obs.Label{Name: "fabric", Value: strconv.Itoa(i)}
+		w.Counter("wdm_fabric_blocked_total", "Per-plane blocking events.", float64(f.Blocked), lbl)
+	}
+	for i, f := range snap.PerFabric {
+		lbl := obs.Label{Name: "fabric", Value: strconv.Itoa(i)}
+		w.Gauge("wdm_fabric_active", "Per-plane live connections.", float64(f.Active), lbl)
+	}
+
+	// Per-stage link-wavelength occupancy, from each plane's utilization
+	// snapshot (stage "in" = input->middle links, "out" = middle->output).
+	for _, fs := range st.Fabrics {
+		u := fs.Utilization
+		fab := strconv.Itoa(fs.Replica)
+		for _, stage := range []struct {
+			name        string
+			busy, total int
+		}{
+			{"in", u.InBusy, u.InTotal},
+			{"out", u.OutBusy, u.OutTotal},
+		} {
+			labels := []obs.Label{{Name: "fabric", Value: fab}, {Name: "stage", Value: stage.name}}
+			w.Gauge("wdm_link_busy", "Busy link wavelengths per stage.", float64(stage.busy), labels...)
+			w.Gauge("wdm_link_capacity", "Total link wavelengths per stage.", float64(stage.total), labels...)
+			if stage.total > 0 {
+				w.Gauge("wdm_link_busy_ratio", "Busy fraction of link wavelengths per stage.",
+					float64(stage.busy)/float64(stage.total), labels...)
+			}
+		}
+	}
+
+	// Operation latency histograms: bucket bounds are the microsecond
+	// bounds of the JSON snapshot, exposed in seconds per convention.
+	bounds := make([]float64, len(snap.RouteBoundsUs))
+	for i, us := range snap.RouteBoundsUs {
+		bounds[i] = float64(us) / 1e6
+	}
+	for _, op := range snap.Ops {
+		counts := make([]int64, len(op.Buckets))
+		for i, b := range op.Buckets {
+			counts[i] = b.Count
+		}
+		w.Histogram("wdm_op_latency_seconds", "Fabric operation latency (time inside the fabric lock).",
+			bounds, counts, float64(op.SumNs)/1e9, obs.Label{Name: "op", Value: op.Op})
+	}
+
+	_, totalIncidents := ctl.blockLog.snapshot()
+	w.Counter("wdm_block_incidents_total", "Blocking incidents recorded by the forensics ring buffer.", float64(totalIncidents))
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// handlePromMetrics serves GET /metrics.
+func (ctl *Controller) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	var pw obs.PromWriter
+	ctl.WriteProm(&pw)
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = pw.WriteTo(w)
+}
+
+// blockingResponse is the GET /v1/debug/blocking payload.
+type blockingResponse struct {
+	// Total counts every blocking incident since start; Incidents holds
+	// the most recent, oldest first, up to the ring capacity.
+	Total     int64           `json:"total"`
+	Incidents []BlockIncident `json:"incidents"`
+}
+
+func (ctl *Controller) handleDebugBlocking(w http.ResponseWriter, r *http.Request) {
+	if ctl.blockLog == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "blocking forensics disabled (Config.BlockLog < 0)"})
+		return
+	}
+	incidents, total := ctl.blockLog.snapshot()
+	writeJSON(w, http.StatusOK, blockingResponse{Total: total, Incidents: incidents})
+}
+
+// handleDebugTrace serves GET /v1/debug/trace?fabric=N as a replayable
+// internal/trace text document (wdmtrace's input format).
+func (ctl *Controller) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	fab := 0
+	if q := r.URL.Query().Get("fabric"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want ?fabric=<replica>"})
+			return
+		}
+		fab = n
+	}
+	t, ok := ctl.Trace(fab)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "trace capture disabled (Config.CaptureTrace) or fabric out of range"})
+		return
+	}
+	p := ctl.params
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "# wdmserve live trace: fabric %d, model=%s construction=%s n=%d k=%d r=%d m=%d x=%d\n",
+		fab, p.Model, p.Construction, p.N, p.K, p.R, p.M, p.X)
+	constr := "msw"
+	if p.Construction == multistage.MAWDominant {
+		constr = "maw"
+	}
+	fmt.Fprintf(w, "# replay: wdmtrace -replay <this file> -model %s -construction %s -n %d -k %d -r %d -m %d -x %d\n",
+		p.Model, constr, p.N, p.K, p.R, p.M, p.X)
+	_ = t.Write(w)
+}

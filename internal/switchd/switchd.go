@@ -26,6 +26,7 @@ package switchd
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +64,18 @@ type Config struct {
 	// MaxSessions caps live sessions across all replicas; Connect
 	// returns ErrOverCapacity beyond it. 0 means unlimited.
 	MaxSessions int
+	// BlockLog is the capacity of the blocking-forensics ring buffer
+	// served at /v1/debug/blocking. 0 means the default (128); a
+	// negative value disables forensics.
+	BlockLog int
+	// CaptureTrace records every fabric operation as a replayable
+	// internal/trace history, served at /v1/debug/trace. Off by default:
+	// the trace grows without bound for the life of the controller, so
+	// it is a debugging mode, not a production default.
+	CaptureTrace bool
+	// Logger receives the controller's structured log output (blocked
+	// requests, drains). Nil means slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -72,13 +85,18 @@ func (c Config) withDefaults() Config {
 	if c.Shards <= 0 {
 		c.Shards = 16
 	}
+	if c.BlockLog == 0 {
+		c.BlockLog = 128
+	}
 	return c
 }
 
-// fabric is one serialized switching plane.
+// fabric is one serialized switching plane. cap, when non-nil, records
+// the plane's serving history; it is guarded by mu like the network.
 type fabric struct {
 	mu  sync.Mutex
 	net *multistage.Network
+	cap *traceCap
 }
 
 // Controller is the live control plane. All methods are safe for
@@ -89,6 +107,8 @@ type Controller struct {
 	fabrics  []*fabric
 	sessions *sessionTable
 	metrics  *Metrics
+	blockLog *blockLog
+	logger   *slog.Logger
 
 	nextSession atomic.Uint64
 	// admitted counts admission-control slots (in-flight Connect
@@ -117,13 +137,22 @@ func New(cfg Config) (*Controller, error) {
 		params:   norm,
 		sessions: newSessionTable(cfg.Shards),
 		metrics:  newMetrics(norm, cfg.Replicas),
+		blockLog: newBlockLog(cfg.BlockLog),
+		logger:   cfg.Logger,
+	}
+	if ctl.logger == nil {
+		ctl.logger = slog.Default()
 	}
 	for i := 0; i < cfg.Replicas; i++ {
 		net, err := multistage.New(norm)
 		if err != nil {
 			return nil, fmt.Errorf("switchd: building fabric replica %d: %w", i, err)
 		}
-		ctl.fabrics = append(ctl.fabrics, &fabric{net: net})
+		f := &fabric{net: net}
+		if cfg.CaptureTrace {
+			f.cap = newTraceCap()
+		}
+		ctl.fabrics = append(ctl.fabrics, f)
 	}
 	return ctl, nil
 }
@@ -206,9 +235,10 @@ func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int,
 		start := time.Now()
 		connID, addErr = f.net.Add(c)
 		elapsed = time.Since(start)
+		f.cap.add(c, connID, addErr)
 	}()
 
-	ctl.metrics.observeRoute(elapsed)
+	ctl.metrics.connectLat.observe(elapsed)
 	switch {
 	case addErr == nil:
 		ctl.metrics.perFabric[plane].routed.Add(1)
@@ -217,6 +247,11 @@ func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int,
 	case multistage.IsBlocked(addErr):
 		ctl.metrics.perFabric[plane].blocked.Add(1)
 		ctl.metrics.blocked.Add(1)
+		rep, _ := multistage.AsBlockReport(addErr)
+		ctl.blockLog.record(BlockIncident{
+			Time: time.Now(), Op: "connect", Fabric: plane,
+			Conn: wdm.FormatConnection(c), Error: addErr.Error(), Report: rep,
+		})
 		return 0, plane, addErr
 	default:
 		ctl.metrics.inadmissible.Add(1)
@@ -244,6 +279,10 @@ func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
 	}
 	f := ctl.fabrics[s.Fabric]
+	original := s.Conn
+	grown := s.Conn.Clone()
+	grown.Dests = append(grown.Dests, dests...)
+	grown = grown.Normalize()
 	var err error
 	var elapsed time.Duration
 	func() {
@@ -252,19 +291,23 @@ func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
 		start := time.Now()
 		err = f.net.AddBranch(s.ConnID, dests...)
 		elapsed = time.Since(start)
+		f.cap.branch(s.ConnID, original, grown, err)
 	}()
-	ctl.metrics.observeRoute(elapsed)
+	ctl.metrics.branchLat.observe(elapsed)
 	switch {
 	case err == nil:
-		grown := s.Conn.Clone()
-		grown.Dests = append(grown.Dests, dests...)
-		s.Conn = grown.Normalize()
+		s.Conn = grown
 		s.Branches++
 		ctl.metrics.branchOK.Add(1)
 		return nil
 	case multistage.IsBlocked(err):
 		ctl.metrics.perFabric[s.Fabric].blocked.Add(1)
 		ctl.metrics.blocked.Add(1)
+		rep, _ := multistage.AsBlockReport(err)
+		ctl.blockLog.record(BlockIncident{
+			Time: time.Now(), Op: "branch", Fabric: s.Fabric, Session: id,
+			Conn: wdm.FormatConnection(grown), Error: err.Error(), Report: rep,
+		})
 		return err
 	default:
 		ctl.metrics.inadmissible.Add(1)
@@ -289,11 +332,18 @@ func (ctl *Controller) disconnectLocked(sh *sessionShard, id uint64) error {
 	}
 	f := ctl.fabrics[s.Fabric]
 	var err error
+	var elapsed time.Duration
 	func() {
 		f.mu.Lock()
 		defer f.mu.Unlock()
+		start := time.Now()
 		err = f.net.Release(s.ConnID)
+		elapsed = time.Since(start)
+		if err == nil {
+			f.cap.release(s.ConnID)
+		}
 	}()
+	ctl.metrics.disconnectLat.observe(elapsed)
 	if err != nil {
 		// A release failure means controller and fabric bookkeeping have
 		// diverged; keep the session visible rather than leaking silently.

@@ -3,13 +3,17 @@ package switchd
 import (
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/multistage"
+	"repro/internal/obs"
 	"repro/internal/wdm"
 	"repro/internal/workload"
 )
@@ -28,6 +32,11 @@ func testParams() multistage.Params {
 
 func newTestController(t *testing.T, cfg Config) *Controller {
 	t.Helper()
+	if cfg.Logger == nil {
+		// Below-bound tests block on purpose; keep the warnings out of
+		// the test output.
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctl, err := New(cfg)
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -408,6 +417,36 @@ func TestNonblockingInvariantAtBound(t *testing.T) {
 	if ctl.ActiveSessions() != 0 {
 		t.Fatalf("sessions leaked: %d live after attack", ctl.ActiveSessions())
 	}
+	// The Prometheus exposition must agree: zero blocked over the whole
+	// run, with the routed totals matching the JSON snapshot.
+	pm := scrapeProm(t, srv.Client(), srv.URL)
+	if v, ok := pm.Value("wdm_blocked_total", nil); !ok || v != 0 {
+		t.Fatalf("/metrics wdm_blocked_total = %v, %v; want 0 at the bound", v, ok)
+	}
+	if v, ok := pm.Value("wdm_connect_total", nil); !ok || v != float64(rep.Server.ConnectOK) {
+		t.Fatalf("/metrics wdm_connect_total = %v, %v; want %d", v, ok, rep.Server.ConnectOK)
+	}
+}
+
+// scrapeProm fetches and strictly parses the Prometheus exposition.
+func scrapeProm(t *testing.T, client *http.Client, baseURL string) obs.Metrics {
+	t.Helper()
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.ContentType)
+	}
+	pm, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return pm
 }
 
 // TestBlockingObservableBelowBound is the control experiment: with the
@@ -438,5 +477,12 @@ func TestBlockingObservableBelowBound(t *testing.T) {
 	}
 	if rep.Blocked != int(rep.Server.Blocked) {
 		t.Fatalf("client saw %d blocks, server counted %d", rep.Blocked, rep.Server.Blocked)
+	}
+	if rep.StatusCounts["409"] != rep.Blocked {
+		t.Fatalf("status_counts[409] = %d, want %d", rep.StatusCounts["409"], rep.Blocked)
+	}
+	pm := scrapeProm(t, srv.Client(), srv.URL)
+	if v, ok := pm.Value("wdm_blocked_total", nil); !ok || v != float64(rep.Server.Blocked) {
+		t.Fatalf("/metrics wdm_blocked_total = %v, %v; want %d", v, ok, rep.Server.Blocked)
 	}
 }

@@ -151,7 +151,12 @@ func (t *Trace) Replay(net Network, isBlocked func(error) bool) (*ReplayResult, 
 			switch {
 			case err == nil:
 				got = OK
-				ids[ev.ID] = id
+				// Only OK-recorded adds carry a trace id; registering a
+				// succeeded-where-recorded-blocked add under ev.ID (zero
+				// for blocked events) would clobber trace id 0's mapping.
+				if ev.Outcome == OK {
+					ids[ev.ID] = id
+				}
 			case isBlocked(err):
 				got = Blocked
 			default:

@@ -176,3 +176,27 @@ func TestReplayCleansUpUnexpectedSuccess(t *testing.T) {
 		t.Errorf("network holds %d, want 1", net.Len())
 	}
 }
+
+// TestReplayBlockedSuccessDoesNotClobberIDs: a recorded-blocked add
+// carries no trace id (the zero value). When such an add succeeds on
+// the replay network, its (immediately cleaned-up) replay id must not
+// be registered under trace id 0, or a later `release 0` targets the
+// wrong — already torn down — connection.
+func TestReplayBlockedSuccessDoesNotClobberIDs(t *testing.T) {
+	tr := &Trace{Events: []Event{
+		{Op: Add, Conn: conn(pw(0, 0), pw(1, 0)), Outcome: OK, ID: 0},
+		{Op: Add, Conn: conn(pw(1, 0), pw(2, 0)), Outcome: Blocked},
+		{Op: Release, ID: 0},
+	}}
+	net := crossbar.NewLite(wdm.MSW, wdm.Shape{In: 3, Out: 3, K: 1})
+	res, err := tr.Replay(net, nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if len(res.Divergence) != 1 || res.Divergence[0] != 1 {
+		t.Errorf("divergence = %v, want [1]", res.Divergence)
+	}
+	if net.Len() != 0 {
+		t.Errorf("network holds %d connections, want 0", net.Len())
+	}
+}
