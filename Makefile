@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json cover fuzz repro clean
+.PHONY: all build vet test test-short race bench bench-json cover fuzz repro slo-demo clean
 
 all: build vet race test
 
@@ -38,6 +38,28 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzParseConnection -fuzztime=10s ./internal/wdm/
 	$(GO) test -fuzz=FuzzRoutePermutation -fuzztime=10s ./internal/benes/
+
+# Live SLO/tracing demo: start a deliberately sub-bound server, drive
+# one traced blocked request, and print the trace / exemplar /
+# forensics / SLO joins plus a wdmtop frame (EXPERIMENTS.md § "Trace
+# walkthrough", scripted). The server is torn down on exit.
+SLO_DEMO_TID := 4bf92f3577b34da6a3ce929d0e0e4736
+slo-demo:
+	@$(GO) build -o /tmp/wdm-slo-demo-serve ./cmd/wdmserve
+	@$(GO) build -o /tmp/wdm-slo-demo-top ./cmd/wdmtop
+	@/tmp/wdm-slo-demo-serve -addr 127.0.0.1:8047 -m 1 -x 1 -replicas 1 -span-sample 1 & \
+	trap 'kill $$!' EXIT; sleep 0.5; \
+	curl -s -XPOST 127.0.0.1:8047/v1/connect -d '{"connection":"0.0>4.0"}'; \
+	curl -s -XPOST 127.0.0.1:8047/v1/connect -d '{"connection":"1.0>8.0"}' \
+	     -H 'traceparent: 00-$(SLO_DEMO_TID)-00f067aa0ba902b7-01'; \
+	echo; echo '--- /v1/debug/spans?trace=$(SLO_DEMO_TID)'; \
+	curl -s '127.0.0.1:8047/v1/debug/spans?trace=$(SLO_DEMO_TID)'; \
+	echo '--- /metrics exemplar'; \
+	curl -s '127.0.0.1:8047/metrics?exemplars=1' | grep $(SLO_DEMO_TID); \
+	echo '--- /v1/debug/blocking trace join'; \
+	curl -s 127.0.0.1:8047/v1/debug/blocking | grep trace_id; \
+	echo '--- wdmtop'; \
+	/tmp/wdm-slo-demo-top -target http://127.0.0.1:8047 -once
 
 # Regenerate every experiment artifact into results/.
 repro:

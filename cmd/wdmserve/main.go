@@ -21,6 +21,13 @@
 // Load generator (against a running server):
 //
 //	wdmserve -attack -target http://localhost:8047 -requests 10000 -live 6
+//
+// Tracing and SLOs: every serving request runs under a W3C
+// traceparent-compatible span. Completed traces are served at
+// /v1/debug/spans (tail-sampled: blocked/slow kept at 100%) and
+// exported as JSON lines via -span-log; sliding-window SLIs with
+// multiwindow burn-rate alerts are at /v1/slo; `wdmtop -target ...`
+// renders both live.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -38,6 +46,8 @@ import (
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/span"
 	"repro/internal/switchd"
 	"repro/internal/wdm"
 )
@@ -60,6 +70,11 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	captureTrace := flag.Bool("trace", false, "capture per-fabric serving history, served at /v1/debug/trace (unbounded memory; debugging mode)")
 	blockLog := flag.Int("block-log", 0, "blocking-forensics ring size at /v1/debug/blocking (0 = default 128, negative disables)")
+	spanLog := flag.String("span-log", "", "append kept traces as JSON lines to this file (\"-\" = stderr)")
+	spanRing := flag.Int("span-ring", 0, "completed-trace ring size at /v1/debug/spans (0 = default 256, negative disables tracing)")
+	spanSample := flag.Int("span-sample", 0, "keep 1 of every N routine successful traces (0 = default 16; blocked/slow always kept)")
+	sloObjective := flag.Float64("slo-objective", 0, "availability SLO objective (0 = default 0.999)")
+	sloLatencyUs := flag.Int("slo-latency-us", 0, "latency-SLI threshold in microseconds (0 = default 1000)")
 
 	// Attack-mode flags.
 	attack := flag.Bool("attack", false, "run as load generator against -target instead of serving")
@@ -98,6 +113,18 @@ func main() {
 		fatal(logger, fmt.Errorf("-construction must be msw or maw"))
 	}
 
+	var spanLogW io.Writer
+	if *spanLog == "-" {
+		spanLogW = os.Stderr
+	} else if *spanLog != "" {
+		f, err := os.OpenFile(*spanLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(logger, fmt.Errorf("-span-log: %w", err))
+		}
+		defer f.Close()
+		spanLogW = f
+	}
+
 	ctl, err := switchd.New(switchd.Config{
 		Fabric: multistage.Params{
 			N: *n, K: *k, R: *r, M: *m, X: *x,
@@ -108,7 +135,16 @@ func main() {
 		MaxSessions:  *maxSessions,
 		BlockLog:     *blockLog,
 		CaptureTrace: *captureTrace,
-		Logger:       logger,
+		Spans: span.Config{
+			Capacity:    *spanRing,
+			SampleEvery: *spanSample,
+			Log:         spanLogW,
+		},
+		SLO: slo.Config{
+			Objective:        *sloObjective,
+			LatencyThreshold: time.Duration(*sloLatencyUs) * time.Microsecond,
+		},
+		Logger: logger,
 	})
 	if err != nil {
 		fatal(logger, err)

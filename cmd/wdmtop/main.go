@@ -1,0 +1,97 @@
+// wdmtop is a live terminal dashboard for a running wdmserve: it polls
+// /metrics (Prometheus text), /v1/slo (burn-rate engine) and
+// /v1/debug/spans?blocked=1 (trace ring) and redraws a single console
+// frame per interval — per-fabric occupancy, routed/blocked rates,
+// connect latency quantiles, SLO burn status, and the most recent
+// blocked trace id ready to paste into /v1/debug/spans?trace=.
+//
+//	wdmtop -target http://localhost:8047 -interval 1s
+//	wdmtop -target http://localhost:8047 -once        # one frame, no ANSI
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/span"
+)
+
+func main() {
+	target := flag.String("target", "http://localhost:8047", "base URL of the wdmserve instance")
+	interval := flag.Duration("interval", time.Second, "poll and redraw interval")
+	once := flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	var prev *poll
+	for {
+		cur, err := fetchPoll(client, *target)
+		if err != nil {
+			if *once {
+				fmt.Fprintln(os.Stderr, "wdmtop:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\x1b[2J\x1b[Hwdmtop: %v (retrying every %s)\n", err, *interval)
+		} else {
+			frame := renderDashboard(cur, prev, *target)
+			if *once {
+				fmt.Print(frame)
+				return
+			}
+			// Clear screen, home cursor, redraw.
+			fmt.Print("\x1b[2J\x1b[H" + frame)
+			prev = cur
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchPoll scrapes one frame's worth of state. /v1/slo and the span
+// ring are optional (older servers, or tracing disabled): their absence
+// degrades the frame, it does not fail the poll.
+func fetchPoll(client *http.Client, target string) (*poll, error) {
+	p := &poll{t: time.Now()}
+
+	resp, err := client.Get(target + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	if p.metrics, err = obs.ParseProm(resp.Body); err != nil {
+		return nil, fmt.Errorf("parse /metrics: %w", err)
+	}
+
+	var snap slo.Snapshot
+	if ok := getJSON(client, target+"/v1/slo", &snap); ok {
+		p.slo = &snap
+	}
+	var spans struct {
+		Traces []span.TraceRecord `json:"traces"`
+	}
+	if ok := getJSON(client, target+"/v1/debug/spans?blocked=1&limit=1", &spans); ok && len(spans.Traces) > 0 {
+		p.lastBlocked = &spans.Traces[len(spans.Traces)-1]
+	}
+	return p, nil
+}
+
+// getJSON fetches and decodes a JSON endpoint, reporting success.
+func getJSON(client *http.Client, url string, v any) bool {
+	resp, err := client.Get(url)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	return json.NewDecoder(resp.Body).Decode(v) == nil
+}

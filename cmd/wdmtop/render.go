@@ -1,0 +1,226 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/span"
+)
+
+// Pure rendering: a poll pair (current + previous for rates) in, one
+// dashboard string out. Everything here is testable without a server.
+
+// poll is one scrape of the serving endpoints.
+type poll struct {
+	t       time.Time
+	metrics obs.Metrics
+	slo     *slo.Snapshot
+	// lastBlocked is the most recent blocked trace, when the span ring
+	// has one (nil otherwise or when tracing is disabled).
+	lastBlocked *span.TraceRecord
+}
+
+// fabricRow is one plane's line in the occupancy table.
+type fabricRow struct {
+	id              int
+	active          float64
+	routed, blocked float64
+	inRatio         float64
+	outRatio        float64
+}
+
+// fabricRows extracts the per-plane table from a parsed exposition,
+// ordered by fabric index.
+func fabricRows(m obs.Metrics) []fabricRow {
+	fam := m["wdm_fabric_active"]
+	if fam == nil {
+		return nil
+	}
+	var rows []fabricRow
+	for _, s := range fam.Samples {
+		id, err := strconv.Atoi(s.Labels["fabric"])
+		if err != nil {
+			continue
+		}
+		lbl := map[string]string{"fabric": s.Labels["fabric"]}
+		row := fabricRow{id: id, active: s.Value}
+		row.routed, _ = m.Value("wdm_fabric_routed_total", lbl)
+		row.blocked, _ = m.Value("wdm_fabric_blocked_total", lbl)
+		row.inRatio, _ = m.Value("wdm_link_busy_ratio", map[string]string{"fabric": s.Labels["fabric"], "stage": "in"})
+		row.outRatio, _ = m.Value("wdm_link_busy_ratio", map[string]string{"fabric": s.Labels["fabric"], "stage": "out"})
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].id < rows[j].id })
+	return rows
+}
+
+// histQuantileMicros estimates the q-quantile of one op's latency
+// histogram as the upper bound of the first cumulative bucket covering
+// q of the observations, in microseconds. ok is false with no samples.
+func histQuantileMicros(m obs.Metrics, op string, q float64) (float64, bool) {
+	fam := m["wdm_op_latency_seconds"]
+	if fam == nil {
+		return 0, false
+	}
+	type bkt struct{ le, count float64 }
+	var buckets []bkt
+	maxFinite := 0.0
+	for _, s := range fam.Samples {
+		if s.Name != "wdm_op_latency_seconds_bucket" || s.Labels["op"] != op {
+			continue
+		}
+		le, err := strconv.ParseFloat(s.Labels["le"], 64)
+		if err != nil {
+			continue // +Inf rejects ParseFloat only on malformed text; "+Inf" parses
+		}
+		if !math.IsInf(le, +1) && le > maxFinite {
+			maxFinite = le
+		}
+		buckets = append(buckets, bkt{le: le, count: s.Value})
+	}
+	if len(buckets) == 0 {
+		return 0, false
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	total := buckets[len(buckets)-1].count
+	if total == 0 {
+		return 0, false
+	}
+	target := q * total
+	for _, b := range buckets {
+		if b.count >= target {
+			if math.IsInf(b.le, +1) {
+				// The quantile falls past the largest finite bound;
+				// report that bound as a lower estimate.
+				return maxFinite * 1e6, true
+			}
+			return b.le * 1e6, true
+		}
+	}
+	return maxFinite * 1e6, true
+}
+
+// counter returns a label-less sample value, 0 when absent.
+func counter(m obs.Metrics, name string) float64 {
+	v, _ := m.Value(name, nil)
+	return v
+}
+
+// rate computes the per-second delta of a counter between polls; zero
+// without a previous poll.
+func rate(cur, prev *poll, name string) float64 {
+	if prev == nil {
+		return 0
+	}
+	dt := cur.t.Sub(prev.t).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	d := counter(cur.metrics, name) - counter(prev.metrics, name)
+	if d < 0 { // server restarted between polls
+		return 0
+	}
+	return d / dt
+}
+
+func pct(v float64) string { return fmt.Sprintf("%5.1f%%", v*100) }
+
+// renderDashboard builds the full console frame.
+func renderDashboard(cur, prev *poll, target string) string {
+	var b strings.Builder
+	m := cur.metrics
+
+	mVal, _ := m.Value("wdm_fabric_info", nil)
+	var model, constr, n, k, r, x string
+	if fam := m["wdm_fabric_info"]; fam != nil && len(fam.Samples) > 0 {
+		l := fam.Samples[0].Labels
+		model, constr, n, k, r, x = l["model"], l["construction"], l["n"], l["k"], l["r"], l["x"]
+	}
+	suffM := counter(m, "wdm_sufficient_m")
+	bound := "AT/ABOVE BOUND (nonblocking)"
+	if mVal < suffM {
+		bound = "BELOW BOUND (blocking possible)"
+	}
+	fmt.Fprintf(&b, "wdmtop — %s — %s\n", target, cur.t.Format("15:04:05"))
+	fmt.Fprintf(&b, "fabric: %s/%s  N=%s K=%s r=%s  m=%.0f (sufficient %.0f)  x=%s  — %s\n\n",
+		model, constr, n, k, r, mVal, suffM, x, bound)
+
+	routed := counter(m, "wdm_connect_total") + counter(m, "wdm_branch_total")
+	blocked := counter(m, "wdm_blocked_total")
+	fmt.Fprintf(&b, "sessions %.0f   routed %.0f (%.1f/s)   blocked %.0f (%.1f/s)   inadmissible %.0f\n",
+		counter(m, "wdm_active_sessions"),
+		routed, rate(cur, prev, "wdm_connect_total")+rate(cur, prev, "wdm_branch_total"),
+		blocked, rate(cur, prev, "wdm_blocked_total"),
+		counter(m, "wdm_inadmissible_total"))
+
+	if p50, ok := histQuantileMicros(m, "connect", 0.50); ok {
+		p90, _ := histQuantileMicros(m, "connect", 0.90)
+		p99, _ := histQuantileMicros(m, "connect", 0.99)
+		fmt.Fprintf(&b, "connect latency ≤ p50 %s  p90 %s  p99 %s\n", usStr(p50), usStr(p90), usStr(p99))
+	}
+	b.WriteByte('\n')
+
+	if rows := fabricRows(m); len(rows) > 0 {
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "fabric\tactive\trouted\tblocked\tin-occ\tout-occ")
+		for _, row := range rows {
+			fmt.Fprintf(tw, "%d\t%.0f\t%.0f\t%.0f\t%s\t%s\n",
+				row.id, row.active, row.routed, row.blocked, pct(row.inRatio), pct(row.outRatio))
+		}
+		tw.Flush()
+		b.WriteByte('\n')
+	}
+
+	if s := cur.slo; s != nil {
+		health := "HEALTHY"
+		if !s.Healthy {
+			health = "BURNING"
+		}
+		fmt.Fprintf(&b, "SLO %s  (availability objective %.4g, latency ≤ %.0fµs @ %.4g)\n",
+			health, s.Objective, s.LatencyThresholdUs, s.LatencyObjective)
+		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "window\tavailability\tburn\tlatency-ok\tlat-burn")
+		for _, w := range s.Windows {
+			fmt.Fprintf(tw, "%s\t%.5f\t%.2f\t%.5f\t%.2f\n",
+				w.Window, w.Availability, w.AvailabilityBurn, w.LatencyOK, w.LatencyBurn)
+		}
+		tw.Flush()
+		for _, a := range s.Alerts {
+			state := "ok"
+			if a.AvailabilityFiring {
+				state = "FIRING (availability)"
+			} else if a.LatencyFiring {
+				state = "FIRING (latency)"
+			}
+			fmt.Fprintf(&b, "alert %-5s (%s && %s > %.1f): %s\n", a.Name, a.Short, a.Long, a.Threshold, state)
+		}
+		b.WriteByte('\n')
+	}
+
+	if t := cur.lastBlocked; t != nil {
+		fmt.Fprintf(&b, "last blocked trace: %s  (%s, %s, %s ago)\n",
+			t.TraceID, t.Root, usStr(float64(t.DurationNs)/1e3),
+			cur.t.Sub(t.Start).Truncate(time.Second))
+		fmt.Fprintf(&b, "  inspect: curl '%s/v1/debug/spans?trace=%s'\n", target, t.TraceID)
+	} else if blocked > 0 {
+		fmt.Fprintf(&b, "last blocked trace: (none in span ring)\n")
+	} else {
+		fmt.Fprintf(&b, "no blocking events — invariant holding\n")
+	}
+	return b.String()
+}
+
+// usStr renders microseconds compactly (µs below 1ms, ms above).
+func usStr(us float64) string {
+	if us >= 1000 {
+		return fmt.Sprintf("%.2fms", us/1000)
+	}
+	return fmt.Sprintf("%.0fµs", us)
+}

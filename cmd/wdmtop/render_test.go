@@ -1,0 +1,161 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/span"
+)
+
+const testExposition = `# TYPE wdm_fabric_info gauge
+wdm_fabric_info{model="msw",construction="msw",n="16",k="2",r="4",x="1"} 2
+# TYPE wdm_sufficient_m gauge
+wdm_sufficient_m 7
+# TYPE wdm_connect_total counter
+wdm_connect_total 100
+# TYPE wdm_branch_total counter
+wdm_branch_total 10
+# TYPE wdm_blocked_total counter
+wdm_blocked_total 3
+# TYPE wdm_inadmissible_total counter
+wdm_inadmissible_total 1
+# TYPE wdm_active_sessions gauge
+wdm_active_sessions 12
+# TYPE wdm_fabric_active gauge
+wdm_fabric_active{fabric="1"} 7
+wdm_fabric_active{fabric="0"} 5
+# TYPE wdm_fabric_routed_total counter
+wdm_fabric_routed_total{fabric="0"} 60
+wdm_fabric_routed_total{fabric="1"} 50
+# TYPE wdm_fabric_blocked_total counter
+wdm_fabric_blocked_total{fabric="0"} 3
+wdm_fabric_blocked_total{fabric="1"} 0
+# TYPE wdm_link_busy_ratio gauge
+wdm_link_busy_ratio{fabric="0",stage="in"} 0.25
+wdm_link_busy_ratio{fabric="0",stage="out"} 0.5
+wdm_link_busy_ratio{fabric="1",stage="in"} 0.1
+wdm_link_busy_ratio{fabric="1",stage="out"} 0.2
+# TYPE wdm_op_latency_seconds histogram
+wdm_op_latency_seconds_bucket{op="connect",le="0.0001"} 50
+wdm_op_latency_seconds_bucket{op="connect",le="0.001"} 90
+wdm_op_latency_seconds_bucket{op="connect",le="+Inf"} 100
+wdm_op_latency_seconds_sum{op="connect"} 0.05
+wdm_op_latency_seconds_count{op="connect"} 100
+`
+
+func parseTestMetrics(t *testing.T, text string) obs.Metrics {
+	t.Helper()
+	m, err := obs.ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseProm: %v", err)
+	}
+	return m
+}
+
+func TestFabricRowsOrderedAndJoined(t *testing.T) {
+	rows := fabricRows(parseTestMetrics(t, testExposition))
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].id != 0 || rows[1].id != 1 {
+		t.Fatalf("rows out of order: %+v", rows)
+	}
+	if rows[0].routed != 60 || rows[0].blocked != 3 || rows[0].inRatio != 0.25 || rows[0].outRatio != 0.5 {
+		t.Fatalf("fabric 0 row joined wrong: %+v", rows[0])
+	}
+}
+
+func TestHistQuantileMicros(t *testing.T) {
+	m := parseTestMetrics(t, testExposition)
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0.50, 100},  // first bucket (le=100µs) already covers 50/100
+		{0.90, 1000}, // le=1ms covers 90/100
+		{0.99, 1000}, // falls in +Inf: reported as the largest finite bound
+	} {
+		got, ok := histQuantileMicros(m, "connect", tc.q)
+		if !ok || got != tc.want {
+			t.Errorf("q=%v: got %v,%v want %v,true", tc.q, got, ok, tc.want)
+		}
+	}
+	if _, ok := histQuantileMicros(m, "branch", 0.5); ok {
+		t.Error("quantile for op with no samples should report !ok")
+	}
+}
+
+func TestRenderDashboardFrame(t *testing.T) {
+	now := time.Now()
+	cur := &poll{
+		t:       now,
+		metrics: parseTestMetrics(t, testExposition),
+		slo: &slo.Snapshot{
+			Objective: 0.999, LatencyObjective: 0.99, LatencyThresholdUs: 1000,
+			Healthy: false,
+			Windows: []slo.WindowSLI{
+				{Window: "5m", Total: 100, Bad: 3, Availability: 0.97, AvailabilityBurn: 30, LatencyOK: 1},
+			},
+			Alerts: []slo.AlertState{
+				{Name: "fast", Short: "5m", Long: "1h", Threshold: 14.4, AvailabilityFiring: true},
+			},
+		},
+		lastBlocked: &span.TraceRecord{
+			TraceID: "0af7651916cd43dd8448eb211c80319c",
+			Root:    "switchd.connect", Start: now.Add(-3 * time.Second),
+			DurationNs: 42_000, Blocked: true,
+		},
+	}
+	prevExpo := strings.Replace(testExposition, "wdm_connect_total 100", "wdm_connect_total 90", 1)
+	prev := &poll{t: now.Add(-2 * time.Second), metrics: parseTestMetrics(t, prevExpo)}
+
+	frame := renderDashboard(cur, prev, "http://localhost:8047")
+	for _, want := range []string{
+		"BELOW BOUND",                      // m=2 < sufficient 7
+		"m=2 (sufficient 7)",               //
+		"routed 110 (5.0/s)",               // (100-90)/2s across connect+branch
+		"blocked 3",                        //
+		"p50 100µs",                        //
+		"p90 1.00ms",                       //
+		"in-occ",                           // fabric table header
+		"25.0%",                            // fabric 0 in-occupancy
+		"SLO BURNING",                      //
+		"FIRING (availability)",            //
+		"0af7651916cd43dd8448eb211c80319c", // blocked trace join
+		"/v1/debug/spans?trace=",           //
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q\n---\n%s", want, frame)
+		}
+	}
+}
+
+func TestRenderDashboardHealthyNoBlocking(t *testing.T) {
+	expo := strings.Replace(testExposition, "wdm_blocked_total 3", "wdm_blocked_total 0", 1)
+	expo = strings.Replace(expo, "wdm_fabric_info{model=\"msw\",construction=\"msw\",n=\"16\",k=\"2\",r=\"4\",x=\"1\"} 2",
+		"wdm_fabric_info{model=\"msw\",construction=\"msw\",n=\"16\",k=\"2\",r=\"4\",x=\"1\"} 7", 1)
+	cur := &poll{
+		t:       time.Now(),
+		metrics: parseTestMetrics(t, expo),
+		slo: &slo.Snapshot{
+			Objective: 0.999, LatencyObjective: 0.99, LatencyThresholdUs: 1000,
+			Healthy: true,
+			Windows: []slo.WindowSLI{{Window: "5m", Availability: 1, LatencyOK: 1}},
+			Alerts:  []slo.AlertState{{Name: "fast", Short: "5m", Long: "1h", Threshold: 14.4}},
+		},
+	}
+	frame := renderDashboard(cur, nil, "http://localhost:8047")
+	for _, want := range []string{
+		"AT/ABOVE BOUND",
+		"SLO HEALTHY",
+		"alert fast  (5m && 1h > 14.4): ok",
+		"no blocking events — invariant holding",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q\n---\n%s", want, frame)
+		}
+	}
+}

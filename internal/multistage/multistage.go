@@ -280,6 +280,10 @@ type Network struct {
 	// Stats.
 	routedCount  int64
 	blockedCount int64
+
+	// observer, when set, receives one RouteStep per middle-stage
+	// decision during Add (see observer.go).
+	observer func(RouteStep)
 }
 
 const freeLink = -1

@@ -1,0 +1,132 @@
+package multistage
+
+import (
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// collect installs an observer that appends every RouteStep.
+func collect(net *Network) *[]RouteStep {
+	var steps []RouteStep
+	net.SetRouteObserver(func(s RouteStep) { steps = append(steps, s) })
+	return &steps
+}
+
+func byState(steps []RouteStep) map[MiddleState][]RouteStep {
+	m := map[MiddleState][]RouteStep{}
+	for _, s := range steps {
+		m[s.State] = append(m[s.State], s)
+	}
+	return m
+}
+
+// TestObserverSelectedSteps: a routed connection emits exactly one
+// selected step per middle used, with the served modules and round.
+func TestObserverSelectedSteps(t *testing.T) {
+	net := tinyBlockingNet(t)
+	steps := collect(net)
+	mustAddStr(t, net, "0.0>4.0,8.0")
+
+	if len(*steps) != 1 {
+		t.Fatalf("steps = %+v, want one selected step", *steps)
+	}
+	s := (*steps)[0]
+	if s.State != MiddleSelected || s.Middle != 0 || s.Round != 0 || s.Wave != 0 {
+		t.Fatalf("step = %+v", s)
+	}
+	if len(s.Serves) != 2 {
+		t.Fatalf("Serves = %v, want both output modules", s.Serves)
+	}
+}
+
+// TestObserverNoAvail: when the availability scan finds nothing, every
+// middle gets a rejection step naming why the source cannot reach it.
+func TestObserverNoAvail(t *testing.T) {
+	net := tinyBlockingNet(t)
+	mustAddStr(t, net, "0.0>4.0") // in-link 0->mid0 λ0 now busy
+	steps := collect(net)
+
+	c, _ := wdm.ParseConnection("1.0>8.0")
+	if _, err := net.Add(c); !IsBlocked(err) {
+		t.Fatalf("Add = %v, want blocked", err)
+	}
+	if len(*steps) != 1 {
+		t.Fatalf("steps = %+v, want one rejection per middle", *steps)
+	}
+	s := (*steps)[0]
+	if s.State != MiddleInLinkBusy || s.Middle != 0 || s.Wave != 0 {
+		t.Fatalf("step = %+v, want in-link-busy on middle 0 λ0", s)
+	}
+}
+
+// TestObserverFailedMiddle: out-of-service middles are reported as
+// failed, not as link-busy.
+func TestObserverFailedMiddle(t *testing.T) {
+	net := tinyBlockingNet(t)
+	if err := net.FailMiddle(0); err != nil {
+		t.Fatal(err)
+	}
+	steps := collect(net)
+	c, _ := wdm.ParseConnection("0.0>4.0")
+	if _, err := net.Add(c); !IsBlocked(err) {
+		t.Fatalf("Add = %v, want blocked", err)
+	}
+	if len(*steps) != 1 || (*steps)[0].State != MiddleFailed {
+		t.Fatalf("steps = %+v, want one failed step", *steps)
+	}
+}
+
+// TestObserverLoopBlocked: a multicast that dies in the selection loop
+// emits the selected middles first, then one rejection step per
+// remaining candidate with its uncovered modules.
+func TestObserverLoopBlocked(t *testing.T) {
+	net, err := New(Params{
+		N: 16, K: 2, R: 4, M: 2, X: 1,
+		Model: wdm.MSW, Construction: MSWDominant, Lite: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same setup as TestBlockReportSelectedAndSplitLimit: a λ0 fanout to
+	// modules {1,2} needs two splits, the limit allows one.
+	mustAddStr(t, net, "4.0>8.0")
+	mustAddStr(t, net, "5.0>6.0")
+	steps := collect(net)
+
+	c, _ := wdm.ParseConnection("0.0>5.0,9.0")
+	if _, err := net.Add(c); !IsBlocked(err) {
+		t.Fatalf("Add = %v, want blocked", err)
+	}
+	m := byState(*steps)
+	if len(m[MiddleSelected]) != 1 {
+		t.Fatalf("steps = %+v, want exactly one selected", *steps)
+	}
+	rejections := len(m[MiddleSplitLimit]) + len(m[MiddleOutLinkBusy])
+	if rejections != 1 {
+		t.Fatalf("steps = %+v, want the other middle rejected", *steps)
+	}
+	for _, s := range m[MiddleSplitLimit] {
+		if len(s.Serves) == 0 {
+			t.Fatalf("split-limit step serves nothing: %+v", s)
+		}
+	}
+	for _, s := range m[MiddleOutLinkBusy] {
+		if len(s.Rejected) == 0 {
+			t.Fatalf("out-link-busy step rejects nothing: %+v", s)
+		}
+	}
+}
+
+// TestObserverRemovedAndNilSafe: SetRouteObserver(nil) stops emission;
+// routing keeps working either way.
+func TestObserverRemovedAndNilSafe(t *testing.T) {
+	net := tinyBlockingNet(t)
+	steps := collect(net)
+	mustAddStr(t, net, "0.0>4.0")
+	net.SetRouteObserver(nil)
+	mustAddStr(t, net, "4.0>8.0")
+	if len(*steps) != 1 {
+		t.Fatalf("observer fired %d times, want 1 (removed after first Add)", len(*steps))
+	}
+}

@@ -71,6 +71,7 @@ func (net *Network) Add(c wdm.Connection) (int, error) {
 	// input-stage link can still carry the connection.
 	avail := net.availableMiddles(srcMod, srcWave)
 	if len(avail) == 0 {
+		net.observeNoAvail(int(srcWave))
 		net.blockedCount++
 		return 0, &BlockedError{
 			Detail: fmt.Sprintf("no available middle module from input module %d on λ%d (x=%d)",
@@ -113,12 +114,14 @@ func (net *Network) Add(c wdm.Connection) (int, error) {
 		if len(bestServe) == 0 {
 			break // no available module makes progress
 		}
+		net.observeSelected(used, bestJ, int(srcWave), bestServe)
 		assign[bestJ] = bestServe
 		residual = bestResidual
 		avail = append(avail[:bestIdx], avail[bestIdx+1:]...)
 		used++
 	}
 	if len(residual) > 0 {
+		net.observeLoopBlocked(used, avail, residual, int(lastHopWave))
 		net.blockedCount++
 		return 0, &BlockedError{
 			Detail: fmt.Sprintf("%d destination module(s) uncovered after %d of %d splits (source %v)",

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const exTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+
+// TestExemplarRoundTrip writes a histogram with per-bucket exemplars in
+// OpenMetrics mode and parses it back, asserting the exemplar clause
+// survives: labels, value, and timestamp.
+func TestExemplarRoundTrip(t *testing.T) {
+	var w PromWriter
+	w.SetExemplars(true)
+	ex := []Exemplar{
+		{Labels: []Label{{"trace_id", exTraceID}}, Value: 0.0007, Ts: 1700000000.5},
+		{}, // bucket without an exemplar
+		{Labels: []Label{{"trace_id", strings.Repeat("ab", 16)}}, Value: 0.02},
+		{}, // overflow bucket without an exemplar
+	}
+	w.HistogramE("wdm_op_latency_seconds", "Latency.",
+		[]float64{0.001, 0.01, 0.1}, []int64{5, 3, 1, 2}, 0.456, ex, Label{"op", "connect"})
+
+	var out bytes.Buffer
+	if _, err := w.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(out.String(), "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition missing EOF trailer:\n%s", out.String())
+	}
+
+	m, err := ParseProm(&out)
+	if err != nil {
+		t.Fatalf("ParseProm: %v\nexposition:\n%s", err, w.Bytes())
+	}
+	fam := m["wdm_op_latency_seconds"]
+	if fam == nil {
+		t.Fatal("histogram family missing")
+	}
+	var withEx int
+	for _, s := range fam.Samples {
+		if s.Exemplar == nil {
+			continue
+		}
+		withEx++
+		switch s.Labels["le"] {
+		case "0.001":
+			if s.Exemplar.TraceID() != exTraceID || s.Exemplar.Value != 0.0007 ||
+				!s.Exemplar.HasTs || s.Exemplar.Ts != 1700000000.5 {
+				t.Fatalf("le=0.001 exemplar = %+v", s.Exemplar)
+			}
+		case "0.1":
+			if s.Exemplar.TraceID() != strings.Repeat("ab", 16) || s.Exemplar.HasTs {
+				t.Fatalf("le=0.1 exemplar = %+v", s.Exemplar)
+			}
+		default:
+			t.Fatalf("unexpected exemplar on le=%s", s.Labels["le"])
+		}
+	}
+	if withEx != 2 {
+		t.Fatalf("%d samples carry exemplars, want 2", withEx)
+	}
+}
+
+// TestExemplarsOffByDefault: without SetExemplars the same HistogramE
+// call writes classic 0.0.4 text — no exemplar clause, no EOF trailer.
+func TestExemplarsOffByDefault(t *testing.T) {
+	var w PromWriter
+	ex := []Exemplar{{Labels: []Label{{"trace_id", exTraceID}}, Value: 1}, {}}
+	w.HistogramE("h", "h", []float64{1}, []int64{1, 0}, 1, ex)
+	var out bytes.Buffer
+	if _, err := w.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "#  {") || strings.Contains(out.String(), " # {") || strings.Contains(out.String(), "EOF") {
+		t.Fatalf("classic exposition leaked OpenMetrics syntax:\n%s", out.String())
+	}
+	if _, err := ParseProm(bytes.NewReader(w.Bytes())); err != nil {
+		t.Fatalf("classic exposition does not parse: %v", err)
+	}
+}
+
+// TestExemplarShapePanics documents HistogramE's contract: exemplars,
+// when given, must be one per bucket.
+func TestExemplarShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on exemplars/buckets mismatch")
+		}
+	}()
+	var w PromWriter
+	w.HistogramE("h", "h", []float64{1}, []int64{1, 0}, 1, []Exemplar{{}})
+}
+
+// TestParseRejectsMalformedExemplars: the parser is a validator for the
+// exemplar syntax too, and its errors carry the offending line.
+func TestParseRejectsMalformedExemplars(t *testing.T) {
+	histHeader := "# TYPE h histogram\n"
+	histTail := "h_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n"
+	cases := []struct{ name, text, wantInErr string }{
+		{
+			"exemplar on gauge family",
+			"# TYPE g gauge\ng 1 # {trace_id=\"" + exTraceID + "\"} 1\n",
+			"line 2",
+		},
+		{
+			"exemplar on histogram _count",
+			histHeader + "h_bucket{le=\"+Inf\"} 5\nh_count 5 # {trace_id=\"" + exTraceID + "\"} 1\nh_sum 1\n",
+			"line 3",
+		},
+		{
+			"bad trace id hex",
+			histHeader + "h_bucket{le=\"1\"} 5 # {trace_id=\"XYZ\"} 1\n" + histTail,
+			"trace_id",
+		},
+		{
+			"uppercase trace id",
+			histHeader + "h_bucket{le=\"1\"} 5 # {trace_id=\"" + strings.ToUpper(exTraceID) + "\"} 1\n" + histTail,
+			"trace_id",
+		},
+		{
+			"short trace id",
+			histHeader + "h_bucket{le=\"1\"} 5 # {trace_id=\"abcd\"} 1\n" + histTail,
+			"trace_id",
+		},
+		{
+			"missing label block",
+			histHeader + "h_bucket{le=\"1\"} 5 # 1\n" + histTail,
+			"label block",
+		},
+		{
+			"empty label set",
+			histHeader + "h_bucket{le=\"1\"} 5 # {} 1\n" + histTail,
+			"empty label set",
+		},
+		{
+			"missing value",
+			histHeader + "h_bucket{le=\"1\"} 5 # {trace_id=\"" + exTraceID + "\"}\n" + histTail,
+			"want value",
+		},
+		{
+			"bad exemplar value",
+			histHeader + "h_bucket{le=\"1\"} 5 # {trace_id=\"" + exTraceID + "\"} zap\n" + histTail,
+			"line 2",
+		},
+		{
+			"bad exemplar timestamp",
+			histHeader + "h_bucket{le=\"1\"} 5 # {trace_id=\"" + exTraceID + "\"} 1 zap\n" + histTail,
+			"timestamp",
+		},
+	}
+	for _, tc := range cases {
+		_, err := ParseProm(strings.NewReader(tc.text))
+		if err == nil {
+			t.Errorf("%s: parsed without error:\n%s", tc.name, tc.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), "line ") {
+			t.Errorf("%s: error carries no line position: %v", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.wantInErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantInErr)
+		}
+	}
+}
+
+// TestParseIgnoresEOFTrailer: the OpenMetrics "# EOF" line parses as a
+// plain comment.
+func TestParseIgnoresEOFTrailer(t *testing.T) {
+	if _, err := ParseProm(strings.NewReader("# TYPE g gauge\ng 1\n# EOF\n")); err != nil {
+		t.Fatalf("EOF trailer broke the parse: %v", err)
+	}
+}

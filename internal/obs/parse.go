@@ -17,6 +17,29 @@ type Sample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar holds the sample's OpenMetrics exemplar clause, when
+	// present (histogram _bucket samples only — the parser rejects
+	// exemplars anywhere else).
+	Exemplar *SampleExemplar
+}
+
+// SampleExemplar is one parsed OpenMetrics exemplar:
+// "# {trace_id="..."} value [timestamp]" after a bucket sample.
+type SampleExemplar struct {
+	Labels map[string]string
+	Value  float64
+	// Ts is the exemplar timestamp in unix seconds; HasTs reports
+	// whether one was present.
+	Ts    float64
+	HasTs bool
+}
+
+// TraceID returns the exemplar's trace_id label ("" when absent).
+func (e *SampleExemplar) TraceID() string {
+	if e == nil {
+		return ""
+	}
+	return e.Labels["trace_id"]
 }
 
 // Family is one parsed metric family: the TYPE/HELP header plus every
@@ -60,6 +83,10 @@ func ParseProm(r io.Reader) (Metrics, error) {
 		fam := m.familyFor(s.Name)
 		if fam == nil {
 			return nil, fmt.Errorf("obs: line %d: sample %q has no TYPE header", lineNo, s.Name)
+		}
+		if s.Exemplar != nil && (fam.Type != "histogram" || !strings.HasSuffix(s.Name, "_bucket")) {
+			return nil, fmt.Errorf("obs: line %d: exemplar on %q (%s family %s): exemplars are histogram _bucket only",
+				lineNo, s.Name, fam.Type, fam.Name)
 		}
 		fam.Samples = append(fam.Samples, s)
 	}
@@ -154,6 +181,13 @@ func parseSample(line string) (Sample, error) {
 		}
 		rest = rest[end:]
 	}
+	// An OpenMetrics exemplar clause, when present, follows the value
+	// (and optional timestamp) after " # ". Label values cannot hide a
+	// separator here: the sample's label block was already consumed.
+	var exPart string
+	if i := strings.Index(rest, " # "); i >= 0 {
+		rest, exPart = rest[:i], strings.TrimSpace(rest[i+3:])
+	}
 	fields := strings.Fields(rest)
 	if len(fields) != 1 && len(fields) != 2 { // optional timestamp
 		return s, fmt.Errorf("malformed sample %q", line)
@@ -163,7 +197,62 @@ func parseSample(line string) (Sample, error) {
 		return s, fmt.Errorf("sample %q: %w", line, err)
 	}
 	s.Value = v
+	if exPart != "" {
+		ex, err := parseExemplar(exPart)
+		if err != nil {
+			return s, fmt.Errorf("sample %q: %w", line, err)
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses the clause after "# ": a label block, a value,
+// and an optional timestamp. A trace_id label must be 32 lowercase hex
+// characters — a malformed reference is worse than none.
+func parseExemplar(in string) (*SampleExemplar, error) {
+	if !strings.HasPrefix(in, "{") {
+		return nil, fmt.Errorf("exemplar %q: want label block", in)
+	}
+	ex := &SampleExemplar{Labels: map[string]string{}}
+	end, err := parseLabels(in, ex.Labels)
+	if err != nil {
+		return nil, fmt.Errorf("exemplar %q: %w", in, err)
+	}
+	if len(ex.Labels) == 0 {
+		return nil, fmt.Errorf("exemplar %q: empty label set", in)
+	}
+	if tid, ok := ex.Labels["trace_id"]; ok && !validTraceIDHex(tid) {
+		return nil, fmt.Errorf("exemplar %q: trace_id %q is not 32 lowercase hex chars", in, tid)
+	}
+	fields := strings.Fields(in[end:])
+	if len(fields) != 1 && len(fields) != 2 {
+		return nil, fmt.Errorf("exemplar %q: want value [timestamp]", in)
+	}
+	if ex.Value, err = parseValue(fields[0]); err != nil {
+		return nil, fmt.Errorf("exemplar %q: %w", in, err)
+	}
+	if len(fields) == 2 {
+		if ex.Ts, err = parseValue(fields[1]); err != nil {
+			return nil, fmt.Errorf("exemplar %q: timestamp: %w", in, err)
+		}
+		ex.HasTs = true
+	}
+	return ex, nil
+}
+
+// validTraceIDHex reports whether s is a 32-char lowercase hex W3C
+// trace id.
+func validTraceIDHex(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // parseLabels consumes a {name="value",...} block starting at in[0] == '{'

@@ -21,6 +21,11 @@ import (
 // with the format this package writes.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// ContentTypeOpenMetrics is served when the exposition carries
+// exemplars (OpenMetrics syntax; classic 0.0.4 parsers reject the
+// trailing "# {...}" exemplar clause, so exemplars are opt-in).
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
 // Label is one label name/value pair on a sample.
 type Label struct {
 	Name, Value string
@@ -33,9 +38,32 @@ type Label struct {
 // this package's parser but rejected by real Prometheus scrapers).
 // The zero value is ready to use.
 type PromWriter struct {
-	buf  bytes.Buffer
-	seen map[string]bool
+	buf       bytes.Buffer
+	seen      map[string]bool
+	exemplars bool
 }
+
+// Exemplar references a recent concrete observation — typically by
+// trace id — from a histogram bucket, in OpenMetrics exemplar syntax:
+//
+//	name_bucket{le="0.001"} 5 # {trace_id="4bf9..."} 0.00042 1e9
+//
+// The zero Exemplar is "none".
+type Exemplar struct {
+	// Labels identify the referenced observation (conventionally a
+	// single trace_id label).
+	Labels []Label
+	// Value is the referenced observation's value.
+	Value float64
+	// Ts is the observation's unix timestamp in seconds; 0 omits it.
+	Ts float64
+}
+
+// SetExemplars switches the writer into OpenMetrics mode: histogram
+// bucket samples written through HistogramE carry their exemplars and
+// Bytes/WriteTo append the OpenMetrics "# EOF" trailer. Off by default
+// — classic 0.0.4 scrapers reject exemplar clauses.
+func (w *PromWriter) SetExemplars(on bool) { w.exemplars = on }
 
 // Counter writes one sample of a counter family.
 func (w *PromWriter) Counter(name, help string, v float64, labels ...Label) {
@@ -57,17 +85,36 @@ func (w *PromWriter) Gauge(name, help string, v float64, labels ...Label) {
 // observations above the largest bound. sum is the sum of all observed
 // values. labels are attached to every sample of the series.
 func (w *PromWriter) Histogram(name, help string, bounds []float64, counts []int64, sum float64, labels ...Label) {
+	w.HistogramE(name, help, bounds, counts, sum, nil, labels...)
+}
+
+// HistogramE is Histogram with per-bucket exemplars: exemplars, when
+// non-nil, must be one per count (len(bounds)+1, the last for the
+// overflow bucket); zero-value entries mean "no exemplar". Exemplars
+// are emitted only in OpenMetrics mode (SetExemplars) — otherwise
+// HistogramE degrades to Histogram, so one assembly path serves both
+// content types.
+func (w *PromWriter) HistogramE(name, help string, bounds []float64, counts []int64, sum float64, exemplars []Exemplar, labels ...Label) {
 	if len(counts) != len(bounds)+1 {
 		panic(fmt.Sprintf("obs: histogram %s: %d counts for %d bounds (want bounds+1)", name, len(counts), len(bounds)))
 	}
+	if exemplars != nil && len(exemplars) != len(counts) {
+		panic(fmt.Sprintf("obs: histogram %s: %d exemplars for %d buckets (want one per bucket)", name, len(exemplars), len(counts)))
+	}
 	w.header(name, help, "histogram")
+	exemplar := func(i int) *Exemplar {
+		if !w.exemplars || exemplars == nil || len(exemplars[i].Labels) == 0 {
+			return nil
+		}
+		return &exemplars[i]
+	}
 	var cum int64
 	for i, ub := range bounds {
 		cum += counts[i]
-		w.sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatFloat(ub)}), float64(cum))
+		w.sampleE(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", formatFloat(ub)}), float64(cum), exemplar(i))
 	}
 	cum += counts[len(bounds)]
-	w.sample(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(cum))
+	w.sampleE(name+"_bucket", append(labels[:len(labels):len(labels)], Label{"le", "+Inf"}), float64(cum), exemplar(len(bounds)))
 	w.sample(name+"_sum", labels, sum)
 	w.sample(name+"_count", labels, float64(cum))
 }
@@ -87,31 +134,58 @@ func (w *PromWriter) header(name, help, typ string) {
 
 // sample emits one "name{labels} value" line.
 func (w *PromWriter) sample(name string, labels []Label, v float64) {
+	w.sampleE(name, labels, v, nil)
+}
+
+// sampleE emits one sample line, with an OpenMetrics exemplar clause
+// appended when ex is non-nil.
+func (w *PromWriter) sampleE(name string, labels []Label, v float64, ex *Exemplar) {
 	w.buf.WriteString(name)
-	if len(labels) > 0 {
-		w.buf.WriteByte('{')
-		for i, l := range labels {
-			if i > 0 {
-				w.buf.WriteByte(',')
-			}
-			// %q escapes exactly what the exposition format requires of
-			// a label value: backslash, double quote, newline.
-			fmt.Fprintf(&w.buf, "%s=%q", l.Name, l.Value)
-		}
-		w.buf.WriteByte('}')
-	}
+	w.writeLabels(labels)
 	w.buf.WriteByte(' ')
 	w.buf.WriteString(formatFloat(v))
+	if ex != nil {
+		w.buf.WriteString(" # ")
+		w.writeLabels(ex.Labels)
+		w.buf.WriteByte(' ')
+		w.buf.WriteString(formatFloat(ex.Value))
+		if ex.Ts != 0 {
+			w.buf.WriteByte(' ')
+			w.buf.WriteString(formatFloat(ex.Ts))
+		}
+	}
 	w.buf.WriteByte('\n')
 }
 
-// Bytes returns the exposition accumulated so far.
+func (w *PromWriter) writeLabels(labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	w.buf.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			w.buf.WriteByte(',')
+		}
+		// %q escapes exactly what the exposition format requires of
+		// a label value: backslash, double quote, newline.
+		fmt.Fprintf(&w.buf, "%s=%q", l.Name, l.Value)
+	}
+	w.buf.WriteByte('}')
+}
+
+// Bytes returns the exposition accumulated so far (without the
+// OpenMetrics EOF trailer — see WriteTo).
 func (w *PromWriter) Bytes() []byte { return w.buf.Bytes() }
 
-// WriteTo writes the exposition to wr.
+// WriteTo writes the exposition to wr. In OpenMetrics mode
+// (SetExemplars) the mandatory "# EOF" trailer is appended.
 func (w *PromWriter) WriteTo(wr io.Writer) (int64, error) {
 	n, err := wr.Write(w.buf.Bytes())
-	return int64(n), err
+	if err != nil || !w.exemplars {
+		return int64(n), err
+	}
+	n2, err := io.WriteString(wr, "# EOF\n")
+	return int64(n + n2), err
 }
 
 // formatFloat renders a sample value or le bound the way Prometheus

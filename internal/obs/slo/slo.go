@@ -1,0 +1,261 @@
+// Package slo computes serving SLIs and multi-window burn-rate alerts
+// over the switchd request stream, stdlib-only.
+//
+// Two SLIs are tracked, both per routing operation (Connect and
+// AddBranch — the requests the theorems speak about):
+//
+//   - availability: 1 − P_block, good = the fabric routed the request.
+//     At or above the Theorem 1/2 sufficient bound this SLI is exactly
+//     1.0 forever — the paper's claim as a service objective.
+//   - latency: the fraction of requests whose fabric operation finished
+//     under the configured threshold.
+//
+// Burn rate is the standard SRE quantity: the error rate of a sliding
+// window divided by the objective's error budget (1 − objective). Burn
+// 1.0 spends the budget exactly at the sustainable pace; burn 14.4 over
+// an hour spends a 30-day budget in ~2 days. Alerts pair a long and a
+// short window so they are both fast and unflappable: the fast pair
+// (5m && 1h over threshold 14.4) catches sudden budget bleed, the slow
+// pair (6h && 3d over threshold 1) catches sustained low-grade bleed.
+//
+// The engine is a fixed ring of per-resolution-step counters, so memory
+// is bounded by longest-window/resolution regardless of traffic.
+package slo
+
+import (
+	"sync"
+	"time"
+)
+
+// Window is one sliding window's configuration.
+type Window struct {
+	Name string        // e.g. "5m"
+	D    time.Duration // width
+}
+
+// Alert pairs a long and a short window with a burn threshold: it fires
+// while BOTH windows burn above the threshold (the long window carries
+// the evidence, the short window clears quickly once the cause stops).
+type Alert struct {
+	Name        string // "fast" | "slow"
+	Short, Long string // window names
+	Threshold   float64
+}
+
+// Config parameterizes an Engine. The zero value gives the standard
+// multiwindow setup: availability objective 99.9%, latency objective
+// 99% under 1ms, windows 5m/1h/6h/3d, fast alert 5m+1h@14.4, slow
+// alert 6h+3d@1.
+type Config struct {
+	// Objective is the availability target in (0,1) (0 = 0.999).
+	Objective float64
+	// LatencyObjective is the under-threshold fraction target (0 = 0.99).
+	LatencyObjective float64
+	// LatencyThreshold is the per-operation latency bound the latency
+	// SLI counts against (0 = 1ms).
+	LatencyThreshold time.Duration
+	// Resolution is the counter bucket width (0 = 10s). Windows are
+	// quantized to it.
+	Resolution time.Duration
+	// Windows are the sliding windows to track (nil = 5m, 1h, 6h, 3d).
+	Windows []Window
+	// Alerts are the multiwindow burn alerts (nil = fast 5m/1h@14.4,
+	// slow 6h/3d@1). Window names must exist in Windows.
+	Alerts []Alert
+	// Now is the clock (nil = time.Now) — injectable for tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Objective == 0 {
+		c.Objective = 0.999
+	}
+	if c.LatencyObjective == 0 {
+		c.LatencyObjective = 0.99
+	}
+	if c.LatencyThreshold == 0 {
+		c.LatencyThreshold = time.Millisecond
+	}
+	if c.Resolution == 0 {
+		c.Resolution = 10 * time.Second
+	}
+	if c.Windows == nil {
+		c.Windows = []Window{
+			{"5m", 5 * time.Minute},
+			{"1h", time.Hour},
+			{"6h", 6 * time.Hour},
+			{"3d", 72 * time.Hour},
+		}
+	}
+	if c.Alerts == nil {
+		c.Alerts = []Alert{
+			{Name: "fast", Short: "5m", Long: "1h", Threshold: 14.4},
+			{Name: "slow", Short: "6h", Long: "3d", Threshold: 1},
+		}
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// bucket is one resolution step's counters.
+type bucket struct {
+	step  int64 // unix time / resolution; -1 = never used
+	total int64
+	bad   int64 // blocked requests
+	slow  int64 // requests over the latency threshold
+}
+
+// Engine accumulates request outcomes and serves sliding-window SLI
+// snapshots. Safe for concurrent use.
+type Engine struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ring []bucket
+}
+
+// New builds an engine from cfg (zero value ok).
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	longest := time.Duration(0)
+	for _, w := range cfg.Windows {
+		if w.D > longest {
+			longest = w.D
+		}
+	}
+	n := int(longest/cfg.Resolution) + 1
+	if n < 2 {
+		n = 2
+	}
+	e := &Engine{cfg: cfg, ring: make([]bucket, n)}
+	for i := range e.ring {
+		e.ring[i].step = -1
+	}
+	return e
+}
+
+// Config returns the engine's normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Record adds one routing-operation outcome: good reports whether the
+// fabric routed it (false = blocked), d the fabric operation latency.
+func (e *Engine) Record(good bool, d time.Duration) {
+	step := e.cfg.Now().UnixNano() / int64(e.cfg.Resolution)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b := &e.ring[int(step%int64(len(e.ring)))]
+	if b.step != step {
+		*b = bucket{step: step}
+	}
+	b.total++
+	if !good {
+		b.bad++
+	}
+	if d > e.cfg.LatencyThreshold {
+		b.slow++
+	}
+}
+
+// WindowSLI is one window's slice of a Snapshot.
+type WindowSLI struct {
+	Window string `json:"window"`
+	Total  int64  `json:"total"`
+	Bad    int64  `json:"bad"`
+	Slow   int64  `json:"slow"`
+	// Availability is 1 − bad/total (1.0 with no traffic: an idle
+	// service has spent no budget).
+	Availability float64 `json:"availability"`
+	// LatencyOK is 1 − slow/total.
+	LatencyOK float64 `json:"latency_ok"`
+	// Burn rates: window error rate over the objective's error budget.
+	AvailabilityBurn float64 `json:"availability_burn"`
+	LatencyBurn      float64 `json:"latency_burn"`
+}
+
+// AlertState is one multiwindow alert's evaluation.
+type AlertState struct {
+	Name      string  `json:"name"`
+	Short     string  `json:"short_window"`
+	Long      string  `json:"long_window"`
+	Threshold float64 `json:"threshold"`
+	// Firing reports whether BOTH windows burn above the threshold, per
+	// SLI.
+	AvailabilityFiring bool `json:"availability_firing"`
+	LatencyFiring      bool `json:"latency_firing"`
+}
+
+// Snapshot is the engine's full state, served at GET /v1/slo.
+type Snapshot struct {
+	Objective          float64 `json:"objective"`
+	LatencyObjective   float64 `json:"latency_objective"`
+	LatencyThresholdUs float64 `json:"latency_threshold_us"`
+	// Healthy is true while no alert fires on any SLI.
+	Healthy bool         `json:"healthy"`
+	Windows []WindowSLI  `json:"windows"`
+	Alerts  []AlertState `json:"alerts"`
+}
+
+// Snapshot evaluates every window and alert at the current clock.
+func (e *Engine) Snapshot() Snapshot {
+	now := e.cfg.Now().UnixNano()
+	nowStep := now / int64(e.cfg.Resolution)
+
+	type agg struct{ total, bad, slow int64 }
+	sums := make([]agg, len(e.cfg.Windows))
+	e.mu.Lock()
+	for i := range e.ring {
+		b := &e.ring[i]
+		if b.step < 0 {
+			continue
+		}
+		age := nowStep - b.step
+		if age < 0 {
+			continue
+		}
+		for wi, w := range e.cfg.Windows {
+			steps := int64(w.D / e.cfg.Resolution)
+			if steps < 1 {
+				steps = 1
+			}
+			if age < steps {
+				sums[wi].total += b.total
+				sums[wi].bad += b.bad
+				sums[wi].slow += b.slow
+			}
+		}
+	}
+	e.mu.Unlock()
+
+	snap := Snapshot{
+		Objective:          e.cfg.Objective,
+		LatencyObjective:   e.cfg.LatencyObjective,
+		LatencyThresholdUs: float64(e.cfg.LatencyThreshold.Nanoseconds()) / 1e3,
+		Healthy:            true,
+	}
+	byName := make(map[string]WindowSLI, len(e.cfg.Windows))
+	for wi, w := range e.cfg.Windows {
+		s := WindowSLI{Window: w.Name, Total: sums[wi].total, Bad: sums[wi].bad, Slow: sums[wi].slow,
+			Availability: 1, LatencyOK: 1}
+		if s.Total > 0 {
+			s.Availability = 1 - float64(s.Bad)/float64(s.Total)
+			s.LatencyOK = 1 - float64(s.Slow)/float64(s.Total)
+			s.AvailabilityBurn = (1 - s.Availability) / (1 - e.cfg.Objective)
+			s.LatencyBurn = (1 - s.LatencyOK) / (1 - e.cfg.LatencyObjective)
+		}
+		snap.Windows = append(snap.Windows, s)
+		byName[w.Name] = s
+	}
+	for _, a := range e.cfg.Alerts {
+		st := AlertState{Name: a.Name, Short: a.Short, Long: a.Long, Threshold: a.Threshold}
+		sh, long := byName[a.Short], byName[a.Long]
+		st.AvailabilityFiring = sh.AvailabilityBurn > a.Threshold && long.AvailabilityBurn > a.Threshold
+		st.LatencyFiring = sh.LatencyBurn > a.Threshold && long.LatencyBurn > a.Threshold
+		if st.AvailabilityFiring || st.LatencyFiring {
+			snap.Healthy = false
+		}
+		snap.Alerts = append(snap.Alerts, st)
+	}
+	return snap
+}

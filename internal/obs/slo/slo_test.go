@@ -1,0 +1,264 @@
+package slo
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, advanceable clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func window(t *testing.T, s Snapshot, name string) WindowSLI {
+	t.Helper()
+	for _, w := range s.Windows {
+		if w.Window == name {
+			return w
+		}
+	}
+	t.Fatalf("snapshot has no window %q", name)
+	return WindowSLI{}
+}
+
+func alert(t *testing.T, s Snapshot, name string) AlertState {
+	t.Helper()
+	for _, a := range s.Alerts {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("snapshot has no alert %q", name)
+	return AlertState{}
+}
+
+// TestIdleIsHealthy: with no traffic, availability is 1.0 everywhere,
+// burn is zero, and nothing fires — the at-bound acceptance shape.
+func TestIdleIsHealthy(t *testing.T) {
+	e := New(Config{Now: newFakeClock().Now})
+	s := e.Snapshot()
+	if !s.Healthy {
+		t.Fatal("idle engine unhealthy")
+	}
+	for _, w := range s.Windows {
+		if w.Availability != 1 || w.LatencyOK != 1 || w.AvailabilityBurn != 0 || w.LatencyBurn != 0 {
+			t.Fatalf("idle window %+v", w)
+		}
+	}
+	for _, a := range s.Alerts {
+		if a.AvailabilityFiring || a.LatencyFiring {
+			t.Fatalf("idle alert fires: %+v", a)
+		}
+	}
+}
+
+// TestAllGoodStaysPerfect: routed-only traffic keeps availability at
+// exactly 1.0 and burn at exactly 0 — the paper's nonblocking claim as
+// an SLO.
+func TestAllGoodStaysPerfect(t *testing.T) {
+	clk := newFakeClock()
+	e := New(Config{Now: clk.Now})
+	for i := 0; i < 5000; i++ {
+		e.Record(true, 100*time.Microsecond)
+		if i%100 == 0 {
+			clk.Advance(time.Second)
+		}
+	}
+	s := e.Snapshot()
+	if !s.Healthy {
+		t.Fatal("all-good traffic unhealthy")
+	}
+	w := window(t, s, "5m")
+	if w.Total == 0 || w.Bad != 0 || w.Availability != 1 || w.AvailabilityBurn != 0 {
+		t.Fatalf("5m window %+v", w)
+	}
+}
+
+// TestBurnMath: 1% blocked against a 99.9% objective is burn 10.
+func TestBurnMath(t *testing.T) {
+	clk := newFakeClock()
+	e := New(Config{Now: clk.Now})
+	for i := 0; i < 1000; i++ {
+		e.Record(i%100 != 0, 100*time.Microsecond)
+	}
+	w := window(t, e.Snapshot(), "5m")
+	if w.Bad != 10 {
+		t.Fatalf("bad = %d, want 10", w.Bad)
+	}
+	if got, want := w.AvailabilityBurn, 10.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("burn = %g, want %g", got, want)
+	}
+	if got, want := w.Availability, 0.99; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("availability = %g, want %g", got, want)
+	}
+}
+
+// TestFastAlertNeedsBothWindows: a short blip trips the 5m window but
+// not the 1h window once it is diluted — the alert must not fire on the
+// short window alone, and must fire while both burn.
+func TestFastAlertNeedsBothWindows(t *testing.T) {
+	clk := newFakeClock()
+	e := New(Config{Now: clk.Now})
+
+	// 30% blocked for a burst: both 5m and 1h see burn 300 >> 14.4.
+	for i := 0; i < 1000; i++ {
+		e.Record(i%10 >= 3, time.Microsecond)
+	}
+	s := e.Snapshot()
+	if a := alert(t, s, "fast"); !a.AvailabilityFiring {
+		t.Fatalf("fast alert quiet during burst: %+v", a)
+	}
+	if s.Healthy {
+		t.Fatal("snapshot healthy during burst")
+	}
+
+	// 10 minutes later the burst has left the 5m window; the 1h window
+	// still burns, so the paired alert clears.
+	clk.Advance(10 * time.Minute)
+	for i := 0; i < 1000; i++ {
+		e.Record(true, time.Microsecond)
+	}
+	s = e.Snapshot()
+	if w := window(t, s, "5m"); w.AvailabilityBurn != 0 {
+		t.Fatalf("5m burn %g after recovery, want 0", w.AvailabilityBurn)
+	}
+	if w := window(t, s, "1h"); w.AvailabilityBurn <= 14.4 {
+		t.Fatalf("1h burn %g, want the burst still visible", w.AvailabilityBurn)
+	}
+	if a := alert(t, s, "fast"); a.AvailabilityFiring {
+		t.Fatalf("fast alert still firing after short window cleared: %+v", a)
+	}
+}
+
+// TestLatencySLIIndependent: slow-but-routed traffic burns the latency
+// budget without touching availability.
+func TestLatencySLIIndependent(t *testing.T) {
+	clk := newFakeClock()
+	e := New(Config{LatencyThreshold: 500 * time.Microsecond, Now: clk.Now})
+	for i := 0; i < 100; i++ {
+		e.Record(true, 2*time.Millisecond) // routed, but slow
+	}
+	s := e.Snapshot()
+	w := window(t, s, "5m")
+	if w.Availability != 1 || w.AvailabilityBurn != 0 {
+		t.Fatalf("slow traffic burned availability: %+v", w)
+	}
+	if w.LatencyOK != 0 || w.LatencyBurn < 100-1e-9 || w.LatencyBurn > 100+1e-9 {
+		t.Fatalf("latency SLI = %+v, want latency_ok 0 burn ~100", w)
+	}
+	if a := alert(t, s, "fast"); !a.LatencyFiring || a.AvailabilityFiring {
+		t.Fatalf("fast alert = %+v, want latency-only", a)
+	}
+}
+
+// TestWindowExpiry: counts age out of each window at its own width.
+func TestWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	e := New(Config{Now: clk.Now})
+	for i := 0; i < 100; i++ {
+		e.Record(false, time.Microsecond)
+	}
+
+	clk.Advance(6 * time.Minute)
+	s := e.Snapshot()
+	if w := window(t, s, "5m"); w.Total != 0 {
+		t.Fatalf("5m window still holds %d after 6m", w.Total)
+	}
+	if w := window(t, s, "1h"); w.Total != 100 {
+		t.Fatalf("1h window holds %d after 6m, want 100", w.Total)
+	}
+
+	clk.Advance(73 * time.Hour)
+	s = e.Snapshot()
+	if w := window(t, s, "3d"); w.Total != 0 {
+		t.Fatalf("3d window still holds %d after 73h", w.Total)
+	}
+	if !s.Healthy {
+		t.Fatal("fully aged-out engine unhealthy")
+	}
+}
+
+// TestRingReuse: writing for longer than the longest window must not
+// resurrect stale buckets (ring slots are reused by step identity).
+func TestRingReuse(t *testing.T) {
+	clk := newFakeClock()
+	e := New(Config{
+		Resolution: time.Second,
+		Windows:    []Window{{"short", 5 * time.Second}, {"long", 20 * time.Second}},
+		Alerts:     []Alert{{Name: "a", Short: "short", Long: "long", Threshold: 1}},
+		Now:        clk.Now,
+	})
+	// Bad traffic first, then > ring-length of good traffic.
+	e.Record(false, time.Microsecond)
+	for i := 0; i < 60; i++ {
+		clk.Advance(time.Second)
+		e.Record(true, time.Microsecond)
+	}
+	s := e.Snapshot()
+	if w := window(t, s, "long"); w.Bad != 0 {
+		t.Fatalf("stale bad count resurrected: %+v", w)
+	}
+	if !s.Healthy {
+		t.Fatal("engine unhealthy after full ring turnover of good traffic")
+	}
+}
+
+// TestSnapshotJSON: the wire shape served at /v1/slo round-trips.
+func TestSnapshotJSON(t *testing.T) {
+	e := New(Config{Now: newFakeClock().Now})
+	e.Record(false, 2*time.Millisecond)
+	b, err := json.Marshal(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Objective != 0.999 || len(got.Windows) != 4 || len(got.Alerts) != 2 {
+		t.Fatalf("round-tripped snapshot = %+v", got)
+	}
+}
+
+// TestConcurrentRecord: Record and Snapshot race-free under load (run
+// with -race).
+func TestConcurrentRecord(t *testing.T) {
+	clk := newFakeClock()
+	e := New(Config{Now: clk.Now})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Record(i%50 != 0, time.Duration(i)*time.Microsecond)
+				if i%100 == 0 {
+					_ = e.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if w := window(t, e.Snapshot(), "3d"); w.Total != 8000 {
+		t.Fatalf("total = %d, want 8000", w.Total)
+	}
+}

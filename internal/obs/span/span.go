@@ -1,0 +1,314 @@
+// Package span is a stdlib-only distributed-tracing toolkit for the
+// serving path: W3C traceparent-compatible trace ids, nested spans
+// propagated through context.Context, and a lock-sharded ring buffer of
+// completed traces with tail sampling.
+//
+// The paper's nonblocking guarantee is a per-request claim — "blocked
+// == 0 at the sufficient bound" is about every individual Connect and
+// AddBranch, not an aggregate. Metrics alone cannot answer "where did
+// THIS request's latency go" or "which middle modules did THIS blocked
+// request try"; spans can. Every serving request gets a trace: the HTTP
+// handler opens the root span, the controller nests session and fabric
+// operation spans under it, and the multistage router reports each
+// middle-switch attempt as a leaf span. Completed traces land in the
+// Tracer's ring (served at GET /v1/debug/spans) and may be exported as
+// JSON lines.
+//
+// Sampling is tail-based: the keep/drop decision is taken when the root
+// span ends, so a trace that turned out to be blocked, errored, or slow
+// is always kept (those are exactly the traces worth a post-mortem) and
+// only routine fast successes are down-sampled.
+package span
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace id.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C span (parent) id.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// NewTraceID returns a random non-zero trace id.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		putUint64(t[:8], rand.Uint64())
+		putUint64(t[8:], rand.Uint64())
+	}
+	return t
+}
+
+// NewSpanID returns a random non-zero span id.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		putUint64(s[:], rand.Uint64())
+	}
+	return s
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (56 - 8*i))
+	}
+}
+
+// FlagSampled is the traceparent sampled flag (trace-flags bit 0).
+const FlagSampled byte = 0x01
+
+// FormatTraceparent renders a W3C traceparent header value
+// (version 00): "00-<trace-id>-<parent-id>-<flags>".
+func FormatTraceparent(t TraceID, s SpanID, flags byte) string {
+	return fmt.Sprintf("00-%s-%s-%02x", t, s, flags)
+}
+
+// ParseTraceparent parses a version-00 W3C traceparent header value. It
+// rejects malformed versions, lengths, non-hex ids, and the all-zero
+// trace and span ids the spec forbids.
+func ParseTraceparent(h string) (TraceID, SpanID, byte, error) {
+	var t TraceID
+	var s SpanID
+	// 2 (version) + 1 + 32 (trace id) + 1 + 16 (parent id) + 1 + 2 (flags)
+	if len(h) != 55 {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: want 55 chars, have %d", h, len(h))
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: bad field separators", h)
+	}
+	if h[:2] == "ff" {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: version ff is invalid", h)
+	}
+	if _, err := hex.Decode(make([]byte, 1), []byte(h[:2])); err != nil {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: bad version: %w", h, err)
+	}
+	if _, err := hex.Decode(t[:], []byte(h[3:35])); err != nil {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: bad trace id: %w", h, err)
+	}
+	if _, err := hex.Decode(s[:], []byte(h[36:52])); err != nil {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: bad parent id: %w", h, err)
+	}
+	var fb [1]byte
+	if _, err := hex.Decode(fb[:], []byte(h[53:55])); err != nil {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: bad flags: %w", h, err)
+	}
+	if t.IsZero() {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: all-zero trace id", h)
+	}
+	if s.IsZero() {
+		return t, s, 0, fmt.Errorf("span: traceparent %q: all-zero parent id", h)
+	}
+	return t, s, fb[0], nil
+}
+
+// Status values of a finished span.
+const (
+	StatusOK      = "ok"
+	StatusError   = "error"
+	StatusBlocked = "blocked"
+)
+
+// Attr is one structured span attribute.
+type Attr struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"`
+}
+
+// SpanRecord is one finished span as kept in a TraceRecord.
+type SpanRecord struct {
+	SpanID     string    `json:"span_id"`
+	Parent     string    `json:"parent_span_id,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	Status     string    `json:"status"`
+	Detail     string    `json:"detail,omitempty"`
+	Attrs      []Attr    `json:"attrs,omitempty"`
+}
+
+// TraceRecord is one completed trace: the root span plus every nested
+// span it accumulated, as served at /v1/debug/spans and written to the
+// span log.
+type TraceRecord struct {
+	TraceID string `json:"trace_id"`
+	// Root is the root span's name; Start/DurationNs are the root
+	// span's.
+	Root       string    `json:"root"`
+	Start      time.Time `json:"start"`
+	DurationNs int64     `json:"duration_ns"`
+	// Blocked/Error summarize span statuses across the whole trace.
+	Blocked bool         `json:"blocked"`
+	Error   bool         `json:"error"`
+	Spans   []SpanRecord `json:"spans"`
+}
+
+// traceRec accumulates a trace in flight. Spans of one request usually
+// finish on one goroutine, but the mutex makes cross-goroutine fan-out
+// safe too.
+type traceRec struct {
+	tracer  *Tracer
+	traceID TraceID
+	mu      sync.Mutex
+	rec     TraceRecord
+}
+
+// Span is one live span. The zero/nil Span is inactive: every method is
+// a cheap no-op, so call sites never branch on "is tracing on".
+type Span struct {
+	rec    *traceRec
+	name   string
+	id     SpanID
+	parent SpanID
+	start  time.Time
+	status string
+	detail string
+	attrs  []Attr
+	root   bool
+	ended  bool
+}
+
+// Active reports whether the span records anything.
+func (s *Span) Active() bool { return s != nil && s.rec != nil }
+
+// TraceID returns the hex trace id, or "" for an inactive span.
+func (s *Span) TraceID() string {
+	if !s.Active() {
+		return ""
+	}
+	return s.rec.traceID.String()
+}
+
+// Traceparent renders the span's W3C traceparent value (the span as
+// parent), or "" for an inactive span.
+func (s *Span) Traceparent() string {
+	if !s.Active() {
+		return ""
+	}
+	return FormatTraceparent(s.rec.traceID, s.id, FlagSampled)
+}
+
+// SetAttr attaches one structured attribute.
+func (s *Span) SetAttr(key string, value any) {
+	if !s.Active() {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+}
+
+// SetError marks the span errored with the given detail.
+func (s *Span) SetError(detail string) {
+	if !s.Active() {
+		return
+	}
+	s.status = StatusError
+	s.detail = detail
+}
+
+// SetBlocked marks the span blocked — the status tail sampling always
+// keeps — with the given detail.
+func (s *Span) SetBlocked(detail string) {
+	if !s.Active() {
+		return
+	}
+	s.status = StatusBlocked
+	s.detail = detail
+}
+
+// StartChild opens a nested span under s. For an inactive s the child
+// is inactive too.
+func (s *Span) StartChild(name string) *Span {
+	if !s.Active() {
+		return nil
+	}
+	return &Span{
+		rec:    s.rec,
+		name:   name,
+		id:     NewSpanID(),
+		parent: s.id,
+		start:  time.Now(),
+		status: StatusOK,
+	}
+}
+
+// End finishes the span, appending its record to the trace. Ending the
+// root span completes the trace: the tracer takes its tail-sampling
+// decision and, if kept, the trace enters the ring buffer and span log.
+// End is idempotent.
+func (s *Span) End() {
+	if !s.Active() || s.ended {
+		return
+	}
+	s.ended = true
+	sr := SpanRecord{
+		SpanID:     s.id.String(),
+		Name:       s.name,
+		Start:      s.start,
+		DurationNs: time.Since(s.start).Nanoseconds(),
+		Status:     s.status,
+		Detail:     s.detail,
+		Attrs:      s.attrs,
+	}
+	if !s.parent.IsZero() {
+		sr.Parent = s.parent.String()
+	}
+	r := s.rec
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rec.Spans = append(r.rec.Spans, sr)
+	switch s.status {
+	case StatusBlocked:
+		r.rec.Blocked = true
+	case StatusError:
+		r.rec.Error = true
+	}
+	if s.root {
+		r.rec.Root = s.name
+		r.rec.Start = s.start
+		r.rec.DurationNs = sr.DurationNs
+		r.tracer.finish(&r.rec)
+	}
+}
+
+type ctxKey int
+
+const spanKey ctxKey = iota
+
+// FromContext returns the active span carried by ctx, or nil (an
+// inactive span — all methods still safe).
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// ContextWith returns ctx carrying s.
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// Start opens a child span under the span carried by ctx and returns
+// the derived context carrying the child. Without an active span in ctx
+// it returns ctx unchanged and an inactive span — tracing-off call
+// sites pay two pointer reads.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if !parent.Active() {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	return ContextWith(ctx, child), child
+}

@@ -28,10 +28,13 @@ import (
 type BlockIncident struct {
 	// Seq numbers incidents monotonically from 1; the ring holds the
 	// highest Seq values.
-	Seq     int64                   `json:"seq"`
-	Time    time.Time               `json:"time"`
-	Op      string                  `json:"op"` // connect | branch
-	Fabric  int                     `json:"fabric"`
+	Seq    int64     `json:"seq"`
+	Time   time.Time `json:"time"`
+	Op     string    `json:"op"` // connect | branch
+	Fabric int       `json:"fabric"`
+	// TraceID joins the incident to its trace at /v1/debug/spans (empty
+	// for untraced requests).
+	TraceID string                  `json:"trace_id,omitempty"`
 	Session uint64                  `json:"session,omitempty"` // for branch: the session that failed to grow
 	Conn    string                  `json:"connection"`
 	Error   string                  `json:"error"`

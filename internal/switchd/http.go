@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/wdm"
 )
 
@@ -25,9 +26,16 @@ import (
 //	GET  /v1/status
 //	GET  /v1/metrics        (JSON snapshot)
 //	GET  /metrics           (Prometheus text exposition of the same counters)
+//	GET  /v1/slo            (sliding-window SLIs and burn-rate alerts)
 //	GET  /v1/debug/blocking (forensics ring buffer: recent blocking incidents)
+//	GET  /v1/debug/spans    (tail-sampled completed traces; ?blocked=1, ?trace=ID, ?limit=N)
 //	GET  /v1/debug/trace    (?fabric=N; replayable serving history, needs Config.CaptureTrace)
 //	GET  /debug/vars        (standard expvar, includes the published registry)
+//
+// Every serving request runs under a span (see internal/obs/span): an
+// inbound W3C traceparent header is joined, otherwise a fresh trace id
+// is generated, and either way the id is echoed in the traceparent
+// response header.
 //
 // Status mapping: 200 ok; 400 inadmissible request or bad payload;
 // 404 unknown session; 409 blocked (admissible but unroutable — the
@@ -64,7 +72,9 @@ type errorResponse struct {
 	Blocked bool   `json:"blocked,omitempty"`
 }
 
-// Handler returns the controller's HTTP API as an http.Handler.
+// Handler returns the controller's HTTP API as an http.Handler,
+// wrapped in the span tracer's middleware (a no-op when tracing is
+// disabled).
 func (ctl *Controller) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/connect", ctl.handleConnect)
@@ -74,10 +84,12 @@ func (ctl *Controller) Handler() http.Handler {
 	mux.HandleFunc("/v1/status", ctl.handleStatus)
 	mux.HandleFunc("/v1/metrics", ctl.handleMetrics)
 	mux.HandleFunc("/metrics", ctl.handlePromMetrics)
+	mux.HandleFunc("/v1/slo", ctl.handleSLO)
 	mux.HandleFunc("/v1/debug/blocking", ctl.handleDebugBlocking)
+	mux.HandleFunc("/v1/debug/spans", ctl.handleDebugSpans)
 	mux.HandleFunc("/v1/debug/trace", ctl.handleDebugTrace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	return mux
+	return ctl.tracer.Middleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -135,11 +147,12 @@ func (ctl *Controller) handleConnect(w http.ResponseWriter, r *http.Request) {
 	if req.Fabric != nil {
 		pin = *req.Fabric
 	}
-	id, plane, err := ctl.Connect(conn, pin)
+	id, plane, err := ctl.ConnectCtx(r.Context(), conn, pin)
 	if err != nil {
 		if multistage.IsBlocked(err) {
 			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
 				slog.String("request_id", obs.RequestID(r.Context())),
+				slog.String("trace_id", span.FromContext(r.Context()).TraceID()),
 				slog.String("op", "connect"),
 				slog.Int("fabric", plane),
 				slog.String("connection", req.Connection),
@@ -169,10 +182,11 @@ func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
 		}
 		dests = append(dests, d)
 	}
-	if err := ctl.AddBranch(req.Session, dests...); err != nil {
+	if err := ctl.AddBranchCtx(r.Context(), req.Session, dests...); err != nil {
 		if multistage.IsBlocked(err) {
 			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
 				slog.String("request_id", obs.RequestID(r.Context())),
+				slog.String("trace_id", span.FromContext(r.Context()).TraceID()),
 				slog.String("op", "branch"),
 				slog.Uint64("session", req.Session),
 				slog.String("error", err.Error()))
@@ -189,7 +203,7 @@ func (ctl *Controller) handleDisconnect(w http.ResponseWriter, r *http.Request) 
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := ctl.Disconnect(req.Session); err != nil {
+	if err := ctl.DisconnectCtx(r.Context(), req.Session); err != nil {
 		writeError(w, err)
 		return
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/span"
 	"repro/internal/wdm"
 	"repro/internal/workload"
 )
@@ -60,6 +61,17 @@ type ClientLatency struct {
 	P99Micros float64 `json:"p99_us"`
 }
 
+// TraceRef is one connect the client can follow server-side by trace
+// id: the generator sends a W3C traceparent header with every connect,
+// so the id here joins against /v1/debug/spans, the /metrics exemplars,
+// and /v1/debug/blocking on the target.
+type TraceRef struct {
+	TraceID string `json:"trace_id"`
+	Status  int    `json:"status"` // HTTP status of the connect
+	Micros  int64  `json:"micros"` // client-observed round trip
+	Conn    string `json:"connection"`
+}
+
 // AttackReport aggregates a run.
 type AttackReport struct {
 	Workers     int           `json:"workers"`
@@ -84,16 +96,30 @@ type AttackReport struct {
 	StatusCounts   map[string]int `json:"status_counts"`
 	ConnectLatency ClientLatency  `json:"connect_latency_us"`
 
+	// SlowestTraces are the slowest connects by client round trip;
+	// BlockedTraces every blocked connect (up to a cap) — both by the
+	// trace ids this client sent, for server-side follow-up.
+	SlowestTraces []TraceRef `json:"slowest_traces,omitempty"`
+	BlockedTraces []TraceRef `json:"blocked_traces,omitempty"`
+
 	// Server is the target's own metrics snapshot after the run.
 	Server Snapshot `json:"server"`
 }
 
 func (r AttackReport) String() string {
-	return fmt.Sprintf("%d workers: %d connects (%d routed, %d blocked, %d rejected) in %v — %.0f ops/s, %.0f connects/s, connect p50/p95/p99 %.0f/%.0f/%.0f µs, P_block=%.4f (server blocked=%d)",
+	s := fmt.Sprintf("%d workers: %d connects (%d routed, %d blocked, %d rejected) in %v — %.0f ops/s, %.0f connects/s, connect p50/p95/p99 %.0f/%.0f/%.0f µs, P_block=%.4f (server blocked=%d)",
 		r.Workers, r.Connects, r.Routed, r.Blocked, r.Rejected, r.Duration.Round(time.Millisecond),
 		r.OpsPerSec, r.ConnectsPerSec,
 		r.ConnectLatency.P50Micros, r.ConnectLatency.P95Micros, r.ConnectLatency.P99Micros,
 		r.BlockingProbability, r.Server.Blocked)
+	if len(r.BlockedTraces) > 0 {
+		s += fmt.Sprintf("\nfirst blocked trace: %s (curl <target>/v1/debug/spans?trace=%s)",
+			r.BlockedTraces[0].TraceID, r.BlockedTraces[0].TraceID)
+	}
+	if len(r.SlowestTraces) > 0 {
+		s += fmt.Sprintf("\nslowest connect: %d µs, trace %s", r.SlowestTraces[0].Micros, r.SlowestTraces[0].TraceID)
+	}
+	return s
 }
 
 // Attack runs the load generator against cfg.BaseURL.
@@ -148,6 +174,7 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	rep := AttackReport{Workers: workers, Duration: elapsed, StatusCounts: map[string]int{}}
 	var firstErr error
 	var latencies []time.Duration
+	var traces []TraceRef
 	for _, r := range results {
 		rep.Connects += r.connects
 		rep.Routed += r.routed
@@ -158,6 +185,7 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 			rep.StatusCounts[strconv.Itoa(code)] += n
 		}
 		latencies = append(latencies, r.latencies...)
+		traces = append(traces, r.traces...)
 		if r.err != nil && firstErr == nil {
 			firstErr = r.err
 		}
@@ -165,6 +193,19 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	if firstErr != nil {
 		return rep, firstErr
 	}
+	// Record the trace ids worth a server-side look: every blocked
+	// connect (up to a cap) and the slowest round trips.
+	const maxBlockedTraces, maxSlowTraces = 16, 5
+	for _, t := range traces {
+		if t.Status == http.StatusConflict && len(rep.BlockedTraces) < maxBlockedTraces {
+			rep.BlockedTraces = append(rep.BlockedTraces, t)
+		}
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].Micros > traces[j].Micros })
+	if len(traces) > maxSlowTraces {
+		traces = traces[:maxSlowTraces]
+	}
+	rep.SlowestTraces = traces
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 		q := func(p float64) float64 {
@@ -190,6 +231,7 @@ type attackWorkerResult struct {
 	connects, routed, blocked, rejected, disconnects int
 	statusCounts                                     map[int]int
 	latencies                                        []time.Duration // per-connect round trips
+	traces                                           []TraceRef      // one per connect, by the trace id sent
 	err                                              error
 }
 
@@ -262,14 +304,24 @@ func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wd
 
 		pin := fabric
 		var cr connectResponse
+		// Send a client-generated W3C traceparent so this request's trace
+		// id is known here without reading the response: the join key for
+		// /v1/debug/spans, the /metrics exemplars, and /v1/debug/blocking.
+		tid := span.NewTraceID()
+		traceparent := span.FormatTraceparent(tid, span.NewSpanID(), span.FlagSampled)
 		start := time.Now()
-		code, err := postJSON(client, cfg.BaseURL+"/v1/connect",
+		code, err := postJSONTraced(client, cfg.BaseURL+"/v1/connect", traceparent,
 			connectRequest{Connection: wdm.FormatConnection(conn), Fabric: &pin}, &cr)
 		if err != nil {
 			res.err = err
 			return res
 		}
-		res.latencies = append(res.latencies, time.Since(start))
+		rtt := time.Since(start)
+		res.latencies = append(res.latencies, rtt)
+		res.traces = append(res.traces, TraceRef{
+			TraceID: tid.String(), Status: code,
+			Micros: rtt.Microseconds(), Conn: wdm.FormatConnection(conn),
+		})
 		res.statusCounts[code]++
 		res.connects++
 		switch code {
@@ -346,11 +398,25 @@ func (s *loadgenSlots) put(slot wdm.PortWave) {
 // postJSON posts body as JSON and decodes the response into out (when
 // non-nil and the response has a body). It returns the HTTP status.
 func postJSON(client *http.Client, url string, body, out any) (int, error) {
+	return postJSONTraced(client, url, "", body, out)
+}
+
+// postJSONTraced is postJSON with a W3C traceparent header attached
+// when non-empty.
+func postJSONTraced(client *http.Client, url, traceparent string, body, out any) (int, error) {
 	buf, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := client.Post(url, "application/json", bytes.NewReader(buf))
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set(span.TraceparentHeader, traceparent)
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return 0, err
 	}

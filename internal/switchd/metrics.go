@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/multistage"
+	"repro/internal/obs"
 )
 
 // routeBucketsMicros are the upper bounds (inclusive, microseconds) of
@@ -15,29 +16,73 @@ import (
 // dashboards.
 var routeBucketsMicros = []int64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000}
 
+// histExemplar references the most recent traced observation that
+// landed in one latency bucket, for OpenMetrics exemplar exposition:
+// the /metrics scrape links each bucket to a concrete trace id at
+// /v1/debug/spans.
+type histExemplar struct {
+	traceID string
+	seconds float64
+	ts      float64 // unix seconds at observation
+}
+
 // latencyHist is one operation's latency histogram. All fields are
 // lock-free atomics; a snapshot is monotone-consistent, not atomic.
 type latencyHist struct {
-	count   atomic.Int64
-	sumNs   atomic.Int64
-	buckets []atomic.Int64 // len(routeBucketsMicros)+1, last = overflow
+	count     atomic.Int64
+	sumNs     atomic.Int64
+	buckets   []atomic.Int64 // len(routeBucketsMicros)+1, last = overflow
+	exemplars []atomic.Pointer[histExemplar]
 }
 
 func newLatencyHist() *latencyHist {
-	return &latencyHist{buckets: make([]atomic.Int64, len(routeBucketsMicros)+1)}
+	n := len(routeBucketsMicros) + 1
+	return &latencyHist{
+		buckets:   make([]atomic.Int64, n),
+		exemplars: make([]atomic.Pointer[histExemplar], n),
+	}
 }
 
-func (h *latencyHist) observe(d time.Duration) {
+func (h *latencyHist) observe(d time.Duration) { h.observeEx(d, "") }
+
+// observeEx records one observation and, when the request was traced,
+// makes it the bucket's exemplar (last-writer-wins; exemplars are a
+// sample, not a log).
+func (h *latencyHist) observeEx(d time.Duration, traceID string) {
 	h.count.Add(1)
 	h.sumNs.Add(int64(d))
+	i := len(routeBucketsMicros)
 	us := d.Microseconds()
-	for i, ub := range routeBucketsMicros {
+	for j, ub := range routeBucketsMicros {
 		if us <= ub {
-			h.buckets[i].Add(1)
-			return
+			i = j
+			break
 		}
 	}
-	h.buckets[len(routeBucketsMicros)].Add(1)
+	h.buckets[i].Add(1)
+	if traceID != "" {
+		h.exemplars[i].Store(&histExemplar{
+			traceID: traceID,
+			seconds: d.Seconds(),
+			ts:      float64(time.Now().UnixNano()) / 1e9,
+		})
+	}
+}
+
+// exemplarSnapshot assembles the per-bucket exemplars in the shape
+// obs.PromWriter.HistogramE expects (zero value = no exemplar).
+func (h *latencyHist) exemplarSnapshot() []obs.Exemplar {
+	out := make([]obs.Exemplar, len(h.buckets))
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			out[i] = obs.Exemplar{
+				Labels: []obs.Label{{Name: "trace_id", Value: e.traceID}},
+				Value:  e.seconds,
+				Ts:     e.ts,
+			}
+		}
+	}
+	return out
 }
 
 // fabricMetrics is one replica's counter set.

@@ -1,0 +1,69 @@
+package switchd
+
+import (
+	"net/http"
+	"strconv"
+
+	"repro/internal/obs/span"
+)
+
+// Observability endpoints for the tracing and SLO subsystems:
+//
+//	GET /v1/debug/spans            completed traces from the tail-sampled ring
+//	GET /v1/debug/spans?blocked=1  blocked traces only
+//	GET /v1/debug/spans?trace=ID   one trace by 32-hex id
+//	GET /v1/debug/spans?limit=N    the N most recent
+//	GET /v1/slo                    sliding-window SLIs and burn-rate alerts
+
+// SpansResponse is the GET /v1/debug/spans payload. Traces are ordered
+// oldest-first by root span start.
+type SpansResponse struct {
+	// Kept/Dropped are the tracer's tail-sampling totals since start.
+	Kept    int64              `json:"kept"`
+	Dropped int64              `json:"dropped"`
+	Traces  []span.TraceRecord `json:"traces"`
+}
+
+func (ctl *Controller) handleDebugSpans(w http.ResponseWriter, r *http.Request) {
+	if ctl.tracer == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "span tracing disabled (Config.Spans.Capacity < 0)"})
+		return
+	}
+	traces := ctl.tracer.Snapshot()
+	q := r.URL.Query()
+	if q.Get("blocked") == "1" {
+		filtered := traces[:0]
+		for _, t := range traces {
+			if t.Blocked {
+				filtered = append(filtered, t)
+			}
+		}
+		traces = filtered
+	}
+	if want := q.Get("trace"); want != "" {
+		filtered := traces[:0]
+		for _, t := range traces {
+			if t.TraceID == want {
+				filtered = append(filtered, t)
+			}
+		}
+		traces = filtered
+	}
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want ?limit=<non-negative int>"})
+			return
+		}
+		if n < len(traces) {
+			traces = traces[len(traces)-n:]
+		}
+	}
+	kept, dropped := ctl.tracer.Stats()
+	writeJSON(w, http.StatusOK, SpansResponse{Kept: kept, Dropped: dropped, Traces: traces})
+}
+
+// handleSLO serves GET /v1/slo: the burn-rate engine's snapshot.
+func (ctl *Controller) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ctl.sloEng.Snapshot())
+}

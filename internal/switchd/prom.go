@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
@@ -79,21 +80,58 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 
 	// Operation latency histograms: bucket bounds are the microsecond
 	// bounds of the JSON snapshot, exposed in seconds per convention.
+	// In OpenMetrics mode each bucket carries its most recent traced
+	// observation as an exemplar, joining /metrics to /v1/debug/spans.
 	bounds := make([]float64, len(snap.RouteBoundsUs))
 	for i, us := range snap.RouteBoundsUs {
 		bounds[i] = float64(us) / 1e6
 	}
-	for _, op := range snap.Ops {
+	hists := []*latencyHist{ctl.metrics.connectLat, ctl.metrics.branchLat, ctl.metrics.disconnectLat}
+	for oi, op := range snap.Ops {
 		counts := make([]int64, len(op.Buckets))
 		for i, b := range op.Buckets {
 			counts[i] = b.Count
 		}
-		w.Histogram("wdm_op_latency_seconds", "Fabric operation latency (time inside the fabric lock).",
-			bounds, counts, float64(op.SumNs)/1e9, obs.Label{Name: "op", Value: op.Op})
+		w.HistogramE("wdm_op_latency_seconds", "Fabric operation latency (time inside the fabric lock).",
+			bounds, counts, float64(op.SumNs)/1e9, hists[oi].exemplarSnapshot(), obs.Label{Name: "op", Value: op.Op})
 	}
 
 	_, totalIncidents := ctl.blockLog.snapshot()
 	w.Counter("wdm_block_incidents_total", "Blocking incidents recorded by the forensics ring buffer.", float64(totalIncidents))
+
+	if ctl.tracer != nil {
+		kept, dropped := ctl.tracer.Stats()
+		w.Counter("wdm_traces_kept_total", "Completed traces kept by tail sampling.", float64(kept))
+		w.Counter("wdm_traces_dropped_total", "Routine traces sampled out.", float64(dropped))
+	}
+
+	// SLO gauges: availability is 1 - P_block over each sliding window —
+	// at or above the sufficient bound it reads exactly 1 with zero burn.
+	ss := ctl.sloEng.Snapshot()
+	w.Gauge("wdm_slo_objective", "Availability objective.", ss.Objective)
+	w.Gauge("wdm_slo_latency_objective", "Latency-SLI objective (fraction under threshold).", ss.LatencyObjective)
+	w.Gauge("wdm_slo_latency_threshold_us", "Latency-SLI threshold in microseconds.", ss.LatencyThresholdUs)
+	w.Gauge("wdm_slo_healthy", "1 while no burn-rate alert fires.", b2f(ss.Healthy))
+	for _, win := range ss.Windows {
+		w.Gauge("wdm_slo_availability", "Availability SLI (1 - P_block) per window.",
+			win.Availability, obs.Label{Name: "window", Value: win.Window})
+	}
+	for _, win := range ss.Windows {
+		w.Gauge("wdm_slo_availability_burn", "Availability burn rate per window.",
+			win.AvailabilityBurn, obs.Label{Name: "window", Value: win.Window})
+	}
+	for _, win := range ss.Windows {
+		w.Gauge("wdm_slo_latency_ok", "Latency SLI (fraction under threshold) per window.",
+			win.LatencyOK, obs.Label{Name: "window", Value: win.Window})
+	}
+	for _, win := range ss.Windows {
+		w.Gauge("wdm_slo_latency_burn", "Latency burn rate per window.",
+			win.LatencyBurn, obs.Label{Name: "window", Value: win.Window})
+	}
+	for _, a := range ss.Alerts {
+		w.Gauge("wdm_slo_alert_firing", "1 while the multiwindow burn alert fires on either SLI.",
+			b2f(a.AvailabilityFiring || a.LatencyFiring), obs.Label{Name: "alert", Value: a.Name})
+	}
 }
 
 func b2f(b bool) float64 {
@@ -103,11 +141,23 @@ func b2f(b bool) float64 {
 	return 0
 }
 
-// handlePromMetrics serves GET /metrics.
+// handlePromMetrics serves GET /metrics. Clients that accept
+// OpenMetrics (Accept: application/openmetrics-text, or ?exemplars=1)
+// get the exemplar-carrying exposition; everyone else the classic
+// 0.0.4 text format.
 func (ctl *Controller) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
 	var pw obs.PromWriter
+	openMetrics := strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") ||
+		r.URL.Query().Get("exemplars") == "1"
+	if openMetrics {
+		pw.SetExemplars(true)
+	}
 	ctl.WriteProm(&pw)
-	w.Header().Set("Content-Type", obs.ContentType)
+	if openMetrics {
+		w.Header().Set("Content-Type", obs.ContentTypeOpenMetrics)
+	} else {
+		w.Header().Set("Content-Type", obs.ContentType)
+	}
 	_, _ = pw.WriteTo(w)
 }
 

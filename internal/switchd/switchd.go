@@ -24,6 +24,7 @@
 package switchd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -32,6 +33,8 @@ import (
 	"time"
 
 	"repro/internal/multistage"
+	"repro/internal/obs/slo"
+	"repro/internal/obs/span"
 	"repro/internal/wdm"
 )
 
@@ -73,6 +76,14 @@ type Config struct {
 	// the trace grows without bound for the life of the controller, so
 	// it is a debugging mode, not a production default.
 	CaptureTrace bool
+	// Spans configures the request tracer served at /v1/debug/spans. The
+	// zero value enables tracing with defaults (256-trace ring, 5ms slow
+	// threshold, 1-in-16 routine sampling); Capacity < 0 disables it.
+	Spans span.Config
+	// SLO configures the burn-rate engine served at /v1/slo. The zero
+	// value gives 99.9% availability and 99% under 1ms over 5m/1h/6h/3d
+	// windows.
+	SLO slo.Config
 	// Logger receives the controller's structured log output (blocked
 	// requests, drains). Nil means slog.Default().
 	Logger *slog.Logger
@@ -108,6 +119,8 @@ type Controller struct {
 	sessions *sessionTable
 	metrics  *Metrics
 	blockLog *blockLog
+	tracer   *span.Tracer
+	sloEng   *slo.Engine
 	logger   *slog.Logger
 
 	nextSession atomic.Uint64
@@ -138,6 +151,8 @@ func New(cfg Config) (*Controller, error) {
 		sessions: newSessionTable(cfg.Shards),
 		metrics:  newMetrics(norm, cfg.Replicas),
 		blockLog: newBlockLog(cfg.BlockLog),
+		tracer:   span.NewTracer(cfg.Spans),
+		sloEng:   slo.New(cfg.SLO),
 		logger:   cfg.Logger,
 	}
 	if ctl.logger == nil {
@@ -170,6 +185,37 @@ func (ctl *Controller) ActiveSessions() int64 { return ctl.active.Load() }
 // Metrics returns the controller's metrics registry.
 func (ctl *Controller) Metrics() *Metrics { return ctl.metrics }
 
+// Tracer returns the controller's span tracer (nil when disabled).
+func (ctl *Controller) Tracer() *span.Tracer { return ctl.tracer }
+
+// SLO returns the controller's burn-rate engine.
+func (ctl *Controller) SLO() *slo.Engine { return ctl.sloEng }
+
+// routeSpanObserver adapts the multistage route observer to the span
+// tracer: every middle-stage decision of one fabric operation becomes a
+// leaf span under parent. Rejection steps (everything but "selected")
+// are marked blocked — they only ever fire on a blocking event, so a
+// blocked trace always carries its per-middle rejection spans.
+func routeSpanObserver(parent *span.Span) func(multistage.RouteStep) {
+	return func(step multistage.RouteStep) {
+		ms := parent.StartChild("route.middle")
+		ms.SetAttr("middle", step.Middle)
+		ms.SetAttr("state", string(step.State))
+		ms.SetAttr("wave", step.Wave)
+		ms.SetAttr("round", step.Round)
+		if len(step.Serves) > 0 {
+			ms.SetAttr("serves", step.Serves)
+		}
+		if len(step.Rejected) > 0 {
+			ms.SetAttr("rejected", step.Rejected)
+		}
+		if step.State != multistage.MiddleSelected {
+			ms.SetBlocked("middle " + string(step.State))
+		}
+		ms.End()
+	}
+}
+
 // pickFabric maps a session id to its plane. A non-negative pin selects
 // a plane explicitly (clients that manage their own slot occupancy pin
 // the plane so their admissibility bookkeeping holds).
@@ -187,13 +233,26 @@ func (ctl *Controller) pickFabric(id uint64, pin int) (int, error) {
 // (-1 = controller's choice). It returns the session id and the plane
 // the session landed on.
 func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int, err error) {
+	return ctl.ConnectCtx(context.Background(), c, pin)
+}
+
+// ConnectCtx is Connect under a caller context: when ctx carries an
+// active span (the HTTP middleware's root), the controller nests
+// switchd.connect -> fabric.add -> route.middle spans under it and the
+// operation's latency-histogram exemplar references that trace.
+func (ctl *Controller) ConnectCtx(ctx context.Context, c wdm.Connection, pin int) (id uint64, plane int, err error) {
 	// Count the attempt before the draining check so Drain can wait out
 	// every Connect that might still put a session into the table.
 	ctl.inflight.Add(1)
 	defer ctl.inflight.Add(-1)
 
+	ctx, sp := span.Start(ctx, "switchd.connect")
+	defer sp.End()
+	sp.SetAttr("connection", wdm.FormatConnection(c))
+
 	if ctl.draining.Load() {
 		ctl.metrics.drainRejects.Add(1)
+		sp.SetError(ErrDraining.Error())
 		return 0, 0, ErrDraining
 	}
 	// Admission control: claim a slot optimistically, release on any
@@ -207,6 +266,7 @@ func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int,
 		if ctl.admitted.Add(1) > cap {
 			ctl.admitted.Add(-1)
 			ctl.metrics.capRejects.Add(1)
+			sp.SetError(ErrOverCapacity.Error())
 			return 0, 0, ErrOverCapacity
 		}
 	} else {
@@ -222,39 +282,59 @@ func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int,
 	plane, err = ctl.pickFabric(id, pin)
 	if err != nil {
 		ctl.metrics.inadmissible.Add(1)
+		sp.SetError(err.Error())
 		return 0, 0, err
 	}
+	sp.SetAttr("session", id)
+	sp.SetAttr("fabric", plane)
 
 	f := ctl.fabrics[plane]
 	var connID int
 	var addErr error
 	var elapsed time.Duration
+	_, fabSp := span.Start(ctx, "fabric.add")
+	fabSp.SetAttr("fabric", plane)
 	func() {
 		f.mu.Lock()
 		defer f.mu.Unlock()
+		if fabSp.Active() {
+			f.net.SetRouteObserver(routeSpanObserver(fabSp))
+			defer f.net.SetRouteObserver(nil)
+		}
 		start := time.Now()
 		connID, addErr = f.net.Add(c)
 		elapsed = time.Since(start)
 		f.cap.add(c, connID, addErr)
 	}()
 
-	ctl.metrics.connectLat.observe(elapsed)
+	ctl.metrics.connectLat.observeEx(elapsed, sp.TraceID())
+	if addErr == nil || multistage.IsBlocked(addErr) {
+		// The SLO counts admissible routing operations only: routed is
+		// good, blocked spends error budget; inadmissible requests and
+		// admission rejects never reach a fabric.
+		ctl.sloEng.Record(addErr == nil, elapsed)
+	}
 	switch {
 	case addErr == nil:
 		ctl.metrics.perFabric[plane].routed.Add(1)
 		ctl.metrics.perFabric[plane].active.Add(1)
 		ctl.metrics.connectOK.Add(1)
+		fabSp.End()
 	case multistage.IsBlocked(addErr):
 		ctl.metrics.perFabric[plane].blocked.Add(1)
 		ctl.metrics.blocked.Add(1)
+		fabSp.SetBlocked(addErr.Error())
+		fabSp.End()
 		rep, _ := multistage.AsBlockReport(addErr)
 		ctl.blockLog.record(BlockIncident{
-			Time: time.Now(), Op: "connect", Fabric: plane,
+			Time: time.Now(), Op: "connect", Fabric: plane, TraceID: sp.TraceID(),
 			Conn: wdm.FormatConnection(c), Error: addErr.Error(), Report: rep,
 		})
 		return 0, plane, addErr
 	default:
 		ctl.metrics.inadmissible.Add(1)
+		fabSp.SetError(addErr.Error())
+		fabSp.End()
 		return 0, plane, addErr
 	}
 
@@ -267,8 +347,20 @@ func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int,
 // receiver joining the multicast). The grow is atomic: on failure the
 // session keeps its original destination set.
 func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
+	return ctl.AddBranchCtx(context.Background(), id, dests...)
+}
+
+// AddBranchCtx is AddBranch under a caller context, with the same span
+// nesting as ConnectCtx (switchd.branch -> fabric.branch ->
+// route.middle).
+func (ctl *Controller) AddBranchCtx(ctx context.Context, id uint64, dests ...wdm.PortWave) error {
+	ctx, sp := span.Start(ctx, "switchd.branch")
+	defer sp.End()
+	sp.SetAttr("session", id)
+
 	if ctl.draining.Load() {
 		ctl.metrics.drainRejects.Add(1)
+		sp.SetError(ErrDraining.Error())
 		return ErrDraining
 	}
 	sh := ctl.sessions.shardFor(id)
@@ -276,41 +368,59 @@ func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
 	defer sh.mu.Unlock()
 	s, ok := sh.m[id]
 	if !ok {
-		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+		err := fmt.Errorf("%w: %d", ErrUnknownSession, id)
+		sp.SetError(err.Error())
+		return err
 	}
 	f := ctl.fabrics[s.Fabric]
+	sp.SetAttr("fabric", s.Fabric)
 	original := s.Conn
 	grown := s.Conn.Clone()
 	grown.Dests = append(grown.Dests, dests...)
 	grown = grown.Normalize()
+	sp.SetAttr("connection", wdm.FormatConnection(grown))
 	var err error
 	var elapsed time.Duration
+	_, fabSp := span.Start(ctx, "fabric.branch")
+	fabSp.SetAttr("fabric", s.Fabric)
 	func() {
 		f.mu.Lock()
 		defer f.mu.Unlock()
+		if fabSp.Active() {
+			f.net.SetRouteObserver(routeSpanObserver(fabSp))
+			defer f.net.SetRouteObserver(nil)
+		}
 		start := time.Now()
 		err = f.net.AddBranch(s.ConnID, dests...)
 		elapsed = time.Since(start)
 		f.cap.branch(s.ConnID, original, grown, err)
 	}()
-	ctl.metrics.branchLat.observe(elapsed)
+	ctl.metrics.branchLat.observeEx(elapsed, sp.TraceID())
+	if err == nil || multistage.IsBlocked(err) {
+		ctl.sloEng.Record(err == nil, elapsed)
+	}
 	switch {
 	case err == nil:
 		s.Conn = grown
 		s.Branches++
 		ctl.metrics.branchOK.Add(1)
+		fabSp.End()
 		return nil
 	case multistage.IsBlocked(err):
 		ctl.metrics.perFabric[s.Fabric].blocked.Add(1)
 		ctl.metrics.blocked.Add(1)
+		fabSp.SetBlocked(err.Error())
+		fabSp.End()
 		rep, _ := multistage.AsBlockReport(err)
 		ctl.blockLog.record(BlockIncident{
-			Time: time.Now(), Op: "branch", Fabric: s.Fabric, Session: id,
+			Time: time.Now(), Op: "branch", Fabric: s.Fabric, Session: id, TraceID: sp.TraceID(),
 			Conn: wdm.FormatConnection(grown), Error: err.Error(), Report: rep,
 		})
 		return err
 	default:
 		ctl.metrics.inadmissible.Add(1)
+		fabSp.SetError(err.Error())
+		fabSp.End()
 		return err
 	}
 }
@@ -318,10 +428,23 @@ func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
 // Disconnect tears down a session and frees every slot and link
 // wavelength it occupied.
 func (ctl *Controller) Disconnect(id uint64) error {
+	return ctl.DisconnectCtx(context.Background(), id)
+}
+
+// DisconnectCtx is Disconnect under a caller context, nesting a
+// switchd.disconnect span when one is active.
+func (ctl *Controller) DisconnectCtx(ctx context.Context, id uint64) error {
+	_, sp := span.Start(ctx, "switchd.disconnect")
+	defer sp.End()
+	sp.SetAttr("session", id)
 	sh := ctl.sessions.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return ctl.disconnectLocked(sh, id)
+	if err := ctl.disconnectLocked(sh, id); err != nil {
+		sp.SetError(err.Error())
+		return err
+	}
+	return nil
 }
 
 // disconnectLocked is Disconnect's body; the caller holds sh.mu.
