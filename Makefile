@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-short race bench bench-json cover fuzz repro slo-demo clean
+.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo clean
 
 all: build vet race test
 
@@ -10,6 +10,12 @@ build:
 vet:
 	$(GO) vet ./...
 	gofmt -l . | tee /dev/stderr | wc -l | grep -q '^0$$'
+
+# Deep lint; CI installs and runs this unconditionally, locally it is
+# skipped when the binary is absent (no network installs here).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 
 test:
 	$(GO) test ./...
@@ -60,6 +66,21 @@ slo-demo:
 	curl -s 127.0.0.1:8047/v1/debug/blocking | grep trace_id; \
 	echo '--- wdmtop'; \
 	/tmp/wdm-slo-demo-top -target http://127.0.0.1:8047 -once
+
+# Chaos drill (EXPERIMENTS.md § "Chaos walkthrough", scripted): a
+# server at m = bound + 2 spares (bound is 13 for the default fabric),
+# a load generator failing two plane-0 middle modules mid-run and
+# repairing them, retries on. The run must end with blocked == 0 and
+# dropped == 0; the health rollup walks ok -> degraded -> ok.
+chaos-demo:
+	@$(GO) build -o /tmp/wdm-chaos-serve ./cmd/wdmserve
+	@/tmp/wdm-chaos-serve -addr 127.0.0.1:8048 -m 15 -replicas 2 & \
+	trap 'kill $$!' EXIT; sleep 0.5; \
+	/tmp/wdm-chaos-serve -attack -target http://127.0.0.1:8048 -requests 300000 \
+	    -chaos "fail@1s f0:m0, fail@2s f0:m1, repair@3s f0:m0, repair@4s f0:m1" \
+	    -retries 4; \
+	echo '--- /v1/health after the drill'; \
+	curl -s 127.0.0.1:8048/v1/health; echo
 
 # Regenerate every experiment artifact into results/.
 repro:

@@ -22,6 +22,13 @@
 //
 //	wdmserve -attack -target http://localhost:8047 -requests 10000 -live 6
 //
+// Chaos drill — fail a middle module mid-load, repair it later, with
+// client retries on 429/503; at m = bound + f spares the run must end
+// with zero blocks and zero lost sessions:
+//
+//	wdmserve -attack -target http://localhost:8047 -requests 20000 \
+//	    -chaos "fail@2s f0:m2, repair@6s f0:m2" -retries 4
+//
 // Tracing and SLOs: every serving request runs under a W3C
 // traceparent-compatible span. Completed traces are served at
 // /v1/debug/spans (tail-sampled: blocked/slow kept at 100%) and
@@ -49,6 +56,7 @@ import (
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
 	"repro/internal/switchd"
+	"repro/internal/switchd/client"
 	"repro/internal/wdm"
 )
 
@@ -85,6 +93,8 @@ func main() {
 	fanout := flag.Int("fanout", 0, "attack: max fanout (0 = worker slice size)")
 	seed := flag.Int64("seed", 1, "attack: PRNG seed")
 	jsonOut := flag.Bool("json", false, "attack: print the report as JSON")
+	chaos := flag.String("chaos", "", `attack: failure-plane schedule, e.g. "fail@10s f0:m2, repair@30s f0:m2"`)
+	retries := flag.Int("retries", 1, "attack: client attempts per request incl. the first (jittered backoff on 429/503)")
 	flag.Parse()
 
 	logger, err := buildLogger(*logFormat)
@@ -95,7 +105,7 @@ func main() {
 	slog.SetDefault(logger)
 
 	if *attack {
-		runAttack(*target, *requests, *perFabric, *live, *fanout, *seed, *jsonOut)
+		runAttack(*target, *requests, *perFabric, *live, *fanout, *seed, *jsonOut, *chaos, *retries)
 		return
 	}
 
@@ -181,10 +191,13 @@ func main() {
 		defer close(done)
 		sig := <-sigC
 		logger.Info("draining", slog.String("signal", sig.String()))
-		sum := ctl.Drain()
+		drainCtx, drainCancel := context.WithTimeout(context.Background(), 30*time.Second)
+		sum := ctl.Drain(drainCtx)
+		drainCancel()
 		logger.Info("drained",
 			slog.Int("released", sum.Released),
 			slog.Int("errors", sum.Errors),
+			slog.Bool("canceled", sum.Canceled),
 			slog.Duration("elapsed", sum.Elapsed))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
@@ -217,7 +230,11 @@ func fatal(logger *slog.Logger, err error) {
 	os.Exit(1)
 }
 
-func runAttack(target string, requests, perFabric, live, fanout int, seed int64, jsonOut bool) {
+func runAttack(target string, requests, perFabric, live, fanout int, seed int64, jsonOut bool, chaos string, retries int) {
+	events, err := switchd.ParseChaos(chaos)
+	if err != nil {
+		fatal(slog.Default(), err)
+	}
 	rep, err := switchd.Attack(switchd.AttackConfig{
 		BaseURL:          target,
 		Requests:         requests,
@@ -225,6 +242,8 @@ func runAttack(target string, requests, perFabric, live, fanout int, seed int64,
 		TargetLive:       live,
 		MaxFanout:        fanout,
 		Seed:             seed,
+		Chaos:            events,
+		Retry:            client.RetryPolicy{MaxAttempts: retries},
 	})
 	if err != nil {
 		fatal(slog.Default(), fmt.Errorf("attack: %w", err))

@@ -1,25 +1,26 @@
 // wdmtop is a live terminal dashboard for a running wdmserve: it polls
-// /metrics (Prometheus text), /v1/slo (burn-rate engine) and
-// /v1/debug/spans?blocked=1 (trace ring) and redraws a single console
-// frame per interval — per-fabric occupancy, routed/blocked rates,
-// connect latency quantiles, SLO burn status, and the most recent
-// blocked trace id ready to paste into /v1/debug/spans?trace=.
+// /metrics (Prometheus text), /v1/health (failure plane), /v1/slo
+// (burn-rate engine) and /v1/debug/spans?blocked=1 (trace ring) through
+// the typed /v1 client and redraws a single console frame per interval
+// — per-fabric occupancy, routed/blocked rates, connect latency
+// quantiles, failed middles and degraded-mode derating, SLO burn
+// status, and the most recent blocked trace id ready to paste into
+// /v1/debug/spans?trace=.
 //
 //	wdmtop -target http://localhost:8047 -interval 1s
 //	wdmtop -target http://localhost:8047 -once        # one frame, no ANSI
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
-	"repro/internal/obs/slo"
-	"repro/internal/obs/span"
+	"repro/internal/switchd/client"
 )
 
 func main() {
@@ -28,10 +29,10 @@ func main() {
 	once := flag.Bool("once", false, "print one frame and exit (no screen clearing)")
 	flag.Parse()
 
-	client := &http.Client{Timeout: 5 * time.Second}
+	cl := client.New(*target, client.WithTimeout(5*time.Second))
 	var prev *poll
 	for {
-		cur, err := fetchPoll(client, *target)
+		cur, err := fetchPoll(cl)
 		if err != nil {
 			if *once {
 				fmt.Fprintln(os.Stderr, "wdmtop:", err)
@@ -52,46 +53,29 @@ func main() {
 	}
 }
 
-// fetchPoll scrapes one frame's worth of state. /v1/slo and the span
-// ring are optional (older servers, or tracing disabled): their absence
-// degrades the frame, it does not fail the poll.
-func fetchPoll(client *http.Client, target string) (*poll, error) {
+// fetchPoll scrapes one frame's worth of state. /v1/health, /v1/slo and
+// the span ring are optional (older servers, or tracing disabled):
+// their absence degrades the frame, it does not fail the poll.
+func fetchPoll(cl *client.Client) (*poll, error) {
+	ctx := context.Background()
 	p := &poll{t: time.Now()}
 
-	resp, err := client.Get(target + "/metrics")
+	promText, err := cl.Prom(ctx)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("GET /metrics: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
-	}
-	if p.metrics, err = obs.ParseProm(resp.Body); err != nil {
+	if p.metrics, err = obs.ParseProm(strings.NewReader(promText)); err != nil {
 		return nil, fmt.Errorf("parse /metrics: %w", err)
 	}
 
-	var snap slo.Snapshot
-	if ok := getJSON(client, target+"/v1/slo", &snap); ok {
+	if h, err := cl.Health(ctx); err == nil {
+		p.health = &h
+	}
+	if snap, err := cl.SLO(ctx); err == nil {
 		p.slo = &snap
 	}
-	var spans struct {
-		Traces []span.TraceRecord `json:"traces"`
-	}
-	if ok := getJSON(client, target+"/v1/debug/spans?blocked=1&limit=1", &spans); ok && len(spans.Traces) > 0 {
+	if spans, err := cl.Spans(ctx, "blocked=1&limit=1"); err == nil && len(spans.Traces) > 0 {
 		p.lastBlocked = &spans.Traces[len(spans.Traces)-1]
 	}
 	return p, nil
-}
-
-// getJSON fetches and decodes a JSON endpoint, reporting success.
-func getJSON(client *http.Client, url string, v any) bool {
-	resp, err := client.Get(url)
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return false
-	}
-	return json.NewDecoder(resp.Body).Decode(v) == nil
 }

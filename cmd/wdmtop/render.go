@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
 )
 
 // Pure rendering: a poll pair (current + previous for rates) in, one
@@ -21,7 +22,9 @@ import (
 type poll struct {
 	t       time.Time
 	metrics obs.Metrics
-	slo     *slo.Snapshot
+	// health is the failure-plane snapshot (nil against older servers).
+	health *api.Health
+	slo    *slo.Snapshot
 	// lastBlocked is the most recent blocked trace, when the span ring
 	// has one (nil otherwise or when tracing is disabled).
 	lastBlocked *span.TraceRecord
@@ -175,6 +178,30 @@ func renderDashboard(cur, prev *poll, target string) string {
 				row.id, row.active, row.routed, row.blocked, pct(row.inRatio), pct(row.outRatio))
 		}
 		tw.Flush()
+		b.WriteByte('\n')
+	}
+
+	if h := cur.health; h != nil {
+		fmt.Fprintf(&b, "health %s", strings.ToUpper(h.Status))
+		if h.FailedMiddles > 0 || h.MigratedSessions > 0 || h.DroppedSessions > 0 {
+			fmt.Fprintf(&b, "  failed middles %d  migrated %d  dropped %d",
+				h.FailedMiddles, h.MigratedSessions, h.DroppedSessions)
+		}
+		if h.Degraded {
+			capStr := "unlimited"
+			if h.MaxSessions > 0 {
+				capStr = fmt.Sprintf("%d", h.MaxSessions)
+			}
+			fmt.Fprintf(&b, "  cap %d (derated from %s)", h.EffectiveMaxSessions, capStr)
+		}
+		b.WriteByte('\n')
+		for _, fh := range h.Fabrics {
+			if len(fh.FailedMiddles) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  fabric %d: failed middles %v  effective m %d/%d  (%s)\n",
+				fh.Replica, fh.FailedMiddles, fh.EffectiveM, h.M, fh.Status)
+		}
 		b.WriteByte('\n')
 	}
 

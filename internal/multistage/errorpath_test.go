@@ -143,14 +143,7 @@ func mustConn(t *testing.T, s string) wdm.Connection {
 // middlesUsed lists the middle modules a connection uses (test helper:
 // AffectedBy answers the inverse question).
 func (net *Network) middlesUsed(id int) []int {
-	rc, ok := net.conns[id]
-	if !ok {
-		return nil
-	}
-	var out []int
-	for j := range rc.midConn {
-		out = append(out, j)
-	}
+	out, _ := net.MiddlesUsed(id)
 	return out
 }
 

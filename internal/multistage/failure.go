@@ -59,17 +59,55 @@ func (net *Network) AffectedBy(j int) []int {
 	return out
 }
 
+// MiddlesUsed lists the middle modules a live connection's route rides,
+// in order (AffectedBy answers the inverse question). It reports false
+// for an unknown id.
+func (net *Network) MiddlesUsed(id int) ([]int, bool) {
+	rc, ok := net.conns[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, 0, len(rc.midConn))
+	for j := range rc.midConn {
+		out = append(out, j)
+	}
+	sort.Ints(out)
+	return out, true
+}
+
+// Migration records one connection moved off a failed middle module:
+// the id is stable across the move, the middle-module sets are the
+// route before and after.
+type Migration struct {
+	ID   int   `json:"id"`
+	From []int `json:"from"` // middle modules before the move
+	To   []int `json:"to"`   // middle modules after
+}
+
 // RerouteAround releases every connection riding the (typically failed)
 // middle module j and re-routes it avoiding failed modules. Re-routed
 // connections keep their ids. It returns the ids it restored and the
 // ids it could not (those connections are dropped — the optical
 // reality: no path, no light).
 func (net *Network) RerouteAround(j int) (restored, dropped []int, err error) {
+	migrated, dropped, err := net.RerouteAroundReport(j)
+	for _, m := range migrated {
+		restored = append(restored, m.ID)
+	}
+	return restored, dropped, err
+}
+
+// RerouteAroundReport is RerouteAround with per-connection migration
+// bookkeeping: each restored connection comes back as a Migration
+// carrying its old and new middle-module sets, the record a control
+// plane needs to update session tables, trace captures, and spans.
+func (net *Network) RerouteAroundReport(j int) (migrated []Migration, dropped []int, err error) {
 	affected := net.AffectedBy(j)
 	for _, id := range affected {
+		from, _ := net.MiddlesUsed(id)
 		conn := net.conns[id].conn.Clone()
 		if err := net.Release(id); err != nil {
-			return restored, dropped, fmt.Errorf("multistage: releasing %d: %w", id, err)
+			return migrated, dropped, fmt.Errorf("multistage: releasing %d: %w", id, err)
 		}
 		newID, addErr := net.Add(conn)
 		if addErr != nil {
@@ -77,10 +115,11 @@ func (net *Network) RerouteAround(j int) (restored, dropped []int, err error) {
 				dropped = append(dropped, id)
 				continue
 			}
-			return restored, dropped, fmt.Errorf("multistage: re-adding %d: %w", id, addErr)
+			return migrated, dropped, fmt.Errorf("multistage: re-adding %d: %w", id, addErr)
 		}
 		net.remapID(newID, id)
-		restored = append(restored, id)
+		to, _ := net.MiddlesUsed(id)
+		migrated = append(migrated, Migration{ID: id, From: from, To: to})
 	}
-	return restored, dropped, nil
+	return migrated, dropped, nil
 }

@@ -1,6 +1,7 @@
 package multistage
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/wdm"
@@ -104,6 +105,78 @@ func TestRerouteAroundFailure(t *testing.T) {
 		}
 	}
 	mustVerify(t, net)
+}
+
+// TestRerouteAroundReportBookkeeping checks the migration records a
+// control plane consumes: every restored connection reports the failed
+// module in From, never in To, and To matches the live route.
+func TestRerouteAroundReportBookkeeping(t *testing.T) {
+	suffM, _ := SufficientMinM(MSWDominant, wdm.MSW, 4, 4, 2)
+	net := mustNetwork(t, Params{N: 16, K: 2, R: 4, M: suffM + 1, Model: wdm.MSW, Lite: true})
+
+	d := wdm.Dim{N: 16, K: 2}
+	gen := workload.NewGenerator(23, wdm.MSW, d)
+	freeSrc, freeDst := allSlots(d), allSlots(d)
+	for i := 0; i < 8; i++ {
+		c, ok := gen.Connection(freeSrc, freeDst, gen.Fanout(5))
+		if !ok {
+			break
+		}
+		if _, err := net.Add(c); err != nil {
+			t.Fatal(err)
+		}
+		freeSrc = removeSlot(freeSrc, c.Source)
+		for _, dd := range c.Normalize().Dests {
+			freeDst = removeSlot(freeDst, dd)
+		}
+	}
+	busiest, most := -1, -1
+	for j := range net.midMods {
+		if n := len(net.AffectedBy(j)); n > most {
+			busiest, most = j, n
+		}
+	}
+	if most == 0 {
+		t.Fatal("no middle module carries traffic")
+	}
+	if err := net.FailMiddle(busiest); err != nil {
+		t.Fatal(err)
+	}
+	migrated, dropped, err := net.RerouteAroundReport(busiest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 0 || len(migrated) != most {
+		t.Fatalf("migrated %d dropped %v, want %d/none", len(migrated), dropped, most)
+	}
+	for _, mig := range migrated {
+		if !containsInt(mig.From, busiest) {
+			t.Errorf("migration %d: From %v misses failed module %d", mig.ID, mig.From, busiest)
+		}
+		if containsInt(mig.To, busiest) {
+			t.Errorf("migration %d: To %v still rides failed module %d", mig.ID, mig.To, busiest)
+		}
+		live, ok := net.MiddlesUsed(mig.ID)
+		if !ok {
+			t.Fatalf("migration %d: connection not live", mig.ID)
+		}
+		if fmt.Sprint(live) != fmt.Sprint(mig.To) {
+			t.Errorf("migration %d: To %v != live route %v", mig.ID, mig.To, live)
+		}
+	}
+	if _, ok := net.MiddlesUsed(99999); ok {
+		t.Error("MiddlesUsed reported ok for an unknown id")
+	}
+	mustVerify(t, net)
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // TestFailureMarginComposes: m = bound + f tolerates f failures under

@@ -1,0 +1,66 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+func TestStatusFor(t *testing.T) {
+	cases := []struct {
+		code string
+		want int
+	}{
+		{CodeBlocked, http.StatusConflict},
+		{CodeAdmissionFull, http.StatusTooManyRequests},
+		{CodeDraining, http.StatusServiceUnavailable},
+		{CodeFabricFailed, http.StatusServiceUnavailable},
+		{CodeNotFound, http.StatusNotFound},
+		{CodeBadRequest, http.StatusBadRequest},
+		{"something-new", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if got := StatusFor(tc.code); got != tc.want {
+			t.Errorf("StatusFor(%q) = %d, want %d", tc.code, got, tc.want)
+		}
+	}
+}
+
+func TestCodeMatching(t *testing.T) {
+	base := &Error{Code: CodeBlocked, Message: "no middle"}
+	wrapped := fmt.Errorf("attack: %w", base)
+	if !IsCode(wrapped, CodeBlocked) || CodeOf(wrapped) != CodeBlocked {
+		t.Fatalf("wrapped api error not matched: %v", wrapped)
+	}
+	if IsCode(wrapped, CodeDraining) {
+		t.Fatal("IsCode matched the wrong code")
+	}
+	if IsCode(nil, CodeBlocked) || CodeOf(nil) != "" {
+		t.Fatal("nil error matched a code")
+	}
+	if CodeOf(fmt.Errorf("plain")) != "" {
+		t.Fatal("plain error reported a code")
+	}
+}
+
+// TestEnvelopeWire pins the envelope shape: the HTTP status is carried
+// out of band, never serialized, and the JSON is {"error":{...}}.
+func TestEnvelopeWire(t *testing.T) {
+	e := &Error{Code: CodeAdmissionFull, Message: "cap", HTTPStatus: 429}
+	buf, err := json.Marshal(Envelope{Error: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"error":{"code":"admission_full","message":"cap"}}`
+	if string(buf) != want {
+		t.Fatalf("envelope = %s, want %s", buf, want)
+	}
+	var back Envelope
+	if err := json.Unmarshal(buf, &back); err != nil || back.Error == nil {
+		t.Fatalf("round-trip: %v %+v", err, back)
+	}
+	if back.Error.Code != CodeAdmissionFull || back.Error.HTTPStatus != 0 {
+		t.Fatalf("round-tripped error = %+v; HTTPStatus must not ride the wire", back.Error)
+	}
+}

@@ -1,0 +1,217 @@
+package api
+
+import (
+	"repro/internal/multistage"
+	"repro/internal/obs/span"
+)
+
+// Request/response payloads of the serving endpoints. Connections use
+// the repository's compact text codec ("<port>.<wave>><port>.<wave>,..."
+// — see package wdm).
+
+// ConnectRequest is the POST /v1/connect payload.
+type ConnectRequest struct {
+	// Connection in wdm codec form, e.g. "0.0>5.0,9.0".
+	Connection string `json:"connection"`
+	// Fabric pins the session to a replica; -1 or omitted lets the
+	// controller choose.
+	Fabric *int `json:"fabric,omitempty"`
+}
+
+// ConnectResponse is the POST /v1/connect success payload.
+type ConnectResponse struct {
+	Session uint64 `json:"session"`
+	Fabric  int    `json:"fabric"`
+}
+
+// BranchRequest is the POST /v1/branch payload.
+type BranchRequest struct {
+	Session uint64   `json:"session"`
+	Dests   []string `json:"dests"` // slots in wdm codec form, e.g. "12.0"
+}
+
+// DisconnectRequest is the POST /v1/disconnect payload.
+type DisconnectRequest struct {
+	Session uint64 `json:"session"`
+}
+
+// DisconnectResponse is the POST /v1/disconnect success payload.
+type DisconnectResponse struct {
+	Released uint64 `json:"released"`
+}
+
+// SessionInfo is the external snapshot of a session, returned by
+// GET /v1/session and POST /v1/branch.
+type SessionInfo struct {
+	ID       uint64 `json:"session"`
+	Fabric   int    `json:"fabric"`
+	Conn     string `json:"connection"`
+	Fanout   int    `json:"fanout"`
+	Branches int    `json:"branches"`
+	// Migrations counts how many times the session's route was moved
+	// off a failed middle module (live migration, id preserved).
+	Migrations int `json:"migrations,omitempty"`
+}
+
+// FabricStatus is one plane's slice of a Status snapshot.
+type FabricStatus struct {
+	Replica     int                    `json:"replica"`
+	Active      int                    `json:"active"`
+	Routed      int64                  `json:"routed"`
+	Blocked     int64                  `json:"blocked"`
+	Utilization multistage.Utilization `json:"utilization"`
+}
+
+// Status is the controller-wide snapshot served by GET /v1/status.
+type Status struct {
+	Model        string         `json:"model"`
+	Construction string         `json:"construction"`
+	N            int            `json:"n"`
+	K            int            `json:"k"`
+	R            int            `json:"r"`
+	M            int            `json:"m"`
+	X            int            `json:"x"`
+	SufficientM  int            `json:"sufficient_m"`
+	Replicas     int            `json:"replicas"`
+	MaxSessions  int            `json:"max_sessions"`
+	Active       int64          `json:"active_sessions"`
+	Draining     bool           `json:"draining"`
+	Fabrics      []FabricStatus `json:"fabrics"`
+}
+
+// FabricSnapshot is one replica's counters in a metrics Snapshot.
+type FabricSnapshot struct {
+	Routed  int64 `json:"routed"`
+	Blocked int64 `json:"blocked"`
+	Active  int64 `json:"active"`
+	// FailedMiddles is the plane's current count of failed middle
+	// modules (a gauge, not a counter).
+	FailedMiddles int `json:"failed_middles,omitempty"`
+}
+
+// LatencyBucket is one histogram bucket in a Snapshot. Counts are
+// per-bucket (non-cumulative).
+type LatencyBucket struct {
+	LEMicros int64 `json:"le_us"` // upper bound; 0 = overflow (+Inf)
+	Count    int64 `json:"count"`
+}
+
+// OpLatency is one operation's latency histogram in a Snapshot.
+type OpLatency struct {
+	Op        string          `json:"op"` // connect | branch | disconnect
+	Count     int64           `json:"count"`
+	MeanNs    int64           `json:"mean_ns"`
+	SumNs     int64           `json:"sum_ns"`
+	P50Micros float64         `json:"p50_us"`
+	P99Micros float64         `json:"p99_us"`
+	Buckets   []LatencyBucket `json:"buckets"`
+}
+
+// Snapshot is the JSON form of the metrics registry, served at
+// GET /v1/metrics and published to expvar. The route_* fields aggregate
+// connect+branch — the fabric routing operations — and predate the
+// per-op split in Ops; they are kept for compatibility with existing
+// consumers.
+type Snapshot struct {
+	Model        string `json:"model"`
+	Construction string `json:"construction"`
+	M            int    `json:"m"`
+	ConnectOK    int64  `json:"connect_ok"`
+	BranchOK     int64  `json:"branch_ok"`
+	DisconnectOK int64  `json:"disconnect_ok"`
+	Blocked      int64  `json:"blocked"`
+	Inadmissible int64  `json:"inadmissible"`
+	CapRejects   int64  `json:"cap_rejects_429"`
+	DrainRejects int64  `json:"drain_rejects_503"`
+	// MigratedSessions counts sessions moved off failed middle modules;
+	// DroppedSessions those the failure plane could not restore.
+	MigratedSessions int64 `json:"migrated_sessions"`
+	DroppedSessions  int64 `json:"dropped_sessions"`
+	RouteCount       int64 `json:"route_count"`
+	RouteMeanNs      int64 `json:"route_mean_ns"`
+	// RouteBoundsUs are the histogram bucket upper bounds in
+	// microseconds, in order; the buckets below have one extra overflow
+	// entry (le_us 0).
+	RouteBoundsUs []int64          `json:"route_latency_bounds_us"`
+	RouteLatency  []LatencyBucket  `json:"route_latency_us"`
+	Ops           []OpLatency      `json:"ops"`
+	PerFabric     []FabricSnapshot `json:"per_fabric"`
+}
+
+// SpansResponse is the GET /v1/debug/spans payload. Traces are ordered
+// oldest-first by root span start.
+type SpansResponse struct {
+	// Kept/Dropped are the tracer's tail-sampling totals since start.
+	Kept    int64              `json:"kept"`
+	Dropped int64              `json:"dropped"`
+	Traces  []span.TraceRecord `json:"traces"`
+}
+
+// Health states served by GET /v1/health.
+const (
+	// HealthOK: no failed middle modules anywhere.
+	HealthOK = "ok"
+	// HealthDegraded: at least one middle module is failed. The
+	// admission cap is derated when a plane's effective middle count
+	// drops below what its provisioning promised.
+	HealthDegraded = "degraded"
+	// HealthCritical: at least one plane has no working middle modules;
+	// requests pinned there fail with CodeFabricFailed.
+	HealthCritical = "critical"
+)
+
+// FabricHealth is one plane's slice of a Health snapshot.
+type FabricHealth struct {
+	Replica       int    `json:"replica"`
+	FailedMiddles []int  `json:"failed_middles"`
+	EffectiveM    int    `json:"effective_m"`
+	Status        string `json:"status"`
+}
+
+// Health is the failure-plane snapshot served by GET /v1/health
+// (HTTP 200 for ok/degraded, 503 for critical, so a load balancer can
+// eject a critical instance with a plain status-code check).
+type Health struct {
+	Status      string `json:"status"` // ok | degraded | critical
+	Degraded    bool   `json:"degraded"`
+	M           int    `json:"m"`
+	SufficientM int    `json:"sufficient_m"`
+	// FailedMiddles is the total failed middle-module count across all
+	// planes; the per-plane lists are in Fabrics.
+	FailedMiddles    int   `json:"failed_middles"`
+	MigratedSessions int64 `json:"migrated_sessions"`
+	DroppedSessions  int64 `json:"dropped_sessions"`
+	// MaxSessions is the configured admission cap (0 = unlimited);
+	// EffectiveMaxSessions the derated cap admission currently enforces
+	// (0 = unlimited, only possible when not degraded).
+	MaxSessions          int            `json:"max_sessions"`
+	EffectiveMaxSessions int            `json:"effective_max_sessions"`
+	Fabrics              []FabricHealth `json:"fabrics"`
+}
+
+// FailRequest is the POST /v1/admin/fail and /v1/admin/repair payload:
+// one middle module of one fabric plane.
+type FailRequest struct {
+	Fabric int `json:"fabric"`
+	Middle int `json:"middle"`
+}
+
+// FailReport is the POST /v1/admin/fail success payload: what the
+// controller did to the sessions riding the failed module.
+type FailReport struct {
+	Fabric   int `json:"fabric"`
+	Middle   int `json:"middle"`
+	Affected int `json:"affected"`
+	// Migrated lists the session ids re-routed in place (ids preserved);
+	// Dropped those no spare capacity could restore (released).
+	Migrated []uint64 `json:"migrated_sessions,omitempty"`
+	Dropped  []uint64 `json:"dropped_sessions,omitempty"`
+	Health   Health   `json:"health"`
+}
+
+// RepairReport is the POST /v1/admin/repair success payload.
+type RepairReport struct {
+	Fabric int    `json:"fabric"`
+	Middle int    `json:"middle"`
+	Health Health `json:"health"`
+}

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"repro/internal/multistage"
+	"repro/internal/switchd/api"
 	"repro/internal/wdm"
 )
 
@@ -61,7 +62,7 @@ func BenchmarkSwitchdThroughput(b *testing.B) {
 		lane := int(nextLane.Add(1)-1) % lanes
 		body := bodies[lane]
 		for pb.Next() {
-			var cr connectResponse
+			var cr api.ConnectResponse
 			if code := benchDo(h, "/v1/connect", body, &cr); code != http.StatusOK {
 				failures.Add(1)
 				continue

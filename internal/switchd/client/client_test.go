@@ -1,0 +1,184 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
+)
+
+// writeEnvelope emits the /v1 error envelope the way the server does.
+func writeEnvelope(w http.ResponseWriter, code string) {
+	e := &api.Error{Code: code, Message: "test"}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(api.StatusFor(code))
+	json.NewEncoder(w).Encode(api.Envelope{Error: e})
+}
+
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+}
+
+// TestRetryOn429 asserts the backoff loop outlives a transient
+// admission_full and that the retry counter reports the sleeps taken.
+func TestRetryOn429(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			writeEnvelope(w, api.CodeAdmissionFull)
+			return
+		}
+		json.NewEncoder(w).Encode(api.ConnectResponse{Session: 7, Fabric: 1})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(fastRetry(4)))
+	cr, err := c.Connect(context.Background(), "0.0>1.0", -1)
+	if err != nil {
+		t.Fatalf("Connect after retries: %v", err)
+	}
+	if cr.Session != 7 || hits.Load() != 3 {
+		t.Fatalf("session %d after %d attempts, want 7 after 3", cr.Session, hits.Load())
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestNoRetryOnBlocked: 409 means the fabric state is what it is —
+// retrying cannot change the answer, so the client must not.
+func TestNoRetryOnBlocked(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeEnvelope(w, api.CodeBlocked)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(fastRetry(5)))
+	_, err := c.Connect(context.Background(), "0.0>1.0", -1)
+	if !api.IsCode(err, api.CodeBlocked) {
+		t.Fatalf("err = %v, want code %q", err, api.CodeBlocked)
+	}
+	if hits.Load() != 1 || c.Retries() != 0 {
+		t.Fatalf("%d attempts, %d retries; blocked must not retry", hits.Load(), c.Retries())
+	}
+}
+
+// TestRetryExhausted: a persistent 503 surfaces as the typed api error
+// with its HTTP status attached, after exactly MaxAttempts tries.
+func TestRetryExhausted(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		writeEnvelope(w, api.CodeDraining)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(fastRetry(3)))
+	_, err := c.Disconnect(context.Background(), 1)
+	if !api.IsCode(err, api.CodeDraining) {
+		t.Fatalf("err = %v, want code %q", err, api.CodeDraining)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.HTTPStatus != http.StatusServiceUnavailable {
+		t.Fatalf("err = %#v, want HTTPStatus 503", err)
+	}
+	if hits.Load() != 3 || c.Retries() != 2 {
+		t.Fatalf("%d attempts, %d retries; want 3 and 2", hits.Load(), c.Retries())
+	}
+}
+
+// TestTraceparentInjection: an explicit ContextWithTraceparent rides
+// every request (and wins over any active span).
+func TestTraceparentInjection(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(span.TraceparentHeader))
+		json.NewEncoder(w).Encode(api.Status{})
+	}))
+	defer srv.Close()
+
+	tp := span.FormatTraceparent(span.NewTraceID(), span.NewSpanID(), span.FlagSampled)
+	c := New(srv.URL, WithHTTPClient(srv.Client()))
+	if _, err := c.Status(ContextWithTraceparent(context.Background(), tp)); err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if got.Load() != tp {
+		t.Fatalf("server saw traceparent %q, want %q", got.Load(), tp)
+	}
+}
+
+// TestHealthCritical503: /v1/health answers 503 with a Health body when
+// critical; the client must decode it, not wrap it as an error.
+func TestHealthCritical503(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(api.Health{Status: api.HealthCritical, FailedMiddles: 5})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithHTTPClient(srv.Client()))
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health on 503: %v", err)
+	}
+	if h.Status != api.HealthCritical || h.FailedMiddles != 5 {
+		t.Fatalf("health = %+v, want critical with 5 failed middles", h)
+	}
+}
+
+// TestNonEnvelopeError: a non-/v1 body (a proxy, a panic page) degrades
+// to a generic error carrying the status, never a zero api.Error.
+func TestNonEnvelopeError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL+"///", WithHTTPClient(srv.Client())) // trailing slashes trimmed
+	_, err := c.Status(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "502") {
+		t.Fatalf("err = %v, want generic 502 error", err)
+	}
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		t.Fatalf("non-envelope body decoded as api.Error %+v", ae)
+	}
+}
+
+// TestContextCancelCutsBackoff: a canceled context ends the retry loop
+// promptly instead of sleeping out the schedule.
+func TestContextCancelCutsBackoff(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, api.CodeAdmissionFull)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithHTTPClient(srv.Client()),
+		WithRetry(RetryPolicy{MaxAttempts: 100, BaseDelay: 10 * time.Second, MaxDelay: 10 * time.Second}))
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Connect(ctx, "0.0>1.0", -1)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first attempt land in its backoff
+	cancel()
+	select {
+	case err := <-done:
+		if !api.IsCode(err, api.CodeAdmissionFull) {
+			t.Fatalf("err = %v, want the last observed admission_full", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled context did not cut the backoff short")
+	}
+}

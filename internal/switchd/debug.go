@@ -136,6 +136,20 @@ func (tc *traceCap) release(connID int) {
 	delete(tc.ids, connID)
 }
 
+// migrate records a failure-plane live migration in add/release
+// vocabulary: the fabric re-routed the connection under a stable id, so
+// the equivalent trace is release old; add same connection ok=new. A
+// replay routes the re-add with the then-current occupancy, which is
+// exactly the failure-plane situation being reproduced.
+func (tc *traceCap) migrate(connID int, c wdm.Connection) {
+	if tc == nil {
+		return
+	}
+	tc.trace.Events = append(tc.trace.Events, trace.Event{Op: trace.Release, ID: tc.ids[connID]})
+	delete(tc.ids, connID)
+	tc.add(c, connID, nil)
+}
+
 // branch records an AddBranch in add/release vocabulary. The fabric
 // implements a branch as release + add(grown) under a stable id,
 // restoring the original on a blocked grow, so the equivalent trace is:

@@ -12,6 +12,7 @@ import (
 	"repro/internal/multistage"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
 	"repro/internal/wdm"
 )
 
@@ -19,11 +20,14 @@ import (
 // ("<port>.<wave>><port>.<wave>,..." — see package wdm), so a session is
 // one curl away:
 //
-//	POST /v1/connect    {"connection": "0.0>5.0,9.0", "fabric": -1}
-//	POST /v1/branch     {"session": 7, "dests": ["12.0"]}
-//	POST /v1/disconnect {"session": 7}
+//	POST /v1/connect      {"connection": "0.0>5.0,9.0", "fabric": -1}
+//	POST /v1/branch       {"session": 7, "dests": ["12.0"]}
+//	POST /v1/disconnect   {"session": 7}
 //	GET  /v1/session?id=7
 //	GET  /v1/status
+//	GET  /v1/health         (failure plane: ok|degraded|critical, derated cap)
+//	POST /v1/admin/fail     {"fabric": 0, "middle": 2}  (fail + live-migrate)
+//	POST /v1/admin/repair   {"fabric": 0, "middle": 2}
 //	GET  /v1/metrics        (JSON snapshot)
 //	GET  /metrics           (Prometheus text exposition of the same counters)
 //	GET  /v1/slo            (sliding-window SLIs and burn-rate alerts)
@@ -35,42 +39,15 @@ import (
 // Every serving request runs under a span (see internal/obs/span): an
 // inbound W3C traceparent header is joined, otherwise a fresh trace id
 // is generated, and either way the id is echoed in the traceparent
-// response header.
+// response header. Handlers pass the request context down, so a client
+// disconnect or deadline cancels the controller call before it takes a
+// fabric lock.
 //
-// Status mapping: 200 ok; 400 inadmissible request or bad payload;
-// 404 unknown session; 409 blocked (admissible but unroutable — the
-// condition the theorems make impossible at sufficient m); 429 over the
-// admission cap; 503 draining.
-
-// connectRequest is the POST /v1/connect payload.
-type connectRequest struct {
-	// Connection in wdm codec form, e.g. "0.0>5.0,9.0".
-	Connection string `json:"connection"`
-	// Fabric pins the session to a replica; -1 or omitted lets the
-	// controller choose.
-	Fabric *int `json:"fabric,omitempty"`
-}
-
-type connectResponse struct {
-	Session uint64 `json:"session"`
-	Fabric  int    `json:"fabric"`
-}
-
-// branchRequest is the POST /v1/branch payload.
-type branchRequest struct {
-	Session uint64   `json:"session"`
-	Dests   []string `json:"dests"` // slots in wdm codec form, e.g. "12.0"
-}
-
-// disconnectRequest is the POST /v1/disconnect payload.
-type disconnectRequest struct {
-	Session uint64 `json:"session"`
-}
-
-type errorResponse struct {
-	Error   string `json:"error"`
-	Blocked bool   `json:"blocked,omitempty"`
-}
+// Every non-2xx response carries the api.Envelope error shape,
+// {"error":{"code":"...","message":"..."}}; the codes are stable API
+// (see package api) and the status line is derived from the code:
+// blocked 409, admission_full 429, draining 503, fabric_failed 503,
+// not_found 404, bad_request 400.
 
 // Handler returns the controller's HTTP API as an http.Handler,
 // wrapped in the span tracer's middleware (a no-op when tracing is
@@ -82,6 +59,9 @@ func (ctl *Controller) Handler() http.Handler {
 	mux.HandleFunc("/v1/disconnect", ctl.handleDisconnect)
 	mux.HandleFunc("/v1/session", ctl.handleSession)
 	mux.HandleFunc("/v1/status", ctl.handleStatus)
+	mux.HandleFunc("/v1/health", ctl.handleHealth)
+	mux.HandleFunc("/v1/admin/fail", ctl.handleAdminFail)
+	mux.HandleFunc("/v1/admin/repair", ctl.handleAdminRepair)
 	mux.HandleFunc("/v1/metrics", ctl.handleMetrics)
 	mux.HandleFunc("/metrics", ctl.handlePromMetrics)
 	mux.HandleFunc("/v1/slo", ctl.handleSLO)
@@ -100,54 +80,73 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps controller errors onto the status codes documented
-// above.
-func writeError(w http.ResponseWriter, err error) {
-	resp := errorResponse{Error: err.Error()}
-	code := http.StatusBadRequest
+// apiErrorFor classifies a controller error into the wire error shape.
+// Errors that already carry an *api.Error (the failure plane's
+// validation errors) pass through; sentinels and fabric outcomes map to
+// their stable codes; anything else is a bad request.
+func apiErrorFor(err error) *api.Error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	code := api.CodeBadRequest
 	switch {
 	case multistage.IsBlocked(err):
-		code = http.StatusConflict
-		resp.Blocked = true
+		code = api.CodeBlocked
 	case errors.Is(err, ErrOverCapacity):
-		code = http.StatusTooManyRequests
+		code = api.CodeAdmissionFull
 	case errors.Is(err, ErrDraining):
-		code = http.StatusServiceUnavailable
+		code = api.CodeDraining
+	case errors.Is(err, ErrFabricFailed):
+		code = api.CodeFabricFailed
 	case errors.Is(err, ErrUnknownSession):
-		code = http.StatusNotFound
+		code = api.CodeNotFound
 	}
-	writeJSON(w, code, resp)
+	return &api.Error{Code: code, Message: err.Error()}
+}
+
+// writeError emits err as an api.Envelope under the status its code
+// maps to.
+func writeError(w http.ResponseWriter, err error) {
+	ae := apiErrorFor(err)
+	writeJSON(w, api.StatusFor(ae.Code), api.Envelope{Error: ae})
+}
+
+// writeErrorCode emits a handler-level error (bad query parameter,
+// wrong method) under an explicit code and status.
+func writeErrorCode(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, api.Envelope{Error: &api.Error{Code: code, Message: msg}})
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		writeErrorCode(w, http.StatusMethodNotAllowed, api.CodeBadRequest, "POST required")
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: "+err.Error())
 		return false
 	}
 	return true
 }
 
 func (ctl *Controller) handleConnect(w http.ResponseWriter, r *http.Request) {
-	var req connectRequest
+	var req api.ConnectRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	conn, err := wdm.ParseConnection(req.Connection)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 		return
 	}
 	pin := -1
 	if req.Fabric != nil {
 		pin = *req.Fabric
 	}
-	id, plane, err := ctl.ConnectCtx(r.Context(), conn, pin)
+	id, plane, err := ctl.Connect(r.Context(), conn, pin)
 	if err != nil {
 		if multistage.IsBlocked(err) {
 			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
@@ -161,28 +160,28 @@ func (ctl *Controller) handleConnect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, connectResponse{Session: id, Fabric: plane})
+	writeJSON(w, http.StatusOK, api.ConnectResponse{Session: id, Fabric: plane})
 }
 
 func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
-	var req branchRequest
+	var req api.BranchRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Dests) == 0 {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "branch needs at least one destination slot"})
+		writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, "branch needs at least one destination slot")
 		return
 	}
 	dests := make([]wdm.PortWave, 0, len(req.Dests))
 	for _, ds := range req.Dests {
 		d, err := wdm.ParseSlot(ds)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
 			return
 		}
 		dests = append(dests, d)
 	}
-	if err := ctl.AddBranchCtx(r.Context(), req.Session, dests...); err != nil {
+	if err := ctl.AddBranch(r.Context(), req.Session, dests...); err != nil {
 		if multistage.IsBlocked(err) {
 			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
 				slog.String("request_id", obs.RequestID(r.Context())),
@@ -199,21 +198,21 @@ func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (ctl *Controller) handleDisconnect(w http.ResponseWriter, r *http.Request) {
-	var req disconnectRequest
+	var req api.DisconnectRequest
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := ctl.DisconnectCtx(r.Context(), req.Session); err != nil {
+	if err := ctl.Disconnect(r.Context(), req.Session); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]uint64{"released": req.Session})
+	writeJSON(w, http.StatusOK, api.DisconnectResponse{Released: req.Session})
 }
 
 func (ctl *Controller) handleSession(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.ParseUint(r.URL.Query().Get("id"), 10, 64)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want ?id=<session>"})
+		writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, "want ?id=<session>")
 		return
 	}
 	info, ok := ctl.Session(id)
@@ -226,6 +225,45 @@ func (ctl *Controller) handleSession(w http.ResponseWriter, r *http.Request) {
 
 func (ctl *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ctl.Status())
+}
+
+// handleHealth serves the failure-plane snapshot. ok and degraded
+// answer 200 (the instance still serves, possibly derated); critical —
+// some plane has no working middles — answers 503 so a plain
+// status-code health check ejects the instance.
+func (ctl *Controller) handleHealth(w http.ResponseWriter, r *http.Request) {
+	h := ctl.Health()
+	status := http.StatusOK
+	if h.Status == api.HealthCritical {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, h)
+}
+
+func (ctl *Controller) handleAdminFail(w http.ResponseWriter, r *http.Request) {
+	var req api.FailRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rep, err := ctl.FailMiddle(r.Context(), req.Fabric, req.Middle)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (ctl *Controller) handleAdminRepair(w http.ResponseWriter, r *http.Request) {
+	var req api.FailRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	rep, err := ctl.RepairMiddle(r.Context(), req.Fabric, req.Middle)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (ctl *Controller) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -1,11 +1,14 @@
 package switchd
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/switchd/api"
 )
 
 // do issues one request against the controller's handler in-process and
@@ -33,7 +36,7 @@ func TestHTTPLifecycle(t *testing.T) {
 	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 2})
 	h := ctl.Handler()
 
-	var cr connectResponse
+	var cr api.ConnectResponse
 	if code := do(t, h, "POST", "/v1/connect", `{"connection": "0.0>5.0,9.0"}`, &cr); code != http.StatusOK {
 		t.Fatalf("connect: code %d", code)
 	}
@@ -121,15 +124,15 @@ func TestHTTPStatusMapping(t *testing.T) {
 	if code := do(t, h, "POST", "/v1/connect", `{"connection": "0.0>4.0"}`, nil); code != http.StatusOK {
 		t.Fatalf("setup connect: code %d", code)
 	}
-	var errResp errorResponse
+	var env api.Envelope
 	req := httptest.NewRequest("POST", "/v1/connect", strings.NewReader(`{"connection": "1.0>5.0"}`))
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, req)
 	if w.Code != http.StatusConflict {
 		t.Fatalf("blocked connect: code %d body %s, want 409", w.Code, w.Body.String())
 	}
-	if err := json.Unmarshal(w.Body.Bytes(), &errResp); err != nil || !errResp.Blocked {
-		t.Fatalf("blocked connect body %q: blocked flag not set", w.Body.String())
+	if err := json.Unmarshal(w.Body.Bytes(), &env); err != nil || env.Error == nil || env.Error.Code != api.CodeBlocked {
+		t.Fatalf("blocked connect body %q: want error code %q", w.Body.String(), api.CodeBlocked)
 	}
 
 	// Fill to the cap (one live already): two more, then 429.
@@ -144,7 +147,7 @@ func TestHTTPStatusMapping(t *testing.T) {
 	}
 
 	// Drain: everything released, new work 503.
-	ctl.Drain()
+	ctl.Drain(context.Background())
 	if code := do(t, h, "POST", "/v1/connect", `{"connection": "12.0>0.0"}`, nil); code != http.StatusServiceUnavailable {
 		t.Fatalf("draining connect: code %d, want 503", code)
 	}

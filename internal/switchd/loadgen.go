@@ -1,33 +1,111 @@
 package switchd
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
+	"repro/internal/switchd/client"
 	"repro/internal/wdm"
 	"repro/internal/workload"
 )
 
 // Attack mode: a closed-loop load generator that replays admissible
 // multicast traffic (internal/workload patterns) against a running
-// wdmserve instance over its HTTP API and reports achieved throughput
-// and blocking.
+// wdmserve instance through the typed /v1 client and reports achieved
+// throughput and blocking.
 //
 // Each worker owns a disjoint slice of the port space of one fabric
 // replica (ports with port % workersPerFabric == its partition, pinned
 // to its plane), tracks its own free source/destination slots, and only
 // ever offers connections whose endpoints are free in its slice — so
-// every 409 from the server is a genuine blocking event, exactly as in
-// the offline simulator, and the server-side `blocked` counter can be
-// diffed against `internal/sim` results for the same parameters.
+// every `blocked` from the server is a genuine blocking event, exactly
+// as in the offline simulator, and the server-side `blocked` counter
+// can be diffed against `internal/sim` results for the same parameters.
+//
+// A chaos schedule (ChaosEvent, parsed from "-chaos" syntax by
+// ParseChaos) fires fail/repair calls against the target's failure
+// plane at fixed offsets into the run, turning the generator into an
+// end-to-end chaos harness: at m = bound + f spares, failing f middles
+// mid-run must keep both drops and blocks at zero.
+
+// Chaos actions a schedule can fire against the failure plane.
+const (
+	ChaosFail   = "fail"
+	ChaosRepair = "repair"
+)
+
+// ChaosEvent is one scheduled failure-plane operation.
+type ChaosEvent struct {
+	// At is the offset from attack start.
+	At time.Duration `json:"at_ns"`
+	// Action is "fail" or "repair".
+	Action string `json:"action"`
+	Fabric int    `json:"fabric"`
+	Middle int    `json:"middle"`
+}
+
+// ParseChaos parses a chaos schedule in the -chaos flag syntax: a
+// comma-separated list of "<action>@<offset> f<fabric>:m<middle>",
+// e.g. "fail@10s f0:m2, repair@30s f0:m2".
+func ParseChaos(s string) ([]ChaosEvent, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var events []ChaosEvent
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Fields(part)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("switchd: chaos: want \"<action>@<offset> f<fabric>:m<middle>\", got %q", part)
+		}
+		action, offset, ok := strings.Cut(fields[0], "@")
+		if !ok || (action != ChaosFail && action != ChaosRepair) {
+			return nil, fmt.Errorf("switchd: chaos: want fail@<offset> or repair@<offset>, got %q", fields[0])
+		}
+		at, err := time.ParseDuration(offset)
+		if err != nil || at < 0 {
+			return nil, fmt.Errorf("switchd: chaos: bad offset in %q: %v", fields[0], err)
+		}
+		target := fields[1]
+		fs, ms, ok := strings.Cut(target, ":")
+		if !ok || !strings.HasPrefix(fs, "f") || !strings.HasPrefix(ms, "m") {
+			return nil, fmt.Errorf("switchd: chaos: want f<fabric>:m<middle>, got %q", target)
+		}
+		fab, err1 := strconv.Atoi(fs[1:])
+		mid, err2 := strconv.Atoi(ms[1:])
+		if err1 != nil || err2 != nil || fab < 0 || mid < 0 {
+			return nil, fmt.Errorf("switchd: chaos: bad target %q", target)
+		}
+		events = append(events, ChaosEvent{At: at, Action: action, Fabric: fab, Middle: mid})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+// ChaosOutcome is what one scheduled event did.
+type ChaosOutcome struct {
+	ChaosEvent
+	// Error is set when the admin call failed (by api error string).
+	Error string `json:"error,omitempty"`
+	// Migrated/Dropped are the session counts a fail moved/lost; zero
+	// for repairs.
+	Migrated int `json:"migrated,omitempty"`
+	Dropped  int `json:"dropped,omitempty"`
+	// Health is the server's rollup status after the event.
+	Health string `json:"health,omitempty"`
+}
 
 // AttackConfig parameterizes one load-generation run.
 type AttackConfig struct {
@@ -50,6 +128,12 @@ type AttackConfig struct {
 	TargetLive int
 	// Seed drives the per-worker traffic generators.
 	Seed int64
+	// Retry is the typed client's backoff policy for 429/503 answers;
+	// the zero value disables retries.
+	Retry client.RetryPolicy
+	// Chaos is the failure-plane schedule fired during the run (see
+	// ParseChaos).
+	Chaos []ChaosEvent
 }
 
 // ClientLatency summarizes the client-observed connect latency (full
@@ -67,7 +151,8 @@ type ClientLatency struct {
 // and /v1/debug/blocking on the target.
 type TraceRef struct {
 	TraceID string `json:"trace_id"`
-	Status  int    `json:"status"` // HTTP status of the connect
+	// Outcome is "ok" or the api error code the connect drew.
+	Outcome string `json:"outcome"`
 	Micros  int64  `json:"micros"` // client-observed round trip
 	Conn    string `json:"connection"`
 }
@@ -78,7 +163,7 @@ type AttackReport struct {
 	Connects    int           `json:"connects"`
 	Routed      int           `json:"routed"`
 	Blocked     int           `json:"blocked"`
-	Rejected    int           `json:"rejected_429"`
+	Rejected    int           `json:"rejected"` // admission_full answers
 	Disconnects int           `json:"disconnects"`
 	Duration    time.Duration `json:"duration_ns"`
 
@@ -86,15 +171,23 @@ type AttackReport struct {
 	// disconnects) per wall-clock second; ConnectsPerSec only connects.
 	OpsPerSec      float64 `json:"ops_per_sec"`
 	ConnectsPerSec float64 `json:"connects_per_sec"`
-	// BlockingProbability is Blocked / Connects (429s excluded: they
-	// were never offered to a fabric).
+	// BlockingProbability is Blocked / Connects (admission rejects
+	// excluded: they were never offered to a fabric).
 	BlockingProbability float64 `json:"blocking_probability"`
 
-	// StatusCounts tallies every connect response by HTTP status code
-	// ("200", "409", ...); ConnectLatency summarizes the client-observed
-	// connect round-trip times.
-	StatusCounts   map[string]int `json:"status_counts"`
+	// Outcomes tallies every connect by result: "ok" or the stable api
+	// error code ("blocked", "admission_full", ...). ConnectLatency
+	// summarizes the client-observed connect round-trip times.
+	Outcomes       map[string]int `json:"outcomes"`
 	ConnectLatency ClientLatency  `json:"connect_latency_us"`
+
+	// Retries is the typed client's total backoff retries across the
+	// run; LostSessions counts sessions the server dropped under chaos
+	// (disconnect answered not_found).
+	Retries      int64 `json:"retries"`
+	LostSessions int   `json:"lost_sessions"`
+	// Chaos reports what each scheduled failure-plane event did.
+	Chaos []ChaosOutcome `json:"chaos,omitempty"`
 
 	// SlowestTraces are the slowest connects by client round trip;
 	// BlockedTraces every blocked connect (up to a cap) — both by the
@@ -112,6 +205,19 @@ func (r AttackReport) String() string {
 		r.OpsPerSec, r.ConnectsPerSec,
 		r.ConnectLatency.P50Micros, r.ConnectLatency.P95Micros, r.ConnectLatency.P99Micros,
 		r.BlockingProbability, r.Server.Blocked)
+	if r.Retries > 0 || r.LostSessions > 0 {
+		s += fmt.Sprintf("\nretries=%d lost_sessions=%d", r.Retries, r.LostSessions)
+	}
+	for _, c := range r.Chaos {
+		s += fmt.Sprintf("\nchaos %s@%v f%d:m%d", c.Action, c.At.Round(time.Millisecond), c.Fabric, c.Middle)
+		if c.Error != "" {
+			s += " error=" + c.Error
+		} else if c.Action == ChaosFail {
+			s += fmt.Sprintf(" migrated=%d dropped=%d health=%s", c.Migrated, c.Dropped, c.Health)
+		} else {
+			s += " health=" + c.Health
+		}
+	}
 	if len(r.BlockedTraces) > 0 {
 		s += fmt.Sprintf("\nfirst blocked trace: %s (curl <target>/v1/debug/spans?trace=%s)",
 			r.BlockedTraces[0].TraceID, r.BlockedTraces[0].TraceID)
@@ -124,10 +230,11 @@ func (r AttackReport) String() string {
 
 // Attack runs the load generator against cfg.BaseURL.
 func Attack(cfg AttackConfig) (AttackReport, error) {
-	client := cfg.Client
-	if client == nil {
-		client = http.DefaultClient
+	opts := []client.Option{client.WithRetry(cfg.Retry)}
+	if cfg.Client != nil {
+		opts = append(opts, client.WithHTTPClient(cfg.Client))
 	}
+	cl := client.New(cfg.BaseURL, opts...)
 	if cfg.Requests <= 0 {
 		cfg.Requests = 10000
 	}
@@ -138,9 +245,10 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 		cfg.TargetLive = 8
 	}
 
-	var status Status
-	if code, err := getJSON(client, cfg.BaseURL+"/v1/status", &status); err != nil || code != http.StatusOK {
-		return AttackReport{}, fmt.Errorf("switchd: attack: fetching target status (code %d): %v", code, err)
+	ctx := context.Background()
+	status, err := cl.Status(ctx)
+	if err != nil {
+		return AttackReport{}, fmt.Errorf("switchd: attack: fetching target status: %w", err)
 	}
 	model, err := wdm.ParseModel(status.Model)
 	if err != nil {
@@ -154,8 +262,14 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	perWorker := cfg.Requests / workers
 	remainder := cfg.Requests % workers
 
-	results := make([]attackWorkerResult, workers)
+	// The chaos scheduler runs alongside the workers and is cut off when
+	// they finish (events past the run's end never fire).
+	chaosCtx, stopChaos := context.WithCancel(ctx)
+	chaosDone := make(chan []ChaosOutcome, 1)
 	start := time.Now()
+	go func() { chaosDone <- runChaos(chaosCtx, cl, start, cfg.Chaos) }()
+
+	results := make([]attackWorkerResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -165,13 +279,15 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 			if w < remainder {
 				attempts++
 			}
-			results[w] = attackWorker(client, cfg, status, model, w, attempts)
+			results[w] = attackWorker(ctx, cl, cfg, status, model, w, attempts)
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	stopChaos()
+	chaos := <-chaosDone
 
-	rep := AttackReport{Workers: workers, Duration: elapsed, StatusCounts: map[string]int{}}
+	rep := AttackReport{Workers: workers, Duration: elapsed, Outcomes: map[string]int{}, Chaos: chaos}
 	var firstErr error
 	var latencies []time.Duration
 	var traces []TraceRef
@@ -181,8 +297,9 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 		rep.Blocked += r.blocked
 		rep.Rejected += r.rejected
 		rep.Disconnects += r.disconnects
-		for code, n := range r.statusCounts {
-			rep.StatusCounts[strconv.Itoa(code)] += n
+		rep.LostSessions += r.lost
+		for code, n := range r.outcomes {
+			rep.Outcomes[code] += n
 		}
 		latencies = append(latencies, r.latencies...)
 		traces = append(traces, r.traces...)
@@ -190,6 +307,7 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 			firstErr = r.err
 		}
 	}
+	rep.Retries = cl.Retries()
 	if firstErr != nil {
 		return rep, firstErr
 	}
@@ -197,7 +315,7 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	// connect (up to a cap) and the slowest round trips.
 	const maxBlockedTraces, maxSlowTraces = 16, 5
 	for _, t := range traces {
-		if t.Status == http.StatusConflict && len(rep.BlockedTraces) < maxBlockedTraces {
+		if t.Outcome == api.CodeBlocked && len(rep.BlockedTraces) < maxBlockedTraces {
 			rep.BlockedTraces = append(rep.BlockedTraces, t)
 		}
 	}
@@ -221,15 +339,57 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	if rep.Connects > 0 {
 		rep.BlockingProbability = float64(rep.Blocked) / float64(rep.Connects)
 	}
-	if code, err := getJSON(client, cfg.BaseURL+"/v1/metrics", &rep.Server); err != nil || code != http.StatusOK {
-		return rep, fmt.Errorf("switchd: attack: fetching target metrics (code %d): %v", code, err)
+	if rep.Server, err = cl.MetricsSnapshot(ctx); err != nil {
+		return rep, fmt.Errorf("switchd: attack: fetching target metrics: %w", err)
 	}
 	return rep, nil
 }
 
+// runChaos fires the scheduled events in order, sleeping out each
+// offset relative to start; ctx cancellation ends the schedule early.
+func runChaos(ctx context.Context, cl *client.Client, start time.Time, events []ChaosEvent) []ChaosOutcome {
+	var out []ChaosOutcome
+	for _, ev := range events {
+		wait := time.Until(start.Add(ev.At))
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return out
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return out
+		}
+		oc := ChaosOutcome{ChaosEvent: ev}
+		switch ev.Action {
+		case ChaosFail:
+			rep, err := cl.Fail(ctx, ev.Fabric, ev.Middle)
+			if err != nil {
+				oc.Error = err.Error()
+			} else {
+				oc.Migrated = len(rep.Migrated)
+				oc.Dropped = len(rep.Dropped)
+				oc.Health = rep.Health.Status
+			}
+		case ChaosRepair:
+			rep, err := cl.Repair(ctx, ev.Fabric, ev.Middle)
+			if err != nil {
+				oc.Error = err.Error()
+			} else {
+				oc.Health = rep.Health.Status
+			}
+		}
+		out = append(out, oc)
+	}
+	return out
+}
+
 type attackWorkerResult struct {
 	connects, routed, blocked, rejected, disconnects int
-	statusCounts                                     map[int]int
+	lost                                             int // sessions the server dropped under chaos
+	outcomes                                         map[string]int
 	latencies                                        []time.Duration // per-connect round trips
 	traces                                           []TraceRef      // one per connect, by the trace id sent
 	err                                              error
@@ -238,8 +398,8 @@ type attackWorkerResult struct {
 // attackWorker drives one closed loop: connect until the live target is
 // reached, then recycle oldest-first, keeping every request admissible
 // within its private port slice.
-func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int) attackWorkerResult {
-	res := attackWorkerResult{statusCounts: map[int]int{}}
+func attackWorker(ctx context.Context, cl *client.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int) attackWorkerResult {
+	res := attackWorkerResult{outcomes: map[string]int{}}
 	fabric := w / cfg.WorkersPerFabric
 	part := w % cfg.WorkersPerFabric
 
@@ -262,14 +422,17 @@ func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wd
 	disconnectOldest := func() error {
 		s := live[0]
 		live = live[1:]
-		code, err := postJSON(client, cfg.BaseURL+"/v1/disconnect", disconnectRequest{Session: s.id}, nil)
-		if err != nil {
-			return err
+		_, err := cl.Disconnect(ctx, s.id)
+		switch {
+		case err == nil:
+			res.disconnects++
+		case api.IsCode(err, api.CodeNotFound):
+			// Chaos dropped the session server-side; the slots are free
+			// either way.
+			res.lost++
+		default:
+			return fmt.Errorf("switchd: attack: disconnect session %d: %w", s.id, err)
 		}
-		if code != http.StatusOK {
-			return fmt.Errorf("switchd: attack: disconnect session %d: unexpected status %d", s.id, code)
-		}
-		res.disconnects++
 		freeSrc.put(s.conn.Source)
 		for _, d := range s.conn.Dests {
 			freeDst.put(d)
@@ -302,39 +465,40 @@ func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wd
 			continue
 		}
 
-		pin := fabric
-		var cr connectResponse
 		// Send a client-generated W3C traceparent so this request's trace
 		// id is known here without reading the response: the join key for
 		// /v1/debug/spans, the /metrics exemplars, and /v1/debug/blocking.
 		tid := span.NewTraceID()
 		traceparent := span.FormatTraceparent(tid, span.NewSpanID(), span.FlagSampled)
+		connStr := wdm.FormatConnection(conn)
 		start := time.Now()
-		code, err := postJSONTraced(client, cfg.BaseURL+"/v1/connect", traceparent,
-			connectRequest{Connection: wdm.FormatConnection(conn), Fabric: &pin}, &cr)
-		if err != nil {
-			res.err = err
-			return res
-		}
+		cr, err := cl.Connect(client.ContextWithTraceparent(ctx, traceparent), connStr, fabric)
 		rtt := time.Since(start)
 		res.latencies = append(res.latencies, rtt)
+		outcome := "ok"
+		if err != nil {
+			if outcome = api.CodeOf(err); outcome == "" {
+				res.err = fmt.Errorf("switchd: attack: connect %s: %w", connStr, err)
+				return res
+			}
+		}
 		res.traces = append(res.traces, TraceRef{
-			TraceID: tid.String(), Status: code,
-			Micros: rtt.Microseconds(), Conn: wdm.FormatConnection(conn),
+			TraceID: tid.String(), Outcome: outcome,
+			Micros: rtt.Microseconds(), Conn: connStr,
 		})
-		res.statusCounts[code]++
+		res.outcomes[outcome]++
 		res.connects++
-		switch code {
-		case http.StatusOK:
+		switch outcome {
+		case "ok":
 			res.routed++
 			freeSrc.take(conn.Source)
 			for _, d := range conn.Dests {
 				freeDst.take(d)
 			}
 			live = append(live, liveSession{id: cr.Session, conn: conn})
-		case http.StatusConflict:
+		case api.CodeBlocked:
 			res.blocked++
-		case http.StatusTooManyRequests:
+		case api.CodeAdmissionFull:
 			res.rejected++
 			// Shed our own load before trying again.
 			if len(live) > 0 {
@@ -342,8 +506,16 @@ func attackWorker(client *http.Client, cfg AttackConfig, status Status, model wd
 					return res
 				}
 			}
+		case api.CodeFabricFailed:
+			// Our pinned plane is fully failed; count it and keep cycling —
+			// a scheduled repair may bring it back.
+			if len(live) > 0 {
+				if res.err = disconnectOldest(); res.err != nil {
+					return res
+				}
+			}
 		default:
-			res.err = fmt.Errorf("switchd: attack: connect %s: unexpected status %d", wdm.FormatConnection(conn), code)
+			res.err = fmt.Errorf("switchd: attack: connect %s: unexpected error code %s", connStr, outcome)
 			return res
 		}
 	}
@@ -393,51 +565,4 @@ func (s *loadgenSlots) put(slot wdm.PortWave) {
 	}
 	s.pos[slot] = len(s.free)
 	s.free = append(s.free, slot)
-}
-
-// postJSON posts body as JSON and decodes the response into out (when
-// non-nil and the response has a body). It returns the HTTP status.
-func postJSON(client *http.Client, url string, body, out any) (int, error) {
-	return postJSONTraced(client, url, "", body, out)
-}
-
-// postJSONTraced is postJSON with a W3C traceparent header attached
-// when non-empty.
-func postJSONTraced(client *http.Client, url, traceparent string, body, out any) (int, error) {
-	buf, err := json.Marshal(body)
-	if err != nil {
-		return 0, err
-	}
-	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(buf))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if traceparent != "" {
-		req.Header.Set(span.TraceparentHeader, traceparent)
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if out != nil && resp.StatusCode == http.StatusOK {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
-}
-
-// getJSON fetches url and decodes the response into out.
-func getJSON(client *http.Client, url string, out any) (int, error) {
-	resp, err := client.Get(url)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusOK {
-		return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
-	}
-	_, _ = io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, nil
 }

@@ -85,11 +85,14 @@ func (h *latencyHist) exemplarSnapshot() []obs.Exemplar {
 	return out
 }
 
-// fabricMetrics is one replica's counter set.
+// fabricMetrics is one replica's counter set. failedMiddles is a gauge
+// mirroring the plane's failed middle-module count; the failure plane
+// updates it under failMu together with the fabric's own copy.
 type fabricMetrics struct {
-	routed  atomic.Int64
-	blocked atomic.Int64
-	active  atomic.Int64
+	routed        atomic.Int64
+	blocked       atomic.Int64
+	active        atomic.Int64
+	failedMiddles atomic.Int64
 }
 
 // Metrics is the controller's counter registry. All counters are
@@ -112,6 +115,11 @@ type Metrics struct {
 	inadmissible atomic.Int64
 	capRejects   atomic.Int64
 	drainRejects atomic.Int64
+
+	// Failure-plane counters: sessions live-migrated off failed middle
+	// modules, and sessions dropped because no spare could carry them.
+	migrated atomic.Int64
+	dropped  atomic.Int64
 
 	perFabric []*fabricMetrics
 
@@ -145,30 +153,11 @@ func (m *Metrics) Blocked() int64 { return m.blocked.Load() }
 // Routed returns the total successful Connect count.
 func (m *Metrics) Routed() int64 { return m.connectOK.Load() }
 
-// FabricSnapshot is one replica's counters in a Snapshot.
-type FabricSnapshot struct {
-	Routed  int64 `json:"routed"`
-	Blocked int64 `json:"blocked"`
-	Active  int64 `json:"active"`
-}
-
-// LatencyBucket is one histogram bucket in a Snapshot. Counts are
-// per-bucket (non-cumulative).
-type LatencyBucket struct {
-	LEMicros int64 `json:"le_us"` // upper bound; 0 = overflow (+Inf)
-	Count    int64 `json:"count"`
-}
-
-// OpLatency is one operation's latency histogram in a Snapshot.
-type OpLatency struct {
-	Op        string          `json:"op"` // connect | branch | disconnect
-	Count     int64           `json:"count"`
-	MeanNs    int64           `json:"mean_ns"`
-	SumNs     int64           `json:"sum_ns"`
-	P50Micros float64         `json:"p50_us"`
-	P99Micros float64         `json:"p99_us"`
-	Buckets   []LatencyBucket `json:"buckets"`
-}
+// MigratedSessions returns the total sessions live-migrated off failed
+// middle modules; DroppedSessions those the failure plane released for
+// lack of spare capacity.
+func (m *Metrics) MigratedSessions() int64 { return m.migrated.Load() }
+func (m *Metrics) DroppedSessions() int64  { return m.dropped.Load() }
 
 func (h *latencyHist) snapshot(op string) OpLatency {
 	o := OpLatency{Op: op, Count: h.count.Load(), SumNs: h.sumNs.Load()}
@@ -187,46 +176,24 @@ func (h *latencyHist) snapshot(op string) OpLatency {
 	return o
 }
 
-// Snapshot is the JSON form of the registry, served at /v1/metrics and
-// published to expvar. The route_* fields aggregate connect+branch —
-// the fabric routing operations — and predate the per-op split in Ops;
-// they are kept for compatibility with existing consumers.
-type Snapshot struct {
-	Model        string `json:"model"`
-	Construction string `json:"construction"`
-	M            int    `json:"m"`
-	ConnectOK    int64  `json:"connect_ok"`
-	BranchOK     int64  `json:"branch_ok"`
-	DisconnectOK int64  `json:"disconnect_ok"`
-	Blocked      int64  `json:"blocked"`
-	Inadmissible int64  `json:"inadmissible"`
-	CapRejects   int64  `json:"cap_rejects_429"`
-	DrainRejects int64  `json:"drain_rejects_503"`
-	RouteCount   int64  `json:"route_count"`
-	RouteMeanNs  int64  `json:"route_mean_ns"`
-	// RouteBoundsUs are the histogram bucket upper bounds in
-	// microseconds, in order; the buckets below have one extra overflow
-	// entry (le_us 0).
-	RouteBoundsUs []int64          `json:"route_latency_bounds_us"`
-	RouteLatency  []LatencyBucket  `json:"route_latency_us"`
-	Ops           []OpLatency      `json:"ops"`
-	PerFabric     []FabricSnapshot `json:"per_fabric"`
-}
-
-// Snapshot assembles the current counter values.
+// Snapshot assembles the current counter values. (The Snapshot type
+// itself lives in the api package — it is part of the /v1 wire
+// contract.)
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Model:         m.model,
-		Construction:  m.construction,
-		M:             m.m,
-		ConnectOK:     m.connectOK.Load(),
-		BranchOK:      m.branchOK.Load(),
-		DisconnectOK:  m.disconnectOK.Load(),
-		Blocked:       m.blocked.Load(),
-		Inadmissible:  m.inadmissible.Load(),
-		CapRejects:    m.capRejects.Load(),
-		DrainRejects:  m.drainRejects.Load(),
-		RouteBoundsUs: routeBucketsMicros,
+		Model:            m.model,
+		Construction:     m.construction,
+		M:                m.m,
+		ConnectOK:        m.connectOK.Load(),
+		BranchOK:         m.branchOK.Load(),
+		DisconnectOK:     m.disconnectOK.Load(),
+		Blocked:          m.blocked.Load(),
+		Inadmissible:     m.inadmissible.Load(),
+		CapRejects:       m.capRejects.Load(),
+		DrainRejects:     m.drainRejects.Load(),
+		MigratedSessions: m.migrated.Load(),
+		DroppedSessions:  m.dropped.Load(),
+		RouteBoundsUs:    routeBucketsMicros,
 	}
 	s.Ops = []OpLatency{
 		m.connectLat.snapshot("connect"),
@@ -246,9 +213,10 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	for _, f := range m.perFabric {
 		s.PerFabric = append(s.PerFabric, FabricSnapshot{
-			Routed:  f.routed.Load(),
-			Blocked: f.blocked.Load(),
-			Active:  f.active.Load(),
+			Routed:        f.routed.Load(),
+			Blocked:       f.blocked.Load(),
+			Active:        f.active.Load(),
+			FailedMiddles: int(f.failedMiddles.Load()),
 		})
 	}
 	return s

@@ -4,7 +4,7 @@ import (
 	"net/http"
 	"strconv"
 
-	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
 )
 
 // Observability endpoints for the tracing and SLO subsystems:
@@ -15,18 +15,9 @@ import (
 //	GET /v1/debug/spans?limit=N    the N most recent
 //	GET /v1/slo                    sliding-window SLIs and burn-rate alerts
 
-// SpansResponse is the GET /v1/debug/spans payload. Traces are ordered
-// oldest-first by root span start.
-type SpansResponse struct {
-	// Kept/Dropped are the tracer's tail-sampling totals since start.
-	Kept    int64              `json:"kept"`
-	Dropped int64              `json:"dropped"`
-	Traces  []span.TraceRecord `json:"traces"`
-}
-
 func (ctl *Controller) handleDebugSpans(w http.ResponseWriter, r *http.Request) {
 	if ctl.tracer == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "span tracing disabled (Config.Spans.Capacity < 0)"})
+		writeErrorCode(w, http.StatusNotFound, api.CodeNotFound, "span tracing disabled (Config.Spans.Capacity < 0)")
 		return
 	}
 	traces := ctl.tracer.Snapshot()
@@ -52,7 +43,7 @@ func (ctl *Controller) handleDebugSpans(w http.ResponseWriter, r *http.Request) 
 	if ls := q.Get("limit"); ls != "" {
 		n, err := strconv.Atoi(ls)
 		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want ?limit=<non-negative int>"})
+			writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, "want ?limit=<non-negative int>")
 			return
 		}
 		if n < len(traces) {

@@ -1,6 +1,7 @@
 package switchd
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -22,11 +23,11 @@ func TestPromEndpointCrossCheck(t *testing.T) {
 	defer srv.Close()
 
 	id := mustConnect(t, ctl, "0.0>5.0,9.0", 0)
-	if err := ctl.AddBranch(id, wdm.PortWave{Port: 12, Wave: 0}); err != nil {
+	if err := ctl.AddBranch(context.Background(), id, wdm.PortWave{Port: 12, Wave: 0}); err != nil {
 		t.Fatal(err)
 	}
 	id2 := mustConnect(t, ctl, "1.0>6.0", 1)
-	if err := ctl.Disconnect(id2); err != nil {
+	if err := ctl.Disconnect(context.Background(), id2); err != nil {
 		t.Fatal(err)
 	}
 
@@ -133,7 +134,7 @@ func driveUntilBlocked(t *testing.T, ctl *Controller) {
 				Source: wdm.PortWave{Port: wdm.Port(src), Wave: 0},
 				Dests:  []wdm.PortWave{{Port: wdm.Port(dst), Wave: 0}},
 			}
-			_, _, err := ctl.Connect(c, 0)
+			_, _, err := ctl.Connect(context.Background(), c, 0)
 			if multistage.IsBlocked(err) {
 				return
 			}
@@ -309,10 +310,10 @@ func TestTraceDisabled(t *testing.T) {
 func TestTraceCapturesBranch(t *testing.T) {
 	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 1, CaptureTrace: true})
 	id := mustConnect(t, ctl, "0.0>5.0", 0)
-	if err := ctl.AddBranch(id, wdm.PortWave{Port: 9, Wave: 0}); err != nil {
+	if err := ctl.AddBranch(context.Background(), id, wdm.PortWave{Port: 9, Wave: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctl.Disconnect(id); err != nil {
+	if err := ctl.Disconnect(context.Background(), id); err != nil {
 		t.Fatal(err)
 	}
 

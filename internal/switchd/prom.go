@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
+	"repro/internal/switchd/api"
 )
 
 // Prometheus text exposition for GET /metrics, assembled from the same
@@ -42,6 +43,17 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 
 	w.Gauge("wdm_active_sessions", "Live multicast sessions across all fabric planes.", float64(st.Active))
 	w.Gauge("wdm_draining", "1 while the controller is draining.", b2f(st.Draining))
+
+	// Failure plane: failed middles per plane, live migrations, drops,
+	// degraded flag, and the derated admission cap (0 = unlimited).
+	w.Counter("wdm_migrated_sessions_total", "Sessions live-migrated off failed middle modules (ids preserved).", float64(snap.MigratedSessions))
+	w.Counter("wdm_dropped_sessions_total", "Sessions dropped by the failure plane for lack of spare middle capacity.", float64(snap.DroppedSessions))
+	w.Gauge("wdm_degraded", "1 while any middle module is failed.", b2f(ctl.Degraded()))
+	w.Gauge("wdm_effective_max_sessions", "Admission cap currently enforced (MaxSessions, derated in degraded mode; 0 = unlimited).", float64(ctl.EffectiveMaxSessions()))
+	for i, f := range snap.PerFabric {
+		lbl := obs.Label{Name: "fabric", Value: strconv.Itoa(i)}
+		w.Gauge("wdm_failed_middles", "Failed middle modules per fabric plane.", float64(f.FailedMiddles), lbl)
+	}
 
 	for i, f := range snap.PerFabric {
 		lbl := obs.Label{Name: "fabric", Value: strconv.Itoa(i)}
@@ -171,7 +183,7 @@ type blockingResponse struct {
 
 func (ctl *Controller) handleDebugBlocking(w http.ResponseWriter, r *http.Request) {
 	if ctl.blockLog == nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "blocking forensics disabled (Config.BlockLog < 0)"})
+		writeErrorCode(w, http.StatusNotFound, api.CodeNotFound, "blocking forensics disabled (Config.BlockLog < 0)")
 		return
 	}
 	incidents, total := ctl.blockLog.snapshot()
@@ -185,14 +197,14 @@ func (ctl *Controller) handleDebugTrace(w http.ResponseWriter, r *http.Request) 
 	if q := r.URL.Query().Get("fabric"); q != "" {
 		n, err := strconv.Atoi(q)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "want ?fabric=<replica>"})
+			writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, "want ?fabric=<replica>")
 			return
 		}
 		fab = n
 	}
 	t, ok := ctl.Trace(fab)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: "trace capture disabled (Config.CaptureTrace) or fabric out of range"})
+		writeErrorCode(w, http.StatusNotFound, api.CodeNotFound, "trace capture disabled (Config.CaptureTrace) or fabric out of range")
 		return
 	}
 	p := ctl.params

@@ -14,24 +14,19 @@ type session struct {
 	ConnID   int // fabric-level connection id
 	Conn     wdm.Connection
 	Branches int // successful AddBranch count
-}
-
-// SessionInfo is the external snapshot of a session.
-type SessionInfo struct {
-	ID       uint64 `json:"session"`
-	Fabric   int    `json:"fabric"`
-	Conn     string `json:"connection"`
-	Fanout   int    `json:"fanout"`
-	Branches int    `json:"branches"`
+	// Migrations counts how many times the failure plane moved this
+	// session's route off a failed middle module.
+	Migrations int
 }
 
 func (s *session) info() SessionInfo {
 	return SessionInfo{
-		ID:       s.ID,
-		Fabric:   s.Fabric,
-		Conn:     wdm.FormatConnection(s.Conn),
-		Fanout:   s.Conn.Fanout(),
-		Branches: s.Branches,
+		ID:         s.ID,
+		Fabric:     s.Fabric,
+		Conn:       wdm.FormatConnection(s.Conn),
+		Fanout:     s.Conn.Fanout(),
+		Branches:   s.Branches,
+		Migrations: s.Migrations,
 	}
 }
 

@@ -11,6 +11,14 @@
 // matter how much admissible traffic arrives, and the metrics endpoint
 // exposes exactly that counter.
 //
+// The same margin is the fault-tolerance budget: middle modules beyond
+// the bound are spare capacity, and the failure plane (FailMiddle /
+// RepairMiddle, POST /v1/admin/fail|repair) spends it deliberately —
+// failing a module live-migrates every session riding it onto the
+// spares (ids preserved), and when failures eat into the bound the
+// controller enters degraded mode, derating the admission cap in
+// proportion to the surviving middle capacity (GET /v1/health).
+//
 // Concurrency model. A multistage.Network is not safe for concurrent
 // use, and the paper's routing is inherently serial per fabric (each
 // decision reads the full link-occupancy state). The controller
@@ -21,6 +29,9 @@
 // (hash of the session id picks the shard) so table bookkeeping never
 // funnels through a single lock. Lock order is always shard -> fabric;
 // no path takes them in the other order, so the pair cannot deadlock.
+// The failure plane adds failMu, which serializes fail/repair
+// operations against each other only; it is never held together with a
+// shard or fabric lock.
 package switchd
 
 import (
@@ -35,14 +46,17 @@ import (
 	"repro/internal/multistage"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
 	"repro/internal/wdm"
 )
 
-// Sentinel errors mapped to HTTP statuses by the handlers (http.go).
+// Sentinel errors mapped to the api error envelope by the handlers
+// (http.go).
 var (
 	// ErrOverCapacity is returned by Connect when admission control
-	// rejects the request: the in-flight session count has reached
-	// Config.MaxSessions. The request was never offered to a fabric.
+	// rejects the request: the in-flight session count has reached the
+	// effective cap (Config.MaxSessions, derated in degraded mode). The
+	// request was never offered to a fabric.
 	ErrOverCapacity = errors.New("switchd: session capacity reached")
 	// ErrDraining is returned once Drain has begun: the controller no
 	// longer accepts new work.
@@ -50,6 +64,23 @@ var (
 	// ErrUnknownSession is returned for operations on session ids that
 	// are not live.
 	ErrUnknownSession = errors.New("switchd: unknown session")
+	// ErrFabricFailed is returned when the target fabric plane has no
+	// working middle modules left (all failed, none repaired).
+	ErrFabricFailed = errors.New("switchd: fabric has no working middle modules")
+)
+
+// Wire types re-exported from the api package (the /v1 contract shared
+// with the typed client); switchd keeps the old names as aliases.
+type (
+	Status         = api.Status
+	FabricStatus   = api.FabricStatus
+	SessionInfo    = api.SessionInfo
+	Snapshot       = api.Snapshot
+	FabricSnapshot = api.FabricSnapshot
+	OpLatency      = api.OpLatency
+	LatencyBucket  = api.LatencyBucket
+	SpansResponse  = api.SpansResponse
+	Health         = api.Health
 )
 
 // Config parameterizes a Controller.
@@ -65,7 +96,9 @@ type Config struct {
 	// Shards is the session-table shard count (default 16).
 	Shards int
 	// MaxSessions caps live sessions across all replicas; Connect
-	// returns ErrOverCapacity beyond it. 0 means unlimited.
+	// returns ErrOverCapacity beyond it. 0 means unlimited. In degraded
+	// mode (failed middle modules eating into the nonblocking bound) the
+	// enforced cap is derated below this — see Controller.Health.
 	MaxSessions int
 	// BlockLog is the capacity of the blocking-forensics ring buffer
 	// served at /v1/debug/blocking. 0 means the default (128); a
@@ -85,7 +118,7 @@ type Config struct {
 	// windows.
 	SLO slo.Config
 	// Logger receives the controller's structured log output (blocked
-	// requests, drains). Nil means slog.Default().
+	// requests, drains, failure-plane events). Nil means slog.Default().
 	Logger *slog.Logger
 }
 
@@ -104,10 +137,13 @@ func (c Config) withDefaults() Config {
 
 // fabric is one serialized switching plane. cap, when non-nil, records
 // the plane's serving history; it is guarded by mu like the network.
+// failedMids mirrors len(net.FailedMiddles()) so admission paths can
+// read it without the fabric lock.
 type fabric struct {
-	mu  sync.Mutex
-	net *multistage.Network
-	cap *traceCap
+	mu         sync.Mutex
+	net        *multistage.Network
+	cap        *traceCap
+	failedMids atomic.Int32
 }
 
 // Controller is the live control plane. All methods are safe for
@@ -115,6 +151,7 @@ type fabric struct {
 type Controller struct {
 	cfg      Config
 	params   multistage.Params // normalized
+	suffM    int               // the construction's sufficient bound
 	fabrics  []*fabric
 	sessions *sessionTable
 	metrics  *Metrics
@@ -125,16 +162,25 @@ type Controller struct {
 
 	nextSession atomic.Uint64
 	// admitted counts admission-control slots (in-flight Connect
-	// attempts plus routed sessions) and is what MaxSessions caps;
-	// active counts only routed live sessions and is what
+	// attempts plus routed sessions) and is what the effective cap
+	// bounds; active counts only routed live sessions and is what
 	// ActiveSessions/Status report.
 	admitted atomic.Int64
 	active   atomic.Int64
 	// inflight counts Connect calls between entry and return; Drain
 	// waits for it to reach zero so no call that slipped past the
-	// draining check can repopulate the session table behind the sweep.
+	// draining check can repopulate a swept shard.
 	inflight atomic.Int64
 	draining atomic.Bool
+
+	// failMu serializes failure-plane operations (FailMiddle /
+	// RepairMiddle) and the degraded-state recompute. It is never held
+	// together with a shard or fabric lock.
+	failMu sync.Mutex
+	// effectiveCap is the admission cap Connect enforces: MaxSessions
+	// normally, derated below it in degraded mode (0 = unlimited).
+	effectiveCap atomic.Int64
+	degraded     atomic.Bool
 }
 
 // New builds a controller with cfg.Replicas freshly constructed fabric
@@ -145,9 +191,11 @@ func New(cfg Config) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	suffM, _ := multistage.SufficientMinM(norm.Construction, norm.Model, norm.N/norm.R, norm.R, norm.K)
 	ctl := &Controller{
 		cfg:      cfg,
 		params:   norm,
+		suffM:    suffM,
 		sessions: newSessionTable(cfg.Shards),
 		metrics:  newMetrics(norm, cfg.Replicas),
 		blockLog: newBlockLog(cfg.BlockLog),
@@ -158,6 +206,7 @@ func New(cfg Config) (*Controller, error) {
 	if ctl.logger == nil {
 		ctl.logger = slog.Default()
 	}
+	ctl.effectiveCap.Store(int64(cfg.MaxSessions))
 	for i := 0; i < cfg.Replicas; i++ {
 		net, err := multistage.New(norm)
 		if err != nil {
@@ -216,31 +265,46 @@ func routeSpanObserver(parent *span.Span) func(multistage.RouteStep) {
 	}
 }
 
+// fabricDead reports whether plane i has no working middle modules.
+func (ctl *Controller) fabricDead(i int) bool {
+	return int(ctl.fabrics[i].failedMids.Load()) >= ctl.params.M
+}
+
 // pickFabric maps a session id to its plane. A non-negative pin selects
 // a plane explicitly (clients that manage their own slot occupancy pin
-// the plane so their admissibility bookkeeping holds).
+// the plane so their admissibility bookkeeping holds); pinning a plane
+// with no working middles, or having no working plane at all, returns
+// ErrFabricFailed.
 func (ctl *Controller) pickFabric(id uint64, pin int) (int, error) {
 	if pin >= 0 {
 		if pin >= len(ctl.fabrics) {
 			return 0, fmt.Errorf("switchd: fabric %d out of range (have %d)", pin, len(ctl.fabrics))
 		}
+		if ctl.fabricDead(pin) {
+			return 0, fmt.Errorf("%w: fabric %d", ErrFabricFailed, pin)
+		}
 		return pin, nil
 	}
-	return int(id % uint64(len(ctl.fabrics))), nil
+	// Unpinned: hash to a plane, then probe past fully-failed ones.
+	start := int(id % uint64(len(ctl.fabrics)))
+	for off := 0; off < len(ctl.fabrics); off++ {
+		plane := (start + off) % len(ctl.fabrics)
+		if !ctl.fabricDead(plane) {
+			return plane, nil
+		}
+	}
+	return 0, ErrFabricFailed
 }
 
-// Connect routes a new multicast session. pin selects a fabric plane
-// (-1 = controller's choice). It returns the session id and the plane
-// the session landed on.
-func (ctl *Controller) Connect(c wdm.Connection, pin int) (id uint64, plane int, err error) {
-	return ctl.ConnectCtx(context.Background(), c, pin)
-}
-
-// ConnectCtx is Connect under a caller context: when ctx carries an
-// active span (the HTTP middleware's root), the controller nests
-// switchd.connect -> fabric.add -> route.middle spans under it and the
-// operation's latency-histogram exemplar references that trace.
-func (ctl *Controller) ConnectCtx(ctx context.Context, c wdm.Connection, pin int) (id uint64, plane int, err error) {
+// Connect routes a new multicast session under the caller's context:
+// cancellation and deadline are honored up to the moment the fabric
+// lock is taken (a routing decision already in flight is never
+// abandoned half-way), and when ctx carries an active span (the HTTP
+// middleware's root) the controller nests switchd.connect -> fabric.add
+// -> route.middle spans under it. pin selects a fabric plane (-1 =
+// controller's choice). It returns the session id and the plane the
+// session landed on.
+func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (id uint64, plane int, err error) {
 	// Count the attempt before the draining check so Drain can wait out
 	// every Connect that might still put a session into the table.
 	ctl.inflight.Add(1)
@@ -256,13 +320,13 @@ func (ctl *Controller) ConnectCtx(ctx context.Context, c wdm.Connection, pin int
 		return 0, 0, ErrDraining
 	}
 	// Admission control: claim a slot optimistically, release on any
-	// failure. This never lets more than MaxSessions through even under
-	// concurrent contention; the price is that a burst of requests that
-	// will fail anyway can transiently hold slots and 429 a request that
-	// would have routed. Slots are tracked separately from the routed-
-	// session count, so in-flight attempts never appear in
+	// failure. This never lets more than the effective cap through even
+	// under concurrent contention; the price is that a burst of requests
+	// that will fail anyway can transiently hold slots and 429 a request
+	// that would have routed. Slots are tracked separately from the
+	// routed-session count, so in-flight attempts never appear in
 	// ActiveSessions/Status.
-	if cap := int64(ctl.cfg.MaxSessions); cap > 0 {
+	if cap := ctl.effectiveCap.Load(); cap > 0 {
 		if ctl.admitted.Add(1) > cap {
 			ctl.admitted.Add(-1)
 			ctl.metrics.capRejects.Add(1)
@@ -287,6 +351,12 @@ func (ctl *Controller) ConnectCtx(ctx context.Context, c wdm.Connection, pin int
 	}
 	sp.SetAttr("session", id)
 	sp.SetAttr("fabric", plane)
+
+	// Last cancellation point before the serialized fabric section.
+	if cerr := ctx.Err(); cerr != nil {
+		sp.SetError(cerr.Error())
+		return 0, 0, cerr
+	}
 
 	f := ctl.fabrics[plane]
 	var connID int
@@ -344,16 +414,12 @@ func (ctl *Controller) ConnectCtx(ctx context.Context, c wdm.Connection, pin int
 }
 
 // AddBranch grows session id by additional destination slots (a new
-// receiver joining the multicast). The grow is atomic: on failure the
-// session keeps its original destination set.
-func (ctl *Controller) AddBranch(id uint64, dests ...wdm.PortWave) error {
-	return ctl.AddBranchCtx(context.Background(), id, dests...)
-}
-
-// AddBranchCtx is AddBranch under a caller context, with the same span
-// nesting as ConnectCtx (switchd.branch -> fabric.branch ->
-// route.middle).
-func (ctl *Controller) AddBranchCtx(ctx context.Context, id uint64, dests ...wdm.PortWave) error {
+// receiver joining the multicast) under the caller's context, with the
+// same span nesting as Connect (switchd.branch -> fabric.branch ->
+// route.middle). The grow is atomic: on failure the session keeps its
+// original destination set. Cancellation is honored before the shard
+// and fabric locks are taken.
+func (ctl *Controller) AddBranch(ctx context.Context, id uint64, dests ...wdm.PortWave) error {
 	ctx, sp := span.Start(ctx, "switchd.branch")
 	defer sp.End()
 	sp.SetAttr("session", id)
@@ -362,6 +428,10 @@ func (ctl *Controller) AddBranchCtx(ctx context.Context, id uint64, dests ...wdm
 		ctl.metrics.drainRejects.Add(1)
 		sp.SetError(ErrDraining.Error())
 		return ErrDraining
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		sp.SetError(cerr.Error())
+		return cerr
 	}
 	sh := ctl.sessions.shardFor(id)
 	sh.mu.Lock()
@@ -426,17 +496,17 @@ func (ctl *Controller) AddBranchCtx(ctx context.Context, id uint64, dests ...wdm
 }
 
 // Disconnect tears down a session and frees every slot and link
-// wavelength it occupied.
-func (ctl *Controller) Disconnect(id uint64) error {
-	return ctl.DisconnectCtx(context.Background(), id)
-}
-
-// DisconnectCtx is Disconnect under a caller context, nesting a
-// switchd.disconnect span when one is active.
-func (ctl *Controller) DisconnectCtx(ctx context.Context, id uint64) error {
+// wavelength it occupied. Cancellation is honored before the shard lock
+// is taken; past that point the release always completes (a half-freed
+// session would be worse than a late one).
+func (ctl *Controller) Disconnect(ctx context.Context, id uint64) error {
 	_, sp := span.Start(ctx, "switchd.disconnect")
 	defer sp.End()
 	sp.SetAttr("session", id)
+	if cerr := ctx.Err(); cerr != nil {
+		sp.SetError(cerr.Error())
+		return cerr
+	}
 	sh := ctl.sessions.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -492,37 +562,10 @@ func (ctl *Controller) Session(id uint64) (SessionInfo, bool) {
 	return s.info(), true
 }
 
-// FabricStatus is one plane's slice of a Status snapshot.
-type FabricStatus struct {
-	Replica     int                    `json:"replica"`
-	Active      int                    `json:"active"`
-	Routed      int64                  `json:"routed"`
-	Blocked     int64                  `json:"blocked"`
-	Utilization multistage.Utilization `json:"utilization"`
-}
-
-// Status is the controller-wide snapshot served by GET /v1/status.
-type Status struct {
-	Model        string         `json:"model"`
-	Construction string         `json:"construction"`
-	N            int            `json:"n"`
-	K            int            `json:"k"`
-	R            int            `json:"r"`
-	M            int            `json:"m"`
-	X            int            `json:"x"`
-	SufficientM  int            `json:"sufficient_m"`
-	Replicas     int            `json:"replicas"`
-	MaxSessions  int            `json:"max_sessions"`
-	Active       int64          `json:"active_sessions"`
-	Draining     bool           `json:"draining"`
-	Fabrics      []FabricStatus `json:"fabrics"`
-}
-
 // Status snapshots every plane. Each fabric is locked briefly in turn;
 // the snapshot is per-plane consistent, not globally atomic.
 func (ctl *Controller) Status() Status {
 	p := ctl.params
-	suffM, _ := multistage.SufficientMinM(p.Construction, p.Model, p.N/p.R, p.R, p.K)
 	st := Status{
 		Model:        p.Model.String(),
 		Construction: p.Construction.String(),
@@ -531,7 +574,7 @@ func (ctl *Controller) Status() Status {
 		R:            p.R,
 		M:            p.M,
 		X:            p.X,
-		SufficientM:  suffM,
+		SufficientM:  ctl.suffM,
 		Replicas:     len(ctl.fabrics),
 		MaxSessions:  ctl.cfg.MaxSessions,
 		Active:       ctl.active.Load(),
@@ -561,6 +604,9 @@ type DrainSummary struct {
 	Released int           `json:"released"`
 	Errors   int           `json:"errors"`
 	Elapsed  time.Duration `json:"elapsed_ns"`
+	// Canceled is set when the caller's context expired before the
+	// sweep could prove the table empty; sessions may remain.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // Drain stops admitting new work (Connect and AddBranch return
@@ -568,8 +614,10 @@ type DrainSummary struct {
 // safe to call while traffic is still arriving: a Connect that passed
 // the draining check before it flipped is waited out and its session
 // released, so when Drain returns the table holds no releasable session
-// and no in-flight request can repopulate it.
-func (ctl *Controller) Drain() DrainSummary {
+// and no in-flight request can repopulate it. If ctx expires mid-sweep
+// the partial summary is returned with Canceled set (admission stays
+// closed; a later Drain call finishes the job).
+func (ctl *Controller) Drain(ctx context.Context) DrainSummary {
 	start := time.Now()
 	ctl.draining.Store(true)
 	var sum DrainSummary
@@ -578,6 +626,10 @@ func (ctl *Controller) Drain() DrainSummary {
 	// counted once and do not keep the sweep loop alive.
 	failed := make(map[uint64]bool)
 	for {
+		if ctx.Err() != nil {
+			sum.Canceled = true
+			break
+		}
 		// Observe the in-flight count before sweeping: if it is zero
 		// here, every session that will ever exist is already in the
 		// table (later Connects see draining and reject), so a full

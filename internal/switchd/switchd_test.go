@@ -1,6 +1,7 @@
 package switchd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
+	"repro/internal/switchd/api"
 	"repro/internal/wdm"
 	"repro/internal/workload"
 )
@@ -50,7 +52,7 @@ func mustConnect(t *testing.T, ctl *Controller, conn string, pin int) uint64 {
 	if err != nil {
 		t.Fatalf("ParseConnection(%q): %v", conn, err)
 	}
-	id, _, err := ctl.Connect(c, pin)
+	id, _, err := ctl.Connect(context.Background(), c, pin)
 	if err != nil {
 		t.Fatalf("Connect(%q): %v", conn, err)
 	}
@@ -71,7 +73,7 @@ func TestConnectBranchDisconnect(t *testing.T) {
 
 	// Grow by one receiver; the session keeps its id and reports the
 	// enlarged fanout.
-	if err := ctl.AddBranch(id, wdm.PortWave{Port: 12, Wave: 0}); err != nil {
+	if err := ctl.AddBranch(context.Background(), id, wdm.PortWave{Port: 12, Wave: 0}); err != nil {
 		t.Fatalf("AddBranch: %v", err)
 	}
 	info, ok = ctl.Session(id)
@@ -80,7 +82,7 @@ func TestConnectBranchDisconnect(t *testing.T) {
 	}
 
 	// The freed slots are reusable after disconnect.
-	if err := ctl.Disconnect(id); err != nil {
+	if err := ctl.Disconnect(context.Background(), id); err != nil {
 		t.Fatalf("Disconnect: %v", err)
 	}
 	if got := ctl.ActiveSessions(); got != 0 {
@@ -99,27 +101,27 @@ func TestConnectErrors(t *testing.T) {
 
 	// Same source slot on the same plane: inadmissible, not blocked.
 	c, _ := wdm.ParseConnection("0.0>7.0")
-	if _, _, err := ctl.Connect(c, 0); err == nil || multistage.IsBlocked(err) {
+	if _, _, err := ctl.Connect(context.Background(), c, 0); err == nil || multistage.IsBlocked(err) {
 		t.Fatalf("reusing busy source: err = %v, want inadmissible error", err)
 	}
 	// The same slots on the *other* plane are free: planes are
 	// independent fabrics.
-	if _, _, err := ctl.Connect(c, 1); err != nil {
+	if _, _, err := ctl.Connect(context.Background(), c, 1); err != nil {
 		t.Fatalf("fresh plane rejected: %v", err)
 	}
 
 	// Out-of-range pin.
-	if _, _, err := ctl.Connect(mustParse(t, "1.0>6.0"), 99); err == nil {
+	if _, _, err := ctl.Connect(context.Background(), mustParse(t, "1.0>6.0"), 99); err == nil {
 		t.Fatal("pin 99 accepted, want error")
 	}
 
 	if _, ok := ctl.Session(12345); ok {
 		t.Fatal("Session(12345) reported ok for unknown id")
 	}
-	if err := ctl.Disconnect(12345); !errors.Is(err, ErrUnknownSession) {
+	if err := ctl.Disconnect(context.Background(), 12345); !errors.Is(err, ErrUnknownSession) {
 		t.Fatalf("Disconnect(12345) = %v, want ErrUnknownSession", err)
 	}
-	if err := ctl.AddBranch(12345, wdm.PortWave{Port: 3, Wave: 0}); !errors.Is(err, ErrUnknownSession) {
+	if err := ctl.AddBranch(context.Background(), 12345, wdm.PortWave{Port: 3, Wave: 0}); !errors.Is(err, ErrUnknownSession) {
 		t.Fatalf("AddBranch(12345) = %v, want ErrUnknownSession", err)
 	}
 }
@@ -137,7 +139,7 @@ func TestAdmissionCap(t *testing.T) {
 	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 1, MaxSessions: 2})
 	mustConnect(t, ctl, "0.0>5.0", -1)
 	mustConnect(t, ctl, "1.0>6.0", -1)
-	_, _, err := ctl.Connect(mustParse(t, "2.0>7.0"), -1)
+	_, _, err := ctl.Connect(context.Background(), mustParse(t, "2.0>7.0"), -1)
 	if !errors.Is(err, ErrOverCapacity) {
 		t.Fatalf("third connect = %v, want ErrOverCapacity", err)
 	}
@@ -147,7 +149,7 @@ func TestAdmissionCap(t *testing.T) {
 	// Capacity frees up with a disconnect; rejected requests must not
 	// leak admission slots.
 	sessions := collectSessions(ctl)
-	if err := ctl.Disconnect(sessions[0]); err != nil {
+	if err := ctl.Disconnect(context.Background(), sessions[0]); err != nil {
 		t.Fatal(err)
 	}
 	mustConnect(t, ctl, "2.0>7.0", -1)
@@ -170,18 +172,18 @@ func TestDrain(t *testing.T) {
 	mustConnect(t, ctl, "0.0>5.0", -1)
 	mustConnect(t, ctl, "1.0>6.0,7.0", -1)
 
-	sum := ctl.Drain()
+	sum := ctl.Drain(context.Background())
 	if sum.Released != 2 || sum.Errors != 0 {
 		t.Fatalf("Drain = %+v, want 2 released, 0 errors", sum)
 	}
 	if got := ctl.ActiveSessions(); got != 0 {
 		t.Fatalf("ActiveSessions after drain = %d, want 0", got)
 	}
-	if _, _, err := ctl.Connect(mustParse(t, "0.0>5.0"), -1); !errors.Is(err, ErrDraining) {
+	if _, _, err := ctl.Connect(context.Background(), mustParse(t, "0.0>5.0"), -1); !errors.Is(err, ErrDraining) {
 		t.Fatalf("connect while draining = %v, want ErrDraining", err)
 	}
 	// Idempotent.
-	if sum := ctl.Drain(); sum.Released != 0 {
+	if sum := ctl.Drain(context.Background()); sum.Released != 0 {
 		t.Fatalf("second Drain released %d, want 0", sum.Released)
 	}
 }
@@ -206,18 +208,18 @@ func TestDrainRacesWithConnect(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				for i := 0; ; i++ {
-					id, _, err := ctl.Connect(conns[g], g%2)
+					id, _, err := ctl.Connect(context.Background(), conns[g], g%2)
 					if errors.Is(err, ErrDraining) {
 						return
 					}
 					if err == nil && i%2 == 0 {
-						_ = ctl.Disconnect(id)
+						_ = ctl.Disconnect(context.Background(), id)
 					}
 				}
 			}(g)
 		}
 		time.Sleep(500 * time.Microsecond) // let traffic build up
-		sum := ctl.Drain()
+		sum := ctl.Drain(context.Background())
 		wg.Wait()
 		if sum.Errors != 0 {
 			t.Fatalf("round %d: Drain errors = %d", round, sum.Errors)
@@ -305,7 +307,7 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 	release := func() error {
 		s := sessions[0]
 		sessions = sessions[1:]
-		if err := ctl.Disconnect(s.id); err != nil {
+		if err := ctl.Disconnect(context.Background(), s.id); err != nil {
 			return err
 		}
 		freeSrc.put(s.conn.Source)
@@ -331,7 +333,7 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 			}
 			continue
 		}
-		id, _, err := ctl.Connect(c, plane)
+		id, _, err := ctl.Connect(context.Background(), c, plane)
 		if err != nil {
 			return fmt.Errorf("Connect(%v): %w", c, err)
 		}
@@ -346,7 +348,7 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 		if rng.Intn(4) == 0 && len(sessions) > 0 {
 			s := &sessions[rng.Intn(len(sessions))]
 			if d, ok := pickGrowSlot(freeDst, s.conn); ok {
-				switch err := ctl.AddBranch(s.id, d); {
+				switch err := ctl.AddBranch(context.Background(), s.id, d); {
 				case err == nil:
 					freeDst.take(d)
 					s.conn.Dests = append(s.conn.Dests, d)
@@ -478,8 +480,8 @@ func TestBlockingObservableBelowBound(t *testing.T) {
 	if rep.Blocked != int(rep.Server.Blocked) {
 		t.Fatalf("client saw %d blocks, server counted %d", rep.Blocked, rep.Server.Blocked)
 	}
-	if rep.StatusCounts["409"] != rep.Blocked {
-		t.Fatalf("status_counts[409] = %d, want %d", rep.StatusCounts["409"], rep.Blocked)
+	if rep.Outcomes[api.CodeBlocked] != rep.Blocked {
+		t.Fatalf("outcomes[blocked] = %d, want %d", rep.Outcomes[api.CodeBlocked], rep.Blocked)
 	}
 	pm := scrapeProm(t, srv.Client(), srv.URL)
 	if v, ok := pm.Value("wdm_blocked_total", nil); !ok || v != float64(rep.Server.Blocked) {

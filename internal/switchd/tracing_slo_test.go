@@ -2,6 +2,7 @@ package switchd
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,13 +13,14 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
 )
 
 // postConnect issues POST /v1/connect, optionally under a traceparent,
 // and returns the response (body decoded into out when non-nil).
 func postConnect(t *testing.T, client *http.Client, baseURL, conn, traceparent string, out any) *http.Response {
 	t.Helper()
-	body, _ := json.Marshal(connectRequest{Connection: conn})
+	body, _ := json.Marshal(api.ConnectRequest{Connection: conn})
 	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/connect", bytes.NewReader(body))
 	if err != nil {
 		t.Fatalf("NewRequest: %v", err)
@@ -97,8 +99,8 @@ func TestTraceJoinEndToEnd(t *testing.T) {
 		if len(ref.TraceID) != 32 {
 			t.Fatalf("blocked trace ref %q is not a 32-hex trace id", ref.TraceID)
 		}
-		if ref.Status != http.StatusConflict {
-			t.Fatalf("blocked trace ref status = %d, want 409", ref.Status)
+		if ref.Outcome != api.CodeBlocked {
+			t.Fatalf("blocked trace ref outcome = %q, want %q", ref.Outcome, api.CodeBlocked)
 		}
 	}
 	// A client-recorded blocked id resolves in the span ring.
@@ -116,10 +118,10 @@ func TestTraceJoinEndToEnd(t *testing.T) {
 	}
 	tid := span.NewTraceID()
 	tp := span.FormatTraceparent(tid, span.NewSpanID(), span.FlagSampled)
-	var blockedResp errorResponse
+	var blockedResp api.Envelope
 	resp := postConnect(t, client, srv.URL, "1.0>8.0", tp, &blockedResp)
-	if resp.StatusCode != http.StatusConflict || !blockedResp.Blocked {
-		t.Fatalf("tail connect: status %d blocked=%v, want 409 blocked", resp.StatusCode, blockedResp.Blocked)
+	if resp.StatusCode != http.StatusConflict || blockedResp.Error == nil || blockedResp.Error.Code != api.CodeBlocked {
+		t.Fatalf("tail connect: status %d body %+v, want 409 %s", resp.StatusCode, blockedResp.Error, api.CodeBlocked)
 	}
 	// The inbound trace id is echoed in the traceparent response header.
 	if echoed := resp.Header.Get(span.TraceparentHeader); echoed == "" {
@@ -228,7 +230,7 @@ func TestBlockLogConcurrentStress(t *testing.T) {
 				// Every attempt blocks (m=1 and the link is held) and
 				// appends one incident.
 				conn := mustParse(t, fmt.Sprintf("1.0>%d.0", 8+i%4))
-				if _, _, err := ctl.Connect(conn, 0); err == nil {
+				if _, _, err := ctl.Connect(context.Background(), conn, 0); err == nil {
 					t.Error("connect unexpectedly routed at m=1")
 					return
 				}
