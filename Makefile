@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo clean
+.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo clean
 
 all: build vet race test
 
@@ -81,6 +81,31 @@ chaos-demo:
 	    -retries 4; \
 	echo '--- /v1/health after the drill'; \
 	curl -s 127.0.0.1:8048/v1/health; echo
+
+# Crash drill (EXPERIMENTS.md § "Crash walkthrough", scripted): a
+# durable server takes acknowledged traffic, dies on SIGKILL with no
+# drain, wdmwal proves the log clean, and a restart on the same data
+# directory recovers every session under its original id.
+crash-demo:
+	@$(GO) build -o /tmp/wdm-crash-serve ./cmd/wdmserve
+	@$(GO) build -o /tmp/wdm-crash-wal ./cmd/wdmwal
+	@rm -rf /tmp/wdm-crash-data; \
+	/tmp/wdm-crash-serve -addr 127.0.0.1:8049 -replicas 2 -data-dir /tmp/wdm-crash-data & \
+	pid=$$!; sleep 0.5; \
+	curl -s -XPOST 127.0.0.1:8049/v1/connect -d '{"connection":"0.0>4.0,9.0"}'; echo; \
+	curl -s -XPOST 127.0.0.1:8049/v1/connect -d '{"connection":"1.0>6.0"}'; echo; \
+	curl -s -XPOST 127.0.0.1:8049/v1/branch -d '{"session":1,"dests":["12.0"]}'; echo; \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	echo '--- wdmwal verify after SIGKILL'; \
+	/tmp/wdm-crash-wal verify /tmp/wdm-crash-data; \
+	/tmp/wdm-crash-serve -addr 127.0.0.1:8049 -replicas 2 -data-dir /tmp/wdm-crash-data & \
+	trap 'kill $$!' EXIT; sleep 0.5; \
+	echo '--- recovered session 1 after restart'; \
+	curl -s '127.0.0.1:8049/v1/session?id=1'; echo; \
+	echo '--- /v1/health durability row'; \
+	curl -s 127.0.0.1:8049/v1/health; echo; \
+	echo '--- wdmwal replay'; \
+	/tmp/wdm-crash-wal replay /tmp/wdm-crash-data
 
 # Regenerate every experiment artifact into results/.
 repro:

@@ -29,6 +29,14 @@
 //	wdmserve -attack -target http://localhost:8047 -requests 20000 \
 //	    -chaos "fail@2s f0:m2, repair@6s f0:m2" -retries 4
 //
+// Durable state plane — journal every acknowledged mutation to a
+// write-ahead log, checkpoint periodically, and survive kill -9 (a
+// restart on the same directory reinstalls every acked session under
+// its original id, with no router search):
+//
+//	wdmserve -addr :8047 -data-dir /var/lib/wdmserve
+//	wdmwal verify /var/lib/wdmserve     # offline integrity check
+//
 // Tracing and SLOs: every serving request runs under a W3C
 // traceparent-compatible span. Completed traces are served at
 // /v1/debug/spans (tail-sampled: blocked/slow kept at 100%) and
@@ -83,6 +91,10 @@ func main() {
 	spanSample := flag.Int("span-sample", 0, "keep 1 of every N routine successful traces (0 = default 16; blocked/slow always kept)")
 	sloObjective := flag.Float64("slo-objective", 0, "availability SLO objective (0 = default 0.999)")
 	sloLatencyUs := flag.Int("slo-latency-us", 0, "latency-SLI threshold in microseconds (0 = default 1000)")
+	dataDir := flag.String("data-dir", "", "durable state directory: journal every mutation to a WAL, checkpoint periodically, recover on start (empty = in-memory only)")
+	walSync := flag.Duration("wal-sync", 0, "group-commit latency cap: max time an append waits for batch fsync (0 = default 2ms)")
+	walSegment := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = default 16MiB)")
+	snapshotEvery := flag.Duration("snapshot-interval", 0, "durable checkpoint cadence (0 = default 30s, negative disables)")
 
 	// Attack-mode flags.
 	attack := flag.Bool("attack", false, "run as load generator against -target instead of serving")
@@ -154,12 +166,21 @@ func main() {
 			Objective:        *sloObjective,
 			LatencyThreshold: time.Duration(*sloLatencyUs) * time.Microsecond,
 		},
-		Logger: logger,
+		Logger:           logger,
+		DataDir:          *dataDir,
+		WALSyncDelay:     *walSync,
+		WALSegmentBytes:  *walSegment,
+		SnapshotInterval: *snapshotEvery,
 	})
 	if err != nil {
 		fatal(logger, err)
 	}
 	ctl.Metrics().Publish("switchd")
+	if rec := ctl.Recovery(); rec != nil && len(rec.Sessions) > 0 {
+		logger.Info("recovered sessions from durable log",
+			slog.Int("sessions", len(rec.Sessions)),
+			slog.Duration("elapsed", rec.Elapsed))
+	}
 
 	p := ctl.Params()
 	logger.Info("serving",
@@ -199,6 +220,12 @@ func main() {
 			slog.Int("errors", sum.Errors),
 			slog.Bool("canceled", sum.Canceled),
 			slog.Duration("elapsed", sum.Elapsed))
+		if sum.StorageError != "" {
+			logger.Error("drain: durable log", slog.String("error", sum.StorageError))
+		}
+		if err := ctl.Close(); err != nil {
+			logger.Error("closing durable log", slog.String("error", err.Error()))
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

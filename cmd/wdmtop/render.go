@@ -68,7 +68,13 @@ func fabricRows(m obs.Metrics) []fabricRow {
 // histogram as the upper bound of the first cumulative bucket covering
 // q of the observations, in microseconds. ok is false with no samples.
 func histQuantileMicros(m obs.Metrics, op string, q float64) (float64, bool) {
-	fam := m["wdm_op_latency_seconds"]
+	return histQuantileFamily(m, "wdm_op_latency_seconds", map[string]string{"op": op}, q)
+}
+
+// histQuantileFamily is histQuantileMicros generalized over the
+// histogram family and label filter.
+func histQuantileFamily(m obs.Metrics, family string, match map[string]string, q float64) (float64, bool) {
+	fam := m[family]
 	if fam == nil {
 		return 0, false
 	}
@@ -76,7 +82,17 @@ func histQuantileMicros(m obs.Metrics, op string, q float64) (float64, bool) {
 	var buckets []bkt
 	maxFinite := 0.0
 	for _, s := range fam.Samples {
-		if s.Name != "wdm_op_latency_seconds_bucket" || s.Labels["op"] != op {
+		if s.Name != family+"_bucket" {
+			continue
+		}
+		skip := false
+		for k, v := range match {
+			if s.Labels[k] != v {
+				skip = true
+				break
+			}
+		}
+		if skip {
 			continue
 		}
 		le, err := strconv.ParseFloat(s.Labels["le"], 64)
@@ -205,6 +221,11 @@ func renderDashboard(cur, prev *poll, target string) string {
 		b.WriteByte('\n')
 	}
 
+	if d := durabilityPanel(cur); d != "" {
+		b.WriteString(d)
+		b.WriteByte('\n')
+	}
+
 	if s := cur.slo; s != nil {
 		health := "HEALTHY"
 		if !s.Healthy {
@@ -241,6 +262,56 @@ func renderDashboard(cur, prev *poll, target string) string {
 	} else {
 		fmt.Fprintf(&b, "no blocking events — invariant holding\n")
 	}
+	return b.String()
+}
+
+// durabilityPanel renders the durable-state-plane row: WAL lag
+// (appended bytes not yet fsynced), snapshot age, fsync p99, and what
+// the last startup recovered. Empty when the server runs in-memory
+// (no wdm_wal_* series and no health row).
+func durabilityPanel(cur *poll) string {
+	var d *api.DurabilityHealth
+	if cur.health != nil {
+		d = cur.health.Durability
+	}
+	m := cur.metrics
+	_, hasWal := m.Value("wdm_wal_appends_total", nil)
+	if d == nil && !hasWal {
+		return ""
+	}
+	var b strings.Builder
+	state := "HEALTHY"
+	if d != nil && !d.Healthy {
+		state = "POISONED (mutations 503 until restart)"
+	} else if v, ok := m.Value("wdm_wal_healthy", nil); ok && v == 0 {
+		state = "POISONED (mutations 503 until restart)"
+	}
+	appends := counter(m, "wdm_wal_appends_total")
+	fsyncs := counter(m, "wdm_wal_fsyncs_total")
+	lag := counter(m, "wdm_wal_unsynced_bytes")
+	fmt.Fprintf(&b, "durability %s  wal %.0f appends / %.0f fsyncs  lag %.0fB",
+		state, appends, fsyncs, lag)
+	if p99, ok := histQuantileFamily(m, "wdm_wal_fsync_seconds", nil, 0.99); ok {
+		fmt.Fprintf(&b, "  fsync p99 ≤ %s", usStr(p99))
+	}
+	b.WriteByte('\n')
+	if age, ok := m.Value("wdm_snapshot_age_seconds", nil); ok {
+		fmt.Fprintf(&b, "  snapshot age %s (covers seq %.0f)",
+			(time.Duration(age * float64(time.Second))).Truncate(time.Second),
+			counter(m, "wdm_snapshot_last_seq"))
+	} else {
+		fmt.Fprintf(&b, "  no snapshot yet")
+	}
+	if d != nil {
+		fmt.Fprintf(&b, "  seq %d (synced %d)", d.LastSeq, d.SyncedSeq)
+		if d.RecoveredSessions > 0 || d.ReplayedRecords > 0 {
+			fmt.Fprintf(&b, "  recovered %d sessions in %dms", d.RecoveredSessions, d.RecoveryMillis)
+		}
+		if d.TruncatedTail != "" {
+			fmt.Fprintf(&b, "\n  CORRUPT TAIL truncated at recovery: %s", d.TruncatedTail)
+		}
+	}
+	b.WriteByte('\n')
 	return b.String()
 }
 

@@ -1,0 +1,127 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// keepSnapshots is how many checkpoint generations survive pruning:
+// the newest plus one fallback in case the newest is found corrupt at
+// recovery time.
+const keepSnapshots = 2
+
+// WriteSnapshot persists a checkpoint atomically (temp file + fsync +
+// rename + directory fsync), then prunes snapshots beyond the retained
+// generations and log segments wholly covered by the checkpoint. Pass
+// the state captured by the controller; snap.Meta and snap.TakenUnixNs
+// are filled in here.
+func (p *Plane) WriteSnapshot(snap *Snapshot) error {
+	snap.Meta = p.meta
+	if snap.TakenUnixNs == 0 {
+		snap.TakenUnixNs = time.Now().UnixNano()
+	}
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("durable: encode snapshot: %w", err)
+	}
+	final := filepath.Join(p.opts.Dir, snapshotName(snap.LastSeq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if _, err := w.WriteString(snapshotMagic); err == nil {
+		err = writeFrame(w, payload)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, final)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	syncDir(p.opts.Dir)
+
+	p.mu.Lock()
+	p.snapSeq = snap.LastSeq
+	p.snapUnix = snap.TakenUnixNs
+	p.mu.Unlock()
+
+	p.prune(snap.LastSeq)
+	return nil
+}
+
+// prune removes snapshot generations beyond keepSnapshots and log
+// segments every record of which is covered by sequence lastSeq. The
+// active (final) segment is never removed. Pruning is best-effort —
+// failure leaves extra files, never missing state.
+func (p *Plane) prune(lastSeq uint64) {
+	snaps, err := listSnapshots(p.opts.Dir)
+	if err == nil {
+		for i, si := range snaps {
+			if i < keepSnapshots {
+				continue
+			}
+			if rerr := os.Remove(si.path); rerr != nil {
+				p.opts.Logger.Warn("snapshot prune", slog.String("error", rerr.Error()))
+			}
+		}
+	}
+	segs, err := listSegments(p.opts.Dir)
+	if err != nil {
+		return
+	}
+	// A segment's records all precede the next segment's first
+	// sequence; it is disposable once that whole range is checkpointed.
+	for i := 0; i+1 < len(segs); i++ {
+		if segs[i+1].firstSeq > lastSeq+1 {
+			break
+		}
+		if rerr := os.Remove(segs[i].path); rerr != nil {
+			p.opts.Logger.Warn("segment prune", slog.String("error", rerr.Error()))
+			break
+		}
+	}
+	syncDir(p.opts.Dir)
+}
+
+// readSnapshotFile loads and CRC-checks one snapshot.
+func readSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := readFull(br, magic); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: short magic", filepath.Base(path))
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("durable: snapshot %s: bad magic", filepath.Base(path))
+	}
+	payload, _, err := readFrame(br)
+	if err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: %w", filepath.Base(path), err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		return nil, fmt.Errorf("durable: snapshot %s: decode: %w", filepath.Base(path), err)
+	}
+	return &snap, nil
+}

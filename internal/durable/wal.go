@@ -1,0 +1,503 @@
+package durable
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	segmentMagic  = "WDMWAL1\n"
+	snapshotMagic = "WDMSNP1\n"
+	frameHeader   = 8 // 4-byte LE payload length + 4-byte LE CRC32C
+	// maxRecordBytes bounds a single frame; anything larger in a length
+	// header is treated as corruption, not an allocation request.
+	maxRecordBytes = 1 << 24
+
+	defaultSyncDelay    = 2 * time.Millisecond
+	defaultSegmentBytes = 16 << 20
+)
+
+// castagnoli is the CRC32C table (iSCSI polynomial), the same check
+// used by leveldb/rocksdb log formats.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	// ErrClosed is returned by Append after Close or Seal.
+	ErrClosed = errors.New("durable: log closed")
+	// ErrCrashed is returned once Crash has simulated a hard stop.
+	ErrCrashed = errors.New("durable: log crashed (fault injection)")
+)
+
+// Options configures a Plane.
+type Options struct {
+	// Dir is the data directory (created if absent).
+	Dir string
+	// SyncDelay is the group-commit latency cap: the syncer batches
+	// appends for at most this long before issuing one fsync for all of
+	// them. 0 means the 2ms default; negative syncs every batch
+	// immediately (test mode).
+	SyncDelay time.Duration
+	// SegmentBytes rotates the log when the active segment exceeds this
+	// size (default 16 MiB).
+	SegmentBytes int64
+	// OnFsync, if set, observes every fsync duration (metrics hook).
+	OnFsync func(time.Duration)
+	Logger  *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncDelay == 0 {
+		o.SyncDelay = defaultSyncDelay
+	}
+	if o.SyncDelay < 0 {
+		o.SyncDelay = 0
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = defaultSegmentBytes
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Stats is a point-in-time view of the log for gauges and dashboards.
+type Stats struct {
+	Appends       uint64 `json:"appends"`
+	Syncs         uint64 `json:"syncs"`
+	LastSeq       uint64 `json:"last_seq"`
+	SyncedSeq     uint64 `json:"synced_seq"`
+	UnsyncedBytes int64  `json:"unsynced_bytes"`
+	AppendedBytes int64  `json:"appended_bytes"`
+	Segments      int    `json:"segments"`
+	SegmentSize   int64  `json:"segment_size"`
+	// LastSnapshotUnixNs is 0 until the first snapshot is written or
+	// loaded.
+	LastSnapshotUnixNs int64  `json:"last_snapshot_unix_ns"`
+	LastSnapshotSeq    uint64 `json:"last_snapshot_seq"`
+	Sealed             bool   `json:"sealed"`
+}
+
+// Plane is the open write-ahead log. Appends are safe for concurrent
+// use; a successful Append means the record's frame was fsynced.
+type Plane struct {
+	opts Options
+	meta Meta
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	f    *os.File
+	w    *bufio.Writer
+	size int64 // bytes in the active segment, including buffered
+
+	seq       uint64 // last assigned sequence number
+	synced    uint64 // last sequence covered by a completed fsync
+	appended  int64  // cumulative framed bytes handed to the log
+	flushed   int64  // cumulative framed bytes covered by fsync
+	appends   uint64
+	syncs     uint64
+	segments  int
+	syncing   bool // an fsync is in flight outside the lock
+	closed    bool
+	crashed   bool
+	sealed    bool
+	err       error // sticky: first write/fsync failure poisons the log
+	snapSeq   uint64
+	snapUnix  int64
+	snapErr   error
+	closeDone chan struct{}
+}
+
+// Meta returns the fabric identity the log was opened with.
+func (p *Plane) Meta() Meta { return p.meta }
+
+// Dir returns the data directory.
+func (p *Plane) Dir() string { return p.opts.Dir }
+
+// Stats returns a consistent snapshot of log counters.
+func (p *Plane) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{
+		Appends:            p.appends,
+		Syncs:              p.syncs,
+		LastSeq:            p.seq,
+		SyncedSeq:          p.synced,
+		UnsyncedBytes:      p.appended - p.flushed,
+		AppendedBytes:      p.appended,
+		Segments:           p.segments,
+		SegmentSize:        p.size,
+		LastSnapshotUnixNs: p.snapUnix,
+		LastSnapshotSeq:    p.snapSeq,
+		Sealed:             p.sealed,
+	}
+}
+
+// SyncedSeq returns the durable high-water mark: every record with
+// Seq <= SyncedSeq has been fsynced.
+func (p *Plane) SyncedSeq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.synced
+}
+
+// Err returns the sticky log error, if any.
+func (p *Plane) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Append assigns the record the next sequence number, frames it into
+// the active segment, and blocks until the group-commit fsync covering
+// it completes. The assigned sequence is returned; on error the record
+// must be treated as not persisted (though it may still surface after
+// a crash — the usual ambiguous-write caveat).
+func (p *Plane) Append(rec *Record) (uint64, error) {
+	p.mu.Lock()
+	if p.err != nil {
+		err := p.err
+		p.mu.Unlock()
+		return 0, err
+	}
+	if p.closed {
+		p.mu.Unlock()
+		return 0, ErrClosed
+	}
+	p.seq++
+	rec.Seq = p.seq
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		p.seq--
+		p.mu.Unlock()
+		return 0, fmt.Errorf("durable: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		p.seq--
+		p.mu.Unlock()
+		return 0, fmt.Errorf("durable: record of %d bytes exceeds frame limit", len(payload))
+	}
+	if werr := writeFrame(p.w, payload); werr != nil {
+		p.failLocked(fmt.Errorf("durable: append: %w", werr))
+		err := p.err
+		p.mu.Unlock()
+		return 0, err
+	}
+	n := int64(frameHeader + len(payload))
+	p.size += n
+	p.appended += n
+	p.appends++
+	if rec.Op == OpSeal {
+		p.sealed = true
+	} else {
+		p.sealed = false
+	}
+	seq := p.seq
+	// Wake the syncer, then wait for the batched fsync to cover us.
+	p.cond.Broadcast()
+	for p.synced < seq && p.err == nil {
+		p.cond.Wait()
+	}
+	err = p.err
+	p.mu.Unlock()
+	return seq, err
+}
+
+// failLocked records the first error and releases every waiter; the
+// log is poisoned from here on (the caller decides whether to keep
+// serving without durability).
+func (p *Plane) failLocked(err error) {
+	if p.err == nil {
+		p.err = err
+		p.opts.Logger.Warn("wal failed", slog.String("error", err.Error()))
+	}
+	p.cond.Broadcast()
+}
+
+// syncLoop is the group-commit engine: it wakes when appends are
+// pending, sleeps the batching window, flushes the buffer, and issues
+// one fsync for the whole batch. The mutex is released during the
+// fsync so new appends keep buffering — the next batch forms while the
+// current one hits the disk.
+func (p *Plane) syncLoop() {
+	defer close(p.closeDone)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		for p.seq == p.synced && !p.closed && p.err == nil {
+			p.cond.Wait()
+		}
+		if p.closed || p.err != nil {
+			return
+		}
+		if p.opts.SyncDelay > 0 {
+			p.mu.Unlock()
+			time.Sleep(p.opts.SyncDelay)
+			p.mu.Lock()
+			if p.closed || p.err != nil {
+				return
+			}
+		}
+		if err := p.w.Flush(); err != nil {
+			p.failLocked(fmt.Errorf("durable: flush: %w", err))
+			return
+		}
+		target := p.seq
+		batchBytes := p.appended
+		syncF := p.f
+		var oldF *os.File
+		if p.size >= p.opts.SegmentBytes {
+			if err := p.rotateLocked(target + 1); err != nil {
+				p.failLocked(err)
+				return
+			}
+			oldF = syncF
+		}
+		p.syncing = true
+		p.mu.Unlock()
+		start := time.Now()
+		serr := syncF.Sync()
+		d := time.Since(start)
+		if oldF != nil {
+			oldF.Close()
+			syncDir(p.opts.Dir)
+		}
+		if p.opts.OnFsync != nil && serr == nil {
+			p.opts.OnFsync(d)
+		}
+		p.mu.Lock()
+		p.syncing = false
+		if serr != nil {
+			p.failLocked(fmt.Errorf("durable: fsync: %w", serr))
+			return
+		}
+		p.syncs++
+		p.synced = target
+		p.flushed = batchBytes
+		p.cond.Broadcast()
+	}
+}
+
+// rotateLocked switches the active segment. The outgoing file has been
+// flushed; frames appended while its final fsync is in flight buffer
+// into the new segment.
+func (p *Plane) rotateLocked(firstSeq uint64) error {
+	f, err := createSegment(p.opts.Dir, firstSeq)
+	if err != nil {
+		return fmt.Errorf("durable: rotate: %w", err)
+	}
+	p.f = f
+	p.w = bufio.NewWriter(f)
+	p.size = int64(len(segmentMagic))
+	p.segments++
+	return nil
+}
+
+// Sync forces a flush+fsync of everything appended so far (used by
+// snapshotting and tests; the hot path relies on group commit).
+func (p *Plane) Sync() error {
+	p.mu.Lock()
+	target := p.seq
+	for p.synced < target && p.err == nil && !p.closed {
+		p.cond.Broadcast()
+		p.cond.Wait()
+	}
+	err := p.err
+	p.mu.Unlock()
+	return err
+}
+
+// Seal appends a clean-shutdown marker, waits for it to be durable,
+// and closes the log. A sealed log recovers to an explicit
+// "clean drain" state.
+func (p *Plane) Seal() error {
+	if _, err := p.Append(&Record{Op: OpSeal}); err != nil {
+		p.Close()
+		return err
+	}
+	return p.Close()
+}
+
+// Close flushes, fsyncs, and closes the log. Blocked appenders are
+// released (their records are made durable by the final fsync).
+func (p *Plane) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.err
+		p.mu.Unlock()
+		if err != nil && !errors.Is(err, ErrCrashed) {
+			return err
+		}
+		return nil
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	for p.syncing {
+		p.cond.Wait()
+	}
+	var err error
+	if p.err == nil {
+		if ferr := p.w.Flush(); ferr != nil {
+			err = fmt.Errorf("durable: close flush: %w", ferr)
+		} else if serr := p.f.Sync(); serr != nil {
+			err = fmt.Errorf("durable: close fsync: %w", serr)
+		} else {
+			p.synced = p.seq
+			p.flushed = p.appended
+		}
+		if err != nil {
+			p.failLocked(err)
+		}
+	} else {
+		err = p.err
+	}
+	p.f.Close()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-p.closeDone
+	return err
+}
+
+// Crash simulates a hard stop (kill -9) for fault injection and tests:
+// the user-space buffer is dropped without flushing and the file is
+// closed, so frames not yet covered by a group-commit fsync are lost —
+// exactly the records whose Append had not yet acknowledged. Acked
+// records survive by definition.
+func (p *Plane) Crash() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.crashed = true
+	p.cond.Broadcast()
+	for p.syncing {
+		p.cond.Wait()
+	}
+	// Drop the buffered frames on the floor: Reset points the writer at
+	// a discard so nothing buffered reaches the file descriptor.
+	p.w.Reset(discardWriter{})
+	p.f.Close()
+	p.failLocked(ErrCrashed)
+	p.mu.Unlock()
+	<-p.closeDone
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(b []byte) (int, error) { return len(b), nil }
+
+// writeFrame emits [len][crc32c][payload].
+func writeFrame(w *bufio.Writer, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+func segmentName(firstSeq uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstSeq)
+}
+
+func snapshotName(lastSeq uint64) string {
+	return fmt.Sprintf("snap-%016x.snap", lastSeq)
+}
+
+func createSegment(dir string, firstSeq uint64) (*os.File, error) {
+	path := filepath.Join(dir, segmentName(firstSeq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write([]byte(segmentMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable. Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// segmentInfo identifies one on-disk log segment.
+type segmentInfo struct {
+	name     string
+	path     string
+	firstSeq uint64
+}
+
+type snapshotInfo struct {
+	name    string
+	path    string
+	lastSeq uint64
+}
+
+// listSegments returns the data directory's segments ordered by first
+// sequence number. Files with unparseable names are ignored.
+func listSegments(dir string) ([]segmentInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log"), 16, 64)
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segmentInfo{name: name, path: filepath.Join(dir, name), firstSeq: seq})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstSeq < segs[j].firstSeq })
+	return segs, nil
+}
+
+// listSnapshots returns snapshots ordered newest first.
+func listSnapshots(dir string) ([]snapshotInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []snapshotInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		seq, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"), 16, 64)
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snapshotInfo{name: name, path: filepath.Join(dir, name), lastSeq: seq})
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].lastSeq > snaps[j].lastSeq })
+	return snaps, nil
+}

@@ -1,0 +1,124 @@
+package multistage
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// TestRouteRecordRoundTrip loads a network, exports every live route,
+// replays the records into an empty network of the same parameters, and
+// checks the replayed fabric carries identical connections and routes.
+// This is the crash-recovery primitive: replay must never search, so it
+// must never block.
+func TestRouteRecordRoundTrip(t *testing.T) {
+	p := Params{N: 16, K: 2, R: 4, Model: wdm.MSW, Lite: true}
+	net := mustNetwork(t, p)
+
+	d := wdm.Dim{N: 16, K: 2}
+	gen := workload.NewGenerator(5, wdm.MSW, d)
+	freeSrc, freeDst := allSlots(d), allSlots(d)
+	var ids []int
+	for i := 0; i < 12; i++ {
+		c, ok := gen.Connection(freeSrc, freeDst, gen.Fanout(5))
+		if !ok {
+			break
+		}
+		ids = append(ids, mustAdd(t, net, c))
+		freeSrc = remove(freeSrc, c.Source)
+		for _, dd := range c.Normalize().Dests {
+			freeDst = remove(freeDst, dd)
+		}
+	}
+	if len(ids) < 8 {
+		t.Fatalf("generator produced only %d connections", len(ids))
+	}
+
+	records := make(map[int]RouteRecord, len(ids))
+	for _, id := range ids {
+		rec, ok := net.RouteRecord(id)
+		if !ok {
+			t.Fatalf("RouteRecord(%d) missing", id)
+		}
+		records[id] = rec
+	}
+	if _, ok := net.RouteRecord(99999); ok {
+		t.Error("RouteRecord invented a record for an unknown id")
+	}
+
+	replay := mustNetwork(t, p)
+	newIDs := make(map[int]int, len(ids))
+	for _, id := range ids {
+		nid, err := replay.Reinstall(records[id])
+		if err != nil {
+			t.Fatalf("Reinstall(%d): %v", id, err)
+		}
+		newIDs[id] = nid
+	}
+	for _, id := range ids {
+		want, _ := net.Connection(id)
+		got, ok := replay.Connection(newIDs[id])
+		if !ok {
+			t.Fatalf("replayed connection %d vanished", id)
+		}
+		if !reflect.DeepEqual(want.Normalize(), got.Normalize()) {
+			t.Errorf("connection %d: replayed %v, want %v", id, got, want)
+		}
+		rec, _ := replay.RouteRecord(newIDs[id])
+		if !reflect.DeepEqual(rec, records[id]) {
+			t.Errorf("connection %d: replayed route %+v, want %+v", id, rec, records[id])
+		}
+	}
+
+	// Replayed routes are live: release one and its slots free up.
+	if err := replay.Release(newIDs[ids[0]]); err != nil {
+		t.Fatalf("Release replayed connection: %v", err)
+	}
+	if _, err := replay.Reinstall(records[ids[0]]); err != nil {
+		t.Errorf("re-reinstall after release: %v", err)
+	}
+}
+
+func TestReinstallConflictsDetected(t *testing.T) {
+	p := Params{N: 4, K: 1, R: 2, M: 2, X: 1, Model: wdm.MSW, Lite: true}
+	net := mustNetwork(t, p)
+	id := mustAdd(t, net, conn(pw(0, 0), pw(2, 0)))
+	rec, _ := net.RouteRecord(id)
+	// Same record into the same network: source slot busy.
+	if _, err := net.Reinstall(rec); err == nil {
+		t.Fatal("Reinstall over a busy source slot succeeded")
+	}
+}
+
+func TestRouteRecordDecodeValidation(t *testing.T) {
+	p := Params{N: 4, K: 1, R: 2, M: 2, X: 1, Model: wdm.MSW, Lite: true}
+	bad := []RouteRecord{
+		{Conn: "not a connection"},
+		{Conn: "0.0>2.0"}, // no input legs
+		{Conn: "0.0>2.0", In: []RouteLeg{{Middle: 9, Wave: 0}}},
+		{Conn: "0.0>2.0", In: []RouteLeg{{Middle: 0, Wave: 5}}},
+		{Conn: "0.0>2.0", In: []RouteLeg{{Middle: 0, Wave: 0}, {Middle: 0, Wave: 0}}},
+		{Conn: "0.0>2.0", In: []RouteLeg{{Middle: 0, Wave: 0}},
+			Out: []RouteHop{{Middle: 1, Out: 1, Wave: 0}}}, // hop with no leg
+		{Conn: "0.0>2.0", In: []RouteLeg{{Middle: 0, Wave: 0}},
+			Out: []RouteHop{{Middle: 0, Out: 7, Wave: 0}}}, // out module range
+	}
+	for i, rec := range bad {
+		net := mustNetwork(t, p)
+		if _, err := net.Reinstall(rec); err == nil {
+			t.Errorf("case %d: bad record %+v reinstalled", i, rec)
+		}
+	}
+}
+
+func remove(slots []wdm.PortWave, s wdm.PortWave) []wdm.PortWave {
+	out := slots[:0]
+	for _, x := range slots {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -37,6 +37,11 @@ const (
 	// modules left; the request cannot be served until a repair.
 	// HTTP 503.
 	CodeFabricFailed = "fabric_failed"
+	// CodeStorageFailed: the durable log could not record the mutation
+	// (write or fsync failure). The log is fail-stop — every later
+	// mutating request returns this code until the process is restarted
+	// and recovers; reads keep serving. HTTP 503.
+	CodeStorageFailed = "storage_failed"
 )
 
 // Error is the one error shape every /v1 endpoint returns, wrapped in
@@ -66,7 +71,7 @@ func StatusFor(code string) int {
 		return http.StatusConflict
 	case CodeAdmissionFull:
 		return http.StatusTooManyRequests
-	case CodeDraining, CodeFabricFailed:
+	case CodeDraining, CodeFabricFailed, CodeStorageFailed:
 		return http.StatusServiceUnavailable
 	case CodeNotFound:
 		return http.StatusNotFound

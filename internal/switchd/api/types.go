@@ -187,6 +187,36 @@ type Health struct {
 	MaxSessions          int            `json:"max_sessions"`
 	EffectiveMaxSessions int            `json:"effective_max_sessions"`
 	Fabrics              []FabricHealth `json:"fabrics"`
+	// Durability is the durable-state-plane row; absent when the
+	// controller runs without a data directory.
+	Durability *DurabilityHealth `json:"durability,omitempty"`
+}
+
+// DurabilityHealth reports the write-ahead log, snapshot, and recovery
+// state of a controller running with a data directory.
+type DurabilityHealth struct {
+	Enabled bool `json:"enabled"`
+	// Healthy is false once the log is poisoned by a write or fsync
+	// failure; every mutating request returns storage_failed until the
+	// process restarts and recovers.
+	Healthy bool   `json:"healthy"`
+	Error   string `json:"error,omitempty"`
+	// LastSeq is the newest assigned record sequence; SyncedSeq the
+	// newest made durable by group commit. The gap between them is
+	// bounded by the group-commit latency cap.
+	LastSeq       uint64 `json:"last_seq"`
+	SyncedSeq     uint64 `json:"synced_seq"`
+	UnsyncedBytes int64  `json:"unsynced_bytes"`
+	Segments      int    `json:"segments"`
+	Sealed        bool   `json:"sealed"`
+	// SnapshotAgeSeconds is -1 until the first checkpoint lands.
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	SnapshotSeq        uint64  `json:"snapshot_seq,omitempty"`
+	// Recovery facts from this process's startup.
+	RecoveredSessions int    `json:"recovered_sessions"`
+	ReplayedRecords   int    `json:"replayed_records,omitempty"`
+	RecoveryMillis    int64  `json:"recovery_millis,omitempty"`
+	TruncatedTail     string `json:"truncated_tail,omitempty"`
 }
 
 // FailRequest is the POST /v1/admin/fail and /v1/admin/repair payload:

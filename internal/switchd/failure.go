@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/durable"
 	"repro/internal/multistage"
 	"repro/internal/obs/span"
 	"repro/internal/switchd/api"
@@ -52,6 +53,7 @@ func (ctl *Controller) FailMiddle(ctx context.Context, plane, middle int) (api.F
 		droppedIDs []int
 		failedNow  int
 		opErr      error
+		walErr     error
 	)
 	func() {
 		f.mu.Lock()
@@ -70,6 +72,13 @@ func (ctl *Controller) FailMiddle(ctx context.Context, plane, middle int) (api.F
 			f.cap.release(id)
 		}
 		failedNow = len(f.net.FailedMiddles())
+		// Journal while still holding the fabric lock: a connect
+		// admitted after this failure may reuse slots the dropped
+		// sessions freed, and its record must land after this one.
+		if ctl.wal != nil && opErr == nil {
+			rec := ctl.buildFailRecordLocked(f, plane, middle, migrations, droppedIDs)
+			walErr = ctl.walAppend(sp, rec)
+		}
 	}()
 	if opErr != nil {
 		sp.SetError(opErr.Error())
@@ -137,6 +146,14 @@ func (ctl *Controller) FailMiddle(ctx context.Context, plane, middle int) (api.F
 		"fabric", plane, "middle", middle,
 		"migrated", len(rep.Migrated), "dropped", len(rep.Dropped),
 		"health", rep.Health.Status, "effective_max", rep.Health.EffectiveMaxSessions)
+	if walErr != nil {
+		// The failure and migration applied; the durable log did not
+		// record them. Surface storage_failed — the in-memory state is
+		// authoritative until restart, and the poisoned log fails every
+		// later mutation anyway.
+		sp.SetError(walErr.Error())
+		return api.FailReport{}, walErr
+	}
 	return rep, nil
 }
 
@@ -158,7 +175,7 @@ func (ctl *Controller) RepairMiddle(ctx context.Context, plane, middle int) (api
 
 	f := ctl.fabrics[plane]
 	var failedNow int
-	var opErr error
+	var opErr, walErr error
 	func() {
 		f.mu.Lock()
 		defer f.mu.Unlock()
@@ -167,10 +184,19 @@ func (ctl *Controller) RepairMiddle(ctx context.Context, plane, middle int) (api
 			return
 		}
 		failedNow = len(f.net.FailedMiddles())
+		// Journal under the fabric lock so any connect routed through
+		// the repaired module appends after the repair record.
+		if ctl.wal != nil {
+			walErr = ctl.walAppend(sp, &durable.Record{Op: durable.OpRepair, Fabric: plane, Middle: middle})
+		}
 	}()
 	if opErr != nil {
 		sp.SetError(opErr.Error())
 		return api.RepairReport{}, opErr
+	}
+	if walErr != nil {
+		sp.SetError(walErr.Error())
+		return api.RepairReport{}, walErr
 	}
 	f.failedMids.Store(int32(failedNow))
 	ctl.metrics.perFabric[plane].failedMiddles.Store(int64(failedNow))
@@ -286,6 +312,14 @@ func (ctl *Controller) Health() api.Health {
 			h.Status = api.HealthDegraded
 		}
 		h.Fabrics = append(h.Fabrics, fh)
+	}
+	if d := ctl.durabilityHealth(); d != nil {
+		h.Durability = d
+		// A poisoned log means every mutation 503s even though the
+		// fabric is fine — that is a degraded controller.
+		if !d.Healthy && h.Status == api.HealthOK {
+			h.Status = api.HealthDegraded
+		}
 	}
 	return h
 }

@@ -47,7 +47,7 @@ import (
 // {"error":{"code":"...","message":"..."}}; the codes are stable API
 // (see package api) and the status line is derived from the code:
 // blocked 409, admission_full 429, draining 503, fabric_failed 503,
-// not_found 404, bad_request 400.
+// storage_failed 503, not_found 404, bad_request 400.
 
 // Handler returns the controller's HTTP API as an http.Handler,
 // wrapped in the span tracer's middleware (a no-op when tracing is
@@ -99,6 +99,8 @@ func apiErrorFor(err error) *api.Error {
 		code = api.CodeDraining
 	case errors.Is(err, ErrFabricFailed):
 		code = api.CodeFabricFailed
+	case errors.Is(err, ErrStorageFailed):
+		code = api.CodeStorageFailed
 	case errors.Is(err, ErrUnknownSession):
 		code = api.CodeNotFound
 	}

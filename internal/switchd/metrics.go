@@ -129,6 +129,11 @@ type Metrics struct {
 	connectLat    *latencyHist
 	branchLat     *latencyHist
 	disconnectLat *latencyHist
+
+	// Durable state plane: group-commit fsync latency and the session
+	// count restored at the last startup (0 without a data directory).
+	walFsync  *latencyHist
+	recovered atomic.Int64
 }
 
 func newMetrics(p multistage.Params, replicas int) *Metrics {
@@ -139,6 +144,7 @@ func newMetrics(p multistage.Params, replicas int) *Metrics {
 		connectLat:    newLatencyHist(),
 		branchLat:     newLatencyHist(),
 		disconnectLat: newLatencyHist(),
+		walFsync:      newLatencyHist(),
 	}
 	for i := 0; i < replicas; i++ {
 		m.perFabric = append(m.perFabric, &fabricMetrics{})

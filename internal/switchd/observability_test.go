@@ -18,7 +18,9 @@ import (
 // Prometheus exposition round-trips through the strict parser and
 // agrees with the JSON snapshot on every shared counter.
 func TestPromEndpointCrossCheck(t *testing.T) {
-	ctl := newTestController(t, Config{Fabric: testParams(), Replicas: 2})
+	cfg := Config{Fabric: testParams(), Replicas: 2,
+		DataDir: t.TempDir(), WALSyncDelay: -1, SnapshotInterval: -1}
+	ctl := newTestController(t, cfg)
 	srv := httptest.NewServer(ctl.Handler())
 	defer srv.Close()
 
@@ -73,6 +75,45 @@ func TestPromEndpointCrossCheck(t *testing.T) {
 	}
 	if v, ok := pm.Value("wdm_link_busy_ratio", map[string]string{"fabric": "1", "stage": "out"}); !ok || v != 0 {
 		t.Errorf("wdm_link_busy_ratio{fabric=1,stage=out} = %v, %v; want 0", v, ok)
+	}
+	// Durable-plane series: one meta record plus the four mutations
+	// above, each fsynced before ack, on a healthy log with nothing
+	// recovered (fresh directory).
+	walStats := ctl.WAL().Stats()
+	for _, tc := range []struct {
+		metric string
+		want   float64
+	}{
+		{"wdm_wal_appends_total", 5},
+		{"wdm_wal_last_seq", float64(walStats.LastSeq)},
+		{"wdm_wal_synced_seq", float64(walStats.LastSeq)},
+		{"wdm_wal_healthy", 1},
+		{"wdm_recovered_sessions_total", 0},
+	} {
+		if v, ok := pm.Value(tc.metric, nil); !ok || v != tc.want {
+			t.Errorf("%s = %v, %v; want %v", tc.metric, v, ok, tc.want)
+		}
+	}
+	if v, ok := pm.Value("wdm_wal_fsyncs_total", nil); !ok || v < 5 {
+		t.Errorf("wdm_wal_fsyncs_total = %v, %v; want >= 5 (immediate sync mode)", v, ok)
+	}
+	if v, ok := pm.Value("wdm_wal_fsync_seconds_count", nil); !ok || v < 5 {
+		t.Errorf("wdm_wal_fsync_seconds_count = %v, %v; want >= 5", v, ok)
+	}
+	// No checkpoint yet, so the snapshot-age series must be absent;
+	// after an explicit checkpoint it must appear fresh.
+	if v, ok := pm.Value("wdm_snapshot_age_seconds", nil); ok {
+		t.Errorf("wdm_snapshot_age_seconds = %v before first snapshot, want absent", v)
+	}
+	if err := ctl.WriteSnapshot(); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	pm = scrapeProm(t, srv.Client(), srv.URL)
+	if v, ok := pm.Value("wdm_snapshot_age_seconds", nil); !ok || v < 0 || v > 60 {
+		t.Errorf("wdm_snapshot_age_seconds = %v, %v; want fresh", v, ok)
+	}
+	if v, ok := pm.Value("wdm_snapshot_last_seq", nil); !ok || v != float64(walStats.LastSeq) {
+		t.Errorf("wdm_snapshot_last_seq = %v, %v; want %d", v, ok, walStats.LastSeq)
 	}
 }
 

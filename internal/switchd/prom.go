@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
@@ -143,6 +144,31 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 	for _, a := range ss.Alerts {
 		w.Gauge("wdm_slo_alert_firing", "1 while the multiwindow burn alert fires on either SLI.",
 			b2f(a.AvailabilityFiring || a.LatencyFiring), obs.Label{Name: "alert", Value: a.Name})
+	}
+
+	// Durable state plane (present only with a data directory).
+	if ctl.wal != nil {
+		ws := ctl.wal.Stats()
+		w.Counter("wdm_wal_appends_total", "Records appended to the write-ahead log.", float64(ws.Appends))
+		w.Counter("wdm_wal_fsyncs_total", "Group-commit fsync batches.", float64(ws.Syncs))
+		w.Gauge("wdm_wal_last_seq", "Newest assigned WAL record sequence.", float64(ws.LastSeq))
+		w.Gauge("wdm_wal_synced_seq", "Newest WAL record made durable by group commit.", float64(ws.SyncedSeq))
+		w.Gauge("wdm_wal_unsynced_bytes", "Appended bytes not yet covered by an fsync (WAL lag).", float64(ws.UnsyncedBytes))
+		w.Gauge("wdm_wal_segments", "Live WAL segment files.", float64(ws.Segments))
+		w.Gauge("wdm_wal_healthy", "1 while the WAL accepts appends; 0 once poisoned (fail-stop).", b2f(ctl.wal.Err() == nil))
+		if ws.LastSnapshotUnixNs > 0 {
+			w.Gauge("wdm_snapshot_age_seconds", "Seconds since the last durable checkpoint.",
+				time.Since(time.Unix(0, ws.LastSnapshotUnixNs)).Seconds())
+			w.Gauge("wdm_snapshot_last_seq", "WAL sequence covered by the last checkpoint.", float64(ws.LastSnapshotSeq))
+		}
+		w.Counter("wdm_recovered_sessions_total", "Sessions reinstalled from the durable log at startup.", float64(ctl.metrics.recovered.Load()))
+		fh := ctl.metrics.walFsync.snapshot("wal_fsync")
+		counts := make([]int64, len(fh.Buckets))
+		for i, b := range fh.Buckets {
+			counts[i] = b.Count
+		}
+		w.HistogramE("wdm_wal_fsync_seconds", "Group-commit fsync latency.",
+			bounds, counts, float64(fh.SumNs)/1e9, ctl.metrics.walFsync.exemplarSnapshot())
 	}
 }
 

@@ -39,10 +39,12 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/multistage"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
@@ -67,6 +69,12 @@ var (
 	// ErrFabricFailed is returned when the target fabric plane has no
 	// working middle modules left (all failed, none repaired).
 	ErrFabricFailed = errors.New("switchd: fabric has no working middle modules")
+	// ErrStorageFailed is returned when the durable log could not record
+	// a mutation (write or fsync failure). The log is fail-stop: once
+	// poisoned, every subsequent mutating call returns this error while
+	// reads keep serving; restarting the process recovers everything
+	// that was acknowledged before the failure.
+	ErrStorageFailed = errors.New("switchd: durable log write failed")
 )
 
 // Wire types re-exported from the api package (the /v1 contract shared
@@ -120,6 +128,22 @@ type Config struct {
 	// Logger receives the controller's structured log output (blocked
 	// requests, drains, failure-plane events). Nil means slog.Default().
 	Logger *slog.Logger
+	// DataDir, when non-empty, enables the durable state plane: every
+	// acknowledged mutation is journaled to a write-ahead log under this
+	// directory before the request returns, the session table is
+	// checkpointed periodically, and New recovers whatever a previous
+	// process left behind (see durability.go).
+	DataDir string
+	// WALSyncDelay is the group-commit latency cap: an append waits at
+	// most this long for companions before the batch is fsynced. 0 means
+	// the default (2ms); negative means fsync immediately (tests).
+	WALSyncDelay time.Duration
+	// WALSegmentBytes is the log segment rotation size (default 16MiB).
+	WALSegmentBytes int64
+	// SnapshotInterval is the checkpoint cadence (default 30s); negative
+	// disables the background snapshotter (tests drive WriteSnapshot
+	// directly).
+	SnapshotInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -138,11 +162,14 @@ func (c Config) withDefaults() Config {
 // fabric is one serialized switching plane. cap, when non-nil, records
 // the plane's serving history; it is guarded by mu like the network.
 // failedMids mirrors len(net.FailedMiddles()) so admission paths can
-// read it without the fabric lock.
+// read it without the fabric lock. byConn (guarded by mu) maps live
+// fabric connection ids to their durable-state metadata; it is only
+// populated when the durable log is enabled.
 type fabric struct {
 	mu         sync.Mutex
 	net        *multistage.Network
 	cap        *traceCap
+	byConn     map[int]*connMeta
 	failedMids atomic.Int32
 }
 
@@ -181,6 +208,14 @@ type Controller struct {
 	// normally, derated below it in degraded mode (0 = unlimited).
 	effectiveCap atomic.Int64
 	degraded     atomic.Bool
+
+	// Durable state plane (nil/zero unless Config.DataDir is set).
+	wal       *durable.Plane
+	recovery  *durable.Recovery
+	snapStop  chan struct{}
+	snapDone  chan struct{}
+	snapOnce  sync.Once
+	closeOnce sync.Once
 }
 
 // New builds a controller with cfg.Replicas freshly constructed fabric
@@ -212,11 +247,16 @@ func New(cfg Config) (*Controller, error) {
 		if err != nil {
 			return nil, fmt.Errorf("switchd: building fabric replica %d: %w", i, err)
 		}
-		f := &fabric{net: net}
+		f := &fabric{net: net, byConn: make(map[int]*connMeta)}
 		if cfg.CaptureTrace {
 			f.cap = newTraceCap()
 		}
 		ctl.fabrics = append(ctl.fabrics, f)
+	}
+	if cfg.DataDir != "" {
+		if err := ctl.openDurable(); err != nil {
+			return nil, err
+		}
 	}
 	return ctl, nil
 }
@@ -388,7 +428,6 @@ func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (
 	case addErr == nil:
 		ctl.metrics.perFabric[plane].routed.Add(1)
 		ctl.metrics.perFabric[plane].active.Add(1)
-		ctl.metrics.connectOK.Add(1)
 		fabSp.End()
 	case multistage.IsBlocked(addErr):
 		ctl.metrics.perFabric[plane].blocked.Add(1)
@@ -408,8 +447,18 @@ func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (
 		return 0, plane, addErr
 	}
 
+	// Publish the session: table insert plus (when durable) the WAL
+	// append, in one shard-lock critical section, so the log's record
+	// order matches the table's. A journaling failure rolls the route
+	// back — the session was never acknowledged.
+	s := &session{ID: id, Fabric: plane, ConnID: connID, Conn: c.Normalize()}
+	if err = ctl.commitConnect(sp, f, plane, s); err != nil {
+		ctl.metrics.perFabric[plane].active.Add(-1)
+		sp.SetError(err.Error())
+		return 0, plane, err
+	}
+	ctl.metrics.connectOK.Add(1)
 	ctl.active.Add(1)
-	ctl.sessions.put(&session{ID: id, Fabric: plane, ConnID: connID, Conn: c.Normalize()})
 	return id, plane, nil
 }
 
@@ -473,8 +522,17 @@ func (ctl *Controller) AddBranch(ctx context.Context, id uint64, dests ...wdm.Po
 	case err == nil:
 		s.Conn = grown
 		s.Branches++
-		ctl.metrics.branchOK.Add(1)
 		fabSp.End()
+		// Journal the grown route. On failure the grow stays applied —
+		// tearing down a live receiver over a bookkeeping error would be
+		// worse — but the caller sees storage_failed: the branch may not
+		// survive a crash, and the poisoned log fails every later
+		// mutation anyway.
+		if werr := ctl.commitBranch(sp, f, s); werr != nil {
+			sp.SetError(werr.Error())
+			return werr
+		}
+		ctl.metrics.branchOK.Add(1)
 		return nil
 	case multistage.IsBlocked(err):
 		ctl.metrics.perFabric[s.Fabric].blocked.Add(1)
@@ -510,7 +568,7 @@ func (ctl *Controller) Disconnect(ctx context.Context, id uint64) error {
 	sh := ctl.sessions.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := ctl.disconnectLocked(sh, id); err != nil {
+	if err := ctl.disconnectLocked(sp, sh, id); err != nil {
 		sp.SetError(err.Error())
 		return err
 	}
@@ -518,10 +576,16 @@ func (ctl *Controller) Disconnect(ctx context.Context, id uint64) error {
 }
 
 // disconnectLocked is Disconnect's body; the caller holds sh.mu.
-func (ctl *Controller) disconnectLocked(sh *sessionShard, id uint64) error {
+func (ctl *Controller) disconnectLocked(sp *span.Span, sh *sessionShard, id uint64) error {
 	s, ok := sh.m[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
+	}
+	// Journal before releasing: a connect reusing the freed slots must
+	// append after this record (see durability.go). On failure the
+	// session stays live and visible.
+	if werr := ctl.commitDisconnect(sp, s); werr != nil {
+		return werr
 	}
 	f := ctl.fabrics[s.Fabric]
 	var err error
@@ -560,6 +624,21 @@ func (ctl *Controller) Session(id uint64) (SessionInfo, bool) {
 		return SessionInfo{}, false
 	}
 	return s.info(), true
+}
+
+// Sessions snapshots every live session, ordered by id. Shards are
+// locked briefly in turn; the listing is per-shard consistent.
+func (ctl *Controller) Sessions() []SessionInfo {
+	out := make([]SessionInfo, 0, ctl.sessions.len())
+	for _, sh := range ctl.sessions.shards {
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			out = append(out, s.info())
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Status snapshots every plane. Each fabric is locked briefly in turn;
@@ -607,6 +686,10 @@ type DrainSummary struct {
 	// Canceled is set when the caller's context expired before the
 	// sweep could prove the table empty; sessions may remain.
 	Canceled bool `json:"canceled,omitempty"`
+	// StorageError carries the durable-log failure, if any, that the
+	// drain hit while journaling disconnects or sealing the log
+	// (storage_failed in the error envelope).
+	StorageError string `json:"storage_error,omitempty"`
 }
 
 // Drain stops admitting new work (Connect and AddBranch return
@@ -645,9 +728,12 @@ func (ctl *Controller) Drain(ctx context.Context) DrainSummary {
 				if failed[id] {
 					continue
 				}
-				if err := ctl.disconnectLocked(sh, id); err != nil {
+				if err := ctl.disconnectLocked(nil, sh, id); err != nil {
 					failed[id] = true
 					sum.Errors++
+					if errors.Is(err, ErrStorageFailed) && sum.StorageError == "" {
+						sum.StorageError = err.Error()
+					}
 					continue
 				}
 				sum.Released++
@@ -658,6 +744,23 @@ func (ctl *Controller) Drain(ctx context.Context) DrainSummary {
 			break
 		}
 		time.Sleep(100 * time.Microsecond)
+	}
+	// Flush and seal the durable log: a clean, complete drain leaves an
+	// explicit clean-shutdown marker; a partial one (canceled or
+	// release/storage errors, sessions remaining) only flushes, so the
+	// log still reflects the surviving sessions.
+	if ctl.wal != nil && !sum.Canceled && !ctl.wal.Stats().Sealed {
+		ctl.stopSnapshots()
+		var serr error
+		if sum.Errors == 0 {
+			serr = ctl.wal.Seal()
+		} else {
+			serr = ctl.wal.Sync()
+		}
+		if serr != nil && sum.StorageError == "" {
+			sum.StorageError = serr.Error()
+			ctl.logger.Error("drain: sealing durable log", slog.String("error", serr.Error()))
+		}
 	}
 	sum.Elapsed = time.Since(start)
 	return sum
