@@ -76,8 +76,11 @@ type segmentReportInternal struct {
 // record. The first integrity failure (bad magic, torn frame, CRC
 // mismatch, sequence discontinuity) stops the scan and is reported as
 // a Truncation at its byte offset; later segments are not read. fn may
-// be nil.
-func walkLog(segs []segmentInfo, fn func(*Record) error) (*walkInfo, error) {
+// be nil. snapSeq is the LastSeq of the snapshot priming this scan:
+// a forward sequence jump at a segment boundary is accepted when every
+// skipped record is covered by it (recovery rotates to snapSeq+1 after
+// cutting a corrupted tail that left the log behind the snapshot).
+func walkLog(segs []segmentInfo, snapSeq uint64, fn func(*Record) error) (*walkInfo, error) {
 	wi := &walkInfo{tailIndex: -1}
 	var prevSeq uint64
 	for i, si := range segs {
@@ -98,6 +101,7 @@ func walkLog(segs []segmentInfo, fn func(*Record) error) (*walkInfo, error) {
 			corrupt("bad segment magic")
 		} else {
 			offset = int64(len(segmentMagic))
+			first := true
 			for {
 				payload, n, err := readFrame(br)
 				if err == io.EOF {
@@ -117,9 +121,15 @@ func walkLog(segs []segmentInfo, fn func(*Record) error) (*walkInfo, error) {
 					break
 				}
 				if prevSeq != 0 && rec.Seq != prevSeq+1 {
-					corrupt(fmt.Sprintf("sequence discontinuity: %d after %d", rec.Seq, prevSeq))
-					break
+					// Only the first record of a segment named for it may
+					// jump forward, and only across a snapshot-covered gap.
+					jump := first && rec.Seq == si.firstSeq && rec.Seq > prevSeq && rec.Seq-1 <= snapSeq
+					if !jump {
+						corrupt(fmt.Sprintf("sequence discontinuity: %d after %d", rec.Seq, prevSeq))
+						break
+					}
 				}
+				first = false
 				if fn != nil {
 					if ferr := fn(&rec); ferr != nil {
 						f.Close()
@@ -157,7 +167,9 @@ func walkLog(segs []segmentInfo, fn func(*Record) error) (*walkInfo, error) {
 // A corrupted tail is handled, not fatal: the log is truncated at the
 // first bad frame (Recovery.Truncated reports segment, byte offset and
 // reason), segments past it are quarantined with a .corrupt suffix,
-// and the plane reopens for appends at the last durable record.
+// and the plane resumes appends at the last durable record — in a
+// fresh segment whenever extending the cut tail could be mistaken for
+// corruption by a later recovery.
 func Open(opts Options, meta Meta) (*Plane, *Recovery, error) {
 	start := time.Now()
 	opts = opts.withDefaults()
@@ -198,7 +210,7 @@ func Open(opts Options, meta Meta) (*Plane, *Recovery, error) {
 		return nil, nil, fmt.Errorf("durable: %w", err)
 	}
 	replayed := 0
-	wi, err := walkLog(segs, func(r *Record) error {
+	wi, err := walkLog(segs, rec.SnapshotSeq, func(r *Record) error {
 		if r.Op == OpMeta {
 			if r.Meta != nil && !r.Meta.Compatible(meta) {
 				return fmt.Errorf("durable: data dir %s was recorded for a different fabric (params %+v x%d)", opts.Dir, r.Meta.Params, r.Meta.Replicas)
@@ -217,13 +229,24 @@ func Open(opts Options, meta Meta) (*Plane, *Recovery, error) {
 	}
 
 	// Cut the corrupted tail and quarantine anything after it.
+	tailRemoved := false
 	if wi.truncated != nil {
 		t := wi.truncated
 		opts.Logger.Warn("wal corrupted tail truncated",
 			slog.String("segment", t.Segment),
 			slog.Int64("offset", t.Offset),
 			slog.String("reason", t.Reason))
-		if err := os.Truncate(filepath.Join(opts.Dir, t.Segment), t.Offset); err != nil {
+		if t.Offset < int64(len(segmentMagic)) {
+			// The cut lands at or inside the segment magic: truncating
+			// would leave a headerless husk that the next recovery reads
+			// as "bad segment magic" at offset 0 — destroying any record
+			// appended after this recovery. Nothing durable remains in
+			// the file, so remove it; appends resume in a fresh segment.
+			if err := os.Remove(filepath.Join(opts.Dir, t.Segment)); err != nil {
+				return nil, nil, fmt.Errorf("durable: remove corrupted segment: %w", err)
+			}
+			tailRemoved = true
+		} else if err := os.Truncate(filepath.Join(opts.Dir, t.Segment), t.Offset); err != nil {
 			return nil, nil, fmt.Errorf("durable: truncate corrupted tail: %w", err)
 		}
 		for i := wi.tailIndex + 1; i < len(segs); i++ {
@@ -252,18 +275,22 @@ func Open(opts Options, meta Meta) (*Plane, *Recovery, error) {
 	}
 	p.cond = sync.NewCond(&p.mu)
 
-	fresh := wi.tailIndex < 0
-	if fresh {
-		f, err := createSegment(opts.Dir, lastSeq+1)
-		if err != nil {
-			return nil, nil, fmt.Errorf("durable: %w", err)
-		}
-		syncDir(opts.Dir)
-		p.f = f
-		p.w = bufio.NewWriter(f)
-		p.size = int64(len(segmentMagic))
-		p.segments = 1
-	} else {
+	// Reopen the scanned tail for appends only when the next record
+	// extends it contiguously. After a truncation, or when the snapshot
+	// is ahead of the log, appending at lastSeq+1 would put a sequence
+	// gap *inside* the segment — which the next recovery's discontinuity
+	// check would cut at, destroying records acked after this recovery.
+	// Those cases rotate to a fresh segment at lastSeq+1 instead;
+	// walkLog accepts that jump at a segment boundary when the gap is
+	// snapshot-covered.
+	reuseTail := wi.tailIndex >= 0 && !tailRemoved
+	if reuseTail && (wi.truncated != nil || rec.SnapshotSeq > wi.lastSeq) {
+		// Still reusable if the tail holds no records and is already
+		// named for the next sequence — it is exactly the fresh segment
+		// rotation would create (and creating one would collide).
+		reuseTail = wi.tailEnd == int64(len(segmentMagic)) && segs[wi.tailIndex].firstSeq == lastSeq+1
+	}
+	if reuseTail {
 		tail := segs[wi.tailIndex]
 		f, err := os.OpenFile(tail.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -273,12 +300,25 @@ func Open(opts Options, meta Meta) (*Plane, *Recovery, error) {
 		p.w = bufio.NewWriter(f)
 		p.size = wi.tailEnd
 		p.segments = wi.tailIndex + 1
+	} else {
+		f, err := createSegment(opts.Dir, lastSeq+1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("durable: %w", err)
+		}
+		syncDir(opts.Dir)
+		p.f = f
+		p.w = bufio.NewWriter(f)
+		p.size = int64(len(segmentMagic))
+		p.segments = wi.tailIndex + 2
+		if tailRemoved {
+			p.segments--
+		}
 	}
 	p.sealed = state.Sealed
 
 	go p.syncLoop()
 
-	if fresh && rec.SnapshotSeq == 0 {
+	if wi.records == 0 && rec.SnapshotSeq == 0 {
 		m := meta
 		if _, err := p.Append(&Record{Op: OpMeta, Meta: &m}); err != nil {
 			p.Close()
@@ -360,7 +400,7 @@ func Verify(dir string) (*VerifyReport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
-	wi, err := walkLog(segs, func(r *Record) error {
+	wi, err := walkLog(segs, snapSeq, func(r *Record) error {
 		if r.Op != OpMeta && r.Seq > snapSeq {
 			state.Apply(r)
 		}
@@ -417,7 +457,7 @@ func ReadState(dir string) (*State, *Meta, *VerifyReport, error) {
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("durable: %w", err)
 	}
-	wi, err := walkLog(segs, func(r *Record) error {
+	wi, err := walkLog(segs, snapSeq, func(r *Record) error {
 		if r.Op == OpMeta {
 			if meta == nil && r.Meta != nil {
 				m := *r.Meta
@@ -452,8 +492,21 @@ func WalkRecords(dir string, fn func(*Record) bool) (*Truncation, error) {
 	if err != nil {
 		return nil, fmt.Errorf("durable: %w", err)
 	}
+	// The newest valid snapshot's LastSeq legitimizes boundary jumps,
+	// exactly as in Open and Verify.
+	snaps, err := listSnapshots(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durable: %w", err)
+	}
+	var snapSeq uint64
+	for _, si := range snaps {
+		if snap, serr := readSnapshotFile(si.path); serr == nil {
+			snapSeq = snap.LastSeq
+			break
+		}
+	}
 	stop := fmt.Errorf("stop")
-	wi, err := walkLog(segs, func(r *Record) error {
+	wi, err := walkLog(segs, snapSeq, func(r *Record) error {
 		if !fn(r) {
 			return stop
 		}

@@ -17,9 +17,9 @@ const keepSnapshots = 2
 
 // WriteSnapshot persists a checkpoint atomically (temp file + fsync +
 // rename + directory fsync), then prunes snapshots beyond the retained
-// generations and log segments wholly covered by the checkpoint. Pass
-// the state captured by the controller; snap.Meta and snap.TakenUnixNs
-// are filled in here.
+// generations and log segments wholly covered by the oldest retained
+// one. Pass the state captured by the controller; snap.Meta and
+// snap.TakenUnixNs are filled in here.
 func (p *Plane) WriteSnapshot(snap *Snapshot) error {
 	snap.Meta = p.meta
 	if snap.TakenUnixNs == 0 {
@@ -62,26 +62,33 @@ func (p *Plane) WriteSnapshot(snap *Snapshot) error {
 	p.snapUnix = snap.TakenUnixNs
 	p.mu.Unlock()
 
-	p.prune(snap.LastSeq)
+	p.prune()
 	return nil
 }
 
 // prune removes snapshot generations beyond keepSnapshots and log
-// segments every record of which is covered by sequence lastSeq. The
-// active (final) segment is never removed. Pruning is best-effort —
-// failure leaves extra files, never missing state.
-func (p *Plane) prune(lastSeq uint64) {
+// segments every record of which is covered by the OLDEST retained
+// snapshot. Recovery falls back to that generation when newer
+// snapshots are corrupt, and the fallback needs every record past its
+// LastSeq still on disk — pruning against the newest would silently
+// lose the records between the generations. The active (final) segment
+// is never removed. Pruning is best-effort — failure leaves extra
+// files, never missing state.
+func (p *Plane) prune() {
 	snaps, err := listSnapshots(p.opts.Dir)
-	if err == nil {
-		for i, si := range snaps {
-			if i < keepSnapshots {
-				continue
-			}
-			if rerr := os.Remove(si.path); rerr != nil {
-				p.opts.Logger.Warn("snapshot prune", slog.String("error", rerr.Error()))
-			}
+	if err != nil || len(snaps) == 0 {
+		return
+	}
+	for i := keepSnapshots; i < len(snaps); i++ {
+		if rerr := os.Remove(snaps[i].path); rerr != nil {
+			p.opts.Logger.Warn("snapshot prune", slog.String("error", rerr.Error()))
 		}
 	}
+	oldest := len(snaps) - 1
+	if oldest > keepSnapshots-1 {
+		oldest = keepSnapshots - 1
+	}
+	lastSeq := snaps[oldest].lastSeq
 	segs, err := listSegments(p.opts.Dir)
 	if err != nil {
 		return

@@ -194,7 +194,7 @@ func corruptTail(t *testing.T, dir string) (string, int64) {
 		t.Fatalf("listSegments: %v (%d)", err, len(segs))
 	}
 	tail := segs[len(segs)-1]
-	wi, err := walkLog([]segmentInfo{tail}, nil)
+	wi, err := walkLog([]segmentInfo{tail}, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestCorruptedTailTornRecord(t *testing.T) {
 	if err := os.Truncate(tail.path, fi.Size()-3); err != nil {
 		t.Fatal(err)
 	}
-	wi, err := walkLog([]segmentInfo{tail}, nil)
+	wi, err := walkLog([]segmentInfo{tail}, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,6 +319,195 @@ func TestCorruptedTailTornRecord(t *testing.T) {
 	}
 	if fi.Size() != wantOff {
 		t.Errorf("tail size after truncation = %d, want %d", fi.Size(), wantOff)
+	}
+}
+
+// TestTornMagicTailRecovery covers a crash that tears the tail
+// segment inside its magic header: recovery must not leave a
+// headerless husk open for appends, because the next recovery would
+// read it as "bad segment magic" at offset 0 and destroy every record
+// acked in between.
+func TestTornMagicTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t, dir)
+	opts.SegmentBytes = 512
+	p, _, err := Open(opts, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		mustAppend(t, p, &Record{Op: OpConnect, Session: uint64(i), Route: route("0.0>5.0")})
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := listSegments(dir)
+	if len(segs) < 2 {
+		t.Fatalf("need >= 2 segments, got %d", len(segs))
+	}
+	tail := segs[len(segs)-1]
+	// Tear the tail mid-magic, as a crash right after rotation would.
+	if err := os.Truncate(tail.path, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, rec := mustOpen(t, dir)
+	if rec.Truncated == nil || rec.Truncated.Segment != tail.name || rec.Truncated.Offset != 0 {
+		t.Fatalf("truncation = %+v, want %s@0", rec.Truncated, tail.name)
+	}
+	survivors := len(rec.Sessions)
+	// Records acked after this recovery must survive the next one.
+	mustAppend(t, p2, &Record{Op: OpConnect, Session: 100, Route: route("1.0>6.0")})
+	mustAppend(t, p2, &Record{Op: OpConnect, Session: 101, Route: route("2.0>7.0")})
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("log dirty after recovery + append: %+v", rep.Truncated)
+	}
+	p3, rec2 := mustOpen(t, dir)
+	defer p3.Close()
+	if rec2.Truncated != nil {
+		t.Fatalf("second recovery truncated: %v", rec2.Truncated)
+	}
+	if len(rec2.Sessions) != survivors+2 {
+		t.Errorf("recovered %d sessions, want %d (post-recovery appends lost)", len(rec2.Sessions), survivors+2)
+	}
+}
+
+// TestTruncationBehindSnapshotRotates covers a corrupt frame at a
+// sequence the snapshot already covers: resuming appends inside the
+// truncated segment would leave a sequence gap that the next
+// recovery's discontinuity check cuts at, silently discarding every
+// record acked in between. Recovery must rotate to a fresh segment
+// instead, and later scans must accept the snapshot-covered jump.
+func TestTruncationBehindSnapshotRotates(t *testing.T) {
+	dir := t.TempDir()
+	p, _ := mustOpen(t, dir)
+	for i := 1; i <= 5; i++ {
+		mustAppend(t, p, &Record{Op: OpConnect, Session: uint64(i), Route: route("0.0>5.0")})
+	}
+	st := NewState()
+	for i := 1; i <= 5; i++ {
+		st.Sessions[uint64(i)] = &SessionRoute{Session: uint64(i), Route: *route("0.0>5.0")}
+	}
+	st.NextSession = 5
+	if err := p.WriteSnapshot(&Snapshot{
+		LastSeq:     p.SyncedSeq(),
+		NextSession: st.NextSession,
+		Sessions:    st.SessionList(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snapSeq := p.SyncedSeq()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit in the final record — a frame at a sequence at/below
+	// the snapshot's LastSeq.
+	corruptTail(t, dir)
+
+	p2, rec := mustOpen(t, dir)
+	if rec.Truncated == nil {
+		t.Fatal("corruption not detected")
+	}
+	if rec.SnapshotSeq != snapSeq {
+		t.Fatalf("SnapshotSeq = %d, want %d", rec.SnapshotSeq, snapSeq)
+	}
+	if len(rec.Sessions) != 5 {
+		t.Fatalf("recovered %d sessions, want 5 (snapshot covers the cut record)", len(rec.Sessions))
+	}
+	mustAppend(t, p2, &Record{Op: OpConnect, Session: 6, Route: route("1.0>6.0")})
+	if err := p2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := Verify(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("snapshot-covered boundary jump misread as corruption: %+v", rep.Truncated)
+	}
+	p3, rec2 := mustOpen(t, dir)
+	defer p3.Close()
+	if rec2.Truncated != nil {
+		t.Fatalf("second recovery truncated: %v", rec2.Truncated)
+	}
+	if len(rec2.Sessions) != 6 {
+		t.Errorf("recovered %d sessions, want 6 (post-recovery append lost)", len(rec2.Sessions))
+	}
+}
+
+// TestSnapshotFallbackKeepsLogCoverage: the older retained snapshot is
+// only a usable fallback if the log still holds every record past ITS
+// LastSeq — pruning against the newest snapshot would silently lose
+// the sessions recorded between the two generations.
+func TestSnapshotFallbackKeepsLogCoverage(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions(t, dir)
+	opts.SegmentBytes = 512 // force rotation so pruning has segments to eat
+	p, _, err := Open(opts, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSnap := func(n int) {
+		t.Helper()
+		st := NewState()
+		for i := 1; i <= n; i++ {
+			st.Sessions[uint64(i)] = &SessionRoute{Session: uint64(i), Route: *route("0.0>5.0")}
+		}
+		st.NextSession = uint64(n)
+		if err := p.WriteSnapshot(&Snapshot{
+			LastSeq:     p.SyncedSeq(),
+			NextSession: st.NextSession,
+			Sessions:    st.SessionList(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 15; i++ {
+		mustAppend(t, p, &Record{Op: OpConnect, Session: uint64(i), Route: route("0.0>5.0")})
+	}
+	writeSnap(15)
+	// Sessions recorded between the two generations: the newest
+	// snapshot covers them, the fallback needs the log for them.
+	for i := 16; i <= 30; i++ {
+		mustAppend(t, p, &Record{Op: OpConnect, Session: uint64(i), Route: route("0.0>5.0")})
+	}
+	writeSnap(30)
+	mustAppend(t, p, &Record{Op: OpConnect, Session: 31, Route: route("1.0>6.0")})
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _ := listSnapshots(dir)
+	if len(snaps) != keepSnapshots {
+		t.Fatalf("%d snapshots retained, want %d", len(snaps), keepSnapshots)
+	}
+	// Corrupt the newest snapshot; recovery must fall back to the older
+	// generation without losing sessions 16..30.
+	b, err := os.ReadFile(snaps[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-2] ^= 0x01
+	if err := os.WriteFile(snaps[0].path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, rec := mustOpen(t, dir)
+	defer p2.Close()
+	if rec.SnapshotSeq == 0 {
+		t.Fatal("fallback snapshot not used")
+	}
+	if len(rec.Sessions) != 31 {
+		t.Errorf("fallback recovered %d sessions, want 31 (records between generations pruned away?)", len(rec.Sessions))
 	}
 }
 
