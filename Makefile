@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo clean
+.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo cluster-demo clean
 
 all: build vet race test
 
@@ -33,8 +33,10 @@ bench:
 
 # Machine-readable serving-path throughput record (including route
 # latency p50/p99 from the server's own histogram), tracked across PRs.
+# -cpu 1,4 writes one row per GOMAXPROCS so the multi-core scaling
+# curve is recorded alongside the single-core baseline.
 bench-json:
-	BENCH_JSON=$(CURDIR)/BENCH_switchd.json $(GO) test -run '^$$' -bench BenchmarkSwitchdThroughput -benchmem ./internal/switchd
+	BENCH_JSON=$(CURDIR)/BENCH_switchd.json $(GO) test -run '^$$' -bench BenchmarkSwitchdThroughput -benchmem -cpu 1,4 ./internal/switchd
 
 # Per-package statement coverage for the serving and observability
 # packages.
@@ -106,6 +108,56 @@ crash-demo:
 	curl -s 127.0.0.1:8049/v1/health; echo; \
 	echo '--- wdmwal replay'; \
 	/tmp/wdm-crash-wal replay /tmp/wdm-crash-data
+
+# Failover drill (EXPERIMENTS.md § "Failover walkthrough", scripted):
+# a 3-shard cluster — one primary per shard, plus a warm standby
+# log-shipping shard 1 — takes churn on every shard and two held
+# sessions on shard 1, then shard 1's primary dies on SIGKILL with no
+# drain. The standby is promoted over HTTP, serves the held sessions,
+# and the two shard-1 data directories must agree on `wdmwal inspect
+# -json`'s state_digest: identical replicated session state, zero
+# acknowledged loss.
+cluster-demo:
+	@$(GO) build -o /tmp/wdm-cluster-serve ./cmd/wdmserve
+	@$(GO) build -o /tmp/wdm-cluster-wal ./cmd/wdmwal
+	@pkill -9 -f '^/tmp/wdm-cluster-serve' 2>/dev/null; rm -rf /tmp/wdm-cluster-data; mkdir -p /tmp/wdm-cluster-data; \
+	/tmp/wdm-cluster-serve -cluster -shard 0 -addr 127.0.0.1:9061 -repl-addr 127.0.0.1:9071 \
+	    -replicas 2 -snapshot-interval=-1s -data-dir /tmp/wdm-cluster-data/s0 & p0=$$!; \
+	/tmp/wdm-cluster-serve -cluster -shard 1 -addr 127.0.0.1:9062 -repl-addr 127.0.0.1:9072 \
+	    -replicas 2 -snapshot-interval=-1s -data-dir /tmp/wdm-cluster-data/s1 & p1=$$!; \
+	/tmp/wdm-cluster-serve -cluster -shard 2 -addr 127.0.0.1:9063 -repl-addr 127.0.0.1:9073 \
+	    -replicas 2 -snapshot-interval=-1s -data-dir /tmp/wdm-cluster-data/s2 & p2=$$!; \
+	/tmp/wdm-cluster-serve -cluster -shard 1 -standby-of 127.0.0.1:9072 -addr 127.0.0.1:9065 \
+	    -replicas 2 -snapshot-interval=-1s -data-dir /tmp/wdm-cluster-data/s1-standby & sb=$$!; \
+	trap 'kill -9 $$p0 $$p2 $$sb 2>/dev/null' EXIT; sleep 1; \
+	/tmp/wdm-cluster-serve -attack -target http://127.0.0.1:9061 -requests 3000 >/dev/null & a0=$$!; \
+	/tmp/wdm-cluster-serve -attack -target http://127.0.0.1:9063 -requests 3000 >/dev/null & a2=$$!; \
+	/tmp/wdm-cluster-serve -attack -target http://127.0.0.1:9062 -requests 3000; \
+	wait $$a0 $$a2; \
+	sid=$$(curl -s -XPOST 127.0.0.1:9062/v1/connect -d '{"connection":"0.0>4.0,9.0"}' \
+	    | tr -d ' \n' | sed 's/.*"session":\([0-9]*\).*/\1/'); \
+	curl -s -XPOST 127.0.0.1:9062/v1/connect -d '{"connection":"1.0>6.0"}' >/dev/null; \
+	sleep 0.5; \
+	echo "--- SIGKILL shard 1 primary (held session $$sid acknowledged)"; \
+	kill -9 $$p1; wait $$p1 2>/dev/null; \
+	echo '--- POST /v1/admin/promote on the shard 1 standby'; \
+	pr=$$(curl -s -XPOST 127.0.0.1:9065/v1/admin/promote); echo "$$pr"; \
+	echo "$$pr" | grep -q '"promoted": *true' \
+	    || { echo 'FAILOVER FAILED: promote did not succeed'; exit 1; }; \
+	echo '--- held session on the promoted primary'; \
+	held=$$(curl -s "127.0.0.1:9065/v1/session?id=$$sid"); echo "$$held"; \
+	echo "$$held" | grep -q '4.0,9.0' \
+	    || { echo "FAILOVER FAILED: acknowledged session $$sid lost"; exit 1; }; \
+	echo '--- /v1/health replication row'; \
+	curl -s 127.0.0.1:9065/v1/health; echo; \
+	kill -9 $$sb; wait $$sb 2>/dev/null; \
+	dp=$$(/tmp/wdm-cluster-wal inspect -json /tmp/wdm-cluster-data/s1 | grep state_digest); \
+	ds=$$(/tmp/wdm-cluster-wal inspect -json /tmp/wdm-cluster-data/s1-standby | grep state_digest); \
+	echo "dead primary     $$dp"; \
+	echo "promoted standby $$ds"; \
+	test -n "$$dp" && test "$$dp" = "$$ds" \
+	    || { echo 'FAILOVER FAILED: replicated state digests differ'; exit 1; }; \
+	echo 'failover OK: state digests identical, zero acknowledged loss'
 
 # Regenerate every experiment artifact into results/.
 repro:

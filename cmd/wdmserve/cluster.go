@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/switchd"
+	"repro/internal/switchd/client"
+)
+
+// Cluster mode: each wdmserve process is one node of one shard. A
+// primary serves the full /v1 API and streams its WAL to the shard's
+// warm standby over -repl-addr; the standby applies the stream
+// continuously and answers everything except health/metrics/promote
+// with not_primary until it takes over (explicit POST
+// /v1/admin/promote, or -failover-after of primary silence). The
+// -peers list is published verbatim at GET /v1/cluster so a
+// client.ShardedClient (or wdmtop) can discover the topology from any
+// node.
+
+type clusterOptions struct {
+	addr          string
+	shard         int
+	standbyOf     string
+	replAddr      string
+	peers         string
+	syncTimeout   time.Duration
+	failoverAfter time.Duration
+	pprofOn       bool
+}
+
+// clusterInfo is the GET /v1/cluster payload.
+type clusterInfo struct {
+	Shard int                     `json:"shard"`
+	Role  string                  `json:"role"`
+	Peers []client.ShardEndpoints `json:"peers,omitempty"`
+}
+
+// parsePeers reads the -peers syntax: comma-separated shards, each
+// "primaryURL" or "primaryURL;standbyURL", shard index = position.
+func parsePeers(s string) ([]client.ShardEndpoints, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []client.ShardEndpoints
+	for i, part := range strings.Split(s, ",") {
+		halves := strings.SplitN(strings.TrimSpace(part), ";", 2)
+		ep := client.ShardEndpoints{Primary: strings.TrimSpace(halves[0])}
+		if len(halves) == 2 {
+			ep.Standby = strings.TrimSpace(halves[1])
+		}
+		if ep.Primary == "" {
+			return nil, fmt.Errorf("-peers: shard %d has no primary URL", i)
+		}
+		out = append(out, ep)
+	}
+	return out, nil
+}
+
+func runCluster(logger *slog.Logger, cfg switchd.Config, opts clusterOptions) {
+	if cfg.DataDir == "" {
+		fatal(logger, fmt.Errorf("-cluster requires -data-dir: replication ships the write-ahead log"))
+	}
+	peerList, err := parsePeers(opts.peers)
+	if err != nil {
+		fatal(logger, err)
+	}
+	if opts.standbyOf != "" {
+		runStandby(logger, cfg, opts, peerList)
+		return
+	}
+	runClusterPrimary(logger, cfg, opts, peerList)
+}
+
+func runClusterPrimary(logger *slog.Logger, cfg switchd.Config, opts clusterOptions, peerList []client.ShardEndpoints) {
+	srv := cluster.NewServer(cluster.ServerConfig{
+		Shard:       opts.shard,
+		SyncTimeout: opts.syncTimeout,
+		Logger:      logger,
+	})
+	cfg.WALCommitter = srv.Commit
+	ctl, err := switchd.New(cfg)
+	if err != nil {
+		fatal(logger, err)
+	}
+	if err := srv.Attach(ctl); err != nil {
+		fatal(logger, err)
+	}
+	ln, err := net.Listen("tcp", opts.replAddr)
+	if err != nil {
+		fatal(logger, fmt.Errorf("-repl-addr: %w", err))
+	}
+	go srv.Serve(ln)
+	ctl.Metrics().Publish("switchd")
+
+	p := ctl.Params()
+	logger.Info("serving cluster primary",
+		slog.Int("shard", opts.shard),
+		slog.String("addr", opts.addr),
+		slog.String("repl_addr", ln.Addr().String()),
+		slog.Int("n", p.N), slog.Int("m", p.M),
+		slog.Int("replicas", ctl.Replicas()),
+	)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", ctl.Handler())
+	mux.HandleFunc("/v1/cluster", clusterInfoHandler(opts.shard, "primary", peerList))
+	if opts.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+	}
+	hsrv := &http.Server{Addr: opts.addr, Handler: obs.WithRequestLog(mux, logger)}
+
+	done := make(chan struct{})
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		defer close(done)
+		sig := <-sigC
+		logger.Info("draining", slog.String("signal", sig.String()))
+		drainCtx, drainCancel := context.WithTimeout(context.Background(), 30*time.Second)
+		sum := ctl.Drain(drainCtx)
+		drainCancel()
+		logger.Info("drained", slog.Int("released", sum.Released), slog.Int("errors", sum.Errors))
+		srv.Close()
+		if err := ctl.Close(); err != nil {
+			logger.Error("closing durable log", slog.String("error", err.Error()))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hsrv.Shutdown(ctx)
+	}()
+	if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(logger, err)
+	}
+	<-done
+}
+
+func runStandby(logger *slog.Logger, cfg switchd.Config, opts clusterOptions, peerList []client.ShardEndpoints) {
+	sb, err := cluster.NewStandby(cluster.StandbyConfig{
+		Shard:         opts.shard,
+		Primary:       opts.standbyOf,
+		DataDir:       cfg.DataDir,
+		Serving:       cfg,
+		FailoverAfter: opts.failoverAfter,
+		Logger:        logger,
+		OnPromote: func(ctl *switchd.Controller) {
+			ctl.Metrics().Publish("switchd")
+		},
+	})
+	if err != nil {
+		fatal(logger, err)
+	}
+	sb.Start()
+
+	logger.Info("serving cluster standby",
+		slog.Int("shard", opts.shard),
+		slog.String("addr", opts.addr),
+		slog.String("primary", opts.standbyOf),
+		slog.Duration("failover_after", opts.failoverAfter),
+	)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", sb.Handler())
+	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		role := "standby"
+		if sb.Promoted() {
+			role = "primary"
+		}
+		clusterInfoHandler(opts.shard, role, peerList)(w, r)
+	})
+	hsrv := &http.Server{Addr: opts.addr, Handler: obs.WithRequestLog(mux, logger)}
+
+	done := make(chan struct{})
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		defer close(done)
+		sig := <-sigC
+		logger.Info("stopping standby", slog.String("signal", sig.String()))
+		if err := sb.Close(); err != nil {
+			logger.Error("closing standby", slog.String("error", err.Error()))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		hsrv.Shutdown(ctx)
+	}()
+	if err := hsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(logger, err)
+	}
+	<-done
+}
+
+func clusterInfoHandler(shard int, role string, peers []client.ShardEndpoints) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(clusterInfo{Shard: shard, Role: role, Peers: peers})
+	}
+}

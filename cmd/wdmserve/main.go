@@ -96,6 +96,15 @@ func main() {
 	walSegment := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = default 16MiB)")
 	snapshotEvery := flag.Duration("snapshot-interval", 0, "durable checkpoint cadence (0 = default 30s, negative disables)")
 
+	// Cluster-mode flags (see internal/cluster).
+	clusterOn := flag.Bool("cluster", false, "run as a cluster node: shard the session space and ship the WAL to a warm standby (requires -data-dir)")
+	shard := flag.Int("shard", 0, "cluster: this node's shard index")
+	standbyOf := flag.String("standby-of", "", "cluster: run as the warm standby of the primary at this replication address (host:port); empty = run as primary")
+	replAddr := flag.String("repl-addr", ":9047", "cluster primary: replication listen address standbys dial")
+	peers := flag.String("peers", "", `cluster: shard endpoint list "primary[;standby],..." published at GET /v1/cluster for client-side routing`)
+	syncTimeout := flag.Duration("sync-timeout", 0, "cluster primary: max wait for the standby ack per group commit (0 = default 2s, negative = async shipping)")
+	failoverAfter := flag.Duration("failover-after", 0, "cluster standby: auto-promote after this much primary silence (0 = promote only on POST /v1/admin/promote)")
+
 	// Attack-mode flags.
 	attack := flag.Bool("attack", false, "run as load generator against -target instead of serving")
 	target := flag.String("target", "http://localhost:8047", "attack: base URL of the server")
@@ -147,7 +156,7 @@ func main() {
 		spanLogW = f
 	}
 
-	ctl, err := switchd.New(switchd.Config{
+	cfg := switchd.Config{
 		Fabric: multistage.Params{
 			N: *n, K: *k, R: *r, M: *m, X: *x,
 			Model: model, Construction: constr, Lite: !*gates,
@@ -171,7 +180,23 @@ func main() {
 		WALSyncDelay:     *walSync,
 		WALSegmentBytes:  *walSegment,
 		SnapshotInterval: *snapshotEvery,
-	})
+	}
+
+	if *clusterOn {
+		runCluster(logger, cfg, clusterOptions{
+			addr:          *addr,
+			shard:         *shard,
+			standbyOf:     *standbyOf,
+			replAddr:      *replAddr,
+			peers:         *peers,
+			syncTimeout:   *syncTimeout,
+			failoverAfter: *failoverAfter,
+			pprofOn:       *pprofOn,
+		})
+		return
+	}
+
+	ctl, err := switchd.New(cfg)
 	if err != nil {
 		fatal(logger, err)
 	}

@@ -226,6 +226,11 @@ func renderDashboard(cur, prev *poll, target string) string {
 		b.WriteByte('\n')
 	}
 
+	if c := clusterPanel(cur); c != "" {
+		b.WriteString(c)
+		b.WriteByte('\n')
+	}
+
 	if s := cur.slo; s != nil {
 		health := "HEALTHY"
 		if !s.Healthy {
@@ -309,6 +314,55 @@ func durabilityPanel(cur *poll) string {
 		}
 		if d.TruncatedTail != "" {
 			fmt.Fprintf(&b, "\n  CORRUPT TAIL truncated at recovery: %s", d.TruncatedTail)
+		}
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// clusterPanel renders the replication row of a clustered node: role,
+// shard, stream liveness, sequence positions, and lag. Empty when the
+// node is not part of a cluster (no health row and no
+// wdm_replication_* series).
+func clusterPanel(cur *poll) string {
+	var r *api.ReplicationHealth
+	if cur.health != nil {
+		r = cur.health.Replication
+	}
+	m := cur.metrics
+	_, hasRepl := m.Value("wdm_replication_seq", nil)
+	if r == nil && !hasRepl {
+		return ""
+	}
+	var b strings.Builder
+	if r == nil {
+		// Metrics-only target (health endpoint unreachable or filtered):
+		// show the raw series.
+		fmt.Fprintf(&b, "cluster  replication lag %.3fs\n", counter(m, "wdm_replication_lag_seconds"))
+		return b.String()
+	}
+	link := "DISCONNECTED"
+	if r.Connected {
+		link = "connected"
+	}
+	fmt.Fprintf(&b, "cluster shard %d  role %s", r.Shard, strings.ToUpper(r.Role))
+	if r.Promoted {
+		b.WriteString(" (promoted from standby)")
+	}
+	fmt.Fprintf(&b, "  stream %s", link)
+	b.WriteByte('\n')
+	switch r.Role {
+	case api.RolePrimary:
+		fmt.Fprintf(&b, "  standbys %d  synced seq %d / acked %d  lag %d records %.3fs",
+			r.Standbys, r.SyncedSeq, r.AckedSeq, r.LagRecords, r.LagSeconds)
+		if r.SyncTimeouts > 0 {
+			fmt.Fprintf(&b, "  SYNC TIMEOUTS %d (degraded to async)", r.SyncTimeouts)
+		}
+	default:
+		fmt.Fprintf(&b, "  applied seq %d / primary %d  lag %d records %.3fs  reconnects %d",
+			r.AppliedSeq, r.SyncedSeq, r.LagRecords, r.LagSeconds, r.Reconnects)
+		if r.Snapshots > 0 {
+			fmt.Fprintf(&b, "  snapshot bootstraps %d", r.Snapshots)
 		}
 	}
 	b.WriteByte('\n')

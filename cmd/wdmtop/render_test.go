@@ -8,6 +8,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
 )
 
 const testExposition = `# TYPE wdm_fabric_info gauge
@@ -157,5 +158,54 @@ func TestRenderDashboardHealthyNoBlocking(t *testing.T) {
 		if !strings.Contains(frame, want) {
 			t.Errorf("frame missing %q\n---\n%s", want, frame)
 		}
+	}
+}
+
+func TestClusterPanelRoles(t *testing.T) {
+	m := parseTestMetrics(t, testExposition)
+	primary := &poll{t: time.Now(), metrics: m, health: &api.Health{
+		Replication: &api.ReplicationHealth{
+			Role: api.RolePrimary, Shard: 1, Connected: true,
+			Standbys: 1, SyncedSeq: 42, AckedSeq: 40,
+			LagRecords: 2, LagSeconds: 0.004, SyncTimeouts: 3,
+		},
+	}}
+	out := clusterPanel(primary)
+	for _, want := range []string{
+		"cluster shard 1", "role PRIMARY", "stream connected",
+		"standbys 1", "synced seq 42 / acked 40", "lag 2 records",
+		"SYNC TIMEOUTS 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("primary panel missing %q\n---\n%s", want, out)
+		}
+	}
+
+	standby := &poll{t: time.Now(), metrics: m, health: &api.Health{
+		Replication: &api.ReplicationHealth{
+			Role: api.RoleStandby, Shard: 1,
+			SyncedSeq: 42, AppliedSeq: 42, Reconnects: 2, Snapshots: 1,
+		},
+	}}
+	out = clusterPanel(standby)
+	for _, want := range []string{
+		"role STANDBY", "stream DISCONNECTED",
+		"applied seq 42 / primary 42", "reconnects 2", "snapshot bootstraps 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("standby panel missing %q\n---\n%s", want, out)
+		}
+	}
+
+	promoted := &poll{t: time.Now(), metrics: m, health: &api.Health{
+		Replication: &api.ReplicationHealth{Role: api.RolePrimary, Promoted: true},
+	}}
+	if out = clusterPanel(promoted); !strings.Contains(out, "promoted from standby") {
+		t.Errorf("promoted panel missing marker\n---\n%s", out)
+	}
+
+	// A node that is not clustered contributes no panel at all.
+	if out = clusterPanel(&poll{t: time.Now(), metrics: m}); out != "" {
+		t.Errorf("unclustered poll rendered %q", out)
 	}
 }

@@ -17,6 +17,8 @@
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -52,7 +54,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  wdmwal inspect [-json] [-records] <data-dir>
+  wdmwal inspect [-json] [-records] [-state] <data-dir>
   wdmwal verify  [-json] <data-dir>
   wdmwal replay  [-json] <data-dir>
 `)
@@ -81,12 +83,39 @@ type inspectOut struct {
 	Failed   map[int][]int         `json:"failed_middles,omitempty"`
 	NextID   uint64                `json:"next_session"`
 	Sealed   bool                  `json:"sealed"`
+	// StateDigest is a sha256 over the canonical final state (sessions
+	// sorted by id with full routes, failed middles sorted per fabric).
+	// Two directories that applied the same records digest identically
+	// regardless of segment boundaries, snapshots, or group-commit
+	// batching, so a failover drill asserts replica equivalence by
+	// comparing this one field across primary and standby data dirs.
+	StateDigest string `json:"state_digest"`
+	// State is the canonical payload behind StateDigest, for diffing
+	// when the digests disagree.
+	State *canonicalState `json:"state,omitempty"`
+}
+
+// canonicalState is the digested projection of a log's final state.
+type canonicalState struct {
+	Sessions []durable.SessionRoute `json:"sessions"`
+	Failed   map[int][]int          `json:"failed_middles,omitempty"`
+}
+
+func digestState(state *durable.State) (string, *canonicalState) {
+	c := &canonicalState{Sessions: state.SessionList(), Failed: state.FailedList()}
+	enc, err := json.Marshal(c)
+	if err != nil {
+		fatal(err)
+	}
+	sum := sha256.Sum256(enc)
+	return hex.EncodeToString(sum[:]), c
 }
 
 func runInspect(args []string) {
 	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "print the summary as JSON")
 	records := fs.Bool("records", false, "also dump every valid record as a JSON line")
+	withState := fs.Bool("state", false, "include the canonical state payload behind state_digest (JSON mode)")
 	dir := dirArg(fs, args)
 
 	state, meta, rep, err := durable.ReadState(dir)
@@ -108,6 +137,11 @@ func runInspect(args []string) {
 		Report: rep, Meta: meta, Ops: ops,
 		Sessions: len(state.Sessions), Failed: state.FailedList(),
 		NextID: state.NextSession, Sealed: state.Sealed,
+	}
+	var canon *canonicalState
+	out.StateDigest, canon = digestState(state)
+	if *withState {
+		out.State = canon
 	}
 	if *jsonOut {
 		enc, _ := json.MarshalIndent(out, "", "  ")
@@ -133,6 +167,7 @@ func runInspect(args []string) {
 	}
 	fmt.Printf("state: %d live sessions, next id %d, sealed=%v\n",
 		len(state.Sessions), state.NextSession, state.Sealed)
+	fmt.Printf("state digest: %s\n", out.StateDigest)
 	for plane, mids := range out.Failed {
 		fmt.Printf("  fabric %d failed middles: %v\n", plane, mids)
 	}

@@ -1,0 +1,707 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/multistage"
+	"repro/internal/switchd"
+	"repro/internal/switchd/api"
+	"repro/internal/switchd/client"
+	"repro/internal/wdm"
+)
+
+func testParams() multistage.Params {
+	return multistage.Params{
+		N: 16, K: 2, R: 4,
+		Model:        wdm.MSW,
+		Construction: multistage.MSWDominant,
+		Lite:         true,
+	}
+}
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// primaryNode is one shard primary under test: controller, replication
+// server, and HTTP frontend, with the semi-sync committer wired.
+type primaryNode struct {
+	ctl  *switchd.Controller
+	srv  *Server
+	ln   net.Listener
+	http *httptest.Server
+}
+
+func startPrimary(t *testing.T, dir string, sc ServerConfig) *primaryNode {
+	t.Helper()
+	sc.Logger = quietLogger()
+	srv := NewServer(sc)
+	ctl, err := switchd.New(switchd.Config{
+		Fabric:           testParams(),
+		Replicas:         2,
+		DataDir:          dir,
+		WALSyncDelay:     -1,
+		SnapshotInterval: -1,
+		WALCommitter:     srv.Commit,
+		Logger:           quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("primary switchd.New: %v", err)
+	}
+	if err := srv.Attach(ctl); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("replication listener: %v", err)
+	}
+	go srv.Serve(ln)
+	return &primaryNode{ctl: ctl, srv: srv, ln: ln, http: httptest.NewServer(ctl.Handler())}
+}
+
+func standbyServing() switchd.Config {
+	return switchd.Config{
+		Fabric:           testParams(),
+		Replicas:         2,
+		WALSyncDelay:     -1,
+		SnapshotInterval: -1,
+		Logger:           quietLogger(),
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func fetchBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s: %v", url, err)
+	}
+	return string(b)
+}
+
+func blockedTotal(st api.Status) int64 {
+	var n int64
+	for _, f := range st.Fabrics {
+		n += f.Blocked
+	}
+	return n
+}
+
+// TestClusterFailoverZeroLoss is the acceptance drill: kill a shard
+// primary under live churn, promote the standby by admin request, and
+// prove that (a) the churn rides over the flip through the
+// ShardedClient, (b) every session acknowledged before the kill is
+// either still present on the new primary with a byte-identical durable
+// route or was explicitly disconnected afterwards, (c) nothing blocked,
+// and (d) both roles exported replication lag metrics.
+func TestClusterFailoverZeroLoss(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	p := startPrimary(t, dir1, ServerConfig{Shard: 0, SyncTimeout: 5 * time.Second, Heartbeat: 25 * time.Millisecond})
+	sb, err := NewStandby(StandbyConfig{
+		Shard:     0,
+		Primary:   p.ln.Addr().String(),
+		DataDir:   dir2,
+		Serving:   standbyServing(),
+		Reconnect: 20 * time.Millisecond,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("NewStandby: %v", err)
+	}
+	sb.Start()
+	defer sb.Close()
+	sbHTTP := httptest.NewServer(sb.Handler())
+	defer sbHTTP.Close()
+
+	waitFor(t, 5*time.Second, "standby to connect", func() bool { return p.srv.Standbys() == 1 })
+
+	// Both roles must export the replication metrics before anything
+	// dramatic happens.
+	for _, u := range []string{p.http.URL + "/metrics", sbHTTP.URL + "/metrics"} {
+		body := fetchBody(t, u)
+		if !strings.Contains(body, "wdm_replication_lag_seconds") || !strings.Contains(body, "wdm_replication_seq") {
+			t.Fatalf("%s missing replication series:\n%s", u, body)
+		}
+	}
+
+	sc, err := client.NewSharded(
+		[]client.ShardEndpoints{{Primary: p.http.URL, Standby: sbHTTP.URL}},
+		client.WithRetry(client.RetryPolicy{MaxAttempts: 60, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+
+	// Ledger of what the cluster acknowledged to clients. A session in
+	// ackedLive without a later acknowledged disconnect must survive the
+	// failover; gone records acknowledged disconnects (including ones
+	// resolved as not_found after the flip: the disconnect applied, the
+	// ack was lost with the primary).
+	var (
+		ledgerMu  sync.Mutex
+		ackedLive = map[uint64]string{}
+		gone      = map[uint64]bool{}
+	)
+	ctx := context.Background()
+
+	// Held sessions live through the whole drill: acknowledged before the
+	// kill, never torn down, they MUST come back on the new primary.
+	for i := 0; i < 4; i++ {
+		_, cr, err := sc.Connect(ctx, fmt.Sprintf("held-%d", i), fmt.Sprintf("%d.0>%d.0", 8+i, i), -1)
+		if err != nil {
+			t.Fatalf("held connect %d: %v", i, err)
+		}
+		ackedLive[cr.Session] = fmt.Sprintf("%d.0>%d.0", 8+i, i)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// 4 workers, 2 disjoint unicast lanes each (slots 0 and 1 of disjoint
+	// module pairs): always admissible, no cross-worker contention. A lane
+	// is abandoned if a kill-window orphan (applied but unacknowledged
+	// connect) holds its slots.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lanes := []string{
+				fmt.Sprintf("%d.0>%d.0", w, w+8),
+				fmt.Sprintf("%d.1>%d.1", w+4, w+12),
+			}
+			dead := make([]bool, len(lanes))
+			for i := 0; ; i = (i + 1) % len(lanes) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if dead[i] {
+					if dead[0] && dead[1] {
+						return
+					}
+					continue
+				}
+				_, cr, err := sc.Connect(ctx, fmt.Sprintf("worker-%d", w), lanes[i], -1)
+				if err != nil {
+					if api.CodeOf(err) == api.CodeBadRequest {
+						// Orphan from the kill window occupies the lane.
+						dead[i] = true
+						continue
+					}
+					t.Errorf("worker %d connect %q: %v", w, lanes[i], err)
+					return
+				}
+				ledgerMu.Lock()
+				ackedLive[cr.Session] = lanes[i]
+				ledgerMu.Unlock()
+				_, err = sc.Disconnect(ctx, 0, cr.Session)
+				if err != nil && api.CodeOf(err) != api.CodeNotFound {
+					t.Errorf("worker %d disconnect %d: %v", w, cr.Session, err)
+					return
+				}
+				// Success or not_found: either way the teardown applied.
+				ledgerMu.Lock()
+				gone[cr.Session] = true
+				ledgerMu.Unlock()
+			}
+		}(w)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+
+	// Capture what was acknowledged so far, then kill the primary
+	// mid-churn: hard-stop the WAL, the HTTP frontend, and the
+	// replication stream.
+	ledgerMu.Lock()
+	ackedAtKill := make(map[uint64]string, len(ackedLive))
+	for id, lane := range ackedLive {
+		ackedAtKill[id] = lane
+	}
+	ledgerMu.Unlock()
+
+	preKillStatus, err := sc.Status(ctx, 0)
+	if err != nil {
+		t.Fatalf("pre-kill status: %v", err)
+	}
+	if blockedTotal(preKillStatus) != 0 {
+		t.Fatalf("primary blocked %d requests before the kill", blockedTotal(preKillStatus))
+	}
+
+	p.ctl.Crash()
+	p.srv.Close()
+	p.http.Close()
+
+	// Promote by admin request; the churn is still running and failing
+	// over while this happens.
+	resp, err := http.Post(sbHTTP.URL+"/v1/admin/promote", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST promote: %v", err)
+	}
+	var pr api.PromoteResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatalf("decode promote response: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !pr.Promoted {
+		t.Fatalf("promote: status %d, response %+v", resp.StatusCode, pr)
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	ctl2 := sb.Controller()
+	if ctl2 == nil {
+		t.Fatal("standby promoted but Controller() is nil")
+	}
+
+	// Zero acknowledged loss: every pre-kill acknowledged session is on
+	// the new primary unless its teardown was acknowledged too.
+	survivors := 0
+	for id, lane := range ackedAtKill {
+		ledgerMu.Lock()
+		g := gone[id]
+		ledgerMu.Unlock()
+		if g {
+			continue
+		}
+		survivors++
+		si, err := sc.Session(ctx, 0, id)
+		if err != nil {
+			t.Fatalf("acked session %d (lane %s) lost in failover: %v", id, lane, err)
+		}
+		if si.Conn != lane {
+			t.Fatalf("session %d came back as %q, was acknowledged as %q", id, si.Conn, lane)
+		}
+	}
+	if len(ackedAtKill) == 0 {
+		t.Fatal("churn acknowledged no sessions before the kill; test proved nothing")
+	}
+	if survivors < 4 {
+		t.Fatalf("%d survivors verified; the 4 held sessions alone should survive", survivors)
+	}
+
+	st2, err := sc.Status(ctx, 0)
+	if err != nil {
+		t.Fatalf("post-failover status: %v", err)
+	}
+	if blockedTotal(st2) != 0 {
+		t.Fatalf("new primary blocked %d requests", blockedTotal(st2))
+	}
+	if got := fetchBody(t, sbHTTP.URL+"/metrics"); !strings.Contains(got, "wdm_replication_lag_seconds") {
+		t.Fatal("promoted node stopped exporting wdm_replication_lag_seconds")
+	}
+	if n := p.srv.SyncTimeouts(); n != 0 {
+		t.Fatalf("primary degraded to async replication %d times during a healthy run", n)
+	}
+
+	// Byte-identical durable state: close the promoted node, read both
+	// logs back, and compare every surviving acknowledged session's
+	// recorded route between the dead primary's log and the replica's.
+	if err := sb.Close(); err != nil {
+		t.Fatalf("closing promoted node: %v", err)
+	}
+	st1read, _, _, err := durable.ReadState(dir1)
+	if err != nil {
+		t.Fatalf("ReadState(primary): %v", err)
+	}
+	st2read, _, _, err := durable.ReadState(dir2)
+	if err != nil {
+		t.Fatalf("ReadState(replica): %v", err)
+	}
+	compared := 0
+	for id := range ackedAtKill {
+		ledgerMu.Lock()
+		g := gone[id]
+		ledgerMu.Unlock()
+		if g {
+			continue
+		}
+		a, okA := st1read.Sessions[id]
+		b, okB := st2read.Sessions[id]
+		if !okA || !okB {
+			t.Fatalf("acked session %d missing from durable state (primary %v, replica %v)", id, okA, okB)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("session %d diverged:\nprimary: %s\nreplica: %s", id, ja, jb)
+		}
+		compared++
+	}
+	if compared != survivors {
+		t.Fatalf("compared %d sessions, expected %d", compared, survivors)
+	}
+	t.Logf("failover drill: %d acked at kill, %d survivors verified byte-identical, promote took %dms",
+		len(ackedAtKill), survivors, pr.Millis)
+}
+
+// TestStandbyTornFrameResume cuts the replication stream mid-frame with
+// a byte-limited proxy: the standby must treat the torn frame as a
+// dropped connection, reconnect, resume from its durable high-water
+// mark, and converge on the primary's exact session set with no
+// duplicates (AppendReplica enforces contiguity, so a replayed or
+// skipped record would fail loudly).
+func TestStandbyTornFrameResume(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	p := startPrimary(t, dir1, ServerConfig{Shard: 0, SyncTimeout: 100 * time.Millisecond, Heartbeat: 20 * time.Millisecond})
+	defer p.http.Close()
+	defer p.srv.Close()
+	defer p.ctl.Close()
+
+	// Proxy: first downstream connection is cut 9 bytes in (mid-frame:
+	// every frame is at least 5 header bytes plus payload); later
+	// connections pass through untouched.
+	pln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("proxy listener: %v", err)
+	}
+	defer pln.Close()
+	var first atomic.Bool
+	first.Store(true)
+	go func() {
+		for {
+			down, err := pln.Accept()
+			if err != nil {
+				return
+			}
+			up, err := net.Dial("tcp", p.ln.Addr().String())
+			if err != nil {
+				down.Close()
+				continue
+			}
+			go func() { io.Copy(up, down); up.Close() }()
+			go func() {
+				if first.Swap(false) {
+					io.CopyN(down, up, 9)
+				} else {
+					io.Copy(down, up)
+				}
+				down.Close()
+				up.Close()
+			}()
+		}
+	}()
+
+	sb, err := NewStandby(StandbyConfig{
+		Shard:       0,
+		Primary:     pln.Addr().String(),
+		DataDir:     dir2,
+		Serving:     standbyServing(),
+		Reconnect:   20 * time.Millisecond,
+		DialTimeout: time.Second,
+		Logger:      quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("NewStandby: %v", err)
+	}
+	sb.Start()
+	defer sb.Close()
+
+	cl := client.New(p.http.URL, client.WithHTTPClient(p.http.Client()))
+	for i := 0; i < 5; i++ {
+		if _, err := cl.Connect(context.Background(), fmt.Sprintf("%d.0>%d.0", i, i+8), -1); err != nil {
+			t.Fatalf("connect %d: %v", i, err)
+		}
+	}
+
+	target := p.ctl.WAL().SyncedSeq()
+	waitFor(t, 5*time.Second, "standby to resume past the torn frame", func() bool {
+		return sb.AppliedSeq() >= target
+	})
+	if sb.Reconnects() == 0 {
+		t.Fatal("stream was never cut; the torn-frame path did not run")
+	}
+
+	p.ctl.Close()
+	sb.Close()
+	st1, _, _, err := durable.ReadState(dir1)
+	if err != nil {
+		t.Fatalf("ReadState(primary): %v", err)
+	}
+	st2, _, _, err := durable.ReadState(dir2)
+	if err != nil {
+		t.Fatalf("ReadState(replica): %v", err)
+	}
+	if len(st1.Sessions) != 5 || len(st2.Sessions) != len(st1.Sessions) {
+		t.Fatalf("session sets diverged: primary %d, replica %d", len(st1.Sessions), len(st2.Sessions))
+	}
+	for id, a := range st1.Sessions {
+		b, ok := st2.Sessions[id]
+		if !ok {
+			t.Fatalf("session %d missing on replica", id)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("session %d diverged:\n%s\n%s", id, ja, jb)
+		}
+	}
+}
+
+// TestStandbyAutoPromoteOnHeartbeatLoss arms the watchdog and
+// hard-stops the primary: the standby must notice the silent stream and
+// promote itself with the full replicated session set.
+func TestStandbyAutoPromoteOnHeartbeatLoss(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	p := startPrimary(t, dir1, ServerConfig{Shard: 0, SyncTimeout: 2 * time.Second, Heartbeat: 20 * time.Millisecond})
+	defer p.http.Close()
+
+	sb, err := NewStandby(StandbyConfig{
+		Shard:         0,
+		Primary:       p.ln.Addr().String(),
+		DataDir:       dir2,
+		Serving:       standbyServing(),
+		Reconnect:     20 * time.Millisecond,
+		FailoverAfter: 250 * time.Millisecond,
+		Logger:        quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("NewStandby: %v", err)
+	}
+	sb.Start()
+	defer sb.Close()
+	waitFor(t, 5*time.Second, "standby to connect", func() bool { return p.srv.Standbys() == 1 })
+
+	cl := client.New(p.http.URL, client.WithHTTPClient(p.http.Client()))
+	want := map[uint64]string{}
+	for i := 0; i < 3; i++ {
+		conn := fmt.Sprintf("%d.0>%d.0", i, i+8)
+		cr, err := cl.Connect(context.Background(), conn, -1)
+		if err != nil {
+			t.Fatalf("connect %d: %v", i, err)
+		}
+		want[cr.Session] = conn
+	}
+
+	p.ctl.Crash()
+	p.srv.Close()
+	p.http.Close()
+
+	waitFor(t, 5*time.Second, "watchdog promotion", sb.Promoted)
+	ctl2 := sb.Controller()
+	if ctl2 == nil {
+		t.Fatal("promoted without a controller")
+	}
+	st := ctl2.Status()
+	if st.Active != int64(len(want)) {
+		t.Fatalf("promoted with %d sessions, want %d", st.Active, len(want))
+	}
+	h := ctl2.Health()
+	if h.Replication == nil || h.Replication.Role != api.RolePrimary || !h.Replication.Promoted {
+		t.Fatalf("promoted health replication row wrong: %+v", h.Replication)
+	}
+}
+
+// TestStandbySnapshotBootstrap joins a standby after the primary pruned
+// the log prefix the standby would need: the primary must ship a full
+// state snapshot and stream the tail from there.
+func TestStandbySnapshotBootstrap(t *testing.T) {
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	srv := NewServer(ServerConfig{Shard: 0, SyncTimeout: time.Second, Heartbeat: 20 * time.Millisecond, Logger: quietLogger()})
+	ctl, err := switchd.New(switchd.Config{
+		Fabric:           testParams(),
+		Replicas:         2,
+		DataDir:          dir1,
+		WALSyncDelay:     -1,
+		WALSegmentBytes:  600,
+		SnapshotInterval: -1,
+		WALCommitter:     srv.Commit,
+		Logger:           quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("switchd.New: %v", err)
+	}
+	if err := srv.Attach(ctl); err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listener: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	defer ctl.Close()
+	hsrv := httptest.NewServer(ctl.Handler())
+	defer hsrv.Close()
+
+	// Enough churn to span several 600-byte segments, two snapshots to
+	// prune the early ones, then a held session the snapshot must carry.
+	cl := client.New(hsrv.URL, client.WithHTTPClient(hsrv.Client()))
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		cr, err := cl.Connect(ctx, "0.0>8.0", -1)
+		if err != nil {
+			t.Fatalf("cycle connect %d: %v", i, err)
+		}
+		if _, err := cl.Disconnect(ctx, cr.Session); err != nil {
+			t.Fatalf("cycle disconnect %d: %v", i, err)
+		}
+	}
+	heldResp, err := cl.Connect(ctx, "1.0>9.0", -1)
+	if err != nil {
+		t.Fatalf("held connect: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := ctl.WriteSnapshot(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+	}
+	segs, err := filepath.Glob(filepath.Join(dir1, "wal-*.log"))
+	if err != nil {
+		t.Fatalf("listing segments: %v", err)
+	}
+	if len(segs) > 2 {
+		t.Skipf("pruning left %d segments; compaction did not trigger", len(segs))
+	}
+
+	sb, err := NewStandby(StandbyConfig{
+		Shard:     0,
+		Primary:   ln.Addr().String(),
+		DataDir:   dir2,
+		Serving:   standbyServing(),
+		Reconnect: 20 * time.Millisecond,
+		Logger:    quietLogger(),
+	})
+	if err != nil {
+		t.Fatalf("NewStandby: %v", err)
+	}
+	sb.Start()
+	defer sb.Close()
+
+	target := ctl.WAL().SyncedSeq()
+	waitFor(t, 5*time.Second, "standby to bootstrap and catch up", func() bool {
+		return sb.AppliedSeq() >= target
+	})
+	rh := sb.ReplicationHealth()
+	if rh.Snapshots == 0 {
+		t.Fatal("standby caught up without a snapshot bootstrap; the compacted path did not run")
+	}
+
+	// Post-bootstrap records still apply: one more live mutation must
+	// reach the standby.
+	cr, err := cl.Connect(ctx, "2.0>10.0", -1)
+	if err != nil {
+		t.Fatalf("post-bootstrap connect: %v", err)
+	}
+	target = ctl.WAL().SyncedSeq()
+	waitFor(t, 5*time.Second, "tail record to replicate", func() bool {
+		return sb.AppliedSeq() >= target
+	})
+
+	ctl.Close()
+	sb.Close()
+	st1, _, _, err := durable.ReadState(dir1)
+	if err != nil {
+		t.Fatalf("ReadState(primary): %v", err)
+	}
+	st2, _, _, err := durable.ReadState(dir2)
+	if err != nil {
+		t.Fatalf("ReadState(replica): %v", err)
+	}
+	for _, id := range []uint64{heldResp.Session, cr.Session} {
+		a, okA := st1.Sessions[id]
+		b, okB := st2.Sessions[id]
+		if !okA || !okB {
+			t.Fatalf("session %d missing (primary %v, replica %v)", id, okA, okB)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Fatalf("session %d diverged:\n%s\n%s", id, ja, jb)
+		}
+	}
+	if len(st2.Sessions) != len(st1.Sessions) {
+		t.Fatalf("session sets diverged: primary %d, replica %d", len(st1.Sessions), len(st2.Sessions))
+	}
+}
+
+// TestServerRejectsDivergentStandby: a standby whose resume point is
+// ahead of the primary's log followed a different history (semi-sync
+// never lets a real standby get ahead), so the handshake must be
+// refused rather than splicing two logs at a coincidentally-matching
+// sequence number. Regression for an orphaned standby from a previous
+// cluster incarnation dialing a freshly-initialised primary.
+func TestServerRejectsDivergentStandby(t *testing.T) {
+	p := startPrimary(t, t.TempDir(), ServerConfig{Shard: 0})
+	defer p.http.Close()
+	defer p.srv.Close()
+	defer p.ctl.Close()
+
+	c, br, _, err := dialAndHandshake(p.ln.Addr().String(), time.Second, handshakeMsg{
+		Shard:   0,
+		HaveSeq: p.ctl.WAL().LastSeq() + 100,
+		Meta:    p.ctl.WAL().Meta(),
+	})
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		t.Fatalf("reading handshake response: %v", err)
+	}
+	if typ != frameReject {
+		t.Fatalf("frame type = %d, want frameReject", typ)
+	}
+	var rej rejectMsg
+	if err := json.Unmarshal(payload, &rej); err != nil {
+		t.Fatalf("decoding reject: %v", err)
+	}
+	if !strings.Contains(rej.Reason, "divergent history") {
+		t.Fatalf("reject reason %q, want divergent-history refusal", rej.Reason)
+	}
+
+	// An equal resume point is the normal fully-caught-up case and must
+	// still be admitted.
+	c2, br2, _, err := dialAndHandshake(p.ln.Addr().String(), time.Second, handshakeMsg{
+		Shard:   0,
+		HaveSeq: p.ctl.WAL().LastSeq(),
+		Meta:    p.ctl.WAL().Meta(),
+	})
+	if err != nil {
+		t.Fatalf("dial (caught-up): %v", err)
+	}
+	defer c2.Close()
+	typ2, _, err := readFrame(br2)
+	if err != nil {
+		t.Fatalf("reading first frame on caught-up stream: %v", err)
+	}
+	if typ2 == frameReject {
+		t.Fatal("caught-up standby was rejected")
+	}
+}

@@ -1,0 +1,121 @@
+// Package cluster is the horizontal layer over switchd: each shard is
+// one primary controller whose write-ahead log is streamed, record by
+// record, to a warm standby that continuously applies it through the
+// same multistage.Reinstall path recovery uses. Because every
+// acknowledged mutation is a WAL record (PR 5) and a record set that
+// coexisted in a fabric reinstalls without blocking by construction,
+// "replicate the switch" reduces to "ship the log": the standby holds a
+// byte-equivalent session set at all times, and promotion — on
+// heartbeat loss or an explicit admin request — is a local recovery,
+// not a state transfer.
+//
+// Replication is semi-synchronous: the primary's group commit calls
+// into Server.Commit (durable.Options.Committer) after each batch
+// fsync, which waits — bounded by a timeout — for the standby to both
+// append and fsync the batch before any client in the batch is
+// acknowledged. A healthy pair therefore loses zero acknowledged
+// sessions on primary death; a dead or lagging standby degrades the
+// pair to asynchronous shipping (counted, surfaced in /v1/health)
+// rather than stalling the serving path forever.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/durable"
+)
+
+// Wire protocol: after the standby's handshake, both directions carry
+// [1-byte type][4-byte LE length][JSON payload] frames over one TCP
+// connection. JSON keeps the stream debuggable and reuses the WAL's
+// record encoding; the length prefix keeps framing independent of the
+// payload, so a torn frame is detected by a short read, never by a
+// parse error.
+const (
+	frameHandshake byte = 1 // standby -> primary: who I am, where I am
+	frameSnapshot  byte = 2 // primary -> standby: bootstrap state (resume point pruned)
+	frameRecord    byte = 3 // primary -> standby: one WAL record
+	frameHeartbeat byte = 4 // primary -> standby: liveness + primary's synced seq
+	frameAck       byte = 5 // standby -> primary: durable-applied high-water mark
+	frameReject    byte = 6 // primary -> standby: fatal protocol error, then close
+)
+
+// maxFrameBytes bounds one wire frame; mirrors the WAL's frame limit
+// (a snapshot frame can be large, a record frame cannot).
+const maxFrameBytes = 1 << 28
+
+// handshakeMsg opens the stream: the standby names its shard, proves
+// fabric identity (meta must be Compatible), and asks to resume after
+// the newest sequence it holds durably.
+type handshakeMsg struct {
+	Shard   int          `json:"shard"`
+	HaveSeq uint64       `json:"have_seq"`
+	Meta    durable.Meta `json:"meta"`
+}
+
+// heartbeatMsg rides the replication stream (no separate port): sent
+// every Heartbeat interval even when no records flow, so the standby's
+// failover timer measures primary liveness, not traffic.
+type heartbeatMsg struct {
+	SyncedSeq  uint64 `json:"synced_seq"`
+	SentUnixNs int64  `json:"sent_unix_ns"`
+}
+
+// ackMsg reports the standby's durable progress: every record with
+// Seq <= AppliedSeq is appended to the standby's log, fsynced, and
+// applied to its warm fabrics.
+type ackMsg struct {
+	AppliedSeq uint64 `json:"applied_seq"`
+}
+
+// rejectMsg explains a fatal stream rejection (wrong shard, fabric
+// mismatch) before the primary closes the connection.
+type rejectMsg struct {
+	Reason string `json:"reason"`
+}
+
+// writeFrame emits one frame. The caller owns flushing.
+func writeFrame(w *bufio.Writer, typ byte, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("cluster: encode frame %d: %w", typ, err)
+	}
+	if len(payload) > maxFrameBytes {
+		return fmt.Errorf("cluster: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame. io.EOF means the peer closed cleanly
+// between frames; a short read mid-frame surfaces as
+// io.ErrUnexpectedEOF (the on-the-wire torn-frame case — the receiver
+// reconnects and resumes from its durable high-water mark).
+func readFrame(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("cluster: frame length %d exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	return hdr[0], payload, nil
+}

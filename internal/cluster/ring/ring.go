@@ -1,0 +1,94 @@
+// Package ring implements consistent-hash placement of session keys
+// onto cluster shards. Each shard owns many virtual points on a 64-bit
+// hash circle; a key maps to the shard owning the first point at or
+// after the key's hash. Adding or removing one shard then moves only
+// ~1/shards of the keyspace, and the virtual points keep per-shard load
+// balanced even under the skewed (hotspot) destination distributions
+// that motivate sharding in the first place.
+//
+// The package sits below both the cluster runtime and the typed client
+// (which must agree on placement) and depends on nothing but the
+// standard library, so either side can import it without cycles.
+package ring
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the per-shard point count used when the
+// caller passes 0. 128 points per shard keeps the maximum/mean load
+// ratio within a few percent for small clusters.
+const DefaultVirtualNodes = 128
+
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is an immutable consistent-hash circle over shards 0..n-1.
+// Safe for concurrent use.
+type Ring struct {
+	shards int
+	points []point
+}
+
+// New builds a ring over `shards` shards with `vnodes` virtual points
+// each (0 = DefaultVirtualNodes).
+func New(shards, vnodes int) (*Ring, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("ring: need at least one shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{shards: shards, points: make([]point, 0, shards*vnodes)}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(fmt.Sprintf("shard-%d#%d", s, v))
+			r.points = append(r.points, point{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the shard count the ring was built over.
+func (r *Ring) Shards() int { return r.shards }
+
+// Pick maps a session key to its owning shard.
+func (r *Ring) Pick(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer; inlined rather than
+// hash/fnv so hashing a key allocates nothing on the Pick hot path.
+// Raw FNV keeps sequential labels ("shard-0#1", "shard-0#2", ...)
+// clustered on the circle; the finalizer's avalanche spreads them.
+func hash64(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

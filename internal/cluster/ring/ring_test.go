@@ -1,0 +1,72 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPickDeterministicAndInRange(t *testing.T) {
+	r, err := New(3, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	r2, _ := New(3, 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		s := r.Pick(key)
+		if s < 0 || s >= 3 {
+			t.Fatalf("Pick(%q) = %d out of range", key, s)
+		}
+		if s2 := r2.Pick(key); s2 != s {
+			t.Fatalf("Pick(%q) differs across identical rings: %d vs %d", key, s, s2)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	const shards, keys = 4, 40000
+	r, err := New(shards, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Pick(fmt.Sprintf("w%d-key-%d", i%7, i))]++
+	}
+	mean := float64(keys) / shards
+	for s, c := range counts {
+		if ratio := float64(c) / mean; ratio < 0.7 || ratio > 1.3 {
+			t.Fatalf("shard %d holds %d keys (%.2fx mean); distribution %v", s, c, ratio, counts)
+		}
+	}
+}
+
+// TestStabilityUnderGrowth: growing the cluster by one shard must move
+// only a bounded fraction of keys — that is the point of consistent
+// hashing over modulo placement.
+func TestStabilityUnderGrowth(t *testing.T) {
+	const keys = 20000
+	r3, _ := New(3, 0)
+	r4, _ := New(4, 0)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if r3.Pick(key) != r4.Pick(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/4 of keys; allow generous slack for hash variance.
+	if frac := float64(moved) / keys; frac > 0.40 {
+		t.Fatalf("growth 3->4 moved %.0f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := New(0, 0); err == nil {
+		t.Fatal("New(0) succeeded")
+	}
+	r, _ := New(1, 1)
+	if s := r.Pick("anything"); s != 0 {
+		t.Fatalf("single-shard ring picked %d", s)
+	}
+}

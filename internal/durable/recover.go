@@ -269,6 +269,7 @@ func Open(opts Options, meta Meta) (*Plane, *Recovery, error) {
 		meta:      meta,
 		seq:       lastSeq,
 		synced:    lastSeq,
+		visible:   lastSeq,
 		segments:  len(segs),
 		snapSeq:   rec.SnapshotSeq,
 		closeDone: make(chan struct{}),

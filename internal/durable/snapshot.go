@@ -22,6 +22,38 @@ const keepSnapshots = 2
 // snap.TakenUnixNs are filled in here.
 func (p *Plane) WriteSnapshot(snap *Snapshot) error {
 	snap.Meta = p.meta
+	if err := writeSnapshotFile(p.opts.Dir, snap); err != nil {
+		return err
+	}
+
+	p.mu.Lock()
+	p.snapSeq = snap.LastSeq
+	p.snapUnix = snap.TakenUnixNs
+	p.mu.Unlock()
+
+	p.prune()
+	return nil
+}
+
+// WriteSnapshotTo persists a checkpoint into dir without an open Plane
+// — the standby-bootstrap path: a replication stream that has fallen
+// off the primary's retained log receives the primary's current
+// snapshot, writes it here into an empty data directory, and reopens
+// the Plane on top (Open rotates to a fresh segment at LastSeq+1). The
+// caller provides snap.Meta; the directory is created if absent.
+func WriteSnapshotTo(dir string, snap *Snapshot) error {
+	if snap.TakenUnixNs == 0 {
+		snap.TakenUnixNs = time.Now().UnixNano()
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("durable: snapshot: %w", err)
+	}
+	return writeSnapshotFile(dir, snap)
+}
+
+// writeSnapshotFile is the atomic write core shared by WriteSnapshot
+// and WriteSnapshotTo: temp file + fsync + rename + directory fsync.
+func writeSnapshotFile(dir string, snap *Snapshot) error {
 	if snap.TakenUnixNs == 0 {
 		snap.TakenUnixNs = time.Now().UnixNano()
 	}
@@ -29,7 +61,7 @@ func (p *Plane) WriteSnapshot(snap *Snapshot) error {
 	if err != nil {
 		return fmt.Errorf("durable: encode snapshot: %w", err)
 	}
-	final := filepath.Join(p.opts.Dir, snapshotName(snap.LastSeq))
+	final := filepath.Join(dir, snapshotName(snap.LastSeq))
 	tmp := final + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -55,14 +87,7 @@ func (p *Plane) WriteSnapshot(snap *Snapshot) error {
 		os.Remove(tmp)
 		return fmt.Errorf("durable: snapshot: %w", err)
 	}
-	syncDir(p.opts.Dir)
-
-	p.mu.Lock()
-	p.snapSeq = snap.LastSeq
-	p.snapUnix = snap.TakenUnixNs
-	p.mu.Unlock()
-
-	p.prune()
+	syncDir(dir)
 	return nil
 }
 

@@ -54,7 +54,15 @@ type Options struct {
 	SegmentBytes int64
 	// OnFsync, if set, observes every fsync duration (metrics hook).
 	OnFsync func(time.Duration)
-	Logger  *slog.Logger
+	// Committer, if set, extends the durability barrier: the group-commit
+	// engine calls Committer(upTo) after the batch fsync covering
+	// sequence upTo succeeds and before any append in the batch is
+	// acknowledged. A replication layer uses it to wait for a standby's
+	// ack, so "Append returned" implies "durable on the standby too".
+	// Called without the Plane lock held; it must not append to the same
+	// Plane and it must return (use its own timeout to degrade).
+	Committer func(upTo uint64)
+	Logger    *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +112,7 @@ type Plane struct {
 
 	seq       uint64 // last assigned sequence number
 	synced    uint64 // last sequence covered by a completed fsync
+	visible   uint64 // last sequence flushed to the segment file (readable by followers)
 	appended  int64  // cumulative framed bytes handed to the log
 	flushed   int64  // cumulative framed bytes covered by fsync
 	appends   uint64
@@ -151,6 +160,24 @@ func (p *Plane) SyncedSeq() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.synced
+}
+
+// VisibleSeq returns the readable high-water mark: every record with
+// Seq <= VisibleSeq has been flushed into a segment file and can be
+// read back by a Follower. It runs ahead of SyncedSeq by at most one
+// group-commit batch (flush happens before the batch fsync).
+func (p *Plane) VisibleSeq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.visible
+}
+
+// LastSeq returns the last assigned sequence number (appended, not
+// necessarily flushed or fsynced yet).
+func (p *Plane) LastSeq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
 }
 
 // Err returns the sticky log error, if any.
@@ -215,6 +242,47 @@ func (p *Plane) Append(rec *Record) (uint64, error) {
 	return seq, err
 }
 
+// AppendReplica frames a record that already carries a sequence number
+// — a primary's, shipped over a replication stream — into the log. The
+// record must extend the log contiguously (rec.Seq == LastSeq()+1); a
+// gap or replay is a protocol error, not a write. Unlike Append it does
+// not block on the group-commit fsync: a standby acknowledges whole
+// batches with an explicit Sync before replying, so per-record waits
+// would only serialize the stream.
+func (p *Plane) AppendReplica(rec *Record) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return p.err
+	}
+	if p.closed {
+		return ErrClosed
+	}
+	if rec.Seq != p.seq+1 {
+		return fmt.Errorf("durable: replica append seq %d does not extend last seq %d", rec.Seq, p.seq)
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("durable: encode record: %w", err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("durable: record of %d bytes exceeds frame limit", len(payload))
+	}
+	if werr := writeFrame(p.w, payload); werr != nil {
+		p.failLocked(fmt.Errorf("durable: replica append: %w", werr))
+		return p.err
+	}
+	p.seq = rec.Seq
+	n := int64(frameHeader + len(payload))
+	p.size += n
+	p.appended += n
+	p.appends++
+	p.sealed = rec.Op == OpSeal
+	// Wake the syncer; durability is confirmed by a later Sync().
+	p.cond.Broadcast()
+	return nil
+}
+
 // failLocked records the first error and releases every waiter; the
 // log is poisoned from here on (the caller decides whether to keep
 // serving without durability).
@@ -256,6 +324,13 @@ func (p *Plane) syncLoop() {
 		}
 		target := p.seq
 		batchBytes := p.appended
+		// The whole batch is in the segment file now (though not yet
+		// fsynced): publish it to followers so a replication stream can
+		// ship it while the fsync is in flight. Rotation below cannot
+		// strand a follower — every frame <= target landed before the
+		// new segment file exists.
+		p.visible = target
+		p.cond.Broadcast()
 		syncF := p.f
 		var oldF *os.File
 		if p.size >= p.opts.SegmentBytes {
@@ -276,6 +351,12 @@ func (p *Plane) syncLoop() {
 		}
 		if p.opts.OnFsync != nil && serr == nil {
 			p.opts.OnFsync(d)
+		}
+		// Extend the durability barrier (replication ack) before any
+		// appender in the batch is released: a record acknowledged to a
+		// client is then durable on the standby as well.
+		if serr == nil && p.opts.Committer != nil {
+			p.opts.Committer(target)
 		}
 		p.mu.Lock()
 		p.syncing = false
@@ -354,6 +435,16 @@ func (p *Plane) Close() error {
 		} else if serr := p.f.Sync(); serr != nil {
 			err = fmt.Errorf("durable: close fsync: %w", serr)
 		} else {
+			p.visible = p.seq
+			if p.opts.Committer != nil {
+				// Let the replication stream drain the final records
+				// before the appenders they cover are released.
+				target := p.seq
+				p.cond.Broadcast()
+				p.mu.Unlock()
+				p.opts.Committer(target)
+				p.mu.Lock()
+			}
 			p.synced = p.seq
 			p.flushed = p.appended
 		}

@@ -42,6 +42,10 @@ const (
 	// mutating request returns this code until the process is restarted
 	// and recovers; reads keep serving. HTTP 503.
 	CodeStorageFailed = "storage_failed"
+	// CodeNotPrimary: the node is a warm standby for its shard and does
+	// not serve this endpoint until promoted. Clients should fail over
+	// to (or retry against) the shard's primary. HTTP 503.
+	CodeNotPrimary = "not_primary"
 )
 
 // Error is the one error shape every /v1 endpoint returns, wrapped in
@@ -71,7 +75,7 @@ func StatusFor(code string) int {
 		return http.StatusConflict
 	case CodeAdmissionFull:
 		return http.StatusTooManyRequests
-	case CodeDraining, CodeFabricFailed, CodeStorageFailed:
+	case CodeDraining, CodeFabricFailed, CodeStorageFailed, CodeNotPrimary:
 		return http.StatusServiceUnavailable
 	case CodeNotFound:
 		return http.StatusNotFound

@@ -158,6 +158,16 @@ const (
 	// HealthCritical: at least one plane has no working middle modules;
 	// requests pinned there fail with CodeFabricFailed.
 	HealthCritical = "critical"
+	// HealthStandby: the node is a warm replication standby; it applies
+	// its primary's log but serves no mutations (CodeNotPrimary) until
+	// promoted.
+	HealthStandby = "standby"
+)
+
+// Replication roles reported in ReplicationHealth.Role.
+const (
+	RolePrimary = "primary"
+	RoleStandby = "standby"
 )
 
 // FabricHealth is one plane's slice of a Health snapshot.
@@ -190,6 +200,9 @@ type Health struct {
 	// Durability is the durable-state-plane row; absent when the
 	// controller runs without a data directory.
 	Durability *DurabilityHealth `json:"durability,omitempty"`
+	// Replication is the log-shipping row; absent when the node is not
+	// part of a cluster.
+	Replication *ReplicationHealth `json:"replication,omitempty"`
 }
 
 // DurabilityHealth reports the write-ahead log, snapshot, and recovery
@@ -217,6 +230,48 @@ type DurabilityHealth struct {
 	ReplayedRecords   int    `json:"replayed_records,omitempty"`
 	RecoveryMillis    int64  `json:"recovery_millis,omitempty"`
 	TruncatedTail     string `json:"truncated_tail,omitempty"`
+}
+
+// ReplicationHealth is the cluster log-shipping row of GET /v1/health,
+// reported by both roles. On a primary, SyncedSeq is its own durable
+// high-water mark and AckedSeq the newest sequence a standby has
+// acknowledged durable; on a standby, AppliedSeq is its own durable
+// high-water mark and SyncedSeq the primary's, as of the last
+// heartbeat.
+type ReplicationHealth struct {
+	Role  string `json:"role"` // primary | standby
+	Shard int    `json:"shard"`
+	// Connected: a primary has at least one attached standby; a standby
+	// has a live stream to its primary.
+	Connected  bool   `json:"connected"`
+	Standbys   int    `json:"standbys,omitempty"`
+	SyncedSeq  uint64 `json:"synced_seq"`
+	AckedSeq   uint64 `json:"acked_seq,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	// LagRecords is how many durable records the standby trails by;
+	// LagSeconds the staleness of the newest acknowledgement (primary)
+	// or heartbeat (standby). Both are 0 when fully caught up.
+	LagRecords uint64  `json:"lag_records"`
+	LagSeconds float64 `json:"lag_seconds"`
+	// SyncTimeouts counts group commits that gave up waiting for a
+	// standby ack and degraded to asynchronous replication.
+	SyncTimeouts uint64 `json:"sync_timeouts,omitempty"`
+	// Reconnects and Snapshots count a standby's stream re-dials and
+	// snapshot bootstraps (resume points that had been pruned).
+	Reconnects uint64 `json:"reconnects,omitempty"`
+	Snapshots  uint64 `json:"snapshots,omitempty"`
+	Promoted   bool   `json:"promoted,omitempty"`
+}
+
+// PromoteResponse is the POST /v1/admin/promote success payload on a
+// standby: the node has taken over as primary for its shard.
+type PromoteResponse struct {
+	Promoted bool `json:"promoted"`
+	Shard    int  `json:"shard"`
+	// Sessions is the live session count recovered from the replicated
+	// log at promotion; Millis how long the flip took.
+	Sessions int   `json:"sessions"`
+	Millis   int64 `json:"millis"`
 }
 
 // FailRequest is the POST /v1/admin/fail and /v1/admin/repair payload:

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -116,11 +117,38 @@ func benchDo(h http.Handler, path, body string, out any) int {
 	return w.Code
 }
 
-// writeBenchJSON records the run. Benchmarks re-run with growing b.N;
-// the file ends up holding the final, longest run.
+// writeBenchJSON records the run into a JSON array with one row per
+// (benchmark, gomaxprocs) pair, so `go test -cpu 1,4` leaves a scaling
+// curve rather than only the last configuration. Benchmarks re-run
+// with growing b.N; each row ends up holding that shape's final,
+// longest run. A pre-array single-object file is absorbed as one row.
 func writeBenchJSON(b *testing.B, path string, payload map[string]any) {
 	b.Helper()
-	buf, err := json.MarshalIndent(payload, "", "  ")
+	var rows []map[string]any
+	if prev, err := os.ReadFile(path); err == nil {
+		if json.Unmarshal(prev, &rows) != nil {
+			var one map[string]any
+			if json.Unmarshal(prev, &one) == nil && one != nil {
+				rows = []map[string]any{one}
+			}
+		}
+	}
+	rowKey := func(m map[string]any) string {
+		return fmt.Sprintf("%v/%v", m["benchmark"], m["gomaxprocs"])
+	}
+	replaced := false
+	for i, row := range rows {
+		if rowKey(row) == rowKey(payload) {
+			rows[i] = payload
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		rows = append(rows, payload)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rowKey(rows[i]) < rowKey(rows[j]) })
+	buf, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		b.Fatalf("marshaling bench json: %v", err)
 	}

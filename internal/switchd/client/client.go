@@ -13,11 +13,15 @@
 //	)
 //
 // With a retry policy, requests answered 429 (admission_full) or 503
-// (draining, fabric_failed) are retried with jittered exponential
-// backoff — the two statuses that signal "later may differ": a derated
-// cap refills as sessions end, a failed plane comes back on repair.
-// 409 blocked is never retried (same fabric state, same answer), nor
-// are 4xx client errors.
+// (draining, fabric_failed, storage_failed, not_primary) are retried
+// with jittered exponential backoff — the statuses that signal "later
+// may differ": a derated cap refills as sessions end, a failed plane
+// comes back on repair, a standby finishes promoting. Transport-level
+// failures with the same property — connection refused/reset, torn
+// connections — retry identically, so a client pointed at a failing
+// shard rides out the promotion window with no special cases (see
+// ShardedClient). 409 blocked is never retried (same fabric state,
+// same answer), nor are 4xx client errors or context cancellation.
 //
 // Tracing: every request carries a W3C traceparent when one is
 // available — either from the span active on the context (server-side
@@ -29,12 +33,16 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/obs/slo"
@@ -130,9 +138,45 @@ func traceparentFrom(ctx context.Context) string {
 }
 
 // retryableStatus reports whether a status line signals a condition a
-// backoff can outlive.
+// backoff can outlive: 429 (admission_full — the cap refills) and 503
+// (draining, fabric_failed, storage_failed, not_primary — a repair,
+// restart, or promotion changes the answer). All four 503 codes are
+// deliberately in scope: storage_failed on a clustered shard means the
+// primary is dying and a standby is about to take over, and not_primary
+// means a standby has not finished promoting yet — in both cases the
+// retry (or the ShardedClient's failover re-route) lands on a serving
+// node.
 func retryableStatus(status int) bool {
 	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// transportRetryable reports whether a transport-level error (no HTTP
+// response at all) is worth retrying: connection refused or reset, a
+// torn connection (EOF), or any dial failure. These are exactly the
+// failover signals — a killed primary refuses connections — so they
+// must retry with the same backoff as a 503, never surface on the
+// first attempt. Context cancellation and deadline expiry are the
+// caller's own signals and are never retried.
+func transportRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	// A dying server killing a reused keep-alive connection surfaces as
+	// net/http's unexported errServerClosedIdle; the transport only
+	// auto-retries it for bodyless requests, so POSTs see it raw and the
+	// message is the only handle the stdlib exposes.
+	if strings.Contains(err.Error(), "server closed idle connection") {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
 }
 
 // do sends one request (with retries) and returns the final status and
@@ -147,6 +191,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 	}
 	tp := traceparentFrom(ctx)
 	delay := c.retry.BaseDelay
+	// backoff sleeps one jittered exponential step; false once the
+	// context is done.
+	backoff := func() bool {
+		jittered := time.Duration(float64(delay) * (0.5 + rand.Float64()))
+		c.retries.Add(1)
+		t := time.NewTimer(jittered)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+		}
+		if delay *= 2; delay > c.retry.MaxDelay {
+			delay = c.retry.MaxDelay
+		}
+		return true
+	}
 	for attempt := 1; ; attempt++ {
 		var rd io.Reader
 		if body != nil {
@@ -164,7 +225,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
-			return 0, nil, err
+			if attempt >= c.retry.MaxAttempts || !transportRetryable(err) || !backoff() {
+				return 0, nil, err
+			}
+			continue
 		}
 		respBody, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
@@ -174,19 +238,10 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 		if !retryableStatus(resp.StatusCode) || attempt >= c.retry.MaxAttempts {
 			return resp.StatusCode, respBody, nil
 		}
-		// Jittered exponential backoff: sleep delay * [0.5, 1.5), double,
-		// clamp. A canceled context cuts the wait short.
-		jittered := time.Duration(float64(delay) * (0.5 + rand.Float64()))
-		c.retries.Add(1)
-		t := time.NewTimer(jittered)
-		select {
-		case <-ctx.Done():
-			t.Stop()
+		// Jittered exponential backoff; a canceled context cuts the wait
+		// short and returns the last answer.
+		if !backoff() {
 			return resp.StatusCode, respBody, nil
-		case <-t.C:
-		}
-		if delay *= 2; delay > c.retry.MaxDelay {
-			delay = c.retry.MaxDelay
 		}
 	}
 }

@@ -1,0 +1,223 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/cluster/ring"
+	"repro/internal/switchd/api"
+)
+
+// ShardedClient routes session operations across a cluster of switchd
+// shards: a consistent-hash ring (internal/cluster/ring) maps a session
+// key to its owning shard, and each shard is addressed through its
+// primary with automatic failover to the warm standby. Failover needs
+// no special cases in the callers because the underlying Client already
+// treats connection refused/reset and every 503 code — storage_failed
+// on a dying primary, not_primary on a still-promoting standby — as
+// retryable: the sharded layer only decides *which endpoint* the next
+// attempt goes to.
+//
+// Sessions are created under a caller-chosen key (the ring input) and
+// identified afterwards by (shard, session id): ids are per-shard
+// counters, unique only within their shard.
+
+// ShardEndpoints is one shard's address pair. Standby may be empty for
+// an unreplicated shard.
+type ShardEndpoints struct {
+	Primary string `json:"primary"`
+	Standby string `json:"standby,omitempty"`
+}
+
+// shardState holds one shard's clients and which endpoint currently
+// answers: 0 = primary, 1 = standby. The index flips sticky on a
+// successful failover so later requests skip the dead endpoint's
+// timeout.
+type shardState struct {
+	clients [2]*Client
+	active  atomic.Int32
+}
+
+// ShardedClient is safe for concurrent use.
+type ShardedClient struct {
+	shards []*shardState
+	ring   *ring.Ring
+}
+
+// NewSharded builds a client over the given shard endpoints; opts apply
+// to every per-endpoint Client (retry policy, timeout, HTTP client).
+func NewSharded(shards []ShardEndpoints, opts ...Option) (*ShardedClient, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("client: sharded: no shards")
+	}
+	r, err := ring.New(len(shards), 0)
+	if err != nil {
+		return nil, fmt.Errorf("client: sharded: %w", err)
+	}
+	sc := &ShardedClient{ring: r}
+	for i, ep := range shards {
+		if ep.Primary == "" {
+			return nil, fmt.Errorf("client: sharded: shard %d has no primary", i)
+		}
+		st := &shardState{}
+		st.clients[0] = New(ep.Primary, opts...)
+		if ep.Standby != "" {
+			st.clients[1] = New(ep.Standby, opts...)
+		}
+		sc.shards = append(sc.shards, st)
+	}
+	return sc, nil
+}
+
+// Shards returns the shard count.
+func (sc *ShardedClient) Shards() int { return len(sc.shards) }
+
+// ShardFor maps a session key to its owning shard.
+func (sc *ShardedClient) ShardFor(key string) int { return sc.ring.Pick(key) }
+
+// ActiveEndpoint reports which endpoint shard currently targets:
+// 0 = primary, 1 = standby.
+func (sc *ShardedClient) ActiveEndpoint(shard int) int {
+	return int(sc.shards[shard].active.Load())
+}
+
+// Retries sums the per-endpoint retry counters.
+func (sc *ShardedClient) Retries() int64 {
+	var total int64
+	for _, st := range sc.shards {
+		for _, c := range st.clients {
+			if c != nil {
+				total += c.Retries()
+			}
+		}
+	}
+	return total
+}
+
+// IsFailover reports whether err means "this endpoint cannot serve, a
+// peer might": transport-level failures (refused, reset, torn) and the
+// 503 codes a promotion resolves. It is the ShardedClient's re-route
+// predicate; plain callers can use it to decide between giving up and
+// re-resolving.
+func IsFailover(err error) bool {
+	if err == nil {
+		return false
+	}
+	switch api.CodeOf(err) {
+	case api.CodeStorageFailed, api.CodeFabricFailed, api.CodeDraining, api.CodeNotPrimary:
+		return true
+	}
+	return transportRetryable(err)
+}
+
+// onShard runs fn against the shard's active endpoint, failing over to
+// the peer once when the error class says a different node might serve.
+// The flip is sticky on success.
+func (sc *ShardedClient) onShard(shard int, fn func(*Client) error) error {
+	if shard < 0 || shard >= len(sc.shards) {
+		return fmt.Errorf("client: sharded: shard %d out of range (have %d)", shard, len(sc.shards))
+	}
+	st := sc.shards[shard]
+	i := st.active.Load()
+	if st.clients[i] == nil {
+		i = 0
+	}
+	err := fn(st.clients[i])
+	if err == nil || !IsFailover(err) {
+		return err
+	}
+	j := 1 - i
+	if st.clients[j] == nil {
+		return err
+	}
+	ferr := fn(st.clients[j])
+	if ferr == nil || !IsFailover(ferr) {
+		// The peer answered (or failed for a non-failover reason, which
+		// is still an answer): make it the shard's active endpoint.
+		st.active.Store(j)
+		return ferr
+	}
+	return err
+}
+
+// Connect routes a new session on the shard owning key. fabric pins a
+// plane within the shard; pass -1 for the controller's choice.
+func (sc *ShardedClient) Connect(ctx context.Context, key, connection string, fabric int) (int, api.ConnectResponse, error) {
+	shard := sc.ShardFor(key)
+	var out api.ConnectResponse
+	err := sc.onShard(shard, func(c *Client) error {
+		var e error
+		out, e = c.Connect(ctx, connection, fabric)
+		return e
+	})
+	return shard, out, err
+}
+
+// ConnectOn routes a new session on an explicit shard (callers that
+// already resolved placement).
+func (sc *ShardedClient) ConnectOn(ctx context.Context, shard int, connection string, fabric int) (api.ConnectResponse, error) {
+	var out api.ConnectResponse
+	err := sc.onShard(shard, func(c *Client) error {
+		var e error
+		out, e = c.Connect(ctx, connection, fabric)
+		return e
+	})
+	return out, err
+}
+
+// Branch grows a session on its shard.
+func (sc *ShardedClient) Branch(ctx context.Context, shard int, session uint64, dests ...string) (api.SessionInfo, error) {
+	var out api.SessionInfo
+	err := sc.onShard(shard, func(c *Client) error {
+		var e error
+		out, e = c.Branch(ctx, session, dests...)
+		return e
+	})
+	return out, err
+}
+
+// Disconnect tears a session down on its shard.
+func (sc *ShardedClient) Disconnect(ctx context.Context, shard int, session uint64) (api.DisconnectResponse, error) {
+	var out api.DisconnectResponse
+	err := sc.onShard(shard, func(c *Client) error {
+		var e error
+		out, e = c.Disconnect(ctx, session)
+		return e
+	})
+	return out, err
+}
+
+// Session fetches one session's snapshot from its shard.
+func (sc *ShardedClient) Session(ctx context.Context, shard int, id uint64) (api.SessionInfo, error) {
+	var out api.SessionInfo
+	err := sc.onShard(shard, func(c *Client) error {
+		var e error
+		out, e = c.Session(ctx, id)
+		return e
+	})
+	return out, err
+}
+
+// Status fetches one shard's controller status.
+func (sc *ShardedClient) Status(ctx context.Context, shard int) (api.Status, error) {
+	var out api.Status
+	err := sc.onShard(shard, func(c *Client) error {
+		var e error
+		out, e = c.Status(ctx)
+		return e
+	})
+	return out, err
+}
+
+// Health fetches one shard's health snapshot (from whichever endpoint
+// currently answers).
+func (sc *ShardedClient) Health(ctx context.Context, shard int) (api.Health, error) {
+	var out api.Health
+	err := sc.onShard(shard, func(c *Client) error {
+		var e error
+		out, e = c.Health(ctx)
+		return e
+	})
+	return out, err
+}

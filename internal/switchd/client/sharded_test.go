@@ -1,0 +1,255 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"syscall"
+	"testing"
+
+	"repro/internal/switchd/api"
+)
+
+// flakyRT fails the first `failures` round trips with err, then
+// delegates to the real transport — the unit-test stand-in for a
+// primary that dies and comes back (or is replaced).
+type flakyRT struct {
+	remaining atomic.Int64
+	err       error
+	next      http.RoundTripper
+}
+
+func (f *flakyRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	if f.remaining.Add(-1) >= 0 {
+		return nil, &netOpError{err: f.err}
+	}
+	return f.next.RoundTrip(req)
+}
+
+// netOpError wraps a syscall errno the way net.OpError does, so
+// errors.Is unwraps to the errno exactly as with a live dialer.
+type netOpError struct{ err error }
+
+func (e *netOpError) Error() string { return "dial tcp: " + e.err.Error() }
+func (e *netOpError) Unwrap() error { return e.err }
+
+// TestTransportRetryConnectionRefused: a refused connection must enter
+// the same backoff loop as a 503, not surface on the first attempt.
+func TestTransportRetryConnectionRefused(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		json.NewEncoder(w).Encode(api.ConnectResponse{Session: 3, Fabric: 0})
+	}))
+	defer srv.Close()
+
+	rt := &flakyRT{err: syscall.ECONNREFUSED, next: srv.Client().Transport}
+	rt.remaining.Store(2)
+	c := New(srv.URL, WithHTTPClient(&http.Client{Transport: rt}), WithRetry(fastRetry(4)))
+	cr, err := c.Connect(context.Background(), "0.0>1.0", -1)
+	if err != nil {
+		t.Fatalf("Connect through refused connections: %v", err)
+	}
+	if cr.Session != 3 || hits.Load() != 1 {
+		t.Fatalf("session %d, server hits %d; want 3 after exactly 1 hit", cr.Session, hits.Load())
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestTransportRetryExhausted: with retries used up the transport error
+// itself surfaces, still carrying the errno for IsFailover.
+func TestTransportRetryExhausted(t *testing.T) {
+	rt := &flakyRT{err: syscall.ECONNREFUSED, next: http.DefaultTransport}
+	rt.remaining.Store(100)
+	c := New("http://127.0.0.1:1", WithHTTPClient(&http.Client{Transport: rt}), WithRetry(fastRetry(3)))
+	_, err := c.Connect(context.Background(), "0.0>1.0", -1)
+	if err == nil {
+		t.Fatal("Connect succeeded against a permanently refused endpoint")
+	}
+	if !IsFailover(err) {
+		t.Fatalf("exhausted transport error %v not classified as failover", err)
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestNoTransportRetryOnCancel: context cancellation is the caller's
+// signal, never retried.
+func TestNoTransportRetryOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New("http://127.0.0.1:1", WithRetry(fastRetry(5)))
+	_, err := c.Connect(ctx, "0.0>1.0", -1)
+	if err == nil {
+		t.Fatal("Connect succeeded with a canceled context")
+	}
+	if c.Retries() != 0 {
+		t.Fatalf("Retries() = %d on a canceled context, want 0", c.Retries())
+	}
+}
+
+// TestStorageFailedRetryable: storage_failed (503) must retry — on a
+// clustered shard it means the primary's log is poisoned and the
+// standby is about to take over.
+func TestStorageFailedRetryable(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) < 3 {
+			writeEnvelope(w, api.CodeStorageFailed)
+			return
+		}
+		json.NewEncoder(w).Encode(api.ConnectResponse{Session: 9, Fabric: 0})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithHTTPClient(srv.Client()), WithRetry(fastRetry(4)))
+	cr, err := c.Connect(context.Background(), "0.0>1.0", -1)
+	if err != nil {
+		t.Fatalf("Connect through storage_failed: %v", err)
+	}
+	if cr.Session != 9 || hits.Load() != 3 {
+		t.Fatalf("session %d after %d hits, want 9 after 3", cr.Session, hits.Load())
+	}
+}
+
+func TestIsFailoverClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{&api.Error{Code: api.CodeStorageFailed}, true},
+		{&api.Error{Code: api.CodeNotPrimary}, true},
+		{&api.Error{Code: api.CodeDraining}, true},
+		{&api.Error{Code: api.CodeFabricFailed}, true},
+		{&api.Error{Code: api.CodeBlocked}, false},
+		{&api.Error{Code: api.CodeAdmissionFull}, false},
+		{&api.Error{Code: api.CodeBadRequest}, false},
+		{&netOpError{err: syscall.ECONNREFUSED}, true},
+		{&netOpError{err: syscall.ECONNRESET}, true},
+		{context.Canceled, false},
+	}
+	for _, tc := range cases {
+		if got := IsFailover(tc.err); got != tc.want {
+			t.Errorf("IsFailover(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestShardedFailover: the shard's primary dies (refused), the standby
+// answers, and the flip is sticky so the next request skips the corpse.
+func TestShardedFailover(t *testing.T) {
+	var primaryHits, standbyHits atomic.Int64
+	primary := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		primaryHits.Add(1)
+		json.NewEncoder(w).Encode(api.ConnectResponse{Session: 1, Fabric: 0})
+	}))
+	standby := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		standbyHits.Add(1)
+		json.NewEncoder(w).Encode(api.ConnectResponse{Session: 2, Fabric: 0})
+	}))
+	defer standby.Close()
+
+	sc, err := NewSharded(
+		[]ShardEndpoints{{Primary: primary.URL, Standby: standby.URL}},
+		WithRetry(fastRetry(2)),
+	)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+
+	if _, _, err := sc.Connect(context.Background(), "key-a", "0.0>1.0", -1); err != nil {
+		t.Fatalf("Connect via primary: %v", err)
+	}
+	if primaryHits.Load() == 0 {
+		t.Fatal("primary never served")
+	}
+
+	primary.Close() // kill the primary: connects now refuse
+	if _, _, err := sc.Connect(context.Background(), "key-b", "0.0>1.0", -1); err != nil {
+		t.Fatalf("Connect after primary death: %v", err)
+	}
+	if standbyHits.Load() == 0 {
+		t.Fatal("standby never served after failover")
+	}
+	if sc.ActiveEndpoint(0) != 1 {
+		t.Fatalf("ActiveEndpoint = %d after failover, want 1 (standby)", sc.ActiveEndpoint(0))
+	}
+	before := standbyHits.Load()
+	if _, _, err := sc.Connect(context.Background(), "key-c", "0.0>1.0", -1); err != nil {
+		t.Fatalf("Connect after sticky flip: %v", err)
+	}
+	if standbyHits.Load() != before+1 {
+		t.Fatal("sticky failover did not route to the standby directly")
+	}
+}
+
+// TestShardedNotPrimaryFailsOver: a 503 not_primary from a node that
+// lost its role re-routes to the peer within the same call.
+func TestShardedNotPrimaryFailsOver(t *testing.T) {
+	demoted := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeEnvelope(w, api.CodeNotPrimary)
+	}))
+	defer demoted.Close()
+	serving := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(api.ConnectResponse{Session: 5, Fabric: 0})
+	}))
+	defer serving.Close()
+
+	sc, err := NewSharded([]ShardEndpoints{{Primary: demoted.URL, Standby: serving.URL}})
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	_, cr, err := sc.Connect(context.Background(), "key", "0.0>1.0", -1)
+	if err != nil {
+		t.Fatalf("Connect through not_primary: %v", err)
+	}
+	if cr.Session != 5 {
+		t.Fatalf("session %d, want 5 (served by peer)", cr.Session)
+	}
+}
+
+// TestShardedPlacement: keys spread across shards deterministically and
+// ops address the shard the key resolved to.
+func TestShardedPlacement(t *testing.T) {
+	const shards = 3
+	var hits [shards]atomic.Int64
+	var eps []ShardEndpoints
+	for i := 0; i < shards; i++ {
+		i := i
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			hits[i].Add(1)
+			json.NewEncoder(w).Encode(api.ConnectResponse{Session: uint64(i), Fabric: 0})
+		}))
+		defer srv.Close()
+		eps = append(eps, ShardEndpoints{Primary: srv.URL})
+	}
+	sc, err := NewSharded(eps)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	for i := 0; i < 90; i++ {
+		key := fmt.Sprintf("session-key-%d", i)
+		shard, cr, err := sc.Connect(context.Background(), key, "0.0>1.0", -1)
+		if err != nil {
+			t.Fatalf("Connect(%q): %v", key, err)
+		}
+		if int(cr.Session) != shard {
+			t.Fatalf("key %q resolved to shard %d but reached server %d", key, shard, cr.Session)
+		}
+		if again := sc.ShardFor(key); again != shard {
+			t.Fatalf("ShardFor(%q) unstable: %d then %d", key, shard, again)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		if hits[i].Load() == 0 {
+			t.Fatalf("shard %d never hit; placement is degenerate", i)
+		}
+	}
+}

@@ -70,6 +70,7 @@ func (ctl *Controller) openDurable() error {
 		SyncDelay:    cfg.WALSyncDelay,
 		SegmentBytes: cfg.WALSegmentBytes,
 		OnFsync:      func(d time.Duration) { ctl.metrics.walFsync.observe(d) },
+		Committer:    cfg.WALCommitter,
 		Logger:       ctl.logger,
 	}
 	meta := durable.Meta{Params: ctl.params, Replicas: len(ctl.fabrics)}
@@ -351,6 +352,23 @@ func (ctl *Controller) WriteSnapshot() error {
 	}
 	sp := ctl.tracer.Root("wal.snapshot", "")
 	defer sp.End()
+	snap := ctl.SnapshotState()
+	sp.SetAttr("sessions", len(snap.Sessions))
+	sp.SetAttr("last_seq", snap.LastSeq)
+	err := ctl.wal.WriteSnapshot(snap)
+	if err != nil {
+		sp.SetError(err.Error())
+	}
+	return err
+}
+
+// SnapshotState captures the checkpoint WriteSnapshot would persist:
+// the live session routes, the failure plane, and the synced sequence
+// they cover. The replication server ships it to bootstrap a standby
+// whose resume point has been pruned. The sequence is captured before
+// the fabric scan, so the state is a superset of every record it claims
+// to cover. Must only be called with the durable plane enabled.
+func (ctl *Controller) SnapshotState() *durable.Snapshot {
 	snap := &durable.Snapshot{
 		LastSeq:     ctl.wal.SyncedSeq(),
 		NextSession: ctl.nextSession.Load(),
@@ -376,13 +394,7 @@ func (ctl *Controller) WriteSnapshot() error {
 		f.mu.Unlock()
 	}
 	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].Session < snap.Sessions[j].Session })
-	sp.SetAttr("sessions", len(snap.Sessions))
-	sp.SetAttr("last_seq", snap.LastSeq)
-	err := ctl.wal.WriteSnapshot(snap)
-	if err != nil {
-		sp.SetError(err.Error())
-	}
-	return err
+	return snap
 }
 
 // stopSnapshots halts the snapshotter goroutine (idempotent).
@@ -430,6 +442,26 @@ func (ctl *Controller) Recovery() *durable.Recovery { return ctl.recovery }
 // WAL exposes the durable log (nil without a data directory); tests
 // and the serving binary use it for stats and shutdown.
 func (ctl *Controller) WAL() *durable.Plane { return ctl.wal }
+
+// SetReplicationProbe registers (or clears, with nil) the callback
+// that reports the node's replication role and lag. The cluster layer
+// sets it on primaries; its result appears as the replication row of
+// GET /v1/health and as wdm_replication_* metrics.
+func (ctl *Controller) SetReplicationProbe(probe func() *api.ReplicationHealth) {
+	if probe == nil {
+		ctl.replProbe.Store(nil)
+		return
+	}
+	ctl.replProbe.Store(&probe)
+}
+
+// replicationHealth runs the registered probe, if any.
+func (ctl *Controller) replicationHealth() *api.ReplicationHealth {
+	if p := ctl.replProbe.Load(); p != nil {
+		return (*p)()
+	}
+	return nil
+}
 
 // durabilityHealth builds the durability row of GET /v1/health.
 func (ctl *Controller) durabilityHealth() *api.DurabilityHealth {

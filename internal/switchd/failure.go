@@ -321,5 +321,6 @@ func (ctl *Controller) Health() api.Health {
 			h.Status = api.HealthDegraded
 		}
 	}
+	h.Replication = ctl.replicationHealth()
 	return h
 }

@@ -170,6 +170,33 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 		w.HistogramE("wdm_wal_fsync_seconds", "Group-commit fsync latency.",
 			bounds, counts, float64(fh.SumNs)/1e9, ctl.metrics.walFsync.exemplarSnapshot())
 	}
+
+	// Replication plane (present only in cluster mode).
+	if rh := ctl.replicationHealth(); rh != nil {
+		WriteReplicationProm(w, rh)
+	}
+}
+
+// WriteReplicationProm emits the wdm_replication_* series for one
+// node's replication row. Shared by the primary's full exposition and
+// the standby's minimal /metrics (which has no Controller yet).
+func WriteReplicationProm(w *obs.PromWriter, rh *api.ReplicationHealth) {
+	role := obs.Label{Name: "role", Value: rh.Role}
+	seq := rh.SyncedSeq
+	if rh.Role != "primary" {
+		seq = rh.AppliedSeq
+	}
+	w.Gauge("wdm_replication_seq", "Durable log sequence per role: a primary's synced sequence, a standby's applied sequence.", float64(seq), role)
+	w.Gauge("wdm_replication_lag_seconds", "Replication staleness: ack age on the primary, heartbeat age on the standby (0 when caught up).", rh.LagSeconds, role)
+	w.Gauge("wdm_replication_lag_records", "Durable records the standby trails the primary by.", float64(rh.LagRecords), role)
+	w.Gauge("wdm_replication_connected", "1 while the replication stream is attached.", b2f(rh.Connected), role)
+	if rh.Role == "primary" {
+		w.Gauge("wdm_replication_standbys", "Attached standby streams.", float64(rh.Standbys), role)
+		w.Counter("wdm_replication_sync_timeouts_total", "Group commits that degraded to async after a standby ack timeout.", float64(rh.SyncTimeouts), role)
+	} else {
+		w.Counter("wdm_replication_reconnects_total", "Standby stream re-dials.", float64(rh.Reconnects), role)
+		w.Counter("wdm_replication_snapshots_total", "Standby snapshot bootstraps (resume point pruned on the primary).", float64(rh.Snapshots), role)
+	}
 }
 
 func b2f(b bool) float64 {

@@ -144,6 +144,13 @@ type Config struct {
 	// disables the background snapshotter (tests drive WriteSnapshot
 	// directly).
 	SnapshotInterval time.Duration
+	// WALCommitter, when set together with DataDir, extends the group
+	// commit's durability barrier: it is called after each batch fsync
+	// and before the appends it covers are acknowledged. The cluster
+	// replication server uses it to wait for the standby's ack, making
+	// "request acknowledged" imply "durable on the standby" (see
+	// internal/cluster).
+	WALCommitter func(upTo uint64)
 }
 
 func (c Config) withDefaults() Config {
@@ -216,6 +223,10 @@ type Controller struct {
 	snapDone  chan struct{}
 	snapOnce  sync.Once
 	closeOnce sync.Once
+
+	// replProbe, when set, reports the node's replication role and lag
+	// for /v1/health and /metrics (see SetReplicationProbe).
+	replProbe atomic.Pointer[func() *api.ReplicationHealth]
 }
 
 // New builds a controller with cfg.Replicas freshly constructed fabric
