@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo cluster-demo clean
+.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo cluster-demo prof-demo clean
 
 all: build vet race test
 
@@ -158,6 +158,46 @@ cluster-demo:
 	test -n "$$dp" && test "$$dp" = "$$ds" \
 	    || { echo 'FAILOVER FAILED: replicated state digests differ'; exit 1; }; \
 	echo 'failover OK: state digests identical, zero acknowledged loss'
+
+# Observability drill (EXPERIMENTS.md § "Performance observability",
+# scripted): two cluster shards with aggressive mutex profiling, churn
+# against both, then assert (a) the mutex profile at /v1/debug/prof is
+# non-empty, (b) /v1/cluster/metrics serves a merged exposition with
+# both shards up and the phase histograms present, and (c) binary
+# profile snapshots download. Profiles land in PROF_DIR so CI can
+# upload them as a workflow artifact.
+PROF_DIR ?= /tmp/wdm-prof-demo
+prof-demo:
+	@$(GO) build -o /tmp/wdm-prof-serve ./cmd/wdmserve
+	@pkill -9 -f '^/tmp/wdm-prof-serve' 2>/dev/null; rm -rf $(PROF_DIR) /tmp/wdm-prof-data; mkdir -p $(PROF_DIR); \
+	/tmp/wdm-prof-serve -cluster -shard 0 -addr 127.0.0.1:9081 -repl-addr 127.0.0.1:9091 \
+	    -peers 'http://127.0.0.1:9081,http://127.0.0.1:9082' \
+	    -replicas 2 -prof-mutex 1 -data-dir /tmp/wdm-prof-data/s0 & p0=$$!; \
+	/tmp/wdm-prof-serve -cluster -shard 1 -addr 127.0.0.1:9082 -repl-addr 127.0.0.1:9092 \
+	    -peers 'http://127.0.0.1:9081,http://127.0.0.1:9082' \
+	    -replicas 2 -prof-mutex 1 -data-dir /tmp/wdm-prof-data/s1 & p1=$$!; \
+	trap 'kill -9 $$p0 $$p1 2>/dev/null' EXIT; sleep 1; \
+	/tmp/wdm-prof-serve -attack -target http://127.0.0.1:9081 -requests 6000 >/dev/null & a0=$$!; \
+	/tmp/wdm-prof-serve -attack -target http://127.0.0.1:9082 -requests 6000; \
+	wait $$a0; \
+	echo '--- mutex profile (debug text head)'; \
+	curl -s '127.0.0.1:9081/v1/debug/prof?type=mutex&debug=1' > $(PROF_DIR)/mutex.txt; \
+	head -3 $(PROF_DIR)/mutex.txt; \
+	grep -q 'cycles/second' $(PROF_DIR)/mutex.txt \
+	    || { echo 'PROF DEMO FAILED: empty mutex profile'; exit 1; }; \
+	curl -s '127.0.0.1:9081/v1/debug/prof?type=mutex' -o $(PROF_DIR)/mutex.pb.gz; \
+	curl -s '127.0.0.1:9081/v1/debug/prof?type=heap' -o $(PROF_DIR)/heap.pb.gz; \
+	test -s $(PROF_DIR)/mutex.pb.gz && test -s $(PROF_DIR)/heap.pb.gz \
+	    || { echo 'PROF DEMO FAILED: empty binary profile snapshot'; exit 1; }; \
+	echo '--- /v1/cluster/metrics federation'; \
+	curl -s 127.0.0.1:9081/v1/cluster/metrics > $(PROF_DIR)/fleet-metrics.txt; \
+	grep -q 'wdm_federation_peer_up{shard="0"} 1' $(PROF_DIR)/fleet-metrics.txt \
+	    && grep -q 'wdm_federation_peer_up{shard="1"} 1' $(PROF_DIR)/fleet-metrics.txt \
+	    || { echo 'PROF DEMO FAILED: federation did not merge both shards'; cat $(PROF_DIR)/fleet-metrics.txt; exit 1; }; \
+	grep -q 'wdm_phase_seconds_bucket' $(PROF_DIR)/fleet-metrics.txt \
+	    || { echo 'PROF DEMO FAILED: no phase histograms in the fleet view'; exit 1; }; \
+	grep 'wdm_federation_peer_up' $(PROF_DIR)/fleet-metrics.txt; \
+	echo "prof demo OK: profiles in $(PROF_DIR)"
 
 # Regenerate every experiment artifact into results/.
 repro:

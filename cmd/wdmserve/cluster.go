@@ -117,6 +117,7 @@ func runClusterPrimary(logger *slog.Logger, cfg switchd.Config, opts clusterOpti
 	mux := http.NewServeMux()
 	mux.Handle("/", ctl.Handler())
 	mux.HandleFunc("/v1/cluster", clusterInfoHandler(opts.shard, "primary", peerList))
+	mux.Handle("/v1/cluster/metrics", federationHandler(peerList))
 	if opts.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 	}
@@ -173,6 +174,7 @@ func runStandby(logger *slog.Logger, cfg switchd.Config, opts clusterOptions, pe
 
 	mux := http.NewServeMux()
 	mux.Handle("/", sb.Handler())
+	mux.Handle("/v1/cluster/metrics", federationHandler(peerList))
 	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 		role := "standby"
 		if sb.Promoted() {
@@ -200,6 +202,26 @@ func runStandby(logger *slog.Logger, cfg switchd.Config, opts clusterOptions, pe
 		fatal(logger, err)
 	}
 	<-done
+}
+
+// federationHandler serves GET /v1/cluster/metrics: the fleet-merged
+// exposition of every shard in the -peers list. Shard names are the
+// peer indices; a shard's standby is the scrape fallback when its
+// primary is unreachable.
+func federationHandler(peers []client.ShardEndpoints) http.Handler {
+	return cluster.NewFederationHandler(cluster.FederationConfig{
+		Peers: func() []cluster.FederationPeer {
+			out := make([]cluster.FederationPeer, 0, len(peers))
+			for i, ep := range peers {
+				p := cluster.FederationPeer{Shard: fmt.Sprintf("%d", i), URLs: []string{ep.Primary}}
+				if ep.Standby != "" {
+					p.URLs = append(p.URLs, ep.Standby)
+				}
+				out = append(out, p)
+			}
+			return out
+		},
+	})
 }
 
 func clusterInfoHandler(shard int, role string, peers []client.ShardEndpoints) http.HandlerFunc {

@@ -61,6 +61,7 @@ import (
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
 	"repro/internal/switchd"
@@ -91,6 +92,10 @@ func main() {
 	spanSample := flag.Int("span-sample", 0, "keep 1 of every N routine successful traces (0 = default 16; blocked/slow always kept)")
 	sloObjective := flag.Float64("slo-objective", 0, "availability SLO objective (0 = default 0.999)")
 	sloLatencyUs := flag.Int("slo-latency-us", 0, "latency-SLI threshold in microseconds (0 = default 1000)")
+	profMutex := flag.Int("prof-mutex", 100, "mutex-contention profiling: sample 1 of every N contention events (0 leaves the runtime default)")
+	profBlock := flag.Int("prof-block", 100000, "block profiling: sample blocking events >= this many nanoseconds (0 leaves the runtime default)")
+	profInterval := flag.Duration("prof-interval", 30*time.Second, "background profile-snapshot cadence for /v1/debug/prof (0 = on-demand capture only)")
+	profRing := flag.Int("prof-ring", 0, "profile snapshots retained per type (0 = default 8)")
 	dataDir := flag.String("data-dir", "", "durable state directory: journal every mutation to a WAL, checkpoint periodically, recover on start (empty = in-memory only)")
 	walSync := flag.Duration("wal-sync", 0, "group-commit latency cap: max time an append waits for batch fsync (0 = default 2ms)")
 	walSegment := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = default 16MiB)")
@@ -174,6 +179,12 @@ func main() {
 		SLO: slo.Config{
 			Objective:        *sloObjective,
 			LatencyThreshold: time.Duration(*sloLatencyUs) * time.Microsecond,
+		},
+		Prof: prof.Config{
+			MutexFraction: *profMutex,
+			BlockRateNs:   *profBlock,
+			Interval:      *profInterval,
+			Ring:          *profRing,
 		},
 		Logger:           logger,
 		DataDir:          *dataDir,

@@ -7,8 +7,14 @@
 // status, and the most recent blocked trace id ready to paste into
 // /v1/debug/spans?trace=.
 //
+// Against a cluster node, -fleet switches to the federation view: it
+// polls /v1/cluster/metrics (every shard's exposition merged server-side)
+// and renders fleet-wide totals, the merged per-phase latency table,
+// and a per-shard liveness/gauge table.
+//
 //	wdmtop -target http://localhost:8047 -interval 1s
 //	wdmtop -target http://localhost:8047 -once        # one frame, no ANSI
+//	wdmtop -target http://localhost:8047 -fleet       # cluster-wide view
 package main
 
 import (
@@ -27,12 +33,13 @@ func main() {
 	target := flag.String("target", "http://localhost:8047", "base URL of the wdmserve instance")
 	interval := flag.Duration("interval", time.Second, "poll and redraw interval")
 	once := flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+	fleet := flag.Bool("fleet", false, "render the cluster-wide federation view from /v1/cluster/metrics")
 	flag.Parse()
 
 	cl := client.New(*target, client.WithTimeout(5*time.Second))
 	var prev *poll
 	for {
-		cur, err := fetchPoll(cl)
+		frame, err := oneFrame(cl, *target, *fleet, &prev)
 		if err != nil {
 			if *once {
 				fmt.Fprintln(os.Stderr, "wdmtop:", err)
@@ -40,17 +47,38 @@ func main() {
 			}
 			fmt.Printf("\x1b[2J\x1b[Hwdmtop: %v (retrying every %s)\n", err, *interval)
 		} else {
-			frame := renderDashboard(cur, prev, *target)
 			if *once {
 				fmt.Print(frame)
 				return
 			}
 			// Clear screen, home cursor, redraw.
 			fmt.Print("\x1b[2J\x1b[H" + frame)
-			prev = cur
 		}
 		time.Sleep(*interval)
 	}
+}
+
+// oneFrame polls and renders either the single-node dashboard or the
+// fleet view; prev carries rate state across dashboard polls.
+func oneFrame(cl *client.Client, target string, fleet bool, prev **poll) (string, error) {
+	if fleet {
+		text, err := cl.FleetProm(context.Background())
+		if err != nil {
+			return "", fmt.Errorf("GET /v1/cluster/metrics: %w", err)
+		}
+		m, err := obs.ParseProm(strings.NewReader(text))
+		if err != nil {
+			return "", fmt.Errorf("parse /v1/cluster/metrics: %w", err)
+		}
+		return renderFleet(m, time.Now(), target), nil
+	}
+	cur, err := fetchPoll(cl)
+	if err != nil {
+		return "", err
+	}
+	frame := renderDashboard(cur, *prev, target)
+	*prev = cur
+	return frame, nil
 }
 
 // fetchPoll scrapes one frame's worth of state. /v1/health, /v1/slo and

@@ -186,6 +186,11 @@ func renderDashboard(cur, prev *poll, target string) string {
 	}
 	b.WriteByte('\n')
 
+	if p := phasesPanel(m); p != "" {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+
 	if rows := fabricRows(m); len(rows) > 0 {
 		tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "fabric\tactive\trouted\tblocked\tin-occ\tout-occ")
@@ -367,6 +372,135 @@ func clusterPanel(cur *poll) string {
 	}
 	b.WriteByte('\n')
 	return b.String()
+}
+
+// phaseOrder mirrors the server's hot-path order, so the panel reads
+// top-to-bottom as a request flows.
+var phaseOrder = []string{"admission_wait", "lock_wait", "route_search", "wal_append", "repl_ack", "respond"}
+
+// phasesPanel renders the per-phase attribution table from the
+// wdm_phase_seconds histograms; empty when the family is absent or all
+// phases are unobserved.
+func phasesPanel(m obs.Metrics) string {
+	fam := m["wdm_phase_seconds"]
+	if fam == nil {
+		return ""
+	}
+	present := map[string]bool{}
+	for _, s := range fam.Samples {
+		if p := s.Labels["phase"]; p != "" {
+			present[p] = true
+		}
+	}
+	names := make([]string, 0, len(present))
+	for _, p := range phaseOrder {
+		if present[p] {
+			names = append(names, p)
+			delete(present, p)
+		}
+	}
+	var rest []string
+	for p := range present {
+		rest = append(rest, p)
+	}
+	sort.Strings(rest)
+	names = append(names, rest...)
+
+	var b strings.Builder
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "phase\tcount\tmean\tp50 ≤\tp99 ≤")
+	wrote := false
+	for _, p := range names {
+		lbl := map[string]string{"phase": p}
+		count, _ := m.Value("wdm_phase_seconds_count", lbl)
+		if count == 0 {
+			continue
+		}
+		sum, _ := m.Value("wdm_phase_seconds_sum", lbl)
+		p50, _ := histQuantileFamily(m, "wdm_phase_seconds", lbl, 0.50)
+		p99, _ := histQuantileFamily(m, "wdm_phase_seconds", lbl, 0.99)
+		fmt.Fprintf(tw, "%s\t%.0f\t%s\t%s\t%s\n", p, count, usStr(sum/count*1e6), usStr(p50), usStr(p99))
+		wrote = true
+	}
+	if !wrote {
+		return ""
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// renderFleet builds the -fleet frame from a parsed /v1/cluster/metrics
+// exposition: fleet-wide totals (counters and histograms arrive summed
+// across shards), the merged phase table, and a per-shard gauge table.
+func renderFleet(m obs.Metrics, t time.Time, target string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wdmtop fleet — %s/v1/cluster/metrics — %s\n\n", target, t.Format("15:04:05"))
+
+	routed := counter(m, "wdm_connect_total") + counter(m, "wdm_branch_total")
+	var sessions float64
+	if fam := m["wdm_active_sessions"]; fam != nil {
+		for _, s := range fam.Samples {
+			sessions += s.Value
+		}
+	}
+	fmt.Fprintf(&b, "fleet sessions %.0f   routed %.0f   blocked %.0f   inadmissible %.0f\n",
+		sessions, routed, counter(m, "wdm_blocked_total"), counter(m, "wdm_inadmissible_total"))
+	if p50, ok := histQuantileMicros(m, "connect", 0.50); ok {
+		p99, _ := histQuantileMicros(m, "connect", 0.99)
+		fmt.Fprintf(&b, "fleet connect latency ≤ p50 %s  p99 %s\n", usStr(p50), usStr(p99))
+	}
+	b.WriteByte('\n')
+
+	if p := phasesPanel(m); p != "" {
+		b.WriteString(p)
+		b.WriteByte('\n')
+	}
+
+	up := m["wdm_federation_peer_up"]
+	if up == nil {
+		b.WriteString("no wdm_federation_peer_up series — is the target running in -cluster mode?\n")
+		return b.String()
+	}
+	type shardRow struct {
+		shard string
+		up    float64
+	}
+	var rows []shardRow
+	for _, s := range up.Samples {
+		rows = append(rows, shardRow{shard: s.Labels["shard"], up: s.Value})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].shard < rows[j].shard })
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shard\tup\tsessions\trepl-lag\tgoroutines\theap")
+	for _, row := range rows {
+		lbl := map[string]string{"shard": row.shard}
+		status := "DOWN"
+		if row.up == 1 {
+			status = "up"
+		}
+		sess, _ := m.Value("wdm_active_sessions", lbl)
+		lag, _ := m.Value("wdm_replication_lag_seconds", lbl)
+		gor, _ := m.Value("wdm_go_goroutines", lbl)
+		heap, _ := m.Value("wdm_go_heap_bytes", lbl)
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.3fs\t%.0f\t%s\n",
+			row.shard, status, sess, lag, gor, byteStr(heap))
+	}
+	tw.Flush()
+	return b.String()
+}
+
+// byteStr renders a byte count compactly.
+func byteStr(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
 }
 
 // usStr renders microseconds compactly (µs below 1ms, ms above).

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Cluster-wide metrics federation: GET /v1/cluster/metrics scrapes
+// every shard's /metrics and serves the merged fleet exposition (see
+// obs.MergeProm for the merge semantics — counters and histograms sum,
+// gauges get a shard label). A shard that is down or serves a
+// malformed exposition is skipped and reported through the
+// wdm_federation_peer_up gauge: the fleet view degrades to partial
+// instead of failing, because it is needed most during exactly the
+// incidents that take shards out.
+
+// FederationPeer is one shard's scrape target: URLs are tried in order
+// (primary first, then standby), the first reachable exposition wins.
+type FederationPeer struct {
+	Shard string
+	URLs  []string
+}
+
+// FederationConfig configures the federation handler.
+type FederationConfig struct {
+	// Peers lists the scrape targets per request, so a topology that
+	// changes (promotion, reconfiguration) is picked up live.
+	Peers func() []FederationPeer
+	// Timeout bounds the whole scrape fan-out (default 2s).
+	Timeout time.Duration
+	// Client issues the scrapes (default http.DefaultClient).
+	Client *http.Client
+}
+
+// NewFederationHandler returns the /v1/cluster/metrics handler.
+func NewFederationHandler(cfg FederationConfig) http.Handler {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peers := cfg.Peers()
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		defer cancel()
+
+		// Scrape every shard concurrently; first reachable URL wins.
+		type result struct {
+			shard string
+			body  []byte
+			err   error
+		}
+		results := make([]result, len(peers))
+		var wg sync.WaitGroup
+		for i, p := range peers {
+			wg.Add(1)
+			go func(i int, p FederationPeer) {
+				defer wg.Done()
+				results[i].shard = p.Shard
+				var lastErr error
+				for _, u := range p.URLs {
+					body, err := scrape(ctx, cfg.Client, u)
+					if err == nil {
+						results[i].body = body
+						return
+					}
+					lastErr = err
+				}
+				if lastErr == nil {
+					lastErr = fmt.Errorf("no scrape URLs configured")
+				}
+				results[i].err = lastErr
+			}(i, p)
+		}
+		wg.Wait()
+
+		raw := make(map[string][]byte, len(results))
+		down := map[string]bool{}
+		for _, res := range results {
+			if res.err != nil {
+				down[res.shard] = true
+				continue
+			}
+			raw[res.shard] = res.body
+		}
+		var pw obs.PromWriter
+		bad := obs.MergeFleet(&pw, raw)
+		for _, res := range results {
+			up := !down[res.shard] && bad[res.shard] == nil
+			pw.Gauge("wdm_federation_peer_up",
+				"1 when the shard's exposition was scraped and merged this request; 0 for unreachable or malformed peers.",
+				b2f(up), obs.Label{Name: "shard", Value: res.shard})
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		_, _ = pw.WriteTo(w)
+	})
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// scrape fetches one peer's classic-format exposition.
+func scrape(ctx context.Context, c *http.Client, base string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: HTTP %d", base, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/multistage"
 	"repro/internal/obs"
+	"repro/internal/obs/span"
 	"repro/internal/switchd"
 	"repro/internal/switchd/api"
 )
@@ -83,6 +84,13 @@ type Standby struct {
 	cfg  StandbyConfig
 	meta durable.Meta
 
+	// tracer records repl.apply/repl.fsync spans. Replicated records
+	// carry the primary's traceparent (durable.Record.TP), so a sampled
+	// request's trace continues across the replication stream: the
+	// standby's apply span shares the primary's trace id and is served
+	// at the standby's /v1/debug/spans.
+	tracer *span.Tracer
+
 	mu      sync.Mutex
 	plane   *durable.Plane
 	nets    []*multistage.Network
@@ -140,9 +148,10 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 		replicas = 1
 	}
 	s := &Standby{
-		cfg:  cfg,
-		meta: durable.Meta{Params: norm, Replicas: replicas},
-		stop: make(chan struct{}),
+		cfg:    cfg,
+		meta:   durable.Meta{Params: norm, Replicas: replicas},
+		tracer: span.NewTracer(cfg.Serving.Spans),
+		stop:   make(chan struct{}),
 	}
 	if err := s.openPlane(); err != nil {
 		return nil, err
@@ -333,7 +342,20 @@ func (s *Standby) followOnce() error {
 			if err := json.Unmarshal(payload, &rec); err != nil {
 				return fmt.Errorf("cluster: decode record: %w", err)
 			}
+			// A record carrying the primary's traceparent continues that
+			// trace here: the apply span shares the primary request's
+			// trace id. Records without one (unsampled requests) are
+			// applied untraced — no orphan trace trees.
+			var sp *span.Span
+			if rec.TP != "" {
+				sp = s.tracer.Root("repl.apply", rec.TP)
+				sp.SetAttr("shard", s.cfg.Shard)
+				sp.SetAttr("seq", rec.Seq)
+				sp.SetAttr("op", rec.Op)
+			}
 			if err := s.applyRecord(&rec); err != nil {
+				sp.SetError(err.Error())
+				sp.End()
 				return err
 			}
 			pendingAcks++
@@ -341,11 +363,13 @@ func (s *Standby) followOnce() error {
 			// coalesced fsyncs under load, immediate ack for a lone
 			// record.
 			if br.Buffered() == 0 || pendingAcks >= standbyAckBatch {
-				if err := s.ackUpTo(bw, rec.Seq); err != nil {
+				if err := s.ackUpTo(bw, rec.Seq, sp); err != nil {
+					sp.End()
 					return err
 				}
 				pendingAcks = 0
 			}
+			sp.End()
 		case frameSnapshot:
 			var snap durable.Snapshot
 			if err := json.Unmarshal(payload, &snap); err != nil {
@@ -356,7 +380,7 @@ func (s *Standby) followOnce() error {
 				return err
 			}
 			s.snapshots.Add(1)
-			if err := s.ackUpTo(bw, snap.LastSeq); err != nil {
+			if err := s.ackUpTo(bw, snap.LastSeq, nil); err != nil {
 				return err
 			}
 			pendingAcks = 0
@@ -366,7 +390,7 @@ func (s *Standby) followOnce() error {
 				return fmt.Errorf("cluster: decode heartbeat: %w", err)
 			}
 			s.primarySynced.Store(hb.SyncedSeq)
-			if err := s.ackUpTo(bw, s.appliedSeq.Load()); err != nil {
+			if err := s.ackUpTo(bw, s.appliedSeq.Load(), nil); err != nil {
 				return err
 			}
 		case frameReject:
@@ -381,12 +405,20 @@ func (s *Standby) followOnce() error {
 // ackUpTo makes everything up to seq durable on the standby, then
 // acknowledges it. The fsync-before-ack order is the zero-loss
 // contract: the primary only releases acknowledged clients on
-// sequences the standby cannot lose.
-func (s *Standby) ackUpTo(bw *bufio.Writer, seq uint64) error {
+// sequences the standby cannot lose. parent, when active, gets a
+// repl.fsync child span covering the durability barrier.
+func (s *Standby) ackUpTo(bw *bufio.Writer, seq uint64, parent *span.Span) error {
 	s.mu.Lock()
 	plane := s.plane
 	s.mu.Unlock()
-	if err := plane.Sync(); err != nil {
+	fs := parent.StartChild("repl.fsync")
+	fs.SetAttr("seq", seq)
+	err := plane.Sync()
+	if err != nil {
+		fs.SetError(err.Error())
+	}
+	fs.End()
+	if err != nil {
 		s.setFatal(fmt.Errorf("cluster: standby fsync: %w", err))
 		return err
 	}
@@ -731,6 +763,7 @@ func (s *Standby) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/health", s.handleHealth)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/debug/spans", s.handleSpans)
 	mux.HandleFunc("/v1/admin/promote", s.handlePromote)
 	mux.HandleFunc("/", s.handleNotPrimary)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -763,6 +796,18 @@ func (s *Standby) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", obs.ContentType)
 	w.Write(pw.Bytes())
+}
+
+// handleSpans serves the standby's repl.apply/repl.fsync traces —
+// continuations, via the replicated traceparent, of the primary's
+// request traces.
+func (s *Standby) handleSpans(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeAPIError(w, http.StatusNotFound, api.CodeNotFound, "span tracing disabled (Spans.Capacity < 0)")
+		return
+	}
+	kept, dropped := s.tracer.Stats()
+	writeJSONResponse(w, http.StatusOK, api.SpansResponse{Kept: kept, Dropped: dropped, Traces: s.tracer.Snapshot()})
 }
 
 func (s *Standby) handlePromote(w http.ResponseWriter, r *http.Request) {

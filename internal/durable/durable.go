@@ -115,6 +115,12 @@ type Record struct {
 	Dropped  []uint64       `json:"dropped,omitempty"`
 	// Meta is set on OpMeta records.
 	Meta *Meta `json:"meta,omitempty"`
+	// TP is the W3C traceparent of the request that produced this
+	// record, when its span was sampled. It rides the record through
+	// replication streams so a standby's apply/fsync spans join the
+	// primary's trace instead of starting orphan trees. Replay ignores
+	// it.
+	TP string `json:"tp,omitempty"`
 }
 
 // Snapshot is the periodic full-state checkpoint. LastSeq is the WAL

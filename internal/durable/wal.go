@@ -110,23 +110,30 @@ type Plane struct {
 	w    *bufio.Writer
 	size int64 // bytes in the active segment, including buffered
 
-	seq       uint64 // last assigned sequence number
-	synced    uint64 // last sequence covered by a completed fsync
-	visible   uint64 // last sequence flushed to the segment file (readable by followers)
-	appended  int64  // cumulative framed bytes handed to the log
-	flushed   int64  // cumulative framed bytes covered by fsync
-	appends   uint64
-	syncs     uint64
-	segments  int
-	syncing   bool // an fsync is in flight outside the lock
-	closed    bool
-	crashed   bool
-	sealed    bool
-	err       error // sticky: first write/fsync failure poisons the log
-	snapSeq   uint64
-	snapUnix  int64
-	snapErr   error
-	closeDone chan struct{}
+	seq     uint64 // last assigned sequence number
+	synced  uint64 // last sequence covered by a completed fsync
+	visible uint64 // last sequence flushed to the segment file (readable by followers)
+	// batchFsyncNs / batchCommitNs hold the most recent group commit's
+	// fsync duration and Committer (replication ack) duration. They are
+	// written under the lock just before the batch's waiters are
+	// released, so AppendTimed reads its own batch's split — a later
+	// batch can only overwrite them after this batch's waiters ran.
+	batchFsyncNs  int64
+	batchCommitNs int64
+	appended      int64 // cumulative framed bytes handed to the log
+	flushed       int64 // cumulative framed bytes covered by fsync
+	appends       uint64
+	syncs         uint64
+	segments      int
+	syncing       bool // an fsync is in flight outside the lock
+	closed        bool
+	crashed       bool
+	sealed        bool
+	err           error // sticky: first write/fsync failure poisons the log
+	snapSeq       uint64
+	snapUnix      int64
+	snapErr       error
+	closeDone     chan struct{}
 }
 
 // Meta returns the fabric identity the log was opened with.
@@ -193,34 +200,44 @@ func (p *Plane) Err() error {
 // must be treated as not persisted (though it may still surface after
 // a crash — the usual ambiguous-write caveat).
 func (p *Plane) Append(rec *Record) (uint64, error) {
+	seq, _, _, err := p.AppendTimed(rec)
+	return seq, err
+}
+
+// AppendTimed is Append plus the phase split of the group commit that
+// made the record durable: fsyncD is the batch's fsync duration and
+// commitD the Committer barrier's (replication ack) duration, both 0
+// when the batch had none. The split is per batch, not per record —
+// every appender released by one group commit reports the same pair.
+func (p *Plane) AppendTimed(rec *Record) (seq uint64, fsyncD, commitD time.Duration, err error) {
 	p.mu.Lock()
 	if p.err != nil {
-		err := p.err
+		err = p.err
 		p.mu.Unlock()
-		return 0, err
+		return 0, 0, 0, err
 	}
 	if p.closed {
 		p.mu.Unlock()
-		return 0, ErrClosed
+		return 0, 0, 0, ErrClosed
 	}
 	p.seq++
 	rec.Seq = p.seq
-	payload, err := json.Marshal(rec)
-	if err != nil {
+	payload, merr := json.Marshal(rec)
+	if merr != nil {
 		p.seq--
 		p.mu.Unlock()
-		return 0, fmt.Errorf("durable: encode record: %w", err)
+		return 0, 0, 0, fmt.Errorf("durable: encode record: %w", merr)
 	}
 	if len(payload) > maxRecordBytes {
 		p.seq--
 		p.mu.Unlock()
-		return 0, fmt.Errorf("durable: record of %d bytes exceeds frame limit", len(payload))
+		return 0, 0, 0, fmt.Errorf("durable: record of %d bytes exceeds frame limit", len(payload))
 	}
 	if werr := writeFrame(p.w, payload); werr != nil {
 		p.failLocked(fmt.Errorf("durable: append: %w", werr))
-		err := p.err
+		err = p.err
 		p.mu.Unlock()
-		return 0, err
+		return 0, 0, 0, err
 	}
 	n := int64(frameHeader + len(payload))
 	p.size += n
@@ -231,15 +248,17 @@ func (p *Plane) Append(rec *Record) (uint64, error) {
 	} else {
 		p.sealed = false
 	}
-	seq := p.seq
+	seq = p.seq
 	// Wake the syncer, then wait for the batched fsync to cover us.
 	p.cond.Broadcast()
 	for p.synced < seq && p.err == nil {
 		p.cond.Wait()
 	}
 	err = p.err
+	fsyncD = time.Duration(p.batchFsyncNs)
+	commitD = time.Duration(p.batchCommitNs)
 	p.mu.Unlock()
-	return seq, err
+	return seq, fsyncD, commitD, err
 }
 
 // AppendReplica frames a record that already carries a sequence number
@@ -355,8 +374,11 @@ func (p *Plane) syncLoop() {
 		// Extend the durability barrier (replication ack) before any
 		// appender in the batch is released: a record acknowledged to a
 		// client is then durable on the standby as well.
+		var commitD time.Duration
 		if serr == nil && p.opts.Committer != nil {
+			cstart := time.Now()
 			p.opts.Committer(target)
+			commitD = time.Since(cstart)
 		}
 		p.mu.Lock()
 		p.syncing = false
@@ -367,6 +389,8 @@ func (p *Plane) syncLoop() {
 		p.syncs++
 		p.synced = target
 		p.flushed = batchBytes
+		p.batchFsyncNs = d.Nanoseconds()
+		p.batchCommitNs = commitD.Nanoseconds()
 		p.cond.Broadcast()
 	}
 }

@@ -1,0 +1,167 @@
+package prof
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// churnMutex produces real mutex contention so the mutex profile has
+// something to record at MutexFraction=1.
+func churnMutex() {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				mu.Lock()
+				runtime.Gosched()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestHarnessMutexProfileNonEmpty(t *testing.T) {
+	h := Start(Config{MutexFraction: 1})
+	defer h.Stop()
+	churnMutex()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/prof?type=mutex&debug=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("mutex debug profile: status %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "mutex") || len(body) == 0 {
+		t.Fatalf("mutex profile text looks empty:\n%s", body)
+	}
+
+	// Binary form, captured on demand (no background loop running).
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/prof?type=mutex", nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("binary mutex profile: status %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/octet-stream" {
+		t.Fatalf("binary profile Content-Type = %q", got)
+	}
+}
+
+func TestHarnessRingAndIndex(t *testing.T) {
+	h := Start(Config{Ring: 2})
+	defer h.Stop()
+
+	for i := 0; i < 3; i++ {
+		h.captureToRing("goroutine")
+	}
+	// Ring capped at 2, newest first via n=0.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/prof?type=goroutine&n=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("ring snapshot n=1: status %d", rec.Code)
+	}
+	if rec.Header().Get("X-Profile-Time") == "" {
+		t.Fatal("ring snapshot missing X-Profile-Time")
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/prof?type=goroutine&n=2", nil))
+	if rec.Code != 404 {
+		t.Fatalf("evicted snapshot n=2: status %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/prof", nil))
+	var idx []indexEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &idx); err != nil {
+		t.Fatalf("index does not decode: %v", err)
+	}
+	found := false
+	for _, e := range idx {
+		if e.Type == "goroutine" {
+			found = true
+			if e.Snapshots != 2 {
+				t.Fatalf("goroutine ring reports %d snapshots, want 2", e.Snapshots)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("index missing goroutine entry: %+v", idx)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/prof?type=nonsense", nil))
+	if rec.Code != 400 {
+		t.Fatalf("unknown type: status %d, want 400", rec.Code)
+	}
+}
+
+func TestHarnessBackgroundLoop(t *testing.T) {
+	h := Start(Config{Interval: 5 * time.Millisecond, Ring: 4})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := h.nth("heap", 0); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			h.Stop()
+			t.Fatal("background loop captured no heap snapshot within 2s")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	h.Stop()
+}
+
+func TestStopRestoresProfilerRates(t *testing.T) {
+	before := runtime.SetMutexProfileFraction(-1)
+	h := Start(Config{MutexFraction: 50, BlockRateNs: 1000})
+	if got := runtime.SetMutexProfileFraction(-1); got != 50 {
+		t.Fatalf("mutex fraction while running = %d, want 50", got)
+	}
+	h.Stop()
+	if got := runtime.SetMutexProfileFraction(-1); got != before {
+		t.Fatalf("mutex fraction after Stop = %d, want restored %d", got, before)
+	}
+}
+
+func TestZeroConfigIsInert(t *testing.T) {
+	before := runtime.SetMutexProfileFraction(-1)
+	h := Start(Config{})
+	defer h.Stop()
+	if got := runtime.SetMutexProfileFraction(-1); got != before {
+		t.Fatalf("zero config changed mutex fraction: %d -> %d", before, got)
+	}
+	// The endpoint still works via on-demand capture.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/prof?type=heap", nil))
+	if rec.Code != 200 || rec.Body.Len() == 0 {
+		t.Fatalf("on-demand heap profile: status %d, %d bytes", rec.Code, rec.Body.Len())
+	}
+}
+
+func TestWriteRuntimePromParses(t *testing.T) {
+	var pw obs.PromWriter
+	WriteRuntimeProm(&pw)
+	m, err := obs.ParseProm(strings.NewReader(string(pw.Bytes())))
+	if err != nil {
+		t.Fatalf("runtime telemetry does not parse: %v\n%s", err, pw.Bytes())
+	}
+	if v, ok := m.Value("wdm_go_goroutines", nil); !ok || v < 1 {
+		t.Errorf("wdm_go_goroutines = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := m.Value("wdm_go_gomaxprocs", nil); !ok || v < 1 {
+		t.Errorf("wdm_go_gomaxprocs = %v, %v; want >= 1", v, ok)
+	}
+	if v, ok := m.Value("wdm_go_heap_bytes", nil); !ok || v <= 0 {
+		t.Errorf("wdm_go_heap_bytes = %v, %v; want > 0", v, ok)
+	}
+}

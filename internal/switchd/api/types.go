@@ -132,10 +132,24 @@ type Snapshot struct {
 	// RouteBoundsUs are the histogram bucket upper bounds in
 	// microseconds, in order; the buckets below have one extra overflow
 	// entry (le_us 0).
-	RouteBoundsUs []int64          `json:"route_latency_bounds_us"`
-	RouteLatency  []LatencyBucket  `json:"route_latency_us"`
-	Ops           []OpLatency      `json:"ops"`
-	PerFabric     []FabricSnapshot `json:"per_fabric"`
+	RouteBoundsUs []int64         `json:"route_latency_bounds_us"`
+	RouteLatency  []LatencyBucket `json:"route_latency_us"`
+	Ops           []OpLatency     `json:"ops"`
+	// Phases are the per-phase latency histograms (Op is the phase name:
+	// admission_wait, lock_wait, route_search, wal_append, repl_ack,
+	// respond); phases never observed are omitted.
+	Phases    []OpLatency      `json:"phases,omitempty"`
+	PerFabric []FabricSnapshot `json:"per_fabric"`
+}
+
+// VersionInfo is the GET /v1/version payload: what binary produced a
+// measurement. Revision is the VCS commit when the binary was built
+// from a checkout (empty otherwise).
+type VersionInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	Dirty     bool   `json:"dirty,omitempty"`
 }
 
 // SpansResponse is the GET /v1/debug/spans payload. Traces are ordered

@@ -88,7 +88,7 @@ func BenchmarkSwitchdThroughput(b *testing.B) {
 		// Route-latency quantiles from the server's own histogram (time
 		// inside the fabric lock, excluding HTTP/JSON overhead).
 		snap := ctl.Metrics().Snapshot()
-		writeBenchJSON(b, path, map[string]any{
+		row := map[string]any{
 			"benchmark":    "BenchmarkSwitchdThroughput",
 			"goos":         runtime.GOOS,
 			"goarch":       runtime.GOARCH,
@@ -101,7 +101,14 @@ func BenchmarkSwitchdThroughput(b *testing.B) {
 			"req_per_sec":  reqPerSec,
 			"route_p50_us": HistQuantileMicros(snap.RouteLatency, 0.50),
 			"route_p99_us": HistQuantileMicros(snap.RouteLatency, 0.99),
-		})
+		}
+		// Per-phase attribution columns (lock_wait is the mutex-funnel
+		// number the 1-vs-4-core rows exist to explain).
+		for _, ph := range snap.Phases {
+			row[ph.Op+"_p50_us"] = ph.P50Micros
+			row[ph.Op+"_p99_us"] = ph.P99Micros
+		}
+		writeBenchJSON(b, path, row)
 	}
 }
 

@@ -137,6 +137,17 @@ func traceparentFrom(ctx context.Context) string {
 	return ""
 }
 
+type stKey struct{}
+
+// ContextWithServerTiming returns a context that captures the
+// Server-Timing response header of the request sent with it into *dst
+// (left "" when the server sent none). The phase-timed endpoints
+// (connect/branch/disconnect) report their server-side phase split this
+// way — see the loadgen's per-phase report.
+func ContextWithServerTiming(ctx context.Context, dst *string) context.Context {
+	return context.WithValue(ctx, stKey{}, dst)
+}
+
 // retryableStatus reports whether a status line signals a condition a
 // backoff can outlive: 429 (admission_full — the cap refills) and 503
 // (draining, fabric_failed, storage_failed, not_primary — a repair,
@@ -234,6 +245,9 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (int,
 		resp.Body.Close()
 		if err != nil {
 			return resp.StatusCode, nil, err
+		}
+		if dst, ok := ctx.Value(stKey{}).(*string); ok && dst != nil {
+			*dst = resp.Header.Get("Server-Timing")
 		}
 		if !retryableStatus(resp.StatusCode) || attempt >= c.retry.MaxAttempts {
 			return resp.StatusCode, respBody, nil
@@ -382,6 +396,20 @@ func (c *Client) Spans(ctx context.Context, rawQuery string) (api.SpansResponse,
 // Prom fetches the Prometheus text exposition at /metrics.
 func (c *Client) Prom(ctx context.Context) (string, error) {
 	status, body, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	if status != http.StatusOK {
+		return "", decodeError(status, body)
+	}
+	return string(body), nil
+}
+
+// FleetProm fetches the fleet-merged exposition at /v1/cluster/metrics
+// (cluster mode: counters and histograms summed across shards, gauges
+// labeled per shard).
+func (c *Client) FleetProm(ctx context.Context) (string, error) {
+	status, body, err := c.do(ctx, http.MethodGet, "/v1/cluster/metrics", nil)
 	if err != nil {
 		return "", err
 	}

@@ -172,14 +172,29 @@ func (ctl *Controller) reinstallRecovered(rec *durable.Recovery, sp *span.Span) 
 
 // walAppend journals one record and waits for the group commit to make
 // it durable. A failure is wrapped in ErrStorageFailed; the log is
-// poisoned from that point on (fail-stop).
-func (ctl *Controller) walAppend(sp *span.Span, rec *durable.Record) error {
-	seq, err := ctl.wal.Append(rec)
+// poisoned from that point on (fail-stop). pt (nil-safe) receives the
+// wait split into wal_append (frame + batch fsync) and repl_ack (the
+// Committer barrier's slice). When sp is an active sampled span, the
+// record also carries its traceparent, so a replication standby's
+// apply/fsync spans join this trace instead of starting orphans.
+func (ctl *Controller) walAppend(sp *span.Span, pt *phaseTimer, rec *durable.Record) error {
+	if sp.Active() {
+		rec.TP = sp.Traceparent()
+	}
+	start := time.Now()
+	seq, fsyncD, commitD, err := ctl.wal.AppendTimed(rec)
+	total := time.Since(start)
+	pt.add(phaseReplAck, commitD)
+	pt.add(phaseWALAppend, total-commitD)
 	if sp.Active() {
 		ws := sp.StartChild("wal.append")
 		ws.SetAttr("op", rec.Op)
 		if seq > 0 {
 			ws.SetAttr("seq", seq)
+		}
+		ws.SetAttr("fsync_us", fsyncD.Microseconds())
+		if commitD > 0 {
+			ws.SetAttr("repl_ack_us", commitD.Microseconds())
 		}
 		if err != nil {
 			ws.SetError(err.Error())
@@ -199,7 +214,7 @@ func (ctl *Controller) walAppend(sp *span.Span, rec *durable.Record) error {
 // append, so the recorded route is exactly what the fabric holds at
 // the record's log position. On append failure the connection is
 // rolled back and never acknowledged.
-func (ctl *Controller) commitConnect(sp *span.Span, f *fabric, plane int, s *session) error {
+func (ctl *Controller) commitConnect(sp *span.Span, pt *phaseTimer, f *fabric, plane int, s *session) error {
 	sh := ctl.sessions.shardFor(s.ID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -219,7 +234,7 @@ func (ctl *Controller) commitConnect(sp *span.Span, f *fabric, plane int, s *ses
 		return fmt.Errorf("switchd: connection %d vanished before journaling", s.ConnID)
 	}
 	sh.m[s.ID] = s
-	err := ctl.walAppend(sp, &durable.Record{
+	err := ctl.walAppend(sp, pt, &durable.Record{
 		Op: durable.OpConnect, Session: s.ID, Fabric: plane, Route: &route,
 	})
 	if err == nil {
@@ -243,7 +258,7 @@ func (ctl *Controller) commitConnect(sp *span.Span, f *fabric, plane int, s *ses
 // bookkeeping error would be worse) and the caller surfaces
 // storage_failed — the client knows the branch may or may not survive
 // a crash, and every subsequent mutation fails anyway (fail-stop).
-func (ctl *Controller) commitBranch(sp *span.Span, f *fabric, s *session) error {
+func (ctl *Controller) commitBranch(sp *span.Span, pt *phaseTimer, f *fabric, s *session) error {
 	if ctl.wal == nil {
 		return nil
 	}
@@ -258,7 +273,7 @@ func (ctl *Controller) commitBranch(sp *span.Span, f *fabric, s *session) error 
 	if !ok {
 		return fmt.Errorf("switchd: connection %d vanished before journaling", s.ConnID)
 	}
-	return ctl.walAppend(sp, &durable.Record{
+	return ctl.walAppend(sp, pt, &durable.Record{
 		Op: durable.OpBranch, Session: s.ID, Fabric: s.Fabric,
 		Branches: s.Branches, Migrations: s.Migrations, Route: &route,
 	})
@@ -270,7 +285,7 @@ func (ctl *Controller) commitBranch(sp *span.Span, f *fabric, s *session) error 
 // byConn entry is removed first so a concurrent FailMiddle does not
 // journal a migration for a session whose disconnect record is
 // already ahead of it. The caller holds the session shard lock.
-func (ctl *Controller) commitDisconnect(sp *span.Span, s *session) error {
+func (ctl *Controller) commitDisconnect(sp *span.Span, pt *phaseTimer, s *session) error {
 	if ctl.wal == nil {
 		return nil
 	}
@@ -279,7 +294,7 @@ func (ctl *Controller) commitDisconnect(sp *span.Span, s *session) error {
 	meta := f.byConn[s.ConnID]
 	delete(f.byConn, s.ConnID)
 	f.mu.Unlock()
-	err := ctl.walAppend(sp, &durable.Record{Op: durable.OpDisconnect, Session: s.ID})
+	err := ctl.walAppend(sp, pt, &durable.Record{Op: durable.OpDisconnect, Session: s.ID})
 	if err != nil {
 		f.mu.Lock()
 		if meta != nil {
@@ -415,6 +430,7 @@ func (ctl *Controller) Close() error {
 	var err error
 	ctl.closeOnce.Do(func() {
 		ctl.stopSnapshots()
+		ctl.prof.Stop()
 		if ctl.wal != nil {
 			err = ctl.wal.Close()
 		}
@@ -429,6 +445,7 @@ func (ctl *Controller) Close() error {
 func (ctl *Controller) Crash() {
 	ctl.closeOnce.Do(func() {
 		ctl.stopSnapshots()
+		ctl.prof.Stop()
 		if ctl.wal != nil {
 			ctl.wal.Crash()
 		}

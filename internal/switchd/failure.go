@@ -77,7 +77,7 @@ func (ctl *Controller) FailMiddle(ctx context.Context, plane, middle int) (api.F
 		// sessions freed, and its record must land after this one.
 		if ctl.wal != nil && opErr == nil {
 			rec := ctl.buildFailRecordLocked(f, plane, middle, migrations, droppedIDs)
-			walErr = ctl.walAppend(sp, rec)
+			walErr = ctl.walAppend(sp, nil, rec)
 		}
 	}()
 	if opErr != nil {
@@ -187,7 +187,7 @@ func (ctl *Controller) RepairMiddle(ctx context.Context, plane, middle int) (api
 		// Journal under the fabric lock so any connect routed through
 		// the repaired module appends after the repair record.
 		if ctl.wal != nil {
-			walErr = ctl.walAppend(sp, &durable.Record{Op: durable.OpRepair, Fabric: plane, Middle: middle})
+			walErr = ctl.walAppend(sp, nil, &durable.Record{Op: durable.OpRepair, Fabric: plane, Middle: middle})
 		}
 	}()
 	if opErr != nil {

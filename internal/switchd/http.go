@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
@@ -65,11 +66,27 @@ func (ctl *Controller) Handler() http.Handler {
 	mux.HandleFunc("/v1/metrics", ctl.handleMetrics)
 	mux.HandleFunc("/metrics", ctl.handlePromMetrics)
 	mux.HandleFunc("/v1/slo", ctl.handleSLO)
+	mux.HandleFunc("/v1/version", ctl.handleVersion)
 	mux.HandleFunc("/v1/debug/blocking", ctl.handleDebugBlocking)
 	mux.HandleFunc("/v1/debug/spans", ctl.handleDebugSpans)
 	mux.HandleFunc("/v1/debug/trace", ctl.handleDebugTrace)
+	mux.HandleFunc("/v1/debug/prof", ctl.handleDebugProf)
 	mux.Handle("/debug/vars", expvar.Handler())
 	return ctl.tracer.Middleware(mux)
+}
+
+// respond writes v as the JSON response for a phase-timed request: the
+// phase split so far goes out in a Server-Timing header (set before the
+// body, so it covers every phase up to the write itself), and the write
+// is timed as the respond phase. The caller's deferred
+// phaseTimer.observe picks the respond time up afterwards.
+func (ctl *Controller) respond(w http.ResponseWriter, code int, v any, pt *phaseTimer) {
+	if st := pt.serverTiming(); st != "" {
+		w.Header().Set("Server-Timing", st)
+	}
+	start := time.Now()
+	writeJSON(w, code, v)
+	pt.add(phaseRespond, time.Since(start))
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -148,7 +165,9 @@ func (ctl *Controller) handleConnect(w http.ResponseWriter, r *http.Request) {
 	if req.Fabric != nil {
 		pin = *req.Fabric
 	}
-	id, plane, err := ctl.Connect(r.Context(), conn, pin)
+	var pt phaseTimer
+	defer pt.observe(ctl.metrics, span.FromContext(r.Context()).TraceID())
+	id, plane, err := ctl.connect(r.Context(), &pt, conn, pin)
 	if err != nil {
 		if multistage.IsBlocked(err) {
 			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
@@ -162,7 +181,7 @@ func (ctl *Controller) handleConnect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.ConnectResponse{Session: id, Fabric: plane})
+	ctl.respond(w, http.StatusOK, api.ConnectResponse{Session: id, Fabric: plane}, &pt)
 }
 
 func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
@@ -183,7 +202,9 @@ func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
 		}
 		dests = append(dests, d)
 	}
-	if err := ctl.AddBranch(r.Context(), req.Session, dests...); err != nil {
+	var pt phaseTimer
+	defer pt.observe(ctl.metrics, span.FromContext(r.Context()).TraceID())
+	if err := ctl.addBranch(r.Context(), &pt, req.Session, dests...); err != nil {
 		if multistage.IsBlocked(err) {
 			ctl.logger.LogAttrs(r.Context(), slog.LevelWarn, "blocked",
 				slog.String("request_id", obs.RequestID(r.Context())),
@@ -196,7 +217,7 @@ func (ctl *Controller) handleBranch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, _ := ctl.Session(req.Session)
-	writeJSON(w, http.StatusOK, info)
+	ctl.respond(w, http.StatusOK, info, &pt)
 }
 
 func (ctl *Controller) handleDisconnect(w http.ResponseWriter, r *http.Request) {
@@ -204,11 +225,13 @@ func (ctl *Controller) handleDisconnect(w http.ResponseWriter, r *http.Request) 
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := ctl.Disconnect(r.Context(), req.Session); err != nil {
+	var pt phaseTimer
+	defer pt.observe(ctl.metrics, span.FromContext(r.Context()).TraceID())
+	if err := ctl.disconnect(r.Context(), &pt, req.Session); err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.DisconnectResponse{Released: req.Session})
+	ctl.respond(w, http.StatusOK, api.DisconnectResponse{Released: req.Session}, &pt)
 }
 
 func (ctl *Controller) handleSession(w http.ResponseWriter, r *http.Request) {
@@ -270,4 +293,11 @@ func (ctl *Controller) handleAdminRepair(w http.ResponseWriter, r *http.Request)
 
 func (ctl *Controller) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ctl.metrics.Snapshot())
+}
+
+// handleDebugProf serves the profiling harness (see internal/obs/prof):
+// ring snapshots of heap/mutex/block/goroutine profiles, live CPU
+// capture, and ?debug=1 text renderings.
+func (ctl *Controller) handleDebugProf(w http.ResponseWriter, r *http.Request) {
+	ctl.prof.ServeHTTP(w, r)
 }

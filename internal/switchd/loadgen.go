@@ -181,6 +181,13 @@ type AttackReport struct {
 	Outcomes       map[string]int `json:"outcomes"`
 	ConnectLatency ClientLatency  `json:"connect_latency_us"`
 
+	// ServerPhases is the server's own attribution of connect time,
+	// averaged over the Server-Timing headers it returned: mean µs per
+	// phase (admission_wait, lock_wait, route_search, ...). The gap
+	// between ConnectLatency and the phase sum is network + HTTP
+	// overhead the server never saw.
+	ServerPhases map[string]float64 `json:"server_phase_mean_us,omitempty"`
+
 	// Retries is the typed client's total backoff retries across the
 	// run; LostSessions counts sessions the server dropped under chaos
 	// (disconnect answered not_found).
@@ -216,6 +223,17 @@ func (r AttackReport) String() string {
 			s += fmt.Sprintf(" migrated=%d dropped=%d health=%s", c.Migrated, c.Dropped, c.Health)
 		} else {
 			s += " health=" + c.Health
+		}
+	}
+	if len(r.ServerPhases) > 0 {
+		var parts []string
+		for p := phase(0); p < numPhases; p++ {
+			if v, ok := r.ServerPhases[phaseNames[p]]; ok {
+				parts = append(parts, fmt.Sprintf("%s=%.0f", phaseNames[p], v))
+			}
+		}
+		if len(parts) > 0 {
+			s += "\nserver phases (mean µs): " + strings.Join(parts, " ")
 		}
 	}
 	if len(r.BlockedTraces) > 0 {
@@ -291,6 +309,8 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	var firstErr error
 	var latencies []time.Duration
 	var traces []TraceRef
+	phaseMs := map[string]float64{}
+	phaseN := map[string]int{}
 	for _, r := range results {
 		rep.Connects += r.connects
 		rep.Routed += r.routed
@@ -301,10 +321,22 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 		for code, n := range r.outcomes {
 			rep.Outcomes[code] += n
 		}
+		for p, ms := range r.phaseMs {
+			phaseMs[p] += ms
+			phaseN[p] += r.phaseN[p]
+		}
 		latencies = append(latencies, r.latencies...)
 		traces = append(traces, r.traces...)
 		if r.err != nil && firstErr == nil {
 			firstErr = r.err
+		}
+	}
+	if len(phaseMs) > 0 {
+		rep.ServerPhases = make(map[string]float64, len(phaseMs))
+		for p, ms := range phaseMs {
+			if n := phaseN[p]; n > 0 {
+				rep.ServerPhases[p] = ms * 1e3 / float64(n)
+			}
 		}
 	}
 	rep.Retries = cl.Retries()
@@ -392,14 +424,42 @@ type attackWorkerResult struct {
 	outcomes                                         map[string]int
 	latencies                                        []time.Duration // per-connect round trips
 	traces                                           []TraceRef      // one per connect, by the trace id sent
+	phaseMs                                          map[string]float64
+	phaseN                                           map[string]int
 	err                                              error
+}
+
+// parseServerTiming folds one Server-Timing header (switchd emits
+// comma-separated `name;dur=<ms>` entries) into per-phase millisecond
+// sums and sample counts; unparseable entries are skipped.
+func parseServerTiming(h string, sumMs map[string]float64, counts map[string]int) {
+	for _, part := range strings.Split(h, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(part), ";")
+		if !ok || name == "" {
+			continue
+		}
+		durStr, ok := strings.CutPrefix(strings.TrimSpace(rest), "dur=")
+		if !ok {
+			continue
+		}
+		ms, err := strconv.ParseFloat(durStr, 64)
+		if err != nil {
+			continue
+		}
+		sumMs[name] += ms
+		counts[name]++
+	}
 }
 
 // attackWorker drives one closed loop: connect until the live target is
 // reached, then recycle oldest-first, keeping every request admissible
 // within its private port slice.
 func attackWorker(ctx context.Context, cl *client.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int) attackWorkerResult {
-	res := attackWorkerResult{outcomes: map[string]int{}}
+	res := attackWorkerResult{
+		outcomes: map[string]int{},
+		phaseMs:  map[string]float64{},
+		phaseN:   map[string]int{},
+	}
 	fabric := w / cfg.WorkersPerFabric
 	part := w % cfg.WorkersPerFabric
 
@@ -471,10 +531,16 @@ func attackWorker(ctx context.Context, cl *client.Client, cfg AttackConfig, stat
 		tid := span.NewTraceID()
 		traceparent := span.FormatTraceparent(tid, span.NewSpanID(), span.FlagSampled)
 		connStr := wdm.FormatConnection(conn)
+		reqCtx := client.ContextWithTraceparent(ctx, traceparent)
+		var serverTiming string
+		reqCtx = client.ContextWithServerTiming(reqCtx, &serverTiming)
 		start := time.Now()
-		cr, err := cl.Connect(client.ContextWithTraceparent(ctx, traceparent), connStr, fabric)
+		cr, err := cl.Connect(reqCtx, connStr, fabric)
 		rtt := time.Since(start)
 		res.latencies = append(res.latencies, rtt)
+		if serverTiming != "" {
+			parseServerTiming(serverTiming, res.phaseMs, res.phaseN)
+		}
 		outcome := "ok"
 		if err != nil {
 			if outcome = api.CodeOf(err); outcome == "" {

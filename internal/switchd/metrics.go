@@ -134,6 +134,12 @@ type Metrics struct {
 	// count restored at the last startup (0 without a data directory).
 	walFsync  *latencyHist
 	recovered atomic.Int64
+
+	// Per-phase latency histograms (wdm_phase_seconds{phase=...}),
+	// indexed by the phase constants: where a request's time actually
+	// went — admission, lock wait, route search, WAL append, replication
+	// ack, respond.
+	phase [numPhases]*latencyHist
 }
 
 func newMetrics(p multistage.Params, replicas int) *Metrics {
@@ -145,6 +151,9 @@ func newMetrics(p multistage.Params, replicas int) *Metrics {
 		branchLat:     newLatencyHist(),
 		disconnectLat: newLatencyHist(),
 		walFsync:      newLatencyHist(),
+	}
+	for i := range m.phase {
+		m.phase[i] = newLatencyHist()
 	}
 	for i := 0; i < replicas; i++ {
 		m.perFabric = append(m.perFabric, &fabricMetrics{})
@@ -205,6 +214,11 @@ func (m *Metrics) Snapshot() Snapshot {
 		m.connectLat.snapshot("connect"),
 		m.branchLat.snapshot("branch"),
 		m.disconnectLat.snapshot("disconnect"),
+	}
+	for p := phase(0); p < numPhases; p++ {
+		if ph := m.phase[p].snapshot(phaseNames[p]); ph.Count > 0 {
+			s.Phases = append(s.Phases, ph)
+		}
 	}
 	connect, branch := s.Ops[0], s.Ops[1]
 	s.RouteCount = connect.Count + branch.Count

@@ -1,0 +1,5 @@
+//go:build !race
+
+package switchd
+
+const raceEnabled = false

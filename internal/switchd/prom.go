@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/multistage"
 	"repro/internal/obs"
+	"repro/internal/obs/prof"
 	"repro/internal/switchd/api"
 )
 
@@ -33,6 +34,12 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 		obs.Label{Name: "x", Value: strconv.Itoa(st.X)},
 	)
 	w.Gauge("wdm_sufficient_m", "Theorem 1/2 sufficient middle-stage bound for the configured construction.", float64(st.SufficientM))
+
+	vi := BuildInfo()
+	w.Gauge("wdm_build_info", "Build metadata as labels; value is always 1.", 1,
+		obs.Label{Name: "version", Value: vi.Version},
+		obs.Label{Name: "go_version", Value: vi.GoVersion},
+	)
 
 	w.Counter("wdm_connect_total", "Successfully routed Connect requests.", float64(snap.ConnectOK))
 	w.Counter("wdm_branch_total", "Successfully routed AddBranch requests.", float64(snap.BranchOK))
@@ -108,6 +115,26 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 		w.HistogramE("wdm_op_latency_seconds", "Fabric operation latency (time inside the fabric lock).",
 			bounds, counts, float64(op.SumNs)/1e9, hists[oi].exemplarSnapshot(), obs.Label{Name: "op", Value: op.Op})
 	}
+
+	// Phase attribution: where each request's wall time actually went.
+	// The series share the operation-latency bounds so the panels line
+	// up; summing wdm_phase_seconds over phase approximates end-to-end
+	// request time, and the lock_wait series is the direct measure of
+	// the per-fabric mutex convoy that caps multi-core throughput.
+	for p := phase(0); p < numPhases; p++ {
+		h := ctl.metrics.phase[p]
+		ph := h.snapshot(phaseNames[p])
+		counts := make([]int64, len(ph.Buckets))
+		for i, b := range ph.Buckets {
+			counts[i] = b.Count
+		}
+		w.HistogramE("wdm_phase_seconds", "Per-request phase attribution of serving time.",
+			bounds, counts, float64(ph.SumNs)/1e9, h.exemplarSnapshot(), obs.Label{Name: "phase", Value: phaseNames[p]})
+	}
+
+	// Runtime telemetry essentials (GC pause, scheduler latency, heap,
+	// goroutines) from runtime/metrics.
+	prof.WriteRuntimeProm(w)
 
 	_, totalIncidents := ctl.blockLog.snapshot()
 	w.Counter("wdm_block_incidents_total", "Blocking incidents recorded by the forensics ring buffer.", float64(totalIncidents))

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/multistage"
+	"repro/internal/obs/prof"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
 	"repro/internal/switchd/api"
@@ -125,6 +126,11 @@ type Config struct {
 	// value gives 99.9% availability and 99% under 1ms over 5m/1h/6h/3d
 	// windows.
 	SLO slo.Config
+	// Prof configures the profiling harness served at /v1/debug/prof:
+	// mutex/block sampling rates and the periodic profile-snapshot ring.
+	// The zero value serves on-demand profiles only and touches no
+	// process-global profiler rate.
+	Prof prof.Config
 	// Logger receives the controller's structured log output (blocked
 	// requests, drains, failure-plane events). Nil means slog.Default().
 	Logger *slog.Logger
@@ -192,6 +198,7 @@ type Controller struct {
 	blockLog *blockLog
 	tracer   *span.Tracer
 	sloEng   *slo.Engine
+	prof     *prof.Harness
 	logger   *slog.Logger
 
 	nextSession atomic.Uint64
@@ -247,6 +254,7 @@ func New(cfg Config) (*Controller, error) {
 		blockLog: newBlockLog(cfg.BlockLog),
 		tracer:   span.NewTracer(cfg.Spans),
 		sloEng:   slo.New(cfg.SLO),
+		prof:     prof.Start(cfg.Prof),
 		logger:   cfg.Logger,
 	}
 	if ctl.logger == nil {
@@ -356,6 +364,16 @@ func (ctl *Controller) pickFabric(id uint64, pin int) (int, error) {
 // controller's choice). It returns the session id and the plane the
 // session landed on.
 func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (id uint64, plane int, err error) {
+	return ctl.connect(ctx, nil, c, pin)
+}
+
+// connect is Connect's body with phase attribution threaded through: pt
+// (nil-safe, usually a caller's stack variable) accumulates where the
+// request's time went — admission gate, fabric-lock wait, route search,
+// WAL group commit, replication ack. The HTTP handlers pass a stack
+// timer and fold it into the phase histograms; the exported method
+// passes nil and costs nothing.
+func (ctl *Controller) connect(ctx context.Context, pt *phaseTimer, c wdm.Connection, pin int) (id uint64, plane int, err error) {
 	// Count the attempt before the draining check so Drain can wait out
 	// every Connect that might still put a session into the table.
 	ctl.inflight.Add(1)
@@ -363,8 +381,10 @@ func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (
 
 	ctx, sp := span.Start(ctx, "switchd.connect")
 	defer sp.End()
+	defer pt.annotate(sp) // runs before sp.End (LIFO)
 	sp.SetAttr("connection", wdm.FormatConnection(c))
 
+	admStart := time.Now()
 	if ctl.draining.Load() {
 		ctl.metrics.drainRejects.Add(1)
 		sp.SetError(ErrDraining.Error())
@@ -408,15 +428,18 @@ func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (
 		sp.SetError(cerr.Error())
 		return 0, 0, cerr
 	}
+	pt.add(phaseAdmission, time.Since(admStart))
 
 	f := ctl.fabrics[plane]
 	var connID int
 	var addErr error
-	var elapsed time.Duration
+	var elapsed, lockWait time.Duration
 	_, fabSp := span.Start(ctx, "fabric.add")
 	fabSp.SetAttr("fabric", plane)
+	lockStart := time.Now()
 	func() {
 		f.mu.Lock()
+		lockWait = time.Since(lockStart)
 		defer f.mu.Unlock()
 		if fabSp.Active() {
 			f.net.SetRouteObserver(routeSpanObserver(fabSp))
@@ -427,6 +450,8 @@ func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (
 		elapsed = time.Since(start)
 		f.cap.add(c, connID, addErr)
 	}()
+	pt.add(phaseLockWait, lockWait)
+	pt.add(phaseRouteSearch, elapsed)
 
 	ctl.metrics.connectLat.observeEx(elapsed, sp.TraceID())
 	if addErr == nil || multistage.IsBlocked(addErr) {
@@ -463,7 +488,7 @@ func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (
 	// order matches the table's. A journaling failure rolls the route
 	// back — the session was never acknowledged.
 	s := &session{ID: id, Fabric: plane, ConnID: connID, Conn: c.Normalize()}
-	if err = ctl.commitConnect(sp, f, plane, s); err != nil {
+	if err = ctl.commitConnect(sp, pt, f, plane, s); err != nil {
 		ctl.metrics.perFabric[plane].active.Add(-1)
 		sp.SetError(err.Error())
 		return 0, plane, err
@@ -480,10 +505,17 @@ func (ctl *Controller) Connect(ctx context.Context, c wdm.Connection, pin int) (
 // original destination set. Cancellation is honored before the shard
 // and fabric locks are taken.
 func (ctl *Controller) AddBranch(ctx context.Context, id uint64, dests ...wdm.PortWave) error {
+	return ctl.addBranch(ctx, nil, id, dests...)
+}
+
+// addBranch is AddBranch's body with phase attribution (see connect).
+func (ctl *Controller) addBranch(ctx context.Context, pt *phaseTimer, id uint64, dests ...wdm.PortWave) error {
 	ctx, sp := span.Start(ctx, "switchd.branch")
 	defer sp.End()
+	defer pt.annotate(sp)
 	sp.SetAttr("session", id)
 
+	admStart := time.Now()
 	if ctl.draining.Load() {
 		ctl.metrics.drainRejects.Add(1)
 		sp.SetError(ErrDraining.Error())
@@ -509,12 +541,15 @@ func (ctl *Controller) AddBranch(ctx context.Context, id uint64, dests ...wdm.Po
 	grown.Dests = append(grown.Dests, dests...)
 	grown = grown.Normalize()
 	sp.SetAttr("connection", wdm.FormatConnection(grown))
+	pt.add(phaseAdmission, time.Since(admStart))
 	var err error
-	var elapsed time.Duration
+	var elapsed, lockWait time.Duration
 	_, fabSp := span.Start(ctx, "fabric.branch")
 	fabSp.SetAttr("fabric", s.Fabric)
+	lockStart := time.Now()
 	func() {
 		f.mu.Lock()
+		lockWait = time.Since(lockStart)
 		defer f.mu.Unlock()
 		if fabSp.Active() {
 			f.net.SetRouteObserver(routeSpanObserver(fabSp))
@@ -525,6 +560,8 @@ func (ctl *Controller) AddBranch(ctx context.Context, id uint64, dests ...wdm.Po
 		elapsed = time.Since(start)
 		f.cap.branch(s.ConnID, original, grown, err)
 	}()
+	pt.add(phaseLockWait, lockWait)
+	pt.add(phaseRouteSearch, elapsed)
 	ctl.metrics.branchLat.observeEx(elapsed, sp.TraceID())
 	if err == nil || multistage.IsBlocked(err) {
 		ctl.sloEng.Record(err == nil, elapsed)
@@ -539,7 +576,7 @@ func (ctl *Controller) AddBranch(ctx context.Context, id uint64, dests ...wdm.Po
 		// worse — but the caller sees storage_failed: the branch may not
 		// survive a crash, and the poisoned log fails every later
 		// mutation anyway.
-		if werr := ctl.commitBranch(sp, f, s); werr != nil {
+		if werr := ctl.commitBranch(sp, pt, f, s); werr != nil {
 			sp.SetError(werr.Error())
 			return werr
 		}
@@ -569,8 +606,14 @@ func (ctl *Controller) AddBranch(ctx context.Context, id uint64, dests ...wdm.Po
 // is taken; past that point the release always completes (a half-freed
 // session would be worse than a late one).
 func (ctl *Controller) Disconnect(ctx context.Context, id uint64) error {
+	return ctl.disconnect(ctx, nil, id)
+}
+
+// disconnect is Disconnect's body with phase attribution (see connect).
+func (ctl *Controller) disconnect(ctx context.Context, pt *phaseTimer, id uint64) error {
 	_, sp := span.Start(ctx, "switchd.disconnect")
 	defer sp.End()
+	defer pt.annotate(sp)
 	sp.SetAttr("session", id)
 	if cerr := ctx.Err(); cerr != nil {
 		sp.SetError(cerr.Error())
@@ -579,7 +622,7 @@ func (ctl *Controller) Disconnect(ctx context.Context, id uint64) error {
 	sh := ctl.sessions.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := ctl.disconnectLocked(sp, sh, id); err != nil {
+	if err := ctl.disconnectLocked(sp, pt, sh, id); err != nil {
 		sp.SetError(err.Error())
 		return err
 	}
@@ -587,7 +630,7 @@ func (ctl *Controller) Disconnect(ctx context.Context, id uint64) error {
 }
 
 // disconnectLocked is Disconnect's body; the caller holds sh.mu.
-func (ctl *Controller) disconnectLocked(sp *span.Span, sh *sessionShard, id uint64) error {
+func (ctl *Controller) disconnectLocked(sp *span.Span, pt *phaseTimer, sh *sessionShard, id uint64) error {
 	s, ok := sh.m[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownSession, id)
@@ -595,14 +638,16 @@ func (ctl *Controller) disconnectLocked(sp *span.Span, sh *sessionShard, id uint
 	// Journal before releasing: a connect reusing the freed slots must
 	// append after this record (see durability.go). On failure the
 	// session stays live and visible.
-	if werr := ctl.commitDisconnect(sp, s); werr != nil {
+	if werr := ctl.commitDisconnect(sp, pt, s); werr != nil {
 		return werr
 	}
 	f := ctl.fabrics[s.Fabric]
 	var err error
-	var elapsed time.Duration
+	var elapsed, lockWait time.Duration
+	lockStart := time.Now()
 	func() {
 		f.mu.Lock()
+		lockWait = time.Since(lockStart)
 		defer f.mu.Unlock()
 		start := time.Now()
 		err = f.net.Release(s.ConnID)
@@ -611,6 +656,8 @@ func (ctl *Controller) disconnectLocked(sp *span.Span, sh *sessionShard, id uint
 			f.cap.release(s.ConnID)
 		}
 	}()
+	pt.add(phaseLockWait, lockWait)
+	pt.add(phaseRouteSearch, elapsed)
 	ctl.metrics.disconnectLat.observe(elapsed)
 	if err != nil {
 		// A release failure means controller and fabric bookkeeping have
@@ -739,7 +786,7 @@ func (ctl *Controller) Drain(ctx context.Context) DrainSummary {
 				if failed[id] {
 					continue
 				}
-				if err := ctl.disconnectLocked(nil, sh, id); err != nil {
+				if err := ctl.disconnectLocked(nil, nil, sh, id); err != nil {
 					failed[id] = true
 					sum.Errors++
 					if errors.Is(err, ErrStorageFailed) && sum.StorageError == "" {

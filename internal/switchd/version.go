@@ -1,0 +1,36 @@
+package switchd
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/switchd/api"
+)
+
+// Version is the controller's release version, served at /v1/version
+// and exposed as the wdm_build_info gauge so fleet dashboards can tell
+// which build each shard runs.
+const Version = "0.7.0"
+
+// BuildInfo assembles the version metadata for /v1/version: the release
+// version, the Go toolchain that built the binary, and — when the
+// binary was built from a checkout — the VCS revision and dirty flag.
+func BuildInfo() api.VersionInfo {
+	vi := api.VersionInfo{Version: Version, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				vi.Revision = s.Value
+			case "vcs.modified":
+				vi.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return vi
+}
+
+func (ctl *Controller) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, BuildInfo())
+}
