@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo cluster-demo prof-demo clean
+.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo cluster-demo prof-demo alert-demo clean
 
 all: build vet race test
 
@@ -198,6 +198,76 @@ prof-demo:
 	    || { echo 'PROF DEMO FAILED: no phase histograms in the fleet view'; exit 1; }; \
 	grep 'wdm_federation_peer_up' $(PROF_DIR)/fleet-metrics.txt; \
 	echo "prof demo OK: profiles in $(PROF_DIR)"
+
+# Alert drill (EXPERIMENTS.md § "Alerting walkthrough", scripted): two
+# cluster shards with the embedded metrics history on a fast scrape,
+# shard 0 configured exactly at the sufficient bound (m margin 0). The
+# drill fails most of shard 0's middle stage over the admin plane,
+# drives closed-loop traffic until it blocks, and asserts the shipped
+# invariant rule (blocked_in_nonblocking_regime) reaches firing with
+# /v1/alerts and the wdm_alert_firing gauge agreeing; repairing the
+# middles must resolve it on its own, and a federated /v1/cluster/query
+# range over both live shards must return the merged blocking curve
+# covering the incident. The tsdb dump and query curves land in
+# ALERT_DIR so CI can upload them as a workflow artifact.
+ALERT_DIR ?= /tmp/wdm-alert-demo
+ALERT_RULES := {"rules":[{"name":"blocked_in_nonblocking_regime","expr":"rate(wdm_blocked_total[10s])","op":">","value":0,"for":"500ms","guard":{"expr":"wdm_m_margin","op":">=","value":0},"summary":"P_block > 0 at or above the sufficient bound"}]}
+alert-demo:
+	@$(GO) build -o /tmp/wdm-alert-serve ./cmd/wdmserve
+	@pkill -9 -f '^/tmp/wdm-alert-serve' 2>/dev/null; rm -rf $(ALERT_DIR) /tmp/wdm-alert-data; mkdir -p $(ALERT_DIR); \
+	printf '%s\n' '$(ALERT_RULES)' > $(ALERT_DIR)/rules.json; \
+	/tmp/wdm-alert-serve -cluster -shard 0 -addr 127.0.0.1:9101 -repl-addr 127.0.0.1:9111 \
+	    -peers 'http://127.0.0.1:9101,http://127.0.0.1:9102' \
+	    -replicas 1 -history 250ms -alerts $(ALERT_DIR)/rules.json \
+	    -data-dir /tmp/wdm-alert-data/s0 & p0=$$!; \
+	/tmp/wdm-alert-serve -cluster -shard 1 -addr 127.0.0.1:9102 -repl-addr 127.0.0.1:9112 \
+	    -peers 'http://127.0.0.1:9101,http://127.0.0.1:9102' \
+	    -replicas 1 -history 250ms -alerts $(ALERT_DIR)/rules.json \
+	    -data-dir /tmp/wdm-alert-data/s1 & p1=$$!; \
+	trap 'kill -9 $$p0 $$p1 2>/dev/null' EXIT; sleep 1; \
+	/tmp/wdm-alert-serve -attack -target http://127.0.0.1:9102 -requests 2000 >/dev/null; \
+	m=$$(curl -s 127.0.0.1:9101/v1/status | tr -d ' \n' | sed 's/.*"m":\([0-9]*\).*/\1/'); \
+	echo "--- failing $$((m-1)) of $$m shard-0 middles (configured m stays at the bound)"; \
+	i=0; while [ $$i -lt $$((m-1)) ]; do \
+	    curl -s -XPOST 127.0.0.1:9101/v1/admin/fail -d "{\"fabric\":0,\"middle\":$$i}" >/dev/null; \
+	    i=$$((i+1)); done; \
+	/tmp/wdm-alert-serve -attack -target http://127.0.0.1:9101 -requests 4000 >/dev/null; \
+	echo '--- waiting for blocked_in_nonblocking_regime to fire'; \
+	fired=0; i=0; while [ $$i -lt 40 ]; do \
+	    if curl -s 127.0.0.1:9101/v1/alerts | tr -d ' \n' | grep -q '"state":"firing"'; then fired=1; break; fi; \
+	    sleep 0.25; i=$$((i+1)); done; \
+	curl -s 127.0.0.1:9101/v1/alerts > $(ALERT_DIR)/alerts-firing.json; \
+	test $$fired -eq 1 \
+	    || { echo 'ALERT DEMO FAILED: rule never fired'; cat $(ALERT_DIR)/alerts-firing.json; exit 1; }; \
+	curl -s 127.0.0.1:9101/metrics | grep 'wdm_alert_firing' | tee $(ALERT_DIR)/alert-gauge.txt; \
+	grep -q 'wdm_alert_firing{rule="blocked_in_nonblocking_regime"} 1' $(ALERT_DIR)/alert-gauge.txt \
+	    || { echo 'ALERT DEMO FAILED: gauge disagrees with /v1/alerts'; exit 1; }; \
+	echo '--- federated range query across both live shards'; \
+	curl -s '127.0.0.1:9102/v1/cluster/query?query=rate(wdm_blocked_total%5B10s%5D)&start=-2m&step=1s' \
+	    > $(ALERT_DIR)/fleet-query.json; \
+	fq=$$(tr -d ' \n' < $(ALERT_DIR)/fleet-query.json); \
+	echo "$$fq" | grep -q '"shards":2' && echo "$$fq" | grep -vq 'down_shards' \
+	    || { echo 'ALERT DEMO FAILED: federated query did not merge 2 live shards'; exit 1; }; \
+	echo "$$fq" | grep -q '"shard":"0"' && echo "$$fq" | grep -q '"shard":"fleet"' \
+	    || { echo 'ALERT DEMO FAILED: merged result lacks per-shard/fleet series'; exit 1; }; \
+	echo '--- repairing the middles; the alert must resolve on its own'; \
+	i=0; while [ $$i -lt $$((m-1)) ]; do \
+	    curl -s -XPOST 127.0.0.1:9101/v1/admin/repair -d "{\"fabric\":0,\"middle\":$$i}" >/dev/null; \
+	    i=$$((i+1)); done; \
+	resolved=0; i=0; while [ $$i -lt 60 ]; do \
+	    if curl -s 127.0.0.1:9101/v1/alerts | tr -d ' \n' | grep -q '"state":"firing"'; then :; else resolved=1; break; fi; \
+	    sleep 0.5; i=$$((i+1)); done; \
+	curl -s 127.0.0.1:9101/v1/alerts > $(ALERT_DIR)/alerts-resolved.json; \
+	test $$resolved -eq 1 \
+	    || { echo 'ALERT DEMO FAILED: alert never resolved after repair'; cat $(ALERT_DIR)/alerts-resolved.json; exit 1; }; \
+	curl -s 127.0.0.1:9101/metrics | grep -q 'wdm_alert_firing{rule="blocked_in_nonblocking_regime"} 0' \
+	    || { echo 'ALERT DEMO FAILED: gauge still up after resolve'; exit 1; }; \
+	curl -s 127.0.0.1:9101/v1/debug/tsdb > $(ALERT_DIR)/tsdb-dump.json; \
+	curl -s '127.0.0.1:9101/v1/query?query=rate(wdm_blocked_total%5B10s%5D)&start=-2m&step=1s' \
+	    > $(ALERT_DIR)/query-blocked.json; \
+	test -s $(ALERT_DIR)/tsdb-dump.json \
+	    || { echo 'ALERT DEMO FAILED: empty tsdb dump'; exit 1; }; \
+	echo "alert demo OK: fired, federated, resolved; artifacts in $(ALERT_DIR)"
 
 # Regenerate every experiment artifact into results/.
 repro:

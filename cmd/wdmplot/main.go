@@ -5,24 +5,39 @@
 //	wdmplot -series capacity -k 2        capacity-vs-N per model (log10)
 //	wdmplot -series hierarchy -k 2       crossbar/Clos/Beneš crosspoints
 //
-// Every series is regenerated from the implementation at run time; the
-// CSV columns carry plain numbers ready for gnuplot/matplotlib.
+// The query series is different: it renders a live server's embedded
+// metrics history (GET /v1/query, or the federated /v1/cluster/query)
+// as long-form CSV — one row per (series, timestamp):
+//
+//	wdmplot -series query -target http://localhost:8047 \
+//	    -query 'rate(wdm_blocked_total[30s])' -start -10m -step 5s
+//
+// Every offline series is regenerated from the implementation at run
+// time; the CSV columns carry plain numbers ready for
+// gnuplot/matplotlib.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"math/big"
+	"net/url"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/benes"
 	"repro/internal/capacity"
 	"repro/internal/crossbar"
 	"repro/internal/multistage"
+	"repro/internal/obs/tsdb"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/switchd/client"
 	"repro/internal/wdm"
 )
 
@@ -34,6 +49,12 @@ func main() {
 	modelName := flag.String("model", "msw", "multicast model")
 	requests := flag.Int("requests", 4000, "arrivals per blocking point")
 	seed := flag.Int64("seed", 1, "seed for blocking series")
+	target := flag.String("target", "http://localhost:8047", "query series: base URL of the server")
+	query := flag.String("query", "wdm_blocked_total", "query series: tsdb expression, e.g. rate(wdm_blocked_total[30s])")
+	start := flag.String("start", "-5m", "query series: range start (duration offset, unix secs, RFC3339, or \"now\")")
+	end := flag.String("end", "now", "query series: range end")
+	step := flag.Duration("step", time.Second, "query series: range step")
+	fleet := flag.Bool("fleet", false, "query series: hit the federated /v1/cluster/query instead of /v1/query")
 	flag.Parse()
 
 	model, err := wdm.ParseModel(*modelName)
@@ -51,9 +72,56 @@ func main() {
 		capacitySeries(*k)
 	case "hierarchy":
 		hierarchySeries(*k)
+	case "query":
+		querySeries(*target, *query, *start, *end, *step, *fleet)
 	default:
-		fatal(fmt.Errorf("unknown series %q (want cost, blocking, load, capacity, hierarchy)", *series))
+		fatal(fmt.Errorf("unknown series %q (want cost, blocking, load, capacity, hierarchy, query)", *series))
 	}
+}
+
+// querySeries renders a live server's metrics history as long-form
+// CSV: one row per (series, point), ready for gnuplot/matplotlib
+// group-by-series plotting.
+func querySeries(target, query, start, end string, step time.Duration, fleet bool) {
+	v := url.Values{}
+	v.Set("query", query)
+	v.Set("start", start)
+	v.Set("end", end)
+	v.Set("step", step.String())
+	cl := client.New(target)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var res tsdb.QueryResult
+	var err error
+	if fleet {
+		res, err = cl.FleetQuery(ctx, v.Encode())
+	} else {
+		res, err = cl.Query(ctx, v.Encode())
+	}
+	if err != nil {
+		fatal(err)
+	}
+	t := report.New("", "series", "labels", "t_ms", "value")
+	for _, s := range res.Series {
+		keys := make([]string, 0, len(s.Labels))
+		for k := range s.Labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, k+"="+s.Labels[k])
+		}
+		labels := strings.Join(parts, ";")
+		for _, p := range s.Points {
+			val := "NaN"
+			if !math.IsNaN(p.V) {
+				val = strconv.FormatFloat(p.V, 'g', -1, 64)
+			}
+			t.AddRow(s.Name, labels, strconv.FormatInt(p.T, 10), val)
+		}
+	}
+	emit(t)
 }
 
 // loadSeries emits blocking-vs-load curves at a quarter, half, and the

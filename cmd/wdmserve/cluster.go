@@ -17,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/switchd"
+	"repro/internal/switchd/api"
 	"repro/internal/switchd/client"
 )
 
@@ -105,6 +106,20 @@ func runClusterPrimary(logger *slog.Logger, cfg switchd.Config, opts clusterOpti
 	go srv.Serve(ln)
 	ctl.Metrics().Publish("switchd")
 
+	// Federation peer health: a background prober keeps per-peer
+	// reachability fresh; the controller's /v1/health federation rows
+	// and wdm_federation_peer_up gauges read it, and federated requests
+	// refresh it opportunistically.
+	fedPeers := federationPeers(peerList)
+	var tracker *cluster.PeerTracker
+	trkCtx, trkCancel := context.WithCancel(context.Background())
+	defer trkCancel()
+	if len(peerList) > 0 {
+		tracker = cluster.NewPeerTracker(cluster.FederationConfig{Peers: fedPeers})
+		go tracker.Run(trkCtx, 5*time.Second)
+		ctl.SetFederationProbe(federationProbe(tracker))
+	}
+
 	p := ctl.Params()
 	logger.Info("serving cluster primary",
 		slog.Int("shard", opts.shard),
@@ -117,7 +132,8 @@ func runClusterPrimary(logger *slog.Logger, cfg switchd.Config, opts clusterOpti
 	mux := http.NewServeMux()
 	mux.Handle("/", ctl.Handler())
 	mux.HandleFunc("/v1/cluster", clusterInfoHandler(opts.shard, "primary", peerList))
-	mux.Handle("/v1/cluster/metrics", federationHandler(peerList))
+	mux.Handle("/v1/cluster/metrics", federationHandler(fedPeers, tracker))
+	mux.Handle("/v1/cluster/query", queryFederationHandler(fedPeers, tracker))
 	if opts.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 	}
@@ -172,9 +188,19 @@ func runStandby(logger *slog.Logger, cfg switchd.Config, opts clusterOptions, pe
 		slog.Duration("failover_after", opts.failoverAfter),
 	)
 
+	fedPeers := federationPeers(peerList)
+	var tracker *cluster.PeerTracker
+	trkCtx, trkCancel := context.WithCancel(context.Background())
+	defer trkCancel()
+	if len(peerList) > 0 {
+		tracker = cluster.NewPeerTracker(cluster.FederationConfig{Peers: fedPeers})
+		go tracker.Run(trkCtx, 5*time.Second)
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("/", sb.Handler())
-	mux.Handle("/v1/cluster/metrics", federationHandler(peerList))
+	mux.Handle("/v1/cluster/metrics", federationHandler(fedPeers, tracker))
+	mux.Handle("/v1/cluster/query", queryFederationHandler(fedPeers, tracker))
 	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
 		role := "standby"
 		if sb.Promoted() {
@@ -204,24 +230,53 @@ func runStandby(logger *slog.Logger, cfg switchd.Config, opts clusterOptions, pe
 	<-done
 }
 
-// federationHandler serves GET /v1/cluster/metrics: the fleet-merged
-// exposition of every shard in the -peers list. Shard names are the
-// peer indices; a shard's standby is the scrape fallback when its
-// primary is unreachable.
-func federationHandler(peers []client.ShardEndpoints) http.Handler {
-	return cluster.NewFederationHandler(cluster.FederationConfig{
-		Peers: func() []cluster.FederationPeer {
-			out := make([]cluster.FederationPeer, 0, len(peers))
-			for i, ep := range peers {
-				p := cluster.FederationPeer{Shard: fmt.Sprintf("%d", i), URLs: []string{ep.Primary}}
-				if ep.Standby != "" {
-					p.URLs = append(p.URLs, ep.Standby)
-				}
-				out = append(out, p)
+// federationPeers adapts the -peers list to the federation's scrape
+// targets. Shard names are the peer indices; a shard's standby is the
+// fallback when its primary is unreachable.
+func federationPeers(peers []client.ShardEndpoints) func() []cluster.FederationPeer {
+	return func() []cluster.FederationPeer {
+		out := make([]cluster.FederationPeer, 0, len(peers))
+		for i, ep := range peers {
+			p := cluster.FederationPeer{Shard: fmt.Sprintf("%d", i), URLs: []string{ep.Primary}}
+			if ep.Standby != "" {
+				p.URLs = append(p.URLs, ep.Standby)
 			}
-			return out
-		},
-	})
+			out = append(out, p)
+		}
+		return out
+	}
+}
+
+// federationHandler serves GET /v1/cluster/metrics: the fleet-merged
+// exposition of every shard in the -peers list.
+func federationHandler(peers func() []cluster.FederationPeer, tracker *cluster.PeerTracker) http.Handler {
+	return cluster.NewFederationHandler(cluster.FederationConfig{Peers: peers, Tracker: tracker})
+}
+
+// queryFederationHandler serves GET /v1/cluster/query: the merged
+// range query across every shard's embedded metrics history.
+func queryFederationHandler(peers func() []cluster.FederationPeer, tracker *cluster.PeerTracker) http.Handler {
+	return cluster.NewQueryFederationHandler(cluster.FederationConfig{Peers: peers, Tracker: tracker})
+}
+
+// federationProbe converts the tracker's snapshot to the /v1/health
+// federation rows.
+func federationProbe(tracker *cluster.PeerTracker) func() []api.FederationPeerHealth {
+	return func() []api.FederationPeerHealth {
+		snap := tracker.Snapshot()
+		out := make([]api.FederationPeerHealth, 0, len(snap))
+		for _, p := range snap {
+			h := api.FederationPeerHealth{
+				Shard: p.Shard, URL: p.URL, Up: p.Up, Error: p.Error,
+				LastProbeSeconds: -1,
+			}
+			if !p.LastProbe.IsZero() {
+				h.LastProbeSeconds = time.Since(p.LastProbe).Seconds()
+			}
+			out = append(out, h)
+		}
+		return out
+	}
 }
 
 func clusterInfoHandler(shard int, role string, peers []client.ShardEndpoints) http.HandlerFunc {

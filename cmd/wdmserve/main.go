@@ -64,6 +64,7 @@ import (
 	"repro/internal/obs/prof"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/switchd"
 	"repro/internal/switchd/client"
 	"repro/internal/wdm"
@@ -96,6 +97,9 @@ func main() {
 	profBlock := flag.Int("prof-block", 100000, "block profiling: sample blocking events >= this many nanoseconds (0 leaves the runtime default)")
 	profInterval := flag.Duration("prof-interval", 30*time.Second, "background profile-snapshot cadence for /v1/debug/prof (0 = on-demand capture only)")
 	profRing := flag.Int("prof-ring", 0, "profile snapshots retained per type (0 = default 8)")
+	history := flag.Duration("history", time.Second, "embedded metrics-history self-scrape interval for /v1/query and /v1/alerts (0 disables history and alerting)")
+	alertsFile := flag.String("alerts", "", `alerting rules file ({"rules":[...]}; empty = the shipped default ruleset; requires -history > 0)`)
+	alertWebhook := flag.String("alert-webhook", "", "POST every alert state transition to this URL as JSON")
 	dataDir := flag.String("data-dir", "", "durable state directory: journal every mutation to a WAL, checkpoint periodically, recover on start (empty = in-memory only)")
 	walSync := flag.Duration("wal-sync", 0, "group-commit latency cap: max time an append waits for batch fsync (0 = default 2ms)")
 	walSegment := flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = default 16MiB)")
@@ -191,6 +195,15 @@ func main() {
 		WALSyncDelay:     *walSync,
 		WALSegmentBytes:  *walSegment,
 		SnapshotInterval: *snapshotEvery,
+		HistoryInterval:  *history,
+		AlertWebhook:     *alertWebhook,
+	}
+	if *alertsFile != "" {
+		rules, err := tsdb.LoadRules(*alertsFile)
+		if err != nil {
+			fatal(logger, fmt.Errorf("-alerts: %w", err))
+		}
+		cfg.Alerts = rules
 	}
 
 	if *clusterOn {

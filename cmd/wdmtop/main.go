@@ -7,6 +7,11 @@
 // status, and the most recent blocked trace id ready to paste into
 // /v1/debug/spans?trace=.
 //
+// Against a server running with -history it also polls /v1/query and
+// /v1/alerts and adds two panels: sparklines of the recent routed and
+// blocked rates from the embedded metrics history, and the alerting
+// rules engine's pending/firing table.
+//
 // Against a cluster node, -fleet switches to the federation view: it
 // polls /v1/cluster/metrics (every shard's exposition merged server-side)
 // and renders fleet-wide totals, the merged per-phase latency table,
@@ -21,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/url"
 	"os"
 	"strings"
 	"time"
@@ -105,5 +111,25 @@ func fetchPoll(cl *client.Client) (*poll, error) {
 	if spans, err := cl.Spans(ctx, "blocked=1&limit=1"); err == nil && len(spans.Traces) > 0 {
 		p.lastBlocked = &spans.Traces[len(spans.Traces)-1]
 	}
+	if al, err := cl.Alerts(ctx); err == nil {
+		p.alerts = al
+	}
+	if qr, err := cl.Query(ctx, histQuery("rate(wdm_blocked_total[10s])")); err == nil {
+		p.histBlocked = &qr
+	}
+	if qr, err := cl.Query(ctx, histQuery("rate(wdm_route_ops_total[10s])")); err == nil {
+		p.histRouted = &qr
+	}
 	return p, nil
+}
+
+// histQuery builds the /v1/query parameters behind one sparkline: the
+// last two minutes at a 2s step.
+func histQuery(expr string) string {
+	v := url.Values{}
+	v.Set("query", expr)
+	v.Set("start", "-2m")
+	v.Set("end", "now")
+	v.Set("step", "2s")
+	return v.Encode()
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/switchd/api"
 )
 
@@ -28,6 +29,13 @@ type poll struct {
 	// lastBlocked is the most recent blocked trace, when the span ring
 	// has one (nil otherwise or when tracing is disabled).
 	lastBlocked *span.TraceRecord
+	// alerts is the rules-engine snapshot (nil when the server runs
+	// without -history).
+	alerts []tsdb.AlertStatus
+	// histBlocked/histRouted are short /v1/query ranges backing the
+	// sparkline panel (nil without -history).
+	histBlocked *tsdb.QueryResult
+	histRouted  *tsdb.QueryResult
 }
 
 // fabricRow is one plane's line in the occupancy table.
@@ -236,6 +244,16 @@ func renderDashboard(cur, prev *poll, target string) string {
 		b.WriteByte('\n')
 	}
 
+	if h := historyPanel(cur); h != "" {
+		b.WriteString(h)
+		b.WriteByte('\n')
+	}
+
+	if a := alertsPanel(cur.alerts); a != "" {
+		b.WriteString(a)
+		b.WriteByte('\n')
+	}
+
 	if s := cur.slo; s != nil {
 		health := "HEALTHY"
 		if !s.Healthy {
@@ -371,6 +389,160 @@ func clusterPanel(cur *poll) string {
 		}
 	}
 	b.WriteByte('\n')
+	return b.String()
+}
+
+// sparkGlyphs is the eight-level block ramp used by sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a block-glyph strip scaled 0..max (the
+// series the dashboard plots are rates, so zero is the natural floor).
+// Longer series are downsampled by max over equal buckets so spikes
+// survive compression; NaN (no sample at that step) renders as a space.
+func sparkline(vals []float64, width int) string {
+	if width <= 0 || len(vals) == 0 {
+		return ""
+	}
+	if len(vals) > width {
+		packed := make([]float64, width)
+		for i := range packed {
+			lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+			cell := math.NaN()
+			for _, v := range vals[lo:hi] {
+				if !math.IsNaN(v) && (math.IsNaN(cell) || v > cell) {
+					cell = v
+				}
+			}
+			packed[i] = cell
+		}
+		vals = packed
+	}
+	max := 0.0
+	for _, v := range vals {
+		if !math.IsNaN(v) && v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			b.WriteByte(' ')
+		case max == 0:
+			b.WriteRune(sparkGlyphs[0])
+		default:
+			idx := int(v / max * float64(len(sparkGlyphs)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			b.WriteRune(sparkGlyphs[idx])
+		}
+	}
+	return b.String()
+}
+
+// seriesValues sums a query result across its series per step (a
+// single-node rate() result has one series; a federated one has one
+// per shard plus the fleet sum — the plain per-shard rows are summed,
+// the precomputed fleet row is skipped to avoid double counting).
+func seriesValues(qr *tsdb.QueryResult) []float64 {
+	if qr == nil || len(qr.Series) == 0 {
+		return nil
+	}
+	var n int
+	for _, s := range qr.Series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.NaN()
+	}
+	for _, s := range qr.Series {
+		if s.Labels["shard"] == "fleet" {
+			continue
+		}
+		for i, p := range s.Points {
+			if math.IsNaN(p.V) {
+				continue
+			}
+			if math.IsNaN(vals[i]) {
+				vals[i] = 0
+			}
+			vals[i] += p.V
+		}
+	}
+	return vals
+}
+
+// historyPanel renders sparklines of the recent routed/blocked rates
+// from the server's embedded metrics history; empty when the server
+// runs without -history (no /v1/query).
+func historyPanel(cur *poll) string {
+	if cur.histBlocked == nil && cur.histRouted == nil {
+		return ""
+	}
+	span := ""
+	if qr := cur.histRouted; qr != nil && qr.EndMs > qr.StartMs {
+		span = fmt.Sprintf(" (last %s)", (time.Duration(qr.EndMs-qr.StartMs) * time.Millisecond).Truncate(time.Second))
+	} else if qr := cur.histBlocked; qr != nil && qr.EndMs > qr.StartMs {
+		span = fmt.Sprintf(" (last %s)", (time.Duration(qr.EndMs-qr.StartMs) * time.Millisecond).Truncate(time.Second))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "history%s\n", span)
+	row := func(name string, qr *tsdb.QueryResult) {
+		vals := seriesValues(qr)
+		if len(vals) == 0 {
+			return
+		}
+		max := 0.0
+		for _, v := range vals {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+		fmt.Fprintf(&b, "  %-10s %s  max %.1f/s\n", name, sparkline(vals, 60), max)
+	}
+	row("routed/s", cur.histRouted)
+	row("blocked/s", cur.histBlocked)
+	return b.String()
+}
+
+// alertsPanel renders the rules-engine snapshot: a one-line rollup and
+// one row per non-inactive rule. Empty when the engine is absent.
+func alertsPanel(alerts []tsdb.AlertStatus) string {
+	if alerts == nil {
+		return ""
+	}
+	var firing, pending int
+	for _, a := range alerts {
+		switch a.State {
+		case tsdb.StateFiring:
+			firing++
+		case tsdb.StatePending:
+			pending++
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "alerts  %d firing / %d pending / %d ok\n",
+		firing, pending, len(alerts)-firing-pending)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for _, a := range alerts {
+		if a.State == tsdb.StateInactive {
+			continue
+		}
+		state := string(a.State)
+		if a.State == tsdb.StateFiring {
+			state = "FIRING"
+		}
+		since := "-"
+		if a.Since != nil {
+			since = time.Since(*a.Since).Truncate(time.Second).String()
+		}
+		fmt.Fprintf(tw, "  %s\t%s\tvalue %.4g\tfor %s\n", state, a.Rule.Name, a.Value, since)
+	}
+	tw.Flush()
 	return b.String()
 }
 

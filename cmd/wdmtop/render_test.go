@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/switchd/api"
 )
 
@@ -207,5 +209,103 @@ func TestClusterPanelRoles(t *testing.T) {
 	// A node that is not clustered contributes no panel at all.
 	if out = clusterPanel(&poll{t: time.Now(), metrics: m}); out != "" {
 		t.Errorf("unclustered poll rendered %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp: got %q", got)
+	}
+	// All-zero series renders the floor glyph, not blanks.
+	if got = sparkline([]float64{0, 0, 0}, 8); got != "▁▁▁" {
+		t.Errorf("zeros: got %q", got)
+	}
+	// NaN steps (no sample yet) are blanks.
+	if got = sparkline([]float64{math.NaN(), 4, math.NaN()}, 8); got != " █ " {
+		t.Errorf("nan gaps: got %q", got)
+	}
+	// Downsampling keeps the spike: 100 points with one peak must
+	// still show a full-height glyph in a 10-wide strip.
+	vals := make([]float64, 100)
+	vals[37] = 9
+	if got = sparkline(vals, 10); !strings.ContainsRune(got, '█') {
+		t.Errorf("downsampled spike lost: got %q", got)
+	}
+	if n := len([]rune(got)); n != 10 {
+		t.Errorf("downsampled width: got %d runes, want 10", n)
+	}
+	if sparkline(nil, 10) != "" {
+		t.Error("empty series should render nothing")
+	}
+}
+
+func TestHistoryPanelSparklines(t *testing.T) {
+	qr := func(name string, vals ...float64) *tsdb.QueryResult {
+		s := tsdb.Series{Name: name}
+		for i, v := range vals {
+			s.Points = append(s.Points, tsdb.Point{T: int64(i * 2000), V: v})
+		}
+		return &tsdb.QueryResult{
+			Query: name, StartMs: 0, EndMs: int64(len(vals) * 2000), StepMs: 2000,
+			Series: []tsdb.Series{s},
+		}
+	}
+	cur := &poll{
+		t:           time.Now(),
+		histRouted:  qr("rate(wdm_route_ops_total[10s])", 10, 20, 30, 40),
+		histBlocked: qr("rate(wdm_blocked_total[10s])", 0, 0, 2, 1),
+	}
+	out := historyPanel(cur)
+	for _, want := range []string{"history (last 8s)", "routed/s", "blocked/s", "max 40.0/s", "max 2.0/s", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history panel missing %q\n---\n%s", want, out)
+		}
+	}
+	// Without -history there is no panel.
+	if out = historyPanel(&poll{t: time.Now()}); out != "" {
+		t.Errorf("no-history poll rendered %q", out)
+	}
+}
+
+func TestSeriesValuesSumsShardsSkipsFleet(t *testing.T) {
+	qr := &tsdb.QueryResult{Series: []tsdb.Series{
+		{Name: "x", Labels: map[string]string{"shard": "0"}, Points: []tsdb.Point{{T: 0, V: 1}, {T: 1000, V: 2}}},
+		{Name: "x", Labels: map[string]string{"shard": "1"}, Points: []tsdb.Point{{T: 0, V: 3}, {T: 1000, V: math.NaN()}}},
+		{Name: "x", Labels: map[string]string{"shard": "fleet"}, Points: []tsdb.Point{{T: 0, V: 4}, {T: 1000, V: 2}}},
+	}}
+	vals := seriesValues(qr)
+	if len(vals) != 2 || vals[0] != 4 || vals[1] != 2 {
+		t.Errorf("got %v, want [4 2] (shards summed, fleet row skipped)", vals)
+	}
+}
+
+func TestAlertsPanel(t *testing.T) {
+	since := time.Now().Add(-35 * time.Second)
+	alerts := []tsdb.AlertStatus{
+		{Rule: tsdb.Rule{Name: "blocked_in_nonblocking_regime"}, State: tsdb.StateFiring, Since: &since, Value: 2.1},
+		{Rule: tsdb.Rule{Name: "slo_fast_burn"}, State: tsdb.StatePending, Since: &since, Value: 15},
+		{Rule: tsdb.Rule{Name: "scrape_stalled"}, State: tsdb.StateInactive},
+	}
+	out := alertsPanel(alerts)
+	for _, want := range []string{
+		"alerts  1 firing / 1 pending / 1 ok",
+		"FIRING", "blocked_in_nonblocking_regime", "value 2.1",
+		"pending", "slo_fast_burn",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("alerts panel missing %q\n---\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "scrape_stalled") {
+		t.Errorf("inactive rule should not get a row\n---\n%s", out)
+	}
+	// nil = server without the engine: no panel. Empty-but-present =
+	// engine with zero rules: still the rollup line.
+	if out = alertsPanel(nil); out != "" {
+		t.Errorf("nil alerts rendered %q", out)
+	}
+	if out = alertsPanel([]tsdb.AlertStatus{}); !strings.Contains(out, "0 firing") {
+		t.Errorf("empty alerts missing rollup: %q", out)
 	}
 }

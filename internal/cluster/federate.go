@@ -36,6 +36,9 @@ type FederationConfig struct {
 	Timeout time.Duration
 	// Client issues the scrapes (default http.DefaultClient).
 	Client *http.Client
+	// Tracker, when set, receives every scrape outcome so federated
+	// requests keep the peer-health view fresh between probe ticks.
+	Tracker *PeerTracker
 }
 
 // NewFederationHandler returns the /v1/cluster/metrics handler.
@@ -65,10 +68,15 @@ func NewFederationHandler(cfg FederationConfig) http.Handler {
 				defer wg.Done()
 				results[i].shard = p.Shard
 				var lastErr error
+				lastURL := ""
 				for _, u := range p.URLs {
+					lastURL = u
 					body, err := scrape(ctx, cfg.Client, u)
 					if err == nil {
 						results[i].body = body
+						if cfg.Tracker != nil {
+							cfg.Tracker.observe(p.Shard, u, true, nil)
+						}
 						return
 					}
 					lastErr = err
@@ -77,6 +85,9 @@ func NewFederationHandler(cfg FederationConfig) http.Handler {
 					lastErr = fmt.Errorf("no scrape URLs configured")
 				}
 				results[i].err = lastErr
+				if cfg.Tracker != nil {
+					cfg.Tracker.observe(p.Shard, lastURL, false, lastErr)
+				}
 			}(i, p)
 		}
 		wg.Wait()

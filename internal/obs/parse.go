@@ -406,6 +406,12 @@ func labelKey(labels map[string]string, drop string) string {
 	return b.String()
 }
 
+// LabelKey renders a label set in canonical form — sorted name="value"
+// pairs, comma-joined — the series-identity key for consumers that need
+// to tell samples of one family apart (the tsdb keys series by sample
+// name plus this).
+func LabelKey(labels map[string]string) string { return labelKey(labels, "") }
+
 // Value returns the value of the single sample of family name matching
 // all the given labels (subset match: the sample may carry more). It
 // reports false when no sample matches; multiple matches return the

@@ -18,13 +18,21 @@
 // (5m && 1h over threshold 14.4) catches sudden budget bleed, the slow
 // pair (6h && 3d over threshold 1) catches sustained low-grade bleed.
 //
-// The engine is a fixed ring of per-resolution-step counters, so memory
-// is bounded by longest-window/resolution regardless of traffic.
+// Windowing is delegated to the embedded time-series store: the engine
+// keeps live cumulative counters (ops, bad, slow) and persists them
+// into an internal tsdb.Store once per resolution step; a sliding
+// window's count is then live − CounterAt(window start) — the same
+// cumulative-counter baseline primitive rate()/increase() and the
+// burn-rate alert form use, so the repo has exactly one windowing
+// implementation. Memory stays bounded by longest-window/resolution
+// via the store's retention eviction, as before.
 package slo
 
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs/tsdb"
 )
 
 // Window is one sliding window's configuration.
@@ -54,7 +62,7 @@ type Config struct {
 	// LatencyThreshold is the per-operation latency bound the latency
 	// SLI counts against (0 = 1ms).
 	LatencyThreshold time.Duration
-	// Resolution is the counter bucket width (0 = 10s). Windows are
+	// Resolution is the counter step width (0 = 10s). Windows are
 	// quantized to it.
 	Resolution time.Duration
 	// Windows are the sliding windows to track (nil = 5m, 1h, 6h, 3d).
@@ -99,21 +107,24 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// bucket is one resolution step's counters.
-type bucket struct {
-	step  int64 // unix time / resolution; -1 = never used
-	total int64
-	bad   int64 // blocked requests
-	slow  int64 // requests over the latency threshold
-}
+// The engine's cumulative counters as stored series.
+const (
+	seriesOps  = "slo_ops_total"
+	seriesBad  = "slo_bad_total"
+	seriesSlow = "slo_slow_total"
+)
 
 // Engine accumulates request outcomes and serves sliding-window SLI
 // snapshots. Safe for concurrent use.
 type Engine struct {
-	cfg Config
+	cfg   Config
+	store *tsdb.Store
 
-	mu   sync.Mutex
-	ring []bucket
+	mu      sync.Mutex
+	total   int64
+	bad     int64 // blocked requests
+	slow    int64 // requests over the latency threshold
+	curStep int64 // -1 = no step open
 }
 
 // New builds an engine from cfg (zero value ok).
@@ -125,36 +136,55 @@ func New(cfg Config) *Engine {
 			longest = w.D
 		}
 	}
-	n := int(longest/cfg.Resolution) + 1
-	if n < 2 {
-		n = 2
-	}
-	e := &Engine{cfg: cfg, ring: make([]bucket, n)}
-	for i := range e.ring {
-		e.ring[i].step = -1
-	}
-	return e
+	store := tsdb.New(tsdb.Config{
+		// One raw tier holding a point per resolution step for the
+		// longest window (plus slack for the baseline lookup at the
+		// window's left edge).
+		Interval:  cfg.Resolution,
+		Tiers:     []tsdb.Tier{{Res: 0, Retention: longest + 2*cfg.Resolution}},
+		MaxSeries: 8,
+		Now:       cfg.Now,
+	})
+	return &Engine{cfg: cfg, store: store, curStep: -1}
 }
 
 // Config returns the engine's normalized configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
+// flushLocked persists the live counters as one point per series at
+// the end of the step that just closed. The step's end is always in
+// the past when this runs (a newer step has opened), so stored
+// timestamps stay ≤ now.
+func (e *Engine) flushLocked(step int64) {
+	at := time.Unix(0, (step+1)*int64(e.cfg.Resolution))
+	e.store.Append(at, seriesOps, nil, tsdb.KindCounter, float64(e.total))
+	e.store.Append(at, seriesBad, nil, tsdb.KindCounter, float64(e.bad))
+	e.store.Append(at, seriesSlow, nil, tsdb.KindCounter, float64(e.slow))
+}
+
+// rollLocked closes the open step when now has moved past it.
+func (e *Engine) rollLocked(now time.Time) int64 {
+	step := now.UnixNano() / int64(e.cfg.Resolution)
+	if e.curStep >= 0 && step != e.curStep {
+		e.flushLocked(e.curStep)
+	}
+	e.curStep = step
+	return step
+}
+
 // Record adds one routing-operation outcome: good reports whether the
 // fabric routed it (false = blocked), d the fabric operation latency.
 func (e *Engine) Record(good bool, d time.Duration) {
-	step := e.cfg.Now().UnixNano() / int64(e.cfg.Resolution)
+	now := e.cfg.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	b := &e.ring[int(step%int64(len(e.ring)))]
-	if b.step != step {
-		*b = bucket{step: step}
-	}
-	b.total++
+	e.rollLocked(now)
+	e.total++
 	if !good {
-		b.bad++
+		e.bad++
 	}
 	if d > e.cfg.LatencyThreshold {
-		b.slow++
+		e.slow++
 	}
 }
 
@@ -199,33 +229,10 @@ type Snapshot struct {
 
 // Snapshot evaluates every window and alert at the current clock.
 func (e *Engine) Snapshot() Snapshot {
-	now := e.cfg.Now().UnixNano()
-	nowStep := now / int64(e.cfg.Resolution)
-
-	type agg struct{ total, bad, slow int64 }
-	sums := make([]agg, len(e.cfg.Windows))
+	now := e.cfg.Now()
 	e.mu.Lock()
-	for i := range e.ring {
-		b := &e.ring[i]
-		if b.step < 0 {
-			continue
-		}
-		age := nowStep - b.step
-		if age < 0 {
-			continue
-		}
-		for wi, w := range e.cfg.Windows {
-			steps := int64(w.D / e.cfg.Resolution)
-			if steps < 1 {
-				steps = 1
-			}
-			if age < steps {
-				sums[wi].total += b.total
-				sums[wi].bad += b.bad
-				sums[wi].slow += b.slow
-			}
-		}
-	}
+	e.rollLocked(now)
+	total, bad, slow := e.total, e.bad, e.slow
 	e.mu.Unlock()
 
 	snap := Snapshot{
@@ -235,9 +242,15 @@ func (e *Engine) Snapshot() Snapshot {
 		Healthy:            true,
 	}
 	byName := make(map[string]WindowSLI, len(e.cfg.Windows))
-	for wi, w := range e.cfg.Windows {
-		s := WindowSLI{Window: w.Name, Total: sums[wi].total, Bad: sums[wi].bad, Slow: sums[wi].slow,
-			Availability: 1, LatencyOK: 1}
+	for _, w := range e.cfg.Windows {
+		from := now.Add(-w.D)
+		s := WindowSLI{
+			Window:       w.Name,
+			Total:        total - int64(e.store.CounterAt(seriesOps, nil, from)),
+			Bad:          bad - int64(e.store.CounterAt(seriesBad, nil, from)),
+			Slow:         slow - int64(e.store.CounterAt(seriesSlow, nil, from)),
+			Availability: 1, LatencyOK: 1,
+		}
 		if s.Total > 0 {
 			s.Availability = 1 - float64(s.Bad)/float64(s.Total)
 			s.LatencyOK = 1 - float64(s.Slow)/float64(s.Total)

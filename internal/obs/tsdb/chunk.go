@@ -1,0 +1,106 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// point is one decoded sample: unix-millisecond timestamp and value.
+type point struct {
+	t int64
+	v float64
+}
+
+// chunkPoints caps a chunk's sample count; eviction drops whole chunks
+// from the front of a tier's ring, so the cap bounds both encode state
+// and eviction granularity.
+const chunkPoints = 120
+
+// chunk is a delta-encoded run of up to chunkPoints samples of one
+// series tier. The first point is stored verbatim; each later point
+// appends uvarint(Δt ms) followed by either a 0x00 flag and the signed
+// varint integer value delta (the common case: counters and integral
+// gauges) or a 0x01 flag and the raw little-endian float64 bits.
+type chunk struct {
+	firstT int64
+	firstV float64
+	lastT  int64
+	lastV  float64
+	n      int
+	buf    []byte
+}
+
+func (c *chunk) full() bool { return c.n >= chunkPoints }
+
+// bytes approximates the chunk's retained size for memory accounting.
+func (c *chunk) bytes() int { return len(c.buf) + 48 }
+
+// intVal reports v as an exactly-representable int64, the precondition
+// for the packed integer-delta encoding.
+func intVal(v float64) (int64, bool) {
+	if v != math.Trunc(v) || math.Abs(v) > 1<<52 {
+		return 0, false
+	}
+	return int64(v), true
+}
+
+// append encodes one sample. Timestamps must be non-decreasing; a
+// regression is clamped to zero delta rather than corrupting the stream.
+func (c *chunk) append(t int64, v float64) {
+	if c.n == 0 {
+		c.firstT, c.firstV = t, v
+		c.lastT, c.lastV = t, v
+		c.n = 1
+		return
+	}
+	dt := t - c.lastT
+	if dt < 0 {
+		dt = 0
+		t = c.lastT
+	}
+	c.buf = binary.AppendUvarint(c.buf, uint64(dt))
+	iv, iok := intVal(v)
+	pv, pok := intVal(c.lastV)
+	if iok && pok {
+		c.buf = append(c.buf, 0x00)
+		c.buf = binary.AppendVarint(c.buf, iv-pv)
+	} else {
+		c.buf = append(c.buf, 0x01)
+		c.buf = binary.LittleEndian.AppendUint64(c.buf, math.Float64bits(v))
+	}
+	c.lastT, c.lastV = t, v
+	c.n++
+}
+
+// iter decodes the chunk in order, calling fn per point until it
+// returns false.
+func (c *chunk) iter(fn func(t int64, v float64) bool) {
+	if c.n == 0 {
+		return
+	}
+	if !fn(c.firstT, c.firstV) {
+		return
+	}
+	t, v := c.firstT, c.firstV
+	buf := c.buf
+	for len(buf) > 0 {
+		dt, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		t += int64(dt)
+		switch buf[0] {
+		case 0x00:
+			buf = buf[1:]
+			dv, n := binary.Varint(buf)
+			buf = buf[n:]
+			iv, _ := intVal(v)
+			v = float64(iv + dv)
+		default:
+			buf = buf[1:]
+			v = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		}
+		if !fn(t, v) {
+			return
+		}
+	}
+}

@@ -217,6 +217,32 @@ type Health struct {
 	// Replication is the log-shipping row; absent when the node is not
 	// part of a cluster.
 	Replication *ReplicationHealth `json:"replication,omitempty"`
+	// Federation is the per-peer reachability row of a federating node;
+	// absent when no federation peers are configured. Any down peer
+	// degrades an otherwise-ok instance (the fleet view is incomplete).
+	Federation []FederationPeerHealth `json:"federation,omitempty"`
+}
+
+// FederationPeerHealth is one federation peer's reachability as seen
+// by this node's background prober (and refreshed opportunistically by
+// federation scrapes).
+type FederationPeerHealth struct {
+	Shard string `json:"shard"`
+	URL   string `json:"url"`
+	Up    bool   `json:"up"`
+	Error string `json:"error,omitempty"`
+	// LastProbeSeconds is the age of the newest probe result; -1 before
+	// the first probe completes.
+	LastProbeSeconds float64 `json:"last_probe_seconds"`
+}
+
+// LoadgenReport is the POST /v1/loadgen payload: a load generator's
+// self-report of its offered (attempted) and achieved (routed)
+// request rates, published as gauges while fresh so load curves land
+// in the metrics history next to the serving counters.
+type LoadgenReport struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
 }
 
 // DurabilityHealth reports the write-ahead log, snapshot, and recovery

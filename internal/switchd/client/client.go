@@ -47,6 +47,7 @@ import (
 
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/switchd/api"
 )
 
@@ -403,6 +404,40 @@ func (c *Client) Prom(ctx context.Context) (string, error) {
 		return "", decodeError(status, body)
 	}
 	return string(body), nil
+}
+
+// Query runs an instant or range query against the server's embedded
+// metrics history. rawQuery is the URL-encoded parameter string, e.g.
+// "query=rate(wdm_blocked_total[30s])&start=-5m&step=1s".
+func (c *Client) Query(ctx context.Context, rawQuery string) (tsdb.QueryResult, error) {
+	var out tsdb.QueryResult
+	err := c.call(ctx, http.MethodGet, "/v1/query?"+rawQuery, nil, &out)
+	return out, err
+}
+
+// FleetQuery runs a federated range query at /v1/cluster/query
+// (cluster mode: per-shard series gain a shard label plus a summed
+// fleet series). The response decodes as a plain QueryResult; the
+// federation extras (shard count, down shards) are ignored here.
+func (c *Client) FleetQuery(ctx context.Context, rawQuery string) (tsdb.QueryResult, error) {
+	var out tsdb.QueryResult
+	err := c.call(ctx, http.MethodGet, "/v1/cluster/query?"+rawQuery, nil, &out)
+	return out, err
+}
+
+// Alerts fetches the alerting rules engine's per-rule states.
+func (c *Client) Alerts(ctx context.Context) ([]tsdb.AlertStatus, error) {
+	var out struct {
+		Alerts []tsdb.AlertStatus `json:"alerts"`
+	}
+	err := c.call(ctx, http.MethodGet, "/v1/alerts", nil, &out)
+	return out.Alerts, err
+}
+
+// ReportLoad posts a load generator's offered/achieved self-report,
+// published server-side as gauges while fresh.
+func (c *Client) ReportLoad(ctx context.Context, rep api.LoadgenReport) error {
+	return c.call(ctx, http.MethodPost, "/v1/loadgen", rep, nil)
 }
 
 // FleetProm fetches the fleet-merged exposition at /v1/cluster/metrics

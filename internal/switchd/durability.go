@@ -429,6 +429,7 @@ func (ctl *Controller) stopSnapshots() {
 func (ctl *Controller) Close() error {
 	var err error
 	ctl.closeOnce.Do(func() {
+		ctl.stopHistory()
 		ctl.stopSnapshots()
 		ctl.prof.Stop()
 		if ctl.wal != nil {
@@ -444,6 +445,7 @@ func (ctl *Controller) Close() error {
 // the controller itself keeps serving reads until abandoned.
 func (ctl *Controller) Crash() {
 	ctl.closeOnce.Do(func() {
+		ctl.stopHistory()
 		ctl.stopSnapshots()
 		ctl.prof.Stop()
 		if ctl.wal != nil {

@@ -322,5 +322,15 @@ func (ctl *Controller) Health() api.Health {
 		}
 	}
 	h.Replication = ctl.replicationHealth()
+	h.Federation = ctl.federationHealth()
+	for _, p := range h.Federation {
+		// A down peer means federated views (fleet metrics, fleet range
+		// queries) are incomplete — degraded, not critical: this
+		// instance itself still serves.
+		if !p.Up && h.Status == api.HealthOK {
+			h.Status = api.HealthDegraded
+			break
+		}
+	}
 	return h
 }

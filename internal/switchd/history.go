@@ -1,0 +1,169 @@
+package switchd
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/obs/tsdb"
+	"repro/internal/switchd/api"
+)
+
+// Metrics history plane: a background self-scraper samples the
+// controller's own registry (the exact same exposition /metrics
+// serves, re-read through the strict parser) into an embedded
+// time-series store with downsampling tiers, served at /v1/query; an
+// alerting rules engine evaluates after every scrape and serves
+// /v1/alerts. Enabled by Config.HistoryInterval > 0; every endpoint
+// answers 404 not_found while disabled.
+
+// startHistory builds the store and alert engine and starts the
+// scrape loop. Called by New after the controller is fully built.
+func (ctl *Controller) startHistory() error {
+	cfg := ctl.cfg
+	store := tsdb.New(tsdb.Config{
+		Interval: cfg.HistoryInterval,
+		Tiers:    cfg.HistoryTiers,
+		Collect:  ctl.WriteProm,
+		Logger:   ctl.logger,
+	})
+	rules := cfg.Alerts
+	if rules == nil {
+		rules = tsdb.DefaultRules()
+	}
+	eng, err := tsdb.NewAlertEngine(store, rules, tsdb.AlertOpts{
+		Logger:     ctl.logger,
+		WebhookURL: cfg.AlertWebhook,
+	})
+	if err != nil {
+		return err
+	}
+	ctl.store = store
+	ctl.alertEng = eng
+	hctx, cancel := context.WithCancel(context.Background())
+	ctl.histCancel = cancel
+	ctl.histDone = make(chan struct{})
+	go func() {
+		defer close(ctl.histDone)
+		store.Run(hctx, func(at time.Time) { eng.Eval(at) })
+	}()
+	return nil
+}
+
+// stopHistory stops the scrape loop and waits it out. Idempotent via
+// closeOnce (only Close/Crash call it).
+func (ctl *Controller) stopHistory() {
+	if ctl.histCancel != nil {
+		ctl.histCancel()
+		<-ctl.histDone
+	}
+}
+
+// History returns the embedded time-series store (nil while disabled).
+func (ctl *Controller) History() *tsdb.Store { return ctl.store }
+
+// Alerts returns the alert engine's current per-rule states (nil
+// while history is disabled).
+func (ctl *Controller) Alerts() []tsdb.AlertStatus {
+	if ctl.alertEng == nil {
+		return nil
+	}
+	return ctl.alertEng.Snapshot()
+}
+
+// SetFederationProbe registers (or clears, with nil) the callback that
+// reports federation peer reachability. The cluster layer sets it when
+// peers are configured; its result appears as the federation rows of
+// GET /v1/health.
+func (ctl *Controller) SetFederationProbe(probe func() []api.FederationPeerHealth) {
+	if probe == nil {
+		ctl.fedProbe.Store(nil)
+		return
+	}
+	ctl.fedProbe.Store(&probe)
+}
+
+// federationHealth runs the registered probe, if any.
+func (ctl *Controller) federationHealth() []api.FederationPeerHealth {
+	if p := ctl.fedProbe.Load(); p != nil {
+		return (*p)()
+	}
+	return nil
+}
+
+// loadgenFreshness bounds how long a loadgen self-report keeps
+// publishing gauges after the run stops reporting.
+const loadgenFreshness = 15 * time.Second
+
+// ReportLoadgen records a load generator's self-report; while fresh
+// (under loadgenFreshness old) it is published as the
+// wdm_loadgen_offered_rps / wdm_loadgen_achieved_rps gauges, so a
+// run's offered-vs-achieved curve lands in the metrics history next
+// to the blocking counters it explains.
+func (ctl *Controller) ReportLoadgen(rep api.LoadgenReport) {
+	ctl.loadgenOffered.Store(math.Float64bits(rep.OfferedRPS))
+	ctl.loadgenAchieved.Store(math.Float64bits(rep.AchievedRPS))
+	ctl.loadgenAt.Store(time.Now().UnixNano())
+}
+
+// loadgenRates returns the last self-report if it is still fresh.
+func (ctl *Controller) loadgenRates() (offered, achieved float64, ok bool) {
+	at := ctl.loadgenAt.Load()
+	if at == 0 || time.Since(time.Unix(0, at)) > loadgenFreshness {
+		return 0, 0, false
+	}
+	return math.Float64frombits(ctl.loadgenOffered.Load()),
+		math.Float64frombits(ctl.loadgenAchieved.Load()), true
+}
+
+// handleQuery serves GET /v1/query: instant and range queries over the
+// embedded history (?query=, ?start=, ?end=, ?step=).
+func (ctl *Controller) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if ctl.store == nil {
+		writeErrorCode(w, http.StatusNotFound, api.CodeNotFound, "metrics history disabled (start with a history interval)")
+		return
+	}
+	expr, opts, err := tsdb.OptsFromValues(r.URL.Query(), time.Now())
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	res, err := ctl.store.Query(expr, opts)
+	if err != nil {
+		writeErrorCode(w, http.StatusBadRequest, api.CodeBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// handleAlerts serves GET /v1/alerts: every rule's state machine.
+func (ctl *Controller) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	if ctl.alertEng == nil {
+		writeErrorCode(w, http.StatusNotFound, api.CodeNotFound, "alerting disabled (start with a history interval)")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"alerts": ctl.alertEng.Snapshot()})
+}
+
+// handleDebugTSDB serves GET /v1/debug/tsdb: the store's full contents
+// (stats plus every series' tiers), the alert-demo CI artifact.
+func (ctl *Controller) handleDebugTSDB(w http.ResponseWriter, r *http.Request) {
+	if ctl.store == nil {
+		writeErrorCode(w, http.StatusNotFound, api.CodeNotFound, "metrics history disabled (start with a history interval)")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = ctl.store.DumpJSON(w)
+}
+
+// handleLoadgen serves POST /v1/loadgen: the load generator's
+// offered/achieved self-report.
+func (ctl *Controller) handleLoadgen(w http.ResponseWriter, r *http.Request) {
+	var rep api.LoadgenReport
+	if !decodeBody(w, r, &rep) {
+		return
+	}
+	ctl.ReportLoadgen(rep)
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -32,6 +32,10 @@ import (
 //	GET  /v1/metrics        (JSON snapshot)
 //	GET  /metrics           (Prometheus text exposition of the same counters)
 //	GET  /v1/slo            (sliding-window SLIs and burn-rate alerts)
+//	GET  /v1/query          (metrics history: ?query=, ?start=, ?end=, ?step=; rate()/increase()/histogram_quantile())
+//	GET  /v1/alerts         (alerting rules engine: per-rule pending/firing state)
+//	POST /v1/loadgen        {"offered_rps": ..., "achieved_rps": ...} (loadgen self-report gauges)
+//	GET  /v1/debug/tsdb     (full metrics-history dump: stats + every series)
 //	GET  /v1/debug/blocking (forensics ring buffer: recent blocking incidents)
 //	GET  /v1/debug/spans    (tail-sampled completed traces; ?blocked=1, ?trace=ID, ?limit=N)
 //	GET  /v1/debug/trace    (?fabric=N; replayable serving history, needs Config.CaptureTrace)
@@ -66,11 +70,15 @@ func (ctl *Controller) Handler() http.Handler {
 	mux.HandleFunc("/v1/metrics", ctl.handleMetrics)
 	mux.HandleFunc("/metrics", ctl.handlePromMetrics)
 	mux.HandleFunc("/v1/slo", ctl.handleSLO)
+	mux.HandleFunc("/v1/query", ctl.handleQuery)
+	mux.HandleFunc("/v1/alerts", ctl.handleAlerts)
+	mux.HandleFunc("/v1/loadgen", ctl.handleLoadgen)
 	mux.HandleFunc("/v1/version", ctl.handleVersion)
 	mux.HandleFunc("/v1/debug/blocking", ctl.handleDebugBlocking)
 	mux.HandleFunc("/v1/debug/spans", ctl.handleDebugSpans)
 	mux.HandleFunc("/v1/debug/trace", ctl.handleDebugTrace)
 	mux.HandleFunc("/v1/debug/prof", ctl.handleDebugProf)
+	mux.HandleFunc("/v1/debug/tsdb", ctl.handleDebugTSDB)
 	mux.Handle("/debug/vars", expvar.Handler())
 	return ctl.tracer.Middleware(mux)
 }

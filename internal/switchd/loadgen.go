@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs/span"
@@ -287,6 +288,14 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 	start := time.Now()
 	go func() { chaosDone <- runChaos(chaosCtx, cl, start, cfg.Chaos) }()
 
+	// The self-reporter streams offered/achieved rates to the target
+	// (POST /v1/loadgen) once a second, so the run's load curve lands in
+	// the server's metrics history next to the counters it explains.
+	var prog attackProgress
+	repCtx, stopReport := context.WithCancel(ctx)
+	repDone := make(chan struct{})
+	go func() { defer close(repDone); reportLoadLoop(repCtx, cl, &prog) }()
+
 	results := make([]attackWorkerResult, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -297,12 +306,14 @@ func Attack(cfg AttackConfig) (AttackReport, error) {
 			if w < remainder {
 				attempts++
 			}
-			results[w] = attackWorker(ctx, cl, cfg, status, model, w, attempts)
+			results[w] = attackWorker(ctx, cl, cfg, status, model, w, attempts, &prog)
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	stopChaos()
+	stopReport()
+	<-repDone
 	chaos := <-chaosDone
 
 	rep := AttackReport{Workers: workers, Duration: elapsed, Outcomes: map[string]int{}, Chaos: chaos}
@@ -418,6 +429,42 @@ func runChaos(ctx context.Context, cl *client.Client, start time.Time, events []
 	return out
 }
 
+// attackProgress is the run's live offered/achieved tally, shared by
+// every worker and read by the self-reporter.
+type attackProgress struct {
+	connects atomic.Int64 // offered: every connect attempt sent
+	routed   atomic.Int64 // achieved: connects the fabric routed
+}
+
+// reportLoadLoop posts the run's offered/achieved rates once a second
+// until ctx is done. Report failures are ignored: the target may not
+// be reachable mid-chaos, and the loadgen's own result accounting
+// never depends on the reports landing.
+func reportLoadLoop(ctx context.Context, cl *client.Client, prog *attackProgress) {
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	lastConnects, lastRouted := int64(0), int64(0)
+	lastAt := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			connects, routed := prog.connects.Load(), prog.routed.Load()
+			secs := now.Sub(lastAt).Seconds()
+			if secs <= 0 {
+				continue
+			}
+			rep := api.LoadgenReport{
+				OfferedRPS:  float64(connects-lastConnects) / secs,
+				AchievedRPS: float64(routed-lastRouted) / secs,
+			}
+			lastConnects, lastRouted, lastAt = connects, routed, now
+			_ = cl.ReportLoad(ctx, rep)
+		}
+	}
+}
+
 type attackWorkerResult struct {
 	connects, routed, blocked, rejected, disconnects int
 	lost                                             int // sessions the server dropped under chaos
@@ -454,7 +501,7 @@ func parseServerTiming(h string, sumMs map[string]float64, counts map[string]int
 // attackWorker drives one closed loop: connect until the live target is
 // reached, then recycle oldest-first, keeping every request admissible
 // within its private port slice.
-func attackWorker(ctx context.Context, cl *client.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int) attackWorkerResult {
+func attackWorker(ctx context.Context, cl *client.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int, prog *attackProgress) attackWorkerResult {
 	res := attackWorkerResult{
 		outcomes: map[string]int{},
 		phaseMs:  map[string]float64{},
@@ -554,9 +601,11 @@ func attackWorker(ctx context.Context, cl *client.Client, cfg AttackConfig, stat
 		})
 		res.outcomes[outcome]++
 		res.connects++
+		prog.connects.Add(1)
 		switch outcome {
 		case "ok":
 			res.routed++
+			prog.routed.Add(1)
 			freeSrc.take(conn.Source)
 			for _, d := range conn.Dests {
 				freeDst.take(d)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/multistage"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
+	"repro/internal/obs/tsdb"
 	"repro/internal/switchd/api"
 )
 
@@ -40,6 +41,14 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 		obs.Label{Name: "version", Value: vi.Version},
 		obs.Label{Name: "go_version", Value: vi.GoVersion},
 	)
+	w.Gauge("wdm_uptime_seconds", "Seconds since the controller was built.", time.Since(ctl.startTime).Seconds())
+	// The STATIC margin of the configuration: configured m minus the
+	// sufficient bound. Deliberately not derated by failures — the
+	// shipped blocked-in-nonblocking-regime alert guards on it, so the
+	// alert keeps firing when failures push effective capacity below
+	// the bound while the configuration promised nonblocking.
+	w.Gauge("wdm_m_margin", "Configured middle-stage margin above the sufficient bound (m - sufficient_m; static, not derated by failures).",
+		float64(st.M-st.SufficientM))
 
 	w.Counter("wdm_connect_total", "Successfully routed Connect requests.", float64(snap.ConnectOK))
 	w.Counter("wdm_branch_total", "Successfully routed AddBranch requests.", float64(snap.BranchOK))
@@ -48,6 +57,8 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 	w.Counter("wdm_inadmissible_total", "Requests rejected before routing (busy slots, model violations).", float64(snap.Inadmissible))
 	w.Counter("wdm_cap_rejects_total", "Connects rejected by the MaxSessions admission cap (HTTP 429).", float64(snap.CapRejects))
 	w.Counter("wdm_drain_rejects_total", "Requests rejected while draining (HTTP 503).", float64(snap.DrainRejects))
+	w.Counter("wdm_route_ops_total", "Admissible routing operations offered to a fabric (routed + blocked); the burn-rate alert's traffic denominator.",
+		float64(snap.ConnectOK+snap.BranchOK+snap.Blocked))
 
 	w.Gauge("wdm_active_sessions", "Live multicast sessions across all fabric planes.", float64(st.Active))
 	w.Gauge("wdm_draining", "1 while the controller is draining.", b2f(st.Draining))
@@ -171,6 +182,36 @@ func (ctl *Controller) WriteProm(w *obs.PromWriter) {
 	for _, a := range ss.Alerts {
 		w.Gauge("wdm_slo_alert_firing", "1 while the multiwindow burn alert fires on either SLI.",
 			b2f(a.AvailabilityFiring || a.LatencyFiring), obs.Label{Name: "alert", Value: a.Name})
+	}
+
+	// Metrics history plane (present only with a history interval).
+	// The store's own health is scraped into itself, so history gaps
+	// are diagnosable from the history.
+	if ctl.store != nil {
+		ts := ctl.store.Stats()
+		w.Gauge("wdm_tsdb_series", "Distinct series retained by the embedded metrics history.", float64(ts.Series))
+		w.Counter("wdm_tsdb_samples_total", "Samples appended to the embedded metrics history.", float64(ts.SamplesTotal))
+		w.Counter("wdm_tsdb_scrapes_total", "Self-scrapes of the in-process registry.", float64(ts.Scrapes))
+		w.Counter("wdm_tsdb_dropped_series_total", "Series dropped by the MaxSeries cap.", float64(ts.DroppedSeries))
+		w.Gauge("wdm_tsdb_scrape_duration_seconds", "Duration of the most recent self-scrape.", ts.LastScrape.Seconds())
+		w.Gauge("wdm_tsdb_bytes", "Approximate bytes retained across every tier of every series.", float64(ts.Bytes))
+	}
+	if ctl.alertEng != nil {
+		for _, a := range ctl.alertEng.Snapshot() {
+			w.Gauge("wdm_alert_firing", "1 while the alerting rule fires.",
+				b2f(a.State == tsdb.StateFiring), obs.Label{Name: "rule", Value: a.Rule.Name})
+		}
+	}
+	if offered, achieved, ok := ctl.loadgenRates(); ok {
+		w.Gauge("wdm_loadgen_offered_rps", "Load generator offered request rate (fresh self-report only).", offered)
+		w.Gauge("wdm_loadgen_achieved_rps", "Load generator achieved (routed) request rate (fresh self-report only).", achieved)
+	}
+
+	// Federation plane (present only with configured peers): per-peer
+	// reachability as seen by the background prober.
+	for _, p := range ctl.federationHealth() {
+		w.Gauge("wdm_federation_peer_up", "1 while the federation peer answers health probes.",
+			b2f(p.Up), obs.Label{Name: "shard", Value: p.Shard})
 	}
 
 	// Durable state plane (present only with a data directory).

@@ -49,6 +49,7 @@ import (
 	"repro/internal/obs/prof"
 	"repro/internal/obs/slo"
 	"repro/internal/obs/span"
+	"repro/internal/obs/tsdb"
 	"repro/internal/switchd/api"
 	"repro/internal/wdm"
 )
@@ -157,6 +158,24 @@ type Config struct {
 	// "request acknowledged" imply "durable on the standby" (see
 	// internal/cluster).
 	WALCommitter func(upTo uint64)
+	// HistoryInterval enables the embedded metrics history: a background
+	// self-scraper samples the controller's own /metrics registry into an
+	// in-process time-series store every interval, served at /v1/query
+	// (instant and range queries) with downsampling tiers and bounded
+	// memory. 0 disables the scraper entirely (the default — history
+	// costs a per-interval allocation and tests that pin zero-alloc hot
+	// paths must not see it).
+	HistoryInterval time.Duration
+	// HistoryTiers overrides the retention ladder (nil = raw/15m,
+	// 10s/4h, 1m/24h).
+	HistoryTiers []tsdb.Tier
+	// Alerts are the rules the alerting engine evaluates after every
+	// scrape, served at /v1/alerts. Nil means tsdb.DefaultRules(); an
+	// explicit empty slice disables alerting while keeping history.
+	Alerts []tsdb.Rule
+	// AlertWebhook, when non-empty, receives a JSON POST on every alert
+	// state transition (pending, firing, resolved).
+	AlertWebhook string
 }
 
 func (c Config) withDefaults() Config {
@@ -234,6 +253,23 @@ type Controller struct {
 	// replProbe, when set, reports the node's replication role and lag
 	// for /v1/health and /metrics (see SetReplicationProbe).
 	replProbe atomic.Pointer[func() *api.ReplicationHealth]
+	// fedProbe, when set, reports federation peer reachability for
+	// /v1/health (see SetFederationProbe in history.go).
+	fedProbe atomic.Pointer[func() []api.FederationPeerHealth]
+
+	// Metrics history plane (nil unless Config.HistoryInterval > 0).
+	startTime  time.Time
+	store      *tsdb.Store
+	alertEng   *tsdb.AlertEngine
+	histCancel context.CancelFunc
+	histDone   chan struct{}
+
+	// Last loadgen self-report (see ReportLoadgen): float64 bits of the
+	// offered/achieved rates plus the report's unix-nano arrival time;
+	// the gauges are only published while the report is fresh.
+	loadgenOffered  atomic.Uint64
+	loadgenAchieved atomic.Uint64
+	loadgenAt       atomic.Int64
 }
 
 // New builds a controller with cfg.Replicas freshly constructed fabric
@@ -246,16 +282,17 @@ func New(cfg Config) (*Controller, error) {
 	}
 	suffM, _ := multistage.SufficientMinM(norm.Construction, norm.Model, norm.N/norm.R, norm.R, norm.K)
 	ctl := &Controller{
-		cfg:      cfg,
-		params:   norm,
-		suffM:    suffM,
-		sessions: newSessionTable(cfg.Shards),
-		metrics:  newMetrics(norm, cfg.Replicas),
-		blockLog: newBlockLog(cfg.BlockLog),
-		tracer:   span.NewTracer(cfg.Spans),
-		sloEng:   slo.New(cfg.SLO),
-		prof:     prof.Start(cfg.Prof),
-		logger:   cfg.Logger,
+		cfg:       cfg,
+		params:    norm,
+		suffM:     suffM,
+		sessions:  newSessionTable(cfg.Shards),
+		metrics:   newMetrics(norm, cfg.Replicas),
+		blockLog:  newBlockLog(cfg.BlockLog),
+		tracer:    span.NewTracer(cfg.Spans),
+		sloEng:    slo.New(cfg.SLO),
+		prof:      prof.Start(cfg.Prof),
+		logger:    cfg.Logger,
+		startTime: time.Now(),
 	}
 	if ctl.logger == nil {
 		ctl.logger = slog.Default()
@@ -274,6 +311,15 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.DataDir != "" {
 		if err := ctl.openDurable(); err != nil {
+			return nil, err
+		}
+	}
+	// The self-scraper starts last: its Collect callback walks the fully
+	// built controller (fabrics, durable plane), so nothing may start it
+	// earlier.
+	if cfg.HistoryInterval > 0 {
+		if err := ctl.startHistory(); err != nil {
+			ctl.Close()
 			return nil, err
 		}
 	}

@@ -11,7 +11,7 @@ import (
 // Version is the controller's release version, served at /v1/version
 // and exposed as the wdm_build_info gauge so fleet dashboards can tell
 // which build each shard runs.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // BuildInfo assembles the version metadata for /v1/version: the release
 // version, the Go toolchain that built the binary, and — when the
