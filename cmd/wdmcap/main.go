@@ -7,6 +7,7 @@
 //	wdmcap -n 4 -k 2            one size
 //	wdmcap -nmax 8 -k 2         sweep N = 2..8
 //	wdmcap -n 3 -k 2 -check     cross-check by brute-force enumeration
+//	wdmcap -fabrics -n 16 -k 2 -r 4   per-backend nonblocking provisioning
 //
 // With -check the closed forms are recounted by enumerating every
 // admissible assignment (feasible only for N*k <= 6 or so).
@@ -19,6 +20,8 @@ import (
 	"os"
 
 	"repro/internal/capacity"
+	"repro/internal/fabric/backend"
+	"repro/internal/multistage"
 	"repro/internal/report"
 	"repro/internal/wdm"
 )
@@ -27,13 +30,35 @@ func main() {
 	n := flag.Int("n", 0, "number of ports N (0 with -nmax sweeps 2..nmax)")
 	nmax := flag.Int("nmax", 0, "sweep N from 2 to this value")
 	k := flag.Int("k", 2, "wavelengths per fiber")
+	r := flag.Int("r", 4, "outer-stage module count for -fabrics")
 	check := flag.Bool("check", false, "verify closed forms by brute-force enumeration (small sizes only)")
 	hist := flag.Bool("hist", false, "print the assignment-size histogram (small sizes only)")
+	fabrics := flag.Bool("fabrics", false, "print per-backend nonblocking provisioning rows (every registered fabric backend)")
 	flag.Parse()
 
 	if *k < 1 {
 		fmt.Fprintln(os.Stderr, "wdmcap: -k must be positive")
 		os.Exit(2)
+	}
+
+	if *fabrics {
+		nn := *n
+		if nn == 0 {
+			nn = 16
+		}
+		t := report.New(fmt.Sprintf("Fabric backends — nonblocking provisioning (N=%d, k=%d, r=%d)", nn, *k, *r),
+			"backend", "m", "sufficient", "nonblocking condition")
+		for _, d := range backend.All() {
+			norm, err := d.Normalize(multistage.Params{N: nn, K: *k, R: *r, Model: wdm.MSW, Lite: true})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wdmcap: %s: %v\n", d.Name, err)
+				continue
+			}
+			t.AddRow(d.Name, report.Int(norm.M), report.Int(d.Sufficient(norm)), d.Bound)
+		}
+		t.Footnote = "m = default provisioning after Normalize; sufficient = the level the admission derater references"
+		t.Fprint(os.Stdout)
+		return
 	}
 	var sizes []int
 	switch {

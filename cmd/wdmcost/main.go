@@ -8,6 +8,7 @@
 //	wdmcost -table1 -n 8 -k 2
 //	wdmcost -table2 -k 2                     sweep N over powers of two
 //	wdmcost -table2 -n 1024 -k 4 -r 32       one explicit configuration
+//	wdmcost -fabrics -n 16 -k 2 -r 4         per-backend cost comparison
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/crossbar"
+	"repro/internal/fabric/backend"
 	"repro/internal/multistage"
 	"repro/internal/report"
 	"repro/internal/wdm"
@@ -25,12 +27,13 @@ import (
 func main() {
 	table1 := flag.Bool("table1", false, "print Table 1 cost rows (crossbar designs)")
 	table2 := flag.Bool("table2", false, "print Table 2 (crossbar vs multistage)")
+	fabrics := flag.Bool("fabrics", false, "print per-backend hardware cost rows (every registered fabric backend)")
 	n := flag.Int("n", 0, "network size N (0 = default sweep)")
 	k := flag.Int("k", 2, "wavelengths per fiber")
-	r := flag.Int("r", 0, "outer-stage module count for -table2 (0 = best square-ish split)")
+	r := flag.Int("r", 0, "outer-stage module count for -table2/-fabrics (0 = best square-ish split)")
 	flag.Parse()
 
-	if !*table1 && !*table2 {
+	if !*table1 && !*table2 && !*fabrics {
 		*table1, *table2 = true, true
 	}
 	if *k < 1 {
@@ -94,6 +97,45 @@ func main() {
 			}
 		}
 		t.Footnote = "m = sufficient nonblocking middle count; MS asymptotics: O(kN^1.5 log N / log log N) crosspoints"
+		t.Fprint(os.Stdout)
+	}
+
+	if *fabrics {
+		if *table1 || *table2 {
+			fmt.Println()
+		}
+		nn := *n
+		if nn == 0 {
+			nn = 16
+		}
+		rr := *r
+		if rr == 0 {
+			rr = bestSquareSplit(nn)
+		}
+		if rr < 2 || nn%rr != 0 {
+			fmt.Fprintf(os.Stderr, "wdmcost: cannot split N=%d with r=%d\n", nn, rr)
+			os.Exit(2)
+		}
+		t := report.New(fmt.Sprintf("Fabric backends — computed hardware cost (N=%d, k=%d, r=%d, m at each backend's bound)", nn, *k, rr),
+			"backend", "m", "crosspoints", "converters", "splitters", "combiners", "muxes", "demuxes")
+		for _, d := range backend.All() {
+			norm, err := d.Normalize(multistage.Params{N: nn, K: *k, R: rr, Model: wdm.MSW, Lite: true})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wdmcost: %s: %v\n", d.Name, err)
+				continue
+			}
+			net, err := d.New(norm)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wdmcost: %s: %v\n", d.Name, err)
+				continue
+			}
+			c := net.Cost()
+			t.AddRow(d.Name, report.Int(norm.M),
+				report.Int(c.Crosspoints), report.Int(c.Converters),
+				report.Int(c.Splitters), report.Int(c.Combiners),
+				report.Int(c.Muxes), report.Int(c.Demuxes))
+		}
+		t.Footnote = "costs computed from each backend's live module structure (Cost()); mesh m = N (its failure units are the ring nodes)"
 		t.Fprint(os.Stdout)
 	}
 }

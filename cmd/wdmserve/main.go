@@ -1,15 +1,17 @@
 // wdmserve is the online serving mode of the repository: a long-lived
 // multicast session controller (internal/switchd) that owns one or more
-// three-stage WDM fabric replicas and serves Connect / AddBranch /
-// Disconnect / Status over HTTP+JSON. With the middle stage at the
-// Theorem 1/2 sufficient bound (the default), the /v1/metrics,
+// WDM fabric replicas — built from any registered fabric backend (msw,
+// maw, awg, mesh; see GET /v1/fabrics) — and serves Connect / AddBranch
+// / Disconnect / Status over HTTP+JSON. With the fabric provisioned at
+// its backend's sufficient bound (the default), the /v1/metrics,
 // /metrics (Prometheus) and /debug/vars endpoints expose the paper's
 // nonblocking claim as a live invariant: `blocked` stays 0 under any
 // admissible traffic.
 //
-// Server:
+// Server (three-stage Clos; -fabric awg and -fabric mesh select the
+// AWG-Clos and ring-mesh backends):
 //
-//	wdmserve -addr :8047 -n 16 -k 2 -r 4 -model msw -construction msw -replicas 4
+//	wdmserve -addr :8047 -n 16 -k 2 -r 4 -model msw -fabric msw -replicas 4
 //
 // Debugging a blocking incident (only possible below the bound):
 //
@@ -56,9 +58,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fabric/backend"
 	"repro/internal/multistage"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
@@ -77,8 +81,9 @@ func main() {
 	k := flag.Int("k", 2, "wavelengths per fiber")
 	r := flag.Int("r", 4, "outer-stage module count (must divide N)")
 	modelName := flag.String("model", "msw", "multicast model: msw, msdw, maw")
-	constrName := flag.String("construction", "msw", "construction: msw (MSW-dominant) or maw (MAW-dominant)")
-	m := flag.Int("m", 0, "middle-stage module count (0 = the construction's sufficient nonblocking bound)")
+	fabricName := flag.String("fabric", "", "fabric backend: "+strings.Join(backend.Names(), ", ")+" (empty = derive from -construction)")
+	constrName := flag.String("construction", "", "deprecated alias of -fabric (kept for pre-backend command lines)")
+	m := flag.Int("m", 0, "middle-stage module count (0 = the backend's sufficient nonblocking bound)")
 	x := flag.Int("x", 0, "split limit (0 = construction default)")
 	replicas := flag.Int("replicas", 4, "independent fabric replicas (planes)")
 	shards := flag.Int("shards", 16, "session-table shards")
@@ -143,14 +148,18 @@ func main() {
 	if err != nil {
 		fatal(logger, err)
 	}
-	var constr multistage.Construction
-	switch *constrName {
-	case "msw":
-		constr = multistage.MSWDominant
-	case "maw":
-		constr = multistage.MAWDominant
-	default:
-		fatal(logger, fmt.Errorf("-construction must be msw or maw"))
+	// -fabric wins; -construction is the pre-backend spelling of the
+	// same choice. Validation is the registry's: any registered backend
+	// name is legal, and the error message enumerates them.
+	fabName := *fabricName
+	if fabName == "" {
+		fabName = *constrName
+	}
+	if fabName == "" {
+		fabName = "msw"
+	}
+	if _, err := backend.Get(fabName); err != nil {
+		fatal(logger, fmt.Errorf("-fabric: %w", err))
 	}
 
 	var spanLogW io.Writer
@@ -168,8 +177,9 @@ func main() {
 	cfg := switchd.Config{
 		Fabric: multistage.Params{
 			N: *n, K: *k, R: *r, M: *m, X: *x,
-			Model: model, Construction: constr, Lite: !*gates,
+			Model: model, Lite: !*gates,
 		},
+		Backend:      fabName,
 		Replicas:     *replicas,
 		Shards:       *shards,
 		MaxSessions:  *maxSessions,
@@ -233,8 +243,8 @@ func main() {
 
 	p := ctl.Params()
 	logger.Info("serving",
+		slog.String("fabric", ctl.Backend()),
 		slog.String("model", p.Model.String()),
-		slog.String("construction", p.Construction.String()),
 		slog.Int("n", p.N), slog.Int("k", p.K), slog.Int("r", p.R),
 		slog.Int("m", p.M), slog.Int("x", p.X),
 		slog.Int("replicas", ctl.Replicas()),

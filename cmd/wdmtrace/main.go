@@ -1,15 +1,17 @@
-// wdmtrace records and replays connection-event traces against
-// three-stage WDM multicast networks, making blocking incidents
-// reproducible and comparable across configurations:
+// wdmtrace records and replays connection-event traces against any
+// registered fabric backend, making blocking incidents reproducible
+// and comparable across configurations:
 //
 //	wdmtrace -record -n 16 -k 2 -r 4 -m 3 -requests 500 > incident.trace
 //	wdmtrace -replay incident.trace -n 16 -k 2 -r 4 -m 13
+//	wdmtrace -replay incident.trace -fabric mesh -n 12 -k 4 -r 3
 //
 // Recording runs a seeded dynamic workload against the given network and
 // emits the full interface history (adds with outcomes, releases).
 // Replaying drives the same requests against a possibly different
 // configuration and reports every outcome divergence — e.g. which
-// recorded blocks disappear at a larger middle-stage count.
+// recorded blocks disappear at a larger middle-stage count, or how the
+// mesh fares against a load captured on a Clos fabric.
 package main
 
 import (
@@ -17,7 +19,9 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
+	"repro/internal/fabric/backend"
 	"repro/internal/multistage"
 	"repro/internal/trace"
 	"repro/internal/wdm"
@@ -31,9 +35,10 @@ func main() {
 	k := flag.Int("k", 2, "wavelengths per fiber")
 	r := flag.Int("r", 4, "outer-stage module count")
 	m := flag.Int("m", 0, "middle modules (0 = sufficient bound)")
-	x := flag.Int("x", 0, "split limit (0 = construction default)")
+	x := flag.Int("x", 0, "split limit (0 = backend default)")
 	modelName := flag.String("model", "msw", "multicast model")
-	constrName := flag.String("construction", "", "construction: msw or maw (default msw)")
+	fabricName := flag.String("fabric", "", "fabric backend: "+strings.Join(backend.Names(), ", ")+" (empty = derive from -construction)")
+	constrName := flag.String("construction", "", "deprecated alias of -fabric (kept for traces recorded before backends existed)")
 	requests := flag.Int("requests", 500, "arrivals to record")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -42,20 +47,25 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var constr multistage.Construction
-	switch *constrName {
-	case "":
-	case "msw":
-		constr = multistage.MSWDominant
-	case "maw":
-		constr = multistage.MAWDominant
-	default:
-		fatal(fmt.Errorf("-construction must be msw or maw, not %q", *constrName))
+	fabName := *fabricName
+	if fabName == "" {
+		fabName = *constrName
 	}
-	net, err := multistage.New(multistage.Params{
+	if fabName == "" {
+		fabName = "msw"
+	}
+	desc, err := backend.Get(fabName)
+	if err != nil {
+		fatal(err)
+	}
+	norm, err := desc.Normalize(multistage.Params{
 		N: *n, K: *k, R: *r, M: *m, X: *x,
-		Model: model, Construction: constr, Lite: true,
+		Model: model, Lite: true,
 	})
+	if err != nil {
+		fatal(err)
+	}
+	net, err := desc.New(norm)
 	if err != nil {
 		fatal(err)
 	}
@@ -71,7 +81,7 @@ func main() {
 	}
 }
 
-func doRecord(net *multistage.Network, model wdm.Model, n, k, requests int, seed int64) {
+func doRecord(net backend.Backend, model wdm.Model, n, k, requests int, seed int64) {
 	rec := trace.NewRecorder(net, multistage.IsBlocked)
 	gen := workload.NewGenerator(seed, model, wdm.Dim{N: n, K: k})
 	rng := rand.New(rand.NewSource(seed + 1))
@@ -142,7 +152,7 @@ func freeSlots(n, k int) (src, dst []wdm.PortWave) {
 	return
 }
 
-func doReplay(net *multistage.Network, path string) {
+func doReplay(net backend.Backend, path string) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)

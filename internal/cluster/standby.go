@@ -15,7 +15,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
-	"repro/internal/multistage"
+	"repro/internal/fabric/backend"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
 	"repro/internal/switchd"
@@ -93,7 +93,7 @@ type Standby struct {
 
 	mu      sync.Mutex
 	plane   *durable.Plane
-	nets    []*multistage.Network
+	nets    []backend.Backend
 	conns   map[uint64]standbyConn
 	state   *durable.State
 	netBad  bool // warm fabrics diverged and could not be rebuilt
@@ -139,7 +139,15 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	norm, err := cfg.Serving.Fabric.Normalize()
+	name := cfg.Serving.Backend
+	if name == "" {
+		name = backend.ForConstruction(cfg.Serving.Fabric.Construction)
+	}
+	desc, err := backend.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: standby fabric: %w", err)
+	}
+	norm, err := desc.Normalize(cfg.Serving.Fabric)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: standby fabric: %w", err)
 	}
@@ -149,7 +157,7 @@ func NewStandby(cfg StandbyConfig) (*Standby, error) {
 	}
 	s := &Standby{
 		cfg:    cfg,
-		meta:   durable.Meta{Params: norm, Replicas: replicas},
+		meta:   durable.Meta{Params: norm, Replicas: replicas, Backend: desc.Name},
 		tracer: span.NewTracer(cfg.Serving.Spans),
 		stop:   make(chan struct{}),
 	}
@@ -204,10 +212,14 @@ func (s *Standby) openPlane() error {
 // buildWarmNets materializes fabrics from a state: failed middles are
 // re-marked, every live session reinstalled on its plane. This is the
 // same construction recovery performs, applied to the replicated log.
-func buildWarmNets(meta durable.Meta, state *durable.State) ([]*multistage.Network, map[uint64]standbyConn, error) {
-	nets := make([]*multistage.Network, meta.Replicas)
+func buildWarmNets(meta durable.Meta, state *durable.State) ([]backend.Backend, map[uint64]standbyConn, error) {
+	desc, err := backend.Get(meta.BackendName())
+	if err != nil {
+		return nil, nil, err
+	}
+	nets := make([]backend.Backend, meta.Replicas)
 	for i := range nets {
-		n, err := multistage.New(meta.Params)
+		n, err := desc.New(meta.Params)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -75,6 +75,28 @@ const (
 type Meta struct {
 	Params   multistage.Params `json:"params"`
 	Replicas int               `json:"replicas"`
+	// Backend is the fabric backend the routes were exported by (msw,
+	// maw, awg, mesh). Empty in logs written before pluggable backends
+	// existed; BackendName derives the name from the construction then.
+	Backend string `json:"backend,omitempty"`
+}
+
+// BackendName resolves which backend the log belongs to. Pre-backend
+// logs recorded only the construction, so an empty Backend falls back
+// to the construction's backend (mirrors backend.ForConstruction; kept
+// local so the storage layer does not depend on the routing registry).
+func (m Meta) BackendName() string {
+	if m.Backend != "" {
+		return m.Backend
+	}
+	switch m.Params.Construction {
+	case multistage.MAWDominant:
+		return "maw"
+	case multistage.AWGClos:
+		return "awg"
+	default:
+		return "msw"
+	}
 }
 
 // Compatible reports whether two metas describe the same fabric
@@ -82,6 +104,7 @@ type Meta struct {
 func (m Meta) Compatible(o Meta) bool {
 	a, b := m.Params, o.Params
 	return m.Replicas == o.Replicas &&
+		m.BackendName() == o.BackendName() &&
 		a.N == b.N && a.K == b.K && a.R == b.R && a.M == b.M &&
 		a.Model == b.Model && a.Construction == b.Construction
 }

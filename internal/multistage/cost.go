@@ -48,7 +48,7 @@ func CostFormula(p Params) (crossbar.Cost, error) {
 		}
 		total.Add(nested.Scale(m))
 	} else {
-		total.Add(crossbar.CostFormula(s12, wdm.Shape{In: r, Out: r, K: k}).Scale(m))
+		total.Add(crossbar.CostFormula(p.Construction.MiddleModel(), wdm.Shape{In: r, Out: r, K: k}).Scale(m))
 	}
 	total.Add(crossbar.CostFormula(p.Model, wdm.Shape{In: m, Out: n, K: k}).Scale(r))
 	return total, nil

@@ -82,7 +82,7 @@ func (net *Network) WriteDOT(w io.Writer) error {
 		fmt.Fprintf(w, "  out%d [label=\"OUT %d\\n%dx%d %v\"];\n", a, a, p.M, p.n(), p.Model)
 	}
 	for j := range net.midMods {
-		kind := fmt.Sprintf("%dx%d %v", p.R, p.R, s12)
+		kind := fmt.Sprintf("%dx%d %v", p.R, p.R, p.Construction.MiddleModel())
 		if _, nested := net.midMods[j].(*Network); nested {
 			kind = fmt.Sprintf("%dx%d %d-stage", p.R, p.R, p.Depth-2)
 		}

@@ -71,6 +71,10 @@ func (net *Network) Explain(c wdm.Connection) (*Explanation, error) {
 	if net.params.Construction == MSWDominant || net.params.Model == wdm.MSW {
 		ex.LastHopWave = c.Source.Wave
 	}
+	if net.params.Construction == AWGClos {
+		net.explainAWG(ex)
+		return ex, nil
+	}
 
 	ex.Available = net.availableMiddles(srcMod, c.Source.Wave)
 	availSet := map[int]bool{}

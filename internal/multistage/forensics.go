@@ -117,10 +117,28 @@ func (r *BlockReport) String() string {
 	return b.String()
 }
 
+// Backend-specific rejection classes a BlockedError may carry. The
+// strings are the stable wire error codes the serving path maps into
+// its {"error":{code,message}} envelope; an empty Code is the generic
+// "blocked" class.
+const (
+	// CodeWavelengthConflict: the AWG-Clos wavelength-routing law
+	// λ = (dest module - src module) mod k found no middle with the
+	// class wavelength free on both hops.
+	CodeWavelengthConflict = "wavelength_conflict"
+	// CodeSplitIncapable: a mesh request needs light splitting at a
+	// multicast-incapable node — structurally unroutable under the
+	// sparse-splitting placement, not an occupancy block.
+	CodeSplitIncapable = "split_incapable"
+)
+
 // BlockedError is the concrete error Add and AddBranch return on a
 // blocking event. It wraps ErrBlocked — errors.Is(err, ErrBlocked) and
 // IsBlocked keep working — and carries the forensic report.
 type BlockedError struct {
+	// Code, when non-empty, classifies a backend-specific rejection
+	// (CodeWavelengthConflict, CodeSplitIncapable).
+	Code string
 	// Detail is the human-readable cause, appended to ErrBlocked's text.
 	Detail string
 	// Report explains the block middle module by middle module.
@@ -130,6 +148,17 @@ type BlockedError struct {
 func (e *BlockedError) Error() string { return ErrBlocked.Error() + ": " + e.Detail }
 
 func (e *BlockedError) Unwrap() error { return ErrBlocked }
+
+// BlockedCode extracts the backend-specific rejection class from a
+// (possibly wrapped) blocking error; "" for nil, non-blocking, and
+// generic blocks.
+func BlockedCode(err error) string {
+	var be *BlockedError
+	if errors.As(err, &be) {
+		return be.Code
+	}
+	return ""
+}
 
 // AsBlockReport extracts the forensic report from a (possibly wrapped)
 // blocking error. It returns false for nil, non-blocking, and
@@ -182,6 +211,9 @@ func (net *Network) diagnoseMiddle(j int, srcWave wdm.Wavelength, srcMod int,
 		md.Serves = append([]int(nil), serves...)
 		sort.Ints(md.Serves)
 		return md
+	}
+	if net.params.Construction == AWGClos {
+		return net.diagnoseAWGMiddle(md, srcMod, uncovered)
 	}
 	if tried, free := net.inLinkCandidates(srcMod, j, srcWave); !free {
 		md.State = MiddleInLinkBusy

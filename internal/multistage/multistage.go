@@ -20,6 +20,16 @@ const (
 	// link is usable while any of its k wavelengths is free. Theorem 2
 	// gives its nonblocking bound.
 	MAWDominant
+	// AWGClos builds the middle stage from passive arrayed-waveguide
+	// gratings (AWG-based nonblocking Clos networks, arXiv 1308.4477):
+	// middle crosspoints neither convert nor multicast, and the cyclic
+	// wavelength-routing law fixes the wavelength any middle must carry
+	// for an (input module a, output module p) pair to
+	// λ = (p - a) mod k. Input modules carry tunable transmitters (MAW);
+	// the network model must be MAW so converting output modules can
+	// deliver the forced class wavelength to arbitrary destination slots.
+	// AWGClosMinM gives its sufficient nonblocking bound.
+	AWGClos
 )
 
 func (c Construction) String() string {
@@ -28,17 +38,31 @@ func (c Construction) String() string {
 		return "MSW-dominant"
 	case MAWDominant:
 		return "MAW-dominant"
+	case AWGClos:
+		return "AWG-Clos"
 	default:
 		return fmt.Sprintf("Construction(%d)", int(c))
 	}
 }
 
-// Stage12Model returns the model used by the first two stages.
+// Stage12Model returns the model used by the first two stages. For
+// AWG-Clos it is the input stage's model (MAW: tunable transmitters);
+// the passive middle stage is wavelength-locked (MSW) — see MiddleModel.
 func (c Construction) Stage12Model() wdm.Model {
-	if c == MAWDominant {
+	if c == MAWDominant || c == AWGClos {
 		return wdm.MAW
 	}
 	return wdm.MSW
+}
+
+// MiddleModel returns the model the middle-stage modules implement:
+// the Stage12Model for the paper's constructions, MSW for AWG-Clos
+// (a passive grating cannot retune a wavelength in flight).
+func (c Construction) MiddleModel() wdm.Model {
+	if c == AWGClos {
+		return wdm.MSW
+	}
+	return c.Stage12Model()
 }
 
 // Strategy selects how the router picks middle-stage modules for a new
@@ -154,6 +178,13 @@ func (p Params) Normalize() (Params, error) {
 	}
 	switch p.Construction {
 	case MSWDominant, MAWDominant:
+	case AWGClos:
+		if p.Model != wdm.MAW {
+			return p, fmt.Errorf("multistage: AWG-Clos needs converting (MAW) output modules to deliver the class wavelength, not %v", p.Model)
+		}
+		if p.Depth != 0 && p.Depth != 3 {
+			return p, fmt.Errorf("multistage: AWG-Clos does not nest (Depth=%d)", p.Depth)
+		}
 	default:
 		return p, fmt.Errorf("multistage: unknown construction %v", p.Construction)
 	}
@@ -303,6 +334,7 @@ func New(p Params) (*Network, error) {
 		return crossbar.NewShape(model, sh)
 	}
 	s12 := p.Construction.Stage12Model()
+	mid := p.Construction.MiddleModel()
 	net := &Network{
 		params:  p,
 		nPorts:  n,
@@ -338,7 +370,7 @@ func New(p Params) (*Network, error) {
 			net.midMods = append(net.midMods, nested)
 			continue
 		}
-		net.midMods = append(net.midMods, mk(s12, r, r))
+		net.midMods = append(net.midMods, mk(mid, r, r))
 	}
 	net.inLink = makeLinks(r, m, k)
 	net.outLink = makeLinks(m, r, k)

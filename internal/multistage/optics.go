@@ -37,7 +37,7 @@ func predictedLoss(p Params) float64 {
 			}
 		}
 	} else {
-		total += crossbar.PredictedWorstLossDB(s12, wdm.Shape{In: r, Out: r, K: k})
+		total += crossbar.PredictedWorstLossDB(p.Construction.MiddleModel(), wdm.Shape{In: r, Out: r, K: k})
 	}
 	total += crossbar.PredictedWorstLossDB(p.Model, wdm.Shape{In: m, Out: n, K: k})
 	return total

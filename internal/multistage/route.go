@@ -53,6 +53,12 @@ func (net *Network) Add(c wdm.Connection) (int, error) {
 	}
 	sort.Ints(fanMods)
 
+	if net.params.Construction == AWGClos {
+		// The passive middle stage fixes every wavelength; the greedy
+		// cover below does not apply (one middle per destination module).
+		return net.addAWG(c, srcMod, srcLocal, destsByMod, fanMods)
+	}
+
 	// lastHopWave returns the wavelength the link j->p must carry for
 	// output module p, or -1 if any free wavelength works:
 	//   - MSW-dominant first two stages never retune: always srcWave;
@@ -130,7 +136,7 @@ func (net *Network) Add(c wdm.Connection) (int, error) {
 		}
 	}
 
-	id, err := net.commit(c, srcMod, srcLocal, destsByMod, assign, lastHopWave)
+	id, err := net.commit(c, srcMod, srcLocal, destsByMod, assign, lastHopWave, nil)
 	if err != nil {
 		net.blockedCount++
 		return 0, err
@@ -268,11 +274,51 @@ func (net *Network) free(link []int, w wdm.Wavelength) {
 	net.waveUse[w]--
 }
 
+// wavePlan carries pre-resolved link wavelengths for constructions
+// whose physics fix them (AWG-Clos): commit claims exactly these
+// instead of consulting the wavelength-assignment policy.
+type wavePlan struct {
+	in  map[int]wdm.Wavelength    // middle j -> wavelength on link srcMod->j
+	out map[[2]int]wdm.Wavelength // (j, p) -> wavelength on link j->p
+}
+
+// planInWave resolves the wavelength for the link a->j: the plan's
+// entry when a plan is given (verified free), else the policy pick.
+func (net *Network) planInWave(plan *wavePlan, a, j int, srcWave wdm.Wavelength) (wdm.Wavelength, error) {
+	if plan == nil {
+		return net.pickInWave(a, j, srcWave)
+	}
+	w, ok := plan.in[j]
+	if !ok {
+		return 0, fmt.Errorf("multistage: internal error: no planned wavelength for link %d->mid%d", a, j)
+	}
+	if net.inLink[a][j][w] != freeLink {
+		return 0, fmt.Errorf("multistage: internal error: planned link %d->mid%d λ%d not free", a, j, w)
+	}
+	return w, nil
+}
+
+// planOutWave resolves the wavelength for the link j->p.
+func (net *Network) planOutWave(plan *wavePlan, j, p int, lastHopWave wdm.Wavelength) (wdm.Wavelength, error) {
+	if plan == nil {
+		return net.pickOutWave(j, p, lastHopWave)
+	}
+	w, ok := plan.out[[2]int{j, p}]
+	if !ok {
+		return 0, fmt.Errorf("multistage: internal error: no planned wavelength for link mid%d->%d", j, p)
+	}
+	if net.outLink[j][p][w] != freeLink {
+		return 0, fmt.Errorf("multistage: internal error: planned link mid%d->%d λ%d not free", j, p, w)
+	}
+	return w, nil
+}
+
 // commit materializes the chosen routing: it occupies link wavelengths
 // and installs the per-module sub-connections, rolling back on any
-// internal inconsistency.
+// internal inconsistency. plan, when non-nil, dictates the link
+// wavelengths; otherwise the wavelength-assignment policy picks them.
 func (net *Network) commit(c wdm.Connection, srcMod int, srcLocal wdm.Port,
-	destsByMod map[int][]wdm.PortWave, assign map[int][]int, lastHopWave wdm.Wavelength) (int, error) {
+	destsByMod map[int][]wdm.PortWave, assign map[int][]int, lastHopWave wdm.Wavelength, plan *wavePlan) (int, error) {
 
 	rc := &routed{
 		conn:     c,
@@ -311,7 +357,7 @@ func (net *Network) commit(c wdm.Connection, srcMod int, srcLocal wdm.Port,
 
 	// Pick and occupy wavelengths.
 	for _, j := range middles {
-		w, err := net.pickInWave(srcMod, j, c.Source.Wave)
+		w, err := net.planInWave(plan, srcMod, j, c.Source.Wave)
 		if err != nil {
 			rollback()
 			return 0, err
@@ -319,7 +365,7 @@ func (net *Network) commit(c wdm.Connection, srcMod int, srcLocal wdm.Port,
 		rc.inWave[j] = w
 		net.claim(net.inLink[srcMod][j], w, id)
 		for _, p := range assign[j] {
-			ow, err := net.pickOutWave(j, p, lastHopWave)
+			ow, err := net.planOutWave(plan, j, p, lastHopWave)
 			if err != nil {
 				rollback()
 				return 0, err

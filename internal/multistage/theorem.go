@@ -146,6 +146,36 @@ func AsymptoticX(n, r int) int {
 	return max(1, min(x, min(n-1, r)))
 }
 
+// AWGClosMinM returns a sufficient middle-stage count m and split limit
+// x for the AWG-Clos construction's router never to block.
+//
+// The passive middle stage forces every leg of a connection from input
+// module a to output module p onto the class wavelength
+// λ = (p - a) mod k, on both the input-stage and output-stage link, and
+// a middle serves exactly one output module per connection (a grating
+// cannot multicast). Counting the middles a new (a → p) leg can find
+// unusable:
+//
+//   - every other connection from module a (≤ nk-1 of them) claims
+//     input-stage links from a on λ for at most ⌈r/k⌉ of its legs (its
+//     destination modules congruent to p mod k), each on a distinct
+//     middle:            (nk-1)·⌈r/k⌉
+//   - every other connection terminating at module p occupies one
+//     middle→p link; at most nk-1 of those can sit on λ:  nk-1
+//   - the new connection's own other legs reserve at most r-1 middles
+//     (one per destination module):                        r-1
+//
+// so m = (nk-1)(⌈r/k⌉+1) + r guarantees a free middle for every leg.
+// The split limit is x = r: each destination module costs one middle.
+func AWGClosMinM(n, r, k int) (m, x int) {
+	checkNR(n, r)
+	if k < 1 {
+		panic(fmt.Sprintf("multistage: k = %d, must be positive", k))
+	}
+	classes := (r + k - 1) / k
+	return (n*k-1)*(classes+1) + r, r
+}
+
 func checkNR(n, r int) {
 	if n < 1 || r < 1 {
 		panic(fmt.Sprintf("multistage: module sizes n=%d r=%d must be positive", n, r))
@@ -181,6 +211,9 @@ func SufficientMinM(construction Construction, model wdm.Model, n, r, k int) (m,
 	if k < 1 {
 		panic(fmt.Sprintf("multistage: k = %d, must be positive", k))
 	}
+	if construction == AWGClos {
+		return AWGClosMinM(n, r, k)
+	}
 	if construction == MAWDominant {
 		return theorem2(n, r, k)
 	}
@@ -212,8 +245,11 @@ func SufficientMinM(construction Construction, model wdm.Model, n, r, k int) (m,
 // (Theorem 1 or Theorem 2) regardless of network model — the value the
 // reproduction experiments compare against.
 func PaperMinM(construction Construction, n, r, k int) (m, x int) {
-	if construction == MAWDominant {
+	switch construction {
+	case MAWDominant:
 		return theorem2(n, r, k)
+	case AWGClos:
+		return AWGClosMinM(n, r, k)
 	}
 	return theorem1(n, r)
 }

@@ -46,6 +46,18 @@ const (
 	// not serve this endpoint until promoted. Clients should fail over
 	// to (or retry against) the shard's primary. HTTP 503.
 	CodeNotPrimary = "not_primary"
+	// CodeWavelengthConflict: blocked, and specifically because the AWG
+	// backend's grating law forces a wavelength the route cannot carry —
+	// both hops of a session are pinned to λ = (dest−src) mod k, and
+	// that class is exhausted. A retry cannot succeed until a session in
+	// the same wavelength class releases. HTTP 409.
+	CodeWavelengthConflict = "wavelength_conflict"
+	// CodeSplitIncapable: blocked, and specifically because the mesh
+	// backend's sparse-splitting structure cannot realize the requested
+	// fanout even on an idle network — the light-hierarchy would need a
+	// branch at a multicast-incapable node or beyond the splitter fanout
+	// X. Retrying the same request can never succeed. HTTP 409.
+	CodeSplitIncapable = "split_incapable"
 )
 
 // Error is the one error shape every /v1 endpoint returns, wrapped in
@@ -71,7 +83,7 @@ type Envelope struct {
 // StatusFor maps an error code to its HTTP status line.
 func StatusFor(code string) int {
 	switch code {
-	case CodeBlocked:
+	case CodeBlocked, CodeWavelengthConflict, CodeSplitIncapable:
 		return http.StatusConflict
 	case CodeAdmissionFull:
 		return http.StatusTooManyRequests

@@ -64,6 +64,9 @@ type FabricStatus struct {
 
 // Status is the controller-wide snapshot served by GET /v1/status.
 type Status struct {
+	// Backend is the fabric backend serving this controller (msw, maw,
+	// awg, mesh, ...); GET /v1/fabrics describes each one.
+	Backend      string         `json:"backend"`
 	Model        string         `json:"model"`
 	Construction string         `json:"construction"`
 	N            int            `json:"n"`
@@ -150,6 +153,30 @@ type VersionInfo struct {
 	GoVersion string `json:"go_version"`
 	Revision  string `json:"revision,omitempty"`
 	Dirty     bool   `json:"dirty,omitempty"`
+	// Backend is the fabric backend this instance serves with; empty in
+	// contexts where no controller is attached (e.g. a build-info dump).
+	Backend string `json:"backend,omitempty"`
+}
+
+// FabricInfo is one backend's capability card in GET /v1/fabrics: its
+// stable name, its own nonblocking sufficiency bound, how it realizes
+// multicast, and the backend-specific stable error codes it can return
+// beyond the generic blocked class.
+type FabricInfo struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Bound       string   `json:"bound"`
+	Multicast   string   `json:"multicast"`
+	ErrorCodes  []string `json:"error_codes,omitempty"`
+	// Current marks the backend this instance is serving with.
+	Current bool `json:"current,omitempty"`
+}
+
+// FabricsResponse is the GET /v1/fabrics payload: every backend the
+// binary can serve, with the active one flagged.
+type FabricsResponse struct {
+	Current string       `json:"current"`
+	Fabrics []FabricInfo `json:"fabrics"`
 }
 
 // SpansResponse is the GET /v1/debug/spans payload. Traces are ordered

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/fabric/backend"
 	"repro/internal/multistage"
 	"repro/internal/switchd/api"
 	"repro/internal/wdm"
@@ -19,22 +20,31 @@ import (
 
 // BenchmarkSwitchdThroughput measures the full in-process serving path
 // — JSON decode, admission, shard bookkeeping, fabric routing under the
-// plane mutex, JSON encode — with no network in the way. Each parallel
-// goroutine claims a private port pair on its own plane slice and
-// cycles connect/disconnect, so every request is admissible and the
-// benchmark measures throughput, not blocking.
+// plane mutex, JSON encode — with no network in the way, once per
+// registered fabric backend. Each parallel goroutine claims a private
+// port pair on its own plane slice and cycles connect/disconnect, so
+// every request is admissible and the benchmark measures throughput,
+// not blocking. The lanes are adjacent-port unicasts, admissible on
+// every backend (disjoint ring edges for the mesh, disjoint module
+// slots for the Clos constructions).
 //
-// With BENCH_JSON=<path> set, the final (largest) run writes a
-// machine-readable summary so the perf trajectory can be tracked
-// across PRs (see `make bench-json`).
+// With BENCH_JSON=<path> set, the final (largest) run per backend
+// writes a machine-readable summary row so the perf trajectory can be
+// tracked across PRs (see `make bench-json`).
 func BenchmarkSwitchdThroughput(b *testing.B) {
+	for _, name := range backend.Names() {
+		b.Run(name, func(b *testing.B) { benchSwitchdThroughput(b, name) })
+	}
+}
+
+func benchSwitchdThroughput(b *testing.B, backendName string) {
 	const replicas = 4
 	ctl, err := New(Config{
+		Backend: backendName,
 		Fabric: multistage.Params{
 			N: 64, K: 2, R: 8,
-			Model:        wdm.MSW,
-			Construction: multistage.MSWDominant,
-			Lite:         true,
+			Model: wdm.MSW,
+			Lite:  true,
 		},
 		Replicas: replicas,
 		Shards:   32,
@@ -89,7 +99,8 @@ func BenchmarkSwitchdThroughput(b *testing.B) {
 		// inside the fabric lock, excluding HTTP/JSON overhead).
 		snap := ctl.Metrics().Snapshot()
 		row := map[string]any{
-			"benchmark":    "BenchmarkSwitchdThroughput",
+			"benchmark":    "BenchmarkSwitchdThroughput/" + backendName,
+			"backend":      backendName,
 			"goos":         runtime.GOOS,
 			"goarch":       runtime.GOARCH,
 			"gomaxprocs":   runtime.GOMAXPROCS(0),

@@ -21,7 +21,9 @@
 // connections — retry identically, so a client pointed at a failing
 // shard rides out the promotion window with no special cases (see
 // ShardedClient). 409 blocked is never retried (same fabric state,
-// same answer), nor are 4xx client errors or context cancellation.
+// same answer) — and neither are its backend-specific sub-codes
+// wavelength_conflict and split_incapable (see IsBlocked/IsPermanent)
+// — nor are 4xx client errors or context cancellation.
 //
 // Tracing: every request carries a W3C traceparent when one is
 // available — either from the span active on the context (server-side
@@ -336,6 +338,42 @@ func (c *Client) Status(ctx context.Context) (api.Status, error) {
 	err := c.call(ctx, http.MethodGet, "/v1/status", nil, &out)
 	return out, err
 }
+
+// Fabrics fetches capability discovery: every fabric backend the
+// server can serve, with the active one flagged Current.
+func (c *Client) Fabrics(ctx context.Context) (api.FabricsResponse, error) {
+	var out api.FabricsResponse
+	err := c.call(ctx, http.MethodGet, "/v1/fabrics", nil, &out)
+	return out, err
+}
+
+// Version fetches the server's build and backend identity.
+func (c *Client) Version(ctx context.Context) (api.VersionInfo, error) {
+	var out api.VersionInfo
+	err := c.call(ctx, http.MethodGet, "/v1/version", nil, &out)
+	return out, err
+}
+
+// IsBlocked reports whether err is the fabric's 409 blocked class —
+// the generic blocked code or one of the backend-specific sub-codes
+// (wavelength_conflict, split_incapable). None of them are retried by
+// the client: the generic class and wavelength_conflict only change
+// when fabric occupancy does, and split_incapable never changes (the
+// request is structurally unrealizable on its backend — see
+// IsPermanent).
+func IsBlocked(err error) bool {
+	switch api.CodeOf(err) {
+	case api.CodeBlocked, api.CodeWavelengthConflict, api.CodeSplitIncapable:
+		return true
+	}
+	return false
+}
+
+// IsPermanent reports whether err can never succeed no matter how
+// fabric state evolves: split_incapable means the mesh backend's
+// splitting structure cannot realize the requested fanout even idle.
+// Callers should drop such requests instead of resubmitting them.
+func IsPermanent(err error) bool { return api.IsCode(err, api.CodeSplitIncapable) }
 
 // MetricsSnapshot fetches the JSON metrics snapshot.
 func (c *Client) MetricsSnapshot(ctx context.Context) (api.Snapshot, error) {

@@ -73,7 +73,7 @@ func (ctl *Controller) openDurable() error {
 		Committer:    cfg.WALCommitter,
 		Logger:       ctl.logger,
 	}
-	meta := durable.Meta{Params: ctl.params, Replicas: len(ctl.fabrics)}
+	meta := durable.Meta{Params: ctl.params, Replicas: len(ctl.fabrics), Backend: ctl.backendName}
 	sp := ctl.tracer.Root("wal.recover", "")
 	defer sp.End()
 	wal, rec, err := durable.Open(opts, meta)

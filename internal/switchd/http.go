@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/fabric/backend"
 	"repro/internal/multistage"
 	"repro/internal/obs"
 	"repro/internal/obs/span"
@@ -26,6 +27,7 @@ import (
 //	POST /v1/disconnect   {"session": 7}
 //	GET  /v1/session?id=7
 //	GET  /v1/status
+//	GET  /v1/fabrics        (capability discovery: every registered fabric backend)
 //	GET  /v1/health         (failure plane: ok|degraded|critical, derated cap)
 //	POST /v1/admin/fail     {"fabric": 0, "middle": 2}  (fail + live-migrate)
 //	POST /v1/admin/repair   {"fabric": 0, "middle": 2}
@@ -51,8 +53,9 @@ import (
 // Every non-2xx response carries the api.Envelope error shape,
 // {"error":{"code":"...","message":"..."}}; the codes are stable API
 // (see package api) and the status line is derived from the code:
-// blocked 409, admission_full 429, draining 503, fabric_failed 503,
-// storage_failed 503, not_found 404, bad_request 400.
+// blocked 409 (with backend-specific sub-codes wavelength_conflict and
+// split_incapable, also 409), admission_full 429, draining 503,
+// fabric_failed 503, storage_failed 503, not_found 404, bad_request 400.
 
 // Handler returns the controller's HTTP API as an http.Handler,
 // wrapped in the span tracer's middleware (a no-op when tracing is
@@ -64,6 +67,7 @@ func (ctl *Controller) Handler() http.Handler {
 	mux.HandleFunc("/v1/disconnect", ctl.handleDisconnect)
 	mux.HandleFunc("/v1/session", ctl.handleSession)
 	mux.HandleFunc("/v1/status", ctl.handleStatus)
+	mux.HandleFunc("/v1/fabrics", ctl.handleFabrics)
 	mux.HandleFunc("/v1/health", ctl.handleHealth)
 	mux.HandleFunc("/v1/admin/fail", ctl.handleAdminFail)
 	mux.HandleFunc("/v1/admin/repair", ctl.handleAdminRepair)
@@ -117,7 +121,19 @@ func apiErrorFor(err error) *api.Error {
 	code := api.CodeBadRequest
 	switch {
 	case multistage.IsBlocked(err):
-		code = api.CodeBlocked
+		// Backend-specific block classes keep their own stable codes —
+		// wavelength_conflict (AWG grating law) and split_incapable (mesh
+		// sparse splitting) — so clients can tell a retryable occupancy
+		// collision from a structurally impossible request. Both still map
+		// to 409 like the generic class.
+		switch multistage.BlockedCode(err) {
+		case multistage.CodeWavelengthConflict:
+			code = api.CodeWavelengthConflict
+		case multistage.CodeSplitIncapable:
+			code = api.CodeSplitIncapable
+		default:
+			code = api.CodeBlocked
+		}
 	case errors.Is(err, ErrOverCapacity):
 		code = api.CodeAdmissionFull
 	case errors.Is(err, ErrDraining):
@@ -258,6 +274,26 @@ func (ctl *Controller) handleSession(w http.ResponseWriter, r *http.Request) {
 
 func (ctl *Controller) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ctl.Status())
+}
+
+// handleFabrics serves capability discovery: every fabric backend this
+// binary can serve (name, nonblocking bound, multicast mechanism,
+// backend-specific error codes), with the one this instance runs
+// flagged current. The listing derives from the backend registry, so a
+// newly registered backend appears here without handler changes.
+func (ctl *Controller) handleFabrics(w http.ResponseWriter, r *http.Request) {
+	resp := api.FabricsResponse{Current: ctl.backendName}
+	for _, d := range backend.All() {
+		resp.Fabrics = append(resp.Fabrics, api.FabricInfo{
+			Name:        d.Name,
+			Description: d.Description,
+			Bound:       d.Bound,
+			Multicast:   d.Multicast,
+			ErrorCodes:  append([]string(nil), d.ErrorCodes...),
+			Current:     d.Name == ctl.backendName,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealth serves the failure-plane snapshot. ok and degraded

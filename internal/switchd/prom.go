@@ -7,7 +7,6 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/multistage"
 	"repro/internal/obs"
 	"repro/internal/obs/prof"
 	"repro/internal/obs/tsdb"
@@ -330,13 +329,9 @@ func (ctl *Controller) handleDebugTrace(w http.ResponseWriter, r *http.Request) 
 	}
 	p := ctl.params
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "# wdmserve live trace: fabric %d, model=%s construction=%s n=%d k=%d r=%d m=%d x=%d\n",
-		fab, p.Model, p.Construction, p.N, p.K, p.R, p.M, p.X)
-	constr := "msw"
-	if p.Construction == multistage.MAWDominant {
-		constr = "maw"
-	}
-	fmt.Fprintf(w, "# replay: wdmtrace -replay <this file> -model %s -construction %s -n %d -k %d -r %d -m %d -x %d\n",
-		p.Model, constr, p.N, p.K, p.R, p.M, p.X)
+	fmt.Fprintf(w, "# wdmserve live trace: fabric %d, backend=%s model=%s n=%d k=%d r=%d m=%d x=%d\n",
+		fab, ctl.backendName, p.Model, p.N, p.K, p.R, p.M, p.X)
+	fmt.Fprintf(w, "# replay: wdmtrace -replay <this file> -model %s -fabric %s -n %d -k %d -r %d -m %d -x %d\n",
+		p.Model, ctl.backendName, p.N, p.K, p.R, p.M, p.X)
 	_ = t.Write(w)
 }

@@ -1,8 +1,11 @@
 // Package switchd is the online control plane for the paper's WDM
 // multicast switching networks: a long-lived session controller that
-// owns one or more fabric replicas (three-stage multistage.Network
-// instances) and serves Connect / AddBranch / Disconnect / Status
-// requests concurrently.
+// owns one or more fabric replicas and serves Connect / AddBranch /
+// Disconnect / Status requests concurrently. Replicas are built behind
+// the pluggable backend interface (internal/fabric/backend): the
+// three-stage Clos constructions (msw, maw, awg) and the sparse-
+// splitting mesh all serve through the same routing, durability, and
+// failure planes, selected by Config.Backend.
 //
 // The offline packages prove and simulate the nonblocking theorems;
 // switchd turns them into an externally observable serving invariant:
@@ -45,6 +48,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/fabric/backend"
 	"repro/internal/multistage"
 	"repro/internal/obs/prof"
 	"repro/internal/obs/slo"
@@ -97,8 +101,13 @@ type (
 type Config struct {
 	// Fabric is the parameter set every replica is built from. It is
 	// normalized by New, so M = 0 gives each replica the sufficient
-	// nonblocking bound of its construction's theorem.
+	// nonblocking bound of its backend.
 	Fabric multistage.Params
+	// Backend names the fabric backend every replica is built with
+	// (msw, maw, awg, mesh — see internal/fabric/backend). Empty
+	// derives the backend from Fabric.Construction, so configurations
+	// written before backends existed keep working unchanged.
+	Backend string
 	// Replicas is the number of independent fabric planes (default 1).
 	// Sessions are spread across planes by session id; requests against
 	// different planes proceed concurrently.
@@ -199,7 +208,7 @@ func (c Config) withDefaults() Config {
 // populated when the durable log is enabled.
 type fabric struct {
 	mu         sync.Mutex
-	net        *multistage.Network
+	net        backend.Backend
 	cap        *traceCap
 	byConn     map[int]*connMeta
 	failedMids atomic.Int32
@@ -208,17 +217,18 @@ type fabric struct {
 // Controller is the live control plane. All methods are safe for
 // concurrent use.
 type Controller struct {
-	cfg      Config
-	params   multistage.Params // normalized
-	suffM    int               // the construction's sufficient bound
-	fabrics  []*fabric
-	sessions *sessionTable
-	metrics  *Metrics
-	blockLog *blockLog
-	tracer   *span.Tracer
-	sloEng   *slo.Engine
-	prof     *prof.Harness
-	logger   *slog.Logger
+	cfg         Config
+	params      multistage.Params // normalized
+	backendName string            // resolved fabric backend name
+	suffM       int               // the backend's sufficient bound
+	fabrics     []*fabric
+	sessions    *sessionTable
+	metrics     *Metrics
+	blockLog    *blockLog
+	tracer      *span.Tracer
+	sloEng      *slo.Engine
+	prof        *prof.Harness
+	logger      *slog.Logger
 
 	nextSession atomic.Uint64
 	// admitted counts admission-control slots (in-flight Connect
@@ -276,30 +286,38 @@ type Controller struct {
 // replicas.
 func New(cfg Config) (*Controller, error) {
 	cfg = cfg.withDefaults()
-	norm, err := cfg.Fabric.Normalize()
+	name := cfg.Backend
+	if name == "" {
+		name = backend.ForConstruction(cfg.Fabric.Construction)
+	}
+	desc, err := backend.Get(name)
+	if err != nil {
+		return nil, fmt.Errorf("switchd: %w", err)
+	}
+	norm, err := desc.Normalize(cfg.Fabric)
 	if err != nil {
 		return nil, err
 	}
-	suffM, _ := multistage.SufficientMinM(norm.Construction, norm.Model, norm.N/norm.R, norm.R, norm.K)
 	ctl := &Controller{
-		cfg:       cfg,
-		params:    norm,
-		suffM:     suffM,
-		sessions:  newSessionTable(cfg.Shards),
-		metrics:   newMetrics(norm, cfg.Replicas),
-		blockLog:  newBlockLog(cfg.BlockLog),
-		tracer:    span.NewTracer(cfg.Spans),
-		sloEng:    slo.New(cfg.SLO),
-		prof:      prof.Start(cfg.Prof),
-		logger:    cfg.Logger,
-		startTime: time.Now(),
+		cfg:         cfg,
+		params:      norm,
+		backendName: desc.Name,
+		suffM:       desc.Sufficient(norm),
+		sessions:    newSessionTable(cfg.Shards),
+		metrics:     newMetrics(norm, cfg.Replicas),
+		blockLog:    newBlockLog(cfg.BlockLog),
+		tracer:      span.NewTracer(cfg.Spans),
+		sloEng:      slo.New(cfg.SLO),
+		prof:        prof.Start(cfg.Prof),
+		logger:      cfg.Logger,
+		startTime:   time.Now(),
 	}
 	if ctl.logger == nil {
 		ctl.logger = slog.Default()
 	}
 	ctl.effectiveCap.Store(int64(cfg.MaxSessions))
 	for i := 0; i < cfg.Replicas; i++ {
-		net, err := multistage.New(norm)
+		net, err := desc.New(norm)
 		if err != nil {
 			return nil, fmt.Errorf("switchd: building fabric replica %d: %w", i, err)
 		}
@@ -329,6 +347,10 @@ func New(cfg Config) (*Controller, error) {
 // Params returns the normalized fabric parameters shared by every
 // replica.
 func (ctl *Controller) Params() multistage.Params { return ctl.params }
+
+// Backend returns the resolved fabric backend name every replica is
+// built with.
+func (ctl *Controller) Backend() string { return ctl.backendName }
 
 // Replicas returns the number of fabric planes.
 func (ctl *Controller) Replicas() int { return len(ctl.fabrics) }
@@ -750,6 +772,7 @@ func (ctl *Controller) Sessions() []SessionInfo {
 func (ctl *Controller) Status() Status {
 	p := ctl.params
 	st := Status{
+		Backend:      ctl.backendName,
 		Model:        p.Model.String(),
 		Construction: p.Construction.String(),
 		N:            p.N,

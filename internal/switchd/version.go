@@ -32,5 +32,7 @@ func BuildInfo() api.VersionInfo {
 }
 
 func (ctl *Controller) handleVersion(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, BuildInfo())
+	vi := BuildInfo()
+	vi.Backend = ctl.backendName
+	writeJSON(w, http.StatusOK, vi)
 }
