@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo cluster-demo prof-demo alert-demo clean
+.PHONY: all build vet staticcheck test test-short race bench bench-json cover fuzz repro slo-demo chaos-demo crash-demo cluster-demo prof-demo alert-demo curves-demo clean
 
 all: build vet race test
 
@@ -268,6 +268,36 @@ alert-demo:
 	test -s $(ALERT_DIR)/tsdb-dump.json \
 	    || { echo 'ALERT DEMO FAILED: empty tsdb dump'; exit 1; }; \
 	echo "alert demo OK: fired, federated, resolved; artifacts in $(ALERT_DIR)"
+
+# Blocking-curve drill (EXPERIMENTS.md § "Traffic engine & blocking
+# curves", scripted): a server provisioned at the Theorem 1 bound takes
+# a strict Erlang sweep with session churn — any measured P_block > 0
+# fails the run — then a starved server (m = 3, x = 1) takes the same
+# load ladder to show the knee, which must contain real blocking.
+# Artifacts land in CURVES_DIR for CI upload; wdmplot renders the
+# measured curves as CSV.
+CURVES_DIR ?= /tmp/wdm-curves-demo
+curves-demo:
+	@$(GO) build -o /tmp/wdm-curves-serve ./cmd/wdmserve
+	@$(GO) build -o /tmp/wdm-curves-load ./cmd/wdmload
+	@$(GO) build -o /tmp/wdm-curves-plot ./cmd/wdmplot
+	@pkill -9 -f '^/tmp/wdm-curves-serve' 2>/dev/null; rm -rf $(CURVES_DIR); mkdir -p $(CURVES_DIR); \
+	/tmp/wdm-curves-serve -addr 127.0.0.1:8055 -replicas 1 >$(CURVES_DIR)/serve-bound.log 2>&1 & pb=$$!; \
+	/tmp/wdm-curves-serve -addr 127.0.0.1:8056 -replicas 1 -m 3 -x 1 >$(CURVES_DIR)/serve-below.log 2>&1 & pk=$$!; \
+	trap 'kill -9 $$pb $$pk 2>/dev/null' EXIT; sleep 0.5; \
+	echo '--- strict sweep at the bound (m = 13): any P_block > 0 fails'; \
+	/tmp/wdm-curves-load -mode sweep -target http://127.0.0.1:8055 -points 1,2,4,8 \
+	    -arrivals 1200 -max-fanout 4 -churn 0.3 -strict -out $(CURVES_DIR)/BENCH_curves.json; \
+	echo '--- knee sweep far below the bound (m = 3, x = 1): blocking must appear'; \
+	/tmp/wdm-curves-load -mode sweep -target http://127.0.0.1:8056 -points 1,2,4,8,16 \
+	    -arrivals 1200 -max-fanout 4 -out $(CURVES_DIR)/BENCH_curves_below.json; \
+	grep -Eq '"blocked": [1-9]' $(CURVES_DIR)/BENCH_curves_below.json \
+	    || { echo 'CURVES DEMO FAILED: no knee below the bound'; exit 1; }; \
+	echo '--- measured curve at the bound'; \
+	/tmp/wdm-curves-plot -series curves -curves $(CURVES_DIR)/BENCH_curves.json; \
+	echo '--- measured knee below the bound'; \
+	/tmp/wdm-curves-plot -series curves -curves $(CURVES_DIR)/BENCH_curves_below.json; \
+	echo "curves demo OK: P_block = 0 at the bound, knee visible below; artifacts in $(CURVES_DIR)"
 
 # Regenerate every experiment artifact into results/.
 repro:

@@ -4,6 +4,7 @@
 //	wdmplot -series blocking -n 16 -r 4  blocking-probability-vs-m
 //	wdmplot -series capacity -k 2        capacity-vs-N per model (log10)
 //	wdmplot -series hierarchy -k 2       crossbar/Clos/Beneš crosspoints
+//	wdmplot -series curves -curves BENCH_curves.json   measured blocking curves
 //
 // The query series is different: it renders a live server's embedded
 // metrics history (GET /v1/query, or the federated /v1/cluster/query)
@@ -19,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -38,6 +40,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/switchd/client"
+	"repro/internal/traffic"
 	"repro/internal/wdm"
 )
 
@@ -55,6 +58,7 @@ func main() {
 	end := flag.String("end", "now", "query series: range end")
 	step := flag.Duration("step", time.Second, "query series: range step")
 	fleet := flag.Bool("fleet", false, "query series: hit the federated /v1/cluster/query instead of /v1/query")
+	curvesFile := flag.String("curves", "BENCH_curves.json", "curves series: path to a wdmload sweep artifact")
 	flag.Parse()
 
 	model, err := wdm.ParseModel(*modelName)
@@ -74,9 +78,39 @@ func main() {
 		hierarchySeries(*k)
 	case "query":
 		querySeries(*target, *query, *start, *end, *step, *fleet)
+	case "curves":
+		curvesSeries(*curvesFile)
 	default:
-		fatal(fmt.Errorf("unknown series %q (want cost, blocking, load, capacity, hierarchy, query)", *series))
+		fatal(fmt.Errorf("unknown series %q (want cost, blocking, load, capacity, hierarchy, query, curves)", *series))
 	}
+}
+
+// curvesSeries renders a wdmload sweep artifact (BENCH_curves.json) as
+// CSV: one row per load point with the measured blocking probability,
+// its Wilson 95% interval, and the analytic overlays — ready to plot
+// P_block vs offered Erlangs with error bars.
+func curvesSeries(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var c traffic.Curves
+	if err := json.Unmarshal(data, &c); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", path, err))
+	}
+	title := fmt.Sprintf("backend=%s model=%s N=%d k=%d r=%d m=%d bound=%d arrival=%s holding=%s fanout=%s",
+		c.Backend, c.Model, c.N, c.K, c.R, c.M, c.SufficientM, c.Arrival, c.Holding, c.Fanout)
+	t := report.New(title, "erlangs", "offered", "blocked", "p_block", "wilson_lo", "wilson_hi",
+		"lee_predicted", "erlang_b", "mean_fanout", "p50_us", "p99_us")
+	for _, p := range c.Points {
+		t.AddRow(fmt.Sprintf("%g", p.Erlangs), report.Int(p.Offered), report.Int(p.Blocked),
+			fmt.Sprintf("%.6f", p.PBlock),
+			fmt.Sprintf("%.6f", p.WilsonLo), fmt.Sprintf("%.6f", p.WilsonHi),
+			fmt.Sprintf("%.6f", p.LeePredicted), fmt.Sprintf("%.6f", p.ErlangB),
+			fmt.Sprintf("%.3f", p.MeanFanout),
+			fmt.Sprintf("%.0f", p.Latency.P50Micros), fmt.Sprintf("%.0f", p.Latency.P99Micros))
+	}
+	emit(t)
 }
 
 // querySeries renders a live server's metrics history as long-form

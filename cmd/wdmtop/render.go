@@ -643,7 +643,7 @@ func renderFleet(m obs.Metrics, t time.Time, target string) string {
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].shard < rows[j].shard })
 	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "shard\tup\tsessions\trepl-lag\tgoroutines\theap")
+	fmt.Fprintln(tw, "shard\tup\tsessions\trepl-lag\tgoroutines\theap\toffered-E\tP_block")
 	for _, row := range rows {
 		lbl := map[string]string{"shard": row.shard}
 		status := "DOWN"
@@ -654,8 +654,18 @@ func renderFleet(m obs.Metrics, t time.Time, target string) string {
 		lag, _ := m.Value("wdm_replication_lag_seconds", lbl)
 		gor, _ := m.Value("wdm_go_goroutines", lbl)
 		heap, _ := m.Value("wdm_go_heap_bytes", lbl)
-		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.3fs\t%.0f\t%s\n",
-			row.shard, status, sess, lag, gor, byteStr(heap))
+		// Loadgen self-report gauges are only present while a generator
+		// is actively reporting against the shard.
+		load := "-"
+		if erl, ok := m.Value("wdm_loadgen_offered_erlangs", lbl); ok && erl > 0 {
+			load = fmt.Sprintf("%.1f", erl)
+		}
+		pblock := "-"
+		if br, ok := m.Value("wdm_loadgen_block_rate", lbl); ok {
+			pblock = fmt.Sprintf("%.4f", br)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.0f\t%.3fs\t%.0f\t%s\t%s\t%s\n",
+			row.shard, status, sess, lag, gor, byteStr(heap), load, pblock)
 	}
 	tw.Flush()
 	return b.String()

@@ -1,0 +1,58 @@
+package analytic
+
+import "math"
+
+// ErlangB returns the Erlang B blocking probability for offered load a
+// Erlangs on c circuits (the M/G/c/c loss formula), computed with the
+// numerically stable recursion
+//
+//	B(0) = 1,  B(i) = a·B(i-1) / (i + a·B(i-1)).
+//
+// It is insensitive to the holding-time distribution beyond its mean —
+// the classical reason the traffic engine's Pareto holding times should
+// NOT move the blocking curve of a single shared link, making ErlangB a
+// useful null reference against the measured heavy-tail sweeps.
+func ErlangB(a float64, c int) float64 {
+	if c < 0 || a < 0 {
+		return 1
+	}
+	b := 1.0
+	for i := 1; i <= c; i++ {
+		b = a * b / (float64(i) + a*b)
+	}
+	return b
+}
+
+// LeeLoadPoint maps one offered-load point of the traffic engine's
+// Erlang sweep onto Lee's multicast approximation. erlangs is the mean
+// number of concurrent sessions per fabric plane and meanFanout the
+// mean multicast fanout, so a session holds one source slot and
+// meanFanout destination slots: mean busy wavelengths per input port
+// are erlangs/N and per output port erlangs·meanFanout/N. With
+// n = N/r ports per module those feed LinkOccupancy, and the fanout
+// (rounded to the nearest integer ≥ 1) feeds LeeMulticast:
+//
+//	p1 = erlangs/N · n/(m·k),  p2 = erlangs·f̄/N · n/(m·k)
+//	B  = (1 - (1-p1)(1-p2)^f)^m
+//
+// This is an independence approximation — it ignores the engine's
+// closed-loop admissibility and any hotspot skew — but it places the
+// knee: near zero while the links are slack, rising steeply as m·k
+// link capacity saturates. The paper's exact bounds are the m at which
+// the true curve is pinned to zero regardless of load.
+func LeeLoadPoint(erlangs, meanFanout float64, nPorts, r, m, k int) float64 {
+	if nPorts <= 0 || r <= 0 {
+		return 1
+	}
+	if meanFanout < 1 {
+		meanFanout = 1
+	}
+	n := nPorts / r
+	p1 := LinkOccupancy(erlangs/float64(nPorts), n, m, k)
+	p2 := LinkOccupancy(erlangs*meanFanout/float64(nPorts), n, m, k)
+	f := int(math.Round(meanFanout))
+	if f < 1 {
+		f = 1
+	}
+	return LeeMulticast(p1, p2, f, m)
+}

@@ -1,0 +1,91 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+// TestErlangBKnownValues pins the recursion against the classical
+// tables: B(A=10, N=10) ≈ 0.2146, B(A=2, N=5) ≈ 0.0367.
+func TestErlangBKnownValues(t *testing.T) {
+	cases := []struct {
+		a    float64
+		c    int
+		want float64
+	}{
+		{10, 10, 0.21459},
+		{2, 5, 0.03670},
+		{1, 1, 0.5},
+	}
+	for _, tc := range cases {
+		if got := ErlangB(tc.a, tc.c); math.Abs(got-tc.want) > 5e-4 {
+			t.Errorf("ErlangB(%g, %d) = %.5f, want %.5f", tc.a, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestErlangBEdges(t *testing.T) {
+	if got := ErlangB(5, 0); got != 1 {
+		t.Errorf("ErlangB(5, 0) = %g, want 1 (no circuits, all lost)", got)
+	}
+	if got := ErlangB(0, 5); got != 0 {
+		t.Errorf("ErlangB(0, 5) = %g, want 0 (no load, no loss)", got)
+	}
+	if ErlangB(-1, 5) != 1 || ErlangB(5, -1) != 1 {
+		t.Error("negative inputs should saturate to 1")
+	}
+}
+
+// TestErlangBMonotone: loss grows with offered load and shrinks with
+// circuits.
+func TestErlangBMonotone(t *testing.T) {
+	prev := 0.0
+	for _, a := range []float64{1, 2, 4, 8, 16} {
+		b := ErlangB(a, 6)
+		if b <= prev {
+			t.Errorf("ErlangB(%g, 6) = %g not increasing in load", a, b)
+		}
+		prev = b
+	}
+	prev = 1.0
+	for c := 1; c <= 20; c++ {
+		b := ErlangB(8, c)
+		if b >= prev {
+			t.Errorf("ErlangB(8, %d) = %g not decreasing in circuits", c, b)
+		}
+		prev = b
+	}
+}
+
+// TestLeeLoadPoint checks the overlay has the curve shape the sweeps
+// compare against: negligible at light load, monotone in load,
+// saturating toward 1, and relieved by more middle modules.
+func TestLeeLoadPoint(t *testing.T) {
+	// The standard small fabric: N=16, r=4, k=2, m at the MSW bound 13.
+	if b := LeeLoadPoint(1, 2, 16, 4, 13, 2); b > 1e-6 {
+		t.Errorf("light load: LeeLoadPoint = %g, want ~0", b)
+	}
+	prev := -1.0
+	for _, e := range []float64{1, 4, 16, 64, 256} {
+		b := LeeLoadPoint(e, 2, 16, 4, 3, 2)
+		if b < prev {
+			t.Errorf("LeeLoadPoint at %g Erlangs = %g dropped below %g", e, b, prev)
+		}
+		if b < 0 || b > 1 {
+			t.Errorf("LeeLoadPoint at %g Erlangs = %g outside [0, 1]", e, b)
+		}
+		prev = b
+	}
+	if b := LeeLoadPoint(1e4, 2, 16, 4, 3, 2); b < 0.99 {
+		t.Errorf("saturation: LeeLoadPoint = %g, want -> 1", b)
+	}
+	// More middle modules can only help at fixed load.
+	starved := LeeLoadPoint(12, 2, 16, 4, 3, 2)
+	provisioned := LeeLoadPoint(12, 2, 16, 4, 13, 2)
+	if provisioned >= starved {
+		t.Errorf("m=13 blocking %g not below m=3 blocking %g", provisioned, starved)
+	}
+	if b := LeeLoadPoint(5, 2, 0, 4, 3, 2); b != 1 {
+		t.Errorf("degenerate shape: LeeLoadPoint = %g, want 1", b)
+	}
+}

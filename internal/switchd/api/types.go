@@ -270,6 +270,13 @@ type FederationPeerHealth struct {
 type LoadgenReport struct {
 	OfferedRPS  float64 `json:"offered_rps"`
 	AchievedRPS float64 `json:"achieved_rps"`
+	// OfferedErlangs is the generator's configured offered load (mean
+	// concurrent sessions per fabric plane); 0 in max-rate mode where
+	// load is paced by the live-session target instead.
+	OfferedErlangs float64 `json:"offered_erlangs,omitempty"`
+	// BlockRate is the generator's cumulative measured blocking
+	// probability over everything it has offered so far.
+	BlockRate float64 `json:"block_rate,omitempty"`
 }
 
 // DurabilityHealth reports the write-ahead log, snapshot, and recovery

@@ -16,6 +16,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/multistage"
 	"repro/internal/switchd/api"
+	"repro/internal/traffic"
 	"repro/internal/wdm"
 	"repro/internal/workload"
 )
@@ -357,8 +358,8 @@ func churnWorker(ctl *Controller, dim wdm.Dim, plane, part, perPlane, iterations
 	for p := part; p < dim.N; p += perPlane {
 		ports = append(ports, p)
 	}
-	freeSrc := newLoadgenSlots(ports, dim.K)
-	freeDst := newLoadgenSlots(ports, dim.K)
+	freeSrc := traffic.NewSlotPool(ports, dim.K)
+	freeDst := traffic.NewSlotPool(ports, dim.K)
 
 	type live struct {
 		id   uint64
@@ -371,9 +372,9 @@ func churnWorker(ctl *Controller, dim wdm.Dim, plane, part, perPlane, iterations
 		if err := ctl.Disconnect(context.Background(), s.id); err != nil {
 			return err
 		}
-		freeSrc.put(s.conn.Source)
+		freeSrc.Put(s.conn.Source)
 		for _, d := range s.conn.Dests {
-			freeDst.put(d)
+			freeDst.Put(d)
 		}
 		return nil
 	}
@@ -384,7 +385,7 @@ func churnWorker(ctl *Controller, dim wdm.Dim, plane, part, perPlane, iterations
 				return err
 			}
 		}
-		c, ok := gen.Connection(freeSrc.slots(), freeDst.slots(), gen.Fanout(len(ports)))
+		c, ok := gen.Connection(freeSrc.Slots(), freeDst.Slots(), gen.Fanout(len(ports)))
 		if !ok {
 			if len(sessions) == 0 {
 				return fmt.Errorf("starved with no live sessions")
@@ -398,9 +399,9 @@ func churnWorker(ctl *Controller, dim wdm.Dim, plane, part, perPlane, iterations
 		if err != nil {
 			return fmt.Errorf("Connect(%v): %w", c, err)
 		}
-		freeSrc.take(c.Source)
+		freeSrc.Take(c.Source)
 		for _, d := range c.Dests {
-			freeDst.take(d)
+			freeDst.Take(d)
 		}
 		sessions = append(sessions, live{id: id, conn: c})
 
@@ -409,7 +410,7 @@ func churnWorker(ctl *Controller, dim wdm.Dim, plane, part, perPlane, iterations
 			if d, ok := pickGrowSlot(freeDst, s.conn); ok {
 				switch err := ctl.AddBranch(context.Background(), s.id, d); {
 				case err == nil:
-					freeDst.take(d)
+					freeDst.Take(d)
 					s.conn.Dests = append(s.conn.Dests, d)
 				case multistage.IsBlocked(err):
 					return fmt.Errorf("AddBranch blocked at the sufficient bound: %w", err)

@@ -97,24 +97,31 @@ func (ctl *Controller) federationHealth() []api.FederationPeerHealth {
 const loadgenFreshness = 15 * time.Second
 
 // ReportLoadgen records a load generator's self-report; while fresh
-// (under loadgenFreshness old) it is published as the
-// wdm_loadgen_offered_rps / wdm_loadgen_achieved_rps gauges, so a
-// run's offered-vs-achieved curve lands in the metrics history next
-// to the blocking counters it explains.
+// (under loadgenFreshness old) it is published as the wdm_loadgen_*
+// gauges (offered/achieved rates, offered Erlangs, block rate), so a
+// run's offered-vs-achieved curve — and, during an Erlang sweep, the
+// current load point and its running blocking probability — lands in
+// the metrics history next to the blocking counters it explains.
 func (ctl *Controller) ReportLoadgen(rep api.LoadgenReport) {
 	ctl.loadgenOffered.Store(math.Float64bits(rep.OfferedRPS))
 	ctl.loadgenAchieved.Store(math.Float64bits(rep.AchievedRPS))
+	ctl.loadgenErlangs.Store(math.Float64bits(rep.OfferedErlangs))
+	ctl.loadgenBlockRate.Store(math.Float64bits(rep.BlockRate))
 	ctl.loadgenAt.Store(time.Now().UnixNano())
 }
 
 // loadgenRates returns the last self-report if it is still fresh.
-func (ctl *Controller) loadgenRates() (offered, achieved float64, ok bool) {
+func (ctl *Controller) loadgenRates() (rep api.LoadgenReport, ok bool) {
 	at := ctl.loadgenAt.Load()
 	if at == 0 || time.Since(time.Unix(0, at)) > loadgenFreshness {
-		return 0, 0, false
+		return api.LoadgenReport{}, false
 	}
-	return math.Float64frombits(ctl.loadgenOffered.Load()),
-		math.Float64frombits(ctl.loadgenAchieved.Load()), true
+	return api.LoadgenReport{
+		OfferedRPS:     math.Float64frombits(ctl.loadgenOffered.Load()),
+		AchievedRPS:    math.Float64frombits(ctl.loadgenAchieved.Load()),
+		OfferedErlangs: math.Float64frombits(ctl.loadgenErlangs.Load()),
+		BlockRate:      math.Float64frombits(ctl.loadgenBlockRate.Load()),
+	}, true
 }
 
 // handleQuery serves GET /v1/query: instant and range queries over the

@@ -8,28 +8,19 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/obs/span"
-	"repro/internal/switchd/api"
 	"repro/internal/switchd/client"
-	"repro/internal/wdm"
-	"repro/internal/workload"
+	"repro/internal/traffic"
 )
 
-// Attack mode: a closed-loop load generator that replays admissible
-// multicast traffic (internal/workload patterns) against a running
-// wdmserve instance through the typed /v1 client and reports achieved
-// throughput and blocking.
-//
+// Attack mode: the legacy closed-loop load generator, now a thin
+// wrapper over the internal/traffic engine in max-rate mode — one
+// request-generation path shared with the Erlang sweeps of wdmload.
 // Each worker owns a disjoint slice of the port space of one fabric
-// replica (ports with port % workersPerFabric == its partition, pinned
-// to its plane), tracks its own free source/destination slots, and only
-// ever offers connections whose endpoints are free in its slice — so
-// every `blocked` from the server is a genuine blocking event, exactly
-// as in the offline simulator, and the server-side `blocked` counter
-// can be diffed against `internal/sim` results for the same parameters.
+// replica and only offers connections whose endpoints are free in its
+// slice, so every `blocked` from the server is a genuine blocking
+// event, exactly as in the offline simulator.
 //
 // A chaos schedule (ChaosEvent, parsed from "-chaos" syntax by
 // ParseChaos) fires fail/repair calls against the target's failure
@@ -137,26 +128,12 @@ type AttackConfig struct {
 	Chaos []ChaosEvent
 }
 
-// ClientLatency summarizes the client-observed connect latency (full
-// HTTP round trip, as a client would experience it — not the server's
-// in-fabric routing time).
-type ClientLatency struct {
-	P50Micros float64 `json:"p50_us"`
-	P95Micros float64 `json:"p95_us"`
-	P99Micros float64 `json:"p99_us"`
-}
-
-// TraceRef is one connect the client can follow server-side by trace
-// id: the generator sends a W3C traceparent header with every connect,
-// so the id here joins against /v1/debug/spans, the /metrics exemplars,
-// and /v1/debug/blocking on the target.
-type TraceRef struct {
-	TraceID string `json:"trace_id"`
-	// Outcome is "ok" or the api error code the connect drew.
-	Outcome string `json:"outcome"`
-	Micros  int64  `json:"micros"` // client-observed round trip
-	Conn    string `json:"connection"`
-}
+// ClientLatency and TraceRef are the traffic engine's types, re-exported
+// so AttackReport's shape (and its JSON) is unchanged.
+type (
+	ClientLatency = traffic.ClientLatency
+	TraceRef      = traffic.TraceRef
+)
 
 // AttackReport aggregates a run.
 type AttackReport struct {
@@ -247,135 +224,87 @@ func (r AttackReport) String() string {
 	return s
 }
 
-// Attack runs the load generator against cfg.BaseURL.
+// Attack runs the load generator against cfg.BaseURL: the traffic
+// engine in max-rate mode, with the chaos scheduler and the loadgen
+// self-reporter running alongside the workers.
 func Attack(cfg AttackConfig) (AttackReport, error) {
 	opts := []client.Option{client.WithRetry(cfg.Retry)}
 	if cfg.Client != nil {
 		opts = append(opts, client.WithHTTPClient(cfg.Client))
 	}
 	cl := client.New(cfg.BaseURL, opts...)
-	if cfg.Requests <= 0 {
-		cfg.Requests = 10000
-	}
-	if cfg.WorkersPerFabric <= 0 {
-		cfg.WorkersPerFabric = 2
-	}
-	if cfg.TargetLive <= 0 {
-		cfg.TargetLive = 8
-	}
 
-	ctx := context.Background()
-	status, err := cl.Status(ctx)
-	if err != nil {
-		return AttackReport{}, fmt.Errorf("switchd: attack: fetching target status: %w", err)
-	}
-	model, err := wdm.ParseModel(status.Model)
+	eng, err := traffic.NewEngine(traffic.Config{
+		Client:           cl,
+		Seed:             cfg.Seed,
+		Arrivals:         cfg.Requests,
+		WorkersPerFabric: cfg.WorkersPerFabric,
+		MaxFanout:        cfg.MaxFanout,
+		TargetLive:       cfg.TargetLive,
+	})
 	if err != nil {
 		return AttackReport{}, fmt.Errorf("switchd: attack: %w", err)
 	}
-	if status.Replicas < 1 || status.N < cfg.WorkersPerFabric {
-		return AttackReport{}, fmt.Errorf("switchd: attack: target too small (N=%d replicas=%d)", status.N, status.Replicas)
-	}
 
-	workers := status.Replicas * cfg.WorkersPerFabric
-	perWorker := cfg.Requests / workers
-	remainder := cfg.Requests % workers
+	ctx := context.Background()
 
 	// The chaos scheduler runs alongside the workers and is cut off when
-	// they finish (events past the run's end never fire).
+	// they finish (events past the run's end never fire). The
+	// self-reporter streams offered/achieved rates to the target (POST
+	// /v1/loadgen) once a second, so the run's load curve lands in the
+	// server's metrics history next to the counters it explains.
 	chaosCtx, stopChaos := context.WithCancel(ctx)
 	chaosDone := make(chan []ChaosOutcome, 1)
 	start := time.Now()
 	go func() { chaosDone <- runChaos(chaosCtx, cl, start, cfg.Chaos) }()
-
-	// The self-reporter streams offered/achieved rates to the target
-	// (POST /v1/loadgen) once a second, so the run's load curve lands in
-	// the server's metrics history next to the counters it explains.
-	var prog attackProgress
 	repCtx, stopReport := context.WithCancel(ctx)
-	repDone := make(chan struct{})
-	go func() { defer close(repDone); reportLoadLoop(repCtx, cl, &prog) }()
+	var repWG sync.WaitGroup
+	repWG.Add(1)
+	go func() {
+		defer repWG.Done()
+		traffic.ReportLoop(repCtx, cl, eng.Progress(), 0)
+	}()
 
-	results := make([]attackWorkerResult, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			attempts := perWorker
-			if w < remainder {
-				attempts++
-			}
-			results[w] = attackWorker(ctx, cl, cfg, status, model, w, attempts, &prog)
-		}(w)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	trep, runErr := eng.Run(ctx)
 	stopChaos()
 	stopReport()
-	<-repDone
+	repWG.Wait()
 	chaos := <-chaosDone
 
-	rep := AttackReport{Workers: workers, Duration: elapsed, Outcomes: map[string]int{}, Chaos: chaos}
-	var firstErr error
-	var latencies []time.Duration
-	var traces []TraceRef
-	phaseMs := map[string]float64{}
-	phaseN := map[string]int{}
-	for _, r := range results {
-		rep.Connects += r.connects
-		rep.Routed += r.routed
-		rep.Blocked += r.blocked
-		rep.Rejected += r.rejected
-		rep.Disconnects += r.disconnects
-		rep.LostSessions += r.lost
-		for code, n := range r.outcomes {
-			rep.Outcomes[code] += n
-		}
-		for p, ms := range r.phaseMs {
-			phaseMs[p] += ms
-			phaseN[p] += r.phaseN[p]
-		}
-		latencies = append(latencies, r.latencies...)
-		traces = append(traces, r.traces...)
-		if r.err != nil && firstErr == nil {
-			firstErr = r.err
-		}
-	}
-	if len(phaseMs) > 0 {
-		rep.ServerPhases = make(map[string]float64, len(phaseMs))
-		for p, ms := range phaseMs {
-			if n := phaseN[p]; n > 0 {
-				rep.ServerPhases[p] = ms * 1e3 / float64(n)
-			}
-		}
+	s := trep.Stats
+	rep := AttackReport{
+		Workers:      trep.Workers,
+		Connects:     s.Connects,
+		Routed:       s.Routed,
+		Blocked:      s.Blocked,
+		Rejected:     s.Rejected,
+		Disconnects:  s.Disconnects,
+		Duration:     trep.Duration,
+		Outcomes:     s.Outcomes,
+		Chaos:        chaos,
+		LostSessions: s.Lost,
 	}
 	rep.Retries = cl.Retries()
-	if firstErr != nil {
-		return rep, firstErr
+	if runErr != nil {
+		return rep, fmt.Errorf("switchd: attack: %w", runErr)
 	}
+	rep.ServerPhases = s.PhaseMeans()
 	// Record the trace ids worth a server-side look: every blocked
 	// connect (up to a cap) and the slowest round trips.
 	const maxBlockedTraces, maxSlowTraces = 16, 5
-	for _, t := range traces {
-		if t.Outcome == api.CodeBlocked && len(rep.BlockedTraces) < maxBlockedTraces {
+	for _, t := range s.Traces {
+		if traffic.IsBlockedCode(t.Outcome) && len(rep.BlockedTraces) < maxBlockedTraces {
 			rep.BlockedTraces = append(rep.BlockedTraces, t)
 		}
 	}
-	sort.Slice(traces, func(i, j int) bool { return traces[i].Micros > traces[j].Micros })
-	if len(traces) > maxSlowTraces {
-		traces = traces[:maxSlowTraces]
+	slow := append([]TraceRef(nil), s.Traces...)
+	sort.Slice(slow, func(i, j int) bool { return slow[i].Micros > slow[j].Micros })
+	if len(slow) > maxSlowTraces {
+		slow = slow[:maxSlowTraces]
 	}
-	rep.SlowestTraces = traces
-	if len(latencies) > 0 {
-		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-		q := func(p float64) float64 {
-			i := int(p * float64(len(latencies)-1))
-			return float64(latencies[i].Nanoseconds()) / 1e3
-		}
-		rep.ConnectLatency = ClientLatency{P50Micros: q(0.50), P95Micros: q(0.95), P99Micros: q(0.99)}
-	}
-	if secs := elapsed.Seconds(); secs > 0 {
+	rep.SlowestTraces = slow
+	rep.ConnectLatency = traffic.LatencyQuantiles(s.Latencies)
+	if secs := trep.Duration.Seconds(); secs > 0 {
 		rep.OpsPerSec = float64(rep.Connects+rep.Disconnects) / secs
 		rep.ConnectsPerSec = float64(rep.Connects) / secs
 	}
@@ -427,257 +356,4 @@ func runChaos(ctx context.Context, cl *client.Client, start time.Time, events []
 		out = append(out, oc)
 	}
 	return out
-}
-
-// attackProgress is the run's live offered/achieved tally, shared by
-// every worker and read by the self-reporter.
-type attackProgress struct {
-	connects atomic.Int64 // offered: every connect attempt sent
-	routed   atomic.Int64 // achieved: connects the fabric routed
-}
-
-// reportLoadLoop posts the run's offered/achieved rates once a second
-// until ctx is done. Report failures are ignored: the target may not
-// be reachable mid-chaos, and the loadgen's own result accounting
-// never depends on the reports landing.
-func reportLoadLoop(ctx context.Context, cl *client.Client, prog *attackProgress) {
-	tick := time.NewTicker(time.Second)
-	defer tick.Stop()
-	lastConnects, lastRouted := int64(0), int64(0)
-	lastAt := time.Now()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case now := <-tick.C:
-			connects, routed := prog.connects.Load(), prog.routed.Load()
-			secs := now.Sub(lastAt).Seconds()
-			if secs <= 0 {
-				continue
-			}
-			rep := api.LoadgenReport{
-				OfferedRPS:  float64(connects-lastConnects) / secs,
-				AchievedRPS: float64(routed-lastRouted) / secs,
-			}
-			lastConnects, lastRouted, lastAt = connects, routed, now
-			_ = cl.ReportLoad(ctx, rep)
-		}
-	}
-}
-
-type attackWorkerResult struct {
-	connects, routed, blocked, rejected, disconnects int
-	lost                                             int // sessions the server dropped under chaos
-	outcomes                                         map[string]int
-	latencies                                        []time.Duration // per-connect round trips
-	traces                                           []TraceRef      // one per connect, by the trace id sent
-	phaseMs                                          map[string]float64
-	phaseN                                           map[string]int
-	err                                              error
-}
-
-// parseServerTiming folds one Server-Timing header (switchd emits
-// comma-separated `name;dur=<ms>` entries) into per-phase millisecond
-// sums and sample counts; unparseable entries are skipped.
-func parseServerTiming(h string, sumMs map[string]float64, counts map[string]int) {
-	for _, part := range strings.Split(h, ",") {
-		name, rest, ok := strings.Cut(strings.TrimSpace(part), ";")
-		if !ok || name == "" {
-			continue
-		}
-		durStr, ok := strings.CutPrefix(strings.TrimSpace(rest), "dur=")
-		if !ok {
-			continue
-		}
-		ms, err := strconv.ParseFloat(durStr, 64)
-		if err != nil {
-			continue
-		}
-		sumMs[name] += ms
-		counts[name]++
-	}
-}
-
-// attackWorker drives one closed loop: connect until the live target is
-// reached, then recycle oldest-first, keeping every request admissible
-// within its private port slice.
-func attackWorker(ctx context.Context, cl *client.Client, cfg AttackConfig, status Status, model wdm.Model, w, attempts int, prog *attackProgress) attackWorkerResult {
-	res := attackWorkerResult{
-		outcomes: map[string]int{},
-		phaseMs:  map[string]float64{},
-		phaseN:   map[string]int{},
-	}
-	fabric := w / cfg.WorkersPerFabric
-	part := w % cfg.WorkersPerFabric
-
-	// The worker's slice of the port space: every k-wavelength slot of
-	// ports congruent to part (mod WorkersPerFabric).
-	var ports []int
-	for p := part; p < status.N; p += cfg.WorkersPerFabric {
-		ports = append(ports, p)
-	}
-	freeSrc := newLoadgenSlots(ports, status.K)
-	freeDst := newLoadgenSlots(ports, status.K)
-	gen := workload.NewGenerator(cfg.Seed+int64(w)*7919, model, wdm.Dim{N: status.N, K: status.K})
-
-	type liveSession struct {
-		id   uint64
-		conn wdm.Connection
-	}
-	var live []liveSession
-
-	disconnectOldest := func() error {
-		s := live[0]
-		live = live[1:]
-		_, err := cl.Disconnect(ctx, s.id)
-		switch {
-		case err == nil:
-			res.disconnects++
-		case api.IsCode(err, api.CodeNotFound):
-			// Chaos dropped the session server-side; the slots are free
-			// either way.
-			res.lost++
-		default:
-			return fmt.Errorf("switchd: attack: disconnect session %d: %w", s.id, err)
-		}
-		freeSrc.put(s.conn.Source)
-		for _, d := range s.conn.Dests {
-			freeDst.put(d)
-		}
-		return nil
-	}
-
-	for i := 0; i < attempts; i++ {
-		for len(live) >= cfg.TargetLive {
-			if res.err = disconnectOldest(); res.err != nil {
-				return res
-			}
-		}
-		maxFanout := cfg.MaxFanout
-		if maxFanout <= 0 || maxFanout > len(ports) {
-			maxFanout = len(ports)
-		}
-		conn, ok := gen.Connection(freeSrc.slots(), freeDst.slots(), gen.Fanout(maxFanout))
-		if !ok {
-			// Free sets can't support a request (e.g. wavelength-starved
-			// under MSW); recycle a session and retry.
-			if len(live) == 0 {
-				res.err = fmt.Errorf("switchd: attack: worker %d starved with no live sessions", w)
-				return res
-			}
-			if res.err = disconnectOldest(); res.err != nil {
-				return res
-			}
-			i--
-			continue
-		}
-
-		// Send a client-generated W3C traceparent so this request's trace
-		// id is known here without reading the response: the join key for
-		// /v1/debug/spans, the /metrics exemplars, and /v1/debug/blocking.
-		tid := span.NewTraceID()
-		traceparent := span.FormatTraceparent(tid, span.NewSpanID(), span.FlagSampled)
-		connStr := wdm.FormatConnection(conn)
-		reqCtx := client.ContextWithTraceparent(ctx, traceparent)
-		var serverTiming string
-		reqCtx = client.ContextWithServerTiming(reqCtx, &serverTiming)
-		start := time.Now()
-		cr, err := cl.Connect(reqCtx, connStr, fabric)
-		rtt := time.Since(start)
-		res.latencies = append(res.latencies, rtt)
-		if serverTiming != "" {
-			parseServerTiming(serverTiming, res.phaseMs, res.phaseN)
-		}
-		outcome := "ok"
-		if err != nil {
-			if outcome = api.CodeOf(err); outcome == "" {
-				res.err = fmt.Errorf("switchd: attack: connect %s: %w", connStr, err)
-				return res
-			}
-		}
-		res.traces = append(res.traces, TraceRef{
-			TraceID: tid.String(), Outcome: outcome,
-			Micros: rtt.Microseconds(), Conn: connStr,
-		})
-		res.outcomes[outcome]++
-		res.connects++
-		prog.connects.Add(1)
-		switch outcome {
-		case "ok":
-			res.routed++
-			prog.routed.Add(1)
-			freeSrc.take(conn.Source)
-			for _, d := range conn.Dests {
-				freeDst.take(d)
-			}
-			live = append(live, liveSession{id: cr.Session, conn: conn})
-		case api.CodeBlocked:
-			res.blocked++
-		case api.CodeAdmissionFull:
-			res.rejected++
-			// Shed our own load before trying again.
-			if len(live) > 0 {
-				if res.err = disconnectOldest(); res.err != nil {
-					return res
-				}
-			}
-		case api.CodeFabricFailed:
-			// Our pinned plane is fully failed; count it and keep cycling —
-			// a scheduled repair may bring it back.
-			if len(live) > 0 {
-				if res.err = disconnectOldest(); res.err != nil {
-					return res
-				}
-			}
-		default:
-			res.err = fmt.Errorf("switchd: attack: connect %s: unexpected error code %s", connStr, outcome)
-			return res
-		}
-	}
-
-	for len(live) > 0 {
-		if res.err = disconnectOldest(); res.err != nil {
-			return res
-		}
-	}
-	return res
-}
-
-// loadgenSlots is the worker-local free-slot pool (the loadgen twin of
-// the simulator's slot bookkeeping, over a port subset).
-type loadgenSlots struct {
-	free []wdm.PortWave
-	pos  map[wdm.PortWave]int
-}
-
-func newLoadgenSlots(ports []int, k int) *loadgenSlots {
-	s := &loadgenSlots{pos: make(map[wdm.PortWave]int, len(ports)*k)}
-	for _, p := range ports {
-		for w := 0; w < k; w++ {
-			s.put(wdm.PortWave{Port: wdm.Port(p), Wave: wdm.Wavelength(w)})
-		}
-	}
-	return s
-}
-
-func (s *loadgenSlots) slots() []wdm.PortWave { return s.free }
-
-func (s *loadgenSlots) take(slot wdm.PortWave) {
-	i, ok := s.pos[slot]
-	if !ok {
-		panic(fmt.Sprintf("switchd: attack: taking slot %v twice", slot))
-	}
-	last := len(s.free) - 1
-	s.free[i] = s.free[last]
-	s.pos[s.free[i]] = i
-	s.free = s.free[:last]
-	delete(s.pos, slot)
-}
-
-func (s *loadgenSlots) put(slot wdm.PortWave) {
-	if _, dup := s.pos[slot]; dup {
-		panic(fmt.Sprintf("switchd: attack: freeing slot %v twice", slot))
-	}
-	s.pos[slot] = len(s.free)
-	s.free = append(s.free, slot)
 }

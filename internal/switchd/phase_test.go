@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/obs/span"
 	"repro/internal/switchd/api"
+	"repro/internal/traffic"
 	"repro/internal/wdm"
 )
 
@@ -160,9 +161,9 @@ func TestVersionEndpointAndBuildInfo(t *testing.T) {
 func TestParseServerTiming(t *testing.T) {
 	sum := map[string]float64{}
 	n := map[string]int{}
-	parseServerTiming("lock_wait;dur=0.041, route_search;dur=0.012", sum, n)
-	parseServerTiming("lock_wait;dur=0.059", sum, n)
-	parseServerTiming("garbage, no-dur;x=1, ;dur=5", sum, n) // ignored
+	traffic.ParseServerTiming("lock_wait;dur=0.041, route_search;dur=0.012", sum, n)
+	traffic.ParseServerTiming("lock_wait;dur=0.059", sum, n)
+	traffic.ParseServerTiming("garbage, no-dur;x=1, ;dur=5", sum, n) // ignored
 	if n["lock_wait"] != 2 || sum["lock_wait"] != 0.1 {
 		t.Errorf("lock_wait = %v over %d samples, want 0.1 over 2", sum["lock_wait"], n["lock_wait"])
 	}

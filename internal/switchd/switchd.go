@@ -275,11 +275,14 @@ type Controller struct {
 	histDone   chan struct{}
 
 	// Last loadgen self-report (see ReportLoadgen): float64 bits of the
-	// offered/achieved rates plus the report's unix-nano arrival time;
-	// the gauges are only published while the report is fresh.
-	loadgenOffered  atomic.Uint64
-	loadgenAchieved atomic.Uint64
-	loadgenAt       atomic.Int64
+	// offered/achieved rates, offered Erlangs, and block rate, plus the
+	// report's unix-nano arrival time; the gauges are only published
+	// while the report is fresh.
+	loadgenOffered   atomic.Uint64
+	loadgenAchieved  atomic.Uint64
+	loadgenErlangs   atomic.Uint64
+	loadgenBlockRate atomic.Uint64
+	loadgenAt        atomic.Int64
 }
 
 // New builds a controller with cfg.Replicas freshly constructed fabric

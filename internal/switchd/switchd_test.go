@@ -16,6 +16,7 @@ import (
 	"repro/internal/multistage"
 	"repro/internal/obs"
 	"repro/internal/switchd/api"
+	"repro/internal/traffic"
 	"repro/internal/wdm"
 	"repro/internal/workload"
 )
@@ -296,8 +297,8 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 	for p := part; p < dim.N; p += perFabric {
 		ports = append(ports, p)
 	}
-	freeSrc := newLoadgenSlots(ports, dim.K)
-	freeDst := newLoadgenSlots(ports, dim.K)
+	freeSrc := traffic.NewSlotPool(ports, dim.K)
+	freeDst := traffic.NewSlotPool(ports, dim.K)
 
 	type live struct {
 		id   uint64
@@ -310,9 +311,9 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 		if err := ctl.Disconnect(context.Background(), s.id); err != nil {
 			return err
 		}
-		freeSrc.put(s.conn.Source)
+		freeSrc.Put(s.conn.Source)
 		for _, d := range s.conn.Dests {
-			freeDst.put(d)
+			freeDst.Put(d)
 		}
 		return nil
 	}
@@ -323,7 +324,7 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 				return err
 			}
 		}
-		c, ok := gen.Connection(freeSrc.slots(), freeDst.slots(), gen.Fanout(len(ports)))
+		c, ok := gen.Connection(freeSrc.Slots(), freeDst.Slots(), gen.Fanout(len(ports)))
 		if !ok {
 			if len(sessions) == 0 {
 				return fmt.Errorf("starved with no live sessions")
@@ -337,9 +338,9 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 		if err != nil {
 			return fmt.Errorf("Connect(%v): %w", c, err)
 		}
-		freeSrc.take(c.Source)
+		freeSrc.Take(c.Source)
 		for _, d := range c.Dests {
-			freeDst.take(d)
+			freeDst.Take(d)
 		}
 		sessions = append(sessions, live{id: id, conn: c})
 
@@ -350,7 +351,7 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 			if d, ok := pickGrowSlot(freeDst, s.conn); ok {
 				switch err := ctl.AddBranch(context.Background(), s.id, d); {
 				case err == nil:
-					freeDst.take(d)
+					freeDst.Take(d)
 					s.conn.Dests = append(s.conn.Dests, d)
 				case multistage.IsBlocked(err):
 					return fmt.Errorf("AddBranch blocked at the sufficient bound: %w", err)
@@ -370,12 +371,12 @@ func concurrentWorker(ctl *Controller, dim wdm.Dim, plane, part, perFabric, iter
 
 // pickGrowSlot finds a free destination slot on the connection's
 // wavelength at a port the connection does not already reach.
-func pickGrowSlot(free *loadgenSlots, c wdm.Connection) (wdm.PortWave, bool) {
+func pickGrowSlot(free *traffic.SlotPool, c wdm.Connection) (wdm.PortWave, bool) {
 	used := make(map[wdm.Port]bool, len(c.Dests))
 	for _, d := range c.Dests {
 		used[d.Port] = true
 	}
-	for _, s := range free.slots() {
+	for _, s := range free.Slots() {
 		if s.Wave == c.Source.Wave && !used[s.Port] {
 			return s, true
 		}

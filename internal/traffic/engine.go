@@ -1,0 +1,772 @@
+package traffic
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs/span"
+	"repro/internal/switchd/api"
+	"repro/internal/switchd/client"
+	"repro/internal/wdm"
+	"repro/internal/workload"
+)
+
+// HotspotConfig skews destination choice toward a hot port set, after
+// the hotspot-traffic model of arXiv 0804.3215: a Fraction of requests
+// draws its destinations only from the first Ports ports of the
+// worker's slice whenever any of their slots are free; the rest of the
+// traffic stays uniform.
+type HotspotConfig struct {
+	// Fraction of requests aimed at the hotspot (0 disables the skew).
+	Fraction float64 `json:"fraction,omitempty"`
+	// Ports is the hot-set size (default 1 when Fraction > 0).
+	Ports int `json:"ports,omitempty"`
+}
+
+// ChurnConfig adds session-lifetime dynamics: while a session holds,
+// churn events fire at Rate per unit holding time; each grows the
+// session by one AddBranch leaf with probability GrowBias, otherwise
+// partially tears it down. The wire API has no leaf removal, so a
+// shrink disconnects and re-admits the remaining leaves — the re-admit
+// is admissible by construction (its slots were just freed), so a
+// refusal is a genuine block.
+type ChurnConfig struct {
+	Rate     float64 `json:"rate,omitempty"`
+	GrowBias float64 `json:"grow_bias,omitempty"`
+}
+
+// Config parameterizes one engine run. Erlangs > 0 selects the
+// virtual-time arrival-process mode; otherwise the engine runs the
+// max-rate closed loop (the legacy -attack behavior) paced by
+// TargetLive.
+type Config struct {
+	// Client is the typed /v1 client aimed at the target server.
+	Client *client.Client
+	// Seed drives every per-worker PRNG.
+	Seed int64
+	// Arrivals is the total connect-arrival budget across all workers
+	// (default 10000).
+	Arrivals int
+	// WorkersPerFabric partitions each fabric replica's port space into
+	// this many disjoint closed loops (default 1 in Erlang mode, 2 in
+	// max-rate mode).
+	WorkersPerFabric int
+	// MaxFanout bounds each request's fanout; 0 means up to the
+	// worker's port-slice size.
+	MaxFanout int
+	// Fanout is the multicast fanout distribution (default
+	// workload.Geometric{} — the historical p=0.5 stream).
+	Fanout workload.FanoutDist
+	// Hotspot skews destination choice (zero value = uniform).
+	Hotspot HotspotConfig
+
+	// Erlangs is the offered load per fabric replica: mean concurrent
+	// sessions = arrival rate × mean holding time. > 0 selects
+	// virtual-time mode.
+	Erlangs float64
+	// Arrival builds each worker's arrival process (default poisson).
+	Arrival ArrivalSpec
+	// Holding is the session holding-time distribution (default exp).
+	Holding HoldingSpec
+	// Churn adds AddBranch growth / partial-teardown dynamics.
+	Churn ChurnConfig
+	// MaxLive clamps each worker's concurrent sessions in Erlang mode:
+	// arrivals landing at the clamp are counted Unoffered (a
+	// client-side clamp, never presented to the fabric). 0 = unlimited.
+	// Used to hold a sweep inside a backend's concurrency guarantee —
+	// the ring mesh is nonblocking only for k concurrent sessions.
+	MaxLive int
+	// TimeScale maps one virtual-time unit (one mean holding time) to a
+	// wall-clock duration; 0 runs as fast as the target answers. Used
+	// by wdmload -steady so the target's gauges and sparklines move at
+	// watchable speed.
+	TimeScale time.Duration
+
+	// TargetLive is the max-rate mode's per-worker live-session
+	// high-water mark: the worker disconnects its oldest session before
+	// connecting past it (default 8) — the offered-load knob of the
+	// legacy -attack.
+	TargetLive int
+
+	// StreamLog, when set, receives the run's request stream: one line
+	// per request event in virtual-time order, concatenated per worker
+	// in worker order after the run. The stream is a pure function of
+	// the config and seed — same seed, byte-identical log.
+	StreamLog io.Writer
+}
+
+// Progress is the engine's live counters, safe to read concurrently
+// with a run (the loadgen self-reporter streams them to the target).
+type Progress struct {
+	offered atomic.Int64 // every fabric-bound request sent
+	routed  atomic.Int64 // requests the fabric routed
+	blocked atomic.Int64 // genuine blocking answers
+}
+
+// Counters returns the current offered/routed/blocked totals.
+func (p *Progress) Counters() (offered, routed, blocked int64) {
+	return p.offered.Load(), p.routed.Load(), p.blocked.Load()
+}
+
+// Report aggregates one engine run.
+type Report struct {
+	Workers  int
+	Duration time.Duration
+	Stats    Stats
+	Status   api.Status // the target's shape, as fetched at start
+}
+
+// Engine drives one run against one target.
+type Engine struct {
+	cfg  Config
+	prog Progress
+}
+
+// NewEngine validates the config, applies defaults, and returns a
+// runnable engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("traffic: Config.Client is required")
+	}
+	if cfg.Arrivals <= 0 {
+		cfg.Arrivals = 10000
+	}
+	if cfg.Fanout == nil {
+		cfg.Fanout = workload.Geometric{}
+	}
+	if cfg.WorkersPerFabric <= 0 {
+		if cfg.Erlangs > 0 {
+			cfg.WorkersPerFabric = 1
+		} else {
+			cfg.WorkersPerFabric = 2
+		}
+	}
+	if cfg.Erlangs <= 0 && cfg.TargetLive <= 0 {
+		cfg.TargetLive = 8
+	}
+	if cfg.Hotspot.Fraction < 0 || cfg.Hotspot.Fraction > 1 {
+		return nil, fmt.Errorf("traffic: hotspot fraction %g outside [0, 1]", cfg.Hotspot.Fraction)
+	}
+	if cfg.Hotspot.Fraction > 0 && cfg.Hotspot.Ports <= 0 {
+		cfg.Hotspot.Ports = 1
+	}
+	if cfg.Churn.Rate < 0 {
+		return nil, fmt.Errorf("traffic: churn rate %g is negative", cfg.Churn.Rate)
+	}
+	if cfg.Churn.Rate > 0 && cfg.Churn.GrowBias == 0 {
+		cfg.Churn.GrowBias = 0.5
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Progress exposes the engine's live counters.
+func (e *Engine) Progress() *Progress { return &e.prog }
+
+// Run executes the configured workload and returns the merged report.
+// Every worker runs its own closed loop over a disjoint slice of one
+// fabric replica's port space; the run ends when the arrival budget is
+// spent and every live session has been torn down.
+func (e *Engine) Run(ctx context.Context) (Report, error) {
+	cfg := e.cfg
+	status, err := cfg.Client.Status(ctx)
+	if err != nil {
+		return Report{}, fmt.Errorf("traffic: fetching target status: %w", err)
+	}
+	model, err := wdm.ParseModel(status.Model)
+	if err != nil {
+		return Report{}, fmt.Errorf("traffic: %w", err)
+	}
+	if status.Replicas < 1 || status.N < cfg.WorkersPerFabric {
+		return Report{}, fmt.Errorf("traffic: target too small (N=%d replicas=%d)", status.N, status.Replicas)
+	}
+
+	workers := status.Replicas * cfg.WorkersPerFabric
+	perWorker := cfg.Arrivals / workers
+	remainder := cfg.Arrivals % workers
+
+	results := make([]Stats, workers)
+	logs := make([]*streamBuffer, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		var lg *streamBuffer
+		if cfg.StreamLog != nil {
+			lg = &streamBuffer{}
+			logs[i] = lg
+		}
+		go func(i int, lg *streamBuffer) {
+			defer wg.Done()
+			attempts := perWorker
+			if i < remainder {
+				attempts++
+			}
+			w := newWorker(&cfg, status, model, i, lg, &e.prog)
+			if cfg.Erlangs > 0 {
+				w.runErlang(ctx, attempts)
+			} else {
+				w.runMaxRate(ctx, attempts)
+			}
+			results[i] = w.stats
+		}(i, lg)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := Report{Workers: workers, Duration: elapsed, Status: status}
+	rep.Stats = newStats()
+	for _, r := range results {
+		rep.Stats.merge(r)
+	}
+	if cfg.StreamLog != nil {
+		for i, lg := range logs {
+			if _, err := fmt.Fprintf(cfg.StreamLog, "# worker %d\n", i); err != nil {
+				return rep, fmt.Errorf("traffic: writing stream log: %w", err)
+			}
+			if _, err := cfg.StreamLog.Write(lg.buf); err != nil {
+				return rep, fmt.Errorf("traffic: writing stream log: %w", err)
+			}
+		}
+	}
+	return rep, rep.Stats.Err
+}
+
+// streamBuffer collects one worker's deterministic request stream.
+type streamBuffer struct{ buf []byte }
+
+func (b *streamBuffer) printf(format string, args ...any) {
+	b.buf = append(b.buf, fmt.Sprintf(format, args...)...)
+}
+
+// liveSession is one routed session the engine still holds.
+type liveSession struct {
+	id   uint64
+	conn wdm.Connection
+}
+
+// worker owns one disjoint slice of the port space of one fabric
+// replica (ports with port % workersPerFabric == its partition), its
+// own PRNG, arrival process, and free-slot bookkeeping.
+type worker struct {
+	cfg    *Config
+	cl     *client.Client
+	prog   *Progress
+	stats  Stats
+	log    *streamBuffer
+	fabric int
+
+	rng     *rand.Rand
+	gen     *workload.Generator
+	model   wdm.Model
+	ports   []int
+	freeSrc *SlotPool
+	freeDst *SlotPool
+	hot     map[wdm.Port]bool
+	hotBuf  []wdm.PortWave
+}
+
+func newWorker(cfg *Config, status api.Status, model wdm.Model, id int, lg *streamBuffer, prog *Progress) *worker {
+	w := &worker{
+		cfg:    cfg,
+		cl:     cfg.Client,
+		prog:   prog,
+		stats:  newStats(),
+		log:    lg,
+		fabric: id / cfg.WorkersPerFabric,
+		rng:    rand.New(rand.NewSource(cfg.Seed + int64(id)*7919 + 1)),
+		model:  model,
+	}
+	part := id % cfg.WorkersPerFabric
+	for p := part; p < status.N; p += cfg.WorkersPerFabric {
+		w.ports = append(w.ports, p)
+	}
+	w.freeSrc = NewSlotPool(w.ports, status.K)
+	w.freeDst = NewSlotPool(w.ports, status.K)
+	w.gen = workload.NewGenerator(cfg.Seed+int64(id)*7919, model, wdm.Dim{N: status.N, K: status.K})
+	w.gen.SetFanout(cfg.Fanout)
+	if cfg.Hotspot.Fraction > 0 {
+		w.hot = make(map[wdm.Port]bool, cfg.Hotspot.Ports)
+		for i := 0; i < cfg.Hotspot.Ports && i < len(w.ports); i++ {
+			w.hot[wdm.Port(w.ports[i])] = true
+		}
+	}
+	return w
+}
+
+func (w *worker) maxFanout() int {
+	mf := w.cfg.MaxFanout
+	if mf <= 0 || mf > len(w.ports) {
+		mf = len(w.ports)
+	}
+	return mf
+}
+
+// destCandidates applies the hotspot skew: a Fraction of requests
+// draws destinations only from the hot ports' free slots, falling back
+// to the full set when the hotspot is saturated.
+func (w *worker) destCandidates() []wdm.PortWave {
+	all := w.freeDst.Slots()
+	if w.hot == nil || w.rng.Float64() >= w.cfg.Hotspot.Fraction {
+		return all
+	}
+	w.hotBuf = w.hotBuf[:0]
+	for _, s := range all {
+		if w.hot[s.Port] {
+			w.hotBuf = append(w.hotBuf, s)
+		}
+	}
+	if len(w.hotBuf) == 0 {
+		return all
+	}
+	return w.hotBuf
+}
+
+// offerOutcome classifies one connect attempt.
+type offerOutcome int
+
+const (
+	offerRouted offerOutcome = iota
+	offerBlocked
+	offerRejected // admission_full
+	offerFailed   // fabric_failed
+	offerStarved  // no admissible request constructible client-side
+	offerError    // stats.Err set
+)
+
+// offer is the single request-generation path shared by every mode:
+// build one admissible connect from the worker's free slots, send it
+// with a traceparent, and account the answer. On success the session's
+// slots are taken and the session returned.
+func (w *worker) offer(ctx context.Context) (offerOutcome, liveSession) {
+	conn, ok := w.gen.Connection(w.freeSrc.Slots(), w.destCandidates(), w.gen.Fanout(w.maxFanout()))
+	if !ok {
+		w.stats.Unoffered++
+		return offerStarved, liveSession{}
+	}
+	w.stats.Connects++
+	w.stats.TotalFanout += len(conn.Dests)
+	outcome, sess, fatal := w.admitConnection(ctx, conn, "connect")
+	switch {
+	case fatal:
+		return offerError, liveSession{}
+	case outcome == "ok":
+		return offerRouted, sess
+	case outcome == api.CodeAdmissionFull:
+		w.stats.Rejected++
+		return offerRejected, liveSession{}
+	case outcome == api.CodeFabricFailed:
+		return offerFailed, liveSession{}
+	case IsBlockedCode(outcome):
+		w.stats.Blocked++
+		return offerBlocked, liveSession{}
+	default:
+		w.stats.Err = fmt.Errorf("traffic: connect %s: unexpected error code %s", wdm.FormatConnection(conn), outcome)
+		return offerError, liveSession{}
+	}
+}
+
+// admitConnection performs one traced connect-class request (a fresh
+// connect or a shrink re-admit), logs it under the given verb, and on
+// success takes the session's slots. It returns the outcome code and,
+// for "ok", the routed session; fatal means stats.Err is set.
+func (w *worker) admitConnection(ctx context.Context, conn wdm.Connection, verb string) (outcome string, sess liveSession, fatal bool) {
+	tid := span.NewTraceID()
+	traceparent := span.FormatTraceparent(tid, span.NewSpanID(), span.FlagSampled)
+	connStr := wdm.FormatConnection(conn)
+	reqCtx := client.ContextWithTraceparent(ctx, traceparent)
+	var serverTiming string
+	reqCtx = client.ContextWithServerTiming(reqCtx, &serverTiming)
+	start := time.Now()
+	cr, err := w.cl.Connect(reqCtx, connStr, w.fabric)
+	rtt := time.Since(start)
+	w.stats.Latencies = append(w.stats.Latencies, rtt)
+	if serverTiming != "" {
+		ParseServerTiming(serverTiming, w.stats.PhaseMs, w.stats.PhaseN)
+	}
+	outcome = "ok"
+	if err != nil {
+		if outcome = api.CodeOf(err); outcome == "" {
+			w.stats.Err = fmt.Errorf("traffic: %s %s: %w", verb, connStr, err)
+			return "", liveSession{}, true
+		}
+	}
+	w.stats.Traces = append(w.stats.Traces, TraceRef{
+		TraceID: tid.String(), Outcome: outcome,
+		Micros: rtt.Microseconds(), Conn: connStr,
+	})
+	w.stats.Outcomes[outcome]++
+	w.prog.offered.Add(1)
+	w.logf("%s %s -> %s\n", verb, connStr, outcome)
+	if outcome == "ok" {
+		w.stats.Routed++
+		w.prog.routed.Add(1)
+		w.freeSrc.Take(conn.Source)
+		for _, d := range conn.Dests {
+			w.freeDst.Take(d)
+		}
+		return outcome, liveSession{id: cr.Session, conn: conn}, false
+	}
+	if IsBlockedCode(outcome) {
+		w.prog.blocked.Add(1)
+	}
+	return outcome, liveSession{}, false
+}
+
+// IsBlockedCode reports whether a stable code is the fabric's blocked
+// class: the generic code or a backend-specific sub-code
+// (wavelength_conflict on awg, split_incapable on mesh).
+func IsBlockedCode(code string) bool {
+	switch code {
+	case api.CodeBlocked, api.CodeWavelengthConflict, api.CodeSplitIncapable:
+		return true
+	}
+	return false
+}
+
+// disconnect tears one session down and frees its slots. not_found
+// means chaos dropped it server-side; the slots are free either way.
+func (w *worker) disconnect(ctx context.Context, s liveSession) bool {
+	_, err := w.cl.Disconnect(ctx, s.id)
+	switch {
+	case err == nil:
+		w.stats.Disconnects++
+	case api.IsCode(err, api.CodeNotFound):
+		w.stats.Lost++
+	default:
+		w.stats.Err = fmt.Errorf("traffic: disconnect session %d: %w", s.id, err)
+		return false
+	}
+	w.freeSrc.Put(s.conn.Source)
+	for _, d := range s.conn.Dests {
+		w.freeDst.Put(d)
+	}
+	w.logf("disconnect %s\n", wdm.FormatConnection(s.conn))
+	return true
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.log != nil {
+		w.log.printf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Max-rate mode: the legacy -attack closed loop. Connect until the
+// live target is reached, then recycle oldest-first, keeping every
+// request admissible within the private port slice.
+
+func (w *worker) runMaxRate(ctx context.Context, attempts int) {
+	var live []liveSession
+	disconnectOldest := func() bool {
+		s := live[0]
+		live = live[1:]
+		return w.disconnect(ctx, s)
+	}
+	for i := 0; i < attempts; i++ {
+		for len(live) >= w.cfg.TargetLive {
+			if !disconnectOldest() {
+				return
+			}
+		}
+		outcome, sess := w.offer(ctx)
+		switch outcome {
+		case offerRouted:
+			live = append(live, sess)
+		case offerBlocked:
+			// Counted; the closed loop simply moves on.
+		case offerStarved:
+			// Free sets can't support a request (e.g. wavelength-starved
+			// under MSW); recycle a session and retry.
+			if len(live) == 0 {
+				w.stats.Err = fmt.Errorf("traffic: worker starved with no live sessions")
+				return
+			}
+			if !disconnectOldest() {
+				return
+			}
+			i--
+		case offerRejected, offerFailed:
+			// Shed our own load before trying again (an admission refill or
+			// a scheduled repair may change the answer).
+			if len(live) > 0 {
+				if !disconnectOldest() {
+					return
+				}
+			}
+		case offerError:
+			return
+		}
+	}
+	for len(live) > 0 {
+		if !disconnectOldest() {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Erlang mode: a virtual-time event loop. Arrivals follow the
+// configured process at rate λ = Erlangs / workersPerFabric per worker
+// (in units of the mean holding time); routed sessions depart after a
+// sampled holding time and optionally churn while alive. The loop is
+// single-threaded per worker and every draw comes from the worker's
+// own PRNG, so the request stream is a pure function of the config and
+// seed.
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evDeparture
+	evChurn
+)
+
+type event struct {
+	t    float64
+	seq  int // FIFO tie-break keeps the heap deterministic
+	kind eventKind
+	sess int // local session key for departures/churn
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (w *worker) runErlang(ctx context.Context, arrivals int) {
+	lambda := w.cfg.Erlangs / float64(w.cfg.WorkersPerFabric)
+	arr := w.cfg.Arrival.NewProcess()
+	hold := w.cfg.Holding.NewDist()
+
+	var (
+		events  eventHeap
+		seq     int
+		now     float64
+		done    int
+		nextKey int
+		live    = map[int]liveSession{}
+	)
+	push := func(t float64, kind eventKind, sess int) {
+		heap.Push(&events, event{t: t, seq: seq, kind: kind, sess: sess})
+		seq++
+	}
+	scheduleChurn := func(key int, from float64) {
+		if w.cfg.Churn.Rate > 0 {
+			push(from+w.rng.ExpFloat64()/w.cfg.Churn.Rate, evChurn, key)
+		}
+	}
+	admit := func(sess liveSession) {
+		key := nextKey
+		nextKey++
+		live[key] = sess
+		push(now+hold.Sample(w.rng), evDeparture, key)
+		scheduleChurn(key, now)
+	}
+
+	push(arr.Next(w.rng)/lambda, evArrival, 0)
+	for events.Len() > 0 && ctx.Err() == nil {
+		ev := heap.Pop(&events).(event)
+		if w.cfg.TimeScale > 0 {
+			if wait := time.Duration((ev.t - now) * float64(w.cfg.TimeScale)); wait > 0 {
+				t := time.NewTimer(wait)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+				case <-t.C:
+				}
+			}
+		}
+		now = ev.t
+		switch ev.kind {
+		case evArrival:
+			done++
+			if w.cfg.MaxLive > 0 && len(live) >= w.cfg.MaxLive {
+				w.stats.Unoffered++
+				w.logf("t=%.6f clamped\n", now)
+				if done < arrivals {
+					push(now+arr.Next(w.rng)/lambda, evArrival, 0)
+				}
+				continue
+			}
+			w.logf("t=%.6f ", now)
+			outcome, sess := w.offer(ctx)
+			if outcome == offerError {
+				return
+			}
+			if outcome == offerRouted {
+				admit(sess)
+			}
+			if done < arrivals {
+				push(now+arr.Next(w.rng)/lambda, evArrival, 0)
+			}
+		case evDeparture:
+			sess, ok := live[ev.sess]
+			if !ok {
+				continue // shrunk away after a lost re-admit
+			}
+			delete(live, ev.sess)
+			w.logf("t=%.6f ", now)
+			if !w.disconnect(ctx, sess) {
+				return
+			}
+		case evChurn:
+			sess, ok := live[ev.sess]
+			if !ok {
+				continue
+			}
+			if w.rng.Float64() < w.cfg.Churn.GrowBias {
+				grown, fatal := w.churnGrow(ctx, sess, now)
+				if fatal {
+					return
+				}
+				live[ev.sess] = grown
+			} else {
+				shrunk, kept, fatal := w.churnShrink(ctx, sess, now)
+				if fatal {
+					return
+				}
+				if kept {
+					live[ev.sess] = shrunk
+				} else {
+					delete(live, ev.sess)
+				}
+			}
+			scheduleChurn(ev.sess, now)
+		}
+	}
+	// Drain whatever is still live, in deterministic key order.
+	keys := make([]int, 0, len(live))
+	for k := range live {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if !w.disconnect(ctx, live[k]) {
+			return
+		}
+	}
+}
+
+// churnGrow adds one admissible leaf to a live session via AddBranch
+// and returns the (possibly grown) session; fatal means stats.Err is
+// set.
+func (w *worker) churnGrow(ctx context.Context, sess liveSession, now float64) (liveSession, bool) {
+	slot, ok := w.pickGrowSlot(sess.conn)
+	if !ok {
+		return sess, false // no admissible leaf free; skip this event
+	}
+	w.stats.Branches++
+	w.prog.offered.Add(1)
+	_, err := w.cl.Branch(ctx, sess.id, wdm.FormatSlot(slot))
+	switch {
+	case err == nil:
+		w.prog.routed.Add(1)
+		w.freeDst.Take(slot)
+		sess.conn.Dests = append(sess.conn.Dests, slot)
+		sess.conn = sess.conn.Normalize()
+		w.logf("t=%.6f branch %s += %s -> ok\n", now, wdm.FormatConnection(sess.conn), wdm.FormatSlot(slot))
+		return sess, false
+	case client.IsBlocked(err):
+		w.stats.BranchBlocked++
+		w.prog.blocked.Add(1)
+		w.logf("t=%.6f branch %s += %s -> %s\n", now, wdm.FormatConnection(sess.conn), wdm.FormatSlot(slot), api.CodeOf(err))
+		return sess, false
+	case api.IsCode(err, api.CodeNotFound):
+		w.stats.Lost++
+		return sess, false
+	default:
+		if code := api.CodeOf(err); code != "" {
+			// Transient server-side refusal (draining, storage): skip.
+			w.logf("t=%.6f branch %s -> %s\n", now, wdm.FormatConnection(sess.conn), code)
+			return sess, false
+		}
+		w.stats.Err = fmt.Errorf("traffic: branch session %d: %w", sess.id, err)
+		return sess, true
+	}
+}
+
+// churnShrink partially tears a session down: disconnect, then
+// re-admit every leaf but one as a new session. kept=false means the
+// session is gone (blocked or rejected re-admit).
+func (w *worker) churnShrink(ctx context.Context, sess liveSession, now float64) (shrunk liveSession, kept, fatal bool) {
+	if len(sess.conn.Dests) < 2 {
+		return sess, true, false // nothing to drop; teardown is the departure's job
+	}
+	if !w.disconnect(ctx, sess) {
+		return sess, false, true
+	}
+	drop := w.rng.Intn(len(sess.conn.Dests))
+	smaller := wdm.Connection{Source: sess.conn.Source}
+	for i, d := range sess.conn.Dests {
+		if i != drop {
+			smaller.Dests = append(smaller.Dests, d)
+		}
+	}
+	smaller = smaller.Normalize()
+	w.stats.Shrinks++
+	outcome, next, fatal := w.admitConnection(ctx, smaller, fmt.Sprintf("t=%.6f shrink", now))
+	if fatal {
+		return sess, false, true
+	}
+	if outcome == "ok" {
+		return next, true, false
+	}
+	// Blocked / rejected re-admit: the session's remaining members are
+	// simply gone (accounted by admitConnection).
+	return sess, false, false
+}
+
+// pickGrowSlot finds a free destination slot the session can grow to
+// under the worker's model: a port the session does not already reach,
+// on an admissible wavelength (the source's for MSW, the session's
+// common destination wavelength for MSDW, any for MAW).
+func (w *worker) pickGrowSlot(c wdm.Connection) (wdm.PortWave, bool) {
+	used := make(map[wdm.Port]bool, len(c.Dests))
+	for _, d := range c.Dests {
+		used[d.Port] = true
+	}
+	var want wdm.Wavelength
+	anyWave := false
+	switch w.model {
+	case wdm.MAW:
+		anyWave = true
+	case wdm.MSDW:
+		if len(c.Dests) > 0 {
+			want = c.Dests[0].Wave
+		} else {
+			want = c.Source.Wave
+		}
+	default: // MSW
+		want = c.Source.Wave
+	}
+	for _, s := range w.freeDst.Slots() {
+		if used[s.Port] {
+			continue
+		}
+		if anyWave || s.Wave == want {
+			return s, true
+		}
+	}
+	return wdm.PortWave{}, false
+}

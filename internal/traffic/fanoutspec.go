@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// ParseFanout parses a fanout-distribution spec in the same bracketed
+// syntax as the arrival and holding specs:
+//
+//	geometric[:p=0.5]
+//	zipf[:s=1.3]
+//	uniform
+//
+// returning the workload.FanoutDist the engine (and anything else
+// using workload.Generator.SetFanout) plugs in.
+func ParseFanout(s string) (workload.FanoutDist, error) {
+	kind, params, err := splitSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	switch kind {
+	case "geometric", "":
+		d := workload.Geometric{}
+		for k, v := range params {
+			if k != "p" {
+				return nil, fmt.Errorf("traffic: geometric: unknown parameter %q", k)
+			}
+			d.P = v
+		}
+		if len(params) > 0 && (d.P <= 0 || d.P >= 1) {
+			return nil, fmt.Errorf("traffic: geometric p=%g must be in (0, 1)", d.P)
+		}
+		return d, nil
+	case "zipf":
+		d := workload.TruncZipf{}
+		for k, v := range params {
+			if k != "s" {
+				return nil, fmt.Errorf("traffic: zipf: unknown parameter %q", k)
+			}
+			d.S = v
+		}
+		if len(params) > 0 && d.S <= 1 {
+			return nil, fmt.Errorf("traffic: zipf s=%g must exceed 1", d.S)
+		}
+		return d, nil
+	case "uniform":
+		if len(params) > 0 {
+			return nil, fmt.Errorf("traffic: uniform takes no parameters")
+		}
+		return workload.UniformFanout{}, nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown fanout distribution %q (want geometric, zipf, uniform)", kind)
+	}
+}
+
+// FormatFanout renders a distribution back into ParseFanout's spec
+// syntax, so sweep artifacts record a replayable fanout string.
+func FormatFanout(d workload.FanoutDist) string {
+	switch v := d.(type) {
+	case workload.Geometric:
+		if v.P <= 0 || v.P >= 1 {
+			return "geometric:p=0.5"
+		}
+		return fmt.Sprintf("geometric:p=%g", v.P)
+	case workload.TruncZipf:
+		if v.S <= 1 {
+			return "zipf:s=1.3"
+		}
+		return fmt.Sprintf("zipf:s=%g", v.S)
+	case workload.UniformFanout:
+		return "uniform"
+	default:
+		return d.String()
+	}
+}

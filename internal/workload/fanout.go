@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// FanoutDist samples multicast fanouts (destination port counts) in
+// [1, max]. Implementations must be pure functions of the rng stream —
+// no hidden state — so a seeded generator replays the same fanout
+// sequence every run.
+type FanoutDist interface {
+	// Sample draws one fanout in [1, max]; max <= 1 always returns 1.
+	Sample(rng *rand.Rand, max int) int
+	// String names the distribution with its parameters, for artifact
+	// metadata ("geometric(p=0.5)").
+	String() string
+}
+
+// Geometric grows the fanout from 1, continuing with probability P at
+// each step: P(f) ∝ P^(f-1), truncated at max. Small P keeps
+// multicasts small; P = 0.5 is the historical default mix (most
+// multicasts small, occasional large ones) the paper's motivating
+// applications imply. Out-of-range P falls back to 0.5.
+//
+// The draw-for-draw sampling order is frozen: it consumes one Float64
+// per growth decision, exactly as Generator.Fanout always has, so
+// existing seeds reproduce their historical request streams.
+type Geometric struct {
+	P float64
+}
+
+func (d Geometric) Sample(rng *rand.Rand, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	p := d.P
+	if p <= 0 || p >= 1 {
+		p = 0.5
+	}
+	f := 1
+	for f < max && rng.Float64() < p {
+		f++
+	}
+	return f
+}
+
+func (d Geometric) String() string {
+	p := d.P
+	if p <= 0 || p >= 1 {
+		p = 0.5
+	}
+	return fmt.Sprintf("geometric(p=%g)", p)
+}
+
+// TruncZipf samples fanouts with P(f) ∝ 1/f^S truncated to [1, max] —
+// a heavier tail than the geometric: most sessions are unicast-ish but
+// large multicast groups appear at a polynomial, not exponential,
+// rate. S <= 0 falls back to 1.3. One Float64 is consumed per sample
+// (CDF inversion).
+type TruncZipf struct {
+	S float64
+}
+
+func (d TruncZipf) s() float64 {
+	if d.S <= 0 {
+		return 1.3
+	}
+	return d.S
+}
+
+func (d TruncZipf) Sample(rng *rand.Rand, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	s := d.s()
+	var total float64
+	for f := 1; f <= max; f++ {
+		total += math.Pow(float64(f), -s)
+	}
+	u := rng.Float64() * total
+	var cum float64
+	for f := 1; f <= max; f++ {
+		cum += math.Pow(float64(f), -s)
+		if u < cum {
+			return f
+		}
+	}
+	return max
+}
+
+func (d TruncZipf) String() string { return fmt.Sprintf("zipf(s=%g)", d.s()) }
+
+// UniformFanout samples uniformly in [1, max] — the flat mix used by
+// stress runs that want large multicasts to be common.
+type UniformFanout struct{}
+
+func (UniformFanout) Sample(rng *rand.Rand, max int) int {
+	if max <= 1 {
+		return 1
+	}
+	return 1 + rng.Intn(max)
+}
+
+func (UniformFanout) String() string { return "uniform" }
+
+// SetFanout replaces the generator's fanout distribution (Geometric
+// with P = 0.5 by default). A nil dist restores the default.
+func (g *Generator) SetFanout(d FanoutDist) {
+	if d == nil {
+		d = Geometric{}
+	}
+	g.fanout = d
+}
+
+// FanoutDist reports the generator's current fanout distribution.
+func (g *Generator) FanoutDist() FanoutDist { return g.fanout }

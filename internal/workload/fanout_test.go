@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wdm"
+)
+
+// TestGeometricDefaultMatchesHistoricalFanout freezes the draw-for-draw
+// sampling order: the parameterized Geometric{} must replay the exact
+// fanout sequence the hardcoded 0.5 loop produced, so every seeded
+// experiment in the repository reproduces its historical stream.
+func TestGeometricDefaultMatchesHistoricalFanout(t *testing.T) {
+	legacy := func(rng *rand.Rand, max int) int {
+		if max <= 1 {
+			return 1
+		}
+		f := 1
+		for f < max && rng.Float64() < 0.5 {
+			f++
+		}
+		return f
+	}
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(42))
+	d := Geometric{}
+	for i := 0; i < 10000; i++ {
+		want := legacy(a, 8)
+		got := d.Sample(b, 8)
+		if got != want {
+			t.Fatalf("draw %d: Geometric{}.Sample = %d, legacy loop = %d", i, got, want)
+		}
+	}
+}
+
+func TestGeneratorSetFanout(t *testing.T) {
+	g := NewGenerator(1, wdm.MSW, wdm.Dim{N: 8, K: 2})
+	if got := g.FanoutDist().String(); got != "geometric(p=0.5)" {
+		t.Fatalf("default fanout dist = %s, want geometric(p=0.5)", got)
+	}
+	g.SetFanout(TruncZipf{S: 2})
+	if got := g.FanoutDist().String(); got != "zipf(s=2)" {
+		t.Fatalf("after SetFanout: %s", got)
+	}
+	g.SetFanout(nil)
+	if got := g.FanoutDist().String(); got != "geometric(p=0.5)" {
+		t.Fatalf("nil SetFanout should restore the default, got %s", got)
+	}
+}
+
+// TestFanoutDistributions sanity-checks range and shape of each
+// distribution on a seeded stream.
+func TestFanoutDistributions(t *testing.T) {
+	const max, draws = 16, 50000
+	dists := []FanoutDist{Geometric{P: 0.3}, Geometric{P: 0.8}, TruncZipf{S: 1.3}, UniformFanout{}}
+	for _, d := range dists {
+		rng := rand.New(rand.NewSource(7))
+		counts := make([]int, max+1)
+		sum := 0
+		for i := 0; i < draws; i++ {
+			f := d.Sample(rng, max)
+			if f < 1 || f > max {
+				t.Fatalf("%s: fanout %d out of [1, %d]", d, f, max)
+			}
+			counts[f]++
+			sum += f
+		}
+		if d.Sample(rng, 1) != 1 || d.Sample(rng, 0) != 1 {
+			t.Fatalf("%s: max <= 1 must return 1", d)
+		}
+		// Monotone-decreasing mass for the skewed families (ignoring the
+		// truncation pile-up at max for geometric with high P).
+		switch dd := d.(type) {
+		case TruncZipf:
+			for f := 1; f < max; f++ {
+				if counts[f] < counts[f+1] && counts[f+1]-counts[f] > draws/100 {
+					t.Fatalf("%s: mass increases %d→%d (%d < %d)", d, f, f+1, counts[f], counts[f+1])
+				}
+			}
+		case Geometric:
+			// Mean of the untruncated geometric is 1/(1-P); truncation only
+			// lowers it.
+			mean := float64(sum) / draws
+			if upper := 1/(1-dd.P) + 0.1; mean > upper {
+				t.Fatalf("%s: mean %.3f exceeds untruncated mean %.3f", d, mean, upper)
+			}
+		}
+	}
+	// Uniform: roughly flat across [1, max].
+	rng := rand.New(rand.NewSource(11))
+	counts := make([]int, max+1)
+	for i := 0; i < draws; i++ {
+		counts[UniformFanout{}.Sample(rng, max)]++
+	}
+	want := float64(draws) / max
+	for f := 1; f <= max; f++ {
+		if dev := math.Abs(float64(counts[f]) - want); dev > want*0.15 {
+			t.Fatalf("uniform: count[%d] = %d, want ~%.0f", f, counts[f], want)
+		}
+	}
+}

@@ -18,9 +18,10 @@ import (
 
 // Generator produces admissible multicast traffic for one network.
 type Generator struct {
-	rng   *rand.Rand
-	model wdm.Model
-	dim   wdm.Dim
+	rng    *rand.Rand
+	model  wdm.Model
+	dim    wdm.Dim
+	fanout FanoutDist
 }
 
 // NewGenerator returns a deterministic generator for the given model and
@@ -29,7 +30,12 @@ func NewGenerator(seed int64, model wdm.Model, dim wdm.Dim) *Generator {
 	if err := dim.Validate(); err != nil {
 		panic("workload: " + err.Error())
 	}
-	return &Generator{rng: rand.New(rand.NewSource(seed)), model: model, dim: dim}
+	return &Generator{
+		rng:    rand.New(rand.NewSource(seed)),
+		model:  model,
+		dim:    dim,
+		fanout: Geometric{},
+	}
 }
 
 // Model and Dim report the generator's target.
@@ -107,18 +113,12 @@ func (g *Generator) Connection(freeSrc, freeDst []wdm.PortWave, fanout int) (wdm
 	return c.Normalize(), true
 }
 
-// Fanout samples a fanout in [1, maxFanout] with a geometric-ish skew
-// toward small values (most multicasts are small; occasional large ones),
-// matching the mix the paper's motivating applications imply.
+// Fanout samples a fanout in [1, maxFanout] from the generator's
+// configured distribution (SetFanout; Geometric with P = 0.5 by
+// default — most multicasts are small, occasional large ones, matching
+// the mix the paper's motivating applications imply).
 func (g *Generator) Fanout(maxFanout int) int {
-	if maxFanout <= 1 {
-		return 1
-	}
-	f := 1
-	for f < maxFanout && g.rng.Float64() < 0.5 {
-		f++
-	}
-	return f
+	return g.fanout.Sample(g.rng, maxFanout)
 }
 
 // Assignment samples a random admissible assignment. When full is true
